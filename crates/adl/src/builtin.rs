@@ -1,0 +1,98 @@
+//! The four adaptors defined in Sec. IV.A of the paper, transcribed in ADL.
+
+use crate::{parse_adl, Adaptor};
+
+/// `Adaptor_Transpose` (Sec. IV.A.1): three alternatives — keep the matrix
+/// unchanged, transpose it in global memory up front, or transpose
+/// sub-matrices while staging them into shared memory.
+pub fn transpose() -> Adaptor {
+    one("
+        adaptor Adaptor_Transpose(X):
+          |
+          | GM_map(X, Transpose);
+          | SM_alloc(X, Transpose);
+    ")
+}
+
+/// `Adaptor_Symmetry` (Sec. IV.A.2): keep unchanged; materialize the full
+/// symmetric matrix then re-format the iteration space into GEMM-NN; or
+/// re-format (fission only) and stage symmetric sub-matrices.
+///
+pub fn symmetry() -> Adaptor {
+    one("
+        adaptor Adaptor_Symmetry(X):
+          |
+          | GM_map(X, Symmetry); format_iteration(X, Symmetry);
+          | format_iteration(X, Symmetry); SM_alloc(X, Symmetry);
+    ")
+}
+
+/// `Adaptor_Triangular` (Sec. IV.A.3): keep unchanged; peel the triangular
+/// areas off the rectangular ones; or pad the triangular iteration spaces
+/// to rectangles (requiring zero-filled blanks, hence multi-versioning).
+pub fn triangular() -> Adaptor {
+    one("
+        adaptor Adaptor_Triangular(X):
+          |
+          | peel_triangular(X);
+          | padding_triangular(X); {cond(blank(X).zero = true)}
+    ")
+}
+
+/// `Adaptor_Solver` (Sec. IV.A.4): peel the triangular area and bind it to
+/// a single thread of each block.
+///
+/// One alternative beyond the paper's single rule: the empty rule, i.e.
+/// the *unbound* per-column variant where each thread solves its own
+/// column's diagonal segment instead of funnelling the solve through
+/// thread 0 — the search picks whichever the device favours.
+pub fn solver() -> Adaptor {
+    one("
+        adaptor Adaptor_Solver(X):
+          | peel_triangular(X); binding_triangular(X, 0);
+          |
+    ")
+}
+
+/// All four built-ins.
+pub fn all() -> Vec<Adaptor> {
+    vec![transpose(), symmetry(), triangular(), solver()]
+}
+
+fn one(src: &str) -> Adaptor {
+    let mut v = parse_adl(src).expect("builtin adaptor sources are valid ADL");
+    assert_eq!(v.len(), 1);
+    v.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_parse_with_expected_shapes() {
+        assert_eq!(transpose().rules.len(), 3);
+        assert_eq!(symmetry().rules.len(), 3);
+        assert_eq!(triangular().rules.len(), 3);
+        assert_eq!(solver().rules.len(), 2);
+        assert_eq!(all().len(), 4);
+    }
+
+    #[test]
+    fn solver_binds_thread_zero() {
+        let s = solver();
+        let rule = &s.rules[0];
+        assert_eq!(rule.seq[0].component, "peel_triangular");
+        assert_eq!(rule.seq[1].component, "binding_triangular");
+        assert_eq!(rule.seq[1].args[1], oa_epod::Arg::Int(0));
+    }
+
+    #[test]
+    fn empty_rules_where_the_paper_has_them() {
+        assert!(transpose().rules[0].is_empty());
+        assert!(symmetry().rules[0].is_empty());
+        assert!(triangular().rules[0].is_empty());
+        assert!(!solver().rules[0].is_empty());
+        assert!(solver().rules[1].is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! # oa-adl — the Adaptor Definition Language
+//!
+//! An *adaptor* relates a new BLAS3 routine to an existing optimization
+//! scheme by describing, in terms of optimization components, how the new
+//! routine's matrices differ (Sec. IV.A):
+//!
+//! ```text
+//! adaptor Adaptor_Transpose(X):
+//!   |
+//!   | GM_map(X, Transpose);
+//!   | SM_alloc(X, Transpose);
+//! ```
+//!
+//! Each `|` rule is an alternative implementation; rules may carry a
+//! condition (`{cond(blank(X).zero = true)}`) that makes the composer
+//! generate multiple-version code.  The four adaptors the paper defines —
+//! Transpose, Symmetry, Triangular, Solver — ship in [`builtin`].
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod parser;
+
+pub use parser::{parse_adl, AdlError};
+
+use oa_epod::{Arg, Invocation};
+use std::fmt;
+
+/// A condition attached to an adaptor rule.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// `blank(X).zero = true` — the blank triangle of the formal parameter
+    /// must contain zeros (checked at runtime via multi-versioning).
+    BlankZero(String),
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::BlankZero(x) => write!(f, "cond(blank({x}).zero = true)"),
+        }
+    }
+}
+
+/// One alternative implementation of an adaptor.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct AdaptorRule {
+    /// The component invocation sequence (empty = "keep X unchanged").
+    pub seq: Vec<Invocation>,
+    /// Optional condition.
+    pub cond: Option<Cond>,
+}
+
+impl AdaptorRule {
+    /// The empty rule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True when this is the empty (identity) rule.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// An adaptor definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Adaptor {
+    /// Name, e.g. `Adaptor_Transpose`.
+    pub name: String,
+    /// Formal matrix parameter (`X`).
+    pub param: String,
+    /// Alternative rules, in declaration order.
+    pub rules: Vec<AdaptorRule>,
+}
+
+impl Adaptor {
+    /// Instantiate the adaptor for a concrete matrix: every occurrence of
+    /// the formal parameter in every rule is replaced by `array`.
+    pub fn instantiate(&self, array: &str) -> Vec<AdaptorRule> {
+        self.rules
+            .iter()
+            .map(|r| AdaptorRule {
+                seq: r
+                    .seq
+                    .iter()
+                    .map(|inv| Invocation {
+                        outputs: inv.outputs.clone(),
+                        component: inv.component.clone(),
+                        args: inv
+                            .args
+                            .iter()
+                            .map(|a| match a {
+                                Arg::Ident(s) if *s == self.param => Arg::Ident(array.to_string()),
+                                other => other.clone(),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                cond: r.cond.as_ref().map(|c| match c {
+                    Cond::BlankZero(x) if *x == self.param => Cond::BlankZero(array.to_string()),
+                    other => other.clone(),
+                }),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Adaptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "adaptor {}({}):", self.name, self.param)?;
+        for r in &self.rules {
+            write!(f, "  |")?;
+            for inv in &r.seq {
+                write!(f, " {inv}")?;
+            }
+            if let Some(c) = &r.cond {
+                write!(f, " {{{c}}}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_substitutes_formal_param() {
+        let a = builtin::transpose();
+        let rules = a.instantiate("B");
+        assert!(rules[0].is_empty());
+        assert_eq!(rules[1].seq[0].args[0], Arg::Ident("B".into()));
+        assert_eq!(rules[2].seq[0].component, "SM_alloc");
+        assert_eq!(rules[2].seq[0].args[0], Arg::Ident("B".into()));
+    }
+
+    #[test]
+    fn instantiate_preserves_conditions() {
+        let a = builtin::triangular();
+        let rules = a.instantiate("A");
+        let padded = rules.iter().find(|r| {
+            r.seq.first().map(|i| i.component == "padding_triangular").unwrap_or(false)
+        });
+        assert_eq!(padded.unwrap().cond, Some(Cond::BlankZero("A".into())));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for a in [
+            builtin::transpose(),
+            builtin::symmetry(),
+            builtin::triangular(),
+            builtin::solver(),
+        ] {
+            let printed = a.to_string();
+            let parsed = crate::parser::parse_adl(&printed).unwrap();
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0], a, "roundtrip failed for {}", a.name);
+        }
+    }
+}

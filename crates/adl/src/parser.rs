@@ -1,0 +1,194 @@
+//! Parser for ADL source text.
+//!
+//! Grammar (Sec. IV.A):
+//!
+//! ```text
+//! file      := adaptor*
+//! adaptor   := "adaptor" NAME "(" IDENT ")" ":" rule*
+//! rule      := "|" invocation* [ "{" "cond" "(" blank-cond ")" "}" ]
+//! blank-cond:= "blank" "(" IDENT ")" "." "zero" "=" "true"
+//! ```
+//!
+//! Rules run until the next `|`, the next `adaptor` keyword, or EOF.
+//! Invocation sequences reuse the EPOD script parser.
+
+use crate::{Adaptor, AdaptorRule, Cond};
+use oa_epod::parse_script;
+use std::fmt;
+
+/// ADL parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdlError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ADL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AdlError {}
+
+fn err(m: impl Into<String>) -> AdlError {
+    AdlError { message: m.into() }
+}
+
+/// Parse an ADL file into its adaptor definitions.
+pub fn parse_adl(src: &str) -> Result<Vec<Adaptor>, AdlError> {
+    // Strip comments.
+    let cleaned: String = src
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut adaptors = Vec::new();
+    let mut rest = cleaned.trim();
+    while !rest.is_empty() {
+        let Some(stripped) = rest.strip_prefix("adaptor") else {
+            return Err(err(format!("expected `adaptor`, found: {:.30}…", rest)));
+        };
+        // Header: NAME(PARAM):
+        let colon = stripped.find(':').ok_or_else(|| err("missing `:` after adaptor header"))?;
+        let header = stripped[..colon].trim();
+        let open = header.find('(').ok_or_else(|| err("missing `(` in adaptor header"))?;
+        let close = header.rfind(')').ok_or_else(|| err("missing `)` in adaptor header"))?;
+        let name = header[..open].trim().to_string();
+        let param = header[open + 1..close].trim().to_string();
+        if name.is_empty() || param.is_empty() {
+            return Err(err("empty adaptor name or parameter"));
+        }
+
+        // Body: until the next top-level `adaptor` keyword.
+        let body_start = colon + 1;
+        let body_rest = &stripped[body_start..];
+        let next = body_rest.find("adaptor").unwrap_or(body_rest.len());
+        let body = &body_rest[..next];
+        rest = body_rest[next..].trim();
+
+        let mut rules = Vec::new();
+        for (i, chunk) in body.split('|').enumerate() {
+            if i == 0 {
+                if !chunk.trim().is_empty() {
+                    return Err(err(format!(
+                        "unexpected text before the first `|` in {name}: {:.30}",
+                        chunk.trim()
+                    )));
+                }
+                continue;
+            }
+            rules.push(parse_rule(chunk)?);
+        }
+        if rules.is_empty() {
+            return Err(err(format!("adaptor {name} has no rules")));
+        }
+        adaptors.push(Adaptor { name, param, rules });
+    }
+    Ok(adaptors)
+}
+
+fn parse_rule(chunk: &str) -> Result<AdaptorRule, AdlError> {
+    let chunk = chunk.trim();
+    // Optional {cond(...)} suffix.
+    let (seq_text, cond) = if let Some(brace) = chunk.find('{') {
+        let end = chunk.rfind('}').ok_or_else(|| err("unterminated `{cond(...)}`"))?;
+        let cond_text = &chunk[brace + 1..end];
+        (&chunk[..brace], Some(parse_cond(cond_text)?))
+    } else {
+        (chunk, None)
+    };
+    let script = parse_script(seq_text)
+        .map_err(|e| err(format!("in rule `{seq_text}`: {e}")))?;
+    Ok(AdaptorRule { seq: script.stmts, cond })
+}
+
+fn parse_cond(text: &str) -> Result<Cond, AdlError> {
+    // cond(blank(X).zero = true)
+    let t: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    let inner = t
+        .strip_prefix("cond(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(format!("malformed condition `{text}`")))?;
+    let arr = inner
+        .strip_prefix("blank(")
+        .and_then(|s| s.split_once(')'))
+        .filter(|(_, tail)| *tail == ".zero=true")
+        .map(|(a, _)| a.to_string())
+        .ok_or_else(|| err(format!("unsupported condition `{text}` (only blank(X).zero = true)")))?;
+    Ok(Cond::BlankZero(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_transpose_adaptor() {
+        let src = "
+            adaptor Adaptor_Transpose(X):
+              |
+              | GM_map(X, Transpose);
+              | SM_alloc(X, Transpose);
+        ";
+        let a = parse_adl(src).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].name, "Adaptor_Transpose");
+        assert_eq!(a[0].param, "X");
+        assert_eq!(a[0].rules.len(), 3);
+        assert!(a[0].rules[0].is_empty());
+        assert_eq!(a[0].rules[1].seq[0].component, "GM_map");
+        assert_eq!(a[0].rules[2].seq[0].component, "SM_alloc");
+    }
+
+    #[test]
+    fn parses_condition() {
+        let src = "
+            adaptor Adaptor_Triangular(X):
+              |
+              | peel_triangular(X);
+              | padding_triangular(X); {cond(blank(X).zero = true)}
+        ";
+        let a = parse_adl(src).unwrap();
+        assert_eq!(a[0].rules[2].cond, Some(Cond::BlankZero("X".into())));
+        assert_eq!(a[0].rules[1].cond, None);
+    }
+
+    #[test]
+    fn parses_multi_component_rules() {
+        let src = "
+            adaptor Adaptor_Symmetry(X):
+              |
+              | GM_map(X, Symmetry); format_iteration(X, Symmetry);
+              | format_iteration(X, Symmetry); SM_alloc(X, Symmetry);
+        ";
+        let a = parse_adl(src).unwrap();
+        assert_eq!(a[0].rules[1].seq.len(), 2);
+        assert_eq!(a[0].rules[2].seq[1].component, "SM_alloc");
+    }
+
+    #[test]
+    fn parses_multiple_adaptors() {
+        let src = "
+            adaptor A1(X):
+              | peel_triangular(X);
+            adaptor A2(Y):
+              | binding_triangular(Y, 0);
+        ";
+        let a = parse_adl(src).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].param, "Y");
+        assert_eq!(a[1].rules[0].seq[0].args[1], oa_epod::Arg::Int(0));
+    }
+
+    #[test]
+    fn rejects_malformed_headers_and_conditions() {
+        assert!(parse_adl("adaptor Foo X: | x(X);").is_err());
+        assert!(parse_adl("notadaptor Foo(X): | x(X);").is_err());
+        assert!(parse_adl(
+            "adaptor Foo(X):\n | padding_triangular(X); {cond(blank(X).positive = true)}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Persistent tuning cache: the benchmark harnesses tune each
+//! (routine, device, size) once and replay the result afterwards.
+
+use crate::tuner::{tune, TuneError, TunedKernel};
+use oa_blas3::types::RoutineId;
+use oa_gpusim::DeviceSpec;
+use oa_loopir::transform::TileParams;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One cached tuning outcome.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TunedRecord {
+    /// Routine name (`GEMM-NN`, …).
+    pub routine: String,
+    /// Device name.
+    pub device: String,
+    /// Tuning size.
+    pub n: i64,
+    /// The winning EPOD script (textual, re-parsable).
+    pub script: String,
+    /// Winning tile parameters `(ty, tx, thr_i, thr_j, kb, unroll)`.
+    pub params: (i64, i64, i64, i64, i64, usize),
+    /// Predicted GFLOPS.
+    pub gflops: f64,
+}
+
+impl TunedRecord {
+    /// Build from a tuning result.
+    pub fn from_kernel(t: &TunedKernel) -> Self {
+        let p = t.params;
+        TunedRecord {
+            routine: t.routine.name(),
+            device: t.device.clone(),
+            n: t.n,
+            script: t.script.to_string(),
+            params: (p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll),
+            gflops: t.report.gflops,
+        }
+    }
+
+    /// The record's tile parameters.
+    pub fn tile_params(&self) -> TileParams {
+        let (ty, tx, thr_i, thr_j, kb, unroll) = self.params;
+        TileParams { ty, tx, thr_i, thr_j, kb, unroll }
+    }
+}
+
+/// An in-memory cache with JSON persistence.
+#[derive(Debug, Default)]
+pub struct TuneCache {
+    records: HashMap<(String, String, i64), TunedRecord>,
+}
+
+impl TuneCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load from a JSON file (missing file = empty cache).
+    pub fn load(path: &Path) -> Self {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Self::new();
+        };
+        let records: Vec<TunedRecord> = serde_json::from_str(&text).unwrap_or_default();
+        let mut cache = Self::new();
+        for r in records {
+            cache.records.insert((r.routine.clone(), r.device.clone(), r.n), r);
+        }
+        cache
+    }
+
+    /// Persist to a JSON file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut records: Vec<&TunedRecord> = self.records.values().collect();
+        records.sort_by(|a, b| (&a.device, &a.routine, a.n).cmp(&(&b.device, &b.routine, b.n)));
+        std::fs::write(path, serde_json::to_string_pretty(&records)?)
+    }
+
+    /// Look up a record.
+    pub fn get(&self, routine: RoutineId, device: &DeviceSpec, n: i64) -> Option<&TunedRecord> {
+        self.records.get(&(routine.name(), device.name.to_string(), n))
+    }
+
+    /// Tune (or fetch) and memoize.
+    pub fn tune_cached(
+        &mut self,
+        routine: RoutineId,
+        device: &DeviceSpec,
+        n: i64,
+    ) -> Result<TunedRecord, TuneError> {
+        if let Some(r) = self.get(routine, device, n) {
+            return Ok(r.clone());
+        }
+        let t = tune(routine, device, n)?;
+        let rec = TunedRecord::from_kernel(&t);
+        self.records
+            .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec.clone());
+        Ok(rec)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_blas3::types::Trans;
+
+    #[test]
+    fn roundtrip_through_json() {
+        let rec = TunedRecord {
+            routine: "GEMM-NN".into(),
+            device: "GTX 285".into(),
+            n: 1024,
+            script: "reg_alloc(C);\n".into(),
+            params: (64, 16, 64, 1, 16, 0),
+            gflops: 400.0,
+        };
+        let dir = std::env::temp_dir().join("oa_tune_cache_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let mut cache = TuneCache::new();
+        cache
+            .records
+            .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec.clone());
+        cache.save(&path).unwrap();
+        let loaded = TuneCache::load(&path);
+        assert_eq!(loaded.len(), 1);
+        let got = loaded
+            .get(RoutineId::Gemm(Trans::N, Trans::N), &DeviceSpec::gtx285(), 1024)
+            .unwrap();
+        assert_eq!(*got, rec);
+        assert_eq!(got.tile_params().ty, 64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let cache = TuneCache::load(Path::new("/nonexistent/oa-cache.json"));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! # oa-autotune — empirical search over generated variants
+//!
+//! The OA framework generates multiple EPOD scripts per routine; this crate
+//! sweeps them against the tile-parameter [`space`] on the simulator's
+//! performance model and keeps the best performer ([`tuner`]), memoizing
+//! outcomes in a JSON [`cache`].
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod space;
+pub mod tuner;
+
+pub use cache::{TuneCache, TunedRecord};
+pub use space::{candidates, default_params, gemm_candidates, solver_candidates};
+pub use tuner::{baseline_perf, magma_perf, tune, TuneError, TunedKernel};

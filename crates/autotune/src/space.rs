@@ -1,0 +1,97 @@
+//! The tuning search space: tile/thread-shape candidates ("optimization
+//! parameters, such as tile size, are automatically tuned", Sec. II).
+
+use oa_loopir::transform::TileParams;
+
+/// Candidate parameters for the 2-D (GEMM-style) distribution.
+///
+/// Shapes range from Volkov-style row-exclusive blocks (`thr_j = 1`) to
+/// square 2-D blocks; all extents are powers of two so every benchmark
+/// size (512…4096) divides them.
+pub fn gemm_candidates() -> Vec<TileParams> {
+    let mut v = Vec::new();
+    for (ty, tx, thr_i, thr_j, kb) in [
+        (64, 16, 64, 1, 16),  // Volkov: 64 threads, 16 reg columns
+        (32, 16, 32, 1, 16),  // smaller block, better occupancy
+        (64, 16, 64, 1, 8),   // shallower K tiles
+        (128, 16, 64, 1, 16), // 2 register rows x 16 columns
+        (64, 32, 64, 2, 16),  // 128 threads
+        (32, 32, 16, 16, 16), // classic 2-D 16x16 block, 2x2 registers
+        (64, 64, 16, 16, 16), // 2-D block, 4x4 registers
+        (16, 16, 16, 16, 16), // one element per thread
+    ] {
+        v.push(TileParams { ty, tx, thr_i, thr_j, kb, unroll: 0 });
+    }
+    v
+}
+
+/// Candidate parameters for the solver distribution (one column per
+/// thread: `TX == thr_j`).
+pub fn solver_candidates() -> Vec<TileParams> {
+    let mut v = Vec::new();
+    for (ty, tx, kb) in [
+        (16, 64, 16),
+        (32, 64, 16),
+        (16, 128, 16),
+        (32, 32, 16),
+        (16, 64, 8),
+        (64, 64, 16),
+    ] {
+        v.push(TileParams { ty, tx, thr_i: 1, thr_j: tx, kb, unroll: 0 });
+    }
+    v
+}
+
+/// The candidate list for a scheme.
+pub fn candidates(solver: bool) -> Vec<TileParams> {
+    if solver {
+        solver_candidates()
+    } else {
+        gemm_candidates()
+    }
+}
+
+/// A safe default per scheme kind (used to run the composer once before
+/// the parameter sweep).
+pub fn default_params(solver: bool) -> TileParams {
+    if solver {
+        TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 }
+    } else {
+        TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_candidates_validate() {
+        for p in gemm_candidates() {
+            p.validate().unwrap();
+            assert!(p.threads() <= 512, "{p:?} exceeds CC1.x thread limit");
+        }
+        for p in solver_candidates() {
+            p.validate().unwrap();
+            assert_eq!(p.reg_cols(), 1);
+            assert_eq!(p.ty % p.kb, 0, "{p:?}: solver needs KB | TY");
+        }
+    }
+
+    #[test]
+    fn defaults_validate() {
+        default_params(false).validate().unwrap();
+        default_params(true).validate().unwrap();
+    }
+
+    #[test]
+    fn candidates_divide_benchmark_sizes() {
+        for p in gemm_candidates().into_iter().chain(solver_candidates()) {
+            for n in [512i64, 1024, 2048, 4096] {
+                assert_eq!(n % p.ty, 0, "{p:?} vs n={n}");
+                assert_eq!(n % p.tx, 0);
+                assert_eq!(n % p.kb, 0);
+            }
+        }
+    }
+}

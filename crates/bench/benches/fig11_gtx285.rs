@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 11's engine on the GTX 285 model, including
+//! the MAGMA-like baseline evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_core::{OaFramework, RoutineId, Side, Trans, Uplo};
+use oa_gpusim::DeviceSpec;
+
+fn bench_fig11(c: &mut Criterion) {
+    let device = DeviceSpec::gtx285();
+    let oa = OaFramework::new(device.clone());
+    let n = 1024;
+    let gemm = RoutineId::Gemm(Trans::N, Trans::N);
+    let trsm = RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N);
+
+    let mut g = c.benchmark_group("fig11_gtx285");
+    g.sample_size(10);
+    g.bench_function("evaluate_cublas_gemm_nn", |b| {
+        b.iter(|| oa.cublas_baseline(gemm, n).gflops)
+    });
+    g.bench_function("evaluate_magma_gemm_nn", |b| {
+        b.iter(|| oa.magma_baseline(gemm, n).unwrap().gflops)
+    });
+    g.bench_function("evaluate_magma_trsm_ll_n", |b| {
+        b.iter(|| oa.magma_baseline(trsm, n).unwrap().gflops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 12's engine on the Fermi C2050 model (CC 2.0
+//! cache-line coalescing path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_core::{OaFramework, RoutineId, Side, Trans, Uplo};
+use oa_gpusim::DeviceSpec;
+
+fn bench_fig12(c: &mut Criterion) {
+    let device = DeviceSpec::fermi_c2050();
+    let oa = OaFramework::new(device.clone());
+    let n = 1024;
+    let gemm = RoutineId::Gemm(Trans::N, Trans::N);
+    let trmm = RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N);
+
+    let mut g = c.benchmark_group("fig12_fermi");
+    g.sample_size(10);
+    g.bench_function("evaluate_cublas_gemm_nn", |b| {
+        b.iter(|| oa.cublas_baseline(gemm, n).gflops)
+    });
+    g.bench_function("evaluate_cublas_trmm_ll_n", |b| {
+        b.iter(|| oa.cublas_baseline(trmm, n).gflops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Fig. 13's engine: re-evaluating one tuned kernel
+//! across the problem-size sweep on GeForce 9800.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oa_core::{OaFramework, RoutineId, Trans};
+use oa_gpusim::DeviceSpec;
+
+fn bench_fig13(c: &mut Criterion) {
+    let device = DeviceSpec::geforce_9800();
+    let oa = OaFramework::new(device.clone());
+    let gemm = RoutineId::Gemm(Trans::N, Trans::N);
+    let tuned = oa.tune(gemm, 1024).expect("tune GEMM-NN");
+    let rec = oa_core::TunedRecord::from_kernel(&tuned);
+
+    let mut g = c.benchmark_group("fig13_scaling");
+    g.sample_size(10);
+    for n in [512i64, 1024, 2048] {
+        g.bench_with_input(BenchmarkId::new("evaluate_gemm_nn", n), &n, |b, &n| {
+            b.iter(|| oa.evaluate_record(&rec, gemm, n).unwrap().gflops)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Framework micro-benchmarks: the composer, the EPOD translator and the
+//! functional executor — the moving parts every figure regeneration runs
+//! through.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_core::composer::{compose, AdaptorApplication};
+use oa_core::epod::translator::apply_strict;
+use oa_core::loopir::interp::Bindings;
+use oa_core::loopir::transform::TileParams;
+use oa_core::{RoutineId, Side, Trans, Uplo};
+
+fn bench_framework(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework");
+    g.sample_size(10);
+
+    // EPOD script parsing + strict application (the Fig. 3 scheme).
+    let src = oa_core::blas3::routines::source(RoutineId::Gemm(Trans::N, Trans::N));
+    let script = oa_core::blas3::gemm_nn_script();
+    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    g.bench_function("epod_apply_fig3_gemm", |b| {
+        b.iter(|| apply_strict(&src, &script, params).unwrap())
+    });
+
+    // Composer: Adaptor_Triangular over the GEMM scheme (the Sec. IV.B.2
+    // example workload).
+    let trmm = oa_core::blas3::routines::source(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
+    let apps = [AdaptorApplication::new(oa_core::adl::builtin::triangular(), "A")];
+    g.bench_function("composer_triangular_adaptor", |b| {
+        b.iter(|| compose(&trmm, &script, &apps, params).unwrap().len())
+    });
+
+    // Functional executor at a small size (the correctness oracle path).
+    let tuned = apply_strict(&src, &script, TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }).unwrap();
+    g.bench_function("gpu_exec_gemm_32", |b| {
+        b.iter(|| oa_gpusim::run_fresh_gpu(&tuned, &Bindings::square(32), 7).unwrap())
+    });
+
+    // Performance-model evaluation.
+    let big = apply_strict(&src, &script, params).unwrap();
+    g.bench_function("perf_evaluate_gemm_1024", |b| {
+        b.iter(|| {
+            oa_gpusim::perf::evaluate(
+                &big,
+                &Bindings::square(1024),
+                &oa_gpusim::DeviceSpec::gtx285(),
+                2.0 * 1024f64.powi(3),
+                true,
+            )
+            .unwrap()
+            .gflops
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Tables I–III's engine: profile-counter extraction
+//! for the SYMM kernels on each device model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oa_core::{OaFramework, RoutineId, Side, Uplo};
+use oa_gpusim::DeviceSpec;
+
+fn bench_tables(c: &mut Criterion) {
+    let symm = RoutineId::Symm(Side::Left, Uplo::Lower);
+    let n = 1024;
+    let mut g = c.benchmark_group("tables_profile");
+    g.sample_size(10);
+    for device in DeviceSpec::all() {
+        let oa = OaFramework::new(device.clone());
+        let id = device.name.replace(' ', "_").to_lowercase();
+        g.bench_function(format!("cublas_symm_counters_{id}"), |b| {
+            b.iter(|| {
+                let rep = oa.cublas_baseline(symm, n);
+                (rep.counters.gld_incoherent, rep.counters.instructions)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Fig. 10 — Performance of BLAS3 on GeForce 9800 (24 variants, OA vs
+//! CUBLAS-3.2-like, problem size 4096).  `--quick` runs at 512.
+
+use oa_bench::{figure_data, print_figure, problem_size, with_cache};
+use oa_gpusim::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::geforce_9800();
+    let n = problem_size();
+    let rows = with_cache(|cache| figure_data(&device, n, false, cache));
+    print_figure("Fig. 10: Performance of BLAS3 on GeForce 9800", &device, n, &rows);
+    println!("paper reference points: SYMM 42 -> 225 GFLOPS; up to 5.4x speedup over CUBLAS 3.2.");
+}

@@ -1,0 +1,16 @@
+//! Fig. 11 — Performance of BLAS3 on GTX 285, including the MAGMA-v0.2-like
+//! bars for the GEMM and TRSM variants ("SYMM and TRMM variants are not
+//! compared due to their absence in MAGMA").  `--quick` runs at 512.
+
+use oa_bench::{figure_data, print_figure, problem_size, with_cache};
+use oa_gpusim::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::gtx285();
+    let n = problem_size();
+    let rows = with_cache(|cache| figure_data(&device, n, true, cache));
+    print_figure("Fig. 11: Performance of BLAS3 on GTX 285", &device, n, &rows);
+    println!(
+        "paper reference points: GEMM-NN 420 GFLOPS (CUBLAS), SYMM 155 -> 403 GFLOPS, up to 2.8x; OA > MAGMA v0.2 > CUBLAS on GEMM/TRSM."
+    );
+}

@@ -1,0 +1,13 @@
+//! Fig. 12 — Performance of BLAS3 on Fermi Tesla C2050.  `--quick` runs at
+//! 512.
+
+use oa_bench::{figure_data, print_figure, problem_size, with_cache};
+use oa_gpusim::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::fermi_c2050();
+    let n = problem_size();
+    let rows = with_cache(|cache| figure_data(&device, n, false, cache));
+    print_figure("Fig. 12: Performance of BLAS3 on Fermi Tesla C2050", &device, n, &rows);
+    println!("paper reference point: up to 3.4x speedup over CUBLAS 3.2.");
+}

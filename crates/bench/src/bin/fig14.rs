@@ -1,0 +1,84 @@
+//! Fig. 14 — Best-performing EPOD scripts for GEMM-TN, SYMM-LN (= SYMM-LL,
+//! left/lower, no transpose), TRMM-LL-N and TRSM-LL-N, as found by the
+//! search.  With `--verbose`, also prints the transformed kernel source
+//! and the mixed-sequence statistics of the Sec. IV.B.2 filter example.
+
+use oa_bench::{problem_size, with_cache};
+use oa_core::{RoutineId, Side, Trans, Uplo};
+use oa_gpusim::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::gtx285();
+    let n = problem_size();
+    let verbose = std::env::args().any(|a| a == "--verbose");
+
+    let routines = [
+        RoutineId::Gemm(Trans::T, Trans::N),
+        RoutineId::Symm(Side::Left, Uplo::Lower),
+        RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N),
+        RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N),
+    ];
+
+    println!("== Fig. 14: Best-performing EPOD scripts (device {}, n = {n}) ==\n", device.name);
+    with_cache(|cache| {
+        for r in routines {
+            let rec = cache
+                .tune_cached(r, &device, n)
+                .unwrap_or_else(|e| panic!("tuning {} failed: {e}", r.name()));
+            println!("---- {} ({:.0} GFLOPS, params {:?}) ----", r.name(), rec.gflops, rec.params);
+            println!("{}", rec.script);
+            if verbose {
+                let src = oa_core::blas3::routines::source(r);
+                let script = oa_core::epod::parse_script(&rec.script).unwrap();
+                let out = oa_core::epod::translator::apply_lenient(
+                    &src,
+                    &script,
+                    rec.tile_params(),
+                )
+                .unwrap();
+                println!("transformed kernel:\n{}", out.program);
+                if let Ok(cuda) = oa_core::gpusim::to_cuda_source(
+                    &out.program,
+                    &oa_core::loopir::interp::Bindings::square(n),
+                ) {
+                    println!("emitted CUDA source:\n{cuda}");
+                }
+            }
+        }
+    });
+
+    if verbose {
+        print_filter_example();
+    }
+    println!("paper reference (Fig. 14): GEMM-TN uses GM_map(A, Transpose); SYMM uses GM_map(A, Symmetry) + format_iteration; TRMM uses padding_triangular; TRSM uses binding_triangular.");
+}
+
+/// The Sec. IV.B.2 mixing/filter statistics for Adaptor_Triangular over
+/// the GEMM-NN scheme.
+fn print_filter_example() {
+    use oa_core::composer::{filter, mix, split};
+    use oa_core::epod::Invocation;
+    use oa_core::loopir::transform::TileParams;
+
+    let source = oa_core::blas3::routines::source(RoutineId::Trmm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::N,
+    ));
+    let base = split(&oa_core::blas3::gemm_nn_script().stmts).sequence;
+    let mut sequences = Vec::new();
+    sequences.extend(mix(&base, &[]));
+    sequences.extend(mix(&base, &[Invocation::idents("peel_triangular", &["A"])]));
+    sequences.extend(mix(&base, &[Invocation::idents("padding_triangular", &["A"])]));
+    println!("== Sec. IV.B.2 filter example: {} mixed sequences ==", sequences.len());
+    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let surviving = filter(&source, &sequences, params).unwrap();
+    println!("semi-output after degeneration + dedup: {} effective sequences", surviving.len());
+    for s in &surviving {
+        let names: Vec<&str> = s.applied.iter().map(|i| i.component.as_str()).collect();
+        let dropped: Vec<String> =
+            s.dropped.iter().map(|(i, e)| format!("{} ({e})", i.component)).collect();
+        println!("  {:?}  dropped: {:?}", names, dropped);
+    }
+    println!();
+}

@@ -1,0 +1,385 @@
+//! Library baselines: CUBLAS-3.2-like and MAGMA-v0.2-like kernels.
+//!
+//! The paper compares OA against CUBLAS 3.2 (all routines) and MAGMA v0.2
+//! (GEMM/TRSM on GTX 285).  Neither binary is available, so per DESIGN.md
+//! the baselines are reconstructed as kernels in our own IR exhibiting the
+//! *behaviour classes* the paper's profiles document, then run through the
+//! same simulator as the OA kernels:
+//!
+//! * **GEMM** — a well-tuned tiled kernel (CUBLAS 3.x embedded Volkov's
+//!   SGEMM); transposed operands are staged through shared memory.
+//! * **SYMM** — one kernel reading the packed triangle in *mixed mode*:
+//!   `C[i][j] += (k <= i ? A[i][k] : A[k][i]) * B[k][j]`.  The shadow
+//!   branch reads columns along the thread axis: non-coalesced on CC 1.0
+//!   (Table I's `gld_incoherent`), extra segment transactions on CC 1.3,
+//!   and the per-warp divergence roughly doubles the dynamic instruction
+//!   count (both tables).
+//! * **TRMM** — the GEMM kernel with the triangular guard left in place:
+//!   whole guard-false tiles are still issued.
+//! * **TRSM** — a naive column solver, one thread per column, no staging:
+//!   broadcast loads of `A` and strided accesses to `B`.
+
+use crate::routines::source;
+use crate::types::{RoutineId, Side, Trans, Uplo};
+use oa_epod::{parse_script, translator::apply_lenient, Script};
+use oa_gpusim::DeviceSpec;
+use oa_loopir::scalar::{Access, ScalarExpr};
+use oa_loopir::stmt::{AssignOp, AssignStmt, Loop, Stmt};
+use oa_loopir::transform::TileParams;
+use oa_loopir::{AffineExpr, ArrayDecl, CmpOp, Fill, Predicate, Program};
+
+/// Fixed (untuned) tile parameters the baselines run with.
+pub fn baseline_params(solver: bool, device: &DeviceSpec) -> TileParams {
+    if solver {
+        // One column per thread, 64-thread blocks.
+        return TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 };
+    }
+    let _ = device;
+    // Volkov-like: 64x16 C tiles, 64 threads owning exclusive rows.
+    TileParams { ty: 64, tx: 16, thr_i: 64, thr_j: 1, kb: 16, unroll: 0 }
+}
+
+/// The mixed-mode SYMM source the CUBLAS-like baseline uses (one
+/// statement, if/else over the stored triangle — both branches hit the
+/// stored area, no blank reads).
+pub fn symm_mixed_source(side: Side, uplo: Uplo) -> Program {
+    let name = format!("CUBLAS-{}", RoutineId::Symm(side, uplo).name());
+    let mut p = Program::new(&name, &["M", "N", "K"]);
+    let v = AffineExpr::var;
+
+    // For the logical element (r, c): is it stored directly?
+    // Left: element (i, k); right: element (k, j).
+    let (lr, lc) = match side {
+        Side::Left => ("i", "k"),
+        Side::Right => ("k", "j"),
+    };
+    let stored_cond = match uplo {
+        // Lower: row >= col stored.
+        Uplo::Lower => Predicate::cond(v(lr), CmpOp::Ge, v(lc)),
+        Uplo::Upper => Predicate::cond(v(lr), CmpOp::Le, v(lc)),
+    };
+    let direct = Access::idx("A", lr, lc);
+    let mirror = Access::idx("A", lc, lr);
+    let b_acc = match side {
+        Side::Left => Access::idx("B", "k", "j"),
+        Side::Right => Access::idx("B", "i", "k"),
+    };
+    let mk = |a: Access| -> Stmt {
+        let rhs = match side {
+            Side::Left => ScalarExpr::mul(ScalarExpr::load(a), ScalarExpr::load(b_acc.clone())),
+            Side::Right => ScalarExpr::mul(ScalarExpr::load(b_acc.clone()), ScalarExpr::load(a)),
+        };
+        Stmt::Assign(AssignStmt::new(Access::idx("C", "i", "j"), AssignOp::AddAssign, rhs))
+    };
+    let body = Stmt::If {
+        pred: stored_cond,
+        then_body: vec![mk(direct)],
+        else_body: vec![mk(mirror)],
+    };
+    let lk = Loop::new("Lk", "k", AffineExpr::zero(), v("K"), vec![body]);
+    let lj = Loop::new("Lj", "j", AffineExpr::zero(), v("N"), vec![Stmt::Loop(Box::new(lk))]);
+    let li = Loop::new("Li", "i", AffineExpr::zero(), v("M"), vec![Stmt::Loop(Box::new(lj))]);
+    p.body = vec![Stmt::Loop(Box::new(li))];
+
+    let fill = match uplo {
+        Uplo::Lower => Fill::LowerTriangular,
+        Uplo::Upper => Fill::UpperTriangular,
+    };
+    let adim = match side {
+        Side::Left => v("M"),
+        Side::Right => v("N"),
+    };
+    p.declare(ArrayDecl::global_with_fill("A", adim.clone(), adim, fill));
+    p.declare(ArrayDecl::global("B", v("M"), v("N")));
+    p.declare(ArrayDecl::global("C", v("M"), v("N")));
+    p
+}
+
+fn tiled_script(stage_a: bool, a_mode: &str) -> Script {
+    let mut s = String::from(
+        "(Lii, Ljj) = thread_grouping((Li, Lj));
+         (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+         loop_unroll(Ljjj, Lkkk);\n",
+    );
+    if stage_a {
+        s.push_str(&format!("SM_alloc(A, {a_mode});\n"));
+    }
+    s.push_str("SM_alloc(B, Transpose);\nreg_alloc(C);\n");
+    parse_script(&s).expect("static baseline script")
+}
+
+/// Build the CUBLAS-like baseline kernel for a routine: the transformed
+/// program, ready for the simulator.
+pub fn cublas_like(r: RoutineId, device: &DeviceSpec) -> Program {
+    let (src, script, params) = match r {
+        RoutineId::Gemm(ta, _tb) => {
+            // Stage A when its access pattern is transposed (otherwise its
+            // row-major-thread access already coalesces).
+            let script = tiled_script(ta == Trans::T, "Transpose");
+            (source(r), script, baseline_params(false, device))
+        }
+        RoutineId::Symm(side, uplo) => {
+            // Built below as the dual-tile "fulltile" kernel.
+            return cublas_symm_dual_tile(side, uplo, device);
+        }
+        RoutineId::Trmm(_, _, t) => {
+            // CUBLAS strmm staged its operands (so reads coalesce on every
+            // CC) but issued the full rectangular tile space — the
+            // guard-false tiles are its handicap against OA's peel/pad.
+            let mode = if t == Trans::T { "Transpose" } else { "NoChange" };
+            (source(r), tiled_script(true, mode), baseline_params(false, device))
+        }
+        RoutineId::Trsm(side, ..) => {
+            // CUBLAS strsm: a blocked column solver with a register
+            // accumulator and staged B strips, but *no* shared-memory
+            // staging of the triangular matrix (its per-step broadcast
+            // reads serialize on CC 1.0 and cost a segment per half-warp
+            // on CC 1.3) and fixed narrow blocking.
+            let grouping = match side {
+                Side::Left => "(Li, Lj)",
+                Side::Right => "(Lj, Li)",
+            };
+            let script = parse_script(&format!(
+                "(Lii, Ljj) = thread_grouping({grouping});
+                 (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+                 SM_alloc(B, Transpose);
+                 reg_alloc(B);"
+            ))
+            .unwrap();
+            let mut params = baseline_params(true, device);
+            // CUBLAS's fixed narrow blocking: 32 columns, 8-deep tiles.
+            params.tx = 32;
+            params.thr_j = 32;
+            params.ty = 8;
+            params.kb = 8;
+            (source(r), script, params)
+        }
+    };
+    let outcome = apply_lenient(&src, &script, params)
+        .unwrap_or_else(|e| panic!("baseline script for {} failed: {e}", r.name()));
+    let mut p = outcome.program;
+    p.name = format!("CUBLAS-{}", r.name());
+    p
+}
+
+/// The CUBLAS-3.2-like SYMM kernel (`ssymm_main_hw_lo_left_fulltile`
+/// class): a tiled mixed-mode kernel that stages *both* the direct tile
+/// and its mirror per k step — twice the staging traffic and a
+/// per-element triangle test, which is what roughly doubles the dynamic
+/// instruction count in Tables I–III.  The mirror tile's copy traverses
+/// the source across its leading dimension (`strided_copy`): serialized
+/// (`gld_incoherent`) on CC 1.0, extra segment transactions on CC 1.3,
+/// extra cache lines on Fermi — reproducing each table's memory column.
+fn cublas_symm_dual_tile(side: Side, uplo: Uplo, device: &DeviceSpec) -> Program {
+    use oa_loopir::expr::Predicate as Pred;
+    use oa_loopir::stmt::SharedStage;
+    use oa_loopir::AllocMode;
+
+    // On CC 1.x the mirror tile's copy runs in the strided direction
+    // (Table I's `gld_incoherent`, Table II's extra coherent segments);
+    // Fermi's L1 absorbed that pattern, leaving "twice the tiles, twice
+    // the instructions" as Table III's signature.
+    let strided_mirror = device.cc != oa_gpusim::ComputeCapability::Cc2_0;
+    let src = symm_mixed_source(side, uplo);
+    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let script = parse_script(
+        "(Lii, Ljj) = thread_grouping((Li, Lj));
+         (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+         loop_unroll(Ljjj, Lkkk);
+         SM_alloc(B, Transpose);
+         reg_alloc(C);",
+    )
+    .unwrap();
+    let outcome = apply_lenient(&src, &script, params).expect("baseline SYMM script");
+    let mut p = outcome.program;
+
+    // Stage every distinct A tile read inside the k-tile loop into its own
+    // shared array; the tile whose rows follow the k dimension is the
+    // mirror tile and is copied in the strided direction.
+    let info = p.tiling.clone().expect("grouped");
+    let kt = info.k_tile.clone().expect("k-tiled");
+    let lkk = p.find_loop(&kt.tile_label).expect("Lkk").clone();
+    let a_decl = p.array("A").expect("A").clone();
+
+    // Collect distinct tiles.
+    let mut tiles: Vec<(AffineExpr, AffineExpr, i64, i64)> = Vec::new();
+    for s in &lkk.body {
+        for a in s.assignments() {
+            for acc in a.rhs.accesses() {
+                if acc.array != "A" {
+                    continue;
+                }
+                let t = (
+                    info.tile_origin(&acc.row),
+                    info.tile_origin(&acc.col),
+                    info.tile_extent(&acc.row),
+                    info.tile_extent(&acc.col),
+                );
+                if !tiles.contains(&t) {
+                    tiles.push(t);
+                }
+            }
+        }
+    }
+    assert_eq!(tiles.len(), 2, "mixed SYMM reads exactly two A tiles");
+
+    let mut stages = Vec::new();
+    let mut names = Vec::new();
+    for (idx, (r0, c0, er, ec)) in tiles.iter().enumerate() {
+        let name = format!("sA{idx}");
+        p.declare(oa_loopir::ArrayDecl::shared(
+            &name,
+            *er,
+            *ec,
+            if er % 16 == 0 { 1 } else { 0 },
+        ));
+        let guard = Pred::cond(AffineExpr::var("__sr"), oa_loopir::CmpOp::Lt, a_decl.rows.clone())
+            .and(oa_loopir::AffineCond::new(
+                AffineExpr::var("__sc"),
+                oa_loopir::CmpOp::Lt,
+                a_decl.cols.clone(),
+            ));
+        // The mirror tile: its row origin follows the k tile loop.
+        let strided = strided_mirror && r0.uses(&kt.tile_var);
+        stages.push(Stmt::Stage(SharedStage {
+            dst: name.clone(),
+            src: "A".into(),
+            src_row0: r0.clone(),
+            src_col0: c0.clone(),
+            rows: *er,
+            cols: *ec,
+            mode: AllocMode::NoChange,
+            guard,
+            strided_copy: strided,
+        }));
+        names.push(name);
+    }
+
+    // Rewrite the A accesses to their tiles and prepend the stages.
+    let info2 = info.clone();
+    let tiles2 = tiles.clone();
+    let names2 = names.clone();
+    let rewrite = move |acc: &oa_loopir::Access| -> oa_loopir::Access {
+        if acc.array != "A" {
+            return acc.clone();
+        }
+        let r0 = info2.tile_origin(&acc.row);
+        let c0 = info2.tile_origin(&acc.col);
+        let idx = tiles2
+            .iter()
+            .position(|(tr, tc, _, _)| *tr == r0 && *tc == c0)
+            .expect("access matches a collected tile");
+        oa_loopir::Access {
+            array: names2[idx].clone(),
+            row: acc.row.sub(&r0),
+            col: acc.col.sub(&c0),
+            mirrored: false,
+        }
+    };
+    let mut new_body: Vec<Stmt> = stages;
+    new_body.push(Stmt::Sync);
+    new_body.extend(lkk.body.iter().map(|s| s.map_accesses(&rewrite)));
+    new_body.push(Stmt::Sync);
+    p.rewrite_loop(&kt.tile_label, &mut |mut l| {
+        l.body = new_body.clone();
+        vec![Stmt::Loop(Box::new(l))]
+    });
+    p.name = format!("CUBLAS-{}", RoutineId::Symm(side, uplo).name());
+    p
+}
+
+/// MAGMA v0.2-like baselines — only GEMM and TRSM existed in that release
+/// (the paper compares them on GTX 285; "SYMM and TRMM variants are not
+/// compared due to their absence in MAGMA").
+pub fn magma_like(r: RoutineId, device: &DeviceSpec) -> Option<Program> {
+    match r {
+        RoutineId::Gemm(ta, _) => {
+            // MAGMA 0.2's GEMM was Volkov's kernel with tweaked blocking —
+            // close to but not quite the autotuned optimum.
+            let params = TileParams { ty: 32, tx: 16, thr_i: 32, thr_j: 1, kb: 16, unroll: 0 };
+            let script = tiled_script(ta == Trans::T, "Transpose");
+            let outcome = apply_lenient(&source(r), &script, params).ok()?;
+            let mut p = outcome.program;
+            p.name = format!("MAGMA-{}", r.name());
+            Some(p)
+        }
+        RoutineId::Trsm(side, ..) => {
+            // Staged, register-blocked solver with blocking between
+            // CUBLAS's fixed narrow shape and OA's tuned one.
+            // Between CUBLAS's narrow fixed blocking and OA's tuned one.
+            let params = TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 };
+            let grouping = match side {
+                Side::Left => "(Li, Lj)",
+                Side::Right => "(Lj, Li)",
+            };
+            let script = parse_script(&format!(
+                "(Lii, Ljj) = thread_grouping({grouping});
+                 (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+                 SM_alloc(A, NoChange);
+                 SM_alloc(B, Transpose);
+                 reg_alloc(B);"
+            ))
+            .unwrap();
+            let outcome = apply_lenient(&source(r), &script, params).ok()?;
+            let mut p = outcome.program;
+            p.name = format!("MAGMA-{}", r.name());
+            Some(p)
+        }
+        _ => {
+            let _ = device;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::run_reference;
+    use oa_loopir::interp::{alloc_buffers, Bindings, Interp};
+
+    #[test]
+    fn mixed_symm_source_matches_reference() {
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                let p = symm_mixed_source(side, uplo);
+                let n = 9;
+                let b = Bindings::square(n);
+                let mut bufs = alloc_buffers(&p, &b, 0xC0FFEE);
+                let a_in = bufs["A"].clone();
+                let mut b_ref = bufs["B"].clone();
+                let mut c_ref = bufs["C"].clone();
+                run_reference(RoutineId::Symm(side, uplo), &a_in, &mut b_ref, &mut c_ref);
+                Interp::new(&p, &b).run(&mut bufs);
+                let d = bufs["C"].max_abs_diff(&c_ref);
+                assert!(d < 1e-3, "mixed SYMM {side:?} {uplo:?} differs by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_cublas_baselines_build() {
+        let dev = oa_gpusim::DeviceSpec::gtx285();
+        for r in RoutineId::all24() {
+            let p = cublas_like(r, &dev);
+            assert!(p.tiling.is_some(), "{} baseline not grouped", r.name());
+        }
+    }
+
+    #[test]
+    fn magma_covers_gemm_and_trsm_only() {
+        let dev = oa_gpusim::DeviceSpec::gtx285();
+        let mut have = 0;
+        for r in RoutineId::all24() {
+            let m = magma_like(r, &dev);
+            match r {
+                RoutineId::Gemm(..) | RoutineId::Trsm(..) => {
+                    assert!(m.is_some(), "MAGMA missing {}", r.name());
+                    have += 1;
+                }
+                _ => assert!(m.is_none(), "MAGMA should not provide {}", r.name()),
+            }
+        }
+        assert_eq!(have, 12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # oa-blas3 — the BLAS3 routine corpus
+//!
+//! Everything routine-specific in the reproduction:
+//!
+//! * [`types`] — the 24 variant identities of Figures 10–12;
+//! * [`routines`] — their labeled source loop nests;
+//! * [`reference`] — CPU oracles;
+//! * [`schemes`] — the shared GEMM-NN EPOD script plus per-routine adaptor
+//!   applications (the paper's reuse mechanism);
+//! * [`baselines`] — CUBLAS-3.2-like and MAGMA-v0.2-like comparison
+//!   kernels, reconstructed per DESIGN.md;
+//! * [`verify`] — GPU-executor-vs-reference validation.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod reference;
+pub mod routines;
+pub mod schemes;
+pub mod types;
+pub mod verify;
+
+pub use baselines::{cublas_like, magma_like, symm_mixed_source};
+pub use routines::source;
+pub use schemes::{gemm_nn_script, oa_scheme, OaScheme};
+pub use types::{RoutineId, Side, Trans, Uplo};
+pub use verify::{prepare_buffers, verify_against_reference, VerifyReport};

@@ -1,0 +1,278 @@
+//! CPU reference implementations — the correctness oracles every generated
+//! kernel is validated against.
+//!
+//! Semantics follow the paper's loop nests: accumulate variants
+//! (`C += op(A)·op(B)`) for GEMM/SYMM/TRMM and an in-place non-unit-diagonal
+//! solve for TRSM.  Packed (triangular/symmetric) matrices only read their
+//! stored triangle.
+
+use crate::types::{RoutineId, Side, Trans, Uplo};
+use oa_loopir::interp::Matrix;
+
+/// `C += op(A)·op(B)` (square `n`, all matrices `n × n`).
+pub fn gemm_ref(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let n = c.rows;
+    for j in 0..c.cols {
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                let av = match ta {
+                    Trans::N => a.get(i, k),
+                    Trans::T => a.get(k, i),
+                };
+                let bv = match tb {
+                    Trans::N => b.get(k, j),
+                    Trans::T => b.get(j, k),
+                };
+                acc += av * bv;
+            }
+            c.set(i, j, c.get(i, j) + acc);
+        }
+    }
+}
+
+/// Read element `(r, c)` of a packed symmetric matrix.
+fn sym_get(a: &Matrix, uplo: Uplo, r: i64, c: i64) -> f32 {
+    let stored = match uplo {
+        Uplo::Lower => r >= c,
+        Uplo::Upper => r <= c,
+    };
+    if stored {
+        a.get(r, c)
+    } else {
+        a.get(c, r)
+    }
+}
+
+/// Read element `(r, c)` of op(A) for a packed triangular matrix
+/// (0 outside the triangle).
+fn tri_get(a: &Matrix, uplo: Uplo, t: Trans, r: i64, c: i64) -> f32 {
+    let (pr, pc) = match t {
+        Trans::N => (r, c),
+        Trans::T => (c, r),
+    };
+    let stored = match uplo {
+        Uplo::Lower => pr >= pc,
+        Uplo::Upper => pr <= pc,
+    };
+    if stored {
+        a.get(pr, pc)
+    } else {
+        0.0
+    }
+}
+
+/// `C += A·B` (left) or `C += B·A` (right) with `A` packed symmetric.
+pub fn symm_ref(side: Side, uplo: Uplo, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let n = c.rows;
+    for j in 0..c.cols {
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += match side {
+                    Side::Left => sym_get(a, uplo, i, k) * b.get(k, j),
+                    Side::Right => b.get(i, k) * sym_get(a, uplo, k, j),
+                };
+            }
+            c.set(i, j, c.get(i, j) + acc);
+        }
+    }
+}
+
+/// `C += op(A)·B` (left) or `C += B·op(A)` (right) with `A` packed
+/// triangular.
+pub fn trmm_ref(side: Side, uplo: Uplo, t: Trans, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let n = c.rows;
+    for j in 0..c.cols {
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += match side {
+                    Side::Left => tri_get(a, uplo, t, i, k) * b.get(k, j),
+                    Side::Right => b.get(i, k) * tri_get(a, uplo, t, k, j),
+                };
+            }
+            c.set(i, j, c.get(i, j) + acc);
+        }
+    }
+}
+
+/// `B := op(A)⁻¹·B` (left) or `B := B·op(A)⁻¹` (right), non-unit diagonal,
+/// by forward/backward substitution.
+pub fn trsm_ref(side: Side, uplo: Uplo, t: Trans, a: &Matrix, b: &mut Matrix) {
+    let n = match side {
+        Side::Left => b.rows,
+        Side::Right => b.cols,
+    };
+    // Is op(A) lower-triangular (forward substitution)?
+    let op_lower = matches!(
+        (uplo, t),
+        (Uplo::Lower, Trans::N) | (Uplo::Upper, Trans::T)
+    );
+    match side {
+        Side::Left => {
+            // Solve op(A) X = B, row by row.
+            let rows: Vec<i64> = if op_lower { (0..n).collect() } else { (0..n).rev().collect() };
+            for &i in &rows {
+                for j in 0..b.cols {
+                    let mut v = b.get(i, j);
+                    for &k in &rows {
+                        if (op_lower && k < i) || (!op_lower && k > i) {
+                            v -= tri_get(a, uplo, t, i, k) * b.get(k, j);
+                        }
+                    }
+                    v /= tri_get(a, uplo, t, i, i);
+                    b.set(i, j, v);
+                }
+            }
+        }
+        Side::Right => {
+            // Solve X op(A) = B, column by column.  Column j of X depends
+            // on columns k with op(A)[k][j] != 0, k != j.
+            let cols: Vec<i64> = if op_lower {
+                // op(A) lower: X[:,j] uses k > j -> backward over j.
+                (0..n).rev().collect()
+            } else {
+                (0..n).collect()
+            };
+            for &j in &cols {
+                for i in 0..b.rows {
+                    let mut v = b.get(i, j);
+                    for &k in &cols {
+                        if (op_lower && k > j) || (!op_lower && k < j) {
+                            v -= b.get(i, k) * tri_get(a, uplo, t, k, j);
+                        }
+                    }
+                    v /= tri_get(a, uplo, t, j, j);
+                    b.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch a routine reference on square buffers.  For TRSM, `c` is
+/// ignored and `b` is updated in place; otherwise `c` accumulates.
+pub fn run_reference(r: RoutineId, a: &Matrix, b: &mut Matrix, c: &mut Matrix) {
+    match r {
+        RoutineId::Gemm(ta, tb) => gemm_ref(ta, tb, a, b, c),
+        RoutineId::Symm(s, u) => symm_ref(s, u, a, b, c),
+        RoutineId::Trmm(s, u, t) => trmm_ref(s, u, t, a, b, c),
+        RoutineId::Trsm(s, u, t) => trsm_ref(s, u, t, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(n: i64, seed: u64) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        m.fill_pseudo(seed);
+        m
+    }
+
+    /// Strengthen a triangular matrix's diagonal so solves are
+    /// well-conditioned.
+    fn condition_diag(a: &mut Matrix) {
+        for i in 0..a.rows {
+            let v = a.get(i, i);
+            a.set(i, i, v.signum() * (v.abs() + 2.0));
+        }
+    }
+
+    #[test]
+    fn symm_equals_gemm_on_explicit_symmetric() {
+        // Build a full symmetric S, pack it lower, compare SYMM vs GEMM.
+        let n = 12;
+        let mut s = rand_matrix(n, 3);
+        for i in 0..n {
+            for j in 0..i {
+                let v = s.get(i, j);
+                s.set(j, i, v);
+            }
+        }
+        let b = rand_matrix(n, 5);
+        let mut c1 = rand_matrix(n, 7);
+        let mut c2 = c1.clone();
+        gemm_ref(Trans::N, Trans::N, &s, &b, &mut c1);
+        symm_ref(Side::Left, Uplo::Lower, &s, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-4);
+        // Right side: C += B*S.
+        let mut c3 = rand_matrix(n, 9);
+        let mut c4 = c3.clone();
+        gemm_ref(Trans::N, Trans::N, &b, &s, &mut c3);
+        // gemm computes A*B with A=b, B=s: B*S indeed.
+        symm_ref(Side::Right, Uplo::Upper, &s, &b, &mut c4);
+        assert!(c3.max_abs_diff(&c4) < 1e-4);
+    }
+
+    #[test]
+    fn trmm_equals_gemm_on_masked_triangle() {
+        let n = 10;
+        let mut a = rand_matrix(n, 11);
+        // Zero the upper triangle -> explicit lower-triangular matrix.
+        for j in 0..n {
+            for i in 0..j {
+                a.set(i, j, 0.0);
+            }
+        }
+        let b = rand_matrix(n, 13);
+        let mut c1 = rand_matrix(n, 17);
+        let mut c2 = c1.clone();
+        gemm_ref(Trans::N, Trans::N, &a, &b, &mut c1);
+        trmm_ref(Side::Left, Uplo::Lower, Trans::N, &a, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-4);
+        // Transposed: C += A^T B.
+        let mut c3 = rand_matrix(n, 19);
+        let mut c4 = c3.clone();
+        gemm_ref(Trans::T, Trans::N, &a, &b, &mut c3);
+        trmm_ref(Side::Left, Uplo::Lower, Trans::T, &a, &b, &mut c4);
+        assert!(c3.max_abs_diff(&c4) < 1e-4);
+    }
+
+    #[test]
+    fn trsm_inverts_trmm_all_variants() {
+        // For every TRSM variant: B' = op(A)^-1 (op(A) X) must return X.
+        let n = 8;
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for t in [Trans::N, Trans::T] {
+                    let mut a = rand_matrix(n, 23);
+                    condition_diag(&mut a);
+                    let x = rand_matrix(n, 29);
+                    // B = op(A)·X (left) or X·op(A) (right), computed with
+                    // trmm into a zero accumulator.
+                    let mut bprod = Matrix::zeros(n, n);
+                    trmm_ref(side, uplo, t, &a, &x, &mut bprod);
+                    let mut solved = bprod.clone();
+                    trsm_ref(side, uplo, t, &a, &mut solved);
+                    let d = solved.max_abs_diff(&x);
+                    assert!(
+                        d < 1e-3,
+                        "TRSM {side:?} {uplo:?} {t:?} failed to invert TRMM: {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_variants_consistent() {
+        let n = 9;
+        let a = rand_matrix(n, 31);
+        let b = rand_matrix(n, 37);
+        // (A^T)^T = A: TN on A^T equals NN on A.
+        let mut at = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        let mut c1 = Matrix::zeros(n, n);
+        let mut c2 = Matrix::zeros(n, n);
+        gemm_ref(Trans::N, Trans::N, &a, &b, &mut c1);
+        gemm_ref(Trans::T, Trans::N, &at, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-4);
+    }
+}

@@ -1,0 +1,145 @@
+//! OA tuning schemes: the GEMM-NN EPOD script (Fig. 3) as the single shared
+//! optimization scheme, plus the adaptor application(s) relating each of
+//! the other 23 variants to it — the paper's central reuse story.
+
+use crate::types::{RoutineId, Side, Trans};
+use oa_adl::builtin;
+use oa_composer::AdaptorApplication;
+use oa_epod::{parse_script, Script};
+
+/// How the OA framework tunes one routine.
+#[derive(Clone, Debug)]
+pub struct OaScheme {
+    /// Base EPOD script alternatives.  The first is always the GEMM-NN
+    /// scheme of Fig. 3 (loop pair oriented for the routine's dependence
+    /// structure); the second additionally stages the `A` operand — the
+    /// allocator "determines which memory hierarchy a matrix should reside
+    /// in" (Sec. IV.B.3), and exposing both lets the search decide.
+    pub bases: Vec<Script>,
+    /// Adaptors relating this routine to the base scheme.
+    pub apps: Vec<AdaptorApplication>,
+    /// Whether the routine is a solver (constrains tile parameters: one
+    /// output column per thread).
+    pub solver: bool,
+}
+
+/// A script with `SM_alloc(A, NoChange)` added before the register
+/// allocation.
+pub fn with_staged_a(script: &Script) -> Script {
+    let mut out = script.clone();
+    let at = out
+        .stmts
+        .iter()
+        .position(|i| i.component == "reg_alloc")
+        .unwrap_or(out.stmts.len());
+    out.stmts.insert(at, oa_epod::Invocation::idents("SM_alloc", &["A", "NoChange"]));
+    out
+}
+
+fn base_pair(s: Script) -> Vec<Script> {
+    let staged = with_staged_a(&s);
+    vec![s, staged]
+}
+
+/// The GEMM-NN script of Fig. 3.
+pub fn gemm_nn_script() -> Script {
+    parse_script(
+        "(Lii, Ljj) = thread_grouping((Li, Lj));
+         (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+         loop_unroll(Ljjj, Lkkk);
+         SM_alloc(B, Transpose);
+         reg_alloc(C);",
+    )
+    .expect("static script parses")
+}
+
+/// The Fig. 3 scheme retargeted at the solvers: TRSM has no `C` — its
+/// accumulator is `B` itself (Fig. 14 prints `reg_alloc(C)` for TRSM-LL-N,
+/// which we read as a typo for the routine's output matrix).
+pub fn gemm_nn_script_solver(flip_loops: bool) -> Script {
+    let grouping = if flip_loops { "(Lj, Li)" } else { "(Li, Lj)" };
+    parse_script(&format!(
+        "(Lii, Ljj) = thread_grouping({grouping});
+         (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+         loop_unroll(Ljjj, Lkkk);
+         SM_alloc(B, Transpose);
+         reg_alloc(B);"
+    ))
+    .expect("static script parses")
+}
+
+/// The OA scheme for a routine.
+pub fn oa_scheme(r: RoutineId) -> OaScheme {
+    match r {
+        RoutineId::Gemm(ta, tb) => {
+            let mut apps = Vec::new();
+            if ta == Trans::T {
+                apps.push(AdaptorApplication::new(builtin::transpose(), "A"));
+            }
+            if tb == Trans::T {
+                apps.push(AdaptorApplication::new(builtin::transpose(), "B"));
+            }
+            OaScheme { bases: base_pair(gemm_nn_script()), apps, solver: false }
+        }
+        RoutineId::Symm(..) => OaScheme {
+            bases: base_pair(gemm_nn_script()),
+            apps: vec![AdaptorApplication::new(builtin::symmetry(), "A")],
+            solver: false,
+        },
+        RoutineId::Trmm(_, _, t) => {
+            let mut apps = Vec::new();
+            // A transposed triangular operand differs from the base scheme
+            // in *two* ways; adaptors compose (Sec. IV.B).
+            if t == Trans::T {
+                apps.push(AdaptorApplication::new(builtin::transpose(), "A"));
+            }
+            apps.push(AdaptorApplication::new(builtin::triangular(), "A"));
+            OaScheme { bases: base_pair(gemm_nn_script()), apps, solver: false }
+        }
+        RoutineId::Trsm(side, ..) => OaScheme {
+            bases: base_pair(gemm_nn_script_solver(side == Side::Right)),
+            apps: vec![AdaptorApplication::new(builtin::solver(), "A")],
+            solver: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Trans, Uplo};
+
+    #[test]
+    fn gemm_nn_needs_no_adaptor() {
+        let s = oa_scheme(RoutineId::Gemm(Trans::N, Trans::N));
+        assert!(s.apps.is_empty());
+        assert!(!s.solver);
+    }
+
+    #[test]
+    fn gemm_tt_needs_two_transpose_adaptors() {
+        let s = oa_scheme(RoutineId::Gemm(Trans::T, Trans::T));
+        assert_eq!(s.apps.len(), 2);
+        assert_eq!(s.apps[0].array, "A");
+        assert_eq!(s.apps[1].array, "B");
+    }
+
+    #[test]
+    fn families_use_their_adaptors() {
+        let s = oa_scheme(RoutineId::Symm(Side::Left, Uplo::Lower));
+        assert_eq!(s.apps[0].adaptor.name, "Adaptor_Symmetry");
+        let t = oa_scheme(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
+        assert_eq!(t.apps[0].adaptor.name, "Adaptor_Triangular");
+        let solver = oa_scheme(RoutineId::Trsm(Side::Right, Uplo::Upper, Trans::N));
+        assert_eq!(solver.apps[0].adaptor.name, "Adaptor_Solver");
+        assert!(solver.solver);
+        // Right-side solver flips the grouped loop pair.
+        let first = &solver.bases[0].stmts[0];
+        assert_eq!(first.args[0].ident(), Some("Lj"));
+        // The staged-A alternative inserts before reg_alloc.
+        let staged = &solver.bases[1];
+        let names = staged.component_names();
+        let sm_a = names.iter().filter(|n| **n == "SM_alloc").count();
+        assert_eq!(sm_a, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Routine identities: the 24 BLAS3 variants evaluated in Figures 10–12.
+//!
+//! Postfix convention follows the paper: e.g. `TRSM-LL-N` is TRSM with a
+//! **L**eft-side, **L**ower-triangular matrix, **N**ot transposed.
+
+use std::fmt;
+
+/// Which side the symmetric/triangular matrix multiplies from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// `C = A · B` (or `A⁻¹ · B`).
+    Left,
+    /// `C = B · A` (or `B · A⁻¹`).
+    Right,
+}
+
+/// Which triangle of the packed matrix is stored.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Uplo {
+    /// Lower triangle (including the diagonal).
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+/// Transposition of an operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trans {
+    /// Not transposed.
+    N,
+    /// Transposed.
+    T,
+}
+
+/// A BLAS3 routine variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoutineId {
+    /// `C += op(A) · op(B)`.
+    Gemm(Trans, Trans),
+    /// `C += A·B` / `B·A` with `A` symmetric (packed storage).
+    Symm(Side, Uplo),
+    /// `C += op(A)·B` / `B·op(A)` with `A` triangular.
+    Trmm(Side, Uplo, Trans),
+    /// `B := op(A)⁻¹·B` / `B·op(A)⁻¹` with `A` triangular (non-unit diag).
+    Trsm(Side, Uplo, Trans),
+}
+
+impl RoutineId {
+    /// All 24 variants, in the order the figures plot them.
+    pub fn all24() -> Vec<RoutineId> {
+        use RoutineId::*;
+        use Side::*;
+        use Trans::*;
+        use Uplo::*;
+        let mut v = vec![Gemm(N, N), Gemm(N, T), Gemm(T, N), Gemm(T, T)];
+        for side in [Left, Right] {
+            for uplo in [Lower, Upper] {
+                v.push(Symm(side, uplo));
+            }
+        }
+        for side in [Left, Right] {
+            for uplo in [Lower, Upper] {
+                for t in [N, T] {
+                    v.push(Trmm(side, uplo, t));
+                }
+            }
+        }
+        for side in [Left, Right] {
+            for uplo in [Lower, Upper] {
+                for t in [N, T] {
+                    v.push(Trsm(side, uplo, t));
+                }
+            }
+        }
+        v
+    }
+
+    /// The paper's postfix naming, e.g. `SYMM-LL`, `TRSM-RU-T`.
+    pub fn name(&self) -> String {
+        fn su(s: Side, u: Uplo) -> String {
+            format!(
+                "{}{}",
+                match s {
+                    Side::Left => "L",
+                    Side::Right => "R",
+                },
+                match u {
+                    Uplo::Lower => "L",
+                    Uplo::Upper => "U",
+                }
+            )
+        }
+        fn tr(t: Trans) -> &'static str {
+            match t {
+                Trans::N => "N",
+                Trans::T => "T",
+            }
+        }
+        match self {
+            RoutineId::Gemm(a, b) => format!("GEMM-{}{}", tr(*a), tr(*b)),
+            RoutineId::Symm(s, u) => format!("SYMM-{}", su(*s, *u)),
+            RoutineId::Trmm(s, u, t) => format!("TRMM-{}-{}", su(*s, *u), tr(*t)),
+            RoutineId::Trsm(s, u, t) => format!("TRSM-{}-{}", su(*s, *u), tr(*t)),
+        }
+    }
+
+    /// Nominal useful flop count for square problem size `n` — the GFLOPS
+    /// denominator the paper's figures use.
+    pub fn flops(&self, n: i64) -> f64 {
+        let n = n as f64;
+        match self {
+            RoutineId::Gemm(..) | RoutineId::Symm(..) => 2.0 * n * n * n,
+            // Triangular operands touch half the elements.
+            RoutineId::Trmm(..) | RoutineId::Trsm(..) => n * n * n,
+        }
+    }
+
+    /// Parse the paper's postfix naming (`GEMM-NN`, `SYMM-LL`,
+    /// `TRSM-RU-T`, case-insensitive).
+    pub fn parse(name: &str) -> Option<RoutineId> {
+        let upper = name.to_ascii_uppercase();
+        RoutineId::all24().into_iter().find(|r| r.name() == upper)
+    }
+
+    /// The family name (`GEMM`, `SYMM`, `TRMM`, `TRSM`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            RoutineId::Gemm(..) => "GEMM",
+            RoutineId::Symm(..) => "SYMM",
+            RoutineId::Trmm(..) => "TRMM",
+            RoutineId::Trsm(..) => "TRSM",
+        }
+    }
+}
+
+impl fmt::Display for RoutineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_24_variants() {
+        let all = RoutineId::all24();
+        assert_eq!(all.len(), 24);
+        let names: std::collections::HashSet<String> = all.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), 24, "names must be unique");
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(RoutineId::Gemm(Trans::N, Trans::N).name(), "GEMM-NN");
+        assert_eq!(RoutineId::Gemm(Trans::T, Trans::N).name(), "GEMM-TN");
+        assert_eq!(RoutineId::Symm(Side::Left, Uplo::Lower).name(), "SYMM-LL");
+        assert_eq!(
+            RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N).name(),
+            "TRSM-LL-N"
+        );
+        assert_eq!(
+            RoutineId::Trmm(Side::Right, Uplo::Upper, Trans::T).name(),
+            "TRMM-RU-T"
+        );
+    }
+
+    #[test]
+    fn flop_counts() {
+        let n = 64;
+        assert_eq!(RoutineId::Gemm(Trans::N, Trans::N).flops(n), 2.0 * 64f64.powi(3));
+        assert_eq!(
+            RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N).flops(n),
+            64f64.powi(3)
+        );
+    }
+}

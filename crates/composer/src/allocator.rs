@@ -1,0 +1,147 @@
+//! The allocator: integrates the memory-allocation invocations of the EPOD
+//! script and the adaptor into one final allocation scheme (Sec. IV.B.3).
+//!
+//! The paper's worked example: for `C = α·A·Bᵀ + β·C` the adaptor declares
+//! `SM_alloc(B, Transpose)` and the GEMM-NN script declares the same, so
+//! the allocator merges them into a single `SM_alloc(B, NoChange)` — the
+//! two transpositions compose to the identity.  Likewise, when the chosen
+//! polyhedral sequence already re-mapped a matrix with `GM_map`, the
+//! allocation is redirected to the mapped copy (`NewX`) with the composed
+//! mode.
+
+use oa_epod::{Arg, Invocation};
+use oa_loopir::AllocMode;
+use std::collections::HashMap;
+
+/// Compose two allocation modes applied in sequence.
+pub fn compose_modes(first: AllocMode, second: AllocMode) -> AllocMode {
+    use AllocMode::*;
+    match (first, second) {
+        (NoChange, m) | (m, NoChange) => m,
+        (Transpose, Transpose) => NoChange,
+        // Symmetric completion absorbs transposition (the completed matrix
+        // equals its own transpose).
+        (Symmetry, _) | (_, Symmetry) => Symmetry,
+    }
+}
+
+/// Merge base-script and adaptor allocations given the `GM_map`s the chosen
+/// polyhedral sequence applied (array → mode).
+pub fn merge_allocations(
+    base: &[Invocation],
+    adaptor: &[Invocation],
+    gm_mapped: &HashMap<String, AllocMode>,
+) -> Vec<Invocation> {
+    // Collect SM_alloc modes per array (order of first mention preserved)
+    // and reg_alloc arrays.
+    let mut sm_order: Vec<String> = Vec::new();
+    let mut sm_modes: HashMap<String, AllocMode> = HashMap::new();
+    let mut regs: Vec<String> = Vec::new();
+
+    for inv in base.iter().chain(adaptor) {
+        match inv.component.as_str() {
+            "SM_alloc" | "sm_alloc" => {
+                let Some(arr) = inv.args.first().and_then(Arg::ident) else { continue };
+                let mode = inv.args.get(1).and_then(Arg::as_mode).unwrap_or(AllocMode::NoChange);
+                match sm_modes.get_mut(arr) {
+                    Some(existing) => *existing = compose_modes(*existing, mode),
+                    None => {
+                        sm_order.push(arr.to_string());
+                        sm_modes.insert(arr.to_string(), mode);
+                    }
+                }
+            }
+            "reg_alloc" | "Reg_alloc" => {
+                if let Some(arr) = inv.args.first().and_then(Arg::ident) {
+                    if !regs.contains(&arr.to_string()) {
+                        regs.push(arr.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    for arr in sm_order {
+        let mut mode = sm_modes[&arr];
+        let mut target = arr.clone();
+        if let Some(gm) = gm_mapped.get(&arr) {
+            // The data already lives re-mapped in `NewX`.  Only Transpose
+            // is a coordinate transform that composes with the staging
+            // mode; Symmetry materialization leaves coordinates unchanged.
+            target = format!("New{arr}");
+            if *gm == AllocMode::Transpose {
+                mode = compose_modes(AllocMode::Transpose, mode);
+            }
+        }
+        out.push(Invocation::call(
+            "SM_alloc",
+            &[Arg::Ident(target), Arg::Ident(mode.to_string())],
+        ));
+    }
+    for arr in regs {
+        out.push(Invocation::call("reg_alloc", &[Arg::Ident(arr)]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_epod::Invocation;
+
+    fn sm(arr: &str, mode: &str) -> Invocation {
+        Invocation::idents("SM_alloc", &[arr, mode])
+    }
+
+    #[test]
+    fn mode_composition_table() {
+        use AllocMode::*;
+        assert_eq!(compose_modes(NoChange, Transpose), Transpose);
+        assert_eq!(compose_modes(Transpose, NoChange), Transpose);
+        assert_eq!(compose_modes(Transpose, Transpose), NoChange);
+        assert_eq!(compose_modes(Symmetry, Transpose), Symmetry);
+        assert_eq!(compose_modes(NoChange, NoChange), NoChange);
+    }
+
+    #[test]
+    fn paper_example_double_transpose_cancels() {
+        // Adaptor and script both stage B transposed -> one NoChange decl.
+        let merged =
+            merge_allocations(&[sm("B", "Transpose")], &[sm("B", "Transpose")], &HashMap::new());
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].args[0], Arg::Ident("B".into()));
+        assert_eq!(merged[0].args[1], Arg::Ident("NoChange".into()));
+    }
+
+    #[test]
+    fn distinct_arrays_kept_separate() {
+        let merged = merge_allocations(
+            &[sm("B", "Transpose")],
+            &[sm("A", "NoChange")],
+            &HashMap::new(),
+        );
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn gm_mapped_array_redirects_and_composes() {
+        let mut gm = HashMap::new();
+        gm.insert("B".to_string(), AllocMode::Transpose);
+        let merged = merge_allocations(&[sm("B", "Transpose")], &[], &gm);
+        assert_eq!(merged[0].args[0], Arg::Ident("NewB".into()));
+        assert_eq!(merged[0].args[1], Arg::Ident("NoChange".into()));
+    }
+
+    #[test]
+    fn reg_alloc_deduplicated() {
+        let merged = merge_allocations(
+            &[Invocation::idents("reg_alloc", &["C"])],
+            &[Invocation::idents("reg_alloc", &["C"])],
+            &HashMap::new(),
+        );
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].component, "reg_alloc");
+    }
+}

@@ -1,0 +1,259 @@
+//! The composer's top level: splitter → mixer → filter → allocator →
+//! generator (Fig. 8), producing the new EPOD script(s) for a routine from
+//! an existing script plus developer-defined adaptors.
+
+use crate::allocator::merge_allocations;
+use crate::filter::{filter, FilteredSeq};
+use crate::mixer::{mix, MAX_MIXES};
+use crate::splitter::split;
+use oa_adl::{Adaptor, AdaptorRule, Cond};
+use oa_epod::translator::{apply_lenient, TranslateError};
+use oa_epod::{Invocation, Script};
+use oa_loopir::transform::TileParams;
+use oa_loopir::{AllocMode, Program};
+use std::collections::HashMap;
+
+/// One adaptor applied to one matrix of the routine.
+#[derive(Clone, Debug)]
+pub struct AdaptorApplication {
+    /// The adaptor definition.
+    pub adaptor: Adaptor,
+    /// The concrete matrix it adapts.
+    pub array: String,
+}
+
+impl AdaptorApplication {
+    /// Convenience constructor.
+    pub fn new(adaptor: Adaptor, array: &str) -> Self {
+        Self { adaptor, array: array.to_string() }
+    }
+}
+
+/// A generated EPOD script variant — the composer/generator output.
+#[derive(Clone, Debug)]
+pub struct GeneratedVariant {
+    /// The final script (effective polyhedral sequence + merged
+    /// allocations, exactly what Fig. 14 prints).
+    pub script: Script,
+    /// Conditions attached by the chosen adaptor rules (multi-versioning).
+    pub conds: Vec<Cond>,
+    /// The fully transformed program, ready for lowering.
+    pub program: Program,
+    /// Which rule of each application was chosen (for reporting).
+    pub rule_choice: Vec<usize>,
+}
+
+/// Compose a base script with adaptors, generating candidate scripts for
+/// the new routine.  The best performer is later selected by search
+/// (`oa-autotune`).
+pub fn compose(
+    source: &Program,
+    base: &Script,
+    applications: &[AdaptorApplication],
+    params: TileParams,
+) -> Result<Vec<GeneratedVariant>, TranslateError> {
+    let base_split = split(&base.stmts);
+    let mut variants: Vec<GeneratedVariant> = Vec::new();
+
+    for choice in rule_choices(applications) {
+        // Split each chosen rule; collect conditions.
+        let mut rule_seqs: Vec<Vec<Invocation>> = Vec::new();
+        let mut rule_allocs: Vec<Invocation> = Vec::new();
+        let mut conds: Vec<Cond> = Vec::new();
+        for (app, rule_idx) in applications.iter().zip(&choice) {
+            let rule: AdaptorRule = app.adaptor.instantiate(&app.array).remove(*rule_idx);
+            let s = split(&rule.seq);
+            rule_seqs.push(s.sequence);
+            rule_allocs.extend(s.allocations);
+            conds.extend(rule.cond.into_iter());
+        }
+
+        // Mix the base polyhedral sequence with each rule's sequence in
+        // turn (order within each sequence preserved).
+        let mut mixes: Vec<Vec<Invocation>> = vec![base_split.sequence.clone()];
+        for rs in &rule_seqs {
+            let mut next = Vec::new();
+            for m in &mixes {
+                next.extend(mix(m, rs));
+                if next.len() >= MAX_MIXES {
+                    break;
+                }
+            }
+            next.truncate(MAX_MIXES);
+            mixes = next;
+        }
+
+        // Filter: apply-or-degenerate, dedup, dependence check.
+        let survivors: Vec<FilteredSeq> = filter(source, &mixes, params)?;
+
+        for surv in survivors {
+            // Which GM_maps actually applied (allocator input).
+            let mut gm_mapped: HashMap<String, AllocMode> = HashMap::new();
+            for inv in &surv.applied {
+                if inv.component == "GM_map" {
+                    if let (Some(arr), Some(mode)) = (
+                        inv.args.first().and_then(oa_epod::Arg::ident),
+                        inv.args.get(1).and_then(oa_epod::Arg::as_mode),
+                    ) {
+                        gm_mapped.insert(arr.to_string(), mode);
+                    }
+                }
+            }
+            let allocs = merge_allocations(&base_split.allocations, &rule_allocs, &gm_mapped);
+
+            // Apply the allocation scheme (leniently: e.g. SM_alloc cannot
+            // stage when the surviving sequence has no k tiling).
+            let alloc_script = Script { stmts: allocs };
+            let outcome = apply_lenient(&surv.program, &alloc_script, params)?;
+
+            let mut final_script = Script { stmts: surv.applied.clone() };
+            final_script.stmts.extend(outcome.applied.clone());
+
+            // Global dedup by final script text.
+            if variants.iter().any(|v| v.script == final_script) {
+                continue;
+            }
+            variants.push(GeneratedVariant {
+                script: final_script,
+                conds: conds.clone(),
+                program: outcome.program,
+                rule_choice: choice.clone(),
+            });
+        }
+    }
+    Ok(variants)
+}
+
+/// Cartesian product of rule indices over the applications.
+fn rule_choices(applications: &[AdaptorApplication]) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for app in applications {
+        let n = app.adaptor.rules.len();
+        let mut next = Vec::with_capacity(out.len() * n);
+        for prefix in &out {
+            for r in 0..n {
+                let mut c = prefix.clone();
+                c.push(r);
+                next.push(c);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_epod::parse_script;
+    use oa_loopir::builder::{gemm_nn_like, trmm_ll_like};
+    use oa_loopir::interp::{equivalent_on, Bindings};
+
+    fn params() -> TileParams {
+        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    }
+
+    fn gemm_script() -> Script {
+        parse_script(
+            "(Lii, Ljj) = thread_grouping((Li, Lj));
+             (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+             loop_unroll(Ljjj, Lkkk);
+             SM_alloc(B, Transpose);
+             reg_alloc(C);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_adaptor_reproduces_base_scheme() {
+        let source = gemm_nn_like("GEMM-NN");
+        let variants = compose(&source, &gemm_script(), &[], params()).unwrap();
+        assert_eq!(variants.len(), 1);
+        let names = variants[0].script.component_names();
+        assert_eq!(
+            names,
+            vec!["thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "reg_alloc"]
+        );
+        assert!(variants[0].program.array("sB").is_some());
+        assert!(variants[0].program.array("rC").is_some());
+    }
+
+    #[test]
+    fn triangular_adaptor_generates_peeled_and_padded_variants() {
+        let source = trmm_ll_like("TRMM-LL-N");
+        let apps =
+            [AdaptorApplication::new(oa_adl::builtin::triangular(), "A")];
+        let variants = compose(&source, &gemm_script(), &apps, params()).unwrap();
+        assert!(variants.len() >= 3, "got {} variants", variants.len());
+        let with = |c: &str| {
+            variants
+                .iter()
+                .filter(|v| v.script.component_names().contains(&c))
+                .count()
+        };
+        assert!(with("peel_triangular") >= 1);
+        assert!(with("padding_triangular") >= 1);
+        // Padded variants carry the blank-zero condition.
+        for v in &variants {
+            if v.script.component_names().contains(&"padding_triangular") {
+                assert!(v.conds.iter().any(|c| matches!(c, Cond::BlankZero(a) if a == "A")));
+            }
+        }
+        // Every generated program is semantically the routine.
+        for v in &variants {
+            assert!(
+                equivalent_on(&source, &v.program, &Bindings::square(16), 3, 1e-3),
+                "variant not equivalent: {}",
+                v.script
+            );
+        }
+    }
+
+    #[test]
+    fn gm_map_variant_for_transposed_gemm() {
+        // GEMM-TN: A stored transposed; Adaptor_Transpose(A).
+        use oa_loopir::scalar::{Access, ScalarExpr};
+        use oa_loopir::stmt::{AssignOp, AssignStmt, Loop, Stmt};
+        use oa_loopir::{AffineExpr, ArrayDecl};
+        let mut source = gemm_nn_like("GEMM-TN");
+        source.declare(ArrayDecl::global("A", AffineExpr::var("K"), AffineExpr::var("M")));
+        source.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("C", "i", "j"),
+                AssignOp::AddAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "k", "i")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let apps = [AdaptorApplication::new(oa_adl::builtin::transpose(), "A")];
+        let variants = compose(&source, &gemm_script(), &apps, params()).unwrap();
+        // At least: the empty rule, the GM_map rule and the SM_alloc rule.
+        assert!(variants.len() >= 3, "got {}", variants.len());
+        let gm_variant = variants
+            .iter()
+            .find(|v| v.script.component_names().contains(&"GM_map"))
+            .expect("a GM_map variant");
+        // GM_map is first in its script (location constraint).
+        assert_eq!(gm_variant.script.component_names()[0], "GM_map");
+        for v in &variants {
+            assert!(
+                equivalent_on(&source, &v.program, &Bindings::square(16), 7, 1e-3),
+                "variant not equivalent: {}",
+                v.script
+            );
+        }
+    }
+
+    #[test]
+    fn rule_choice_cartesian_product() {
+        let apps = [
+            AdaptorApplication::new(oa_adl::builtin::transpose(), "A"),
+            AdaptorApplication::new(oa_adl::builtin::transpose(), "B"),
+        ];
+        assert_eq!(rule_choices(&apps).len(), 9);
+        assert_eq!(rule_choices(&[]).len(), 1);
+    }
+}

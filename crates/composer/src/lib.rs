@@ -1,0 +1,25 @@
+//! # oa-composer — the OA composer
+//!
+//! Composes an existing EPOD script with user-defined adaptors and derives
+//! new EPOD scripts for a new routine (Sec. IV.B, Fig. 8).  Five modules
+//! mirror the paper's five components:
+//!
+//! * [`splitter`] — polyhedral sequence vs. memory allocations;
+//! * [`mixer`] — order-preserving interleavings under location constraints;
+//! * [`filter`] — apply-or-degenerate, semi-output dedup, dependence check;
+//! * [`allocator`] — allocation-mode merging (`Transpose ∘ Transpose = NoChange`);
+//! * [`compose`] (the generator) — final script assembly.
+
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod compose;
+pub mod filter;
+pub mod mixer;
+pub mod splitter;
+
+pub use allocator::{compose_modes, merge_allocations};
+pub use compose::{compose, AdaptorApplication, GeneratedVariant};
+pub use filter::{filter, FilteredSeq};
+pub use mixer::mix;
+pub use splitter::{split, SplitSeq};

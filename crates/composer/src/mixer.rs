@@ -1,0 +1,124 @@
+//! The mixer: interleaves two polyhedral transformation sequences while
+//! strictly keeping each sequence's internal order, then discards
+//! interleavings violating location constraints (Sec. IV.B.1, Fig. 9) —
+//! e.g. `GM_map` "should be fixed as the first in a sequence if it
+//! appears", so no violating sequence is ever generated.
+
+use oa_epod::{lookup, Invocation};
+
+/// Upper bound on generated interleavings, a safety valve for deep adaptor
+/// stacks (documented in DESIGN.md; the paper's search is also bounded in
+/// practice by its small component counts).
+pub const MAX_MIXES: usize = 256;
+
+/// All order-preserving interleavings of `a` and `b` that satisfy the
+/// components' location constraints.
+pub fn mix(a: &[Invocation], b: &[Invocation]) -> Vec<Vec<Invocation>> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::with_capacity(a.len() + b.len());
+    interleave(a, b, &mut scratch, &mut out);
+    out.retain(|seq| satisfies_location_constraints(seq));
+    out
+}
+
+fn interleave(
+    a: &[Invocation],
+    b: &[Invocation],
+    acc: &mut Vec<Invocation>,
+    out: &mut Vec<Vec<Invocation>>,
+) {
+    if out.len() >= MAX_MIXES {
+        return;
+    }
+    match (a.first(), b.first()) {
+        (None, None) => out.push(acc.clone()),
+        (Some(_), None) => {
+            let mut full = acc.clone();
+            full.extend_from_slice(a);
+            out.push(full);
+        }
+        (None, Some(_)) => {
+            let mut full = acc.clone();
+            full.extend_from_slice(b);
+            out.push(full);
+        }
+        (Some(x), Some(y)) => {
+            acc.push(x.clone());
+            interleave(&a[1..], b, acc, out);
+            acc.pop();
+            acc.push(y.clone());
+            interleave(a, &b[1..], acc, out);
+            acc.pop();
+        }
+    }
+}
+
+/// Check the location constraints of every component in a sequence.
+pub fn satisfies_location_constraints(seq: &[Invocation]) -> bool {
+    seq.iter().enumerate().all(|(idx, inv)| {
+        match lookup(&inv.component) {
+            Some(info) if info.must_be_first => idx == 0,
+            _ => true,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_epod::Invocation;
+
+    fn inv(name: &str) -> Invocation {
+        Invocation::idents(name, &["A"])
+    }
+
+    #[test]
+    fn interleavings_preserve_order_and_count() {
+        // (TG, LT, LU) x (peel): C(4,1) = 4 interleavings — the paper's
+        // sequences 2–5 (before padding).
+        let base = vec![inv("thread_grouping"), inv("loop_tiling"), inv("loop_unroll")];
+        let adaptor = vec![inv("peel_triangular")];
+        let mixes = mix(&base, &adaptor);
+        assert_eq!(mixes.len(), 4);
+        for m in &mixes {
+            // Base order preserved.
+            let pos: Vec<usize> = ["thread_grouping", "loop_tiling", "loop_unroll"]
+                .iter()
+                .map(|n| m.iter().position(|i| i.component == *n).unwrap())
+                .collect();
+            assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn binomial_counts() {
+        let a = vec![inv("loop_tiling"), inv("loop_unroll")];
+        let b = vec![inv("peel_triangular"), inv("padding_triangular")];
+        // C(4, 2) = 6.
+        assert_eq!(mix(&a, &b).len(), 6);
+    }
+
+    #[test]
+    fn gm_map_fixed_first() {
+        let base = vec![inv("thread_grouping"), inv("loop_tiling")];
+        let adaptor = vec![inv("GM_map")];
+        let mixes = mix(&base, &adaptor);
+        // Only the interleaving with GM_map first survives.
+        assert_eq!(mixes.len(), 1);
+        assert_eq!(mixes[0][0].component, "GM_map");
+    }
+
+    #[test]
+    fn empty_adaptor_gives_base_sequence() {
+        let base = vec![inv("thread_grouping"), inv("loop_tiling")];
+        let mixes = mix(&base, &[]);
+        assert_eq!(mixes.len(), 1);
+        assert_eq!(mixes[0], base);
+    }
+
+    #[test]
+    fn constraint_checker_direct() {
+        assert!(satisfies_location_constraints(&[inv("GM_map"), inv("loop_tiling")]));
+        assert!(!satisfies_location_constraints(&[inv("loop_tiling"), inv("GM_map")]));
+    }
+}

@@ -1,0 +1,65 @@
+//! The splitter: routes an optimization sequence's memory-allocation
+//! invocations (`SM_alloc`, `Reg_alloc`) to the allocator and everything
+//! else to the mixer (Sec. IV.B, Fig. 8).
+
+use oa_epod::{lookup, Invocation};
+
+/// A split sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SplitSeq {
+    /// Loop-restructuring invocations, order-significant (mixer input).
+    pub sequence: Vec<Invocation>,
+    /// Memory-allocation invocations (allocator input).
+    pub allocations: Vec<Invocation>,
+}
+
+/// Split a sequence of invocations.  Unknown components are passed through
+/// to the sequence part; the filter will reject them with a hard error,
+/// which gives the developer a better message than dropping them here.
+pub fn split(invs: &[Invocation]) -> SplitSeq {
+    let mut out = SplitSeq::default();
+    for inv in invs {
+        let is_alloc = lookup(&inv.component).map(|c| c.is_allocation).unwrap_or(false);
+        if is_alloc {
+            out.allocations.push(inv.clone());
+        } else {
+            out.sequence.push(inv.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_epod::parse_script;
+
+    #[test]
+    fn splits_fig3_script() {
+        let s = parse_script(
+            "(Lii, Ljj) = thread_grouping((Li, Lj));
+             (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+             loop_unroll(Ljjj, Lkkk);
+             SM_alloc(B, Transpose);
+             reg_alloc(C);",
+        )
+        .unwrap();
+        let split = split(&s.stmts);
+        assert_eq!(
+            split.sequence.iter().map(|i| i.component.as_str()).collect::<Vec<_>>(),
+            vec!["thread_grouping", "loop_tiling", "loop_unroll"]
+        );
+        assert_eq!(
+            split.allocations.iter().map(|i| i.component.as_str()).collect::<Vec<_>>(),
+            vec!["SM_alloc", "reg_alloc"]
+        );
+    }
+
+    #[test]
+    fn adaptor_rule_with_gm_map_stays_in_sequence() {
+        let s = parse_script("GM_map(A, Symmetry); format_iteration(A, Symmetry);").unwrap();
+        let split = split(&s.stmts);
+        assert_eq!(split.sequence.len(), 2);
+        assert!(split.allocations.is_empty());
+    }
+}

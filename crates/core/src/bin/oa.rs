@@ -1,0 +1,155 @@
+//! `oa` — the command-line face of the framework.
+//!
+//! ```text
+//! oa list                                  # routines and devices
+//! oa tune SYMM-LL --device gtx285 --n 1024 # full pipeline for one routine
+//! oa compare TRSM-LL-N                     # OA vs CUBLAS-like vs MAGMA-like
+//! oa variants TRMM-LL-N                    # the composer's generated scripts
+//! oa cuda GEMM-NN --n 1024                 # emit the tuned kernel's CUDA source
+//! ```
+
+use oa_core::{DeviceSpec, OaFramework, RoutineId};
+
+fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "9800" | "geforce9800" | "geforce-9800" => Some(DeviceSpec::geforce_9800()),
+        "gtx285" | "285" => Some(DeviceSpec::gtx285()),
+        "fermi" | "c2050" | "fermi-c2050" => Some(DeviceSpec::fermi_c2050()),
+        _ => None,
+    }
+}
+
+struct Args {
+    cmd: String,
+    routine: Option<String>,
+    device: DeviceSpec,
+    n: i64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut routine = None;
+    let mut device = DeviceSpec::gtx285();
+    let mut n = 1024i64;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--device" => {
+                let v = it.next().ok_or("--device needs a value")?;
+                device = device_by_name(&v).ok_or(format!("unknown device `{v}`"))?;
+            }
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                n = v.parse().map_err(|_| format!("bad size `{v}`"))?;
+            }
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other if routine.is_none() => routine = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Args { cmd: cmd.unwrap_or_else(|| "help".into()), routine, device, n })
+}
+
+fn need_routine(a: &Args) -> Result<RoutineId, String> {
+    let name = a.routine.as_deref().ok_or("missing routine name (try `oa list`)")?;
+    RoutineId::parse(name).ok_or(format!("unknown routine `{name}` (try `oa list`)"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let oa = OaFramework::new(args.device.clone());
+    match args.cmd.as_str() {
+        "list" => {
+            println!("devices: geforce9800, gtx285, fermi");
+            println!("routines:");
+            for r in RoutineId::all24() {
+                println!("  {}", r.name());
+            }
+            Ok(())
+        }
+        "tune" => {
+            let r = need_routine(args)?;
+            let t = oa.tune(r, args.n).map_err(|e| e.to_string())?;
+            println!(
+                "{} on {} (n = {}, {} candidates evaluated)",
+                r.name(),
+                args.device.name,
+                args.n,
+                t.evaluated
+            );
+            println!("\nbest EPOD script:\n{}", t.script);
+            println!("parameters: {:?}", t.params);
+            println!(
+                "model: {:.1} GFLOPS | occupancy {:.0}% | regs/thread {} | smem {} B",
+                t.report.gflops,
+                t.report.occupancy * 100.0,
+                t.report.regs_per_thread,
+                t.report.smem_bytes
+            );
+            let err = oa.verify(&t, 64, 7)?;
+            println!("verified vs CPU reference at n = 64: max |err| = {err:.2e}");
+            Ok(())
+        }
+        "compare" => {
+            let r = need_routine(args)?;
+            let c = oa.compare(r, args.n).map_err(|e| e.to_string())?;
+            println!("{} on {} (n = {})", r.name(), args.device.name, args.n);
+            println!("  OA          {:>8.1} GFLOPS", c.oa.gflops);
+            println!("  CUBLAS-like {:>8.1} GFLOPS  ({:.2}x speedup)", c.cublas.gflops, c.speedup());
+            match &c.magma {
+                Some(m) => println!("  MAGMA-like  {:>8.1} GFLOPS", m.gflops),
+                None => println!("  MAGMA-like  (routine absent in MAGMA v0.2)"),
+            }
+            Ok(())
+        }
+        "variants" => {
+            let r = need_routine(args)?;
+            let scheme = oa_core::blas3::schemes::oa_scheme(r);
+            let src = oa_core::blas3::routines::source(r);
+            for (bi, base) in scheme.bases.iter().enumerate() {
+                let variants = oa_core::composer::compose(
+                    &src,
+                    base,
+                    &scheme.apps,
+                    oa_core::autotune::default_params(scheme.solver),
+                )
+                .map_err(|e| e.to_string())?;
+                for (i, v) in variants.iter().enumerate() {
+                    println!("---- base {bi}, variant {i} (rules {:?}) ----", v.rule_choice);
+                    println!("{}", v.script);
+                }
+            }
+            Ok(())
+        }
+        "cuda" => {
+            let r = need_routine(args)?;
+            let t = oa.tune(r, args.n).map_err(|e| e.to_string())?;
+            let src = oa_core::gpusim::to_cuda_source(
+                &t.program,
+                &oa_core::loopir::interp::Bindings::square(args.n),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{src}");
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("usage: oa <list|tune|compare|variants|cuda> [ROUTINE] [--device D] [--n N]");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `oa help`)")),
+    }
+}

@@ -1,0 +1,160 @@
+//! EPOD script AST: the optimization-scheme notation of Fig. 3 / Fig. 14.
+//!
+//! ```text
+//! (Lii, Ljj) = thread_grouping((Li, Lj));
+//! (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+//! loop_unroll(Ljjj, Lkkk);
+//! SM_alloc(B, Transpose);
+//! reg_alloc(C);
+//! ```
+
+use oa_loopir::AllocMode;
+use std::fmt;
+
+/// One argument of a component invocation.  Scripts are untyped at parse
+/// time; the translator resolves identifiers to loop labels, array names or
+/// allocation modes according to the component's signature.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Arg {
+    /// An identifier (loop label, script variable, array name, or mode).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+}
+
+impl Arg {
+    /// The identifier, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Arg::Ident(s) => Some(s),
+            Arg::Int(_) => None,
+        }
+    }
+
+    /// Interpret as an allocation mode.
+    pub fn as_mode(&self) -> Option<AllocMode> {
+        match self.ident()? {
+            "NoChange" => Some(AllocMode::NoChange),
+            "Transpose" => Some(AllocMode::Transpose),
+            "Symmetry" => Some(AllocMode::Symmetry),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Ident(s) => f.write_str(s),
+            Arg::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A component invocation, optionally binding returned loop labels:
+/// `(Lii, Ljj) = thread_grouping((Li, Lj));`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Invocation {
+    /// Script variables bound to the component's returned labels.
+    pub outputs: Vec<String>,
+    /// Component name (`thread_grouping`, `SM_alloc`, …).
+    pub component: String,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+impl Invocation {
+    /// An invocation without output bindings.
+    pub fn call(component: &str, args: &[Arg]) -> Self {
+        Self { outputs: Vec::new(), component: component.to_string(), args: args.to_vec() }
+    }
+
+    /// Convenience: identifier arguments only.
+    pub fn idents(component: &str, args: &[&str]) -> Self {
+        Self::call(component, &args.iter().map(|a| Arg::Ident(a.to_string())).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.outputs.is_empty() {
+            write!(f, "({}) = ", self.outputs.join(", "))?;
+        }
+        write!(f, "{}(", self.component)?;
+        // thread_grouping conventionally parenthesizes its loop pair, as in
+        // the paper's figures.
+        if self.component == "thread_grouping" {
+            write!(
+                f,
+                "({})",
+                self.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+            )?;
+        } else {
+            write!(
+                f,
+                "{}",
+                self.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+            )?;
+        }
+        write!(f, ");")
+    }
+}
+
+/// A whole EPOD script: an ordered optimization sequence.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Script {
+    /// Invocations, in application order.
+    pub stmts: Vec<Invocation>,
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an invocation (builder style).
+    pub fn then(mut self, inv: Invocation) -> Self {
+        self.stmts.push(inv);
+        self
+    }
+
+    /// Component names, in order — handy for composer tests.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.stmts.iter().map(|s| s.component.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stmts {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let inv = Invocation {
+            outputs: vec!["Lii".into(), "Ljj".into()],
+            component: "thread_grouping".into(),
+            args: vec![Arg::Ident("Li".into()), Arg::Ident("Lj".into())],
+        };
+        assert_eq!(inv.to_string(), "(Lii, Ljj) = thread_grouping((Li, Lj));");
+        let sm = Invocation::idents("SM_alloc", &["B", "Transpose"]);
+        assert_eq!(sm.to_string(), "SM_alloc(B, Transpose);");
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(Arg::Ident("Transpose".into()).as_mode(), Some(AllocMode::Transpose));
+        assert_eq!(Arg::Ident("Symmetry".into()).as_mode(), Some(AllocMode::Symmetry));
+        assert_eq!(Arg::Ident("B".into()).as_mode(), None);
+        assert_eq!(Arg::Int(3).as_mode(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! The optimization-component registry: which pool each component belongs
+//! to and the location constraints the composer's mixer must respect.
+
+use std::fmt;
+
+/// Which pool a component lives in (Fig. 2).  The splitter routes
+/// memory-allocation components to the allocator; everything else is
+/// sequence-ordered and participates in mixing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Pool {
+    /// Loop transformations on the polyhedral representation.
+    Polyhedral,
+    /// Components applied on the compiler IR after loop restructuring.
+    Traditional,
+}
+
+/// Registry entry for one component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ComponentInfo {
+    /// Canonical name as written in scripts.
+    pub name: &'static str,
+    /// Pool membership.
+    pub pool: Pool,
+    /// Must be the first component of any sequence (`GM_map`, Sec. IV.A.1:
+    /// "GM_map is valid only when it is the first optimization in an
+    /// optimization sequence").
+    pub must_be_first: bool,
+    /// Memory-allocation component, handled by the composer's allocator
+    /// rather than the mixer (`SM_alloc`, `Reg_alloc`).
+    pub is_allocation: bool,
+    /// Number of loop labels the component returns (script output arity).
+    pub returns: usize,
+}
+
+/// All components of our two pools.
+pub const COMPONENTS: &[ComponentInfo] = &[
+    ComponentInfo { name: "thread_grouping", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 2 },
+    ComponentInfo { name: "loop_tiling", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 3 },
+    ComponentInfo { name: "loop_interchange", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "loop_fission", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "loop_fusion", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "GM_map", pool: Pool::Polyhedral, must_be_first: true, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "format_iteration", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "peel_triangular", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "padding_triangular", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "loop_unroll", pool: Pool::Traditional, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo { name: "SM_alloc", pool: Pool::Traditional, must_be_first: false, is_allocation: true, returns: 0 },
+    ComponentInfo { name: "reg_alloc", pool: Pool::Traditional, must_be_first: false, is_allocation: true, returns: 0 },
+    ComponentInfo { name: "binding_triangular", pool: Pool::Traditional, must_be_first: false, is_allocation: false, returns: 0 },
+];
+
+/// Look up a component by script name (case-sensitive, with the paper's
+/// capitalization quirks tolerated: `Reg_alloc`/`reg_alloc`,
+/// `SM_alloc`/`sm_alloc`).
+pub fn lookup(name: &str) -> Option<&'static ComponentInfo> {
+    let canonical = match name {
+        "Reg_alloc" => "reg_alloc",
+        "sm_alloc" => "SM_alloc",
+        "gm_map" => "GM_map",
+        other => other,
+    };
+    COMPONENTS.iter().find(|c| c.name == canonical)
+}
+
+/// Unknown-component error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownComponent(pub String);
+
+impl fmt::Display for UnknownComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown optimization component `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownComponent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookup_and_aliases() {
+        assert!(lookup("thread_grouping").is_some());
+        assert_eq!(lookup("Reg_alloc").unwrap().name, "reg_alloc");
+        assert_eq!(lookup("gm_map").unwrap().name, "GM_map");
+        assert!(lookup("warp_specialize").is_none());
+    }
+
+    #[test]
+    fn constraints() {
+        assert!(lookup("GM_map").unwrap().must_be_first);
+        assert!(lookup("SM_alloc").unwrap().is_allocation);
+        assert!(lookup("reg_alloc").unwrap().is_allocation);
+        assert!(!lookup("loop_unroll").unwrap().is_allocation);
+        assert_eq!(lookup("thread_grouping").unwrap().returns, 2);
+        assert_eq!(lookup("loop_tiling").unwrap().returns, 3);
+    }
+
+    #[test]
+    fn pools() {
+        assert_eq!(lookup("peel_triangular").unwrap().pool, Pool::Polyhedral);
+        assert_eq!(lookup("loop_unroll").unwrap().pool, Pool::Traditional);
+        assert_eq!(lookup("binding_triangular").unwrap().pool, Pool::Traditional);
+    }
+}

@@ -1,0 +1,38 @@
+//! # oa-epod — the EPOD script language and translator
+//!
+//! EPOD scripts encapsulate tuning experience as explicit optimization
+//! sequences (Sec. III of the paper).  This crate provides:
+//!
+//! * the script [`ast`] and a [`parser`] for the paper's notation;
+//! * the [`component`] registry (pools, location constraints);
+//! * the [`translator`] that applies a script to an `oa-loopir` program —
+//!   strictly, or leniently with component degeneration (the behaviour the
+//!   composer's filter builds on).
+//!
+//! ```
+//! use oa_epod::{parse_script, apply_strict};
+//! use oa_loopir::builder::gemm_nn_like;
+//! use oa_loopir::transform::TileParams;
+//!
+//! let script = parse_script(
+//!     "(Lii, Ljj) = thread_grouping((Li, Lj));
+//!      (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+//!      loop_unroll(Ljjj, Lkkk);
+//!      SM_alloc(B, Transpose);
+//!      reg_alloc(C);").unwrap();
+//! let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+//! let tuned = apply_strict(&gemm_nn_like("GEMM-NN"), &script, params).unwrap();
+//! assert!(tuned.array("sB").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod component;
+pub mod parser;
+pub mod translator;
+
+pub use ast::{Arg, Invocation, Script};
+pub use component::{lookup, ComponentInfo, Pool, COMPONENTS};
+pub use parser::{parse_script, ParseError};
+pub use translator::{apply_lenient, apply_strict, LenientOutcome, TranslateError, Translator};

@@ -1,0 +1,288 @@
+//! Hand-written lexer/parser for EPOD scripts.
+//!
+//! The grammar is tiny:
+//!
+//! ```text
+//! script     := stmt*
+//! stmt       := [ "(" ident ("," ident)* ")" "=" ] ident "(" args? ")" ";"
+//! args       := arg ("," arg)*
+//! arg        := ident | integer | "(" args ")"      // nested parens flatten
+//! ```
+//!
+//! `//` line comments are skipped.  Nested argument parentheses (the
+//! `thread_grouping((Li, Lj))` form of Fig. 3) flatten into the argument
+//! list.
+
+use crate::ast::{Arg, Invocation, Script};
+use std::fmt;
+
+/// Parse errors with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push((i, Tok::Semi));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    at: start,
+                    message: "bad integer literal".into(),
+                })?;
+                out.push((start, Tok::Int(v)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError { at: i, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map(|(a, _)| *a).unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(ParseError { at, message: format!("expected {want:?}, found {other:?}") }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                Err(ParseError { at, message: format!("expected identifier, found {other:?}") })
+            }
+        }
+    }
+
+    fn args(&mut self, out: &mut Vec<Arg>) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(Tok::RParen) => return Ok(()),
+                Some(Tok::LParen) => {
+                    self.next();
+                    self.args(out)?;
+                    self.expect(Tok::RParen)?;
+                }
+                Some(Tok::Ident(_)) => {
+                    if let Some(Tok::Ident(s)) = self.next() {
+                        out.push(Arg::Ident(s));
+                    }
+                }
+                Some(Tok::Int(_)) => {
+                    if let Some(Tok::Int(v)) = self.next() {
+                        out.push(Arg::Int(v));
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        at: self.at(),
+                        message: format!("expected argument, found {other:?}"),
+                    })
+                }
+            }
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Invocation, ParseError> {
+        let mut outputs = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            // Could be output bindings `(a, b) = comp(...)`.
+            self.next();
+            loop {
+                outputs.push(self.ident()?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Eq)?;
+        }
+        let component = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        self.args(&mut args)?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        Ok(Invocation { outputs, component, args })
+    }
+}
+
+/// Parse an EPOD script.
+pub fn parse_script(src: &str) -> Result<Script, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Script { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The GEMM-NN script of Fig. 3.
+    pub const FIG3: &str = "
+        (Lii, Ljj) = thread_grouping((Li, Lj));
+        (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+        loop_unroll(Ljjj, Lkkk);
+        SM_alloc(B, Transpose);
+        reg_alloc(C);
+    ";
+
+    #[test]
+    fn parses_fig3() {
+        let s = parse_script(FIG3).unwrap();
+        assert_eq!(
+            s.component_names(),
+            vec!["thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "reg_alloc"]
+        );
+        assert_eq!(s.stmts[0].outputs, vec!["Lii", "Ljj"]);
+        assert_eq!(s.stmts[0].args.len(), 2);
+        assert_eq!(s.stmts[3].args[1].ident(), Some("Transpose"));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let s = parse_script(FIG3).unwrap();
+        let printed = s.to_string();
+        let again = parse_script(&printed).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn comments_and_integers() {
+        let s = parse_script(
+            "// the solver adaptor\nbinding_triangular(A, 0); // bind to thread 0\n",
+        )
+        .unwrap();
+        assert_eq!(s.stmts[0].component, "binding_triangular");
+        assert_eq!(s.stmts[0].args[1], Arg::Int(0));
+    }
+
+    #[test]
+    fn nested_parens_flatten() {
+        let s = parse_script("thread_grouping((Li, Lj));").unwrap();
+        assert_eq!(s.stmts[0].args.len(), 2);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_script("loop_unroll(Ljjj").unwrap_err();
+        assert!(err.message.contains("expected"));
+        let err2 = parse_script("@bad").unwrap_err();
+        assert!(err2.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn gm_map_symmetry_script() {
+        // The SYMM-LN best script of Fig. 14 (prefix).
+        let s = parse_script(
+            "GM_map(A, Symmetry);\nformat_iteration(A, Symmetry);\n\
+             (Lii, Ljj) = thread_grouping((Li, Lj));",
+        )
+        .unwrap();
+        assert_eq!(s.stmts.len(), 3);
+        assert_eq!(s.stmts[0].args[1].as_mode(), Some(oa_loopir::AllocMode::Symmetry));
+    }
+}

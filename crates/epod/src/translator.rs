@@ -1,0 +1,387 @@
+//! The EPOD translator: applies a script's optimization sequence to a
+//! labeled source program (Sec. III.A), dispatching each invocation to the
+//! corresponding `oa-loopir` component.
+//!
+//! Script variables bound by output lists (`(Lii, Ljj) = …`) are tracked in
+//! an environment, so later invocations may reference either original
+//! source labels or bound variables.
+//!
+//! Two application modes are provided:
+//!
+//! * [`apply_strict`] — any component failure aborts (used when a script is
+//!   known-good, e.g. re-applying a tuned scheme);
+//! * [`apply_lenient`] — failing components are *dropped* and recorded, the
+//!   degeneration behaviour the composer's filter relies on (Sec. IV.B.2).
+
+use crate::ast::{Arg, Invocation, Script};
+use crate::component::lookup;
+use oa_loopir::transform::{self, TileParams, TransformError};
+use oa_loopir::{AllocMode, Program};
+use std::collections::HashMap;
+
+/// Errors raised by strict application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TranslateError {
+    /// The component does not exist.
+    Unknown(String),
+    /// The invocation's arguments don't fit the component's signature.
+    Signature(String),
+    /// The component itself failed.
+    Component(String, TransformError),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Unknown(n) => write!(f, "unknown component `{n}`"),
+            TranslateError::Signature(m) => write!(f, "bad invocation: {m}"),
+            TranslateError::Component(n, e) => write!(f, "`{n}` failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Result of lenient application.
+#[derive(Clone, Debug)]
+pub struct LenientOutcome {
+    /// The transformed program.
+    pub program: Program,
+    /// Components applied, by script position.
+    pub applied: Vec<Invocation>,
+    /// Components dropped, with the reason.
+    pub dropped: Vec<(Invocation, TransformError)>,
+}
+
+/// The translator.
+pub struct Translator {
+    /// Tile/thread-shape parameters used by `thread_grouping`/`loop_tiling`.
+    pub params: TileParams,
+    env: HashMap<String, String>,
+}
+
+impl Translator {
+    /// A translator with the given tunable parameters.
+    pub fn new(params: TileParams) -> Self {
+        Self { params, env: HashMap::new() }
+    }
+
+    /// Resolve a script identifier to a loop label through the variable
+    /// environment.
+    fn label(&self, arg: &Arg) -> Result<String, TranslateError> {
+        let id = arg
+            .ident()
+            .ok_or_else(|| TranslateError::Signature(format!("expected a loop label, got {arg}")))?;
+        Ok(self.env.get(id).cloned().unwrap_or_else(|| id.to_string()))
+    }
+
+    fn array(&self, arg: &Arg) -> Result<String, TranslateError> {
+        arg.ident()
+            .map(str::to_string)
+            .ok_or_else(|| TranslateError::Signature(format!("expected an array name, got {arg}")))
+    }
+
+    fn mode(&self, arg: &Arg) -> Result<AllocMode, TranslateError> {
+        arg.as_mode()
+            .ok_or_else(|| TranslateError::Signature(format!("expected an allocation mode, got {arg}")))
+    }
+
+    /// Apply one invocation.
+    pub fn apply_one(
+        &mut self,
+        p: &mut Program,
+        inv: &Invocation,
+    ) -> Result<(), TranslateError> {
+        let info =
+            lookup(&inv.component).ok_or_else(|| TranslateError::Unknown(inv.component.clone()))?;
+        let fail = |e: TransformError| TranslateError::Component(info.name.to_string(), e);
+        match info.name {
+            "thread_grouping" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature(
+                        "thread_grouping((Li, Lj)) takes two loops".into(),
+                    ));
+                }
+                let li = self.label(&inv.args[0])?;
+                let lj = self.label(&inv.args[1])?;
+                let (lii, ljj) =
+                    transform::thread_grouping(p, &li, &lj, self.params).map_err(fail)?;
+                self.bind_outputs(inv, &[lii, ljj])?;
+            }
+            "loop_tiling" => {
+                if inv.args.len() != 3 {
+                    return Err(TranslateError::Signature(
+                        "loop_tiling(Lii, Ljj, Lk) takes three loops".into(),
+                    ));
+                }
+                let a = self.label(&inv.args[0])?;
+                let b = self.label(&inv.args[1])?;
+                let c = self.label(&inv.args[2])?;
+                let (x, y, z) = transform::loop_tiling(p, &a, &b, &c).map_err(fail)?;
+                self.bind_outputs(inv, &[x, y, z])?;
+            }
+            "loop_unroll" => {
+                let labels: Vec<String> = inv
+                    .args
+                    .iter()
+                    .map(|a| self.label(a))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                transform::loop_unroll(p, &refs, self.params.unroll).map_err(fail)?;
+            }
+            "loop_interchange" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature("loop_interchange takes two loops".into()));
+                }
+                let a = self.label(&inv.args[0])?;
+                let b = self.label(&inv.args[1])?;
+                transform::loop_interchange(p, &a, &b).map_err(fail)?;
+            }
+            "loop_fission" => {
+                if inv.args.len() != 1 {
+                    return Err(TranslateError::Signature("loop_fission takes one loop".into()));
+                }
+                let a = self.label(&inv.args[0])?;
+                transform::loop_fission(p, &a).map_err(fail)?;
+            }
+            "loop_fusion" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature("loop_fusion takes two loops".into()));
+                }
+                let a = self.label(&inv.args[0])?;
+                let b = self.label(&inv.args[1])?;
+                transform::loop_fusion(p, &a, &b).map_err(fail)?;
+            }
+            "GM_map" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature("GM_map(X, mode) takes two args".into()));
+                }
+                let arr = self.array(&inv.args[0])?;
+                let mode = self.mode(&inv.args[1])?;
+                transform::gm_map(p, &arr, mode).map_err(fail)?;
+            }
+            "format_iteration" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature(
+                        "format_iteration(X, mode) takes two args".into(),
+                    ));
+                }
+                let arr = self.array(&inv.args[0])?;
+                let mode = self.mode(&inv.args[1])?;
+                transform::format_iteration(p, &arr, mode).map_err(fail)?;
+            }
+            "peel_triangular" => {
+                let arr = self.array(&inv.args[0])?;
+                transform::peel_triangular(p, &arr).map_err(fail)?;
+            }
+            "padding_triangular" => {
+                let arr = self.array(&inv.args[0])?;
+                transform::padding_triangular(p, &arr).map_err(fail)?;
+            }
+            "binding_triangular" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature(
+                        "binding_triangular(X, tid) takes two args".into(),
+                    ));
+                }
+                let arr = self.array(&inv.args[0])?;
+                let tid = match inv.args[1] {
+                    Arg::Int(v) => v as u32,
+                    _ => {
+                        return Err(TranslateError::Signature(
+                            "binding_triangular thread id must be an integer".into(),
+                        ))
+                    }
+                };
+                transform::binding_triangular(p, &arr, tid).map_err(fail)?;
+            }
+            "SM_alloc" => {
+                if inv.args.len() != 2 {
+                    return Err(TranslateError::Signature("SM_alloc(X, mode) takes two args".into()));
+                }
+                let arr = self.array(&inv.args[0])?;
+                let mode = self.mode(&inv.args[1])?;
+                transform::sm_alloc(p, &arr, mode).map_err(fail)?;
+            }
+            "reg_alloc" => {
+                if inv.args.len() != 1 {
+                    return Err(TranslateError::Signature("reg_alloc(X) takes one array".into()));
+                }
+                let arr = self.array(&inv.args[0])?;
+                transform::reg_alloc(p, &arr).map_err(fail)?;
+            }
+            other => return Err(TranslateError::Unknown(other.to_string())),
+        }
+        Ok(())
+    }
+
+    fn bind_outputs(&mut self, inv: &Invocation, labels: &[String]) -> Result<(), TranslateError> {
+        if !inv.outputs.is_empty() && inv.outputs.len() != labels.len() {
+            return Err(TranslateError::Signature(format!(
+                "`{}` returns {} labels but {} were bound",
+                inv.component,
+                labels.len(),
+                inv.outputs.len()
+            )));
+        }
+        for (var, label) in inv.outputs.iter().zip(labels) {
+            self.env.insert(var.clone(), label.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Apply a script strictly: the first failure aborts.
+pub fn apply_strict(
+    source: &Program,
+    script: &Script,
+    params: TileParams,
+) -> Result<Program, TranslateError> {
+    let mut p = source.clone();
+    let mut tr = Translator::new(params);
+    for inv in &script.stmts {
+        tr.apply_one(&mut p, inv)?;
+    }
+    Ok(p)
+}
+
+/// Apply a script leniently: failing components degenerate out of the
+/// sequence (recorded in the outcome), signature/unknown errors still
+/// abort.
+pub fn apply_lenient(
+    source: &Program,
+    script: &Script,
+    params: TileParams,
+) -> Result<LenientOutcome, TranslateError> {
+    let mut p = source.clone();
+    let mut tr = Translator::new(params);
+    let mut applied = Vec::new();
+    let mut dropped = Vec::new();
+    for inv in &script.stmts {
+        let mut attempt = p.clone();
+        match tr.apply_one(&mut attempt, inv) {
+            Ok(()) => {
+                p = attempt;
+                applied.push(inv.clone());
+            }
+            Err(TranslateError::Component(_, e)) => {
+                dropped.push((inv.clone(), e));
+            }
+            Err(hard) => return Err(hard),
+        }
+    }
+    Ok(LenientOutcome { program: p, applied, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+    use oa_loopir::builder::{gemm_nn_like, trmm_ll_like};
+    use oa_loopir::interp::{equivalent_on, Bindings};
+
+    fn params() -> TileParams {
+        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    }
+
+    const FIG3: &str = "
+        (Lii, Ljj) = thread_grouping((Li, Lj));
+        (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+        loop_unroll(Ljjj, Lkkk);
+        SM_alloc(B, Transpose);
+        reg_alloc(C);
+    ";
+
+    #[test]
+    fn fig3_script_applies_and_preserves_semantics() {
+        let source = gemm_nn_like("GEMM-NN");
+        let script = parse_script(FIG3).unwrap();
+        let out = apply_strict(&source, &script, params()).unwrap();
+        assert!(out.array("sB").is_some());
+        assert!(out.array("rC").is_some());
+        assert_eq!(out.find_loop("Lkkk").unwrap().unroll, 0);
+        assert!(equivalent_on(&source, &out, &Bindings::square(16), 3, 1e-4));
+    }
+
+    #[test]
+    fn variable_binding_resolves_renamed_labels() {
+        // After tiling, the register loops are relabeled Liii/Ljjj; the
+        // script refers to them through its bound variables.
+        let source = gemm_nn_like("GEMM-NN");
+        let script = parse_script(
+            "(a, b) = thread_grouping((Li, Lj));
+             (c, d, e) = loop_tiling(a, b, Lk);
+             loop_unroll(d, e);",
+        )
+        .unwrap();
+        let out = apply_strict(&source, &script, params()).unwrap();
+        assert_eq!(out.find_loop("Ljjj").unwrap().unroll, 0);
+    }
+
+    #[test]
+    fn strict_fails_on_inapplicable_component() {
+        // Unrolling the triangular Lk fails (un-uniform bounds).
+        let source = trmm_ll_like("TRMM");
+        let script = parse_script("loop_unroll(Lk);").unwrap();
+        let err = apply_strict(&source, &script, params()).unwrap_err();
+        assert!(matches!(err, TranslateError::Component(_, _)));
+    }
+
+    #[test]
+    fn lenient_drops_inapplicable_components() {
+        // peel before tiling fails and is dropped; the rest applies — the
+        // degeneration behaviour of the filter example (Sec. IV.B.2).
+        let source = trmm_ll_like("TRMM");
+        let script = parse_script(
+            "peel_triangular(A);
+             (Lii, Ljj) = thread_grouping((Li, Lj));
+             (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);",
+        )
+        .unwrap();
+        let out = apply_lenient(&source, &script, params()).unwrap();
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.dropped[0].0.component, "peel_triangular");
+        assert_eq!(out.applied.len(), 2);
+        assert!(equivalent_on(&source, &out.program, &Bindings::square(16), 9, 1e-4));
+    }
+
+    #[test]
+    fn unknown_component_is_hard_error_even_leniently() {
+        let source = gemm_nn_like("g");
+        let script = parse_script("definitely_not_real(A);").unwrap();
+        assert!(matches!(
+            apply_lenient(&source, &script, params()),
+            Err(TranslateError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn trmm_peel_script_end_to_end() {
+        let source = trmm_ll_like("TRMM-LL-N");
+        let script = parse_script(
+            "(Lii, Ljj) = thread_grouping((Li, Lj));
+             (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+             peel_triangular(A);
+             loop_unroll(Ljjj, Lkkk);
+             SM_alloc(B, Transpose);
+             reg_alloc(C);",
+        )
+        .unwrap();
+        let out = apply_strict(&source, &script, params()).unwrap();
+        assert!(out.find_loop("Lkk_diag").is_some());
+        assert!(equivalent_on(&source, &out, &Bindings::square(16), 5, 1e-4));
+    }
+
+    #[test]
+    fn capitalization_aliases_accepted() {
+        let source = gemm_nn_like("g");
+        let script = parse_script(
+            "(Lii, Ljj) = thread_grouping((Li, Lj));
+             (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
+             Reg_alloc(C);",
+        )
+        .unwrap();
+        let out = apply_strict(&source, &script, params()).unwrap();
+        assert!(out.array("rC").is_some());
+    }
+}

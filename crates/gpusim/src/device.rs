@@ -1,0 +1,222 @@
+//! Device models for the paper's three evaluation platforms (Sec. V).
+//!
+//! Each [`DeviceSpec`] captures the architectural parameters the
+//! performance model needs: SM/SP counts, register file and scratchpad
+//! sizes, clock, memory bandwidth, and — crucially for reproducing
+//! Tables I–III — the *compute capability*, which selects the global-memory
+//! coalescing rules (strict half-warp segments on CC 1.0/1.1, relaxed
+//! segment minimization on CC 1.3, 128-byte cache lines on CC 2.0).
+
+/// Coalescing generation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ComputeCapability {
+    /// G80/G92 (GeForce 9800): a half-warp must access one aligned segment
+    /// in thread order, else the access serializes into one transaction
+    /// per thread and is counted `gld_incoherent`.
+    Cc1_0,
+    /// GT200 (GTX 285): the hardware minimizes segment transactions; the
+    /// profiler no longer reports incoherent loads (cf. Table II's zeros).
+    Cc1_3,
+    /// Fermi (Tesla C2050): L1-cached 128-byte lines, per-warp requests
+    /// (`gld_request` in Table III).
+    Cc2_0,
+}
+
+/// A simulated GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Scalar processors per SM.
+    pub sps_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Shared-memory bytes per SM.
+    pub smem_per_sm: u32,
+    /// Shared-memory banks.
+    pub smem_banks: u32,
+    /// Core (shader) clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak global-memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fraction of peak bandwidth sustained by well-formed kernels.
+    pub mem_efficiency: f64,
+    /// Fraction of the ideal issue rate real kernels sustain (pipeline
+    /// bubbles, address updates, barriers) — a calibration constant.
+    pub issue_efficiency: f64,
+    /// Compute capability (coalescing rules).
+    pub cc: ComputeCapability,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Kernel launch overhead, seconds.
+    pub launch_overhead_s: f64,
+}
+
+/// Warp width on every generation we model.
+pub const WARP: usize = 32;
+/// Memory transaction granularity for coalescing, CC 1.x half-warps.
+pub const HALF_WARP: usize = 16;
+
+impl DeviceSpec {
+    /// GeForce 9800: 16 SMs × 8 SPs, 429 GFLOPS peak (Sec. V).
+    pub fn geforce_9800() -> Self {
+        DeviceSpec {
+            name: "GeForce 9800",
+            sms: 16,
+            sps_per_sm: 8,
+            registers_per_sm: 8192,
+            smem_per_sm: 16 * 1024,
+            smem_banks: 16,
+            clock_ghz: 1.674,
+            mem_bw_gbs: 70.4,
+            mem_efficiency: 0.75,
+            issue_efficiency: 0.85,
+            cc: ComputeCapability::Cc1_0,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            launch_overhead_s: 8e-6,
+        }
+    }
+
+    /// GTX 285: 30 SMs × 8 SPs, 709 GFLOPS peak (Sec. V).
+    pub fn gtx285() -> Self {
+        DeviceSpec {
+            name: "GTX 285",
+            sms: 30,
+            sps_per_sm: 8,
+            registers_per_sm: 16384,
+            smem_per_sm: 16 * 1024,
+            smem_banks: 16,
+            clock_ghz: 1.476,
+            mem_bw_gbs: 159.0,
+            mem_efficiency: 0.75,
+            issue_efficiency: 0.85,
+            cc: ComputeCapability::Cc1_3,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            launch_overhead_s: 7e-6,
+        }
+    }
+
+    /// Fermi Tesla C2050: 14 SMs × 32 SPs, >1 TFLOPS peak (Sec. V), 48 KB
+    /// shared memory configuration.
+    pub fn fermi_c2050() -> Self {
+        DeviceSpec {
+            name: "Fermi Tesla C2050",
+            sms: 14,
+            sps_per_sm: 32,
+            registers_per_sm: 32768,
+            smem_per_sm: 48 * 1024,
+            smem_banks: 32,
+            clock_ghz: 1.15,
+            mem_bw_gbs: 144.0,
+            mem_efficiency: 0.80,
+            issue_efficiency: 0.80,
+            cc: ComputeCapability::Cc2_0,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// All three evaluation platforms, in the order of Figures 10–12.
+    pub fn all() -> [DeviceSpec; 3] {
+        [Self::geforce_9800(), Self::gtx285(), Self::fermi_c2050()]
+    }
+
+    /// Single-precision MAD peak, GFLOPS (2 flops per SP per cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        (self.sms * self.sps_per_sm) as f64 * self.clock_ghz * 2.0
+    }
+
+    /// Cycles an SM needs to issue one instruction for a whole warp.
+    pub fn cycles_per_warp_instr(&self) -> f64 {
+        WARP as f64 / self.sps_per_sm as f64
+    }
+
+    /// Resident blocks per SM given a block's resource footprint, the
+    /// classic occupancy calculation.
+    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, smem_bytes: u32) -> u32 {
+        if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {
+            return 0;
+        }
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        let by_regs = if regs_per_thread == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.registers_per_sm / (regs_per_thread * threads_per_block)
+        };
+        let by_smem = if smem_bytes == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.smem_per_sm / smem_bytes
+        };
+        by_threads.min(by_regs).min(by_smem).min(self.max_blocks_per_sm)
+    }
+
+    /// Occupancy in [0, 1]: resident warps over the SM's maximum.
+    pub fn occupancy(&self, threads_per_block: u32, regs_per_thread: u32, smem_bytes: u32) -> f64 {
+        let blocks = self.blocks_per_sm(threads_per_block, regs_per_thread, smem_bytes);
+        let warps_max = self.max_threads_per_sm as f64 / WARP as f64;
+        let warps = (blocks * threads_per_block.div_ceil(WARP as u32)) as f64;
+        (warps / warps_max).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_match_paper() {
+        // Sec. V quotes 429, 709 and "over a Tera" GFLOPS.
+        assert!((DeviceSpec::geforce_9800().peak_gflops() - 429.0).abs() < 1.0);
+        assert!((DeviceSpec::gtx285().peak_gflops() - 709.0).abs() < 1.0);
+        assert!(DeviceSpec::fermi_c2050().peak_gflops() > 1000.0);
+    }
+
+    #[test]
+    fn warp_issue_rates() {
+        assert_eq!(DeviceSpec::gtx285().cycles_per_warp_instr(), 4.0);
+        assert_eq!(DeviceSpec::fermi_c2050().cycles_per_warp_instr(), 1.0);
+    }
+
+    #[test]
+    fn occupancy_limits() {
+        let d = DeviceSpec::gtx285();
+        // 256-thread blocks, light registers: thread-limited at 4 blocks.
+        assert_eq!(d.blocks_per_sm(256, 10, 2048), 4);
+        // Register-heavy: 64 regs/thread, 256 threads -> 16384/16384 = 1.
+        assert_eq!(d.blocks_per_sm(256, 64, 2048), 1);
+        // Shared-memory-heavy: 9 KB/block -> 1 block.
+        assert_eq!(d.blocks_per_sm(256, 10, 9 * 1024), 1);
+        // Oversized block: impossible.
+        assert_eq!(d.blocks_per_sm(1024, 10, 0), 0);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let d = DeviceSpec::gtx285();
+        // 4 blocks x 8 warps = 32 warps = the SM maximum.
+        assert!((d.occupancy(256, 10, 2048) - 1.0).abs() < 1e-9);
+        // One resident block of 8 warps over 32.
+        assert!((d.occupancy(256, 64, 2048) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fermi_has_wider_banks_and_smem() {
+        let f = DeviceSpec::fermi_c2050();
+        assert_eq!(f.smem_banks, 32);
+        assert_eq!(f.smem_per_sm, 48 * 1024);
+        assert_eq!(f.cc, ComputeCapability::Cc2_0);
+    }
+}

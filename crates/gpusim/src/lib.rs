@@ -1,0 +1,36 @@
+//! # oa-gpusim — the simulated GPU substrate
+//!
+//! No NVIDIA hardware is available to this reproduction, so the three
+//! evaluation platforms of the paper (GeForce 9800, GTX 285, Fermi Tesla
+//! C2050) are modeled by this crate:
+//!
+//! * [`device`] — architectural parameters of the three GPUs;
+//! * [`launch`] — lowering: launch-configuration extraction from a
+//!   transformed loop nest (the nvcc stand-in);
+//! * [`exec`] — a functional, barrier-stepped executor used as the
+//!   correctness oracle for final kernels;
+//! * [`events`] — per-warp coalescing and bank-conflict classification;
+//! * [`perf`] — the sampled performance model producing GFLOPS estimates
+//!   and `cuda_profile`-style counters ([`profile`]).
+//!
+//! The design principle: the counters of Tables I–III must *emerge* from
+//! the address streams of the generated kernels, so both the OA-generated
+//! kernels and the CUBLAS-like baselines run through exactly the same
+//! machinery.
+
+#![warn(missing_docs)]
+
+pub mod cudagen;
+pub mod device;
+pub mod events;
+pub mod exec;
+pub mod launch;
+pub mod perf;
+pub mod profile;
+
+pub use cudagen::to_cuda_source;
+pub use device::{ComputeCapability, DeviceSpec};
+pub use exec::{exec_program, run_fresh_gpu, ExecError};
+pub use launch::{extract_launch, Launch, LaunchError};
+pub use perf::{evaluate, PerfReport};
+pub use profile::ProfileCounters;

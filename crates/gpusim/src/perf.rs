@@ -1,0 +1,1108 @@
+//! The performance model: sampled warp-level event counting plus a
+//! calibrated throughput/latency model.
+//!
+//! The model walks the per-thread body of a lowered kernel for a
+//! *stratified sample* of thread blocks and warps, evaluating every memory
+//! access's real address stream.  Coalescing, bank conflicts and dynamic
+//! instruction counts therefore *emerge* from the generated code — the
+//! mechanism behind the paper's Tables I–III — rather than being asserted.
+//! Sampled counts are scaled to the full grid; long sequential loops are
+//! sampled stratified as well (iteration behaviour in the BLAS3 kernels is
+//! either uniform or piecewise-linear in the loop counter, so stratified
+//! means are accurate).
+//!
+//! Time model:
+//! ```text
+//! T_kernel = max(T_compute, T_memory) / occupancy_efficiency
+//! T_compute = warp_instructions × cycles_per_warp_instr / (active_SMs × clock)
+//! T_memory  = bytes / (bandwidth × efficiency)
+//! ```
+//! plus launch overheads and the analytic cost of `GM_map` prologues and
+//! `check_blank_zero` passes.
+
+use oa_loopir::arrays::{AllocMode, MemSpace};
+use oa_loopir::expr::{AffineExpr, CmpOp, Predicate};
+use oa_loopir::interp::Bindings;
+use oa_loopir::scalar::ScalarExpr;
+use oa_loopir::stmt::{AssignOp, SharedStage, Stmt};
+use oa_loopir::Program;
+use std::collections::HashMap;
+
+use crate::device::{DeviceSpec, WARP};
+use crate::events::{record_gmem, smem_replays};
+use crate::launch::{estimate_regs_per_thread, extract_launch, smem_bytes_per_block, Launch, LaunchError};
+use crate::profile::ProfileCounters;
+
+/// Result of a performance evaluation.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Device name.
+    pub device: String,
+    /// Main-kernel time, seconds.
+    pub kernel_time_s: f64,
+    /// Prologue (`GM_map`, blank checks) time, seconds.
+    pub prologue_time_s: f64,
+    /// End-to-end time.
+    pub total_time_s: f64,
+    /// Useful GFLOPS (caller-supplied flop count over total time).
+    pub gflops: f64,
+    /// Occupancy of the main kernel.
+    pub occupancy: f64,
+    /// Compute-side time bound.
+    pub t_compute: f64,
+    /// Memory-side time bound.
+    pub t_memory: f64,
+    /// Scaled hardware counters.
+    pub counters: ProfileCounters,
+    /// Registers/thread estimate used for occupancy.
+    pub regs_per_thread: u32,
+    /// Shared memory per block, bytes.
+    pub smem_bytes: u32,
+}
+
+/// Evaluate a lowered program on a device.
+///
+/// `useful_flops` is the routine's nominal flop count (e.g. `2·M·N·K` for
+/// GEMM); it defines the GFLOPS denominator exactly as the paper's figures
+/// do.  `blank_zero` supplies the runtime `check_blank_zero` outcome for
+/// multi-versioned kernels.
+pub fn evaluate(
+    p: &Program,
+    bindings: &Bindings,
+    device: &DeviceSpec,
+    useful_flops: f64,
+    blank_zero: bool,
+) -> Result<PerfReport, LaunchError> {
+    let launch = extract_launch(p, bindings)?;
+    let compiled = Compiler::new(p, bindings, &launch, blank_zero, device).compile(&launch.inner);
+
+    let threads = launch.threads_per_block();
+    let nwarps = ((threads + WARP as i64 - 1) / WARP as i64).max(1);
+
+    // Stratified block sample (≤ 4 strata per grid dimension; the BLAS3
+    // per-block workloads are constant or piecewise linear in the block
+    // index, for which stratified midpoints are near-exact).
+    let sample_x = strata(launch.grid.0, 4);
+    let sample_y = strata(launch.grid.1, 4);
+
+    // Warp sample: warp 0 exactly once (it owns thread (0,0), which can
+    // carry bound serial work), plus one representative for the rest.
+    let warp_samples: Vec<(i64, f64)> = if nwarps == 1 {
+        vec![(0, 1.0)]
+    } else {
+        vec![(0, 1.0), (nwarps - 1, (nwarps - 1) as f64)]
+    };
+
+    let mut counters = ProfileCounters::default();
+    for &(by, wy) in &sample_y {
+        for &(bx, wx) in &sample_x {
+            for &(warp, ww) in &warp_samples {
+                let mut walker = Walker::new(device, &compiled, &launch, bx, by, warp);
+                walker.weight = wx * wy * ww;
+                walker.walk(&compiled.body);
+                counters += walker.counters;
+            }
+        }
+    }
+
+    // Resources and occupancy.
+    let regs = estimate_regs_per_thread(p);
+    let smem = smem_bytes_per_block(p);
+    let occ = device.occupancy(threads as u32, regs, smem);
+    // Below ~25% occupancy the SM cannot hide latency; the penalty is a
+    // simple linear derating with a floor.
+    let occ_eff = (occ / 0.25).clamp(0.20, 1.0);
+
+    let active_sms = device.sms.min(launch.total_blocks() as u32).max(1) as f64;
+    let clock_hz = device.clock_ghz * 1.0e9;
+    let t_compute = counters.instructions * device.cycles_per_warp_instr()
+        / (active_sms * clock_hz * device.issue_efficiency);
+    let t_memory = counters.gmem_bytes / (device.mem_bw_gbs * 1.0e9 * device.mem_efficiency);
+    let kernel_time = t_compute.max(t_memory) / occ_eff + device.launch_overhead_s;
+
+    let prologue_time = prologue_cost(p, bindings, device);
+    let total = kernel_time + prologue_time;
+
+    Ok(PerfReport {
+        device: device.name.to_string(),
+        kernel_time_s: kernel_time,
+        prologue_time_s: prologue_time,
+        total_time_s: total,
+        gflops: useful_flops / total / 1.0e9,
+        occupancy: occ,
+        t_compute,
+        t_memory,
+        counters,
+        regs_per_thread: regs,
+        smem_bytes: smem,
+    })
+}
+
+/// Stratified sample of `[0, n)`: up to `max_strata` (midpoint, weight)
+/// pairs whose weights sum to `n`.
+fn strata(n: i64, max_strata: usize) -> Vec<(i64, f64)> {
+    let n = n.max(1);
+    let s = (max_strata as i64).min(n);
+    (0..s)
+        .map(|k| {
+            let lo = k * n / s;
+            let hi = (k + 1) * n / s;
+            ((lo + hi - 1) / 2, (hi - lo) as f64)
+        })
+        .collect()
+}
+
+/// Analytic cost of the `GM_map` prologues and blank-zero checks: simple
+/// streaming passes, bandwidth-bound with a small instruction overhead.
+fn prologue_cost(p: &Program, bindings: &Bindings, device: &DeviceSpec) -> f64 {
+    let resolve = |n: &str| p.resolve(n, bindings);
+    let bw = device.mem_bw_gbs * 1.0e9 * device.mem_efficiency;
+    let clock_hz = device.clock_ghz * 1.0e9;
+    let mut t = 0.0;
+    for mk in &p.prologues {
+        let elems = (mk.rows.eval(&resolve) * mk.cols.eval(&resolve)) as f64;
+        let bytes = elems * 8.0; // read + write
+        let instr = elems * 6.0 / WARP as f64;
+        let t_c = instr * device.cycles_per_warp_instr() / (device.sms as f64 * clock_hz);
+        t += (bytes / bw).max(t_c) + device.launch_overhead_s;
+    }
+    for chk in &p.blank_checks {
+        if let Some(decl) = p.array(&chk.array) {
+            let elems = (decl.rows.eval(&resolve) * decl.cols.eval(&resolve)) as f64 / 2.0;
+            t += elems * 4.0 / bw + device.launch_overhead_s;
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Compiled form: affine expressions flattened onto an indexed environment so
+// the inner sampling loops avoid string lookups entirely.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+struct CExpr {
+    terms: Vec<(usize, i64)>,
+    cst: i64,
+}
+
+impl CExpr {
+    #[inline]
+    fn eval(&self, env: &[i64]) -> i64 {
+        let mut acc = self.cst;
+        for &(v, c) in &self.terms {
+            acc += c * env[v];
+        }
+        acc
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CCond {
+    lhs: CExpr,
+    op: CmpOp,
+    rhs: CExpr,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CPred {
+    conds: Vec<CCond>,
+    thread0: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CSpace {
+    Global,
+    Shared,
+}
+
+#[derive(Clone, Debug)]
+struct CAccess {
+    space: CSpace,
+    is_store: bool,
+    word: CExpr,
+    /// Unique access-site id, used by the walker's register-reuse memo.
+    site: usize,
+}
+
+#[derive(Clone, Debug)]
+struct CStage {
+    rows: i64,
+    cols: i64,
+    src_row0: CExpr,
+    src_col0: CExpr,
+    src_base: i64,
+    src_ld: i64,
+    src_rows: i64,
+    src_cols: i64,
+    dst_base: i64,
+    dst_ld: i64,
+    mode: AllocMode,
+    strided: bool,
+}
+
+#[derive(Clone, Debug)]
+enum CStmt {
+    Loop {
+        var: usize,
+        lower: CExpr,
+        upper: CExpr,
+        overhead: f64,
+        body: Vec<CStmt>,
+    },
+    Assign {
+        accesses: Vec<CAccess>,
+        instr: f64,
+        flops: f64,
+    },
+    If {
+        pred: CPred,
+        then_b: Vec<CStmt>,
+        else_b: Vec<CStmt>,
+    },
+    Stage(CStage),
+    /// Register tile load/store: per-element (guard, global word address).
+    RegXfer {
+        elems: Vec<(CPred, CExpr)>,
+        is_store: bool,
+    },
+    Nop,
+}
+
+#[derive(Debug)]
+struct Compiled {
+    body: Vec<CStmt>,
+    nvars: usize,
+    nsites: usize,
+    smem_load_cost: f64,
+    /// Indices of the two builtin thread-id variables.
+    tx_var: usize,
+    ty_var: usize,
+    /// Bind variables: (env index, builtin).
+    binds: Vec<(usize, crate::launch::Builtin)>,
+}
+
+struct Compiler<'a> {
+    program: &'a Program,
+    bindings: &'a Bindings,
+    blank_zero: bool,
+    /// Instruction cost of a shared-memory load: on CC 1.x one MAD operand
+    /// may come straight from shared memory, so the load is nearly free;
+    /// Fermi's load/store architecture needs a real LDS instruction.
+    smem_load_cost: f64,
+    scope: Vec<String>,
+    vars: Vec<String>,
+    var_map: HashMap<String, usize>,
+    /// Word base offset of each global array.
+    gbase: HashMap<String, i64>,
+    /// Word base offset of each shared array (separate space).
+    sbase: HashMap<String, i64>,
+    binds: Vec<(usize, crate::launch::Builtin)>,
+    tx_var: usize,
+    ty_var: usize,
+    sites: usize,
+    /// Known inclusive value ranges of in-scope iteration variables, used
+    /// for guard specialization (nvcc-style "fulltile" kernels: guards
+    /// provably true over the whole iteration box are dropped).
+    ranges: HashMap<usize, (i64, i64)>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(
+        p: &'a Program,
+        bindings: &'a Bindings,
+        launch: &Launch,
+        blank_zero: bool,
+        device: &DeviceSpec,
+    ) -> Self {
+        let mut c = Compiler {
+            program: p,
+            bindings,
+            blank_zero,
+            smem_load_cost: match device.cc {
+                crate::device::ComputeCapability::Cc2_0 => 1.0,
+                _ => 0.3,
+            },
+            scope: Vec::new(),
+            vars: Vec::new(),
+            var_map: HashMap::new(),
+            gbase: HashMap::new(),
+            sbase: HashMap::new(),
+            binds: Vec::new(),
+            tx_var: 0,
+            ty_var: 0,
+            sites: 0,
+            ranges: HashMap::new(),
+        };
+        // Assign base offsets (words), 32-word aligned so arrays never
+        // share a cache line.
+        let mut goff = 0i64;
+        let mut soff = 0i64;
+        let resolve = |n: &str| p.resolve(n, bindings);
+        for a in &p.arrays {
+            match a.space {
+                MemSpace::Global => {
+                    c.gbase.insert(a.name.clone(), goff);
+                    let len = (a.rows.eval(&resolve) + a.pad) * a.cols.eval(&resolve);
+                    goff += (len + 31) / 32 * 32 + 32;
+                }
+                MemSpace::Shared => {
+                    c.sbase.insert(a.name.clone(), soff);
+                    let len = (a.rows.eval(&resolve) + a.pad) * a.cols.eval(&resolve);
+                    soff += len;
+                }
+                MemSpace::Reg => {}
+            }
+        }
+        c.tx_var = c.var_idx("__tx");
+        c.ty_var = c.var_idx("__ty");
+        c.ranges.insert(c.tx_var, (0, launch.block.0 - 1));
+        c.ranges.insert(c.ty_var, (0, launch.block.1 - 1));
+        for (v, b) in &launch.binds {
+            c.scope.push(v.clone());
+            let idx = c.var_idx(v);
+            let hi = match b {
+                crate::launch::Builtin::BlockX => launch.grid.0,
+                crate::launch::Builtin::BlockY => launch.grid.1,
+                crate::launch::Builtin::ThreadX => launch.block.0,
+                crate::launch::Builtin::ThreadY => launch.block.1,
+            };
+            c.ranges.insert(idx, (0, hi - 1));
+            c.binds.push((idx, *b));
+        }
+        c.scope.push("__tx".into());
+        c.scope.push("__ty".into());
+        c
+    }
+
+    fn var_idx(&mut self, name: &str) -> usize {
+        if let Some(i) = self.var_map.get(name) {
+            return *i;
+        }
+        let i = self.vars.len();
+        self.vars.push(name.to_string());
+        self.var_map.insert(name.to_string(), i);
+        i
+    }
+
+    fn compile(mut self, stmts: &[Stmt]) -> Compiled {
+        let body = self.compile_stmts(stmts);
+        Compiled {
+            body,
+            nvars: self.vars.len(),
+            nsites: self.sites,
+            smem_load_cost: self.smem_load_cost,
+            tx_var: self.tx_var,
+            ty_var: self.ty_var,
+            binds: self.binds.clone(),
+        }
+    }
+
+    /// Inclusive interval of an affine expression over the known ranges of
+    /// in-scope variables; `None` when any variable's range is unknown.
+    fn expr_range(&mut self, e: &AffineExpr) -> Option<(i64, i64)> {
+        let mut lo = e.constant();
+        let mut hi = e.constant();
+        // Collect first to appease the borrow checker.
+        let terms: Vec<(String, i64)> = e.terms().map(|(v, c)| (v.to_string(), c)).collect();
+        for (v, c) in terms {
+            if self.scope.iter().any(|s| s == &v) {
+                let idx = self.var_idx(&v);
+                let (vlo, vhi) = *self.ranges.get(&idx)?;
+                if c >= 0 {
+                    lo += c * vlo;
+                    hi += c * vhi;
+                } else {
+                    lo += c * vhi;
+                    hi += c * vlo;
+                }
+            } else {
+                let k = c * self.program.resolve(&v, self.bindings);
+                lo += k;
+                hi += k;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Is a comparison provably true / provably false over the iteration
+    /// box?  `None` means genuinely dynamic.
+    fn cond_verdict(&mut self, c: &oa_loopir::AffineCond) -> Option<bool> {
+        let (llo, lhi) = self.expr_range(&c.lhs)?;
+        let (rlo, rhi) = self.expr_range(&c.rhs)?;
+        let always = match c.op {
+            CmpOp::Lt => lhi < rlo,
+            CmpOp::Le => lhi <= rlo,
+            CmpOp::Gt => llo > rhi,
+            CmpOp::Ge => llo >= rhi,
+            CmpOp::Eq => llo == lhi && rlo == rhi && llo == rlo,
+            CmpOp::Ne => lhi < rlo || llo > rhi,
+        };
+        if always {
+            return Some(true);
+        }
+        let never = match c.op {
+            CmpOp::Lt => llo >= rhi,
+            CmpOp::Le => llo > rhi,
+            CmpOp::Gt => lhi <= rlo,
+            CmpOp::Ge => lhi < rlo,
+            CmpOp::Eq => lhi < rlo || llo > rhi,
+            CmpOp::Ne => llo == lhi && rlo == rhi && llo == rlo,
+        };
+        if never {
+            return Some(false);
+        }
+        None
+    }
+
+    fn cexpr(&mut self, e: &AffineExpr) -> CExpr {
+        let mut out = CExpr { terms: Vec::new(), cst: e.constant() };
+        for (v, coeff) in e.terms() {
+            if self.scope.iter().any(|s| s == v) {
+                let idx = self.var_idx(v);
+                out.terms.push((idx, coeff));
+            } else {
+                out.cst += coeff * self.program.resolve(v, self.bindings);
+            }
+        }
+        out
+    }
+
+    /// Compile a predicate; returns `None` when the predicate is statically
+    /// false under the blank-zero assumption (branch pruned).
+    fn cpred(&mut self, pred: &Predicate) -> Option<CPred> {
+        if let Some(_arr) = &pred.blank_zero {
+            let want = !pred.blank_zero_negated;
+            if self.blank_zero != want {
+                return None;
+            }
+        }
+        let mut conds = Vec::new();
+        for c in &pred.conds {
+            match self.cond_verdict(c) {
+                Some(true) => continue, // specialized away (full tile)
+                Some(false) => return None,
+                None => conds.push(CCond {
+                    lhs: self.cexpr(&c.lhs),
+                    op: c.op,
+                    rhs: self.cexpr(&c.rhs),
+                }),
+            }
+        }
+        Some(CPred { conds, thread0: pred.thread0_only })
+    }
+
+    fn ld_of(&self, name: &str) -> i64 {
+        let resolve = |n: &str| self.program.resolve(n, self.bindings);
+        self.program
+            .array(name)
+            .map(|a| a.rows.eval(&resolve) + a.pad)
+            .unwrap_or(1)
+    }
+
+    fn access_word(&mut self, acc: &oa_loopir::Access) -> Option<CAccess> {
+        let space = self.program.array(&acc.array).map(|a| a.space).unwrap_or(MemSpace::Global);
+        let (cspace, base) = match space {
+            MemSpace::Global => (CSpace::Global, *self.gbase.get(&acc.array).unwrap_or(&0)),
+            MemSpace::Shared => (CSpace::Shared, *self.sbase.get(&acc.array).unwrap_or(&0)),
+            MemSpace::Reg => return None,
+        };
+        let ld = self.ld_of(&acc.array);
+        let row = self.cexpr(&acc.row);
+        let col = self.cexpr(&acc.col);
+        // word = base + row + col*ld
+        let mut word = CExpr { terms: row.terms.clone(), cst: base + row.cst + col.cst * ld };
+        for (v, c) in col.terms {
+            if let Some(t) = word.terms.iter_mut().find(|(tv, _)| *tv == v) {
+                t.1 += c * ld;
+            } else {
+                word.terms.push((v, c * ld));
+            }
+        }
+        let site = self.sites;
+        self.sites += 1;
+        Some(CAccess { space: cspace, is_store: false, word, site })
+    }
+
+    fn compile_stmts(&mut self, stmts: &[Stmt]) -> Vec<CStmt> {
+        stmts.iter().map(|s| self.compile_stmt(s)).collect()
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> CStmt {
+        match s {
+            Stmt::Loop(l) => {
+                let bound_range = (self.expr_range(&l.lower), self.expr_range(&l.upper));
+                let lower = self.cexpr(&l.lower);
+                let upper = self.cexpr(&l.upper);
+                self.scope.push(l.var.clone());
+                let var = self.var_idx(&l.var);
+                if let (Some((llo, _)), Some((_, uhi))) = bound_range {
+                    self.ranges.insert(var, (llo, (uhi - 1).max(llo)));
+                }
+                let body = self.compile_stmts(&l.body);
+                self.scope.pop();
+                self.ranges.remove(&var);
+                let const_trip = match (l.lower.as_const(), l.upper.as_const()) {
+                    (Some(a), Some(b)) => Some(b - a),
+                    _ => None,
+                };
+                let overhead = match l.unroll {
+                    0 => 0.0,
+                    // nvcc -O2 fully unrolls tiny constant-trip loops.
+                    1 if const_trip.map(|t| t <= 8).unwrap_or(false) => 0.0,
+                    1 => 2.0,
+                    f => 2.0 / f as f64,
+                };
+                CStmt::Loop { var, lower, upper, overhead, body }
+            }
+            Stmt::Assign(a) => {
+                let mut accesses = Vec::new();
+                let mut instr = 0.0;
+                for acc in a.rhs.accesses() {
+                    if let Some(ca) = self.access_word(acc) {
+                        instr += match ca.space {
+                            CSpace::Shared => self.smem_load_cost,
+                            CSpace::Global => 1.0,
+                        };
+                        accesses.push(ca);
+                    }
+                }
+                // Arithmetic: a multiply feeding an accumulate fuses to MAD.
+                let (arith, flops) = arith_cost(&a.rhs, a.op);
+                instr += arith;
+                if let Some(mut store) = self.access_word(&a.lhs) {
+                    store.is_store = true;
+                    // Read-modify-write of a global/shared accumulator also
+                    // loads the old value.
+                    if a.op != AssignOp::Assign {
+                        let mut rd = store.clone();
+                        rd.is_store = false;
+                        accesses.push(rd);
+                        instr += 1.0;
+                    }
+                    instr += 1.0;
+                    accesses.push(store);
+                }
+                CStmt::Assign { accesses, instr, flops }
+            }
+            Stmt::If { pred, then_body, else_body } => match self.cpred(pred) {
+                Some(cp) => CStmt::If {
+                    pred: cp,
+                    then_b: self.compile_stmts(then_body),
+                    else_b: self.compile_stmts(else_body),
+                },
+                None => {
+                    // Statically false (blank-zero mismatch): only the else
+                    // branch survives.
+                    let else_b = self.compile_stmts(else_body);
+                    CStmt::If { pred: CPred::default(), then_b: else_b, else_b: Vec::new() }
+                }
+            },
+            Stmt::Stage(st) => self.compile_stage(st),
+            Stmt::RegLoad(rt) | Stmt::RegStore(rt) => {
+                let is_store = matches!(s, Stmt::RegStore(_));
+                let ld = self.ld_of(&rt.global);
+                let base = *self.gbase.get(&rt.global).unwrap_or(&0);
+                let mut elems = Vec::new();
+                for c in 0..rt.cols {
+                    for r in 0..rt.rows {
+                        let row = rt.row0.add_const(r * rt.row_stride);
+                        let col = rt.col0.add_const(c * rt.col_stride);
+                        let guard = rt.guard.subst("__gr", &row).subst("__gc", &col);
+                        let cg = self.cpred(&guard).unwrap_or_default();
+                        let crow = self.cexpr(&row);
+                        let ccol = self.cexpr(&col);
+                        let mut word =
+                            CExpr { terms: crow.terms.clone(), cst: base + crow.cst + ccol.cst * ld };
+                        for (v, cf) in ccol.terms {
+                            if let Some(t) = word.terms.iter_mut().find(|(tv, _)| *tv == v) {
+                                t.1 += cf * ld;
+                            } else {
+                                word.terms.push((v, cf * ld));
+                            }
+                        }
+                        elems.push((cg, word));
+                    }
+                }
+                CStmt::RegXfer { elems, is_store }
+            }
+            Stmt::RegZero(_) => CStmt::Nop,
+            Stmt::Sync => CStmt::Nop,
+        }
+    }
+
+    fn compile_stage(&mut self, st: &SharedStage) -> CStmt {
+        let resolve = |n: &str| self.program.resolve(n, self.bindings);
+        let src_decl = self.program.array(&st.src);
+        let (src_rows, src_cols) = src_decl
+            .map(|a| (a.rows.eval(&resolve), a.cols.eval(&resolve)))
+            .unwrap_or((i64::MAX, i64::MAX));
+        CStmt::Stage(CStage {
+            rows: st.rows,
+            cols: st.cols,
+            src_row0: self.cexpr(&st.src_row0),
+            src_col0: self.cexpr(&st.src_col0),
+            src_base: *self.gbase.get(&st.src).unwrap_or(&0),
+            src_ld: self.ld_of(&st.src),
+            src_rows,
+            src_cols,
+            dst_base: *self.sbase.get(&st.dst).unwrap_or(&0),
+            dst_ld: self.ld_of(&st.dst),
+            mode: st.mode,
+            strided: st.strided_copy,
+        })
+    }
+}
+
+/// (instruction cost, flops) of the arithmetic in an update statement.
+fn arith_cost(rhs: &ScalarExpr, op: AssignOp) -> (f64, f64) {
+    fn op_weight(e: &ScalarExpr) -> (f64, f64) {
+        match e {
+            ScalarExpr::Bin(b, l, r) => {
+                let (li, lf) = op_weight(l);
+                let (ri, rf) = op_weight(r);
+                let (wi, wf) = match b {
+                    oa_loopir::BinOp::Div => (8.0, 1.0),
+                    _ => (1.0, 1.0),
+                };
+                (li + ri + wi, lf + rf + wf)
+            }
+            _ => (0.0, 0.0),
+        }
+    }
+    let accum = op != AssignOp::Assign;
+    // `acc ±= a * b` fuses into one MAD.
+    if accum {
+        if let ScalarExpr::Bin(oa_loopir::BinOp::Mul, l, r) = rhs {
+            let (li, lf) = op_weight(l);
+            let (ri, rf) = op_weight(r);
+            return (li + ri + 1.0, lf + rf + 2.0);
+        }
+    }
+    let (i, f) = op_weight(rhs);
+    (i + if accum { 1.0 } else { 0.0 }, f + if accum { 1.0 } else { 0.0 })
+}
+
+// ---------------------------------------------------------------------------
+// The sampled warp walker.
+// ---------------------------------------------------------------------------
+
+const ITER_SAMPLE_THRESHOLD: i64 = 16;
+const ITER_SAMPLES: i64 = 8;
+
+struct Walker<'a> {
+    device: &'a DeviceSpec,
+    compiled: &'a Compiled,
+    counters: ProfileCounters,
+    /// Register-reuse memo: the last few lane-address vectors seen at each
+    /// load site.  A repeated vector models the value being kept in a
+    /// register by the compiler (LICM / unroll-and-jam reuse), so neither
+    /// an instruction nor a memory transaction is charged.
+    memo: Vec<std::collections::VecDeque<[Option<i64>; WARP]>>,
+    /// Per-lane environments, `nvars` values each.
+    env: Vec<i64>,
+    active: [bool; WARP],
+    weight: f64,
+    threads_per_block: i64,
+    warp_index: i64,
+    warps_per_block: i64,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        device: &'a DeviceSpec,
+        compiled: &'a Compiled,
+        launch: &Launch,
+        bx: i64,
+        by: i64,
+        warp: i64,
+    ) -> Self {
+        let n = compiled.nvars;
+        let threads = launch.threads_per_block();
+        let mut env = vec![0i64; n * WARP];
+        let mut active = [false; WARP];
+        for lane in 0..WARP {
+            let tid = warp * WARP as i64 + lane as i64;
+            if tid >= threads {
+                continue;
+            }
+            active[lane] = true;
+            let tx = tid % launch.block.0;
+            let ty = tid / launch.block.0;
+            let base = lane * n;
+            env[base + compiled.tx_var] = tx;
+            env[base + compiled.ty_var] = ty;
+            for (idx, b) in &compiled.binds {
+                let v = match b {
+                    crate::launch::Builtin::BlockX => bx,
+                    crate::launch::Builtin::BlockY => by,
+                    crate::launch::Builtin::ThreadX => tx,
+                    crate::launch::Builtin::ThreadY => ty,
+                };
+                env[base + idx] = v;
+            }
+        }
+        Walker {
+            device,
+            compiled,
+            counters: ProfileCounters::default(),
+            memo: vec![std::collections::VecDeque::with_capacity(8); compiled.nsites],
+            env,
+            active,
+            weight: 1.0,
+            threads_per_block: threads,
+            warp_index: warp,
+            warps_per_block: (threads + WARP as i64 - 1) / WARP as i64,
+        }
+    }
+
+    #[inline]
+    fn lane_env(&self, lane: usize) -> &[i64] {
+        let n = self.compiled.nvars;
+        &self.env[lane * n..(lane + 1) * n]
+    }
+
+    fn set_var_all(&mut self, var: usize, v: i64) {
+        let n = self.compiled.nvars;
+        for lane in 0..WARP {
+            self.env[lane * n + var] = v;
+        }
+    }
+
+    fn eval_pred_lane(&self, pred: &CPred, lane: usize) -> bool {
+        let env = self.lane_env(lane);
+        if pred.thread0 {
+            let n = self.compiled.nvars;
+            let base = lane * n;
+            if self.env[base + self.compiled.tx_var] != 0
+                || self.env[base + self.compiled.ty_var] != 0
+            {
+                return false;
+            }
+        }
+        pred.conds.iter().all(|c| c.op.eval(c.lhs.eval(env), c.rhs.eval(env)))
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|&a| a)
+    }
+
+    fn walk(&mut self, stmts: &[CStmt]) {
+        for s in stmts {
+            if !self.any_active() {
+                return;
+            }
+            match s {
+                CStmt::Nop => {}
+                CStmt::Loop { var, lower, upper, overhead, body } => {
+                    self.walk_loop(*var, lower, upper, *overhead, body)
+                }
+                CStmt::Assign { accesses, instr, flops } => self.walk_assign(accesses, *instr, *flops),
+                CStmt::If { pred, then_b, else_b } => self.walk_if(pred, then_b, else_b),
+                CStmt::Stage(st) => self.walk_stage(st),
+                CStmt::RegXfer { elems, is_store } => self.walk_regxfer(elems, *is_store),
+            }
+        }
+    }
+
+    fn walk_loop(&mut self, var: usize, lower: &CExpr, upper: &CExpr, overhead: f64, body: &[CStmt]) {
+        // Bounds must be uniform across active lanes (guards provide the
+        // per-thread shaping in the generated kernels).
+        let lane0 = self.active.iter().position(|&a| a).expect("active lane");
+        let lo = lower.eval(self.lane_env(lane0));
+        let hi = upper.eval(self.lane_env(lane0));
+        let trip = (hi - lo).max(0);
+        if trip == 0 {
+            return;
+        }
+        self.counters.instructions += overhead * trip as f64 * self.weight;
+        if trip <= ITER_SAMPLE_THRESHOLD {
+            for v in lo..hi {
+                self.set_var_all(var, v);
+                self.walk(body);
+            }
+        } else {
+            // Stratified iteration sampling with weight scaling.
+            let saved = self.weight;
+            self.weight = saved * trip as f64 / ITER_SAMPLES as f64;
+            for k in 0..ITER_SAMPLES {
+                let a = lo + k * trip / ITER_SAMPLES;
+                let b = lo + (k + 1) * trip / ITER_SAMPLES;
+                let v = (a + b - 1) / 2;
+                self.set_var_all(var, v);
+                self.walk(body);
+            }
+            self.weight = saved;
+        }
+    }
+
+    fn walk_if(&mut self, pred: &CPred, then_b: &[CStmt], else_b: &[CStmt]) {
+        let saved = self.active;
+        let mut then_mask = [false; WARP];
+        let mut else_mask = [false; WARP];
+        for lane in 0..WARP {
+            if !saved[lane] {
+                continue;
+            }
+            if self.eval_pred_lane(pred, lane) {
+                then_mask[lane] = true;
+            } else {
+                else_mask[lane] = true;
+            }
+        }
+        if !pred.conds.is_empty() || pred.thread0 {
+            self.counters.instructions += self.weight;
+        }
+        if then_mask.iter().any(|&a| a) {
+            self.active = then_mask;
+            self.walk(then_b);
+        }
+        if else_mask.iter().any(|&a| a) && !else_b.is_empty() {
+            self.active = else_mask;
+            self.walk(else_b);
+        }
+        self.active = saved;
+    }
+
+    fn walk_assign(&mut self, accesses: &[CAccess], instr: f64, flops: f64) {
+        let n_active = self.active.iter().filter(|&&a| a).count();
+        if n_active == 0 {
+            return;
+        }
+        let mut instr = instr;
+        self.counters.flops += flops * n_active as f64 * self.weight;
+        for acc in accesses {
+            let mut lanes: [Option<i64>; WARP] = [None; WARP];
+            for lane in 0..WARP {
+                if self.active[lane] {
+                    lanes[lane] = Some(acc.word.eval(self.lane_env(lane)));
+                }
+            }
+            // Register reuse: a load whose address vector was recently seen
+            // at this site stays in registers.
+            if !acc.is_store {
+                let slot = &mut self.memo[acc.site];
+                if slot.iter().any(|m| *m == lanes) {
+                    instr -= match acc.space {
+                        CSpace::Shared => self.compiled.smem_load_cost,
+                        CSpace::Global => 1.0,
+                    };
+                    continue;
+                }
+                if slot.len() == 8 {
+                    slot.pop_front();
+                }
+                slot.push_back(lanes);
+            }
+            match acc.space {
+                CSpace::Global => {
+                    record_gmem(&mut self.counters, self.device.cc, &lanes, acc.is_store, self.weight);
+                }
+                CSpace::Shared => {
+                    if acc.is_store {
+                        self.counters.smem_store += self.weight;
+                    } else {
+                        self.counters.smem_load += self.weight;
+                    }
+                    let rep = smem_replays(self.device.smem_banks, &lanes) as f64;
+                    self.counters.smem_replays += rep * self.weight;
+                    self.counters.instructions += rep * self.weight;
+                }
+            }
+        }
+        self.counters.instructions += instr * self.weight;
+    }
+
+    /// Cooperative staging: this warp's share of the block-wide copy.
+    fn walk_stage(&mut self, st: &CStage) {
+        let lane0 = self.active.iter().position(|&a| a).expect("active lane");
+        let r0 = st.src_row0.eval(self.lane_env(lane0));
+        let c0 = st.src_col0.eval(self.lane_env(lane0));
+        let elems = st.rows * st.cols;
+        let iters = (elems + self.threads_per_block - 1) / self.threads_per_block;
+        // Iterations are identical in shape; sample up to 4.
+        let sample = iters.min(4);
+        let iter_weight = iters as f64 / sample as f64;
+        for s in 0..sample {
+            let iter = s * iters / sample;
+            let mut gl: [Option<i64>; WARP] = [None; WARP];
+            let mut sm: [Option<i64>; WARP] = [None; WARP];
+            for lane in 0..WARP {
+                let tid = self.warp_index * WARP as i64 + lane as i64;
+                if tid >= self.threads_per_block {
+                    continue;
+                }
+                let e = tid + iter * self.threads_per_block;
+                if e >= elems {
+                    continue;
+                }
+                // Column-major traversal coalesces on the column-major
+                // source; the strided variant walks rows first.
+                let (r, c) = if st.strided {
+                    (e / st.cols, e % st.cols)
+                } else {
+                    (e % st.rows, e / st.rows)
+                };
+                let (gr, gc) = (r0 + r, c0 + c);
+                if gr >= st.src_rows || gc >= st.src_cols {
+                    continue; // guarded off (edge tile)
+                }
+                gl[lane] = Some(st.src_base + gr + gc * st.src_ld);
+                let (dr, dc) = match st.mode {
+                    AllocMode::Transpose => (c, r),
+                    _ => (r, c),
+                };
+                sm[lane] = Some(st.dst_base + dr + dc * st.dst_ld);
+            }
+            let w = self.weight * iter_weight;
+            record_gmem(&mut self.counters, self.device.cc, &gl, false, w);
+            self.counters.smem_store += w;
+            let rep = smem_replays(self.device.smem_banks, &sm) as f64;
+            self.counters.smem_replays += rep * w;
+            // ~4 instructions per copied element per thread: index math,
+            // load, store, loop bookkeeping.
+            self.counters.instructions += 4.0 * w;
+        }
+        let _ = self.warps_per_block;
+    }
+
+    fn walk_regxfer(&mut self, elems: &[(CPred, CExpr)], is_store: bool) {
+        for (guard, word) in elems {
+            let mut lanes: [Option<i64>; WARP] = [None; WARP];
+            for lane in 0..WARP {
+                if self.active[lane] && self.eval_pred_lane(guard, lane) {
+                    lanes[lane] = Some(word.eval(self.lane_env(lane)));
+                }
+            }
+            if lanes.iter().all(|l| l.is_none()) {
+                continue;
+            }
+            record_gmem(&mut self.counters, self.device.cc, &lanes, is_store, self.weight);
+            self.counters.instructions += 2.0 * self.weight;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_loopir::builder::gemm_nn_like;
+    use oa_loopir::transform::{
+        loop_tiling, loop_unroll, reg_alloc, sm_alloc, thread_grouping, TileParams,
+    };
+
+    fn tuned_gemm(n: i64) -> (Program, Bindings) {
+        let mut p = gemm_nn_like("GEMM-NN");
+        // Volkov-like shape: 64 threads own exclusive rows; B staged in
+        // shared memory; 16 C columns per thread in registers.
+        let params = TileParams { ty: 64, tx: 16, thr_i: 64, thr_j: 1, kb: 16, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        loop_unroll(&mut p, &["Ljjj", "Lkkk"], 0).unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        (p, Bindings::square(n))
+    }
+
+    #[test]
+    fn gemm_perf_is_compute_bound_and_reasonable() {
+        let (p, b) = tuned_gemm(1024);
+        let dev = DeviceSpec::gtx285();
+        let flops = 2.0 * 1024f64.powi(3);
+        let rep = evaluate(&p, &b, &dev, flops, true).unwrap();
+        assert!(
+            rep.t_compute > rep.t_memory,
+            "a staged, register-tiled GEMM must be compute bound: {rep:?}"
+        );
+        // Between 25% and 95% of the 709 GFLOPS peak.
+        assert!(rep.gflops > 0.25 * 709.0, "gflops too low: {}", rep.gflops);
+        assert!(rep.gflops < 0.95 * 709.0, "gflops above peak share: {}", rep.gflops);
+        // Stores/loads are coalesced in this layout.
+        assert_eq!(rep.counters.gld_incoherent, 0.0);
+        assert_eq!(rep.counters.gst_incoherent, 0.0);
+    }
+
+    #[test]
+    fn naive_kernel_is_slower_than_tuned() {
+        // Thread grouping only, no tiling/staging: every B access goes to
+        // global memory.
+        let mut naive = gemm_nn_like("GEMM-NN");
+        let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        thread_grouping(&mut naive, "Li", "Lj", params).unwrap();
+        let b = Bindings::square(1024);
+        let dev = DeviceSpec::gtx285();
+        let flops = 2.0 * 1024f64.powi(3);
+        let naive_rep = evaluate(&naive, &b, &dev, flops, true).unwrap();
+        let (tuned, _) = tuned_gemm(1024);
+        let tuned_rep = evaluate(&tuned, &b, &dev, flops, true).unwrap();
+        assert!(
+            tuned_rep.gflops > 2.0 * naive_rep.gflops,
+            "tuned {} vs naive {}",
+            tuned_rep.gflops,
+            naive_rep.gflops
+        );
+    }
+
+    #[test]
+    fn flop_sampling_is_accurate() {
+        // The sampled+scaled flop counter must land within a few percent of
+        // the analytic 2*M*N*K.
+        let (p, b) = tuned_gemm(512);
+        let dev = DeviceSpec::gtx285();
+        let rep = evaluate(&p, &b, &dev, 1.0, true).unwrap();
+        let expect = 2.0 * 512f64.powi(3);
+        let ratio = rep.counters.flops / expect;
+        assert!((0.9..1.1).contains(&ratio), "flops ratio {ratio}");
+    }
+
+    #[test]
+    fn scaling_with_problem_size() {
+        let dev = DeviceSpec::gtx285();
+        let (p1, b1) = tuned_gemm(512);
+        let (p2, b2) = tuned_gemm(1024);
+        let r1 = evaluate(&p1, &b1, &dev, 2.0 * 512f64.powi(3), true).unwrap();
+        let r2 = evaluate(&p2, &b2, &dev, 2.0 * 1024f64.powi(3), true).unwrap();
+        // 8x the flops: time should grow roughly 8x (within 2x slack).
+        let ratio = r2.kernel_time_s / r1.kernel_time_s;
+        assert!((4.0..16.0).contains(&ratio), "time ratio {ratio}");
+    }
+
+    #[test]
+    fn triangular_flop_sampling_is_accurate() {
+        // TRMM's per-block work is triangular (linear in the block row);
+        // the stratified block/iteration sampling must still integrate the
+        // total flops to within ~15% of the analytic n^2(n+1).
+        use oa_loopir::builder::trmm_ll_like;
+        let mut p = trmm_ll_like("TRMM");
+        let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        let n = 512i64;
+        let rep = evaluate(&p, &Bindings::square(n), &DeviceSpec::gtx285(), 1.0, true).unwrap();
+        let expect = (n * n) as f64 * (n + 1) as f64; // 2 flops x n^2(n+1)/2
+        let ratio = rep.counters.flops / expect;
+        assert!((0.85..1.15).contains(&ratio), "triangular flops ratio {ratio}");
+    }
+
+    #[test]
+    fn strata_cover_weights() {
+        let s = strata(64, 5);
+        assert_eq!(s.iter().map(|(_, w)| *w).sum::<f64>(), 64.0);
+        let s1 = strata(3, 5);
+        assert_eq!(s1.len(), 3);
+        assert_eq!(strata(1, 5), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn occupancy_penalty_applies() {
+        // A 16-thread block cannot hide latency; occupancy derating must
+        // make it slower per flop than a 256-thread block.
+        let mut small = gemm_nn_like("g");
+        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 8, unroll: 0 };
+        thread_grouping(&mut small, "Li", "Lj", params).unwrap();
+        let b = Bindings::square(256);
+        let dev = DeviceSpec::gtx285();
+        let rep = evaluate(&small, &b, &dev, 2.0 * 256f64.powi(3), true).unwrap();
+        assert!(rep.occupancy <= 0.25);
+    }
+}

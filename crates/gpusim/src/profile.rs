@@ -1,0 +1,140 @@
+//! Profile counters in the vocabulary of `cuda_profile` (Tables I–III).
+//!
+//! * CC 1.0 reports `gld_incoherent`/`gld_coherent` (and `gst_*`) —
+//!   Table I's smoking gun for CUBLAS SYMM;
+//! * CC 1.3 reports everything as coherent (Table II's zeros);
+//! * CC 2.0 reports per-warp `gld_request`/`gst_request` plus
+//!   local-memory spills (Table III).
+//!
+//! Counts are kept as `f64` because the performance model derives them
+//! from stratified samples with fractional weights.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Hardware event counters accumulated by the performance model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProfileCounters {
+    /// Coalesced global-load transactions (CC 1.x).
+    pub gld_coherent: f64,
+    /// Non-coalesced global-load transactions (CC 1.0 only; zero on 1.3+).
+    pub gld_incoherent: f64,
+    /// Coalesced global-store transactions.
+    pub gst_coherent: f64,
+    /// Non-coalesced global-store transactions.
+    pub gst_incoherent: f64,
+    /// Per-warp global-load requests (CC 2.0).
+    pub gld_request: f64,
+    /// Per-warp global-store requests (CC 2.0).
+    pub gst_request: f64,
+    /// Local-memory (register spill) loads, per warp (CC 2.0).
+    pub local_load: f64,
+    /// Local-memory stores, per warp.
+    pub local_store: f64,
+    /// Shared-memory load accesses, per warp (replays included separately).
+    pub smem_load: f64,
+    /// Shared-memory store accesses, per warp.
+    pub smem_store: f64,
+    /// Shared-memory conflict replays (extra issue slots).
+    pub smem_replays: f64,
+    /// Dynamic warp instructions issued.
+    pub instructions: f64,
+    /// Bytes moved over the global-memory bus.
+    pub gmem_bytes: f64,
+    /// Floating-point operations executed (thread granularity).
+    pub flops: f64,
+}
+
+impl ProfileCounters {
+    /// Scale every counter (stratified-sampling weight).
+    pub fn scaled(&self, w: f64) -> ProfileCounters {
+        ProfileCounters {
+            gld_coherent: self.gld_coherent * w,
+            gld_incoherent: self.gld_incoherent * w,
+            gst_coherent: self.gst_coherent * w,
+            gst_incoherent: self.gst_incoherent * w,
+            gld_request: self.gld_request * w,
+            gst_request: self.gst_request * w,
+            local_load: self.local_load * w,
+            local_store: self.local_store * w,
+            smem_load: self.smem_load * w,
+            smem_store: self.smem_store * w,
+            smem_replays: self.smem_replays * w,
+            instructions: self.instructions * w,
+            gmem_bytes: self.gmem_bytes * w,
+            flops: self.flops * w,
+        }
+    }
+
+    /// Total global-memory transactions.
+    pub fn gmem_transactions(&self) -> f64 {
+        self.gld_coherent + self.gld_incoherent + self.gst_coherent + self.gst_incoherent
+    }
+}
+
+impl AddAssign for ProfileCounters {
+    fn add_assign(&mut self, o: ProfileCounters) {
+        self.gld_coherent += o.gld_coherent;
+        self.gld_incoherent += o.gld_incoherent;
+        self.gst_coherent += o.gst_coherent;
+        self.gst_incoherent += o.gst_incoherent;
+        self.gld_request += o.gld_request;
+        self.gst_request += o.gst_request;
+        self.local_load += o.local_load;
+        self.local_store += o.local_store;
+        self.smem_load += o.smem_load;
+        self.smem_store += o.smem_store;
+        self.smem_replays += o.smem_replays;
+        self.instructions += o.instructions;
+        self.gmem_bytes += o.gmem_bytes;
+        self.flops += o.flops;
+    }
+}
+
+/// Render a count the way the paper's tables do (`127M`, `0.42M`).
+pub fn fmt_millions(v: f64) -> String {
+    let m = v / 1.0e6;
+    if m == 0.0 {
+        "0".to_string()
+    } else if m < 10.0 {
+        format!("{m:.2}M")
+    } else {
+        format!("{m:.0}M")
+    }
+}
+
+impl fmt::Display for ProfileCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gld_incoherent  {}", fmt_millions(self.gld_incoherent))?;
+        writeln!(f, "gld_coherent    {}", fmt_millions(self.gld_coherent))?;
+        writeln!(f, "gst_incoherent  {}", fmt_millions(self.gst_incoherent))?;
+        writeln!(f, "gst_coherent    {}", fmt_millions(self.gst_coherent))?;
+        writeln!(f, "gld_request     {}", fmt_millions(self.gld_request))?;
+        writeln!(f, "gst_request     {}", fmt_millions(self.gst_request))?;
+        writeln!(f, "local_load      {}", fmt_millions(self.local_load))?;
+        writeln!(f, "local_store     {}", fmt_millions(self.local_store))?;
+        write!(f, "instructions    {}", fmt_millions(self.instructions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_and_addition() {
+        let mut a = ProfileCounters { gld_coherent: 2.0, instructions: 10.0, ..Default::default() };
+        let b = a.scaled(3.0);
+        assert_eq!(b.gld_coherent, 6.0);
+        a += b;
+        assert_eq!(a.instructions, 40.0);
+        assert_eq!(a.gmem_transactions(), 8.0);
+    }
+
+    #[test]
+    fn millions_formatting() {
+        assert_eq!(fmt_millions(127.0e6), "127M");
+        assert_eq!(fmt_millions(0.42e6), "0.42M");
+        assert_eq!(fmt_millions(0.0), "0");
+    }
+}

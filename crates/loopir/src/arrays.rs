@@ -1,0 +1,179 @@
+//! Array (matrix) declarations and memory-space / allocation-mode metadata.
+
+use crate::expr::AffineExpr;
+use std::fmt;
+
+/// Where an array lives in the GPU memory hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemSpace {
+    /// Device (global) memory — the default for all matrices.
+    Global,
+    /// Per-SM shared memory (scratchpad), introduced by `SM_alloc`.
+    Shared,
+    /// Per-thread registers, introduced by `Reg_alloc`.
+    Reg,
+}
+
+/// The allocation modes of `SM_alloc` / `GM_map` (Sec. III.B of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AllocMode {
+    /// `dest = src`
+    NoChange,
+    /// `dest = srcᵀ`
+    Transpose,
+    /// `dest = src + srcᵀ − diag(src)` — materializes the full matrix from
+    /// a triangular-stored symmetric one.
+    Symmetry,
+}
+
+impl fmt::Display for AllocMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AllocMode::NoChange => "NoChange",
+            AllocMode::Transpose => "Transpose",
+            AllocMode::Symmetry => "Symmetry",
+        })
+    }
+}
+
+/// Which part of a matrix is semantically meaningful.  BLAS3 packs
+/// symmetric and triangular matrices; the blank (unstored) part may or may
+/// not be physically zero — `Adaptor_Triangular`'s `cond(blank(X).zero)`
+/// rule keys on exactly this.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Fill {
+    /// Every element is meaningful (general matrix).
+    Full,
+    /// Only the lower triangle (including diagonal) is meaningful.
+    LowerTriangular,
+    /// Only the upper triangle (including diagonal) is meaningful.
+    UpperTriangular,
+}
+
+/// A matrix declaration.
+///
+/// All matrices are stored **column-major** (BLAS convention).  The leading
+/// dimension of a global array equals its row count; shared arrays may be
+/// padded (`pad`) to avoid shared-memory bank conflicts, e.g. a `(16, 16)`
+/// tile padded to `(16, 17)` as described in Sec. III.B.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayDecl {
+    /// Array name (`A`, `B`, `C`, `NewA`, `sB`, `rC`, …).
+    pub name: String,
+    /// Number of rows (may reference size parameters for global arrays;
+    /// must be constant for shared/register arrays).
+    pub rows: AffineExpr,
+    /// Number of columns.
+    pub cols: AffineExpr,
+    /// Memory space.
+    pub space: MemSpace,
+    /// Extra rows added to the leading dimension (column-major padding),
+    /// non-zero only for shared arrays.
+    pub pad: i64,
+    /// Semantic fill.
+    pub fill: Fill,
+    /// Whether the blank (unstored) area is guaranteed to contain zeros.
+    /// `padding_triangular` requires this (or a runtime check).
+    pub blank_is_zero: bool,
+}
+
+impl ArrayDecl {
+    /// A general (full) global matrix of symbolic size `rows × cols`.
+    pub fn global(name: impl Into<String>, rows: AffineExpr, cols: AffineExpr) -> Self {
+        Self {
+            name: name.into(),
+            rows,
+            cols,
+            space: MemSpace::Global,
+            pad: 0,
+            fill: Fill::Full,
+            blank_is_zero: false,
+        }
+    }
+
+    /// A triangular / symmetric-stored global matrix.
+    pub fn global_with_fill(
+        name: impl Into<String>,
+        rows: AffineExpr,
+        cols: AffineExpr,
+        fill: Fill,
+    ) -> Self {
+        Self { fill, ..Self::global(name, rows, cols) }
+    }
+
+    /// A constant-size shared-memory tile.
+    pub fn shared(name: impl Into<String>, rows: i64, cols: i64, pad: i64) -> Self {
+        Self {
+            name: name.into(),
+            rows: AffineExpr::cst(rows),
+            cols: AffineExpr::cst(cols),
+            space: MemSpace::Shared,
+            pad,
+            fill: Fill::Full,
+            blank_is_zero: false,
+        }
+    }
+
+    /// A constant-size per-thread register tile.
+    pub fn reg(name: impl Into<String>, rows: i64, cols: i64) -> Self {
+        Self {
+            name: name.into(),
+            rows: AffineExpr::cst(rows),
+            cols: AffineExpr::cst(cols),
+            space: MemSpace::Reg,
+            pad: 0,
+            fill: Fill::Full,
+            blank_is_zero: false,
+        }
+    }
+
+    /// Leading dimension (column-major): rows + padding.  Only meaningful
+    /// when `rows` is constant or after binding size parameters.
+    pub fn leading_dim(&self, env: &dyn Fn(&str) -> i64) -> i64 {
+        self.rows.eval(env) + self.pad
+    }
+
+    /// Total element count including padding (constant-size arrays only).
+    pub fn padded_len(&self, env: &dyn Fn(&str) -> i64) -> i64 {
+        self.leading_dim(env) * self.cols.eval(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_tile_padding_changes_leading_dim() {
+        let t = ArrayDecl::shared("sB", 16, 16, 1);
+        let env = |_: &str| panic!("constant");
+        assert_eq!(t.leading_dim(&env), 17);
+        assert_eq!(t.padded_len(&env), 17 * 16);
+    }
+
+    #[test]
+    fn global_symbolic_dims_eval() {
+        let a = ArrayDecl::global("A", AffineExpr::var("M"), AffineExpr::var("K"));
+        let env = |n: &str| match n {
+            "M" => 64,
+            "K" => 32,
+            _ => unreachable!(),
+        };
+        assert_eq!(a.leading_dim(&env), 64);
+        assert_eq!(a.padded_len(&env), 64 * 32);
+    }
+
+    #[test]
+    fn fill_defaults() {
+        let a = ArrayDecl::global("A", AffineExpr::var("M"), AffineExpr::var("M"));
+        assert_eq!(a.fill, Fill::Full);
+        let t = ArrayDecl::global_with_fill(
+            "L",
+            AffineExpr::var("M"),
+            AffineExpr::var("M"),
+            Fill::LowerTriangular,
+        );
+        assert_eq!(t.fill, Fill::LowerTriangular);
+        assert!(!t.blank_is_zero);
+    }
+}

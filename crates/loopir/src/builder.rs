@@ -1,0 +1,112 @@
+//! Convenience builders for the canonical BLAS3-shaped loop nests used
+//! throughout the crate's tests.  The real routine definitions (all 24
+//! variants) live in `oa-blas3`; these builders exist so `oa-loopir` can be
+//! tested standalone.
+
+use crate::arrays::ArrayDecl;
+use crate::expr::AffineExpr;
+use crate::nest::Program;
+use crate::scalar::{Access, ScalarExpr};
+use crate::stmt::{AssignOp, AssignStmt, Loop, Stmt};
+
+/// Build the triply nested update statement `C[i][j] (op)= A[ar][ac] * B[br][bc]`.
+pub fn mad_stmt(
+    c: (&str, &str),
+    a: (&str, &str),
+    b: (&str, &str),
+    op: AssignOp,
+) -> Stmt {
+    Stmt::Assign(AssignStmt::new(
+        Access::idx("C", c.0, c.1),
+        op,
+        ScalarExpr::mul(
+            ScalarExpr::load(Access::idx("A", a.0, a.1)),
+            ScalarExpr::load(Access::idx("B", b.0, b.1)),
+        ),
+    ))
+}
+
+/// The labeled GEMM-NN source nest of Fig. 3:
+///
+/// ```text
+/// Li: for (i = 0; i < M; i++)
+///   Lj: for (j = 0; j < N; j++)
+///     Lk: for (k = 0; k < K; k++)
+///       C[i][j] += A[i][k] * B[k][j];
+/// ```
+pub fn gemm_nn_like(name: &str) -> Program {
+    let mut p = Program::new(name, &["M", "N", "K"]);
+    p.declare(ArrayDecl::global("A", AffineExpr::var("M"), AffineExpr::var("K")));
+    p.declare(ArrayDecl::global("B", AffineExpr::var("K"), AffineExpr::var("N")));
+    p.declare(ArrayDecl::global("C", AffineExpr::var("M"), AffineExpr::var("N")));
+    let lk = Loop::new(
+        "Lk",
+        "k",
+        AffineExpr::zero(),
+        AffineExpr::var("K"),
+        vec![mad_stmt(("i", "j"), ("i", "k"), ("k", "j"), AssignOp::AddAssign)],
+    );
+    let lj = Loop::new(
+        "Lj",
+        "j",
+        AffineExpr::zero(),
+        AffineExpr::var("N"),
+        vec![Stmt::Loop(Box::new(lk))],
+    );
+    let li = Loop::new(
+        "Li",
+        "i",
+        AffineExpr::zero(),
+        AffineExpr::var("M"),
+        vec![Stmt::Loop(Box::new(lj))],
+    );
+    p.body = vec![Stmt::Loop(Box::new(li))];
+    p
+}
+
+/// A triangular-k nest (TRMM-LL-N shape):
+///
+/// ```text
+/// Li: for (i = 0; i < M; i++)
+///   Lj: for (j = 0; j < N; j++)
+///     Lk: for (k = 0; k <= i; k++)     // i.e. k < i + 1
+///       C[i][j] += A[i][k] * B[k][j];
+/// ```
+pub fn trmm_ll_like(name: &str) -> Program {
+    let mut p = gemm_nn_like(name);
+    // A is a lower-triangular matrix: only k <= i is ever touched, and the
+    // upper triangle is *blank* (not guaranteed zero unless a component
+    // arranges it).
+    p.declare(crate::arrays::ArrayDecl::global_with_fill(
+        "A",
+        AffineExpr::var("M"),
+        AffineExpr::var("K"),
+        crate::arrays::Fill::LowerTriangular,
+    ));
+    p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+        lk.upper = AffineExpr::var("i").add_const(1);
+        vec![Stmt::Loop(Box::new(lk))]
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_shape() {
+        let p = gemm_nn_like("g");
+        let lk = p.find_loop("Lk").unwrap();
+        assert_eq!(lk.upper, AffineExpr::var("K"));
+        assert_eq!(p.assignments().len(), 1);
+    }
+
+    #[test]
+    fn trmm_triangular_bound() {
+        let p = trmm_ll_like("t");
+        let lk = p.find_loop("Lk").unwrap();
+        assert!(lk.has_nonrectangular_bounds());
+        assert_eq!(lk.upper, AffineExpr::var("i").add_const(1));
+    }
+}

@@ -1,0 +1,423 @@
+//! Data-dependence analysis.
+//!
+//! The paper delegates legality checking to the PolyDeps tool over the
+//! polyhedral IR.  We implement the equivalent as an *instance-wise dynamic
+//! test*: the loop nest is enumerated on small sampled sizes, every memory
+//! access instance is recorded with its iteration vector, and the exact
+//! flow/anti/output dependences between statement instances are derived.
+//! For the affine, parameter-monotone nests of BLAS3, behaviour at a small
+//! size is representative of all sizes (subscripts are affine and loop
+//! bounds grow monotonically with the parameters), so this test doubles as
+//! the GCD/Banerjee static test with none of its conservatism.
+
+use crate::nest::Program;
+use crate::stmt::{AssignOp, Loop, Stmt};
+use std::collections::HashMap;
+
+/// Dependence kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Read-after-write.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+}
+
+/// One (summarized) dependence edge between two static statements.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Dependence {
+    /// Kind of the dependence.
+    pub kind: DepKind,
+    /// Array through which the dependence flows.
+    pub array: String,
+    /// Source statement id (pre-order index of `Stmt::Assign` nodes).
+    pub src_stmt: usize,
+    /// Destination statement id.
+    pub dst_stmt: usize,
+    /// Label of the outermost common loop whose iterator differs between
+    /// the two instances, or `None` for loop-independent dependences.
+    pub carrier: Option<String>,
+    /// True when both endpoints are the same accumulation statement
+    /// updating the same location (`+=`/`-=` self-dependence).  Such
+    /// reduction dependences may be reordered (associativity) but still
+    /// forbid naive parallelization of the carrying loop.
+    pub is_reduction: bool,
+}
+
+/// The dependence graph of a program, computed at a sample size.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// Deduplicated dependence edges.
+    pub deps: Vec<Dependence>,
+}
+
+impl DepGraph {
+    /// Compute the graph by enumerating the nest at the given bindings.
+    ///
+    /// Only `Loop` / `Assign` / `If` statements participate (macro memory
+    /// statements are introduced after legality checking, as in the paper
+    /// where the allocator runs after the filter).
+    pub fn compute(program: &Program, bindings: &crate::interp::Bindings) -> Self {
+        let mut walker = Walker {
+            program,
+            bindings,
+            iter_stack: Vec::new(),
+            env: HashMap::new(),
+            last_writer: HashMap::new(),
+            readers: HashMap::new(),
+            edges: HashMap::new(),
+            stmt_counter: 0,
+            stmt_ids: HashMap::new(),
+            stmt_ops: HashMap::new(),
+        };
+        walker.walk_stmts(&program.body, &mut Vec::new());
+        let mut deps: Vec<Dependence> = walker.edges.into_keys().collect();
+        deps.sort_by(|a, b| {
+            (a.src_stmt, a.dst_stmt, &a.array, a.kind as u8)
+                .cmp(&(b.src_stmt, b.dst_stmt, &b.array, b.kind as u8))
+        });
+        Self { deps }
+    }
+
+    /// True when no dependence (reduction or otherwise) is carried by the
+    /// loop with the given label — i.e. its iterations may execute in
+    /// parallel with no further machinery.
+    pub fn loop_is_parallel(&self, label: &str) -> bool {
+        !self.deps.iter().any(|d| d.carrier.as_deref() == Some(label))
+    }
+
+    /// True when the only dependences carried by the loop are reduction
+    /// self-dependences — the loop may be reordered/tiled (associativity)
+    /// but not trivially parallelized.
+    pub fn loop_is_reduction(&self, label: &str) -> bool {
+        let carried: Vec<_> =
+            self.deps.iter().filter(|d| d.carrier.as_deref() == Some(label)).collect();
+        !carried.is_empty() && carried.iter().all(|d| d.is_reduction)
+    }
+
+    /// Dependences carried by a given loop label.
+    pub fn carried_by<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Dependence> + 'a {
+        self.deps.iter().filter(move |d| d.carrier.as_deref() == Some(label))
+    }
+}
+
+/// An instance identifier: statement id plus the iteration vector of its
+/// enclosing loops (label, value) from outermost in.
+type Instance = (usize, Vec<(String, i64)>);
+
+struct Walker<'a> {
+    program: &'a Program,
+    bindings: &'a crate::interp::Bindings,
+    iter_stack: Vec<(String, String, i64)>, // (label, var, value)
+    env: HashMap<String, i64>,
+    /// (array, r, c) -> last writing instance
+    last_writer: HashMap<(String, i64, i64), Instance>,
+    /// (array, r, c) -> readers since last write
+    readers: HashMap<(String, i64, i64), Vec<Instance>>,
+    edges: HashMap<Dependence, ()>,
+    stmt_counter: usize,
+    stmt_ids: HashMap<*const crate::stmt::AssignStmt, usize>,
+    stmt_ops: HashMap<usize, AssignOp>,
+}
+
+impl<'a> Walker<'a> {
+    fn lookup(&self, name: &str) -> i64 {
+        if let Some(v) = self.env.get(name) {
+            *v
+        } else {
+            self.program.resolve(name, self.bindings)
+        }
+    }
+
+    fn walk_stmts(&mut self, stmts: &[Stmt], _path: &mut Vec<usize>) {
+        for s in stmts {
+            match s {
+                Stmt::Loop(l) => self.walk_loop(l),
+                Stmt::Assign(a) => self.visit_assign(a),
+                Stmt::If { pred, then_body, else_body } => {
+                    // Polyhedral sequences (the only input to legality
+                    // checking) contain affine guards only; the special
+                    // thread0/blank flags default permissively.
+                    let ok = pred.eval(&|n| self.lookup(n), true, true);
+                    if ok {
+                        self.walk_stmts(then_body, _path);
+                    } else {
+                        self.walk_stmts(else_body, _path);
+                    }
+                }
+                // Macro statements don't exist at legality-check time.
+                _ => {}
+            }
+        }
+    }
+
+    fn walk_loop(&mut self, l: &Loop) {
+        // Mapped loops are analyzed under sequential semantics, which is
+        // conservative for dependence existence.
+        let lo = l.lower.eval(&|n| self.lookup(n));
+        let hi = l.upper.eval(&|n| self.lookup(n));
+        for v in lo..hi {
+            self.env.insert(l.var.clone(), v);
+            self.iter_stack.push((l.label.clone(), l.var.clone(), v));
+            let body = &l.body;
+            self.walk_stmts(body, &mut Vec::new());
+            self.iter_stack.pop();
+        }
+        self.env.remove(&l.var);
+    }
+
+    fn stmt_id(&mut self, a: &crate::stmt::AssignStmt) -> usize {
+        let ptr = a as *const _;
+        if let Some(id) = self.stmt_ids.get(&ptr) {
+            *id
+        } else {
+            let id = self.stmt_counter;
+            self.stmt_counter += 1;
+            self.stmt_ids.insert(ptr, id);
+            self.stmt_ops.insert(id, a.op);
+            id
+        }
+    }
+
+    fn current_instance(&self, stmt: usize) -> Instance {
+        (stmt, self.iter_stack.iter().map(|(lbl, _, v)| (lbl.clone(), *v)).collect())
+    }
+
+    fn visit_assign(&mut self, a: &crate::stmt::AssignStmt) {
+        let id = self.stmt_id(a);
+        let inst = self.current_instance(id);
+
+        // Reads first (for `+=`, the read of the destination happens before
+        // the write).  The accumulator read is tagged: only flow
+        // self-dependences through it qualify as reduction dependences.
+        let mut reads: Vec<((String, i64, i64), bool)> = a
+            .rhs
+            .accesses()
+            .iter()
+            .map(|acc| {
+                (
+                    (
+                        acc.array.clone(),
+                        acc.row.eval(&|n| self.lookup(n)),
+                        acc.col.eval(&|n| self.lookup(n)),
+                    ),
+                    false,
+                )
+            })
+            .collect();
+        if a.op != AssignOp::Assign {
+            reads.push((
+                (
+                    a.lhs.array.clone(),
+                    a.lhs.row.eval(&|n| self.lookup(n)),
+                    a.lhs.col.eval(&|n| self.lookup(n)),
+                ),
+                true,
+            ));
+        }
+        for (key, is_acc) in &reads {
+            if let Some(writer) = self.last_writer.get(key) {
+                self.record(DepKind::Flow, &key.0, writer.clone(), inst.clone(), *is_acc);
+            }
+            self.readers.entry(key.clone()).or_default().push(inst.clone());
+        }
+
+        // Then the write.
+        let wkey = (
+            a.lhs.array.clone(),
+            a.lhs.row.eval(&|n| self.lookup(n)),
+            a.lhs.col.eval(&|n| self.lookup(n)),
+        );
+        if let Some(prev) = self.last_writer.get(&wkey) {
+            let acc = a.op != AssignOp::Assign;
+            self.record(DepKind::Output, &wkey.0, prev.clone(), inst.clone(), acc);
+        }
+        if let Some(rs) = self.readers.remove(&wkey) {
+            let acc = a.op != AssignOp::Assign;
+            for r in rs {
+                if r != inst {
+                    self.record(DepKind::Anti, &wkey.0, r, inst.clone(), acc);
+                }
+            }
+        }
+        self.last_writer.insert(wkey, inst);
+    }
+
+    fn record(
+        &mut self,
+        kind: DepKind,
+        array: &str,
+        src: Instance,
+        dst: Instance,
+        via_accumulator: bool,
+    ) {
+        if src == dst {
+            return; // within a single instance (e.g. `+=` read/write pair)
+        }
+        // Outermost common loop whose value differs.
+        let mut carrier = None;
+        for ((ls, vs), (ld, vd)) in src.1.iter().zip(dst.1.iter()) {
+            if ls != ld {
+                break; // no longer a common loop
+            }
+            if vs != vd {
+                carrier = Some(ls.clone());
+                break;
+            }
+        }
+        let same_stmt = src.0 == dst.0;
+        let is_reduction = same_stmt
+            && via_accumulator
+            && matches!(
+                self.stmt_ops.get(&src.0),
+                Some(AssignOp::AddAssign) | Some(AssignOp::SubAssign)
+            );
+        let dep = Dependence {
+            kind,
+            array: array.to_string(),
+            src_stmt: src.0,
+            dst_stmt: dst.0,
+            carrier,
+            is_reduction,
+        };
+        self.edges.insert(dep, ());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{gemm_nn_like, trmm_ll_like};
+    use crate::expr::AffineExpr;
+    use crate::interp::Bindings;
+    use crate::scalar::{Access, ScalarExpr};
+    use crate::stmt::{AssignOp, AssignStmt, Loop, Stmt};
+
+    #[test]
+    fn gemm_k_is_reduction_i_j_parallel() {
+        let p = gemm_nn_like("g");
+        let g = DepGraph::compute(&p, &Bindings::square(5));
+        assert!(g.loop_is_parallel("Li"), "i carries nothing: {:?}", g.deps);
+        assert!(g.loop_is_parallel("Lj"));
+        assert!(!g.loop_is_parallel("Lk"));
+        assert!(g.loop_is_reduction("Lk"));
+    }
+
+    #[test]
+    fn trmm_same_structure() {
+        let p = trmm_ll_like("t");
+        let g = DepGraph::compute(&p, &Bindings::square(5));
+        assert!(g.loop_is_parallel("Li"));
+        assert!(g.loop_is_parallel("Lj"));
+        assert!(g.loop_is_reduction("Lk"));
+    }
+
+    #[test]
+    fn trsm_like_i_loop_carries_flow() {
+        // Li: for i; Lj: for j; Lk: for k < i: B[i][j] -= A[i][k]*B[k][j]
+        let mut p = gemm_nn_like("trsm-like");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        // B must be square for B[i][j] writes with i in 0..M: M=K here.
+        let g = DepGraph::compute(&p, &Bindings::square(5));
+        assert!(
+            !g.loop_is_parallel("Li"),
+            "solver pattern must carry a dependence on Li: {:?}",
+            g.deps
+        );
+        // And it is a genuine flow dependence, not just a reduction.
+        assert!(!g.loop_is_reduction("Li"));
+        assert!(g.loop_is_parallel("Lj"));
+    }
+
+    #[test]
+    fn independent_writes_no_deps() {
+        // for i: C[i][0] = A[i][0]  — no dependences at all.
+        let mut p = gemm_nn_like("w");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M"),
+            vec![Stmt::Assign(AssignStmt::new(
+                Access::new("C", AffineExpr::var("i"), AffineExpr::zero()),
+                AssignOp::Assign,
+                ScalarExpr::load(Access::new("A", AffineExpr::var("i"), AffineExpr::zero())),
+            ))],
+        )))];
+        let g = DepGraph::compute(&p, &Bindings::square(5));
+        assert!(g.deps.is_empty());
+        assert!(g.loop_is_parallel("Li"));
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        // S1: C[i][0] = A[i][0]; then A[i][0] = 0  — anti dep, loop-independent.
+        let mut p = gemm_nn_like("anti");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M"),
+            vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("i"), AffineExpr::zero()),
+                    AssignOp::Assign,
+                    ScalarExpr::load(Access::new("A", AffineExpr::var("i"), AffineExpr::zero())),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("A", AffineExpr::var("i"), AffineExpr::zero()),
+                    AssignOp::Assign,
+                    ScalarExpr::Lit(0.0),
+                )),
+            ],
+        )))];
+        let g = DepGraph::compute(&p, &Bindings::square(4));
+        assert!(g.deps.iter().any(|d| d.kind == DepKind::Anti && d.carrier.is_none()));
+    }
+
+    #[test]
+    fn symm_shadow_write_carried_by_i() {
+        // The SYMM-LN pattern: the shadow statement writes C[k][j], read
+        // later as C[i][j] by other iterations -> Li carries deps.
+        let mut p = gemm_nn_like("symm");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "i", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "k", "j")),
+                    ),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "k", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "i", "j")),
+                    ),
+                )),
+            ];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let g = DepGraph::compute(&p, &Bindings::square(5));
+        // The two statements write overlapping C locations across i
+        // iterations: Li carries output dependences.
+        assert!(!g.loop_is_parallel("Li"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Affine integer expressions over loop iterators and symbolic parameters.
+//!
+//! Every loop bound and every array subscript in the BLAS3 loop nests is an
+//! integer-linear combination of loop variables (`i`, `k`, …), symbolic
+//! problem parameters (`M`, `N`, `K`, tile sizes once bound), the CUDA
+//! builtin indices introduced by `thread_grouping` (`bx`, `by`, `tx`, `ty`),
+//! and a constant.  This module is the arithmetic bedrock for the whole
+//! polyhedral-lite pipeline: transformations substitute variables, the
+//! dependence test reasons about subscript differences, and the simulator
+//! evaluates the same expressions to concrete addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Names of the CUDA builtin index variables introduced by
+/// `thread_grouping`.  They are ordinary [`AffineExpr`] variables; the
+/// lowering stage gives them their per-thread values.
+pub const BLOCK_X: &str = "bx";
+/// See [`BLOCK_X`].
+pub const BLOCK_Y: &str = "by";
+/// See [`BLOCK_X`].
+pub const THREAD_X: &str = "tx";
+/// See [`BLOCK_X`].
+pub const THREAD_Y: &str = "ty";
+
+/// An affine (integer-linear) expression: `Σ cᵥ·v + c₀`.
+///
+/// The variable map is a `BTreeMap` so that expressions have a canonical
+/// form: printing, hashing and equality are deterministic, and zero
+/// coefficients are never stored.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    terms: BTreeMap<String, i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn cst(c: i64) -> Self {
+        Self { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(name: impl Into<String>) -> Self {
+        Self::term(name, 1)
+    }
+
+    /// A single variable with an explicit coefficient.
+    pub fn term(name: impl Into<String>, coeff: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert(name.into(), coeff);
+        }
+        Self { terms, constant: 0 }
+    }
+
+    /// The constant part `c₀`.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Coefficient of `name` (0 if absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.terms.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(variable, coefficient)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.terms.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `Some(c)` if the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        self.is_const().then_some(self.constant)
+    }
+
+    /// True if `name` occurs with a non-zero coefficient.
+    pub fn uses(&self, name: &str) -> bool {
+        self.terms.contains_key(name)
+    }
+
+    /// All variable names occurring in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.keys().map(|s| s.as_str())
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        let mut out = self.clone();
+        for (v, c) in &other.terms {
+            let e = out.terms.entry(v.clone()).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.terms.remove(v);
+            }
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &AffineExpr) -> AffineExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// `self + c`.
+    pub fn add_const(&self, c: i64) -> AffineExpr {
+        let mut out = self.clone();
+        out.constant += c;
+        out
+    }
+
+    /// `self · c`.
+    pub fn scale(&self, c: i64) -> AffineExpr {
+        if c == 0 {
+            return AffineExpr::zero();
+        }
+        let mut out = self.clone();
+        for coeff in out.terms.values_mut() {
+            *coeff *= c;
+        }
+        out.constant *= c;
+        out
+    }
+
+    /// Substitute `replacement` for every occurrence of variable `name`.
+    ///
+    /// This is how loop transformations rewrite subscripts: tiling replaces
+    /// `i` with `ib·T + it`, thread distribution replaces `it` with
+    /// `ty`-based expressions, and so on.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> AffineExpr {
+        let coeff = self.coeff(name);
+        if coeff == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(name);
+        out.add(&replacement.scale(coeff))
+    }
+
+    /// Rename a variable (used by loop interchange / iterator renaming).
+    pub fn rename(&self, from: &str, to: &str) -> AffineExpr {
+        self.subst(from, &AffineExpr::var(to))
+    }
+
+    /// Evaluate under a concrete environment.  Panics in debug builds on an
+    /// unbound variable; in the simulator every variable is always bound.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64) -> i64 {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            acc += c * env(v);
+        }
+        acc
+    }
+
+    /// The greatest common divisor of all variable coefficients
+    /// (0 when there are none).  Used by the GCD dependence test.
+    pub fn coeff_gcd(&self) -> i64 {
+        self.terms.values().fold(0i64, |g, &c| gcd(g, c.abs()))
+    }
+}
+
+/// Euclid's gcd on non-negative integers (`gcd(0, x) == x`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                match c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    _ => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}*{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators usable in affine guards.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single affine comparison `lhs ⋈ rhs`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AffineCond {
+    /// Left-hand side.
+    pub lhs: AffineExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: AffineExpr,
+}
+
+impl AffineCond {
+    /// Construct a comparison.
+    pub fn new(lhs: AffineExpr, op: CmpOp, rhs: AffineExpr) -> Self {
+        Self { lhs, op, rhs }
+    }
+
+    /// Evaluate under a concrete environment.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64) -> bool {
+        self.op.eval(self.lhs.eval(env), self.rhs.eval(env))
+    }
+
+    /// Rename a variable on both sides.
+    pub fn rename(&self, from: &str, to: &str) -> Self {
+        Self { lhs: self.lhs.rename(from, to), op: self.op, rhs: self.rhs.rename(from, to) }
+    }
+
+    /// Substitute an expression for a variable on both sides.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Self {
+        Self {
+            lhs: self.lhs.subst(name, replacement),
+            op: self.op,
+            rhs: self.rhs.subst(name, replacement),
+        }
+    }
+}
+
+impl fmt::Display for AffineCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A guard predicate: the conjunction of affine comparisons, optionally
+/// extended with the two "special" conditions the paper needs —
+/// `threadIdx == (0,0)` (from `binding_triangular`) and the runtime
+/// `blank(X).zero` flag (from `Adaptor_Triangular`'s multi-version rule).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Predicate {
+    /// Affine conjuncts; empty means `true` (unless a special flag is set).
+    pub conds: Vec<AffineCond>,
+    /// Require `threadIdx.x == 0 && threadIdx.y == 0`.
+    pub thread0_only: bool,
+    /// Require the runtime `check_blank_zero(X)` flag for the named array.
+    pub blank_zero: Option<String>,
+    /// If `true`, the `blank_zero` flag requirement is negated (the
+    /// fallback version of multi-versioned code).
+    pub blank_zero_negated: bool,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Self::default()
+    }
+
+    /// A predicate with a single affine conjunct.
+    pub fn cond(lhs: AffineExpr, op: CmpOp, rhs: AffineExpr) -> Self {
+        Self { conds: vec![AffineCond::new(lhs, op, rhs)], ..Self::default() }
+    }
+
+    /// The `threadIdx == (0,0)` predicate.
+    pub fn thread0() -> Self {
+        Self { thread0_only: true, ..Self::default() }
+    }
+
+    /// Conjoin another affine condition.
+    pub fn and(mut self, c: AffineCond) -> Self {
+        self.conds.push(c);
+        self
+    }
+
+    /// True if the predicate is trivially `true`.
+    pub fn is_always(&self) -> bool {
+        self.conds.is_empty() && !self.thread0_only && self.blank_zero.is_none()
+    }
+
+    /// Evaluate the affine part under `env`; the caller supplies the values
+    /// of the special flags.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64, thread0: bool, blank_zero: bool) -> bool {
+        if self.thread0_only && !thread0 {
+            return false;
+        }
+        if self.blank_zero.is_some() {
+            let want = !self.blank_zero_negated;
+            if blank_zero != want {
+                return false;
+            }
+        }
+        self.conds.iter().all(|c| c.eval(env))
+    }
+
+    /// Substitute an expression for a variable in every affine conjunct.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Self {
+        Self {
+            conds: self.conds.iter().map(|c| c.subst(name, replacement)).collect(),
+            thread0_only: self.thread0_only,
+            blank_zero: self.blank_zero.clone(),
+            blank_zero_negated: self.blank_zero_negated,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.thread0_only {
+            parts.push("threadIdx.x == 0 && threadIdx.y == 0".to_string());
+        }
+        if let Some(a) = &self.blank_zero {
+            if self.blank_zero_negated {
+                parts.push(format!("!blank({a}).zero"));
+            } else {
+                parts.push(format!("blank({a}).zero"));
+            }
+        }
+        for c in &self.conds {
+            parts.push(c.to_string());
+        }
+        if parts.is_empty() {
+            f.write_str("true")
+        } else {
+            f.write_str(&parts.join(" && "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, i64)]) -> impl Fn(&str) -> i64 + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("unbound var {name}"))
+        }
+    }
+
+    #[test]
+    fn constant_arithmetic() {
+        let a = AffineExpr::cst(3).add(&AffineExpr::cst(4));
+        assert_eq!(a.as_const(), Some(7));
+        assert!(a.is_const());
+    }
+
+    #[test]
+    fn add_cancels_zero_coefficients() {
+        let a = AffineExpr::var("i").add(&AffineExpr::term("i", -1));
+        assert!(a.is_const());
+        assert_eq!(a.as_const(), Some(0));
+    }
+
+    #[test]
+    fn subst_replaces_with_coefficient() {
+        // 2*i + 3 with i := 4*ib + it  ->  8*ib + 2*it + 3
+        let e = AffineExpr::term("i", 2).add_const(3);
+        let rep = AffineExpr::term("ib", 4).add(&AffineExpr::var("it"));
+        let out = e.subst("i", &rep);
+        assert_eq!(out.coeff("ib"), 8);
+        assert_eq!(out.coeff("it"), 2);
+        assert_eq!(out.constant(), 3);
+        assert!(!out.uses("i"));
+    }
+
+    #[test]
+    fn subst_absent_var_is_identity() {
+        let e = AffineExpr::var("i").add_const(1);
+        let out = e.subst("j", &AffineExpr::cst(5));
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn eval_linear() {
+        let e = AffineExpr::term("i", 2).add(&AffineExpr::term("j", -1)).add_const(10);
+        assert_eq!(e.eval(&env(&[("i", 3), ("j", 4)])), 2 * 3 - 4 + 10);
+    }
+
+    #[test]
+    fn scale_by_zero_gives_zero() {
+        let e = AffineExpr::var("i").add_const(7);
+        assert_eq!(e.scale(0), AffineExpr::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn coeff_gcd_over_terms() {
+        let e = AffineExpr::term("i", 6).add(&AffineExpr::term("j", 9));
+        assert_eq!(e.coeff_gcd(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = AffineExpr::term("i", 2).add(&AffineExpr::term("j", -1)).add_const(-3);
+        assert_eq!(e.to_string(), "2*i - j - 3");
+        assert_eq!(AffineExpr::cst(0).to_string(), "0");
+        assert_eq!(AffineExpr::var("k").to_string(), "k");
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Eq.eval(1, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+    }
+
+    #[test]
+    fn predicate_eval_with_specials() {
+        let p = Predicate::cond(AffineExpr::var("i"), CmpOp::Lt, AffineExpr::var("M"));
+        let e = env(&[("i", 3), ("M", 4)]);
+        assert!(p.eval(&e, false, false));
+
+        let p0 = Predicate::thread0();
+        assert!(p0.eval(&|_| 0, true, false));
+        assert!(!p0.eval(&|_| 0, false, false));
+
+        let bz = Predicate { blank_zero: Some("A".into()), ..Predicate::default() };
+        assert!(bz.eval(&|_| 0, false, true));
+        assert!(!bz.eval(&|_| 0, false, false));
+
+        let nbz = Predicate {
+            blank_zero: Some("A".into()),
+            blank_zero_negated: true,
+            ..Predicate::default()
+        };
+        assert!(nbz.eval(&|_| 0, false, false));
+        assert!(!nbz.eval(&|_| 0, false, true));
+    }
+
+    #[test]
+    fn predicate_subst_applies_to_conjuncts() {
+        let p = Predicate::cond(AffineExpr::var("i"), CmpOp::Le, AffineExpr::var("M"));
+        let q = p.subst("i", &AffineExpr::term("ib", 16));
+        assert_eq!(q.conds[0].lhs.coeff("ib"), 16);
+    }
+
+    #[test]
+    fn rename_var() {
+        let e = AffineExpr::var("i").add(&AffineExpr::var("k"));
+        let r = e.rename("i", "k");
+        assert_eq!(r.coeff("k"), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # oa-loopir — affine loop-nest IR and optimization components
+//!
+//! The polyhedral-lite substrate of the OA framework reproduction
+//! ("Automatic Library Generation for BLAS3 on GPUs", IPPS 2011).  This
+//! crate stands in for the paper's Open64 / URUK / WRaP-IT toolchain:
+//!
+//! * an affine IR of labeled loop nests over column-major matrices
+//!   ([`nest::Program`]);
+//! * the optimization components the EPOD scripts invoke ([`transform`]);
+//! * instance-wise dependence analysis ([`deps`], the PolyDeps stand-in);
+//! * a sequential reference interpreter used for exact sampled legality
+//!   checking ([`interp`]).
+//!
+//! ```
+//! use oa_loopir::builder::gemm_nn_like;
+//! use oa_loopir::transform::{thread_grouping, loop_tiling, sm_alloc, reg_alloc, TileParams};
+//! use oa_loopir::arrays::AllocMode;
+//!
+//! // The EPOD script of Fig. 3, applied by hand:
+//! let mut p = gemm_nn_like("GEMM-NN");
+//! let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+//! let (lii, ljj) = thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+//! loop_tiling(&mut p, &lii, &ljj, "Lk").unwrap();
+//! sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+//! reg_alloc(&mut p, "C").unwrap();
+//! assert!(p.array("sB").is_some() && p.array("rC").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrays;
+pub mod builder;
+pub mod deps;
+pub mod expr;
+pub mod interp;
+pub mod nest;
+pub mod pretty;
+pub mod scalar;
+pub mod stmt;
+pub mod transform;
+
+pub use arrays::{AllocMode, ArrayDecl, Fill, MemSpace};
+pub use expr::{AffineCond, AffineExpr, CmpOp, Predicate};
+pub use nest::{BlankZeroCheck, DerivedParam, MapKernel, Program};
+pub use scalar::{Access, BinOp, ScalarExpr};
+pub use stmt::{AssignOp, AssignStmt, Loop, LoopMapping, RegTile, SharedStage, Stmt};
+pub use transform::{TileParams, TilingInfo, TransformError};

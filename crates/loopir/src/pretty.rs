@@ -1,0 +1,122 @@
+//! Pretty-printer: renders a [`Program`] as labeled C-like source, the same
+//! notation the paper uses in its figures.  Used by documentation, tests
+//! and the `fig14` harness (which prints best-performing scripts next to
+//! their transformed code).
+
+use crate::nest::Program;
+use crate::stmt::{LoopMapping, Stmt};
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// routine {}", p.name);
+    for a in &p.arrays {
+        let _ = writeln!(
+            out,
+            "// array {} [{} x {}] {:?}{}",
+            a.name,
+            a.rows,
+            a.cols,
+            a.space,
+            if a.pad > 0 { format!(" pad+{}", a.pad) } else { String::new() }
+        );
+    }
+    for mk in &p.prologues {
+        let _ = writeln!(out, "// GM_map kernel: {} = {}({})", mk.dst, mk.mode, mk.src);
+    }
+    for chk in &p.blank_checks {
+        let _ = writeln!(out, "// runtime: blank_zero_{} = check_blank_zero({});", chk.array, chk.array);
+    }
+    pretty_stmts(&p.body, 0, &mut out);
+    out
+}
+
+/// Render a statement list at the given indent depth.
+pub fn pretty_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                let map = match l.mapping {
+                    LoopMapping::Seq => String::new(),
+                    m => format!("  // -> {m:?}"),
+                };
+                let unroll = match l.unroll {
+                    0 => "  // fully unrolled".to_string(),
+                    1 => String::new(),
+                    n => format!("  // unroll x{n}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}{}: for ({} = {}; {} < {}; {}++) {{{map}{unroll}",
+                    l.label, l.var, l.lower, l.var, l.upper, l.var
+                );
+                pretty_stmts(&l.body, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Assign(a) => {
+                let _ = writeln!(out, "{pad}{a}");
+            }
+            Stmt::If { pred, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if ({pred}) {{");
+                pretty_stmts(then_body, depth + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    pretty_stmts(else_body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::Stage(st) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}__stage_shared({} <- {}[{}..+{}][{}..+{}], {});",
+                    st.dst, st.src, st.src_row0, st.rows, st.src_col0, st.cols, st.mode
+                );
+            }
+            Stmt::RegLoad(rt) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}__reg_load({}[{}x{}] <- {}[{}][{}], stride ({}, {}));",
+                    rt.reg, rt.rows, rt.cols, rt.global, rt.row0, rt.col0, rt.row_stride, rt.col_stride
+                );
+            }
+            Stmt::RegZero(rt) => {
+                let _ = writeln!(out, "{pad}__reg_zero({}[{}x{}]);", rt.reg, rt.rows, rt.cols);
+            }
+            Stmt::RegStore(rt) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}__reg_store({}[{}][{}] <- {}[{}x{}], stride ({}, {}));",
+                    rt.global, rt.row0, rt.col0, rt.reg, rt.rows, rt.cols, rt.row_stride, rt.col_stride
+                );
+            }
+            Stmt::Sync => {
+                let _ = writeln!(out, "{pad}__syncthreads();");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::gemm_nn_like;
+
+    #[test]
+    fn gemm_pretty_contains_labels_and_update() {
+        let p = gemm_nn_like("GEMM-NN");
+        let s = p.to_string();
+        assert!(s.contains("Li: for (i = 0; i < M; i++)"));
+        assert!(s.contains("Lk: for (k = 0; k < K; k++)"));
+        assert!(s.contains("C[i][j] += (A[i][k] * B[k][j]);"));
+    }
+
+    #[test]
+    fn triangular_pretty_bound() {
+        let p = crate::builder::trmm_ll_like("TRMM");
+        let s = p.to_string();
+        assert!(s.contains("k < i + 1"));
+    }
+}

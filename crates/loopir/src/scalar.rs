@@ -1,0 +1,286 @@
+//! Scalar (floating-point) expressions: the right-hand sides of the BLAS3
+//! update statements, built from matrix accesses, scalar parameters
+//! (`alpha`, `beta`), literals and arithmetic.
+
+use crate::expr::AffineExpr;
+use std::fmt;
+
+/// A matrix element access `X[row][col]` with affine subscripts.
+///
+/// Subscripts are *logical* (row, column); the storage layout (column-major
+/// throughout, per the BLAS convention the paper follows) is applied when
+/// lowering to the GPU kernel IR.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Array (matrix) name.
+    pub array: String,
+    /// Row subscript.
+    pub row: AffineExpr,
+    /// Column subscript.
+    pub col: AffineExpr,
+    /// True when this access reads the *stored mirror* of the logical
+    /// element: the routine logically wants element `(col, row)` of a
+    /// symmetric matrix but reads the physically stored `(row, col)`
+    /// (the "shadow area" of Fig. 5).  `GM_map(X, Symmetry)` turns a
+    /// mirrored access of `X[r][c]` into a plain access of `NewX[c][r]`.
+    pub mirrored: bool,
+}
+
+impl Access {
+    /// Construct a plain access.
+    pub fn new(array: impl Into<String>, row: AffineExpr, col: AffineExpr) -> Self {
+        Self { array: array.into(), row, col, mirrored: false }
+    }
+
+    /// Shorthand: `X[r][c]` with single-variable subscripts.
+    pub fn idx(array: impl Into<String>, r: &str, c: &str) -> Self {
+        Self::new(array, AffineExpr::var(r), AffineExpr::var(c))
+    }
+
+    /// A shadow-area access: physically reads `X[r][c]` but logically
+    /// denotes element `(c, r)` of the symmetric matrix.
+    pub fn mirrored_idx(array: impl Into<String>, r: &str, c: &str) -> Self {
+        Self { mirrored: true, ..Self::idx(array, r, c) }
+    }
+
+    /// Substitute an affine expression for a variable in both subscripts.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Self {
+        Self {
+            array: self.array.clone(),
+            row: self.row.subst(name, replacement),
+            col: self.col.subst(name, replacement),
+            mirrored: self.mirrored,
+        }
+    }
+
+    /// Rename a variable in both subscripts.
+    pub fn rename(&self, from: &str, to: &str) -> Self {
+        self.subst(from, &AffineExpr::var(to))
+    }
+
+    /// Swap the two subscripts (a transposed view of the same element).
+    pub fn transposed(&self) -> Self {
+        Self {
+            array: self.array.clone(),
+            row: self.col.clone(),
+            col: self.row.clone(),
+            mirrored: self.mirrored,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}][{}]", self.array, self.row, self.col)
+    }
+}
+
+/// Binary arithmetic operators on scalars.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (used by the TRSM diagonal solve).
+    Div,
+}
+
+impl BinOp {
+    /// Apply to two `f32` values (the library is single-precision, like the
+    /// paper's evaluation).
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScalarExpr {
+    /// A matrix element read.
+    Load(Access),
+    /// A floating-point literal.
+    Lit(f32),
+    /// A named scalar parameter (`alpha`, `beta`).
+    Param(String),
+    /// A binary operation.
+    Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// `a * b`.
+    pub fn mul(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    pub fn div(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// A load expression.
+    pub fn load(a: Access) -> ScalarExpr {
+        ScalarExpr::Load(a)
+    }
+
+    /// All accesses in the expression, in evaluation order.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<&'a Access>) {
+        match self {
+            ScalarExpr::Load(a) => out.push(a),
+            ScalarExpr::Bin(_, l, r) => {
+                l.collect_accesses(out);
+                r.collect_accesses(out);
+            }
+            ScalarExpr::Lit(_) | ScalarExpr::Param(_) => {}
+        }
+    }
+
+    /// Substitute an affine expression for a variable in every access.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> ScalarExpr {
+        self.map_accesses(&|a| a.subst(name, replacement))
+    }
+
+    /// Rename a loop variable in every access.
+    pub fn rename(&self, from: &str, to: &str) -> ScalarExpr {
+        self.subst(from, &AffineExpr::var(to))
+    }
+
+    /// Rewrite every access through `f` (used by `GM_map` / `SM_alloc`
+    /// subscript modification).
+    pub fn map_accesses(&self, f: &dyn Fn(&Access) -> Access) -> ScalarExpr {
+        match self {
+            ScalarExpr::Load(a) => ScalarExpr::Load(f(a)),
+            ScalarExpr::Bin(op, l, r) => ScalarExpr::Bin(
+                *op,
+                Box::new(l.map_accesses(f)),
+                Box::new(r.map_accesses(f)),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Number of arithmetic operations in the tree (for flop accounting).
+    pub fn op_count(&self) -> usize {
+        match self {
+            ScalarExpr::Bin(_, l, r) => 1 + l.op_count() + r.op_count(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Load(a) => write!(f, "{a}"),
+            ScalarExpr::Lit(v) => write!(f, "{v}"),
+            ScalarExpr::Param(p) => write!(f, "{p}"),
+            ScalarExpr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_ik() -> Access {
+        Access::idx("A", "i", "k")
+    }
+
+    #[test]
+    fn access_subst_both_subscripts() {
+        let a = Access::new("A", AffineExpr::var("i"), AffineExpr::var("i"));
+        let s = a.subst("i", &AffineExpr::term("ib", 16).add(&AffineExpr::var("it")));
+        assert_eq!(s.row, s.col);
+        assert_eq!(s.row.coeff("ib"), 16);
+    }
+
+    #[test]
+    fn access_transposed_swaps() {
+        let t = a_ik().transposed();
+        assert_eq!(t.row, AffineExpr::var("k"));
+        assert_eq!(t.col, AffineExpr::var("i"));
+    }
+
+    #[test]
+    fn expr_accesses_in_order() {
+        let e = ScalarExpr::mul(
+            ScalarExpr::load(Access::idx("A", "i", "k")),
+            ScalarExpr::load(Access::idx("B", "k", "j")),
+        );
+        let accs = e.accesses();
+        assert_eq!(accs.len(), 2);
+        assert_eq!(accs[0].array, "A");
+        assert_eq!(accs[1].array, "B");
+    }
+
+    #[test]
+    fn expr_subst_hits_all_loads() {
+        let e = ScalarExpr::add(
+            ScalarExpr::load(Access::idx("A", "i", "k")),
+            ScalarExpr::load(Access::idx("B", "k", "i")),
+        );
+        let s = e.subst("k", &AffineExpr::cst(0));
+        for acc in s.accesses() {
+            assert!(!acc.row.uses("k") && !acc.col.uses("k"));
+        }
+    }
+
+    #[test]
+    fn op_count_counts_binaries() {
+        let e = ScalarExpr::mul(
+            ScalarExpr::Param("alpha".into()),
+            ScalarExpr::mul(
+                ScalarExpr::load(Access::idx("A", "i", "k")),
+                ScalarExpr::load(Access::idx("B", "k", "j")),
+            ),
+        );
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(1.0, 2.0), 3.0);
+        assert_eq!(BinOp::Sub.apply(1.0, 2.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(3.0, 2.0), 6.0);
+        assert_eq!(BinOp::Div.apply(6.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn display_nested() {
+        let e = ScalarExpr::mul(
+            ScalarExpr::load(a_ik()),
+            ScalarExpr::load(Access::idx("B", "k", "j")),
+        );
+        assert_eq!(e.to_string(), "(A[i][k] * B[k][j])");
+    }
+}

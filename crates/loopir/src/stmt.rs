@@ -1,0 +1,433 @@
+//! Statements and loops: the tree-structured loop-nest IR that every EPOD
+//! optimization component rewrites.
+
+use crate::arrays::AllocMode;
+use crate::expr::{AffineExpr, Predicate};
+use crate::scalar::{Access, ScalarExpr};
+use std::fmt;
+
+/// How a loop's iterations are distributed, set by `thread_grouping`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LoopMapping {
+    /// Ordinary sequential loop (default).
+    #[default]
+    Seq,
+    /// Iterations become CUDA thread blocks along `blockIdx.x`.
+    BlockX,
+    /// Iterations become CUDA thread blocks along `blockIdx.y`.
+    BlockY,
+    /// Iterations become threads along `threadIdx.x`.
+    ThreadX,
+    /// Iterations become threads along `threadIdx.y`.
+    ThreadY,
+}
+
+impl LoopMapping {
+    /// True for the block-level mappings.
+    pub fn is_block(self) -> bool {
+        matches!(self, LoopMapping::BlockX | LoopMapping::BlockY)
+    }
+
+    /// True for the thread-level mappings.
+    pub fn is_thread(self) -> bool {
+        matches!(self, LoopMapping::ThreadX | LoopMapping::ThreadY)
+    }
+}
+
+/// Assignment operators of update statements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` — an associative reduction; loops carrying only `+=`
+    /// self-dependences may be reordered (the legality rule `loop_tiling`
+    /// relies on to hoist the `kk` tile loop).
+    AddAssign,
+    /// `-=` — likewise associative.
+    SubAssign,
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+        })
+    }
+}
+
+/// An update statement `lhs op= rhs`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AssignStmt {
+    /// Destination element.
+    pub lhs: Access,
+    /// Assignment operator.
+    pub op: AssignOp,
+    /// Right-hand side.
+    pub rhs: ScalarExpr,
+}
+
+impl AssignStmt {
+    /// Build an update statement.
+    pub fn new(lhs: Access, op: AssignOp, rhs: ScalarExpr) -> Self {
+        Self { lhs, op, rhs }
+    }
+
+    /// All accesses: the write followed by the reads.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut v = vec![&self.lhs];
+        v.extend(self.rhs.accesses());
+        v
+    }
+
+    /// Substitute an affine expression for a variable everywhere.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Self {
+        Self {
+            lhs: self.lhs.subst(name, replacement),
+            op: self.op,
+            rhs: self.rhs.subst(name, replacement),
+        }
+    }
+}
+
+impl fmt::Display for AssignStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {};", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// Cooperative staging of a global-memory tile into shared memory,
+/// produced by `SM_alloc`.  The EPOD translator "automatically determines
+/// the data mapping induced and generates the data movement statements
+/// required" (Sec. III.B); this macro-statement is that determination, and
+/// the GPU lowering expands it into the per-thread copy loop (whose actual
+/// address stream the simulator then sees).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SharedStage {
+    /// Destination shared array.
+    pub dst: String,
+    /// Source global array.
+    pub src: String,
+    /// Row of the tile origin within the source.
+    pub src_row0: AffineExpr,
+    /// Column of the tile origin within the source.
+    pub src_col0: AffineExpr,
+    /// Tile extent in source rows.
+    pub rows: i64,
+    /// Tile extent in source columns.
+    pub cols: i64,
+    /// Allocation mode; `Transpose` stores element `(r, c)` of the source
+    /// tile at `(c, r)` of the destination.
+    pub mode: AllocMode,
+    /// Optional guard restricting which elements are copied (edge tiles).
+    pub guard: Predicate,
+    /// Copy traversal order: `false` walks the source column-major
+    /// (consecutive threads read consecutive elements — coalesced); `true`
+    /// walks it row-major, giving consecutive threads a leading-dimension
+    /// stride — the non-coalesced copy some legacy library kernels issue.
+    pub strided_copy: bool,
+}
+
+/// A per-thread register tile of a global array, produced by `Reg_alloc`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RegTile {
+    /// Register array name.
+    pub reg: String,
+    /// Backing global array.
+    pub global: String,
+    /// Global row of the tile's `(0, 0)` element (per thread).
+    pub row0: AffineExpr,
+    /// Global column of the tile's `(0, 0)` element (per thread).
+    pub col0: AffineExpr,
+    /// Row stride between consecutive register-tile rows in the global
+    /// array (thread-interleaved register tiles use the thread-count
+    /// stride).
+    pub row_stride: i64,
+    /// Column stride, see `row_stride`.
+    pub col_stride: i64,
+    /// Tile rows.
+    pub rows: i64,
+    /// Tile columns.
+    pub cols: i64,
+    /// Per-element guard against out-of-range tiles; the element's global
+    /// coordinates are exposed as `__gr` / `__gc` while it is evaluated.
+    pub guard: Predicate,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// A (possibly mapped) counted loop.
+    Loop(Box<Loop>),
+    /// An update statement.
+    Assign(AssignStmt),
+    /// A guarded region with an optional else branch.
+    If {
+        /// Guard predicate.
+        pred: Predicate,
+        /// Statements executed when the guard holds.
+        then_body: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_body: Vec<Stmt>,
+    },
+    /// Shared-memory staging (see [`SharedStage`]).
+    Stage(SharedStage),
+    /// Load a register tile from global memory (`rX = X[tile]`).
+    RegLoad(RegTile),
+    /// Zero-initialize a register tile.
+    RegZero(RegTile),
+    /// Store a register tile back to global memory.
+    RegStore(RegTile),
+    /// `__syncthreads()` barrier.
+    Sync,
+}
+
+impl Stmt {
+    /// Convenience constructor for a guarded block with no else branch.
+    pub fn guarded(pred: Predicate, body: Vec<Stmt>) -> Stmt {
+        Stmt::If { pred, then_body: body, else_body: Vec::new() }
+    }
+
+    /// Apply an access-rewriting function to every access in this subtree.
+    pub fn map_accesses(&self, f: &dyn Fn(&Access) -> Access) -> Stmt {
+        match self {
+            Stmt::Loop(l) => {
+                let mut nl = (**l).clone();
+                nl.body = nl.body.iter().map(|s| s.map_accesses(f)).collect();
+                Stmt::Loop(Box::new(nl))
+            }
+            Stmt::Assign(a) => Stmt::Assign(AssignStmt {
+                lhs: f(&a.lhs),
+                op: a.op,
+                rhs: a.rhs.map_accesses(f),
+            }),
+            Stmt::If { pred, then_body, else_body } => Stmt::If {
+                pred: pred.clone(),
+                then_body: then_body.iter().map(|s| s.map_accesses(f)).collect(),
+                else_body: else_body.iter().map(|s| s.map_accesses(f)).collect(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Substitute an affine expression for a variable throughout the
+    /// subtree: accesses, guards, loop bounds and staging origins.
+    pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Stmt {
+        match self {
+            Stmt::Loop(l) => {
+                let mut nl = (**l).clone();
+                nl.lower = nl.lower.subst(name, replacement);
+                nl.upper = nl.upper.subst(name, replacement);
+                nl.body = nl.body.iter().map(|s| s.subst(name, replacement)).collect();
+                Stmt::Loop(Box::new(nl))
+            }
+            Stmt::Assign(a) => Stmt::Assign(a.subst(name, replacement)),
+            Stmt::If { pred, then_body, else_body } => Stmt::If {
+                pred: pred.subst(name, replacement),
+                then_body: then_body.iter().map(|s| s.subst(name, replacement)).collect(),
+                else_body: else_body.iter().map(|s| s.subst(name, replacement)).collect(),
+            },
+            Stmt::Stage(st) => {
+                let mut ns = st.clone();
+                ns.src_row0 = ns.src_row0.subst(name, replacement);
+                ns.src_col0 = ns.src_col0.subst(name, replacement);
+                ns.guard = ns.guard.subst(name, replacement);
+                Stmt::Stage(ns)
+            }
+            Stmt::RegLoad(rt) | Stmt::RegZero(rt) | Stmt::RegStore(rt) => {
+                let mut nrt = rt.clone();
+                nrt.row0 = nrt.row0.subst(name, replacement);
+                nrt.col0 = nrt.col0.subst(name, replacement);
+                nrt.guard = nrt.guard.subst(name, replacement);
+                let nstmt = match self {
+                    Stmt::RegLoad(_) => Stmt::RegLoad(nrt),
+                    Stmt::RegZero(_) => Stmt::RegZero(nrt),
+                    _ => Stmt::RegStore(nrt),
+                };
+                nstmt
+            }
+            Stmt::Sync => Stmt::Sync,
+        }
+    }
+
+    /// Collect every assignment statement in this subtree (pre-order).
+    pub fn assignments(&self) -> Vec<&AssignStmt> {
+        let mut out = Vec::new();
+        self.collect_assignments(&mut out);
+        out
+    }
+
+    fn collect_assignments<'a>(&'a self, out: &mut Vec<&'a AssignStmt>) {
+        match self {
+            Stmt::Loop(l) => l.body.iter().for_each(|s| s.collect_assignments(out)),
+            Stmt::Assign(a) => out.push(a),
+            Stmt::If { then_body, else_body, .. } => {
+                then_body.iter().for_each(|s| s.collect_assignments(out));
+                else_body.iter().for_each(|s| s.collect_assignments(out));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A labeled counted loop `for var in [lower, upper) step 1`.
+///
+/// Labels (`Li`, `Lk`, and derived `Lii`, `Lkkk`, …) are how EPOD scripts
+/// address loops, exactly as in Fig. 3 of the paper.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Loop {
+    /// Script-visible label.
+    pub label: String,
+    /// Iterator variable name.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lower: AffineExpr,
+    /// Exclusive upper bound (may depend on outer iterators — triangular).
+    pub upper: AffineExpr,
+    /// Iteration distribution.
+    pub mapping: LoopMapping,
+    /// Requested unroll factor; `0` means "fully unroll" and `1` means no
+    /// unrolling.  Consumed by the GPU lowering.
+    pub unroll: usize,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+impl Loop {
+    /// A sequential loop over `[0, upper)`.
+    pub fn new(
+        label: impl Into<String>,
+        var: impl Into<String>,
+        lower: AffineExpr,
+        upper: AffineExpr,
+        body: Vec<Stmt>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            var: var.into(),
+            lower,
+            upper,
+            mapping: LoopMapping::Seq,
+            unroll: 1,
+            body,
+        }
+    }
+
+    /// Trip count if both bounds are constants.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        match (self.lower.as_const(), self.upper.as_const()) {
+            (Some(lo), Some(hi)) => Some((hi - lo).max(0)),
+            _ => None,
+        }
+    }
+
+    /// True when the loop's bounds depend on another loop's iterator —
+    /// the "un-uniform loop bounds" `Adaptor_Triangular` targets.
+    ///
+    /// By convention size parameters are upper-case (`M`, `N`, `K`, tile
+    /// parameters) and iterators are lower-case, so a bound is
+    /// non-rectangular exactly when it mentions a lower-case variable.
+    pub fn has_nonrectangular_bounds(&self) -> bool {
+        let is_iter = |v: &str| v.chars().next().is_some_and(char::is_lowercase);
+        self.lower.vars().any(is_iter) || self.upper.vars().any(is_iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::scalar::BinOp;
+
+    fn gemm_update() -> AssignStmt {
+        AssignStmt::new(
+            Access::idx("C", "i", "j"),
+            AssignOp::AddAssign,
+            ScalarExpr::Bin(
+                BinOp::Mul,
+                Box::new(ScalarExpr::load(Access::idx("A", "i", "k"))),
+                Box::new(ScalarExpr::load(Access::idx("B", "k", "j"))),
+            ),
+        )
+    }
+
+    #[test]
+    fn assign_accesses_write_first() {
+        let s = gemm_update();
+        let accs = s.accesses();
+        assert_eq!(accs[0].array, "C");
+        assert_eq!(accs.len(), 3);
+    }
+
+    #[test]
+    fn stmt_subst_rewrites_loop_bounds_and_body() {
+        let inner = Stmt::Assign(gemm_update());
+        let l = Stmt::Loop(Box::new(Loop::new(
+            "Lk",
+            "k",
+            AffineExpr::zero(),
+            AffineExpr::var("i").add_const(1),
+            vec![inner],
+        )));
+        let t = l.subst("i", &AffineExpr::term("ib", 16).add(&AffineExpr::var("it")));
+        if let Stmt::Loop(lp) = &t {
+            assert_eq!(lp.upper.coeff("ib"), 16);
+            let asgn = &lp.body[0];
+            if let Stmt::Assign(a) = asgn {
+                assert_eq!(a.lhs.row.coeff("ib"), 16);
+            } else {
+                panic!("expected assign");
+            }
+        } else {
+            panic!("expected loop");
+        }
+    }
+
+    #[test]
+    fn map_accesses_recurses_into_if() {
+        let s = Stmt::guarded(
+            Predicate::cond(AffineExpr::var("i"), CmpOp::Lt, AffineExpr::var("M")),
+            vec![Stmt::Assign(gemm_update())],
+        );
+        let renamed = s.map_accesses(&|a| Access {
+            array: format!("New{}", a.array),
+            row: a.row.clone(),
+            col: a.col.clone(),
+            mirrored: a.mirrored,
+        });
+        let assigns = renamed.assignments();
+        assert_eq!(assigns[0].lhs.array, "NewC");
+    }
+
+    #[test]
+    fn const_trip_count() {
+        let l = Loop::new("L", "x", AffineExpr::cst(2), AffineExpr::cst(10), vec![]);
+        assert_eq!(l.const_trip_count(), Some(8));
+        let l2 = Loop::new("L", "x", AffineExpr::zero(), AffineExpr::var("M"), vec![]);
+        assert_eq!(l2.const_trip_count(), None);
+    }
+
+    #[test]
+    fn nonrectangular_detection() {
+        // k < i + 1: depends on lower-case iterator `i` -> non-rectangular.
+        let tri = Loop::new("Lk", "k", AffineExpr::zero(), AffineExpr::var("i").add_const(1), vec![]);
+        assert!(tri.has_nonrectangular_bounds());
+        // k < K: `K` is an upper-case size parameter -> rectangular.
+        let rect = Loop::new("Lk", "k", AffineExpr::zero(), AffineExpr::var("K"), vec![]);
+        assert!(!rect.has_nonrectangular_bounds());
+    }
+
+    #[test]
+    fn collect_assignments_preorder() {
+        let inner = Stmt::Assign(gemm_update());
+        let nest = Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M"),
+            vec![inner.clone(), inner],
+        )));
+        assert_eq!(nest.assignments().len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! `loop_fission` / `loop_fusion` — polyhedral-pool components, the
+//! building blocks of `format_iteration` (Sec. IV.A.2).
+
+use crate::interp::{equivalent_on, Bindings};
+use crate::nest::Program;
+use crate::stmt::{Loop, Stmt};
+use crate::transform::{TransformError, TResult};
+
+/// Distribute a loop over its body statements: `for v { S1; S2; … }`
+/// becomes `for v { S1 }; for v { S2 }; …` with labels `<L>_f0`, `<L>_f1`…
+/// Verified by sampled equivalence; returns the new labels.
+pub fn loop_fission(p: &mut Program, label: &str) -> TResult<Vec<String>> {
+    let l = p
+        .find_loop(label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {label}")))?
+        .clone();
+    if l.body.len() < 2 {
+        return Err(TransformError::NotApplicable(format!(
+            "loop {label} has a single statement; nothing to distribute"
+        )));
+    }
+    let mut labels = Vec::new();
+    let pieces: Vec<Stmt> = l
+        .body
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| {
+            let lbl = format!("{label}_f{idx}");
+            labels.push(lbl.clone());
+            Stmt::Loop(Box::new(Loop {
+                label: lbl,
+                var: l.var.clone(),
+                lower: l.lower.clone(),
+                upper: l.upper.clone(),
+                mapping: l.mapping,
+                unroll: l.unroll,
+                body: vec![s.clone()],
+            }))
+        })
+        .collect();
+    let mut candidate = p.clone();
+    candidate.rewrite_loop(label, &mut |_| pieces.clone());
+    for (size, seed) in [(7, 3u64), (10, 17u64)] {
+        if !equivalent_on(p, &candidate, &Bindings::square(size), seed, 1e-4) {
+            return Err(TransformError::NotApplicable(format!(
+                "fission of {label} changes program semantics"
+            )));
+        }
+    }
+    *p = candidate;
+    Ok(labels)
+}
+
+/// Fuse two adjacent loops with identical bounds into one (keeping the
+/// first label).  Verified by sampled equivalence.
+pub fn loop_fusion(p: &mut Program, first: &str, second: &str) -> TResult {
+    let l1 = p
+        .find_loop(first)
+        .ok_or_else(|| TransformError::Missing(format!("loop {first}")))?
+        .clone();
+    let l2 = p
+        .find_loop(second)
+        .ok_or_else(|| TransformError::Missing(format!("loop {second}")))?
+        .clone();
+    if l1.lower != l2.lower || l1.upper != l2.upper {
+        return Err(TransformError::NotApplicable(format!(
+            "loops {first} and {second} have mismatched bounds"
+        )));
+    }
+    let mut fused = l1.clone();
+    fused
+        .body
+        .extend(l2.body.iter().map(|s| s.subst(&l2.var, &crate::expr::AffineExpr::var(&l1.var))));
+
+    let mut candidate = p.clone();
+    // Remove the second loop, then replace the first with the fusion.
+    candidate.rewrite_loop(second, &mut |_| vec![]);
+    candidate.rewrite_loop(first, &mut |_| vec![Stmt::Loop(Box::new(fused.clone()))]);
+    for (size, seed) in [(7, 5u64), (10, 29u64)] {
+        if !equivalent_on(p, &candidate, &Bindings::square(size), seed, 1e-4) {
+            return Err(TransformError::NotApplicable(format!(
+                "fusion of {first} and {second} changes program semantics"
+            )));
+        }
+    }
+    *p = candidate;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::gemm_nn_like;
+    use crate::expr::AffineExpr;
+    use crate::scalar::{Access, ScalarExpr};
+    use crate::stmt::{AssignOp, AssignStmt};
+
+    /// for i { C[i][0] += A[i][0]; C[i][1] += B[i][1] } — independent
+    /// statements, fissionable & refusable.
+    fn two_stmt_loop() -> Program {
+        let mut p = gemm_nn_like("two");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M"),
+            vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("i"), AffineExpr::cst(0)),
+                    AssignOp::AddAssign,
+                    ScalarExpr::load(Access::new("A", AffineExpr::var("i"), AffineExpr::cst(0))),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("i"), AffineExpr::cst(1)),
+                    AssignOp::AddAssign,
+                    ScalarExpr::load(Access::new("B", AffineExpr::var("i"), AffineExpr::cst(1))),
+                )),
+            ],
+        )))];
+        p
+    }
+
+    #[test]
+    fn fission_then_fusion_roundtrip() {
+        let reference = two_stmt_loop();
+        let mut p = reference.clone();
+        let labels = loop_fission(&mut p, "Li").unwrap();
+        assert_eq!(labels, vec!["Li_f0", "Li_f1"]);
+        assert_eq!(p.loop_labels(), vec!["Li_f0", "Li_f1"]);
+        loop_fusion(&mut p, "Li_f0", "Li_f1").unwrap();
+        assert_eq!(p.loop_labels(), vec!["Li_f0"]);
+        assert!(equivalent_on(&reference, &p, &Bindings::square(6), 1, 1e-5));
+    }
+
+    #[test]
+    fn fission_single_statement_rejected() {
+        let mut p = gemm_nn_like("g");
+        let err = loop_fission(&mut p, "Lk").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn illegal_fission_rejected() {
+        // for i { C[i][0] = A[i][0]; A[i+... ]: make S2 read C[i][0] of the
+        // *previous* statement but S1 of a later iteration reads what S2
+        // wrote: use a genuinely order-sensitive pair:
+        //   S1: C[i][0] = A[i][0]
+        //   S2: A[i+1][0] = C[i][0]
+        // Distribution executes all S1 before any S2 — but S1 at i+1 reads
+        // A[i+1][0], written by S2 at i. Fission is illegal.
+        let mut p = gemm_nn_like("bad");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M").add_const(-1),
+            vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("i"), AffineExpr::cst(0)),
+                    AssignOp::Assign,
+                    ScalarExpr::load(Access::new("A", AffineExpr::var("i"), AffineExpr::cst(0))),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::new("A", AffineExpr::var("i").add_const(1), AffineExpr::cst(0)),
+                    AssignOp::Assign,
+                    ScalarExpr::load(Access::new("C", AffineExpr::var("i"), AffineExpr::cst(0))),
+                )),
+            ],
+        )))];
+        let err = loop_fission(&mut p, "Li").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn fusion_bound_mismatch_rejected() {
+        let mut p = two_stmt_loop();
+        loop_fission(&mut p, "Li").unwrap();
+        // Shrink the second loop's bound.
+        p.rewrite_loop("Li_f1", &mut |mut l| {
+            l.upper = AffineExpr::var("M").add_const(-1);
+            vec![Stmt::Loop(Box::new(l))]
+        });
+        let err = loop_fusion(&mut p, "Li_f0", "Li_f1").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+}

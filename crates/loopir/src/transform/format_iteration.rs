@@ -1,0 +1,463 @@
+//! `format_iteration` — remove mixed-mode (row *and* column major) accesses
+//! to a symmetric matrix (Sec. IV.A.2).
+//!
+//! Three steps, each verified by sampled equivalence:
+//!
+//! 1. **Loop fission** splits the triangular `k` loop into real-area-access
+//!    and shadow-area-access loops (the diagonal statement already sits
+//!    outside the loop).
+//! 2. When the shadow loop accesses the matrix in column-major order
+//!    (subscripts `[k][o]` for outer iterator `o`) **loop interchange**
+//!    (with iterator renaming) turns it into a row-major loop over
+//!    `k ∈ (o, FULL)`.
+//! 3. **Loop fusion** merges real loop (`[0, o)`), shadow loop (`(o, FULL)`)
+//!    and the diagonal statement (`k = o`) into one rectangular loop
+//!    `k ∈ [0, FULL)` — the standard GEMM-NN form.
+//!
+//! Without a preceding `GM_map(X, Symmetry)` the shadow access is still
+//! *mirrored* (reads triangular storage), interchange would touch the blank
+//! triangle, and the component degenerates into plain fission — exactly the
+//! third rule of `Adaptor_Symmetry`.
+
+use crate::arrays::AllocMode;
+use crate::expr::AffineExpr;
+use crate::interp::{equivalent_on, Bindings};
+use crate::nest::Program;
+use crate::stmt::{AssignStmt, Loop, Stmt};
+use crate::transform::{TransformError, TResult};
+
+/// Outcome of `format_iteration`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FormatOutcome {
+    /// All three steps succeeded: the nest is now the standard GEMM form.
+    FusedToGemm,
+    /// Fission succeeded but interchange/fusion could not apply (rule 3);
+    /// the loops remain split.
+    FissionOnly,
+}
+
+/// Apply `format_iteration(X, Symmetry)`.
+pub fn format_iteration(p: &mut Program, array: &str, mode: AllocMode) -> TResult<FormatOutcome> {
+    if mode != AllocMode::Symmetry {
+        return Err(TransformError::NotApplicable(format!(
+            "format_iteration only supports the Symmetry mode, got {mode}"
+        )));
+    }
+    if p.tiling.is_some() {
+        return Err(TransformError::NotApplicable(
+            "format_iteration must run before thread_grouping".into(),
+        ));
+    }
+    // After GM_map the matrix is renamed; accept either name.
+    let target = if p.array(&format!("New{array}")).is_some() {
+        format!("New{array}")
+    } else {
+        array.to_string()
+    };
+
+    let Some(pat) = find_symmetric_pattern(p, &target) else {
+        return Err(TransformError::NotApplicable(format!(
+            "no mixed-mode symmetric access pattern on {target} found"
+        )));
+    };
+
+    // ---- Step 1: fission --------------------------------------------------
+    let mut cand = p.clone();
+    let fissioned = apply_in_parent(&mut cand.body, &pat.k_label, &mut |slot: &mut Vec<Stmt>, idx| {
+        let Stmt::Loop(lk) = slot[idx].clone() else { unreachable!() };
+        let mk = |suffix: &str, stmt: Stmt| {
+            Stmt::Loop(Box::new(Loop {
+                label: format!("{}_{suffix}", lk.label),
+                var: lk.var.clone(),
+                lower: lk.lower.clone(),
+                upper: lk.upper.clone(),
+                mapping: lk.mapping,
+                unroll: lk.unroll,
+                body: vec![stmt],
+            }))
+        };
+        let real = mk("real", lk.body[pat.real_idx].clone());
+        let shadow = mk("shadow", lk.body[pat.shadow_idx].clone());
+        slot.splice(idx..=idx, [real, shadow]);
+    });
+    if !fissioned {
+        return Err(TransformError::Missing(format!("loop {}", pat.k_label)));
+    }
+    check_equiv(p, &cand, "fission")?;
+
+    if pat.shadow_mirrored {
+        // Rule 3: the matrix is still triangular-stored; interchange would
+        // read the blank triangle.  Degenerate into fission.
+        *p = cand;
+        return Ok(FormatOutcome::FissionOnly);
+    }
+
+    // ---- Step 2: triangular interchange on the shadow loop ---------------
+    let shadow_label = format!("{}_shadow", pat.k_label);
+    let full_upper = pat.full_upper.clone();
+    let o = pat.outer_var.clone();
+    let mut cand2 = cand.clone();
+    cand2.rewrite_loop(&shadow_label, &mut |lk: Loop| {
+        let tmp = "__swap_tmp";
+        let body: Vec<Stmt> = lk
+            .body
+            .iter()
+            .map(|s| {
+                s.subst(&o, &AffineExpr::var(tmp))
+                    .subst(&lk.var, &AffineExpr::var(&o))
+                    .subst(tmp, &AffineExpr::var(&lk.var))
+            })
+            .collect();
+        vec![Stmt::Loop(Box::new(Loop {
+            label: lk.label.clone(),
+            var: lk.var.clone(),
+            lower: AffineExpr::var(&o).add_const(1),
+            upper: full_upper.clone(),
+            mapping: lk.mapping,
+            unroll: lk.unroll,
+            body,
+        }))]
+    });
+    if check_equiv(&cand, &cand2, "interchange").is_err() {
+        *p = cand;
+        return Ok(FormatOutcome::FissionOnly);
+    }
+
+    // ---- Step 3: fusion of real ∪ diagonal ∪ shadow -----------------------
+    let real_label = format!("{}_real", pat.k_label);
+    let mut cand3 = cand2.clone();
+    let fused_ok = try_fuse(&mut cand3, p, &pat, &real_label, &shadow_label);
+    if let Ok(()) = fused_ok {
+        *p = cand3;
+        Ok(FormatOutcome::FusedToGemm)
+    } else {
+        *p = cand;
+        Ok(FormatOutcome::FissionOnly)
+    }
+}
+
+struct SymPattern {
+    /// Label of the triangular k loop.
+    k_label: String,
+    /// Iterator of the k loop.
+    k_var: String,
+    /// The outer iterator bounding it (`k < o`).
+    outer_var: String,
+    /// Upper bound of the outer loop (the full k range after fusion).
+    full_upper: AffineExpr,
+    /// Index of the real-area statement in the k-loop body.
+    real_idx: usize,
+    /// Index of the shadow-area statement.
+    shadow_idx: usize,
+    /// Whether the shadow access is still mirrored (no GM_map yet).
+    shadow_mirrored: bool,
+    /// The diagonal statement (sibling after the k loop), if detected.
+    diag: Option<AssignStmt>,
+}
+
+fn find_symmetric_pattern(p: &Program, target: &str) -> Option<SymPattern> {
+    let mut found: Option<SymPattern> = None;
+    visit_loops(&p.body, &mut |l: &Loop, parent: &[Stmt], pos: usize| {
+        if found.is_some() || l.body.len() < 2 {
+            return;
+        }
+        // Triangular bound k < o (strict) with a single outer variable.
+        let uppers: Vec<&str> = l.upper.vars().collect();
+        if uppers.len() != 1 || l.upper.coeff(uppers[0]) != 1 || l.upper.constant() != 0 {
+            return;
+        }
+        let o = uppers[0].to_string();
+        if !o.chars().next().is_some_and(char::is_lowercase) {
+            return; // rectangular (bound is a size parameter)
+        }
+        // Identify real/shadow statements: both must read the symmetric
+        // matrix; the *real* statement updates the loop's own (i, j)
+        // element (its left-hand side does not involve the k iterator),
+        // the *shadow* statement scatters into C along k.  A still-mirrored
+        // access (no GM_map yet) forces the fission-only degeneration.
+        let mut real_idx = None;
+        let mut shadow_idx = None;
+        let mut shadow_mirrored = false;
+        for (idx, s) in l.body.iter().enumerate() {
+            let Stmt::Assign(a) = s else { return };
+            let reads_target = a.rhs.accesses().iter().any(|acc| acc.array == target);
+            if !reads_target {
+                return;
+            }
+            if a.rhs.accesses().iter().any(|acc| acc.array == target && acc.mirrored) {
+                shadow_mirrored = true;
+            }
+            let lhs_uses_k = a.lhs.row.uses(&l.var) || a.lhs.col.uses(&l.var);
+            if lhs_uses_k {
+                shadow_idx = Some(idx);
+            } else {
+                real_idx = Some(idx);
+            }
+        }
+        let (Some(ri), Some(si)) = (real_idx, shadow_idx) else { return };
+        if ri == si {
+            return;
+        }
+        // The diagonal statement: the next sibling reading target[o][o].
+        let diag = parent.get(pos + 1).and_then(|s| match s {
+            Stmt::Assign(a)
+                if a.rhs.accesses().iter().any(|acc| {
+                    acc.array == target
+                        && acc.row == AffineExpr::var(&o)
+                        && acc.col == AffineExpr::var(&o)
+                }) =>
+            {
+                Some(a.clone())
+            }
+            _ => None,
+        });
+        // Full upper bound: the upper of the loop iterating `o`.
+        let full_upper = find_loop_by_var(&p.body, &o).map(|lo| lo.upper.clone());
+        let Some(full_upper) = full_upper else { return };
+        found = Some(SymPattern {
+            k_label: l.label.clone(),
+            k_var: l.var.clone(),
+            outer_var: o,
+            full_upper,
+            real_idx: ri,
+            shadow_idx: si,
+            shadow_mirrored,
+            diag,
+        });
+    });
+    found
+}
+
+fn try_fuse(
+    cand: &mut Program,
+    reference: &Program,
+    pat: &SymPattern,
+    real_label: &str,
+    shadow_label: &str,
+) -> TResult {
+    let diag = pat
+        .diag
+        .clone()
+        .ok_or_else(|| TransformError::NotApplicable("no diagonal statement".into()))?;
+    let real = cand
+        .find_loop(real_label)
+        .ok_or_else(|| TransformError::Missing(real_label.into()))?
+        .clone();
+    let shadow = cand
+        .find_loop(shadow_label)
+        .ok_or_else(|| TransformError::Missing(shadow_label.into()))?
+        .clone();
+    // Bodies must now be identical, and the diagonal statement must be the
+    // body instantiated at k = o.
+    if real.body != shadow.body {
+        return Err(TransformError::NotApplicable("real/shadow bodies differ".into()));
+    }
+    let at_diag: Vec<Stmt> = real
+        .body
+        .iter()
+        .map(|s| s.subst(&pat.k_var, &AffineExpr::var(&pat.outer_var)))
+        .collect();
+    if at_diag != vec![Stmt::Assign(diag.clone())] {
+        return Err(TransformError::NotApplicable(
+            "diagonal statement does not match the loop body at k = o".into(),
+        ));
+    }
+
+    let fused = Loop {
+        label: pat.k_label.clone(),
+        var: pat.k_var.clone(),
+        lower: AffineExpr::zero(),
+        upper: pat.full_upper.clone(),
+        mapping: real.mapping,
+        unroll: real.unroll,
+        body: real.body.clone(),
+    };
+    // Replace [real; shadow; diag] (consecutive siblings) with the fusion.
+    let replaced = apply_in_parent(&mut cand.body, real_label, &mut |slot, idx| {
+        debug_assert!(matches!(&slot[idx + 1], Stmt::Loop(l) if l.label == shadow_label));
+        slot.splice(idx..idx + 3, [Stmt::Loop(Box::new(fused.clone()))]);
+    });
+    if !replaced {
+        return Err(TransformError::Missing(real_label.into()));
+    }
+    check_equiv(reference, cand, "fusion")
+}
+
+fn check_equiv(reference: &Program, candidate: &Program, step: &str) -> TResult {
+    for (size, seed) in [(7i64, 13u64), (10, 31u64)] {
+        if !equivalent_on(reference, candidate, &Bindings::square(size), seed, 2e-4) {
+            return Err(TransformError::NotApplicable(format!(
+                "format_iteration {step} changes semantics"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Depth-first loop visitor exposing (loop, parent statement list, index).
+fn visit_loops(stmts: &[Stmt], f: &mut dyn FnMut(&Loop, &[Stmt], usize)) {
+    for (idx, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Loop(l) => {
+                f(l, stmts, idx);
+                visit_loops(&l.body, f);
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                visit_loops(then_body, f);
+                visit_loops(else_body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn find_loop_by_var<'a>(stmts: &'a [Stmt], var: &str) -> Option<&'a Loop> {
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                if l.var == var {
+                    return Some(l);
+                }
+                if let Some(found) = find_loop_by_var(&l.body, var) {
+                    return Some(found);
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                if let Some(found) = find_loop_by_var(then_body, var) {
+                    return Some(found);
+                }
+                if let Some(found) = find_loop_by_var(else_body, var) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Find the statement list directly containing the loop labeled `label`
+/// and apply `f(list, index)` to it.  Returns `false` when not found.
+fn apply_in_parent(
+    stmts: &mut Vec<Stmt>,
+    label: &str,
+    f: &mut dyn FnMut(&mut Vec<Stmt>, usize),
+) -> bool {
+    for idx in 0..stmts.len() {
+        let is_target = matches!(&stmts[idx], Stmt::Loop(l) if l.label == label);
+        if is_target {
+            f(stmts, idx);
+            return true;
+        }
+    }
+    for s in stmts.iter_mut() {
+        let found = match s {
+            Stmt::Loop(l) => apply_in_parent(&mut l.body, label, f),
+            Stmt::If { then_body, else_body, .. } => {
+                apply_in_parent(then_body, label, f) || apply_in_parent(else_body, label, f)
+            }
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::{ArrayDecl, Fill};
+    use crate::builder::gemm_nn_like;
+    use crate::scalar::{Access, ScalarExpr};
+    use crate::stmt::AssignOp;
+    use crate::transform::gm_map;
+
+    /// The SYMM-LN source nest of Fig. 14 (with the shadow access tagged
+    /// mirrored, since A is stored lower-triangular).
+    pub(crate) fn symm_ln_source() -> Program {
+        let mut p = gemm_nn_like("SYMM-LN");
+        p.declare(ArrayDecl::global_with_fill(
+            "A",
+            AffineExpr::var("M"),
+            AffineExpr::var("M"),
+            Fill::LowerTriangular,
+        ));
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "i", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "k", "j")),
+                    ),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "k", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::mirrored_idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "i", "j")),
+                    ),
+                )),
+            ];
+            vec![
+                Stmt::Loop(Box::new(lk)),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "i", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::idx("A", "i", "i")),
+                        ScalarExpr::load(Access::idx("B", "i", "j")),
+                    ),
+                )),
+            ]
+        });
+        p
+    }
+
+    #[test]
+    fn rule2_gm_map_then_format_gives_gemm() {
+        let reference = symm_ln_source();
+        let mut p = reference.clone();
+        gm_map(&mut p, "A", AllocMode::Symmetry).unwrap();
+        let outcome = format_iteration(&mut p, "A", AllocMode::Symmetry).unwrap();
+        assert_eq!(outcome, FormatOutcome::FusedToGemm);
+        // The nest is now the GEMM-NN shape: Li, Lj, Lk with a rectangular
+        // k range [0, M).
+        let lk = p.find_loop("Lk").expect("fused loop keeps the base label");
+        assert_eq!(lk.lower, AffineExpr::zero());
+        assert_eq!(lk.upper, AffineExpr::var("M"));
+        assert_eq!(lk.body.len(), 1);
+        // And semantics match the SYMM source.
+        assert!(equivalent_on(&reference, &p, &Bindings::square(12), 41, 1e-4));
+    }
+
+    #[test]
+    fn rule3_without_gm_map_degenerates_to_fission() {
+        let reference = symm_ln_source();
+        let mut p = reference.clone();
+        let outcome = format_iteration(&mut p, "A", AllocMode::Symmetry).unwrap();
+        assert_eq!(outcome, FormatOutcome::FissionOnly);
+        assert!(p.find_loop("Lk_real").is_some());
+        assert!(p.find_loop("Lk_shadow").is_some());
+        assert!(equivalent_on(&reference, &p, &Bindings::square(9), 2, 1e-4));
+    }
+
+    #[test]
+    fn not_applicable_on_gemm() {
+        let mut p = gemm_nn_like("g");
+        let err = format_iteration(&mut p, "A", AllocMode::Symmetry).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn transpose_mode_rejected() {
+        let mut p = symm_ln_source();
+        let err = format_iteration(&mut p, "A", AllocMode::Transpose).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+}

@@ -1,0 +1,250 @@
+//! `GM_map` — re-map a matrix in global memory before the kernel runs
+//! (Sec. IV.A.1).
+//!
+//! A new array `New<X>` is materialized by a thread-distributed prologue
+//! kernel, and every reference to `X` in the main nest is redirected:
+//!
+//! * `Transpose`: `NewX = Xᵀ`; `X[a][b]` becomes `NewX[b][a]`.
+//! * `Symmetry`: `NewX = X + Xᵀ − diag(X)` (the full matrix recovered from
+//!   triangular storage); plain accesses keep their subscripts, *mirrored*
+//!   (shadow-area) accesses `X[a][b]` become plain `NewX[b][a]` — yielding
+//!   the `NewA[i][k]` / `NewA[k][i]` pair of the paper's worked example.
+//!
+//! Location constraint: `GM_map` must be the **first** component of an
+//! optimization sequence (enforced here by refusing to run after
+//! `thread_grouping`, and by the composer's mixer which never emits
+//! sequences violating it).
+
+use crate::arrays::{AllocMode, ArrayDecl, Fill, MemSpace};
+use crate::nest::{MapKernel, Program};
+use crate::scalar::Access;
+use crate::transform::{TransformError, TResult};
+
+/// Apply `GM_map(X, mode)`.  Returns the new array's name.
+pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> {
+    if p.tiling.is_some() {
+        return Err(TransformError::NotApplicable(
+            "GM_map must be the first optimization in a sequence".into(),
+        ));
+    }
+    let decl = p
+        .array(array)
+        .ok_or_else(|| TransformError::Missing(format!("array {array}")))?
+        .clone();
+    if decl.space != MemSpace::Global {
+        return Err(TransformError::NotApplicable(format!(
+            "GM_map applies to global arrays; {array} is {:?}",
+            decl.space
+        )));
+    }
+    match mode {
+        AllocMode::NoChange => {
+            return Err(TransformError::NotApplicable(
+                "GM_map(NoChange) is the identity; use the empty adaptor rule".into(),
+            ))
+        }
+        AllocMode::Symmetry => {
+            if decl.rows != decl.cols {
+                return Err(TransformError::NotApplicable(format!(
+                    "Symmetry mapping requires a square matrix; {array} is {} x {}",
+                    decl.rows, decl.cols
+                )));
+            }
+            if decl.fill == Fill::Full {
+                return Err(TransformError::NotApplicable(format!(
+                    "{array} is not triangular-stored; Symmetry mapping is meaningless"
+                )));
+            }
+        }
+        AllocMode::Transpose => {}
+    }
+
+    let new_name = format!("New{array}");
+    let (new_rows, new_cols) = match mode {
+        AllocMode::Transpose => (decl.cols.clone(), decl.rows.clone()),
+        _ => (decl.rows.clone(), decl.cols.clone()),
+    };
+    let mut new_decl = ArrayDecl::global(&new_name, new_rows.clone(), new_cols.clone());
+    new_decl.fill = match (mode, decl.fill) {
+        // Symmetric materialization fills both triangles.
+        (AllocMode::Symmetry, _) => Fill::Full,
+        // Transposing packed storage flips the stored triangle; the map
+        // kernel writes zeros into the (transposed) blank area, so the new
+        // matrix is safe to pad over.
+        (AllocMode::Transpose, Fill::LowerTriangular) => Fill::UpperTriangular,
+        (AllocMode::Transpose, Fill::UpperTriangular) => Fill::LowerTriangular,
+        (_, f) => f,
+    };
+    new_decl.blank_is_zero = new_decl.fill != Fill::Full || decl.blank_is_zero;
+    p.declare(new_decl);
+    p.prologues.push(MapKernel {
+        dst: new_name.clone(),
+        src: array.to_string(),
+        mode,
+        src_fill: decl.fill,
+        rows: new_rows,
+        cols: new_cols,
+    });
+
+    // Redirect accesses in the main body.
+    let target = array.to_string();
+    let nn = new_name.clone();
+    p.body = p
+        .body
+        .iter()
+        .map(|s| {
+            s.map_accesses(&|acc: &Access| {
+                if acc.array != target {
+                    return acc.clone();
+                }
+                match mode {
+                    AllocMode::Transpose => Access {
+                        array: nn.clone(),
+                        row: acc.col.clone(),
+                        col: acc.row.clone(),
+                        mirrored: false,
+                    },
+                    AllocMode::Symmetry => {
+                        if acc.mirrored {
+                            // The shadow access logically wanted element
+                            // (col, row); NewX holds it at that position.
+                            Access {
+                                array: nn.clone(),
+                                row: acc.col.clone(),
+                                col: acc.row.clone(),
+                                mirrored: false,
+                            }
+                        } else {
+                            Access { array: nn.clone(), mirrored: false, ..acc.clone() }
+                        }
+                    }
+                    AllocMode::NoChange => unreachable!(),
+                }
+            })
+        })
+        .collect();
+    Ok(new_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::gemm_nn_like;
+    use crate::expr::AffineExpr;
+    use crate::interp::{alloc_buffers, Bindings, Interp};
+    use crate::scalar::ScalarExpr;
+    use crate::stmt::{AssignOp, AssignStmt, Loop, Stmt};
+
+    #[test]
+    fn transpose_redirects_and_appends_prologue() {
+        let mut p = gemm_nn_like("GEMM-TN");
+        // GEMM-TN source reads A[k][i] (A stored K x M transposed input).
+        p.declare(ArrayDecl::global("A", AffineExpr::var("K"), AffineExpr::var("M")));
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("C", "i", "j"),
+                AssignOp::AddAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "k", "i")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let new_name = gm_map(&mut p, "A", AllocMode::Transpose).unwrap();
+        assert_eq!(new_name, "NewA");
+        assert_eq!(p.prologues.len(), 1);
+        // The access became NewA[i][k]: the GEMM-NN pattern.
+        let a = &p.assignments()[0];
+        let loads = a.rhs.accesses();
+        assert_eq!(loads[0].array, "NewA");
+        assert_eq!(loads[0].row, AffineExpr::var("i"));
+        assert_eq!(loads[0].col, AffineExpr::var("k"));
+
+        // Semantics: run and compare against plain GEMM-NN on NewA=A^T…
+        // i.e. C += A^T B computed both ways.
+        let b = Bindings::square(6);
+        let mut bufs = alloc_buffers(&p, &b, 9);
+        let (a_in, b_in, c_in) = (bufs["A"].clone(), bufs["B"].clone(), bufs["C"].clone());
+        Interp::new(&p, &b).run(&mut bufs);
+        for i in 0..6 {
+            for j in 0..6 {
+                let mut acc = c_in.get(i, j);
+                for k in 0..6 {
+                    acc += a_in.get(k, i) * b_in.get(k, j);
+                }
+                assert!((bufs["C"].get(i, j) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_requires_triangular_fill() {
+        let mut p = gemm_nn_like("g");
+        // A is declared M x K full: Symmetry must be rejected (twice over:
+        // fill and squareness given M != K symbolically).
+        let err = gm_map(&mut p, "A", AllocMode::Symmetry).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn symmetry_mirrored_access_flips_subscripts() {
+        let mut p = gemm_nn_like("symm");
+        p.declare(ArrayDecl::global_with_fill(
+            "A",
+            AffineExpr::var("M"),
+            AffineExpr::var("M"),
+            Fill::LowerTriangular,
+        ));
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "i", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "k", "j")),
+                    ),
+                )),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "k", "j"),
+                    AssignOp::AddAssign,
+                    ScalarExpr::mul(
+                        ScalarExpr::load(Access::mirrored_idx("A", "i", "k")),
+                        ScalarExpr::load(Access::idx("B", "i", "j")),
+                    ),
+                )),
+            ];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        gm_map(&mut p, "A", AllocMode::Symmetry).unwrap();
+        let assigns = p.assignments();
+        // Real access: NewA[i][k]; shadow access: NewA[k][i].
+        let real = assigns[0].rhs.accesses()[0].clone();
+        assert_eq!((real.array.as_str(), real.mirrored), ("NewA", false));
+        assert_eq!(real.row, AffineExpr::var("i"));
+        let shadow = assigns[1].rhs.accesses()[0].clone();
+        assert_eq!(shadow.array, "NewA");
+        assert_eq!(shadow.row, AffineExpr::var("k"));
+        assert_eq!(shadow.col, AffineExpr::var("i"));
+        assert!(!shadow.mirrored);
+    }
+
+    #[test]
+    fn gm_map_refused_after_grouping() {
+        let mut p = gemm_nn_like("g");
+        crate::transform::thread_grouping(&mut p, "Li", "Lj", Default::default()).unwrap();
+        let err = gm_map(&mut p, "B", AllocMode::Transpose).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn missing_array_reported() {
+        let mut p = gemm_nn_like("g");
+        assert!(matches!(
+            gm_map(&mut p, "Z", AllocMode::Transpose),
+            Err(TransformError::Missing(_))
+        ));
+    }
+}

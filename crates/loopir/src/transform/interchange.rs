@@ -1,0 +1,195 @@
+//! `loop_interchange` — polyhedral-pool component.
+//!
+//! Swaps two perfectly nested loops after verifying (on sampled sizes)
+//! that the swap preserves the program's semantics.  Used directly by
+//! scripts and internally by `format_iteration`'s Step 2, including the
+//! triangular-range variant needed there: interchanging
+//! `for i in [0,M) { for k in [0,i) S(i,k) }` yields
+//! `for i in [0,M) { for k in [i+1,M) S(k,i) }` after renaming — the
+//! paper's "loop interchange is applied to change it into the row major
+//! order".
+
+use crate::expr::AffineExpr;
+use crate::interp::{equivalent_on, Bindings};
+use crate::nest::Program;
+use crate::stmt::{Loop, Stmt};
+use crate::transform::{TransformError, TResult};
+
+/// Interchange two perfectly nested rectangular loops (outer directly
+/// encloses inner).
+pub fn loop_interchange(p: &mut Program, outer_label: &str, inner_label: &str) -> TResult {
+    let outer = p
+        .find_loop(outer_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {outer_label}")))?
+        .clone();
+    let inner = match &outer.body[..] {
+        [Stmt::Loop(l)] if l.label == inner_label => (**l).clone(),
+        _ => {
+            return Err(TransformError::NotApplicable(format!(
+                "{outer_label} does not immediately enclose {inner_label}"
+            )))
+        }
+    };
+    if inner.lower.uses(&outer.var) || inner.upper.uses(&outer.var) {
+        return interchange_triangular(p, outer, inner);
+    }
+    let candidate_outer = Loop {
+        label: inner.label.clone(),
+        var: inner.var.clone(),
+        lower: inner.lower.clone(),
+        upper: inner.upper.clone(),
+        mapping: inner.mapping,
+        unroll: inner.unroll,
+        body: vec![Stmt::Loop(Box::new(Loop {
+            label: outer.label.clone(),
+            var: outer.var.clone(),
+            lower: outer.lower.clone(),
+            upper: outer.upper.clone(),
+            mapping: outer.mapping,
+            unroll: outer.unroll,
+            body: inner.body.clone(),
+        }))],
+    };
+    commit_if_equivalent(p, &outer.label, candidate_outer)
+}
+
+/// Triangular interchange with iterator renaming (format_iteration Step 2):
+/// `for o in [0,M) { for v in [0,o) B(o,v) }` becomes
+/// `for o in [0,M) { for v in (o,M) B(v,o) }` — the same instance set
+/// `{(a,b) : b < a}` traversed with the roles of the iterators swapped.
+fn interchange_triangular(p: &mut Program, outer: Loop, inner: Loop) -> TResult {
+    let strict_upper = inner.upper == AffineExpr::var(&outer.var);
+    if inner.lower.as_const() != Some(0) || !strict_upper {
+        return Err(TransformError::NotApplicable(format!(
+            "triangular interchange expects `for {v} in [0, {o})`",
+            v = inner.var,
+            o = outer.var
+        )));
+    }
+    // Swap the iterator roles in the body: o -> v, v -> o.
+    let tmp = "__swap_tmp";
+    let body: Vec<Stmt> = inner
+        .body
+        .iter()
+        .map(|s| {
+            s.subst(&outer.var, &AffineExpr::var(tmp))
+                .subst(&inner.var, &AffineExpr::var(&outer.var))
+                .subst(tmp, &AffineExpr::var(&inner.var))
+        })
+        .collect();
+    let new_inner = Loop {
+        label: inner.label.clone(),
+        var: inner.var.clone(),
+        lower: AffineExpr::var(&outer.var).add_const(1),
+        upper: outer.upper.clone(),
+        mapping: inner.mapping,
+        unroll: inner.unroll,
+        body,
+    };
+    let candidate = Loop { body: vec![Stmt::Loop(Box::new(new_inner))], ..outer.clone() };
+    commit_if_equivalent(p, &outer.label, candidate)
+}
+
+fn commit_if_equivalent(p: &mut Program, at_label: &str, replacement: Loop) -> TResult {
+    let mut candidate = p.clone();
+    candidate.rewrite_loop(at_label, &mut |_| vec![Stmt::Loop(Box::new(replacement.clone()))]);
+    for (sizes, seed) in [(7, 11u64), (9, 23u64)] {
+        if !equivalent_on(p, &candidate, &Bindings::square(sizes), seed, 1e-4) {
+            return Err(TransformError::NotApplicable(format!(
+                "interchange at {at_label} changes program semantics"
+            )));
+        }
+    }
+    *p = candidate;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::gemm_nn_like;
+    use crate::scalar::{Access, ScalarExpr};
+    use crate::stmt::{AssignOp, AssignStmt};
+
+    #[test]
+    fn rectangular_interchange_gemm_ij() {
+        let mut p = gemm_nn_like("g");
+        loop_interchange(&mut p, "Li", "Lj").unwrap();
+        // Now Lj is outermost.
+        assert_eq!(p.loop_labels(), vec!["Lj", "Li", "Lk"]);
+    }
+
+    #[test]
+    fn non_adjacent_loops_rejected() {
+        let mut p = gemm_nn_like("g");
+        let err = loop_interchange(&mut p, "Li", "Lk").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn triangular_interchange_swaps_roles() {
+        // for i in [0,M): for k in [0,i): C[k][0] += A[i][k]
+        // after interchange: for i: for k in (i, M): C[i][0] += A[k][i]
+        let mut p = gemm_nn_like("tri");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::zero(),
+            AffineExpr::var("M"),
+            vec![Stmt::Loop(Box::new(Loop::new(
+                "Lk",
+                "k",
+                AffineExpr::zero(),
+                AffineExpr::var("i"),
+                vec![Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("k"), AffineExpr::zero()),
+                    AssignOp::AddAssign,
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                ))],
+            )))],
+        )))];
+        loop_interchange(&mut p, "Li", "Lk").unwrap();
+        let lk = p.find_loop("Lk").unwrap();
+        assert_eq!(lk.lower, AffineExpr::var("i").add_const(1));
+        assert_eq!(lk.upper, AffineExpr::var("M"));
+        let a = &p.assignments()[0];
+        assert_eq!(a.lhs.row, AffineExpr::var("i"));
+        // A[i][k] became A[k][i].
+        if let ScalarExpr::Load(acc) = &a.rhs {
+            assert_eq!(acc.row, AffineExpr::var("k"));
+            assert_eq!(acc.col, AffineExpr::var("i"));
+        } else {
+            panic!("expected load");
+        }
+    }
+
+    #[test]
+    fn illegal_interchange_rejected() {
+        // for i: for j(=dependent): A[i][j] = A[i-1][j+1] style dependence
+        // that interchange would violate: S: C[i][j] = C[i-1][j+1] (wavefront).
+        let mut p = gemm_nn_like("w");
+        p.body = vec![Stmt::Loop(Box::new(Loop::new(
+            "Li",
+            "i",
+            AffineExpr::cst(1),
+            AffineExpr::var("M"),
+            vec![Stmt::Loop(Box::new(Loop::new(
+                "Lj",
+                "j",
+                AffineExpr::zero(),
+                AffineExpr::var("N").add_const(-1),
+                vec![Stmt::Assign(AssignStmt::new(
+                    Access::idx("C", "i", "j"),
+                    AssignOp::Assign,
+                    ScalarExpr::load(Access::new(
+                        "C",
+                        AffineExpr::var("i").add_const(-1),
+                        AffineExpr::var("j").add_const(1),
+                    )),
+                ))],
+            )))],
+        )))];
+        let err = loop_interchange(&mut p, "Li", "Lj").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+}

@@ -1,0 +1,260 @@
+//! The optimization components of the two EPOD pools (Sec. III–IV).
+//!
+//! Each component is a fallible rewrite of a [`Program`].  Failure
+//! ([`TransformError::NotApplicable`]) is a first-class outcome: the
+//! composer's filter *degenerates* sequences whose components fail, exactly
+//! as described for the `Adaptor_Triangular` example in Sec. IV.B.2.
+//!
+//! | Pool | Components |
+//! |------|------------|
+//! | polyhedral | `thread_grouping`, `loop_tiling`, `loop_interchange`, `loop_fission`, `loop_fusion`, `GM_map`, `format_iteration`, `peel_triangular`, `padding_triangular` |
+//! | traditional | `loop_unroll`, `SM_alloc`, `Reg_alloc`, `binding_triangular` |
+
+mod binding;
+mod format_iteration;
+mod fission_fusion;
+mod gm_map;
+mod interchange;
+mod peel_pad;
+mod reg_alloc;
+mod sm_alloc;
+mod thread_grouping;
+mod tiling;
+mod unroll;
+
+pub use binding::binding_triangular;
+pub use format_iteration::format_iteration;
+pub use fission_fusion::{loop_fission, loop_fusion};
+pub use gm_map::gm_map;
+pub use interchange::loop_interchange;
+pub use peel_pad::{has_triangular_guard, padding_triangular, peel_triangular};
+pub use reg_alloc::reg_alloc;
+pub use sm_alloc::sm_alloc;
+pub use thread_grouping::{thread_grouping, GroupingStyle};
+pub use tiling::loop_tiling;
+pub use unroll::loop_unroll;
+
+use crate::expr::AffineExpr;
+use std::fmt;
+
+/// Why a component could not be applied.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// The component's structural precondition failed; the filter degrades
+    /// the sequence by dropping the component (Sec. IV.B.2).
+    NotApplicable(String),
+    /// A referenced loop label or array is missing — a malformed script,
+    /// reported to the developer rather than silently degraded.
+    Missing(String),
+    /// Parameter values violate a divisibility/resource constraint.
+    BadParams(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotApplicable(m) => write!(f, "not applicable: {m}"),
+            TransformError::Missing(m) => write!(f, "missing: {m}"),
+            TransformError::BadParams(m) => write!(f, "bad parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Component result type.
+pub type TResult<T = ()> = Result<T, TransformError>;
+
+/// Tunable tile/thread-shape parameters, searched by `oa-autotune`
+/// (the paper tunes them "with the method in [4]").
+///
+/// Matrices are column-major, so threads along the *i* (row) dimension are
+/// mapped to `threadIdx.x`: consecutive threads touch consecutive memory
+/// and global accesses coalesce, the same layout choice Volkov's GEMM makes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TileParams {
+    /// Block tile rows (`TY`): rows of C computed per thread block.
+    pub ty: i64,
+    /// Block tile columns (`TX`).
+    pub tx: i64,
+    /// Threads along the i (row) dimension — mapped to `threadIdx.x`.
+    pub thr_i: i64,
+    /// Threads along the j (column) dimension — mapped to `threadIdx.y`.
+    pub thr_j: i64,
+    /// K-tile depth (`KB`).
+    pub kb: i64,
+    /// Requested unroll factor for `loop_unroll` (0 = full).
+    pub unroll: usize,
+}
+
+impl Default for TileParams {
+    fn default() -> Self {
+        // A safe, CC1.x-friendly default: 32x32 C tiles, 16x16 threads
+        // (256 threads/block), 2x2 register tiles, 16-deep K tiles.
+        Self { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 }
+    }
+}
+
+impl TileParams {
+    /// Register-tile rows per thread.
+    pub fn reg_rows(&self) -> i64 {
+        self.ty / self.thr_i
+    }
+
+    /// Register-tile columns per thread.
+    pub fn reg_cols(&self) -> i64 {
+        self.tx / self.thr_j
+    }
+
+    /// Threads per block.
+    pub fn threads(&self) -> i64 {
+        self.thr_i * self.thr_j
+    }
+
+    /// Validate divisibility constraints.
+    pub fn validate(&self) -> TResult {
+        if self.ty <= 0 || self.tx <= 0 || self.thr_i <= 0 || self.thr_j <= 0 || self.kb <= 0 {
+            return Err(TransformError::BadParams("non-positive tile parameter".into()));
+        }
+        if self.ty % self.thr_i != 0 || self.tx % self.thr_j != 0 {
+            return Err(TransformError::BadParams(format!(
+                "thread shape ({}, {}) must divide block tile ({}, {})",
+                self.thr_i, self.thr_j, self.ty, self.tx
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One tiled data dimension, recording how an original iterator was
+/// decomposed by `thread_grouping` (+ `loop_tiling`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TiledDim {
+    /// The original iterator (`i` / `j`).
+    pub orig_var: String,
+    /// Block-loop iterator (`ib`), if this dimension is block-distributed.
+    pub block_var: Option<String>,
+    /// Block tile size (`TY`); equals the full extent when not tiled.
+    pub tile: i64,
+    /// Thread-loop iterator (`it`), if thread-distributed.
+    pub thread_var: Option<String>,
+    /// Thread extent (`TDY`).
+    pub thread_extent: i64,
+    /// Register-tile iterator (`ii`), if register-tiled.
+    pub reg_var: Option<String>,
+    /// Register-tile extent per thread.
+    pub reg_extent: i64,
+    /// Full reconstruction of the original iterator,
+    /// e.g. `ib*TY + ii*TDY + it`.
+    pub expr: AffineExpr,
+}
+
+/// The k-dimension tiling produced by `loop_tiling`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KTileInfo {
+    /// The original reduction iterator (`k`).
+    pub orig_var: String,
+    /// Tile-loop iterator (`kk`).
+    pub tile_var: String,
+    /// Intra-tile iterator (`k3`).
+    pub point_var: String,
+    /// Tile depth (`KB`).
+    pub kb: i64,
+    /// Label of the tile loop (`Lkk`).
+    pub tile_label: String,
+    /// Label of the intra-tile loop (`Lkkk`).
+    pub point_label: String,
+    /// `kk*KB + k3` — reconstruction of `k`.
+    pub expr: AffineExpr,
+    /// Size parameter bounding the k dimension (`K`, or `M`/`N` for the
+    /// triangular routines) — padding re-imposes it as an edge guard.
+    pub extent: String,
+}
+
+/// Metadata shared between the grouping/tiling components and the memory
+/// components, stored on the program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TilingInfo {
+    /// The i (rows-of-C) dimension.
+    pub dim_i: TiledDim,
+    /// The j (cols-of-C) dimension.
+    pub dim_j: TiledDim,
+    /// k-tiling, once `loop_tiling` has run.
+    pub k_tile: Option<KTileInfo>,
+    /// All iterators that vary *within* a block tile, with their extents.
+    /// Substituting each variable's minimizing value yields a tile-origin
+    /// expression (the minimum handles reversed-index accesses such as the
+    /// backward-substitution TRSM variants, where coefficients are
+    /// negative).
+    pub intra_vars: Vec<(String, i64)>,
+    /// The parameters the structure was built with.
+    pub params: TileParams,
+    /// `GroupingStyle` used (GEMM-like 2-D or solver 1-D).
+    pub style: GroupingStyle,
+    /// Label of the solver's diagonal (triangular) region, once
+    /// `loop_tiling` has created it (`Solver1D` only); the target of
+    /// `binding_triangular`.
+    pub diag_label: Option<String>,
+}
+
+impl TilingInfo {
+    /// Minimize an expression over the intra-tile iteration box, producing
+    /// the tile-origin along that subscript: each intra variable is
+    /// replaced by 0 when its coefficient is non-negative and by
+    /// `extent - 1` otherwise (reversed-index accesses).
+    pub fn tile_origin(&self, e: &AffineExpr) -> AffineExpr {
+        let mut out = e.clone();
+        for (v, extent) in &self.intra_vars {
+            let at = if out.coeff(v) >= 0 { 0 } else { extent - 1 };
+            out = out.subst(v, &AffineExpr::cst(at));
+        }
+        out
+    }
+
+    /// The extent of variation of a subscript within one (block, k-tile)
+    /// instance: `tile` if it follows the i/j block dimension, `kb` if it
+    /// follows the k tile, 1 if invariant.
+    pub fn tile_extent(&self, e: &AffineExpr) -> i64 {
+        if let Some(kt) = &self.k_tile {
+            if e.uses(&kt.point_var) || e.uses(&kt.tile_var) {
+                return kt.kb;
+            }
+        }
+        if let Some(bv) = &self.dim_i.block_var {
+            if e.uses(bv) {
+                return self.dim_i.tile;
+            }
+        }
+        if self.dim_i.thread_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+            || self.dim_i.reg_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+        {
+            return self.dim_i.tile;
+        }
+        if let Some(bv) = &self.dim_j.block_var {
+            if e.uses(bv) {
+                return self.dim_j.tile;
+            }
+        }
+        if self.dim_j.thread_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+            || self.dim_j.reg_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+        {
+            return self.dim_j.tile;
+        }
+        1
+    }
+}
+
+/// Fresh-name helper: `base`, `base_1`, `base_2`, … avoiding collisions
+/// with existing labels.
+pub fn fresh_label(existing: &[String], base: &str) -> String {
+    if !existing.iter().any(|l| l == base) {
+        return base.to_string();
+    }
+    for n in 1.. {
+        let cand = format!("{base}_{n}");
+        if !existing.iter().any(|l| l == &cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}

@@ -1,0 +1,473 @@
+//! `peel_triangular` / `padding_triangular` — the two ways
+//! `Adaptor_Triangular` deals with un-uniform loop bounds (Sec. IV.A.3,
+//! Fig. 6).
+//!
+//! Both components run after `loop_tiling` ("for a triangular area, the
+//! detection will fail before loop tiling is applied"): only then does the
+//! iteration space decompose into *trapezoid* areas — full rectangular
+//! tiles plus a guarded diagonal band.
+//!
+//! * `peel_triangular` splits the k-tile loop into an unguarded rectangular
+//!   loop and a guarded diagonal loop, shrinking both to their true ranges
+//!   (the original tiled loop wastes whole guard-false tiles).
+//! * `padding_triangular` keeps a single loop over the padded rectangular
+//!   range with the triangular guard *removed*; the padded iterations read
+//!   the blank triangle, which is only sound when it contains zeros
+//!   (`cond(blank(X).zero = true)`), so the component emits multi-versioned
+//!   code dispatching on a runtime `check_blank_zero` flag.
+
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use crate::nest::{BlankZeroCheck, Program};
+use crate::stmt::{AssignOp, Loop, Stmt};
+use crate::transform::{GroupingStyle, TransformError, TResult};
+
+/// The analyzed triangular guard of a tiled nest.
+struct TriBand {
+    /// Index of the triangular conjunct in the inner guard.
+    cond_idx: usize,
+    /// Block variable of the dimension the bound follows (`ib` or `jb`).
+    block_var: String,
+    /// k tiles per block tile (`TY/KB` or `TX/KB`).
+    ratio: i64,
+    /// `true` for lower-triangular style (`k < i + c`: guard passes for
+    /// small k), `false` for upper (`k >= i + c`).
+    lower_form: bool,
+}
+
+/// Locate the triangular conjunct inside `Lkkk`'s guard and classify it.
+fn analyze(p: &Program, array: &str) -> TResult<(TriBand, Loop, Predicate, Vec<Stmt>)> {
+    let info = p
+        .tiling
+        .as_ref()
+        .ok_or_else(|| TransformError::NotApplicable("requires thread_grouping".into()))?;
+    if info.style != GroupingStyle::Gemm2D {
+        return Err(TransformError::NotApplicable(
+            "the solver distribution separates its triangular region during tiling".into(),
+        ));
+    }
+    let kt = info.k_tile.as_ref().ok_or_else(|| {
+        TransformError::NotApplicable("trapezoid detection fails before loop tiling".into())
+    })?;
+    if p.array(array).is_none() {
+        return Err(TransformError::Missing(format!("array {array}")));
+    }
+    let lkk = p
+        .find_loop(&kt.tile_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {}", kt.tile_label)))?
+        .clone();
+    let lkkk = p
+        .find_loop(&kt.point_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {}", kt.point_label)))?
+        .clone();
+    // Descend through the register-loop wrappers to the merged innermost
+    // guard.
+    let mut cursor: &[Stmt] = &lkkk.body;
+    let (pred, inner) = loop {
+        match cursor {
+            [Stmt::Loop(l)] => cursor = &l.body,
+            [Stmt::If { pred, then_body, else_body }] if else_body.is_empty() => {
+                break (pred.clone(), then_body.clone())
+            }
+            _ => {
+                return Err(TransformError::NotApplicable(
+                    "no guarded region inside the k point loop".into(),
+                ))
+            }
+        }
+    };
+
+    for (idx, cond) in pred.conds.iter().enumerate() {
+        // Normalize to `diff ⋈ 0` with `pass ⇔ diff < 0` (Lt) or the
+        // mirrored Ge form.
+        // Tiling emits the k-range guards as `k < upper` (Lt — passes for
+        // small k: lower-triangular form) or `k >= lower` (Ge — passes for
+        // large k: upper form).  In both, `diff = lhs - rhs` carries
+        // `+KB·kk + k3` and `-tile·block_var`.
+        let (diff, lower_form) = match cond.op {
+            CmpOp::Lt => (cond.lhs.sub(&cond.rhs), true),
+            CmpOp::Ge => (cond.lhs.sub(&cond.rhs), false),
+            _ => continue,
+        };
+        if diff.coeff(&kt.tile_var) != kt.kb || diff.coeff(&kt.point_var) != 1 {
+            continue;
+        }
+        // Which block dimension does the bound follow?
+        for dim in [&info.dim_i, &info.dim_j] {
+            let Some(bv) = &dim.block_var else { continue };
+            if diff.coeff(bv) == -dim.tile {
+                if dim.tile % kt.kb != 0 {
+                    return Err(TransformError::BadParams(format!(
+                        "KB ({}) must divide the block tile ({})",
+                        kt.kb, dim.tile
+                    )));
+                }
+                let band = TriBand {
+                    cond_idx: idx,
+                    block_var: bv.clone(),
+                    ratio: dim.tile / kt.kb,
+                    lower_form,
+                };
+                return Ok((band, lkk, pred, inner));
+            }
+        }
+    }
+    Err(TransformError::NotApplicable(format!(
+        "no trapezoid area involving {array} detected"
+    )))
+}
+
+/// Rebuild the `Lkk` loop body with the given guard predicate (or none).
+fn rebuild_kk(template: &Loop, label: &str, lower: AffineExpr, upper: AffineExpr, pred: Option<Predicate>, inner: &[Stmt], relabel_suffix: Option<&str>) -> Stmt {
+    // template.body = [... Liii { Ljjj { If(outer guard) { Lkkk { If(pred){inner} } } } }]
+    // We rewrite the innermost guard through a structural map.
+    fn rewrite(stmts: &[Stmt], pred: &Option<Predicate>, inner: &[Stmt], suffix: Option<&str>) -> Vec<Stmt> {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Loop(l) => {
+                    let mut nl = (**l).clone();
+                    if let Some(sfx) = suffix {
+                        nl.label = format!("{}{}", nl.label, sfx);
+                    }
+                    nl.body = rewrite(&nl.body, pred, inner, suffix);
+                    Stmt::Loop(Box::new(nl))
+                }
+                Stmt::If { pred: q, then_body, else_body } => {
+                    // The innermost guard is the one wrapping the original
+                    // inner statements.
+                    if then_body == inner {
+                        match pred {
+                            Some(np) => Stmt::If {
+                                pred: np.clone(),
+                                then_body: inner.to_vec(),
+                                else_body: Vec::new(),
+                            },
+                            None => {
+                                if inner.len() == 1 {
+                                    inner[0].clone()
+                                } else {
+                                    Stmt::If {
+                                        pred: Predicate::always(),
+                                        then_body: inner.to_vec(),
+                                        else_body: Vec::new(),
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        Stmt::If {
+                            pred: q.clone(),
+                            then_body: rewrite(then_body, pred, inner, suffix),
+                            else_body: rewrite(else_body, pred, inner, suffix),
+                        }
+                    }
+                }
+                other => other.clone(),
+            })
+            .collect()
+    }
+    let mut l = template.clone();
+    l.label = label.to_string();
+    l.lower = lower;
+    l.upper = upper;
+    l.body = rewrite(&template.body, &pred, inner, relabel_suffix);
+    Stmt::Loop(Box::new(l))
+}
+
+/// Apply `peel_triangular(X)`.
+pub fn peel_triangular(p: &mut Program, array: &str) -> TResult {
+    let (band, lkk, pred, inner) = analyze(p, array)?;
+    let r = band.ratio;
+    let bv = AffineExpr::term(&band.block_var, r);
+
+    // Guard without the triangular conjunct (rectangular region).
+    let mut rect_pred = pred.clone();
+    rect_pred.conds.remove(band.cond_idx);
+    let rect_pred = if rect_pred.is_always() { None } else { Some(rect_pred) };
+
+    let (rect, diag) = if band.lower_form {
+        // full: [0, ib*R)           diag: [ib*R, (ib+1)*R)
+        (
+            rebuild_kk(&lkk, "Lkk", AffineExpr::zero(), bv.clone(), rect_pred, &inner, None),
+            rebuild_kk(&lkk, "Lkk_diag", bv.clone(), bv.add_const(r), Some(pred.clone()), &inner, Some("_t")),
+        )
+    } else {
+        // diag: [ib*R, (ib+1)*R)    full: [(ib+1)*R, Kb)
+        (
+            rebuild_kk(&lkk, "Lkk", bv.add_const(r), lkk.upper.clone(), rect_pred, &inner, None),
+            rebuild_kk(&lkk, "Lkk_diag", bv.clone(), bv.add_const(r), Some(pred.clone()), &inner, Some("_t")),
+        )
+    };
+    let replacement = if band.lower_form { vec![rect, diag] } else { vec![diag, rect] };
+    let label = lkk.label.clone();
+    p.rewrite_loop(&label, &mut |_| replacement.clone());
+    Ok(())
+}
+
+/// Apply `padding_triangular(X)` with `cond(blank(X).zero = true)`
+/// multi-versioning.
+pub fn padding_triangular(p: &mut Program, array: &str) -> TResult {
+    let (band, lkk, pred, inner) = analyze(p, array)?;
+    // Padding turns guard-false iterations into reads of the blank
+    // triangle; they must contribute nothing, so every statement has to be
+    // an accumulation whose right-hand side reads the padded array.
+    for s in &inner {
+        for a in s.assignments() {
+            if a.op == AssignOp::Assign {
+                return Err(TransformError::NotApplicable(
+                    "padded iterations require accumulation statements".into(),
+                ));
+            }
+            let feeds = a.rhs.accesses().iter().any(|acc| {
+                let d = p.array(&acc.array);
+                d.map(|d| d.name == *array || d.name == format!("New{array}")).unwrap_or(false)
+            });
+            if !feeds {
+                return Err(TransformError::NotApplicable(format!(
+                    "statement does not read {array}; padding would change it"
+                )));
+            }
+        }
+    }
+
+    let r = band.ratio;
+    let bv = AffineExpr::term(&band.block_var, r);
+    let mut padded_pred = pred.clone();
+    padded_pred.conds.remove(band.cond_idx);
+    // The removed triangular conjunct may have been the only bound keeping
+    // `k` inside the matrix (ragged sizes); re-impose the edge guard.  It
+    // specializes away on tile-divisible sizes.
+    let kt = p.tiling.as_ref().and_then(|i| i.k_tile.clone()).expect("k-tiled");
+    let edge = crate::expr::AffineCond::new(
+        kt.expr.clone(),
+        CmpOp::Lt,
+        AffineExpr::var(&kt.extent),
+    );
+    if !padded_pred.conds.contains(&edge) {
+        padded_pred.conds.push(edge);
+    }
+    let padded_pred = if padded_pred.is_always() { None } else { Some(padded_pred) };
+
+    let (lo, hi) = if band.lower_form {
+        (AffineExpr::zero(), bv.add_const(r))
+    } else {
+        (bv, lkk.upper.clone())
+    };
+    let padded = rebuild_kk(&lkk, "Lkk", lo, hi, padded_pred, &inner, None);
+    // The fallback version keeps the original (guarded, full-range) loop.
+    let mut fallback_lkk = lkk.clone();
+    fallback_lkk.label = "Lkk_orig".into();
+    let fallback = rebuild_kk(&fallback_lkk, "Lkk_orig", lkk.lower.clone(), lkk.upper.clone(), Some(pred), &inner, Some("_o"));
+
+    // When GM_map re-mapped the matrix, the padded iterations read the
+    // mapped copy: the runtime blank check must target it.
+    let checked = if p.array(&format!("New{array}")).is_some() {
+        format!("New{array}")
+    } else {
+        array.to_string()
+    };
+    let versioned = Stmt::If {
+        pred: Predicate {
+            blank_zero: Some(checked.clone()),
+            ..Predicate::default()
+        },
+        then_body: vec![padded],
+        else_body: vec![fallback],
+    };
+    let label = lkk.label.clone();
+    p.rewrite_loop(&label, &mut |_| vec![versioned.clone()]);
+    if !p.blank_checks.iter().any(|c| c.array == checked) {
+        p.blank_checks.push(BlankZeroCheck { array: checked });
+    }
+    Ok(())
+}
+
+/// Probe used by tests and the composer: does the tiled nest still carry a
+/// triangular guard band (a conjunct coupling the k iterators with a block
+/// variable)?
+pub fn has_triangular_guard(p: &Program) -> bool {
+    let Some(lkkk) = p
+        .tiling
+        .as_ref()
+        .and_then(|i| i.k_tile.as_ref())
+        .and_then(|kt| p.find_loop(&kt.point_label))
+    else {
+        return false;
+    };
+    let mut cursor: &[Stmt] = &lkkk.body;
+    loop {
+        match cursor {
+            [Stmt::Loop(l)] => cursor = &l.body,
+            [Stmt::If { pred, .. }] => {
+                return pred.conds.iter().any(|c| {
+                    let uses = |v: &str| c.lhs.uses(v) || c.rhs.uses(v);
+                    (uses("kk") || uses("k3")) && (uses("ib") || uses("jb"))
+                })
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{gemm_nn_like, trmm_ll_like};
+    use crate::interp::{equivalent_on, Bindings};
+    use crate::transform::{loop_tiling, thread_grouping, TileParams};
+
+    fn params() -> TileParams {
+        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    }
+
+    fn tiled_trmm() -> (Program, Program) {
+        let reference = trmm_ll_like("t");
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        (reference, p)
+    }
+
+    #[test]
+    fn peel_splits_and_preserves_semantics() {
+        let (reference, mut p) = tiled_trmm();
+        peel_triangular(&mut p, "A").unwrap();
+        assert!(p.find_loop("Lkk").is_some());
+        assert!(p.find_loop("Lkk_diag").is_some());
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 7, 1e-4));
+    }
+
+    #[test]
+    fn peel_rectangular_region_is_unguarded() {
+        let (_, mut p) = tiled_trmm();
+        peel_triangular(&mut p, "A").unwrap();
+        // The triangular conjunct couples the k iterators (kk/k3) with the
+        // block variable ib; after peeling no such conjunct remains in the
+        // rectangular region (the outer i<M/j<N edge guard, which also
+        // mentions ib, legitimately stays).
+        let lkk = p.find_loop("Lkk").unwrap().clone();
+        let mut found_tri = false;
+        fn scan(stmts: &[Stmt], found: &mut bool) {
+            for s in stmts {
+                match s {
+                    Stmt::If { pred, then_body, else_body } => {
+                        if pred.conds.iter().any(|c| {
+                            let uses = |v: &str| c.lhs.uses(v) || c.rhs.uses(v);
+                            (uses("kk") || uses("k3")) && uses("ib")
+                        }) {
+                            *found = true;
+                        }
+                        scan(then_body, found);
+                        scan(else_body, found);
+                    }
+                    Stmt::Loop(l) => scan(&l.body, found),
+                    _ => {}
+                }
+            }
+        }
+        scan(&lkk.body, &mut found_tri);
+        assert!(!found_tri, "triangular guard must be peeled off the rectangular region");
+    }
+
+    #[test]
+    fn peel_before_tiling_fails() {
+        let mut p = trmm_ll_like("t");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        let err = peel_triangular(&mut p, "A").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn peel_on_rectangular_gemm_fails() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        let err = peel_triangular(&mut p, "A").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn padding_multiversion_correct_when_blanks_zero() {
+        let reference = trmm_ll_like("t");
+        let mut p = reference.clone();
+        // Declare A's blank area zeroed: the allocator will zero-fill it.
+        p.array_mut("A").unwrap().fill = crate::arrays::Fill::LowerTriangular;
+        p.array_mut("A").unwrap().blank_is_zero = true;
+        let mut reference2 = reference.clone();
+        reference2.array_mut("A").unwrap().fill = crate::arrays::Fill::LowerTriangular;
+        reference2.array_mut("A").unwrap().blank_is_zero = true;
+
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        padding_triangular(&mut p, "A").unwrap();
+        assert_eq!(p.blank_checks.len(), 1);
+        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 11, 1e-4));
+    }
+
+    #[test]
+    fn padding_fallback_correct_when_blanks_dirty() {
+        // Blanks NOT zeroed: the runtime check must route execution to the
+        // fallback (guarded) version and results stay correct.
+        let reference = trmm_ll_like("t");
+        let mut p = reference.clone();
+        p.array_mut("A").unwrap().fill = crate::arrays::Fill::LowerTriangular;
+        // blank_is_zero stays false: the buffers keep random garbage there.
+        let mut reference2 = reference.clone();
+        reference2.array_mut("A").unwrap().fill = crate::arrays::Fill::LowerTriangular;
+
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        padding_triangular(&mut p, "A").unwrap();
+        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 13, 1e-4));
+    }
+
+    /// TRMM-LU-N-like nest: k in [i, M) — the upper-triangular form.
+    fn trmm_lu_like() -> Program {
+        let mut p = gemm_nn_like("tu");
+        p.array_mut("A").unwrap().fill = crate::arrays::Fill::UpperTriangular;
+        p.rewrite_loop("Lk", &mut |mut lk| {
+            lk.lower = AffineExpr::var("i");
+            lk.upper = AffineExpr::var("K");
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        p
+    }
+
+    #[test]
+    fn peel_handles_upper_form() {
+        let reference = trmm_lu_like();
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        peel_triangular(&mut p, "A").unwrap();
+        assert!(p.find_loop("Lkk_diag").is_some());
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 5, 1e-4));
+    }
+
+    #[test]
+    fn padding_handles_upper_form() {
+        let reference = trmm_lu_like();
+        let mut p = reference.clone();
+        p.array_mut("A").unwrap().blank_is_zero = true;
+        let mut reference2 = reference.clone();
+        reference2.array_mut("A").unwrap().blank_is_zero = true;
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        padding_triangular(&mut p, "A").unwrap();
+        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 7, 1e-4));
+        // Ragged size exercises the re-imposed k < K edge guard.
+        assert!(equivalent_on(&reference2, &p, &Bindings::square(20), 7, 1e-4));
+    }
+
+    #[test]
+    fn triangular_guard_probe() {
+        let (_, p) = tiled_trmm();
+        assert!(has_triangular_guard(&p));
+        let mut g = gemm_nn_like("g");
+        thread_grouping(&mut g, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut g, "Lii", "Ljj", "Lk").unwrap();
+        assert!(!has_triangular_guard(&g));
+    }
+}

@@ -1,0 +1,265 @@
+//! `Reg_alloc` — keep each thread's output sub-tile in registers across the
+//! whole reduction (Sec. III.B, traditional pool).
+//!
+//! The accumulator tile is loaded once before the k-tile loop, updated in
+//! registers inside it, and written back once after — removing `O(K)`
+//! global traffic per output element.
+//!
+//! Both distributions are supported: the 2-D (GEMM) layout register-tiles
+//! along both dimensions; the solver layout holds the thread's segment of
+//! the current row block (`TB × 1`) across the rectangular update region,
+//! flushing before the diagonal solve so cross-thread reads (with
+//! `binding_triangular`) see the updated values.
+
+use crate::arrays::ArrayDecl;
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use crate::nest::Program;
+use crate::scalar::Access;
+use crate::stmt::{RegTile, Stmt};
+use crate::transform::{GroupingStyle, TransformError, TResult};
+
+/// Apply `Reg_alloc(X)`.  Returns the register array's name.
+pub fn reg_alloc(p: &mut Program, array: &str) -> TResult<String> {
+    let info = p
+        .tiling
+        .clone()
+        .ok_or_else(|| TransformError::NotApplicable("Reg_alloc requires thread_grouping".into()))?;
+    let Some(kt) = info.k_tile.clone() else {
+        return Err(TransformError::NotApplicable(
+            "Reg_alloc requires a tiled k dimension to hoist the accumulator across".into(),
+        ));
+    };
+    let decl = p
+        .array(array)
+        .ok_or_else(|| TransformError::Missing(format!("array {array}")))?
+        .clone();
+
+    // All accesses to the array inside the k-tile loop must share one
+    // subscript pair (the accumulator element of this thread).
+    let lkk = p
+        .find_loop(&kt.tile_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {}", kt.tile_label)))?
+        .clone();
+    let mut elem: Option<(AffineExpr, AffineExpr)> = None;
+    let mut seen_write = false;
+    for s in &lkk.body {
+        for a in s.assignments() {
+            for acc in a.accesses() {
+                if acc.array != array {
+                    continue;
+                }
+                match &elem {
+                    None => elem = Some((acc.row.clone(), acc.col.clone())),
+                    Some((r, c)) => {
+                        if *r != acc.row || *c != acc.col {
+                            return Err(TransformError::NotApplicable(format!(
+                                "accesses to {array} are not a single per-thread element pattern"
+                            )));
+                        }
+                    }
+                }
+            }
+            if a.lhs.array == array {
+                seen_write = true;
+            }
+        }
+    }
+    let Some((row, col)) = elem else {
+        return Err(TransformError::NotApplicable(format!(
+            "no accesses to {array} inside the k-tile loop"
+        )));
+    };
+    if !seen_write {
+        return Err(TransformError::NotApplicable(format!(
+            "{array} is read-only here; Reg_alloc targets the accumulator"
+        )));
+    }
+
+    // Register-tile geometry per subscript: follow whichever dimension's
+    // register-loop iterator the subscript uses (the right-side solver
+    // puts the sequential dimension in the *column* position, so a
+    // subscript is matched against both dims); otherwise the dimension is
+    // a single element per thread.
+    let (ri, rj) = (info.dim_i.clone(), info.dim_j.clone());
+    let geom = |sub: &AffineExpr| -> (i64, i64, Option<String>) {
+        for dim in [&ri, &rj] {
+            if let Some(v) = &dim.reg_var {
+                let coeff = sub.coeff(v);
+                if coeff != 0 && dim.reg_extent > 1 {
+                    return (dim.reg_extent, coeff, Some(v.clone()));
+                }
+            }
+        }
+        (1, 1, None)
+    };
+    let (rows, row_stride, ivar) = geom(&row);
+    let (cols, col_stride, jvar) = geom(&col);
+    if ivar.is_some() && ivar == jvar {
+        return Err(TransformError::NotApplicable(format!(
+            "{array} subscripts couple one register iterator across both dimensions"
+        )));
+    }
+    if rows == 1 && cols == 1 && info.style == GroupingStyle::Gemm2D {
+        // A 1x1 register "tile" in the 2-D layout means the subscripts
+        // never followed the register loops: reject as unexpected shape.
+        if ri.reg_extent > 1 || rj.reg_extent > 1 {
+            return Err(TransformError::NotApplicable(format!(
+                "{array} subscripts do not follow the register-tile iterators"
+            )));
+        }
+    }
+    // The tile origin zeroes the register-loop iterators in *all* cases
+    // (even a 1-wide dimension's subscript may mention the trip-1 register
+    // iterator, which is out of scope at the load/store insertion point).
+    let mut row0 = row.clone();
+    let mut col0 = col.clone();
+    for dim in [&ri, &rj] {
+        if let Some(v) = &dim.reg_var {
+            row0 = row0.subst(v, &AffineExpr::zero());
+            col0 = col0.subst(v, &AffineExpr::zero());
+        }
+    }
+
+    let reg_name = format!("r{array}");
+    p.declare(ArrayDecl::reg(&reg_name, rows, cols));
+
+    let guard = Predicate::cond(AffineExpr::var("__gr"), CmpOp::Lt, decl.rows.clone()).and(
+        crate::expr::AffineCond::new(AffineExpr::var("__gc"), CmpOp::Lt, decl.cols.clone()),
+    );
+    let tile = RegTile {
+        reg: reg_name.clone(),
+        global: array.to_string(),
+        row0,
+        col0,
+        row_stride,
+        col_stride,
+        rows,
+        cols,
+        guard,
+    };
+
+    // Rewrite accesses inside Lkk to the register tile, indexed by the
+    // register-loop iterators (0 where the dimension is single-element).
+    let ivar2 = ivar.clone();
+    let jvar2 = jvar.clone();
+    let rewrite = move |acc: &Access| -> Access {
+        if acc.array != array {
+            return acc.clone();
+        }
+        let r = ivar2.as_ref().map(|v| AffineExpr::var(v)).unwrap_or_else(AffineExpr::zero);
+        let c = jvar2.as_ref().map(|v| AffineExpr::var(v)).unwrap_or_else(AffineExpr::zero);
+        Access { array: reg_name.clone(), row: r, col: c, mirrored: false }
+    };
+    let new_lkk_body: Vec<Stmt> = lkk.body.iter().map(|s| s.map_accesses(&rewrite)).collect();
+
+    // In the solver layout, the same rows may also be *read* inside the
+    // rectangular region of later k tiles of the same register set — they
+    // are not (reads of earlier blocks go through their own global rows),
+    // so load-before / store-after the k-tile loop is sound for both
+    // styles.
+    p.rewrite_loop(&kt.tile_label, &mut |mut l| {
+        l.body = new_lkk_body.clone();
+        vec![
+            Stmt::RegLoad(tile.clone()),
+            Stmt::Loop(Box::new(l)),
+            Stmt::RegStore(tile.clone()),
+        ]
+    });
+    Ok(format!("r{array}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::AllocMode;
+    use crate::builder::gemm_nn_like;
+    use crate::interp::{equivalent_on, Bindings};
+    use crate::transform::{loop_tiling, sm_alloc, thread_grouping, TileParams};
+
+    fn tiled_gemm() -> Program {
+        let mut p = gemm_nn_like("g");
+        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        p
+    }
+
+    #[test]
+    fn full_fig3_scheme_preserves_semantics() {
+        let reference = gemm_nn_like("g");
+        let mut p = tiled_gemm();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        let reg = reg_alloc(&mut p, "C").unwrap();
+        assert_eq!(reg, "rC");
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 21, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(11), 21, 1e-4));
+    }
+
+    #[test]
+    fn reg_tile_shape_follows_params() {
+        let mut p = tiled_gemm();
+        reg_alloc(&mut p, "C").unwrap();
+        let rc = p.array("rC").unwrap();
+        assert_eq!(rc.rows.as_const(), Some(2)); // TY/thr_i = 8/4
+        assert_eq!(rc.cols.as_const(), Some(2));
+    }
+
+    #[test]
+    fn read_only_array_rejected() {
+        let mut p = tiled_gemm();
+        let err = reg_alloc(&mut p, "A").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn requires_k_tiling() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        let err = reg_alloc(&mut p, "C").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn solver_accumulator_goes_to_registers() {
+        use crate::scalar::{Access, BinOp, ScalarExpr};
+        use crate::stmt::{AssignOp, AssignStmt, Loop};
+        // TRSM-like source.
+        let mut reference = gemm_nn_like("trsm");
+        reference.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![
+                Stmt::Loop(Box::new(lk)),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("B", "i", "j"),
+                    AssignOp::Assign,
+                    ScalarExpr::Bin(
+                        BinOp::Div,
+                        Box::new(ScalarExpr::load(Access::idx("B", "i", "j"))),
+                        Box::new(ScalarExpr::load(Access::idx("A", "i", "i"))),
+                    ),
+                )),
+            ]
+        });
+        let mut p = reference.clone();
+        let params = TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        let reg = reg_alloc(&mut p, "B").unwrap();
+        assert_eq!(reg, "rB");
+        let rb = p.array("rB").unwrap();
+        assert_eq!(rb.rows.as_const(), Some(8)); // the row block TB
+        assert_eq!(rb.cols.as_const(), Some(1));
+        // Sequential semantics still hold (no binding here).
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 31, 1e-3));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 31, 1e-3));
+    }
+}

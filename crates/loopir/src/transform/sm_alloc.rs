@@ -1,0 +1,226 @@
+//! `SM_alloc` — allocate (a tile of) a matrix in shared memory
+//! (Sec. III.B, traditional pool).
+//!
+//! The developer only names the object and the allocation mode; the
+//! component determines the induced data mapping, generates the cooperative
+//! data-movement statement ([`SharedStage`]) and pads the tile to avoid
+//! bank conflicts ("a two-dimensional array of size (16, 16) will be padded
+//! to (16, 17)").
+
+use crate::arrays::{AllocMode, ArrayDecl, MemSpace};
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use crate::nest::Program;
+use crate::scalar::Access;
+use crate::stmt::{SharedStage, Stmt};
+use crate::transform::{TransformError, TResult};
+
+/// Bank-conflict padding rule: pad the leading dimension by one when it is
+/// a multiple of the (half-)warp width, which would otherwise map an entire
+/// tile column onto one bank.
+fn auto_pad(rows: i64) -> i64 {
+    if rows % 16 == 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Apply `SM_alloc(X, mode)`.  Returns the shared array's name.
+pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> {
+    let info = p
+        .tiling
+        .clone()
+        .ok_or_else(|| TransformError::NotApplicable("SM_alloc requires thread_grouping".into()))?;
+    let Some(kt) = info.k_tile.clone() else {
+        return Err(TransformError::NotApplicable(
+            "SM_alloc requires a tiled k dimension to stage per-tile slices".into(),
+        ));
+    };
+    let decl = p
+        .array(array)
+        .ok_or_else(|| TransformError::Missing(format!("array {array}")))?
+        .clone();
+    if decl.space != MemSpace::Global {
+        return Err(TransformError::NotApplicable(format!(
+            "{array} is already in {:?} memory",
+            decl.space
+        )));
+    }
+
+    // Scope: the k-tile loop subtree.
+    let lkk = p
+        .find_loop(&kt.tile_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {}", kt.tile_label)))?
+        .clone();
+
+    // All *reads* of the array inside the scope must cover a single
+    // (origin, extent) tile.  Writes to the array are allowed only when
+    // their tile origin differs from the staged read tile (disjoint
+    // regions — the TRSM update reads finalized row blocks while writing
+    // the current one); the writes themselves stay in global memory.
+    let mut tile: Option<(AffineExpr, AffineExpr, i64, i64)> = None;
+    let mut write_origins: Vec<(AffineExpr, AffineExpr)> = Vec::new();
+    for s in &lkk.body {
+        for a in s.assignments() {
+            if a.lhs.array == array {
+                write_origins
+                    .push((info.tile_origin(&a.lhs.row), info.tile_origin(&a.lhs.col)));
+            }
+            for acc in a.rhs.accesses() {
+                if acc.array != array {
+                    continue;
+                }
+                let row0 = info.tile_origin(&acc.row);
+                let col0 = info.tile_origin(&acc.col);
+                let ext_r = info.tile_extent(&acc.row);
+                let ext_c = info.tile_extent(&acc.col);
+                match &tile {
+                    None => tile = Some((row0, col0, ext_r, ext_c)),
+                    Some((r0, c0, er, ec)) => {
+                        if *r0 != row0 || *c0 != col0 || *er != ext_r || *ec != ext_c {
+                            return Err(TransformError::NotApplicable(format!(
+                                "accesses to {array} cover multiple distinct tiles"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let Some((row0, col0, ext_r, ext_c)) = tile else {
+        return Err(TransformError::NotApplicable(format!(
+            "no accesses to {array} inside the k-tile loop"
+        )));
+    };
+    for (wr, wc) in &write_origins {
+        if *wr == row0 && *wc == col0 {
+            return Err(TransformError::NotApplicable(format!(
+                "{array} is written into the staged tile itself; cannot stage"
+            )));
+        }
+    }
+    if mode == AllocMode::Symmetry && ext_r != ext_c {
+        return Err(TransformError::NotApplicable(
+            "Symmetry staging requires a square tile".into(),
+        ));
+    }
+
+    // Declare the shared tile (transposed dims under Transpose mode).
+    let shared_name = format!("s{array}");
+    let (srows, scols) = match mode {
+        AllocMode::Transpose => (ext_c, ext_r),
+        _ => (ext_r, ext_c),
+    };
+    p.declare(ArrayDecl::shared(&shared_name, srows, scols, auto_pad(srows)));
+
+    // The staging guard keeps edge tiles in range.
+    let guard = Predicate::cond(AffineExpr::var("__sr"), CmpOp::Lt, decl.rows.clone()).and(
+        crate::expr::AffineCond::new(AffineExpr::var("__sc"), CmpOp::Lt, decl.cols.clone()),
+    );
+    let stage = Stmt::Stage(SharedStage {
+        dst: shared_name.clone(),
+        src: array.to_string(),
+        src_row0: row0.clone(),
+        src_col0: col0.clone(),
+        rows: ext_r,
+        cols: ext_c,
+        mode,
+        guard,
+        strided_copy: false,
+    });
+
+    // Rewrite accesses within the scope to hit the shared tile — only
+    // those whose tile matches the staged one (writes / other-region
+    // accesses keep their global form).
+    let rewrite = |acc: &Access| -> Access {
+        if acc.array != array
+            || info.tile_origin(&acc.row) != row0
+            || info.tile_origin(&acc.col) != col0
+        {
+            return acc.clone();
+        }
+        let lr = acc.row.sub(&row0);
+        let lc = acc.col.sub(&col0);
+        let (nr, nc) = match mode {
+            AllocMode::Transpose => (lc, lr),
+            _ => (lr, lc),
+        };
+        Access { array: shared_name.clone(), row: nr, col: nc, mirrored: false }
+    };
+    let mut new_body: Vec<Stmt> = vec![stage, Stmt::Sync];
+    new_body.extend(lkk.body.iter().map(|s| s.map_accesses(&rewrite)));
+    new_body.push(Stmt::Sync);
+    p.rewrite_loop(&kt.tile_label, &mut |mut l| {
+        l.body = new_body.clone();
+        vec![Stmt::Loop(Box::new(l))]
+    });
+    Ok(shared_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::gemm_nn_like;
+    use crate::interp::{equivalent_on, Bindings};
+    use crate::transform::{loop_tiling, thread_grouping, TileParams};
+
+    fn tiled_gemm() -> crate::nest::Program {
+        let mut p = gemm_nn_like("g");
+        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        p
+    }
+
+    #[test]
+    fn stage_b_transpose_preserves_semantics() {
+        let reference = gemm_nn_like("g");
+        let mut p = tiled_gemm();
+        let name = sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        assert_eq!(name, "sB");
+        let sb = p.array("sB").unwrap();
+        // B tile is KB x TX = 4 x 8; transposed: 8 x 4, pad only when the
+        // leading dim is a multiple of 16.
+        assert_eq!(sb.rows.as_const(), Some(8));
+        assert_eq!(sb.cols.as_const(), Some(4));
+        assert_eq!(sb.pad, 0);
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(13), 3, 1e-4));
+    }
+
+    #[test]
+    fn stage_both_operands() {
+        let reference = gemm_nn_like("g");
+        let mut p = tiled_gemm();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        sm_alloc(&mut p, "A", AllocMode::NoChange).unwrap();
+        assert!(p.array("sA").is_some());
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 5, 1e-4));
+    }
+
+    #[test]
+    fn padding_kicks_in_at_warp_multiples() {
+        let mut p = gemm_nn_like("g");
+        let params = TileParams { ty: 16, tx: 16, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::NoChange).unwrap();
+        // B tile is 16 x 16 -> padded to (16+1) x 16 leading dim.
+        assert_eq!(p.array("sB").unwrap().pad, 1);
+    }
+
+    #[test]
+    fn written_array_cannot_be_staged() {
+        let mut p = tiled_gemm();
+        let err = sm_alloc(&mut p, "C", AllocMode::NoChange).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn requires_k_tiling() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        let err = sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+}

@@ -1,0 +1,380 @@
+//! `thread_grouping` — expose two-level (block / thread) parallelism
+//! (Sec. III.B of the paper; polyhedral pool).
+//!
+//! The component inspects the dependence graph of the nest first:
+//!
+//! * If both named loops are free of carried dependences (GEMM, TRMM,
+//!   post-`format_iteration` SYMM), it performs the 2-D distribution of
+//!   Fig. 4: the iteration space of `(Li, Lj)` is tiled into `TY × TX`
+//!   block tiles mapped onto `blockIdx`, each computed by a `thr_i × thr_j`
+//!   thread grid with per-thread register tiles.
+//!
+//! * If the outer loop carries a genuine (non-reduction) dependence — the
+//!   TRSM solver pattern of Sec. IV.A.4 — only `Lj` is distributed, giving
+//!   the "different workload distribution" of Fig. 7: each block owns a
+//!   column strip of the output, iterates the dependent dimension
+//!   sequentially, and later components (`binding_triangular`) serialize
+//!   the triangular solve.
+
+use crate::deps::DepGraph;
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use crate::interp::Bindings;
+use crate::nest::Program;
+use crate::stmt::{Loop, LoopMapping, Stmt};
+use crate::transform::{TileParams, TiledDim, TilingInfo, TransformError, TResult};
+
+/// Which distribution `thread_grouping` chose.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupingStyle {
+    /// The Fig. 4 2-D distribution (blocks × threads over i and j).
+    Gemm2D,
+    /// The Fig. 7 solver distribution (blocks × threads over j only; i
+    /// stays sequential inside every thread).
+    Solver1D,
+}
+
+/// Apply `thread_grouping((Li, Lj))`.  Returns the labels of the created
+/// per-thread (register-tile) loops `(Lii, Ljj)` that the EPOD script binds
+/// (cf. Fig. 3: `(Lii, Ljj) = thread_grouping((Li, Lj))`).
+pub fn thread_grouping(
+    p: &mut Program,
+    li_label: &str,
+    lj_label: &str,
+    params: TileParams,
+) -> TResult<(String, String)> {
+    params.validate()?;
+    if p.tiling.is_some() {
+        return Err(TransformError::NotApplicable(
+            "thread_grouping already applied".into(),
+        ));
+    }
+    let li = p
+        .find_loop(li_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {li_label}")))?
+        .clone();
+    let lj = p
+        .find_loop(lj_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {lj_label}")))?
+        .clone();
+    if li.lower.as_const() != Some(0) || lj.lower.as_const() != Some(0) {
+        return Err(TransformError::NotApplicable(
+            "thread_grouping expects zero-based loops".into(),
+        ));
+    }
+    // The distributed loops must be the two outermost of a perfect prefix:
+    // Li must directly contain Lj.
+    let li_contains_lj = matches!(&li.body[..], [Stmt::Loop(inner)] if inner.label == lj_label);
+    if !li_contains_lj {
+        return Err(TransformError::NotApplicable(format!(
+            "{li_label} must immediately enclose {lj_label}"
+        )));
+    }
+
+    // Dependence analysis on a small sampled size decides the style.
+    let graph = DepGraph::compute(p, &Bindings::square(6));
+    let li_free = graph.loop_is_parallel(li_label);
+    let lj_free = graph.loop_is_parallel(lj_label);
+    if !lj_free {
+        return Err(TransformError::NotApplicable(format!(
+            "{lj_label} carries a dependence; no parallel dimension available"
+        )));
+    }
+
+    if li_free {
+        group_2d(p, li, lj, params)
+    } else {
+        group_solver(p, li, lj, params)
+    }
+}
+
+fn group_2d(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TResult<(String, String)> {
+    let m_param = bound_param(&li)?;
+    let n_param = bound_param(&lj)?;
+    let mb = p.derive_param(&m_param, params.ty);
+    let nb = p.derive_param(&n_param, params.tx);
+
+    // i = ib*TY + ii*thr_i + it ; j = jb*TX + jj*thr_j + jt
+    let i_expr = AffineExpr::term("ib", params.ty)
+        .add(&AffineExpr::term("ii", params.thr_i))
+        .add(&AffineExpr::var("it"));
+    let j_expr = AffineExpr::term("jb", params.tx)
+        .add(&AffineExpr::term("jj", params.thr_j))
+        .add(&AffineExpr::var("jt"));
+
+    // Innermost: the original body of Lj with i and j substituted,
+    // guarded against edge tiles.
+    let inner: Vec<Stmt> = lj
+        .body
+        .iter()
+        .map(|s| s.subst(&li.var, &i_expr).subst(&lj.var, &j_expr))
+        .collect();
+    let guard = Predicate::cond(i_expr.clone(), CmpOp::Lt, AffineExpr::var(&m_param)).and(
+        crate::expr::AffineCond::new(j_expr.clone(), CmpOp::Lt, AffineExpr::var(&n_param)),
+    );
+    let guarded = vec![Stmt::guarded(guard, inner)];
+
+    let ljj = Loop::new("Ljj", "jj", AffineExpr::zero(), AffineExpr::cst(params.reg_cols()), guarded);
+    let lii = Loop::new(
+        "Lii",
+        "ii",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.reg_rows()),
+        vec![Stmt::Loop(Box::new(ljj))],
+    );
+    let mut ljt = Loop::new(
+        "Ljt",
+        "jt",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.thr_j),
+        vec![Stmt::Loop(Box::new(lii))],
+    );
+    ljt.mapping = LoopMapping::ThreadY;
+    let mut lit = Loop::new(
+        "Lit",
+        "it",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.thr_i),
+        vec![Stmt::Loop(Box::new(ljt))],
+    );
+    lit.mapping = LoopMapping::ThreadX;
+    let mut ljb = Loop::new(
+        "Ljb",
+        "jb",
+        AffineExpr::zero(),
+        AffineExpr::var(&nb),
+        vec![Stmt::Loop(Box::new(lit))],
+    );
+    ljb.mapping = LoopMapping::BlockX;
+    let mut lib = Loop::new(
+        "Lib",
+        "ib",
+        AffineExpr::zero(),
+        AffineExpr::var(&mb),
+        vec![Stmt::Loop(Box::new(ljb))],
+    );
+    lib.mapping = LoopMapping::BlockY;
+
+    let li_label = li.label.clone();
+    p.rewrite_loop(&li_label, &mut |_| vec![Stmt::Loop(Box::new(lib.clone()))]);
+
+    p.tiling = Some(TilingInfo {
+        dim_i: TiledDim {
+            orig_var: li.var.clone(),
+            block_var: Some("ib".into()),
+            tile: params.ty,
+            thread_var: Some("it".into()),
+            thread_extent: params.thr_i,
+            reg_var: Some("ii".into()),
+            reg_extent: params.reg_rows(),
+            expr: i_expr,
+        },
+        dim_j: TiledDim {
+            orig_var: lj.var.clone(),
+            block_var: Some("jb".into()),
+            tile: params.tx,
+            thread_var: Some("jt".into()),
+            thread_extent: params.thr_j,
+            reg_var: Some("jj".into()),
+            reg_extent: params.reg_cols(),
+            expr: j_expr,
+        },
+        k_tile: None,
+        intra_vars: vec![
+            ("it".into(), params.thr_i),
+            ("jt".into(), params.thr_j),
+            ("ii".into(), params.reg_rows()),
+            ("jj".into(), params.reg_cols()),
+        ],
+        params,
+        style: GroupingStyle::Gemm2D,
+        diag_label: None,
+    });
+    Ok(("Lii".into(), "Ljj".into()))
+}
+
+fn group_solver(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TResult<(String, String)> {
+    // One output column per thread: with register columns (reg_cols > 1) a
+    // thread's second column would only receive its updates after the
+    // bound diagonal solve of the first pass already consumed it.
+    if params.reg_cols() != 1 {
+        return Err(TransformError::BadParams(format!(
+            "the solver distribution requires TX == thr_j (one column per thread); \
+             got TX={} thr_j={}",
+            params.tx, params.thr_j
+        )));
+    }
+    let n_param = bound_param(&lj)?;
+    let nb = p.derive_param(&n_param, params.tx);
+
+    // j = jb*TX + jj*thr_j + jt.  The whole thread block is 1-D (thr_j
+    // threads along x); i remains a sequential loop inside each thread.
+    let j_expr = AffineExpr::term("jb", params.tx)
+        .add(&AffineExpr::term("jj", params.thr_j))
+        .add(&AffineExpr::var("jt"));
+
+    // The sequential i loop keeps its label and var; its body is Lj's body
+    // with j substituted.
+    let mut li_seq = li.clone();
+    li_seq.body = lj.body.iter().map(|s| s.subst(&lj.var, &j_expr)).collect();
+    // `Lii` is the conventional name the EPOD script binds for the loop
+    // that later tiling will address.
+    li_seq.label = "Lii".into();
+
+    let guard = Predicate::cond(j_expr.clone(), CmpOp::Lt, AffineExpr::var(&n_param));
+    let guarded = vec![Stmt::guarded(guard, vec![Stmt::Loop(Box::new(li_seq))])];
+
+    let ljj = Loop::new("Ljj", "jj", AffineExpr::zero(), AffineExpr::cst(params.reg_cols()), guarded);
+    let mut ljt = Loop::new(
+        "Ljt",
+        "jt",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.thr_j),
+        vec![Stmt::Loop(Box::new(ljj))],
+    );
+    ljt.mapping = LoopMapping::ThreadX;
+    let mut ljb = Loop::new(
+        "Ljb",
+        "jb",
+        AffineExpr::zero(),
+        AffineExpr::var(&nb),
+        vec![Stmt::Loop(Box::new(ljt))],
+    );
+    ljb.mapping = LoopMapping::BlockX;
+
+    let li_label = li.label.clone();
+    p.rewrite_loop(&li_label, &mut |_| vec![Stmt::Loop(Box::new(ljb.clone()))]);
+
+    p.tiling = Some(TilingInfo {
+        dim_i: TiledDim {
+            orig_var: li.var.clone(),
+            block_var: None,
+            tile: params.ty,
+            thread_var: None,
+            thread_extent: 1,
+            reg_var: None,
+            reg_extent: 1,
+            expr: AffineExpr::var(&li.var),
+        },
+        dim_j: TiledDim {
+            orig_var: lj.var.clone(),
+            block_var: Some("jb".into()),
+            tile: params.tx,
+            thread_var: Some("jt".into()),
+            thread_extent: params.thr_j,
+            reg_var: Some("jj".into()),
+            reg_extent: params.reg_cols(),
+            expr: j_expr,
+        },
+        k_tile: None,
+        intra_vars: vec![("jt".into(), params.thr_j), ("jj".into(), params.reg_cols())],
+        params,
+        style: GroupingStyle::Solver1D,
+        diag_label: None,
+    });
+    Ok(("Lii".into(), "Ljj".into()))
+}
+
+/// Extract the single size parameter from a loop upper bound of the form
+/// `0 <= v < P`.
+fn bound_param(l: &Loop) -> TResult<String> {
+    let mut vars: Vec<&str> = l.upper.vars().collect();
+    if vars.len() == 1 && l.upper.coeff(vars[0]) == 1 && l.upper.constant() == 0 {
+        Ok(vars.remove(0).to_string())
+    } else {
+        Err(TransformError::NotApplicable(format!(
+            "loop {} bound `{}` is not a plain size parameter",
+            l.label, l.upper
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{gemm_nn_like, trmm_ll_like};
+    use crate::interp::{equivalent_on, Bindings};
+    use crate::scalar::{Access, ScalarExpr};
+    use crate::stmt::{AssignOp, AssignStmt};
+
+    #[test]
+    fn gemm_grouping_preserves_semantics() {
+        let reference = gemm_nn_like("g");
+        let mut p = reference.clone();
+        let (lii, ljj) = thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        assert_eq!((lii.as_str(), ljj.as_str()), ("Lii", "Ljj"));
+        assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Gemm2D);
+        // Exact-tile size and a ragged size both stay correct.
+        assert!(equivalent_on(&reference, &p, &Bindings::square(32), 3, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(19), 3, 1e-4));
+    }
+
+    #[test]
+    fn trmm_grouping_is_2d_and_correct() {
+        let reference = trmm_ll_like("t");
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Gemm2D);
+        assert!(equivalent_on(&reference, &p, &Bindings::square(33), 1, 1e-4));
+    }
+
+    #[test]
+    fn solver_pattern_gets_1d_grouping() {
+        let mut reference = gemm_nn_like("trsm-like");
+        reference.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let mut p = reference.clone();
+        // One column per thread: TX == thr_j.
+        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 8, kb: 4, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Solver1D);
+        // Sequential semantics preserved (M = K for the square solve).
+        assert!(equivalent_on(&reference, &p, &Bindings::square(32), 9, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(21), 9, 1e-4));
+    }
+
+    #[test]
+    fn double_grouping_rejected() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        let err = thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn missing_label_is_reported() {
+        let mut p = gemm_nn_like("g");
+        let err = thread_grouping(&mut p, "Lz", "Lj", TileParams::default()).unwrap_err();
+        assert!(matches!(err, TransformError::Missing(_)));
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut p = gemm_nn_like("g");
+        let bad = TileParams { ty: 30, thr_i: 16, ..TileParams::default() };
+        let err = thread_grouping(&mut p, "Li", "Lj", bad).unwrap_err();
+        assert!(matches!(err, TransformError::BadParams(_)));
+    }
+
+    #[test]
+    fn grouping_structure_has_expected_mappings() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
+        assert_eq!(p.find_loop("Lib").unwrap().mapping, LoopMapping::BlockY);
+        assert_eq!(p.find_loop("Ljb").unwrap().mapping, LoopMapping::BlockX);
+        assert_eq!(p.find_loop("Lit").unwrap().mapping, LoopMapping::ThreadX);
+        assert_eq!(p.find_loop("Ljt").unwrap().mapping, LoopMapping::ThreadY);
+        assert_eq!(p.find_loop("Lii").unwrap().mapping, LoopMapping::Seq);
+        // The original k loop survives untouched inside.
+        assert!(p.find_loop("Lk").is_some());
+    }
+}

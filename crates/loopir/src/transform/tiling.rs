@@ -1,0 +1,440 @@
+//! `loop_tiling` — tile the reduction dimension for locality (Sec. III.B).
+//!
+//! For the 2-D (GEMM-style) distribution this strip-mines `Lk` into a tile
+//! loop `Lkk` and an intra-tile loop `Lkkk`, then hoists `Lkk` above the
+//! per-thread register-tile loops so that one `KB`-deep slice of the
+//! operands is live per step — the structure `SM_alloc` stages into shared
+//! memory.  Hoisting the tile loop across the register loops reorders a
+//! reduction, which is legal because the update operator is associative
+//! (`+=` / `-=`); the component verifies this and fails otherwise.
+//!
+//! For the solver (TRSM-style) distribution, tiling must preserve the
+//! forward-substitution order, so the k range of each row block splits
+//! inherently into a *rectangular* region (full tiles strictly below the
+//! diagonal block, reading already-solved rows) and a row-ordered
+//! *diagonal* region interleaving the remaining updates with the divide
+//! statements.
+
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use crate::nest::Program;
+use crate::stmt::{AssignOp, Loop, Stmt};
+use crate::transform::{GroupingStyle, KTileInfo, TransformError, TResult};
+
+/// Apply `loop_tiling(Lii, Ljj, Lk)`.  Returns the labels
+/// `(Liii, Ljjj, Lkkk)` (cf. Fig. 3).
+pub fn loop_tiling(
+    p: &mut Program,
+    lii_label: &str,
+    ljj_label: &str,
+    lk_label: &str,
+) -> TResult<(String, String, String)> {
+    let info = p
+        .tiling
+        .clone()
+        .ok_or_else(|| TransformError::NotApplicable("loop_tiling requires thread_grouping first".into()))?;
+    if info.k_tile.is_some() {
+        return Err(TransformError::NotApplicable("k dimension already tiled".into()));
+    }
+    match info.style {
+        GroupingStyle::Gemm2D => tile_2d(p, lii_label, ljj_label, lk_label),
+        GroupingStyle::Solver1D => tile_solver(p, lii_label, lk_label),
+    }
+}
+
+/// Infer the global extent of the `k` dimension from the declared shape of
+/// an array subscripted by `k` (e.g. `A[i][k]` with `A: M x K` gives `K`).
+fn k_extent(p: &Program, lk: &Loop) -> TResult<String> {
+    // A rectangular bound names the extent directly.
+    if let Some(param) = single_param(&lk.upper) {
+        return Ok(param);
+    }
+    for a in lk.body.iter().flat_map(|s| s.assignments()) {
+        for acc in a.accesses() {
+            let Some(decl) = p.array(&acc.array) else { continue };
+            if acc.row.uses(&lk.var) {
+                if let Some(param) = single_param(&decl.rows) {
+                    return Ok(param);
+                }
+            }
+            if acc.col.uses(&lk.var) {
+                if let Some(param) = single_param(&decl.cols) {
+                    return Ok(param);
+                }
+            }
+        }
+    }
+    Err(TransformError::NotApplicable(format!(
+        "cannot infer the extent of loop {}",
+        lk.label
+    )))
+}
+
+fn single_param(e: &AffineExpr) -> Option<String> {
+    let vars: Vec<&str> = e.vars().collect();
+    if vars.len() == 1 && e.coeff(vars[0]) == 1 && e.constant() == 0 {
+        Some(vars[0].to_string())
+    } else {
+        None
+    }
+}
+
+fn tile_2d(
+    p: &mut Program,
+    lii_label: &str,
+    ljj_label: &str,
+    lk_label: &str,
+) -> TResult<(String, String, String)> {
+    let info = p.tiling.clone().expect("checked by caller");
+    let kb = info.params.kb;
+
+    let lii = p
+        .find_loop(lii_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {lii_label}")))?
+        .clone();
+
+    // Expect the canonical chain Lii { Ljj { If(guard) { Lk { body } } } }.
+    let ljj = match &lii.body[..] {
+        [Stmt::Loop(l)] if l.label == ljj_label => (**l).clone(),
+        _ => {
+            return Err(TransformError::NotApplicable(format!(
+                "{lii_label} does not immediately enclose {ljj_label}"
+            )))
+        }
+    };
+    let (guard, guarded_body) = match &ljj.body[..] {
+        [Stmt::If { pred, then_body, else_body }] if else_body.is_empty() => {
+            (pred.clone(), then_body.clone())
+        }
+        _ => {
+            return Err(TransformError::NotApplicable(
+                "expected a single guarded region inside the register loops".into(),
+            ))
+        }
+    };
+    let lk = match &guarded_body[..] {
+        [Stmt::Loop(l)] if l.label == lk_label => (**l).clone(),
+        _ => {
+            return Err(TransformError::NotApplicable(format!(
+                "the guarded region must contain exactly the loop {lk_label} \
+                 (sibling statements would be re-executed per tile)"
+            )))
+        }
+    };
+    // Hoisting the tile loop across Lii/Ljj reorders the reduction: every
+    // statement must be an associative accumulation.
+    for a in lk.body.iter().flat_map(|s| s.assignments()) {
+        if a.op == AssignOp::Assign {
+            return Err(TransformError::NotApplicable(
+                "k loop contains a non-accumulating statement; tile hoist illegal".into(),
+            ));
+        }
+    }
+
+    let extent_param = k_extent(p, &lk)?;
+    let kbb = p.derive_param(&extent_param, kb);
+
+    // k = kk*KB + k3 over the full [0, extent) range, guarded by the
+    // original bounds (a non-zero lower bound — the upper-triangular
+    // variants — becomes a `k >= lower` conjunct).  The edge guard from
+    // thread_grouping and the k-range guard merge into one innermost
+    // predicate.
+    let k_expr = AffineExpr::term("kk", kb).add(&AffineExpr::var("k3"));
+    let mut inner_guard = guard.and(crate::expr::AffineCond::new(
+        k_expr.clone(),
+        CmpOp::Lt,
+        lk.upper.clone(),
+    ));
+    if lk.lower.as_const() != Some(0) {
+        inner_guard = inner_guard.and(crate::expr::AffineCond::new(
+            k_expr.clone(),
+            CmpOp::Ge,
+            lk.lower.clone(),
+        ));
+    }
+    let body: Vec<Stmt> = lk.body.iter().map(|s| s.subst(&lk.var, &k_expr)).collect();
+
+    // Rebuild in the Volkov order — the intra-tile k loop *outside* the
+    // per-thread register loops, so each k step reuses its staged operands
+    // across the whole register tile:
+    // Lkk { Lkkk { Liii { Ljjj { If(guard && k-range) { body } } } } }.
+    let mut new_ljj = ljj.clone();
+    new_ljj.label = "Ljjj".into();
+    new_ljj.body = vec![Stmt::If {
+        pred: inner_guard,
+        then_body: body,
+        else_body: Vec::new(),
+    }];
+    let mut new_lii = lii.clone();
+    new_lii.label = "Liii".into();
+    new_lii.body = vec![Stmt::Loop(Box::new(new_ljj))];
+    let lkkk = Loop::new(
+        "Lkkk",
+        "k3",
+        AffineExpr::zero(),
+        AffineExpr::cst(kb),
+        vec![Stmt::Loop(Box::new(new_lii))],
+    );
+    let lkk = Loop::new(
+        "Lkk",
+        "kk",
+        AffineExpr::zero(),
+        AffineExpr::var(&kbb),
+        vec![Stmt::Loop(Box::new(lkkk))],
+    );
+
+    p.rewrite_loop(lii_label, &mut |_| vec![Stmt::Loop(Box::new(lkk.clone()))]);
+
+    let mut info = p.tiling.take().expect("tiling info");
+    info.k_tile = Some(KTileInfo {
+        orig_var: lk.var.clone(),
+        tile_var: "kk".into(),
+        point_var: "k3".into(),
+        kb,
+        tile_label: "Lkk".into(),
+        point_label: "Lkkk".into(),
+        expr: k_expr,
+        extent: extent_param.clone(),
+    });
+    info.intra_vars.push(("k3".into(), kb));
+    p.tiling = Some(info);
+    Ok(("Liii".into(), "Ljjj".into(), "Lkkk".into()))
+}
+
+fn tile_solver(
+    p: &mut Program,
+    lii_label: &str,
+    _lk_label: &str,
+) -> TResult<(String, String, String)> {
+    let info = p.tiling.clone().expect("checked by caller");
+    let tb = info.params.ty; // row-block depth
+    let kb = info.params.kb;
+    if tb % kb != 0 {
+        return Err(TransformError::BadParams(format!(
+            "solver tiling requires KB ({kb}) to divide the row-block size TY ({tb})"
+        )));
+    }
+    let r = tb / kb; // k tiles per row block
+
+    let lii = p
+        .find_loop(lii_label)
+        .ok_or_else(|| TransformError::Missing(format!("loop {lii_label}")))?
+        .clone();
+    // Expect Lii { Lk(k in [0, i)) { updates }, post... } — the forward
+    // substitution pattern.
+    let (lk, post): (Loop, Vec<Stmt>) = match &lii.body[..] {
+        [Stmt::Loop(l), rest @ ..] => ((**l).clone(), rest.to_vec()),
+        _ => {
+            return Err(TransformError::NotApplicable(
+                "solver row loop must start with the update loop".into(),
+            ))
+        }
+    };
+    if lk.lower.as_const() != Some(0) || lk.upper != AffineExpr::var(&lii.var) {
+        return Err(TransformError::NotApplicable(format!(
+            "solver update loop must run k in [0, {}), found [{}, {})",
+            lii.var, lk.lower, lk.upper
+        )));
+    }
+    let m_param = single_param(&lii.upper).ok_or_else(|| {
+        TransformError::NotApplicable("solver row loop bound must be a size parameter".into())
+    })?;
+    let mbb = p.derive_param(&m_param, tb);
+
+    let i_expr = AffineExpr::term("ibb", tb).add(&AffineExpr::var("i3"));
+    let i_guard =
+        Predicate::cond(i_expr.clone(), CmpOp::Lt, AffineExpr::var(&m_param));
+
+    // Rectangular region: kk in [0, ibb*R), k = kk*KB + k3 (all below the
+    // diagonal block, reading rows solved in earlier ibb iterations).
+    let k_rect = AffineExpr::term("kk", kb).add(&AffineExpr::var("k3"));
+    let rect_body: Vec<Stmt> = lk
+        .body
+        .iter()
+        .map(|s| s.subst(&lii.var, &i_expr).subst(&lk.var, &k_rect))
+        .collect();
+    let lkkk = Loop::new("Lkkk", "k3", AffineExpr::zero(), AffineExpr::cst(kb), rect_body);
+    let liii = Loop::new(
+        "Liii",
+        "i3",
+        AffineExpr::zero(),
+        AffineExpr::cst(tb),
+        vec![Stmt::guarded(i_guard.clone(), vec![Stmt::Loop(Box::new(lkkk))])],
+    );
+    let lkk = Loop::new(
+        "Lkk",
+        "kk",
+        AffineExpr::zero(),
+        AffineExpr::term("ibb", r),
+        vec![Stmt::Loop(Box::new(liii))],
+    );
+
+    // Diagonal region: row-ordered, k = ibb*TB + k3 with k3 in [0, i3),
+    // followed by the post statements (the divides) for that row.
+    let k_diag = AffineExpr::term("ibb", tb).add(&AffineExpr::var("k3"));
+    let diag_updates: Vec<Stmt> = lk
+        .body
+        .iter()
+        .map(|s| s.subst(&lii.var, &i_expr).subst(&lk.var, &k_diag))
+        .collect();
+    let lkd = Loop::new(
+        "Lkd",
+        "k3",
+        AffineExpr::zero(),
+        AffineExpr::var("i3"),
+        diag_updates,
+    );
+    let mut diag_body = vec![Stmt::Loop(Box::new(lkd))];
+    diag_body.extend(post.iter().map(|s| s.subst(&lii.var, &i_expr)));
+    let ldiag = Loop::new(
+        "Ldiag",
+        "i3",
+        AffineExpr::zero(),
+        AffineExpr::cst(tb),
+        vec![Stmt::guarded(i_guard, diag_body)],
+    );
+
+    let libb = Loop::new(
+        "Libb",
+        "ibb",
+        AffineExpr::zero(),
+        AffineExpr::var(&mbb),
+        vec![Stmt::Loop(Box::new(lkk)), Stmt::Loop(Box::new(ldiag))],
+    );
+
+    p.rewrite_loop(lii_label, &mut |_| vec![Stmt::Loop(Box::new(libb.clone()))]);
+
+    let mut info = p.tiling.take().expect("tiling info");
+    info.dim_i.block_var = Some("ibb".into());
+    info.dim_i.tile = tb;
+    info.dim_i.reg_var = Some("i3".into());
+    info.dim_i.reg_extent = tb;
+    info.dim_i.expr = i_expr;
+    info.k_tile = Some(KTileInfo {
+        orig_var: lk.var.clone(),
+        tile_var: "kk".into(),
+        point_var: "k3".into(),
+        kb,
+        tile_label: "Lkk".into(),
+        point_label: "Lkkk".into(),
+        expr: k_rect,
+        extent: m_param.clone(),
+    });
+    info.intra_vars.extend([("i3".into(), tb), ("k3".into(), kb)]);
+    info.diag_label = Some("Ldiag".into());
+    p.tiling = Some(info);
+    // By convention the returned labels address the rectangular region,
+    // which is where unrolling and staging pay off.
+    Ok(("Liii".into(), "Ljjj".into(), "Lkkk".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{gemm_nn_like, trmm_ll_like};
+    use crate::interp::{equivalent_on, Bindings};
+    use crate::scalar::{Access, BinOp, ScalarExpr};
+    use crate::stmt::AssignStmt;
+    use crate::transform::{thread_grouping, TileParams};
+
+    fn small_params() -> TileParams {
+        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    }
+
+    /// The solver distribution requires one column per thread (TX == thr_j).
+    fn solver_params() -> TileParams {
+        TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    }
+
+    #[test]
+    fn gemm_tiling_preserves_semantics() {
+        let reference = gemm_nn_like("g");
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", small_params()).unwrap();
+        let (liii, ljjj, lkkk) = loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        assert_eq!(
+            (liii.as_str(), ljjj.as_str(), lkkk.as_str()),
+            ("Liii", "Ljjj", "Lkkk")
+        );
+        assert!(p.find_loop("Lkk").is_some());
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(13), 3, 1e-4));
+    }
+
+    #[test]
+    fn trmm_tiling_keeps_triangular_guard() {
+        let reference = trmm_ll_like("t");
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", small_params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 5, 1e-4));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(11), 5, 1e-4));
+    }
+
+    fn trsm_like() -> Program {
+        let mut p = gemm_nn_like("trsm-like");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            // Division post-statement: B[i][j] = B[i][j] / A[i][i].
+            vec![
+                Stmt::Loop(Box::new(lk)),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("B", "i", "j"),
+                    AssignOp::Assign,
+                    ScalarExpr::Bin(
+                        BinOp::Div,
+                        Box::new(ScalarExpr::load(Access::idx("B", "i", "j"))),
+                        Box::new(ScalarExpr::load(Access::idx("A", "i", "i"))),
+                    ),
+                )),
+            ]
+        });
+        p
+    }
+
+    #[test]
+    fn solver_tiling_preserves_forward_substitution() {
+        let reference = trsm_like();
+        let mut p = reference.clone();
+        thread_grouping(&mut p, "Li", "Lj", solver_params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        let info = p.tiling.as_ref().unwrap();
+        assert_eq!(info.diag_label.as_deref(), Some("Ldiag"));
+        // Note the diagonal of A must be non-zero for the divide; the
+        // pseudo-random fill makes zeros measure-zero.
+        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 7, 1e-3));
+        assert!(equivalent_on(&reference, &p, &Bindings::square(10), 7, 1e-3));
+    }
+
+    #[test]
+    fn tiling_requires_grouping() {
+        let mut p = gemm_nn_like("g");
+        let err = loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn double_tiling_rejected() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", small_params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        let err = loop_tiling(&mut p, "Liii", "Ljjj", "Lkkk").unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn solver_kb_must_divide_ty() {
+        let mut p = trsm_like();
+        let params = TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 3, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        let err = loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap_err();
+        assert!(matches!(err, TransformError::BadParams(_)));
+    }
+}

@@ -1,0 +1,108 @@
+//! `loop_unroll` — traditional-pool component (Sec. III.B).
+//!
+//! Marks loops for unrolling; the GPU lowering expands them.  Following the
+//! filter example of Sec. IV.B.2, unrolling *fails* on loops with
+//! non-rectangular bounds ("due to the existence of the non-rectangular
+//! areas"), which is what makes sequences 5 and 9 of the Adaptor_Triangular
+//! example degenerate.
+
+use crate::nest::Program;
+use crate::stmt::{Loop, Stmt};
+use crate::transform::{TransformError, TResult};
+
+/// Does the loop's subtree contain a guard conjunct coupling the k-tile
+/// iterators with an i/j-dimension iterator — a triangular (non-rectangular
+/// area) guard band?
+fn contains_triangular_band(p: &Program, l: &Loop) -> bool {
+    let Some(info) = &p.tiling else { return false };
+    let Some(kt) = &info.k_tile else { return false };
+    let k_vars = [kt.tile_var.as_str(), kt.point_var.as_str()];
+    let mut ij_vars: Vec<&str> = Vec::new();
+    for dim in [&info.dim_i, &info.dim_j] {
+        ij_vars.extend(dim.block_var.as_deref());
+        ij_vars.extend(dim.thread_var.as_deref());
+        ij_vars.extend(dim.reg_var.as_deref());
+    }
+    fn scan(stmts: &[Stmt], k_vars: &[&str], ij_vars: &[&str]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::If { pred, then_body, else_body } => {
+                pred.conds.iter().any(|c| {
+                    let uses = |v: &str| c.lhs.uses(v) || c.rhs.uses(v);
+                    k_vars.iter().any(|v| uses(v)) && ij_vars.iter().any(|v| uses(v))
+                }) || scan(then_body, k_vars, ij_vars)
+                    || scan(else_body, k_vars, ij_vars)
+            }
+            Stmt::Loop(inner) => scan(&inner.body, k_vars, ij_vars),
+            _ => false,
+        })
+    }
+    scan(&l.body, &k_vars, &ij_vars)
+}
+
+/// Mark each named loop with the requested unroll factor (0 = full).
+pub fn loop_unroll(p: &mut Program, labels: &[&str], factor: usize) -> TResult {
+    for label in labels {
+        let l = p
+            .find_loop(label)
+            .ok_or_else(|| TransformError::Missing(format!("loop {label}")))?;
+        if l.has_nonrectangular_bounds() {
+            return Err(TransformError::NotApplicable(format!(
+                "loop {label} has un-uniform bounds; unrolling fails"
+            )));
+        }
+        if contains_triangular_band(p, l) {
+            return Err(TransformError::NotApplicable(format!(
+                "loop {label} encloses a non-rectangular (triangular) area; unrolling fails"
+            )));
+        }
+        if l.const_trip_count().is_none() && factor == 0 {
+            return Err(TransformError::NotApplicable(format!(
+                "loop {label} has a non-constant trip count; full unroll impossible"
+            )));
+        }
+        // A guarded body whose guard depends on this iterator still unrolls
+        // (the guard is replicated), so no further checks are needed.
+        p.rewrite_loop(label, &mut |mut lp| {
+            lp.unroll = factor;
+            vec![Stmt::Loop(Box::new(lp))]
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{gemm_nn_like, trmm_ll_like};
+
+    #[test]
+    fn unroll_marks_loops() {
+        let mut p = gemm_nn_like("g");
+        // Lk has a symbolic trip count: explicit factor works, full fails.
+        loop_unroll(&mut p, &["Lk"], 4).unwrap();
+        assert_eq!(p.find_loop("Lk").unwrap().unroll, 4);
+    }
+
+    #[test]
+    fn full_unroll_requires_constant_trip() {
+        let mut p = gemm_nn_like("g");
+        let err = loop_unroll(&mut p, &["Lk"], 0).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn unroll_fails_on_triangular_bounds() {
+        let mut p = trmm_ll_like("t");
+        let err = loop_unroll(&mut p, &["Lk"], 2).unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let mut p = gemm_nn_like("g");
+        assert!(matches!(
+            loop_unroll(&mut p, &["Lzz"], 2),
+            Err(TransformError::Missing(_))
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! The developer workflow the paper pitches: relate a *new* routine to the
+//! existing GEMM-NN scheme by writing a few lines of ADL, then let the
+//! composer generate candidate EPOD scripts.
+//!
+//! Here the "new" routine is C += A·Bᵀ (GEMM-NT built from scratch) and
+//! the developer writes the Transpose adaptor by hand instead of using the
+//! built-in, demonstrating the ADL text interface end to end.
+//!
+//! ```sh
+//! cargo run -p oa-core --release --example adapt_new_routine
+//! ```
+
+use oa_core::composer::{compose, AdaptorApplication};
+use oa_core::loopir::interp::Bindings;
+use oa_core::loopir::transform::TileParams;
+
+fn main() {
+    // 1. The routine source: its labeled loop nest (Fig. 3 notation).
+    let source = oa_core::blas3::routines::source(oa_core::RoutineId::Gemm(
+        oa_core::Trans::N,
+        oa_core::Trans::T,
+    ));
+    println!("source nest:\n{source}");
+
+    // 2. The existing scheme: the GEMM-NN EPOD script.
+    let base = oa_core::blas3::gemm_nn_script();
+    println!("existing GEMM-NN script:\n{base}");
+
+    // 3. The developer's ADL: how B differs (it is stored transposed).
+    let adl_text = "
+        adaptor My_Transpose(X):
+          |
+          | GM_map(X, Transpose);
+          | SM_alloc(X, Transpose);
+    ";
+    let adaptor = oa_core::adl::parse_adl(adl_text).expect("valid ADL").remove(0);
+    println!("developer ADL:\n{adaptor}");
+
+    // 4. Compose: the framework derives new scripts for the new routine.
+    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let apps = [AdaptorApplication::new(adaptor, "B")];
+    let variants = compose(&source, &base, &apps, params).expect("composer runs");
+    println!("generated {} candidate scripts:", variants.len());
+    for (i, v) in variants.iter().enumerate() {
+        println!("--- candidate {i} (adaptor rule {:?}) ---\n{}", v.rule_choice, v.script);
+    }
+
+    // 5. Each candidate is a *correct* implementation: check one on the
+    // GPU executor (the search would then pick the fastest).
+    let n = 64;
+    let some = variants
+        .iter()
+        .find(|v| {
+            oa_core::gpusim::extract_launch(&v.program, &Bindings::square(n)).is_ok()
+        })
+        .expect("an executable variant");
+    let rep = oa_core::blas3::verify::verify_against_reference(
+        oa_core::RoutineId::Gemm(oa_core::Trans::N, oa_core::Trans::T),
+        &some.program,
+        n,
+        42,
+        false,
+    )
+    .expect("executes");
+    println!("verified candidate against the CPU reference: max |err| = {:.2e}", rep.max_abs_diff);
+    assert!(rep.max_abs_diff < 1e-2);
+    println!("OK — the allocator merged the adaptor's transposition with the script's");
+    println!("     SM_alloc(B, Transpose) into SM_alloc(B, NoChange), as in Sec. IV.B.3.");
+}

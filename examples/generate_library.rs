@@ -1,0 +1,40 @@
+//! Generate a whole BLAS3 library for one device — the paper's end
+//! product: all 24 routine variants tuned from the single GEMM-NN scheme,
+//! printed with their baselines, plus the tuning cache the harness
+//! binaries reuse.
+//!
+//! ```sh
+//! cargo run -p oa-core --release --example generate_library -- [n]
+//! ```
+
+use oa_core::{DeviceSpec, OaFramework, RoutineId};
+
+fn main() {
+    let n: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1024);
+    let device = DeviceSpec::gtx285();
+    let oa = OaFramework::new(device.clone());
+
+    println!("generating the BLAS3 library for {} at n = {n}\n", device.name);
+    println!("{:<12} {:>9} {:>12} {:>9}  best script (components)", "routine", "OA", "CUBLAS-like", "speedup");
+
+    let mut worst: f64 = f64::INFINITY;
+    let mut best: f64 = 0.0;
+    for r in RoutineId::all24() {
+        let t = oa.tune(r, n).unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        let base = oa.cublas_baseline(r, n);
+        let speedup = t.report.gflops / base.gflops;
+        worst = worst.min(speedup);
+        best = best.max(speedup);
+        println!(
+            "{:<12} {:>9.1} {:>12.1} {:>8.2}x  {}",
+            r.name(),
+            t.report.gflops,
+            base.gflops,
+            speedup,
+            t.script.component_names().join(" → ")
+        );
+    }
+    println!("\nspeedup range over the CUBLAS-like baseline: {worst:.2}x .. {best:.2}x");
+    println!("(the paper's claim: OA ≥ CUBLAS on all 24 variants, with large wins where");
+    println!(" CUBLAS fell off the GEMM-NN pace — SYMM, TRMM, TRSM)");
+}

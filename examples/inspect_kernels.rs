@@ -1,0 +1,61 @@
+//! Inspect the transformation pipeline: print the loop nest at every stage
+//! of the Fig. 3 GEMM-NN scheme, then the triangular peel/pad variants of
+//! TRMM — the paper's Figures 3–6 as live output.
+//!
+//! ```sh
+//! cargo run -p oa-core --release --example inspect_kernels
+//! ```
+
+use oa_core::loopir::transform::{
+    loop_tiling, loop_unroll, padding_triangular, peel_triangular, reg_alloc, sm_alloc,
+    thread_grouping, TileParams,
+};
+use oa_core::loopir::AllocMode;
+use oa_core::{RoutineId, Side, Trans, Uplo};
+
+fn main() {
+    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+
+    println!("================ GEMM-NN, the Fig. 3 scheme, stage by stage ================\n");
+    let mut p = oa_core::blas3::routines::source(RoutineId::Gemm(Trans::N, Trans::N));
+    println!("---- source ----\n{p}");
+
+    thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+    println!("---- after thread_grouping((Li, Lj))  [Fig. 4 distribution] ----\n{p}");
+
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    loop_unroll(&mut p, &["Ljjj", "Lkkk"], 0).unwrap();
+    println!("---- after loop_tiling + loop_unroll ----\n{p}");
+
+    sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    println!("---- after SM_alloc(B, Transpose) + reg_alloc(C) ----\n{p}");
+
+    // The EPOD translator's final artifact: CUDA-like source.
+    let cuda = oa_core::gpusim::to_cuda_source(
+        &p,
+        &oa_core::loopir::interp::Bindings::square(1024),
+    )
+    .unwrap();
+    println!("---- emitted CUDA source (n = 1024) ----\n{cuda}");
+
+    println!("================ TRMM-LL-N: peeling vs padding (Fig. 6) ================\n");
+    let make_tiled = || {
+        let mut t = oa_core::blas3::routines::source(RoutineId::Trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::N,
+        ));
+        thread_grouping(&mut t, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut t, "Lii", "Ljj", "Lk").unwrap();
+        t
+    };
+
+    let mut peeled = make_tiled();
+    peel_triangular(&mut peeled, "A").unwrap();
+    println!("---- peel_triangular(A): rectangular + diagonal regions ----\n{peeled}");
+
+    let mut padded = make_tiled();
+    padding_triangular(&mut padded, "A").unwrap();
+    println!("---- padding_triangular(A): multi-versioned on check_blank_zero(A) ----\n{padded}");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: tune one routine, inspect the winning EPOD script, check
+//! the generated kernel's correctness on the functional executor, and read
+//! the performance-model report.
+//!
+//! ```sh
+//! cargo run -p oa-core --release --example quickstart
+//! ```
+
+use oa_core::{DeviceSpec, OaFramework, RoutineId, Side, Uplo};
+
+fn main() {
+    // The paper's most glaring case: SYMM on GTX 285 (155 -> 403 GFLOPS).
+    let device = DeviceSpec::gtx285();
+    let oa = OaFramework::new(device.clone());
+    let routine = RoutineId::Symm(Side::Left, Uplo::Lower);
+    let n = 1024;
+
+    println!("tuning {} on {} (n = {n})…", routine.name(), device.name);
+    let tuned = oa.tune(routine, n).expect("tuning succeeds");
+
+    println!("\nbest EPOD script ({} candidates evaluated):", tuned.evaluated);
+    println!("{}", tuned.script);
+    println!("tile parameters: {:?}", tuned.params);
+    println!(
+        "performance model: {:.0} GFLOPS (occupancy {:.0}%, compute-bound: {})",
+        tuned.report.gflops,
+        tuned.report.occupancy * 100.0,
+        tuned.report.t_compute > tuned.report.t_memory
+    );
+
+    // Compare with the CUBLAS-3.2-like baseline.
+    let base = oa.cublas_baseline(routine, n);
+    println!(
+        "CUBLAS-like baseline: {:.0} GFLOPS  ->  OA speedup {:.2}x",
+        base.gflops,
+        tuned.report.gflops / base.gflops
+    );
+
+    // Functional verification against the CPU reference.
+    let err = oa.verify(&tuned, 64, 0xC0FFEE).expect("kernel executes");
+    println!("\nfunctional check vs CPU reference at n = 64: max |err| = {err:.2e}");
+    assert!(err < 1e-2);
+    println!("OK");
+}

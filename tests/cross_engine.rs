@@ -1,0 +1,94 @@
+//! Cross-engine validation: the sequential `oa-loopir` interpreter and the
+//! barrier-stepped `oa-gpusim` executor must agree on every transformed
+//! program they can both run (everything except `binding_triangular`
+//! kernels, whose cross-thread communication the sequential engine cannot
+//! express).  This pins down the staging/register macro-statement
+//! expansion on both sides.
+
+use oa_core::loopir::interp::{alloc_buffers, Bindings, Interp};
+use oa_core::loopir::transform::{
+    loop_tiling, padding_triangular, peel_triangular, reg_alloc, sm_alloc, thread_grouping,
+    TileParams,
+};
+use oa_core::loopir::{AllocMode, Program};
+
+fn params() -> TileParams {
+    TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+}
+
+fn assert_engines_agree(p: &Program, n: i64, seed: u64) {
+    let b = Bindings::square(n);
+    let mut seq_bufs = alloc_buffers(p, &b, seed);
+    Interp::new(p, &b).run(&mut seq_bufs);
+    let gpu_bufs = oa_core::gpusim::run_fresh_gpu(p, &b, seed).expect("exec");
+    for a in &p.arrays {
+        if a.space != oa_core::loopir::MemSpace::Global {
+            continue;
+        }
+        let d = seq_bufs[&a.name].max_abs_diff(&gpu_bufs[&a.name]);
+        assert!(
+            d < 1e-4,
+            "engines disagree on {} of {} by {d}",
+            a.name,
+            p.name
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_staged_gemm() {
+    let mut p = oa_core::loopir::builder::gemm_nn_like("GEMM-NN");
+    thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+    sm_alloc(&mut p, "A", AllocMode::NoChange).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    for (n, seed) in [(16, 1u64), (24, 2), (32, 3)] {
+        assert_engines_agree(&p, n, seed);
+    }
+}
+
+#[test]
+fn engines_agree_on_peeled_trmm() {
+    let mut p = oa_core::loopir::builder::trmm_ll_like("TRMM-LL-N");
+    thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    peel_triangular(&mut p, "A").unwrap();
+    sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    assert_engines_agree(&p, 16, 5);
+    assert_engines_agree(&p, 32, 7);
+}
+
+#[test]
+fn engines_agree_on_padded_trmm_both_versions() {
+    // Multi-versioned kernel: both the padded fast path (blanks zero) and
+    // the guarded fallback (blanks dirty) must agree across engines.
+    for blank_zero in [true, false] {
+        let mut p = oa_core::loopir::builder::trmm_ll_like("TRMM-LL-N");
+        p.array_mut("A").unwrap().blank_is_zero = blank_zero;
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        padding_triangular(&mut p, "A").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        assert_engines_agree(&p, 16, 11);
+    }
+}
+
+#[test]
+fn engines_agree_on_gm_mapped_symm() {
+    use oa_core::{RoutineId, Side, Uplo};
+    let scheme = oa_core::blas3::schemes::oa_scheme(RoutineId::Symm(Side::Left, Uplo::Lower));
+    let src = oa_core::blas3::routines::source(RoutineId::Symm(Side::Left, Uplo::Lower));
+    let variants =
+        oa_core::composer::compose(&src, &scheme.bases[0], &scheme.apps, params()).unwrap();
+    let full = variants
+        .iter()
+        .find(|v| {
+            let names = v.script.component_names();
+            names.contains(&"GM_map") && names.contains(&"thread_grouping")
+        })
+        .expect("the rule-2 variant");
+    assert_engines_agree(&full.program, 16, 13);
+    assert_engines_agree(&full.program, 24, 17);
+}

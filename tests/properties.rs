@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * affine-expression algebra (substitution/evaluation commute);
+//! * mixer combinatorics (binomial counts, order preservation);
+//! * allocator mode algebra (identity, involution);
+//! * transformed-kernel correctness for random problem sizes and seeds;
+//! * blank-triangle bookkeeping.
+
+use oa_core::composer::{compose_modes, mix};
+use oa_core::epod::Invocation;
+use oa_core::loopir::expr::AffineExpr;
+use oa_core::loopir::interp::{equivalent_on, Bindings, Matrix};
+use oa_core::loopir::transform::{
+    loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams,
+};
+use oa_core::loopir::AllocMode;
+use proptest::prelude::*;
+
+fn binom(n: u64, k: u64) -> u64 {
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// e[v := r] evaluated == e evaluated with env(v) = eval(r).
+    #[test]
+    fn affine_subst_eval_commute(
+        ci in -5i64..5, ck in -5i64..5, c0 in -10i64..10,
+        ri in -4i64..4, r0 in -8i64..8,
+        vi in 0i64..20, vk in 0i64..20,
+    ) {
+        let e = AffineExpr::term("i", ci)
+            .add(&AffineExpr::term("k", ck))
+            .add_const(c0);
+        let rep = AffineExpr::term("k", ri).add_const(r0);
+        let substituted = e.subst("i", &rep);
+        let env = |n: &str| match n { "k" => vk, "i" => vi, _ => unreachable!() };
+        let rep_val = rep.eval(&env);
+        let env2 = |n: &str| match n { "k" => vk, "i" => rep_val, _ => unreachable!() };
+        prop_assert_eq!(substituted.eval(&env), e.eval(&env2));
+    }
+
+    /// Unconstrained mixes of disjoint sequences: C(n+m, m) interleavings,
+    /// each preserving both sub-orders.
+    #[test]
+    fn mixer_counts_are_binomial(n in 0usize..4, m in 0usize..3) {
+        let a: Vec<Invocation> =
+            (0..n).map(|i| Invocation::idents("loop_unroll", &[&format!("La{i}")])).collect();
+        let b: Vec<Invocation> =
+            (0..m).map(|i| Invocation::idents("peel_triangular", &[&format!("Xb{i}")])).collect();
+        let mixes = mix(&a, &b);
+        prop_assert_eq!(mixes.len() as u64, binom((n + m) as u64, m as u64));
+        for seq in &mixes {
+            let pos_a: Vec<usize> = a.iter().map(|x| seq.iter().position(|y| y == x).unwrap()).collect();
+            let pos_b: Vec<usize> = b.iter().map(|x| seq.iter().position(|y| y == x).unwrap()).collect();
+            prop_assert!(pos_a.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(pos_b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Allocation-mode algebra: NoChange is the identity, Transpose is an
+    /// involution, composition is commutative on this table.
+    #[test]
+    fn alloc_mode_algebra(a in 0..3, b in 0..3) {
+        let modes = [AllocMode::NoChange, AllocMode::Transpose, AllocMode::Symmetry];
+        let (x, y) = (modes[a as usize], modes[b as usize]);
+        prop_assert_eq!(compose_modes(AllocMode::NoChange, x), x);
+        prop_assert_eq!(compose_modes(x, AllocMode::NoChange), x);
+        prop_assert_eq!(compose_modes(x, y), compose_modes(y, x));
+        prop_assert_eq!(
+            compose_modes(AllocMode::Transpose, AllocMode::Transpose),
+            AllocMode::NoChange
+        );
+    }
+
+    /// The full Fig. 3 GEMM scheme preserves semantics for arbitrary
+    /// (including ragged) sizes and seeds.
+    #[test]
+    fn gemm_scheme_correct_on_random_sizes(n in 8i64..40, seed in 0u64..1000) {
+        let reference = oa_core::loopir::builder::gemm_nn_like("g");
+        let mut p = reference.clone();
+        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        prop_assert!(equivalent_on(&reference, &p, &Bindings::square(n), seed, 1e-3));
+    }
+
+    /// zero_blank ∘ blank_is_zero is a fixpoint, and never touches the
+    /// stored triangle.
+    #[test]
+    fn blank_zeroing_invariants(n in 1i64..12, seed in 0u64..500) {
+        use oa_core::loopir::Fill;
+        for fill in [Fill::LowerTriangular, Fill::UpperTriangular] {
+            let mut m = Matrix::zeros(n, n);
+            m.fill_pseudo(seed);
+            let before = m.clone();
+            m.zero_blank(fill);
+            prop_assert!(oa_core::loopir::interp::blank_is_zero(&m, fill));
+            // Stored triangle untouched (including the diagonal).
+            for c in 0..n {
+                for r in 0..n {
+                    let stored = match fill {
+                        Fill::LowerTriangular => r >= c,
+                        Fill::UpperTriangular => r <= c,
+                        Fill::Full => true,
+                    };
+                    if stored {
+                        prop_assert_eq!(m.get(r, c), before.get(r, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference TRSM really inverts the reference TRMM for random
+    /// well-conditioned triangles.
+    #[test]
+    fn trsm_inverts_trmm_property(n in 2i64..12, seed in 0u64..300) {
+        use oa_core::blas3::reference::{trmm_ref, trsm_ref};
+        use oa_core::{Side, Trans, Uplo};
+        let mut a = Matrix::zeros(n, n);
+        a.fill_pseudo(seed);
+        for i in 0..n {
+            let v = a.get(i, i);
+            a.set(i, i, v.signum() * (v.abs() + 2.0));
+        }
+        let mut x = Matrix::zeros(n, n);
+        x.fill_pseudo(seed.wrapping_add(7));
+        let mut b = Matrix::zeros(n, n);
+        trmm_ref(Side::Left, Uplo::Lower, Trans::N, &a, &x, &mut b);
+        trsm_ref(Side::Left, Uplo::Lower, Trans::N, &a, &mut b);
+        prop_assert!(b.max_abs_diff(&x) < 1e-2);
+    }
+}
