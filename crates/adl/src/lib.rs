@@ -142,7 +142,10 @@ mod tests {
         let a = builtin::triangular();
         let rules = a.instantiate("A");
         let padded = rules.iter().find(|r| {
-            r.seq.first().map(|i| i.component == "padding_triangular").unwrap_or(false)
+            r.seq
+                .first()
+                .map(|i| i.component == "padding_triangular")
+                .unwrap_or(false)
         });
         assert_eq!(padded.unwrap().cond, Some(Cond::BlankZero("A".into())));
     }

@@ -51,10 +51,16 @@ pub fn parse_adl(src: &str) -> Result<Vec<Adaptor>, AdlError> {
             return Err(err(format!("expected `adaptor`, found: {:.30}…", rest)));
         };
         // Header: NAME(PARAM):
-        let colon = stripped.find(':').ok_or_else(|| err("missing `:` after adaptor header"))?;
+        let colon = stripped
+            .find(':')
+            .ok_or_else(|| err("missing `:` after adaptor header"))?;
         let header = stripped[..colon].trim();
-        let open = header.find('(').ok_or_else(|| err("missing `(` in adaptor header"))?;
-        let close = header.rfind(')').ok_or_else(|| err("missing `)` in adaptor header"))?;
+        let open = header
+            .find('(')
+            .ok_or_else(|| err("missing `(` in adaptor header"))?;
+        let close = header
+            .rfind(')')
+            .ok_or_else(|| err("missing `)` in adaptor header"))?;
         let name = header[..open].trim().to_string();
         let param = header[open + 1..close].trim().to_string();
         if name.is_empty() || param.is_empty() {
@@ -93,15 +99,19 @@ fn parse_rule(chunk: &str) -> Result<AdaptorRule, AdlError> {
     let chunk = chunk.trim();
     // Optional {cond(...)} suffix.
     let (seq_text, cond) = if let Some(brace) = chunk.find('{') {
-        let end = chunk.rfind('}').ok_or_else(|| err("unterminated `{cond(...)}`"))?;
+        let end = chunk
+            .rfind('}')
+            .ok_or_else(|| err("unterminated `{cond(...)}`"))?;
         let cond_text = &chunk[brace + 1..end];
         (&chunk[..brace], Some(parse_cond(cond_text)?))
     } else {
         (chunk, None)
     };
-    let script = parse_script(seq_text)
-        .map_err(|e| err(format!("in rule `{seq_text}`: {e}")))?;
-    Ok(AdaptorRule { seq: script.stmts, cond })
+    let script = parse_script(seq_text).map_err(|e| err(format!("in rule `{seq_text}`: {e}")))?;
+    Ok(AdaptorRule {
+        seq: script.stmts,
+        cond,
+    })
 }
 
 fn parse_cond(text: &str) -> Result<Cond, AdlError> {
@@ -116,7 +126,11 @@ fn parse_cond(text: &str) -> Result<Cond, AdlError> {
         .and_then(|s| s.split_once(')'))
         .filter(|(_, tail)| *tail == ".zero=true")
         .map(|(a, _)| a.to_string())
-        .ok_or_else(|| err(format!("unsupported condition `{text}` (only blank(X).zero = true)")))?;
+        .ok_or_else(|| {
+            err(format!(
+                "unsupported condition `{text}` (only blank(X).zero = true)"
+            ))
+        })?;
     Ok(Cond::BlankZero(arr))
 }
 

@@ -1,16 +1,16 @@
 //! Persistent tuning cache: the benchmark harnesses tune each
 //! (routine, device, size) once and replay the result afterwards.
 
+use crate::json::{self, Json};
 use crate::tuner::{tune, TuneError, TunedKernel};
 use oa_blas3::types::RoutineId;
 use oa_gpusim::DeviceSpec;
 use oa_loopir::transform::TileParams;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 /// One cached tuning outcome.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TunedRecord {
     /// Routine name (`GEMM-NN`, …).
     pub routine: String,
@@ -43,7 +43,56 @@ impl TunedRecord {
     /// The record's tile parameters.
     pub fn tile_params(&self) -> TileParams {
         let (ty, tx, thr_i, thr_j, kb, unroll) = self.params;
-        TileParams { ty, tx, thr_i, thr_j, kb, unroll }
+        TileParams {
+            ty,
+            tx,
+            thr_i,
+            thr_j,
+            kb,
+            unroll,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let (ty, tx, thr_i, thr_j, kb, unroll) = self.params;
+        Json::Obj(BTreeMap::from([
+            ("routine".to_string(), Json::Str(self.routine.clone())),
+            ("device".to_string(), Json::Str(self.device.clone())),
+            ("n".to_string(), Json::Num(self.n as f64)),
+            ("script".to_string(), Json::Str(self.script.clone())),
+            (
+                "params".to_string(),
+                Json::Arr(
+                    [ty, tx, thr_i, thr_j, kb, unroll as i64]
+                        .iter()
+                        .map(|&v| Json::Num(v as f64))
+                        .collect(),
+                ),
+            ),
+            ("gflops".to_string(), Json::Num(self.gflops)),
+        ]))
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let p = v.get("params")?.as_arr()?;
+        if p.len() != 6 {
+            return None;
+        }
+        Some(TunedRecord {
+            routine: v.get("routine")?.as_str()?.to_string(),
+            device: v.get("device")?.as_str()?.to_string(),
+            n: v.get("n")?.as_i64()?,
+            script: v.get("script")?.as_str()?.to_string(),
+            params: (
+                p[0].as_i64()?,
+                p[1].as_i64()?,
+                p[2].as_i64()?,
+                p[3].as_i64()?,
+                p[4].as_i64()?,
+                p[5].as_i64()? as usize,
+            ),
+            gflops: v.get("gflops")?.as_f64()?,
+        })
     }
 }
 
@@ -64,10 +113,13 @@ impl TuneCache {
         let Ok(text) = std::fs::read_to_string(path) else {
             return Self::new();
         };
-        let records: Vec<TunedRecord> = serde_json::from_str(&text).unwrap_or_default();
         let mut cache = Self::new();
-        for r in records {
-            cache.records.insert((r.routine.clone(), r.device.clone(), r.n), r);
+        if let Some(Json::Arr(items)) = json::parse(&text) {
+            for r in items.iter().filter_map(TunedRecord::from_json) {
+                cache
+                    .records
+                    .insert((r.routine.clone(), r.device.clone(), r.n), r);
+            }
         }
         cache
     }
@@ -76,12 +128,20 @@ impl TuneCache {
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut records: Vec<&TunedRecord> = self.records.values().collect();
         records.sort_by(|a, b| (&a.device, &a.routine, a.n).cmp(&(&b.device, &b.routine, b.n)));
-        std::fs::write(path, serde_json::to_string_pretty(&records)?)
+        let doc = Json::Arr(records.iter().map(|r| r.to_json()).collect());
+        std::fs::write(path, doc.pretty())
     }
 
     /// Look up a record.
     pub fn get(&self, routine: RoutineId, device: &DeviceSpec, n: i64) -> Option<&TunedRecord> {
-        self.records.get(&(routine.name(), device.name.to_string(), n))
+        self.records
+            .get(&(routine.name(), device.name.to_string(), n))
+    }
+
+    /// Insert (or overwrite) a record under its own key.
+    pub fn insert(&mut self, rec: TunedRecord) {
+        self.records
+            .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec);
     }
 
     /// Tune (or fetch) and memoize.
@@ -96,8 +156,10 @@ impl TuneCache {
         }
         let t = tune(routine, device, n)?;
         let rec = TunedRecord::from_kernel(&t);
-        self.records
-            .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec.clone());
+        self.records.insert(
+            (rec.routine.clone(), rec.device.clone(), rec.n),
+            rec.clone(),
+        );
         Ok(rec)
     }
 
@@ -131,14 +193,19 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("cache.json");
         let mut cache = TuneCache::new();
-        cache
-            .records
-            .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec.clone());
+        cache.records.insert(
+            (rec.routine.clone(), rec.device.clone(), rec.n),
+            rec.clone(),
+        );
         cache.save(&path).unwrap();
         let loaded = TuneCache::load(&path);
         assert_eq!(loaded.len(), 1);
         let got = loaded
-            .get(RoutineId::Gemm(Trans::N, Trans::N), &DeviceSpec::gtx285(), 1024)
+            .get(
+                RoutineId::Gemm(Trans::N, Trans::N),
+                &DeviceSpec::gtx285(),
+                1024,
+            )
             .unwrap();
         assert_eq!(*got, rec);
         assert_eq!(got.tile_params().ty, 64);

@@ -8,9 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod json;
 pub mod space;
 pub mod tuner;
 
 pub use cache::{TuneCache, TunedRecord};
 pub use space::{candidates, default_params, gemm_candidates, solver_candidates};
-pub use tuner::{baseline_perf, magma_perf, tune, TuneError, TunedKernel};
+pub use tuner::{baseline_perf, magma_perf, tune, tune_at, tune_fresh, TuneError, TunedKernel};

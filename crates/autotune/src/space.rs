@@ -20,7 +20,14 @@ pub fn gemm_candidates() -> Vec<TileParams> {
         (64, 64, 16, 16, 16), // 2-D block, 4x4 registers
         (16, 16, 16, 16, 16), // one element per thread
     ] {
-        v.push(TileParams { ty, tx, thr_i, thr_j, kb, unroll: 0 });
+        v.push(TileParams {
+            ty,
+            tx,
+            thr_i,
+            thr_j,
+            kb,
+            unroll: 0,
+        });
     }
     v
 }
@@ -37,7 +44,14 @@ pub fn solver_candidates() -> Vec<TileParams> {
         (16, 64, 8),
         (64, 64, 16),
     ] {
-        v.push(TileParams { ty, tx, thr_i: 1, thr_j: tx, kb, unroll: 0 });
+        v.push(TileParams {
+            ty,
+            tx,
+            thr_i: 1,
+            thr_j: tx,
+            kb,
+            unroll: 0,
+        });
     }
     v
 }
@@ -55,9 +69,23 @@ pub fn candidates(solver: bool) -> Vec<TileParams> {
 /// the parameter sweep).
 pub fn default_params(solver: bool) -> TileParams {
     if solver {
-        TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 }
+        TileParams {
+            ty: 16,
+            tx: 64,
+            thr_i: 1,
+            thr_j: 64,
+            kb: 16,
+            unroll: 0,
+        }
     } else {
-        TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 }
+        TileParams {
+            ty: 32,
+            tx: 32,
+            thr_i: 16,
+            thr_j: 16,
+            kb: 16,
+            unroll: 0,
+        }
     }
 }
 

@@ -16,7 +16,14 @@ fn bench_framework(c: &mut Criterion) {
     // EPOD script parsing + strict application (the Fig. 3 scheme).
     let src = oa_core::blas3::routines::source(RoutineId::Gemm(Trans::N, Trans::N));
     let script = oa_core::blas3::gemm_nn_script();
-    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
     g.bench_function("epod_apply_fig3_gemm", |b| {
         b.iter(|| apply_strict(&src, &script, params).unwrap())
     });
@@ -24,13 +31,28 @@ fn bench_framework(c: &mut Criterion) {
     // Composer: Adaptor_Triangular over the GEMM scheme (the Sec. IV.B.2
     // example workload).
     let trmm = oa_core::blas3::routines::source(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
-    let apps = [AdaptorApplication::new(oa_core::adl::builtin::triangular(), "A")];
+    let apps = [AdaptorApplication::new(
+        oa_core::adl::builtin::triangular(),
+        "A",
+    )];
     g.bench_function("composer_triangular_adaptor", |b| {
         b.iter(|| compose(&trmm, &script, &apps, params).unwrap().len())
     });
 
     // Functional executor at a small size (the correctness oracle path).
-    let tuned = apply_strict(&src, &script, TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }).unwrap();
+    let tuned = apply_strict(
+        &src,
+        &script,
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        },
+    )
+    .unwrap();
     g.bench_function("gpu_exec_gemm_32", |b| {
         b.iter(|| oa_gpusim::run_fresh_gpu(&tuned, &Bindings::square(32), 7).unwrap())
     });

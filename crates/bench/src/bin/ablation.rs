@@ -31,10 +31,20 @@ fn eval(
 fn main() {
     let n = problem_size().min(2048); // ablations don't need the full 4096
     let device = DeviceSpec::gtx285();
-    let params = TileParams { ty: 64, tx: 16, thr_i: 64, thr_j: 1, kb: 16, unroll: 0 };
+    let params = TileParams {
+        ty: 64,
+        tx: 16,
+        thr_i: 64,
+        thr_j: 1,
+        kb: 16,
+        unroll: 0,
+    };
 
     println!("== Ablation: the GEMM-NN scheme, component by component ==");
-    println!("device {}, n = {n}, fixed Volkov-shaped parameters {params:?}\n", device.name);
+    println!(
+        "device {}, n = {n}, fixed Volkov-shaped parameters {params:?}\n",
+        device.name
+    );
     let gemm = RoutineId::Gemm(Trans::N, Trans::N);
     let stages: &[(&str, &str)] = &[
         (
@@ -72,7 +82,9 @@ fn main() {
     for (label, text) in stages {
         match eval(gemm, text, params, &device, n) {
             Some(g) => {
-                let delta = prev.map(|p| format!(" ({:+.1}%)", (g / p - 1.0) * 100.0)).unwrap_or_default();
+                let delta = prev
+                    .map(|p| format!(" ({:+.1}%)", (g / p - 1.0) * 100.0))
+                    .unwrap_or_default();
                 println!("{label:<38} {g:>8.1} GFLOPS{delta}");
                 prev = Some(g);
             }
@@ -103,10 +115,20 @@ fn main() {
 
     println!("\n== Ablation: Adaptor_Solver — bound vs unbound diagonal solve (TRSM-LL-N) ==\n");
     let trsm = RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N);
-    let sparams = TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 8, unroll: 0 };
+    let sparams = TileParams {
+        ty: 16,
+        tx: 64,
+        thr_i: 1,
+        thr_j: 64,
+        kb: 8,
+        unroll: 0,
+    };
     for (label, tri) in [
         ("unbound per-column solve (empty rule)", ""),
-        ("binding_triangular(A, 0) (paper's rule)", "binding_triangular(A, 0);"),
+        (
+            "binding_triangular(A, 0) (paper's rule)",
+            "binding_triangular(A, 0);",
+        ),
     ] {
         let text = format!(
             "(Lii, Ljj) = thread_grouping((Li, Lj));
@@ -126,8 +148,18 @@ fn main() {
     // With a 16-wide thread block the staged tile's leading dimension is a
     // bank multiple; SM_alloc pads it automatically.  Quantify by comparing
     // the mode whose smem layout strides across banks.
-    let params2d = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
-    for (label, mode) in [("SM_alloc(B, Transpose)", "Transpose"), ("SM_alloc(B, NoChange)", "NoChange")] {
+    let params2d = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
+    for (label, mode) in [
+        ("SM_alloc(B, Transpose)", "Transpose"),
+        ("SM_alloc(B, NoChange)", "NoChange"),
+    ] {
         let text = format!(
             "(Lii, Ljj) = thread_grouping((Li, Lj));
              (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);

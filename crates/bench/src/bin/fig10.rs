@@ -8,6 +8,11 @@ fn main() {
     let device = DeviceSpec::geforce_9800();
     let n = problem_size();
     let rows = with_cache(|cache| figure_data(&device, n, false, cache));
-    print_figure("Fig. 10: Performance of BLAS3 on GeForce 9800", &device, n, &rows);
+    print_figure(
+        "Fig. 10: Performance of BLAS3 on GeForce 9800",
+        &device,
+        n,
+        &rows,
+    );
     println!("paper reference points: SYMM 42 -> 225 GFLOPS; up to 5.4x speedup over CUBLAS 3.2.");
 }

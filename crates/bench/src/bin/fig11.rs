@@ -9,7 +9,12 @@ fn main() {
     let device = DeviceSpec::gtx285();
     let n = problem_size();
     let rows = with_cache(|cache| figure_data(&device, n, true, cache));
-    print_figure("Fig. 11: Performance of BLAS3 on GTX 285", &device, n, &rows);
+    print_figure(
+        "Fig. 11: Performance of BLAS3 on GTX 285",
+        &device,
+        n,
+        &rows,
+    );
     println!(
         "paper reference points: GEMM-NN 420 GFLOPS (CUBLAS), SYMM 155 -> 403 GFLOPS, up to 2.8x; OA > MAGMA v0.2 > CUBLAS on GEMM/TRSM."
     );

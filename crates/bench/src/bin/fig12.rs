@@ -8,6 +8,11 @@ fn main() {
     let device = DeviceSpec::fermi_c2050();
     let n = problem_size();
     let rows = with_cache(|cache| figure_data(&device, n, false, cache));
-    print_figure("Fig. 12: Performance of BLAS3 on Fermi Tesla C2050", &device, n, &rows);
+    print_figure(
+        "Fig. 12: Performance of BLAS3 on Fermi Tesla C2050",
+        &device,
+        n,
+        &rows,
+    );
     println!("paper reference point: up to 3.4x speedup over CUBLAS 3.2.");
 }

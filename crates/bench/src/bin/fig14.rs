@@ -19,23 +19,28 @@ fn main() {
         RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N),
     ];
 
-    println!("== Fig. 14: Best-performing EPOD scripts (device {}, n = {n}) ==\n", device.name);
+    println!(
+        "== Fig. 14: Best-performing EPOD scripts (device {}, n = {n}) ==\n",
+        device.name
+    );
     with_cache(|cache| {
         for r in routines {
             let rec = cache
                 .tune_cached(r, &device, n)
                 .unwrap_or_else(|e| panic!("tuning {} failed: {e}", r.name()));
-            println!("---- {} ({:.0} GFLOPS, params {:?}) ----", r.name(), rec.gflops, rec.params);
+            println!(
+                "---- {} ({:.0} GFLOPS, params {:?}) ----",
+                r.name(),
+                rec.gflops,
+                rec.params
+            );
             println!("{}", rec.script);
             if verbose {
                 let src = oa_core::blas3::routines::source(r);
                 let script = oa_core::epod::parse_script(&rec.script).unwrap();
-                let out = oa_core::epod::translator::apply_lenient(
-                    &src,
-                    &script,
-                    rec.tile_params(),
-                )
-                .unwrap();
+                let out =
+                    oa_core::epod::translator::apply_lenient(&src, &script, rec.tile_params())
+                        .unwrap();
                 println!("transformed kernel:\n{}", out.program);
                 if let Ok(cuda) = oa_core::gpusim::to_cuda_source(
                     &out.program,
@@ -60,24 +65,40 @@ fn print_filter_example() {
     use oa_core::epod::Invocation;
     use oa_core::loopir::transform::TileParams;
 
-    let source = oa_core::blas3::routines::source(RoutineId::Trmm(
-        Side::Left,
-        Uplo::Lower,
-        Trans::N,
-    ));
+    let source =
+        oa_core::blas3::routines::source(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
     let base = split(&oa_core::blas3::gemm_nn_script().stmts).sequence;
     let mut sequences = Vec::new();
     sequences.extend(mix(&base, &[]));
     sequences.extend(mix(&base, &[Invocation::idents("peel_triangular", &["A"])]));
-    sequences.extend(mix(&base, &[Invocation::idents("padding_triangular", &["A"])]));
-    println!("== Sec. IV.B.2 filter example: {} mixed sequences ==", sequences.len());
-    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    sequences.extend(mix(
+        &base,
+        &[Invocation::idents("padding_triangular", &["A"])],
+    ));
+    println!(
+        "== Sec. IV.B.2 filter example: {} mixed sequences ==",
+        sequences.len()
+    );
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
     let surviving = filter(&source, &sequences, params).unwrap();
-    println!("semi-output after degeneration + dedup: {} effective sequences", surviving.len());
+    println!(
+        "semi-output after degeneration + dedup: {} effective sequences",
+        surviving.len()
+    );
     for s in &surviving {
         let names: Vec<&str> = s.applied.iter().map(|i| i.component.as_str()).collect();
-        let dropped: Vec<String> =
-            s.dropped.iter().map(|(i, e)| format!("{} ({e})", i.component)).collect();
+        let dropped: Vec<String> = s
+            .dropped
+            .iter()
+            .map(|(i, e)| format!("{} ({e})", i.component))
+            .collect();
         println!("  {:?}  dropped: {:?}", names, dropped);
     }
     println!();

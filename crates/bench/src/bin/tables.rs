@@ -61,9 +61,22 @@ fn print_table(device: &DeviceSpec, cublas: &ProfileCounters, oa: &ProfileCounte
             ("inst_executed", cublas.instructions, oa.instructions),
         ],
     };
-    println!("{:<16} {:>12} {:>12} {:>10}", "Events", "CUBLAS", "OA", "OA/CUBLAS");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "Events", "CUBLAS", "OA", "OA/CUBLAS"
+    );
     for (name, c, o) in rows {
-        let ratio = if c > 0.0 { format!("{:.2}", o / c) } else { "-".to_string() };
-        println!("{:<16} {:>12} {:>12} {:>10}", name, fmt_millions(c), fmt_millions(o), ratio);
+        let ratio = if c > 0.0 {
+            format!("{:.2}", o / c)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<16} {:>12} {:>12} {:>10}",
+            name,
+            fmt_millions(c),
+            fmt_millions(o),
+            ratio
+        );
     }
 }

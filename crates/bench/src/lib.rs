@@ -103,7 +103,11 @@ pub fn figure_data(
 /// Print a figure as an aligned text table.
 pub fn print_figure(title: &str, device: &DeviceSpec, n: i64, rows: &[FigureRow]) {
     println!("== {title} ==");
-    println!("device: {} (peak {:.0} GFLOPS), problem size {n}", device.name, device.peak_gflops());
+    println!(
+        "device: {} (peak {:.0} GFLOPS), problem size {n}",
+        device.name,
+        device.peak_gflops()
+    );
     let magma_col = rows.iter().any(|r| r.magma.is_some());
     print!("{:<12} {:>10} {:>12}", "routine", "OA", "CUBLAS-like");
     if magma_col {
@@ -159,7 +163,12 @@ mod tests {
 
     #[test]
     fn figure_row_math() {
-        let r = FigureRow { routine: "GEMM-NN".into(), oa: 400.0, cublas: 200.0, magma: None };
+        let r = FigureRow {
+            routine: "GEMM-NN".into(),
+            oa: 400.0,
+            cublas: 200.0,
+            magma: None,
+        };
         assert_eq!(r.speedup(), 2.0);
     }
 

@@ -32,11 +32,25 @@ use oa_loopir::{AffineExpr, ArrayDecl, CmpOp, Fill, Predicate, Program};
 pub fn baseline_params(solver: bool, device: &DeviceSpec) -> TileParams {
     if solver {
         // One column per thread, 64-thread blocks.
-        return TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 };
+        return TileParams {
+            ty: 16,
+            tx: 64,
+            thr_i: 1,
+            thr_j: 64,
+            kb: 16,
+            unroll: 0,
+        };
     }
     let _ = device;
     // Volkov-like: 64x16 C tiles, 64 threads owning exclusive rows.
-    TileParams { ty: 64, tx: 16, thr_i: 64, thr_j: 1, kb: 16, unroll: 0 }
+    TileParams {
+        ty: 64,
+        tx: 16,
+        thr_i: 64,
+        thr_j: 1,
+        kb: 16,
+        unroll: 0,
+    }
 }
 
 /// The mixed-mode SYMM source the CUBLAS-like baseline uses (one
@@ -69,7 +83,11 @@ pub fn symm_mixed_source(side: Side, uplo: Uplo) -> Program {
             Side::Left => ScalarExpr::mul(ScalarExpr::load(a), ScalarExpr::load(b_acc.clone())),
             Side::Right => ScalarExpr::mul(ScalarExpr::load(b_acc.clone()), ScalarExpr::load(a)),
         };
-        Stmt::Assign(AssignStmt::new(Access::idx("C", "i", "j"), AssignOp::AddAssign, rhs))
+        Stmt::Assign(AssignStmt::new(
+            Access::idx("C", "i", "j"),
+            AssignOp::AddAssign,
+            rhs,
+        ))
     };
     let body = Stmt::If {
         pred: stored_cond,
@@ -77,8 +95,20 @@ pub fn symm_mixed_source(side: Side, uplo: Uplo) -> Program {
         else_body: vec![mk(mirror)],
     };
     let lk = Loop::new("Lk", "k", AffineExpr::zero(), v("K"), vec![body]);
-    let lj = Loop::new("Lj", "j", AffineExpr::zero(), v("N"), vec![Stmt::Loop(Box::new(lk))]);
-    let li = Loop::new("Li", "i", AffineExpr::zero(), v("M"), vec![Stmt::Loop(Box::new(lj))]);
+    let lj = Loop::new(
+        "Lj",
+        "j",
+        AffineExpr::zero(),
+        v("N"),
+        vec![Stmt::Loop(Box::new(lk))],
+    );
+    let li = Loop::new(
+        "Li",
+        "i",
+        AffineExpr::zero(),
+        v("M"),
+        vec![Stmt::Loop(Box::new(lj))],
+    );
     p.body = vec![Stmt::Loop(Box::new(li))];
 
     let fill = match uplo {
@@ -126,8 +156,16 @@ pub fn cublas_like(r: RoutineId, device: &DeviceSpec) -> Program {
             // CUBLAS strmm staged its operands (so reads coalesce on every
             // CC) but issued the full rectangular tile space — the
             // guard-false tiles are its handicap against OA's peel/pad.
-            let mode = if t == Trans::T { "Transpose" } else { "NoChange" };
-            (source(r), tiled_script(true, mode), baseline_params(false, device))
+            let mode = if t == Trans::T {
+                "Transpose"
+            } else {
+                "NoChange"
+            };
+            (
+                source(r),
+                tiled_script(true, mode),
+                baseline_params(false, device),
+            )
         }
         RoutineId::Trsm(side, ..) => {
             // CUBLAS strsm: a blocked column solver with a register
@@ -181,7 +219,14 @@ fn cublas_symm_dual_tile(side: Side, uplo: Uplo, device: &DeviceSpec) -> Program
     // the instructions" as Table III's signature.
     let strided_mirror = device.cc != oa_gpusim::ComputeCapability::Cc2_0;
     let src = symm_mixed_source(side, uplo);
-    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
     let script = parse_script(
         "(Lii, Ljj) = thread_grouping((Li, Lj));
          (Liii, Ljjj, Lkkk) = loop_tiling(Lii, Ljj, Lk);
@@ -233,12 +278,16 @@ fn cublas_symm_dual_tile(side: Side, uplo: Uplo, device: &DeviceSpec) -> Program
             *ec,
             if er % 16 == 0 { 1 } else { 0 },
         ));
-        let guard = Pred::cond(AffineExpr::var("__sr"), oa_loopir::CmpOp::Lt, a_decl.rows.clone())
-            .and(oa_loopir::AffineCond::new(
-                AffineExpr::var("__sc"),
-                oa_loopir::CmpOp::Lt,
-                a_decl.cols.clone(),
-            ));
+        let guard = Pred::cond(
+            AffineExpr::var("__sr"),
+            oa_loopir::CmpOp::Lt,
+            a_decl.rows.clone(),
+        )
+        .and(oa_loopir::AffineCond::new(
+            AffineExpr::var("__sc"),
+            oa_loopir::CmpOp::Lt,
+            a_decl.cols.clone(),
+        ));
         // The mirror tile: its row origin follows the k tile loop.
         let strided = strided_mirror && r0.uses(&kt.tile_var);
         stages.push(Stmt::Stage(SharedStage {
@@ -296,7 +345,14 @@ pub fn magma_like(r: RoutineId, device: &DeviceSpec) -> Option<Program> {
         RoutineId::Gemm(ta, _) => {
             // MAGMA 0.2's GEMM was Volkov's kernel with tweaked blocking —
             // close to but not quite the autotuned optimum.
-            let params = TileParams { ty: 32, tx: 16, thr_i: 32, thr_j: 1, kb: 16, unroll: 0 };
+            let params = TileParams {
+                ty: 32,
+                tx: 16,
+                thr_i: 32,
+                thr_j: 1,
+                kb: 16,
+                unroll: 0,
+            };
             let script = tiled_script(ta == Trans::T, "Transpose");
             let outcome = apply_lenient(&source(r), &script, params).ok()?;
             let mut p = outcome.program;
@@ -307,7 +363,14 @@ pub fn magma_like(r: RoutineId, device: &DeviceSpec) -> Option<Program> {
             // Staged, register-blocked solver with blocking between
             // CUBLAS's fixed narrow shape and OA's tuned one.
             // Between CUBLAS's narrow fixed blocking and OA's tuned one.
-            let params = TileParams { ty: 16, tx: 64, thr_i: 1, thr_j: 64, kb: 16, unroll: 0 };
+            let params = TileParams {
+                ty: 16,
+                tx: 64,
+                thr_i: 1,
+                thr_j: 64,
+                kb: 16,
+                unroll: 0,
+            };
             let grouping = match side {
                 Side::Left => "(Li, Lj)",
                 Side::Right => "(Lj, Li)",

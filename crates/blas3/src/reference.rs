@@ -105,14 +105,15 @@ pub fn trsm_ref(side: Side, uplo: Uplo, t: Trans, a: &Matrix, b: &mut Matrix) {
         Side::Right => b.cols,
     };
     // Is op(A) lower-triangular (forward substitution)?
-    let op_lower = matches!(
-        (uplo, t),
-        (Uplo::Lower, Trans::N) | (Uplo::Upper, Trans::T)
-    );
+    let op_lower = matches!((uplo, t), (Uplo::Lower, Trans::N) | (Uplo::Upper, Trans::T));
     match side {
         Side::Left => {
             // Solve op(A) X = B, row by row.
-            let rows: Vec<i64> = if op_lower { (0..n).collect() } else { (0..n).rev().collect() };
+            let rows: Vec<i64> = if op_lower {
+                (0..n).collect()
+            } else {
+                (0..n).rev().collect()
+            };
             for &i in &rows {
                 for j in 0..b.cols {
                     let mut v = b.get(i, j);

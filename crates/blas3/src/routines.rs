@@ -140,7 +140,10 @@ fn symm_source(side: Side, uplo: Uplo) -> Program {
         if in_stored {
             Access::idx("A", r, c)
         } else {
-            Access { mirrored: true, ..Access::idx("A", c, r) }
+            Access {
+                mirrored: true,
+                ..Access::idx("A", c, r)
+            }
         }
     };
     let (p, a_dim) = match side {
@@ -164,10 +167,19 @@ fn symm_source(side: Side, uplo: Uplo) -> Program {
             let diag = assign(
                 Access::idx("C", "i", "j"),
                 AssignOp::AddAssign,
-                mul(ld(Access::idx("A", "i", "i")), ld(Access::idx("B", "i", "j"))),
+                mul(
+                    ld(Access::idx("A", "i", "i")),
+                    ld(Access::idx("B", "i", "j")),
+                ),
             );
             (
-                nest_ij(&name, AffineExpr::zero(), var("i"), vec![s_real, s_shadow], vec![diag]),
+                nest_ij(
+                    &name,
+                    AffineExpr::zero(),
+                    var("i"),
+                    vec![s_real, s_shadow],
+                    vec![diag],
+                ),
                 var("M"),
             )
         }
@@ -191,10 +203,19 @@ fn symm_source(side: Side, uplo: Uplo) -> Program {
             let diag = assign(
                 Access::idx("C", "i", "j"),
                 AssignOp::AddAssign,
-                mul(ld(Access::idx("B", "i", "j")), ld(Access::idx("A", "j", "j"))),
+                mul(
+                    ld(Access::idx("B", "i", "j")),
+                    ld(Access::idx("A", "j", "j")),
+                ),
             );
             (
-                nest_ij(&name, AffineExpr::zero(), var("j"), vec![s_real, s_shadow], vec![diag]),
+                nest_ij(
+                    &name,
+                    AffineExpr::zero(),
+                    var("j"),
+                    vec![s_real, s_shadow],
+                    vec![diag],
+                ),
                 var("N"),
             )
         }
@@ -370,9 +391,10 @@ mod tests {
             }
             let a_in = bufs["A"].clone();
             let mut b_ref = bufs["B"].clone();
-            let mut c_ref = bufs.get("C").cloned().unwrap_or_else(|| {
-                oa_loopir::interp::Matrix::zeros(n, n)
-            });
+            let mut c_ref = bufs
+                .get("C")
+                .cloned()
+                .unwrap_or_else(|| oa_loopir::interp::Matrix::zeros(n, n));
             run_reference(r, &a_in, &mut b_ref, &mut c_ref);
 
             Interp::new(&p, &b).run(&mut bufs);
@@ -381,7 +403,11 @@ mod tests {
                 _ => ("C", &c_ref),
             };
             let d = bufs[out_name].max_abs_diff(expect);
-            assert!(d < 2e-3, "{} source diverges from reference by {d}", r.name());
+            assert!(
+                d < 2e-3,
+                "{} source diverges from reference by {d}",
+                r.name()
+            );
         }
     }
 

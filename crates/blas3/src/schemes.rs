@@ -32,7 +32,10 @@ pub fn with_staged_a(script: &Script) -> Script {
         .iter()
         .position(|i| i.component == "reg_alloc")
         .unwrap_or(out.stmts.len());
-    out.stmts.insert(at, oa_epod::Invocation::idents("SM_alloc", &["A", "NoChange"]));
+    out.stmts.insert(
+        at,
+        oa_epod::Invocation::idents("SM_alloc", &["A", "NoChange"]),
+    );
     out
 }
 
@@ -79,7 +82,11 @@ pub fn oa_scheme(r: RoutineId) -> OaScheme {
             if tb == Trans::T {
                 apps.push(AdaptorApplication::new(builtin::transpose(), "B"));
             }
-            OaScheme { bases: base_pair(gemm_nn_script()), apps, solver: false }
+            OaScheme {
+                bases: base_pair(gemm_nn_script()),
+                apps,
+                solver: false,
+            }
         }
         RoutineId::Symm(..) => OaScheme {
             bases: base_pair(gemm_nn_script()),
@@ -94,7 +101,11 @@ pub fn oa_scheme(r: RoutineId) -> OaScheme {
                 apps.push(AdaptorApplication::new(builtin::transpose(), "A"));
             }
             apps.push(AdaptorApplication::new(builtin::triangular(), "A"));
-            OaScheme { bases: base_pair(gemm_nn_script()), apps, solver: false }
+            OaScheme {
+                bases: base_pair(gemm_nn_script()),
+                apps,
+                solver: false,
+            }
         }
         RoutineId::Trsm(side, ..) => OaScheme {
             bases: base_pair(gemm_nn_script_solver(side == Side::Right)),

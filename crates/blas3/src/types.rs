@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn flop_counts() {
         let n = 64;
-        assert_eq!(RoutineId::Gemm(Trans::N, Trans::N).flops(n), 2.0 * 64f64.powi(3));
+        assert_eq!(
+            RoutineId::Gemm(Trans::N, Trans::N).flops(n),
+            2.0 * 64f64.powi(3)
+        );
         assert_eq!(
             RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N).flops(n),
             64f64.powi(3)

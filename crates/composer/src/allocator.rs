@@ -41,8 +41,14 @@ pub fn merge_allocations(
     for inv in base.iter().chain(adaptor) {
         match inv.component.as_str() {
             "SM_alloc" | "sm_alloc" => {
-                let Some(arr) = inv.args.first().and_then(Arg::ident) else { continue };
-                let mode = inv.args.get(1).and_then(Arg::as_mode).unwrap_or(AllocMode::NoChange);
+                let Some(arr) = inv.args.first().and_then(Arg::ident) else {
+                    continue;
+                };
+                let mode = inv
+                    .args
+                    .get(1)
+                    .and_then(Arg::as_mode)
+                    .unwrap_or(AllocMode::NoChange);
                 match sm_modes.get_mut(arr) {
                     Some(existing) => *existing = compose_modes(*existing, mode),
                     None => {
@@ -108,8 +114,11 @@ mod tests {
     #[test]
     fn paper_example_double_transpose_cancels() {
         // Adaptor and script both stage B transposed -> one NoChange decl.
-        let merged =
-            merge_allocations(&[sm("B", "Transpose")], &[sm("B", "Transpose")], &HashMap::new());
+        let merged = merge_allocations(
+            &[sm("B", "Transpose")],
+            &[sm("B", "Transpose")],
+            &HashMap::new(),
+        );
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].args[0], Arg::Ident("B".into()));
         assert_eq!(merged[0].args[1], Arg::Ident("NoChange".into()));

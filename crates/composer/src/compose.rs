@@ -25,7 +25,10 @@ pub struct AdaptorApplication {
 impl AdaptorApplication {
     /// Convenience constructor.
     pub fn new(adaptor: Adaptor, array: &str) -> Self {
-        Self { adaptor, array: array.to_string() }
+        Self {
+            adaptor,
+            array: array.to_string(),
+        }
     }
 }
 
@@ -65,7 +68,7 @@ pub fn compose(
             let s = split(&rule.seq);
             rule_seqs.push(s.sequence);
             rule_allocs.extend(s.allocations);
-            conds.extend(rule.cond.into_iter());
+            conds.extend(rule.cond);
         }
 
         // Mix the base polyhedral sequence with each rule's sequence in
@@ -106,7 +109,9 @@ pub fn compose(
             let alloc_script = Script { stmts: allocs };
             let outcome = apply_lenient(&surv.program, &alloc_script, params)?;
 
-            let mut final_script = Script { stmts: surv.applied.clone() };
+            let mut final_script = Script {
+                stmts: surv.applied.clone(),
+            };
             final_script.stmts.extend(outcome.applied.clone());
 
             // Global dedup by final script text.
@@ -150,7 +155,14 @@ mod tests {
     use oa_loopir::interp::{equivalent_on, Bindings};
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     fn gemm_script() -> Script {
@@ -172,7 +184,13 @@ mod tests {
         let names = variants[0].script.component_names();
         assert_eq!(
             names,
-            vec!["thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "reg_alloc"]
+            vec![
+                "thread_grouping",
+                "loop_tiling",
+                "loop_unroll",
+                "SM_alloc",
+                "reg_alloc"
+            ]
         );
         assert!(variants[0].program.array("sB").is_some());
         assert!(variants[0].program.array("rC").is_some());
@@ -181,8 +199,7 @@ mod tests {
     #[test]
     fn triangular_adaptor_generates_peeled_and_padded_variants() {
         let source = trmm_ll_like("TRMM-LL-N");
-        let apps =
-            [AdaptorApplication::new(oa_adl::builtin::triangular(), "A")];
+        let apps = [AdaptorApplication::new(oa_adl::builtin::triangular(), "A")];
         let variants = compose(&source, &gemm_script(), &apps, params()).unwrap();
         assert!(variants.len() >= 3, "got {} variants", variants.len());
         let with = |c: &str| {
@@ -196,7 +213,10 @@ mod tests {
         // Padded variants carry the blank-zero condition.
         for v in &variants {
             if v.script.component_names().contains(&"padding_triangular") {
-                assert!(v.conds.iter().any(|c| matches!(c, Cond::BlankZero(a) if a == "A")));
+                assert!(v
+                    .conds
+                    .iter()
+                    .any(|c| matches!(c, Cond::BlankZero(a) if a == "A")));
             }
         }
         // Every generated program is semantically the routine.
@@ -216,7 +236,11 @@ mod tests {
         use oa_loopir::stmt::{AssignOp, AssignStmt, Loop, Stmt};
         use oa_loopir::{AffineExpr, ArrayDecl};
         let mut source = gemm_nn_like("GEMM-TN");
-        source.declare(ArrayDecl::global("A", AffineExpr::var("K"), AffineExpr::var("M")));
+        source.declare(ArrayDecl::global(
+            "A",
+            AffineExpr::var("K"),
+            AffineExpr::var("M"),
+        ));
         source.rewrite_loop("Lk", &mut |mut lk: Loop| {
             lk.body = vec![Stmt::Assign(AssignStmt::new(
                 Access::idx("C", "i", "j"),

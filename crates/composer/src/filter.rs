@@ -6,10 +6,11 @@
 
 use oa_epod::translator::{apply_lenient, TranslateError};
 use oa_epod::{Invocation, Script};
-use oa_loopir::interp::{equivalent_on, Bindings};
+use oa_gpusim::Tape;
+use oa_loopir::interp::{alloc_buffers, equivalent_on, run_fresh, Bindings};
 use oa_loopir::stmt::Stmt;
 use oa_loopir::transform::{TileParams, TransformError};
-use oa_loopir::Program;
+use oa_loopir::{MemSpace, Program};
 
 /// One surviving sequence.
 #[derive(Clone, Debug)]
@@ -45,10 +46,17 @@ pub fn filter(
         };
         // Semi-output de-duplication: a sequence that degenerated into an
         // already-present effective sequence adds nothing.
-        let applied_names: Vec<&str> =
-            outcome.applied.iter().map(|i| i.component.as_str()).collect();
+        let applied_names: Vec<&str> = outcome
+            .applied
+            .iter()
+            .map(|i| i.component.as_str())
+            .collect();
         if out.iter().any(|f| {
-            f.applied.iter().map(|i| i.component.as_str()).collect::<Vec<_>>() == applied_names
+            f.applied
+                .iter()
+                .map(|i| i.component.as_str())
+                .collect::<Vec<_>>()
+                == applied_names
                 && f.applied == outcome.applied
         }) {
             continue;
@@ -56,9 +64,9 @@ pub fn filter(
         // Dependence check (PolyDeps stand-in): exact equivalence on
         // sampled inputs, skipped for thread-communicating programs.
         if !has_thread0_region(&outcome.program.body) {
-            let ok = [(16i64, 5u64), (12, 19)].iter().all(|&(n, seed)| {
-                equivalent_on(source, &outcome.program, &Bindings::square(n), seed, 1e-3)
-            });
+            let ok = [(16i64, 5u64), (12, 19)]
+                .iter()
+                .all(|&(n, seed)| matches_source(source, &outcome.program, n, seed, 1e-3));
             if !ok {
                 continue; // illegal sequence removed
             }
@@ -73,14 +81,52 @@ pub fn filter(
     Ok(out)
 }
 
+/// Sampled equivalence of a candidate against the source, preferring the
+/// compiled-tape GPU executor.
+///
+/// A block/thread-mapped candidate is what the downstream pipeline will
+/// actually launch, so it is checked by compiling it to a kernel tape and
+/// running block-parallel (far cheaper than the tree-walking interpreter
+/// when the filter sweeps dozens of sequences).  Candidates that do not
+/// lower — not yet mapped, or structurally unlaunchable — fall back to the
+/// sequential interpreter, which executes mapped loops as ordinary loops.
+fn matches_source(source: &Program, candidate: &Program, n: i64, seed: u64, tol: f32) -> bool {
+    let bindings = Bindings::square(n);
+    let Ok(tape) = Tape::compile(candidate, &bindings) else {
+        return equivalent_on(source, candidate, &bindings, seed, tol);
+    };
+    let mut cand_out = alloc_buffers(candidate, &bindings, seed);
+    if tape.execute(&mut cand_out).is_err() {
+        return false; // diverged at a barrier: illegal under GPU semantics
+    }
+    let ref_out = run_fresh(source, &bindings, seed);
+    // Same comparison set as `equivalent_on`: every global array the
+    // reference writes.
+    source.assignments().iter().all(|a| {
+        let name = &a.lhs.array;
+        if source
+            .array(name)
+            .map(|d| d.space == MemSpace::Global)
+            .unwrap_or(false)
+        {
+            match (ref_out.get(name.as_str()), cand_out.get(name.as_str())) {
+                (Some(r), Some(c)) => r.max_abs_diff(c) <= tol,
+                _ => false,
+            }
+        } else {
+            true
+        }
+    })
+}
+
 /// Does the program contain a thread-0-bound region?
 pub fn has_thread0_region(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
-        Stmt::If { pred, then_body, else_body } => {
-            pred.thread0_only
-                || has_thread0_region(then_body)
-                || has_thread0_region(else_body)
-        }
+        Stmt::If {
+            pred,
+            then_body,
+            else_body,
+        } => pred.thread0_only || has_thread0_region(then_body) || has_thread0_region(else_body),
         Stmt::Loop(l) => has_thread0_region(&l.body),
         _ => false,
     })
@@ -94,7 +140,14 @@ mod tests {
     use oa_loopir::builder::trmm_ll_like;
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     fn base_seq() -> Vec<Invocation> {
@@ -137,7 +190,10 @@ mod tests {
         let mut all_sequences = Vec::new();
         all_sequences.extend(mix(&base, &[]));
         all_sequences.extend(mix(&base, &[Invocation::idents("peel_triangular", &["A"])]));
-        all_sequences.extend(mix(&base, &[Invocation::idents("padding_triangular", &["A"])]));
+        all_sequences.extend(mix(
+            &base,
+            &[Invocation::idents("padding_triangular", &["A"])],
+        ));
         assert_eq!(all_sequences.len(), 9);
 
         let surviving = filter(&source, &all_sequences, params()).unwrap();
@@ -150,8 +206,10 @@ mod tests {
         // The plain scheme (sequences 1, 2, 3, 6, 7 all collapse here: the
         // pre-tiling peel/pad degenerate, and unroll fails over the
         // unsplit triangular band so it is dropped as well).
-        assert!(effective.contains(&vec!["thread_grouping", "loop_tiling", "loop_unroll"])
-            || effective.contains(&vec!["thread_grouping", "loop_tiling"]));
+        assert!(
+            effective.contains(&vec!["thread_grouping", "loop_tiling", "loop_unroll"])
+                || effective.contains(&vec!["thread_grouping", "loop_tiling"])
+        );
         // Peel between tiling and unroll: the full pipeline (sequence 4).
         assert!(effective.contains(&vec![
             "thread_grouping",
@@ -168,7 +226,11 @@ mod tests {
             "padding_triangular",
             "loop_unroll"
         ]));
-        assert!(effective.contains(&vec!["thread_grouping", "loop_tiling", "padding_triangular"]));
+        assert!(effective.contains(&vec![
+            "thread_grouping",
+            "loop_tiling",
+            "padding_triangular"
+        ]));
     }
 
     #[test]

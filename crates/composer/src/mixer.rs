@@ -55,12 +55,12 @@ fn interleave(
 
 /// Check the location constraints of every component in a sequence.
 pub fn satisfies_location_constraints(seq: &[Invocation]) -> bool {
-    seq.iter().enumerate().all(|(idx, inv)| {
-        match lookup(&inv.component) {
+    seq.iter()
+        .enumerate()
+        .all(|(idx, inv)| match lookup(&inv.component) {
             Some(info) if info.must_be_first => idx == 0,
             _ => true,
-        }
-    })
+        })
 }
 
 #[cfg(test)]
@@ -76,7 +76,11 @@ mod tests {
     fn interleavings_preserve_order_and_count() {
         // (TG, LT, LU) x (peel): C(4,1) = 4 interleavings — the paper's
         // sequences 2–5 (before padding).
-        let base = vec![inv("thread_grouping"), inv("loop_tiling"), inv("loop_unroll")];
+        let base = vec![
+            inv("thread_grouping"),
+            inv("loop_tiling"),
+            inv("loop_unroll"),
+        ];
         let adaptor = vec![inv("peel_triangular")];
         let mixes = mix(&base, &adaptor);
         assert_eq!(mixes.len(), 4);
@@ -118,7 +122,13 @@ mod tests {
 
     #[test]
     fn constraint_checker_direct() {
-        assert!(satisfies_location_constraints(&[inv("GM_map"), inv("loop_tiling")]));
-        assert!(!satisfies_location_constraints(&[inv("loop_tiling"), inv("GM_map")]));
+        assert!(satisfies_location_constraints(&[
+            inv("GM_map"),
+            inv("loop_tiling")
+        ]));
+        assert!(!satisfies_location_constraints(&[
+            inv("loop_tiling"),
+            inv("GM_map")
+        ]));
     }
 }

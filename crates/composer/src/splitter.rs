@@ -19,7 +19,9 @@ pub struct SplitSeq {
 pub fn split(invs: &[Invocation]) -> SplitSeq {
     let mut out = SplitSeq::default();
     for inv in invs {
-        let is_alloc = lookup(&inv.component).map(|c| c.is_allocation).unwrap_or(false);
+        let is_alloc = lookup(&inv.component)
+            .map(|c| c.is_allocation)
+            .unwrap_or(false);
         if is_alloc {
             out.allocations.push(inv.clone());
         } else {
@@ -46,11 +48,19 @@ mod tests {
         .unwrap();
         let split = split(&s.stmts);
         assert_eq!(
-            split.sequence.iter().map(|i| i.component.as_str()).collect::<Vec<_>>(),
+            split
+                .sequence
+                .iter()
+                .map(|i| i.component.as_str())
+                .collect::<Vec<_>>(),
             vec!["thread_grouping", "loop_tiling", "loop_unroll"]
         );
         assert_eq!(
-            split.allocations.iter().map(|i| i.component.as_str()).collect::<Vec<_>>(),
+            split
+                .allocations
+                .iter()
+                .map(|i| i.component.as_str())
+                .collect::<Vec<_>>(),
             vec!["SM_alloc", "reg_alloc"]
         );
     }

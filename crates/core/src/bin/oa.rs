@@ -48,11 +48,19 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    Ok(Args { cmd: cmd.unwrap_or_else(|| "help".into()), routine, device, n })
+    Ok(Args {
+        cmd: cmd.unwrap_or_else(|| "help".into()),
+        routine,
+        device,
+        n,
+    })
 }
 
 fn need_routine(a: &Args) -> Result<RoutineId, String> {
-    let name = a.routine.as_deref().ok_or("missing routine name (try `oa list`)")?;
+    let name = a
+        .routine
+        .as_deref()
+        .ok_or("missing routine name (try `oa list`)")?;
     RoutineId::parse(name).ok_or(format!("unknown routine `{name}` (try `oa list`)"))
 }
 
@@ -109,7 +117,11 @@ fn run(args: &Args) -> Result<(), String> {
             let c = oa.compare(r, args.n).map_err(|e| e.to_string())?;
             println!("{} on {} (n = {})", r.name(), args.device.name, args.n);
             println!("  OA          {:>8.1} GFLOPS", c.oa.gflops);
-            println!("  CUBLAS-like {:>8.1} GFLOPS  ({:.2}x speedup)", c.cublas.gflops, c.speedup());
+            println!(
+                "  CUBLAS-like {:>8.1} GFLOPS  ({:.2}x speedup)",
+                c.cublas.gflops,
+                c.speedup()
+            );
             match &c.magma {
                 Some(m) => println!("  MAGMA-like  {:>8.1} GFLOPS", m.gflops),
                 None => println!("  MAGMA-like  (routine absent in MAGMA v0.2)"),
@@ -129,7 +141,10 @@ fn run(args: &Args) -> Result<(), String> {
                 )
                 .map_err(|e| e.to_string())?;
                 for (i, v) in variants.iter().enumerate() {
-                    println!("---- base {bi}, variant {i} (rules {:?}) ----", v.rule_choice);
+                    println!(
+                        "---- base {bi}, variant {i} (rules {:?}) ----",
+                        v.rule_choice
+                    );
                     println!("{}", v.script);
                 }
             }

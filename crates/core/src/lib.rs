@@ -149,7 +149,9 @@ mod tests {
     #[test]
     fn comparison_includes_magma_only_for_gemm_trsm() {
         let oa = OaFramework::new(DeviceSpec::gtx285());
-        let c = oa.compare(RoutineId::Gemm(Trans::N, Trans::N), 512).unwrap();
+        let c = oa
+            .compare(RoutineId::Gemm(Trans::N, Trans::N), 512)
+            .unwrap();
         assert!(c.magma.is_some());
         assert!(c.speedup() > 0.5);
         let s = oa

@@ -66,12 +66,22 @@ pub struct Invocation {
 impl Invocation {
     /// An invocation without output bindings.
     pub fn call(component: &str, args: &[Arg]) -> Self {
-        Self { outputs: Vec::new(), component: component.to_string(), args: args.to_vec() }
+        Self {
+            outputs: Vec::new(),
+            component: component.to_string(),
+            args: args.to_vec(),
+        }
     }
 
     /// Convenience: identifier arguments only.
     pub fn idents(component: &str, args: &[&str]) -> Self {
-        Self::call(component, &args.iter().map(|a| Arg::Ident(a.to_string())).collect::<Vec<_>>())
+        Self::call(
+            component,
+            &args
+                .iter()
+                .map(|a| Arg::Ident(a.to_string()))
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -87,13 +97,21 @@ impl fmt::Display for Invocation {
             write!(
                 f,
                 "({})",
-                self.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+                self.args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )?;
         } else {
             write!(
                 f,
                 "{}",
-                self.args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+                self.args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )?;
         }
         write!(f, ");")
@@ -152,8 +170,14 @@ mod tests {
 
     #[test]
     fn mode_parsing() {
-        assert_eq!(Arg::Ident("Transpose".into()).as_mode(), Some(AllocMode::Transpose));
-        assert_eq!(Arg::Ident("Symmetry".into()).as_mode(), Some(AllocMode::Symmetry));
+        assert_eq!(
+            Arg::Ident("Transpose".into()).as_mode(),
+            Some(AllocMode::Transpose)
+        );
+        assert_eq!(
+            Arg::Ident("Symmetry".into()).as_mode(),
+            Some(AllocMode::Symmetry)
+        );
         assert_eq!(Arg::Ident("B".into()).as_mode(), None);
         assert_eq!(Arg::Int(3).as_mode(), None);
     }

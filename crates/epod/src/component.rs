@@ -34,19 +34,97 @@ pub struct ComponentInfo {
 
 /// All components of our two pools.
 pub const COMPONENTS: &[ComponentInfo] = &[
-    ComponentInfo { name: "thread_grouping", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 2 },
-    ComponentInfo { name: "loop_tiling", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 3 },
-    ComponentInfo { name: "loop_interchange", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "loop_fission", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "loop_fusion", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "GM_map", pool: Pool::Polyhedral, must_be_first: true, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "format_iteration", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "peel_triangular", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "padding_triangular", pool: Pool::Polyhedral, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "loop_unroll", pool: Pool::Traditional, must_be_first: false, is_allocation: false, returns: 0 },
-    ComponentInfo { name: "SM_alloc", pool: Pool::Traditional, must_be_first: false, is_allocation: true, returns: 0 },
-    ComponentInfo { name: "reg_alloc", pool: Pool::Traditional, must_be_first: false, is_allocation: true, returns: 0 },
-    ComponentInfo { name: "binding_triangular", pool: Pool::Traditional, must_be_first: false, is_allocation: false, returns: 0 },
+    ComponentInfo {
+        name: "thread_grouping",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 2,
+    },
+    ComponentInfo {
+        name: "loop_tiling",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 3,
+    },
+    ComponentInfo {
+        name: "loop_interchange",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "loop_fission",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "loop_fusion",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "GM_map",
+        pool: Pool::Polyhedral,
+        must_be_first: true,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "format_iteration",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "peel_triangular",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "padding_triangular",
+        pool: Pool::Polyhedral,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "loop_unroll",
+        pool: Pool::Traditional,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "SM_alloc",
+        pool: Pool::Traditional,
+        must_be_first: false,
+        is_allocation: true,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "reg_alloc",
+        pool: Pool::Traditional,
+        must_be_first: false,
+        is_allocation: true,
+        returns: 0,
+    },
+    ComponentInfo {
+        name: "binding_triangular",
+        pool: Pool::Traditional,
+        must_be_first: false,
+        is_allocation: false,
+        returns: 0,
+    },
 ];
 
 /// Look up a component by script name (case-sensitive, with the paper's
@@ -100,6 +178,9 @@ mod tests {
     fn pools() {
         assert_eq!(lookup("peel_triangular").unwrap().pool, Pool::Polyhedral);
         assert_eq!(lookup("loop_unroll").unwrap().pool, Pool::Traditional);
-        assert_eq!(lookup("binding_triangular").unwrap().pool, Pool::Traditional);
+        assert_eq!(
+            lookup("binding_triangular").unwrap().pool,
+            Pool::Traditional
+        );
     }
 }

@@ -77,7 +77,13 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 out.push((i, Tok::Eq));
                 i += 1;
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) => {
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)) =>
+            {
                 let start = i;
                 i += 1;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -99,7 +105,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 out.push((start, Tok::Ident(src[start..i].to_string())));
             }
             other => {
-                return Err(ParseError { at: i, message: format!("unexpected character `{other}`") })
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -117,7 +126,10 @@ impl Parser {
     }
 
     fn at(&self) -> usize {
-        self.toks.get(self.pos).map(|(a, _)| *a).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(a, _)| *a)
+            .unwrap_or(usize::MAX)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -130,7 +142,10 @@ impl Parser {
         let at = self.at();
         match self.next() {
             Some(t) if t == want => Ok(()),
-            other => Err(ParseError { at, message: format!("expected {want:?}, found {other:?}") }),
+            other => Err(ParseError {
+                at,
+                message: format!("expected {want:?}, found {other:?}"),
+            }),
         }
     }
 
@@ -138,9 +153,10 @@ impl Parser {
         let at = self.at();
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => {
-                Err(ParseError { at, message: format!("expected identifier, found {other:?}") })
-            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected identifier, found {other:?}"),
+            }),
         }
     }
 
@@ -202,7 +218,11 @@ impl Parser {
         self.args(&mut args)?;
         self.expect(Tok::RParen)?;
         self.expect(Tok::Semi)?;
-        Ok(Invocation { outputs, component, args })
+        Ok(Invocation {
+            outputs,
+            component,
+            args,
+        })
     }
 }
 
@@ -235,7 +255,13 @@ mod tests {
         let s = parse_script(FIG3).unwrap();
         assert_eq!(
             s.component_names(),
-            vec!["thread_grouping", "loop_tiling", "loop_unroll", "SM_alloc", "reg_alloc"]
+            vec![
+                "thread_grouping",
+                "loop_tiling",
+                "loop_unroll",
+                "SM_alloc",
+                "reg_alloc"
+            ]
         );
         assert_eq!(s.stmts[0].outputs, vec!["Lii", "Ljj"]);
         assert_eq!(s.stmts[0].args.len(), 2);
@@ -252,10 +278,9 @@ mod tests {
 
     #[test]
     fn comments_and_integers() {
-        let s = parse_script(
-            "// the solver adaptor\nbinding_triangular(A, 0); // bind to thread 0\n",
-        )
-        .unwrap();
+        let s =
+            parse_script("// the solver adaptor\nbinding_triangular(A, 0); // bind to thread 0\n")
+                .unwrap();
         assert_eq!(s.stmts[0].component, "binding_triangular");
         assert_eq!(s.stmts[0].args[1], Arg::Int(0));
     }
@@ -283,6 +308,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.stmts.len(), 3);
-        assert_eq!(s.stmts[0].args[1].as_mode(), Some(oa_loopir::AllocMode::Symmetry));
+        assert_eq!(
+            s.stmts[0].args[1].as_mode(),
+            Some(oa_loopir::AllocMode::Symmetry)
+        );
     }
 }

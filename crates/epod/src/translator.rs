@@ -63,15 +63,18 @@ pub struct Translator {
 impl Translator {
     /// A translator with the given tunable parameters.
     pub fn new(params: TileParams) -> Self {
-        Self { params, env: HashMap::new() }
+        Self {
+            params,
+            env: HashMap::new(),
+        }
     }
 
     /// Resolve a script identifier to a loop label through the variable
     /// environment.
     fn label(&self, arg: &Arg) -> Result<String, TranslateError> {
-        let id = arg
-            .ident()
-            .ok_or_else(|| TranslateError::Signature(format!("expected a loop label, got {arg}")))?;
+        let id = arg.ident().ok_or_else(|| {
+            TranslateError::Signature(format!("expected a loop label, got {arg}"))
+        })?;
         Ok(self.env.get(id).cloned().unwrap_or_else(|| id.to_string()))
     }
 
@@ -82,16 +85,13 @@ impl Translator {
     }
 
     fn mode(&self, arg: &Arg) -> Result<AllocMode, TranslateError> {
-        arg.as_mode()
-            .ok_or_else(|| TranslateError::Signature(format!("expected an allocation mode, got {arg}")))
+        arg.as_mode().ok_or_else(|| {
+            TranslateError::Signature(format!("expected an allocation mode, got {arg}"))
+        })
     }
 
     /// Apply one invocation.
-    pub fn apply_one(
-        &mut self,
-        p: &mut Program,
-        inv: &Invocation,
-    ) -> Result<(), TranslateError> {
+    pub fn apply_one(&mut self, p: &mut Program, inv: &Invocation) -> Result<(), TranslateError> {
         let info =
             lookup(&inv.component).ok_or_else(|| TranslateError::Unknown(inv.component.clone()))?;
         let fail = |e: TransformError| TranslateError::Component(info.name.to_string(), e);
@@ -131,7 +131,9 @@ impl Translator {
             }
             "loop_interchange" => {
                 if inv.args.len() != 2 {
-                    return Err(TranslateError::Signature("loop_interchange takes two loops".into()));
+                    return Err(TranslateError::Signature(
+                        "loop_interchange takes two loops".into(),
+                    ));
                 }
                 let a = self.label(&inv.args[0])?;
                 let b = self.label(&inv.args[1])?;
@@ -139,14 +141,18 @@ impl Translator {
             }
             "loop_fission" => {
                 if inv.args.len() != 1 {
-                    return Err(TranslateError::Signature("loop_fission takes one loop".into()));
+                    return Err(TranslateError::Signature(
+                        "loop_fission takes one loop".into(),
+                    ));
                 }
                 let a = self.label(&inv.args[0])?;
                 transform::loop_fission(p, &a).map_err(fail)?;
             }
             "loop_fusion" => {
                 if inv.args.len() != 2 {
-                    return Err(TranslateError::Signature("loop_fusion takes two loops".into()));
+                    return Err(TranslateError::Signature(
+                        "loop_fusion takes two loops".into(),
+                    ));
                 }
                 let a = self.label(&inv.args[0])?;
                 let b = self.label(&inv.args[1])?;
@@ -154,7 +160,9 @@ impl Translator {
             }
             "GM_map" => {
                 if inv.args.len() != 2 {
-                    return Err(TranslateError::Signature("GM_map(X, mode) takes two args".into()));
+                    return Err(TranslateError::Signature(
+                        "GM_map(X, mode) takes two args".into(),
+                    ));
                 }
                 let arr = self.array(&inv.args[0])?;
                 let mode = self.mode(&inv.args[1])?;
@@ -197,7 +205,9 @@ impl Translator {
             }
             "SM_alloc" => {
                 if inv.args.len() != 2 {
-                    return Err(TranslateError::Signature("SM_alloc(X, mode) takes two args".into()));
+                    return Err(TranslateError::Signature(
+                        "SM_alloc(X, mode) takes two args".into(),
+                    ));
                 }
                 let arr = self.array(&inv.args[0])?;
                 let mode = self.mode(&inv.args[1])?;
@@ -205,7 +215,9 @@ impl Translator {
             }
             "reg_alloc" => {
                 if inv.args.len() != 1 {
-                    return Err(TranslateError::Signature("reg_alloc(X) takes one array".into()));
+                    return Err(TranslateError::Signature(
+                        "reg_alloc(X) takes one array".into(),
+                    ));
                 }
                 let arr = self.array(&inv.args[0])?;
                 transform::reg_alloc(p, &arr).map_err(fail)?;
@@ -270,7 +282,11 @@ pub fn apply_lenient(
             Err(hard) => return Err(hard),
         }
     }
-    Ok(LenientOutcome { program: p, applied, dropped })
+    Ok(LenientOutcome {
+        program: p,
+        applied,
+        dropped,
+    })
 }
 
 #[cfg(test)]
@@ -281,7 +297,14 @@ mod tests {
     use oa_loopir::interp::{equivalent_on, Bindings};
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     const FIG3: &str = "
@@ -342,7 +365,13 @@ mod tests {
         assert_eq!(out.dropped.len(), 1);
         assert_eq!(out.dropped[0].0.component, "peel_triangular");
         assert_eq!(out.applied.len(), 2);
-        assert!(equivalent_on(&source, &out.program, &Bindings::square(16), 9, 1e-4));
+        assert!(equivalent_on(
+            &source,
+            &out.program,
+            &Bindings::square(16),
+            9,
+            1e-4
+        ));
     }
 
     #[test]

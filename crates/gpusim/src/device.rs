@@ -145,22 +145,26 @@ impl DeviceSpec {
 
     /// Resident blocks per SM given a block's resource footprint, the
     /// classic occupancy calculation.
-    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, smem_bytes: u32) -> u32 {
+    pub fn blocks_per_sm(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        smem_bytes: u32,
+    ) -> u32 {
         if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {
             return 0;
         }
         let by_threads = self.max_threads_per_sm / threads_per_block;
-        let by_regs = if regs_per_thread == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.registers_per_sm / (regs_per_thread * threads_per_block)
-        };
-        let by_smem = if smem_bytes == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm / smem_bytes
-        };
-        by_threads.min(by_regs).min(by_smem).min(self.max_blocks_per_sm)
+        let by_regs = (self.registers_per_sm)
+            .checked_div(regs_per_thread * threads_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
+        let by_smem = (self.smem_per_sm)
+            .checked_div(smem_bytes)
+            .unwrap_or(self.max_blocks_per_sm);
+        by_threads
+            .min(by_regs)
+            .min(by_smem)
+            .min(self.max_blocks_per_sm)
     }
 
     /// Occupancy in [0, 1]: resident warps over the SM's maximum.

@@ -38,8 +38,8 @@ pub fn classify_gmem(cc: ComputeCapability, lanes: &[Option<i64>; WARP]) -> Gmem
                     continue;
                 }
                 let base = active[0].1 - active[0].0 as i64;
-                let perfect =
-                    base % HALF_WARP as i64 == 0 && active.iter().all(|(i, w)| *w == base + *i as i64);
+                let perfect = base % HALF_WARP as i64 == 0
+                    && active.iter().all(|(i, w)| *w == base + *i as i64);
                 if perfect {
                     ev.transactions += 1;
                     ev.bytes += 64;
@@ -76,11 +76,7 @@ pub fn classify_gmem(cc: ComputeCapability, lanes: &[Option<i64>; WARP]) -> Gmem
         }
         ComputeCapability::Cc2_0 => {
             // Per warp: one transaction per distinct 128-byte cache line.
-            let mut lines: Vec<i64> = lanes
-                .iter()
-                .flatten()
-                .map(|w| w.div_euclid(32))
-                .collect();
+            let mut lines: Vec<i64> = lanes.iter().flatten().map(|w| w.div_euclid(32)).collect();
             if lines.is_empty() {
                 return GmemEvent::default();
             }
@@ -105,9 +101,13 @@ pub fn smem_replays(banks: u32, lanes: &[Option<i64>; WARP]) -> u64 {
     let group = if banks <= 16 { HALF_WARP } else { WARP };
     let mut worst_total = 0u64;
     for chunk in lanes.chunks(group) {
-        let mut per_bank: std::collections::HashMap<i64, Vec<i64>> = std::collections::HashMap::new();
+        let mut per_bank: std::collections::HashMap<i64, Vec<i64>> =
+            std::collections::HashMap::new();
         for w in chunk.iter().flatten() {
-            per_bank.entry(w.rem_euclid(banks as i64)).or_default().push(*w);
+            per_bank
+                .entry(w.rem_euclid(banks as i64))
+                .or_default()
+                .push(*w);
         }
         let mut worst = 1u64;
         for addrs in per_bank.values_mut() {
@@ -260,7 +260,13 @@ mod tests {
     #[test]
     fn record_counters_by_cc() {
         let mut c = ProfileCounters::default();
-        record_gmem(&mut c, ComputeCapability::Cc1_0, &strided_lanes(0, 100), false, 1.0);
+        record_gmem(
+            &mut c,
+            ComputeCapability::Cc1_0,
+            &strided_lanes(0, 100),
+            false,
+            1.0,
+        );
         assert!(c.gld_incoherent > 0.0);
         let mut f = ProfileCounters::default();
         record_gmem(&mut f, ComputeCapability::Cc2_0, &seq_lanes(0), true, 2.0);

@@ -56,9 +56,11 @@ fn has_barrier(s: &Stmt) -> bool {
     match s {
         Stmt::Sync | Stmt::Stage(_) => true,
         Stmt::Loop(l) => l.body.iter().any(has_barrier),
-        Stmt::If { then_body, else_body, .. } => {
-            then_body.iter().any(has_barrier) || else_body.iter().any(has_barrier)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => then_body.iter().any(has_barrier) || else_body.iter().any(has_barrier),
         _ => false,
     }
 }
@@ -99,7 +101,10 @@ pub fn exec_program(p: &Program, bindings: &Bindings, bufs: &mut Buffers) -> Res
                         launch.bind_env(bx, by, tx, ty).into_iter().collect();
                     env.insert("__tx".into(), tx);
                     env.insert("__ty".into(), ty);
-                    ThreadEnv { vars: env, tid: tx + ty * launch.block.0 }
+                    ThreadEnv {
+                        vars: env,
+                        tid: tx + ty * launch.block.0,
+                    }
                 })
                 .collect();
             engine.lockstep(&launch.inner, &threads, bufs)?;
@@ -132,7 +137,8 @@ impl<'a> Engine<'a> {
             if a.space == MemSpace::Shared {
                 let rows = a.rows.as_const().expect("shared dims are constant");
                 let cols = a.cols.as_const().expect("shared dims are constant");
-                self.smem.insert(a.name.clone(), Matrix::zeros_padded(rows, cols, a.pad));
+                self.smem
+                    .insert(a.name.clone(), Matrix::zeros_padded(rows, cols, a.pad));
             }
         }
     }
@@ -213,7 +219,11 @@ impl<'a> Engine<'a> {
                         self.lockstep(&l.body, &iter_threads, bufs)?;
                     }
                 }
-                Stmt::If { pred, then_body, else_body } => {
+                Stmt::If {
+                    pred,
+                    then_body,
+                    else_body,
+                } => {
                     let first = self.eval_pred(pred, &threads[0].vars);
                     for t in threads {
                         if self.eval_pred(pred, &t.vars) != first {
@@ -303,8 +313,16 @@ impl<'a> Engine<'a> {
                 };
                 self.write_elem(&a.lhs.array, r, c, new, tid, bufs)?;
             }
-            Stmt::If { pred, then_body, else_body } => {
-                let body = if self.eval_pred(pred, env) { then_body } else { else_body };
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => {
+                let body = if self.eval_pred(pred, env) {
+                    then_body
+                } else {
+                    else_body
+                };
                 for inner in body {
                     self.exec_thread(inner, env, tid, bufs)?;
                 }
@@ -441,7 +459,19 @@ impl<'a> Engine<'a> {
 
 /// Run a program on freshly allocated buffers (pseudo-random global data)
 /// and return them — the GPU-side analogue of `interp::run_fresh`.
-pub fn run_fresh_gpu(
+///
+/// Uses the compiled-tape fast path ([`crate::tape`]); results are
+/// bit-identical to the tree-walking oracle, which remains available as
+/// [`run_fresh_gpu_ref`].
+pub fn run_fresh_gpu(p: &Program, bindings: &Bindings, seed: u64) -> Result<Buffers, ExecError> {
+    let mut bufs = oa_loopir::interp::alloc_buffers(p, bindings, seed);
+    crate::tape::exec_program_fast(p, bindings, &mut bufs)?;
+    Ok(bufs)
+}
+
+/// [`run_fresh_gpu`] on the tree-walking reference engine — the oracle
+/// side of the differential tests.
+pub fn run_fresh_gpu_ref(
     p: &Program,
     bindings: &Bindings,
     seed: u64,
@@ -456,12 +486,17 @@ mod tests {
     use super::*;
     use oa_loopir::builder::{gemm_nn_like, trmm_ll_like};
     use oa_loopir::interp::run_fresh;
-    use oa_loopir::transform::{
-        loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams,
-    };
+    use oa_loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     /// Compare GPU execution of a transformed program against the
@@ -472,7 +507,11 @@ mod tests {
         let gpu_out = run_fresh_gpu(transformed, &b, seed).expect("exec");
         for a in reference.assignments() {
             let name = &a.lhs.array;
-            if reference.array(name).map(|d| d.space == MemSpace::Global).unwrap_or(false) {
+            if reference
+                .array(name)
+                .map(|d| d.space == MemSpace::Global)
+                .unwrap_or(false)
+            {
                 let d = ref_out[name].max_abs_diff(&gpu_out[name]);
                 assert!(d <= tol, "array {name} differs by {d}");
             }
@@ -532,7 +571,14 @@ mod tests {
         });
         let mut p = reference.clone();
         // Solver distribution: one column per thread (TX == thr_j).
-        let sp = TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        let sp = TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", sp).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         oa_loopir::transform::binding_triangular(&mut p, "A", 0).unwrap();

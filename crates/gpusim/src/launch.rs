@@ -126,7 +126,12 @@ pub fn extract_launch(p: &Program, bindings: &Bindings) -> Result<Launch, Launch
     if binds.is_empty() {
         return Err(LaunchError::NotMapped);
     }
-    Ok(Launch { grid, block, binds, inner: cursor.to_vec() })
+    Ok(Launch {
+        grid,
+        block,
+        binds,
+        inner: cursor.to_vec(),
+    })
 }
 
 impl Launch {
@@ -193,7 +198,14 @@ mod tests {
     use oa_loopir::transform::{loop_tiling, thread_grouping, TileParams};
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   transformed loop nest (the nvcc stand-in);
 //! * [`exec`] — a functional, barrier-stepped executor used as the
 //!   correctness oracle for final kernels;
+//! * [`tape`] — the fast path: the same semantics compiled once into a
+//!   slot-resolved kernel tape and executed block-parallel with rayon;
 //! * [`events`] — per-warp coalescing and bank-conflict classification;
 //! * [`perf`] — the sampled performance model producing GFLOPS estimates
 //!   and `cuda_profile`-style counters ([`profile`]).
@@ -27,10 +29,12 @@ pub mod exec;
 pub mod launch;
 pub mod perf;
 pub mod profile;
+pub mod tape;
 
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
-pub use exec::{exec_program, run_fresh_gpu, ExecError};
+pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
 pub use perf::{evaluate, PerfReport};
 pub use profile::ProfileCounters;
+pub use tape::{exec_program_fast, Tape};

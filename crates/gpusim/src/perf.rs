@@ -30,7 +30,9 @@ use std::collections::HashMap;
 
 use crate::device::{DeviceSpec, WARP};
 use crate::events::{record_gmem, smem_replays};
-use crate::launch::{estimate_regs_per_thread, extract_launch, smem_bytes_per_block, Launch, LaunchError};
+use crate::launch::{
+    estimate_regs_per_thread, extract_launch, smem_bytes_per_block, Launch, LaunchError,
+};
 use crate::profile::ProfileCounters;
 
 /// Result of a performance evaluation.
@@ -456,7 +458,10 @@ impl<'a> Compiler<'a> {
     }
 
     fn cexpr(&mut self, e: &AffineExpr) -> CExpr {
-        let mut out = CExpr { terms: Vec::new(), cst: e.constant() };
+        let mut out = CExpr {
+            terms: Vec::new(),
+            cst: e.constant(),
+        };
         for (v, coeff) in e.terms() {
             if self.scope.iter().any(|s| s == v) {
                 let idx = self.var_idx(v);
@@ -489,7 +494,10 @@ impl<'a> Compiler<'a> {
                 }),
             }
         }
-        Some(CPred { conds, thread0: pred.thread0_only })
+        Some(CPred {
+            conds,
+            thread0: pred.thread0_only,
+        })
     }
 
     fn ld_of(&self, name: &str) -> i64 {
@@ -501,7 +509,11 @@ impl<'a> Compiler<'a> {
     }
 
     fn access_word(&mut self, acc: &oa_loopir::Access) -> Option<CAccess> {
-        let space = self.program.array(&acc.array).map(|a| a.space).unwrap_or(MemSpace::Global);
+        let space = self
+            .program
+            .array(&acc.array)
+            .map(|a| a.space)
+            .unwrap_or(MemSpace::Global);
         let (cspace, base) = match space {
             MemSpace::Global => (CSpace::Global, *self.gbase.get(&acc.array).unwrap_or(&0)),
             MemSpace::Shared => (CSpace::Shared, *self.sbase.get(&acc.array).unwrap_or(&0)),
@@ -511,7 +523,10 @@ impl<'a> Compiler<'a> {
         let row = self.cexpr(&acc.row);
         let col = self.cexpr(&acc.col);
         // word = base + row + col*ld
-        let mut word = CExpr { terms: row.terms.clone(), cst: base + row.cst + col.cst * ld };
+        let mut word = CExpr {
+            terms: row.terms.clone(),
+            cst: base + row.cst + col.cst * ld,
+        };
         for (v, c) in col.terms {
             if let Some(t) = word.terms.iter_mut().find(|(tv, _)| *tv == v) {
                 t.1 += c * ld;
@@ -521,7 +536,12 @@ impl<'a> Compiler<'a> {
         }
         let site = self.sites;
         self.sites += 1;
-        Some(CAccess { space: cspace, is_store: false, word, site })
+        Some(CAccess {
+            space: cspace,
+            is_store: false,
+            word,
+            site,
+        })
     }
 
     fn compile_stmts(&mut self, stmts: &[Stmt]) -> Vec<CStmt> {
@@ -553,7 +573,13 @@ impl<'a> Compiler<'a> {
                     1 => 2.0,
                     f => 2.0 / f as f64,
                 };
-                CStmt::Loop { var, lower, upper, overhead, body }
+                CStmt::Loop {
+                    var,
+                    lower,
+                    upper,
+                    overhead,
+                    body,
+                }
             }
             Stmt::Assign(a) => {
                 let mut accesses = Vec::new();
@@ -583,9 +609,17 @@ impl<'a> Compiler<'a> {
                     instr += 1.0;
                     accesses.push(store);
                 }
-                CStmt::Assign { accesses, instr, flops }
+                CStmt::Assign {
+                    accesses,
+                    instr,
+                    flops,
+                }
             }
-            Stmt::If { pred, then_body, else_body } => match self.cpred(pred) {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => match self.cpred(pred) {
                 Some(cp) => CStmt::If {
                     pred: cp,
                     then_b: self.compile_stmts(then_body),
@@ -595,7 +629,11 @@ impl<'a> Compiler<'a> {
                     // Statically false (blank-zero mismatch): only the else
                     // branch survives.
                     let else_b = self.compile_stmts(else_body);
-                    CStmt::If { pred: CPred::default(), then_b: else_b, else_b: Vec::new() }
+                    CStmt::If {
+                        pred: CPred::default(),
+                        then_b: else_b,
+                        else_b: Vec::new(),
+                    }
                 }
             },
             Stmt::Stage(st) => self.compile_stage(st),
@@ -612,8 +650,10 @@ impl<'a> Compiler<'a> {
                         let cg = self.cpred(&guard).unwrap_or_default();
                         let crow = self.cexpr(&row);
                         let ccol = self.cexpr(&col);
-                        let mut word =
-                            CExpr { terms: crow.terms.clone(), cst: base + crow.cst + ccol.cst * ld };
+                        let mut word = CExpr {
+                            terms: crow.terms.clone(),
+                            cst: base + crow.cst + ccol.cst * ld,
+                        };
                         for (v, cf) in ccol.terms {
                             if let Some(t) = word.terms.iter_mut().find(|(tv, _)| *tv == v) {
                                 t.1 += cf * ld;
@@ -680,7 +720,10 @@ fn arith_cost(rhs: &ScalarExpr, op: AssignOp) -> (f64, f64) {
         }
     }
     let (i, f) = op_weight(rhs);
-    (i + if accum { 1.0 } else { 0.0 }, f + if accum { 1.0 } else { 0.0 })
+    (
+        i + if accum { 1.0 } else { 0.0 },
+        f + if accum { 1.0 } else { 0.0 },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -721,12 +764,12 @@ impl<'a> Walker<'a> {
         let threads = launch.threads_per_block();
         let mut env = vec![0i64; n * WARP];
         let mut active = [false; WARP];
-        for lane in 0..WARP {
+        for (lane, live) in active.iter_mut().enumerate() {
             let tid = warp * WARP as i64 + lane as i64;
             if tid >= threads {
                 continue;
             }
-            active[lane] = true;
+            *live = true;
             let tx = tid % launch.block.0;
             let ty = tid / launch.block.0;
             let base = lane * n;
@@ -780,7 +823,9 @@ impl<'a> Walker<'a> {
                 return false;
             }
         }
-        pred.conds.iter().all(|c| c.op.eval(c.lhs.eval(env), c.rhs.eval(env)))
+        pred.conds
+            .iter()
+            .all(|c| c.op.eval(c.lhs.eval(env), c.rhs.eval(env)))
     }
 
     fn any_active(&self) -> bool {
@@ -794,18 +839,37 @@ impl<'a> Walker<'a> {
             }
             match s {
                 CStmt::Nop => {}
-                CStmt::Loop { var, lower, upper, overhead, body } => {
-                    self.walk_loop(*var, lower, upper, *overhead, body)
-                }
-                CStmt::Assign { accesses, instr, flops } => self.walk_assign(accesses, *instr, *flops),
-                CStmt::If { pred, then_b, else_b } => self.walk_if(pred, then_b, else_b),
+                CStmt::Loop {
+                    var,
+                    lower,
+                    upper,
+                    overhead,
+                    body,
+                } => self.walk_loop(*var, lower, upper, *overhead, body),
+                CStmt::Assign {
+                    accesses,
+                    instr,
+                    flops,
+                } => self.walk_assign(accesses, *instr, *flops),
+                CStmt::If {
+                    pred,
+                    then_b,
+                    else_b,
+                } => self.walk_if(pred, then_b, else_b),
                 CStmt::Stage(st) => self.walk_stage(st),
                 CStmt::RegXfer { elems, is_store } => self.walk_regxfer(elems, *is_store),
             }
         }
     }
 
-    fn walk_loop(&mut self, var: usize, lower: &CExpr, upper: &CExpr, overhead: f64, body: &[CStmt]) {
+    fn walk_loop(
+        &mut self,
+        var: usize,
+        lower: &CExpr,
+        upper: &CExpr,
+        overhead: f64,
+        body: &[CStmt],
+    ) {
         // Bounds must be uniform across active lanes (guards provide the
         // per-thread shaping in the generated kernels).
         let lane0 = self.active.iter().position(|&a| a).expect("active lane");
@@ -873,9 +937,9 @@ impl<'a> Walker<'a> {
         self.counters.flops += flops * n_active as f64 * self.weight;
         for acc in accesses {
             let mut lanes: [Option<i64>; WARP] = [None; WARP];
-            for lane in 0..WARP {
+            for (lane, slot) in lanes.iter_mut().enumerate() {
                 if self.active[lane] {
-                    lanes[lane] = Some(acc.word.eval(self.lane_env(lane)));
+                    *slot = Some(acc.word.eval(self.lane_env(lane)));
                 }
             }
             // Register reuse: a load whose address vector was recently seen
@@ -896,7 +960,13 @@ impl<'a> Walker<'a> {
             }
             match acc.space {
                 CSpace::Global => {
-                    record_gmem(&mut self.counters, self.device.cc, &lanes, acc.is_store, self.weight);
+                    record_gmem(
+                        &mut self.counters,
+                        self.device.cc,
+                        &lanes,
+                        acc.is_store,
+                        self.weight,
+                    );
                 }
                 CSpace::Shared => {
                     if acc.is_store {
@@ -969,15 +1039,21 @@ impl<'a> Walker<'a> {
     fn walk_regxfer(&mut self, elems: &[(CPred, CExpr)], is_store: bool) {
         for (guard, word) in elems {
             let mut lanes: [Option<i64>; WARP] = [None; WARP];
-            for lane in 0..WARP {
+            for (lane, slot) in lanes.iter_mut().enumerate() {
                 if self.active[lane] && self.eval_pred_lane(guard, lane) {
-                    lanes[lane] = Some(word.eval(self.lane_env(lane)));
+                    *slot = Some(word.eval(self.lane_env(lane)));
                 }
             }
             if lanes.iter().all(|l| l.is_none()) {
                 continue;
             }
-            record_gmem(&mut self.counters, self.device.cc, &lanes, is_store, self.weight);
+            record_gmem(
+                &mut self.counters,
+                self.device.cc,
+                &lanes,
+                is_store,
+                self.weight,
+            );
             self.counters.instructions += 2.0 * self.weight;
         }
     }
@@ -995,7 +1071,14 @@ mod tests {
         let mut p = gemm_nn_like("GEMM-NN");
         // Volkov-like shape: 64 threads own exclusive rows; B staged in
         // shared memory; 16 C columns per thread in registers.
-        let params = TileParams { ty: 64, tx: 16, thr_i: 64, thr_j: 1, kb: 16, unroll: 0 };
+        let params = TileParams {
+            ty: 64,
+            tx: 16,
+            thr_i: 64,
+            thr_j: 1,
+            kb: 16,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         loop_unroll(&mut p, &["Ljjj", "Lkkk"], 0).unwrap();
@@ -1016,7 +1099,11 @@ mod tests {
         );
         // Between 25% and 95% of the 709 GFLOPS peak.
         assert!(rep.gflops > 0.25 * 709.0, "gflops too low: {}", rep.gflops);
-        assert!(rep.gflops < 0.95 * 709.0, "gflops above peak share: {}", rep.gflops);
+        assert!(
+            rep.gflops < 0.95 * 709.0,
+            "gflops above peak share: {}",
+            rep.gflops
+        );
         // Stores/loads are coalesced in this layout.
         assert_eq!(rep.counters.gld_incoherent, 0.0);
         assert_eq!(rep.counters.gst_incoherent, 0.0);
@@ -1027,7 +1114,14 @@ mod tests {
         // Thread grouping only, no tiling/staging: every B access goes to
         // global memory.
         let mut naive = gemm_nn_like("GEMM-NN");
-        let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        let params = TileParams {
+            ty: 32,
+            tx: 32,
+            thr_i: 16,
+            thr_j: 16,
+            kb: 16,
+            unroll: 0,
+        };
         thread_grouping(&mut naive, "Li", "Lj", params).unwrap();
         let b = Bindings::square(1024);
         let dev = DeviceSpec::gtx285();
@@ -1074,14 +1168,24 @@ mod tests {
         // total flops to within ~15% of the analytic n^2(n+1).
         use oa_loopir::builder::trmm_ll_like;
         let mut p = trmm_ll_like("TRMM");
-        let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        let params = TileParams {
+            ty: 32,
+            tx: 32,
+            thr_i: 16,
+            thr_j: 16,
+            kb: 16,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         let n = 512i64;
         let rep = evaluate(&p, &Bindings::square(n), &DeviceSpec::gtx285(), 1.0, true).unwrap();
         let expect = (n * n) as f64 * (n + 1) as f64; // 2 flops x n^2(n+1)/2
         let ratio = rep.counters.flops / expect;
-        assert!((0.85..1.15).contains(&ratio), "triangular flops ratio {ratio}");
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "triangular flops ratio {ratio}"
+        );
     }
 
     #[test]
@@ -1098,7 +1202,14 @@ mod tests {
         // A 16-thread block cannot hide latency; occupancy derating must
         // make it slower per flop than a 256-thread block.
         let mut small = gemm_nn_like("g");
-        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 8, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 8,
+            unroll: 0,
+        };
         thread_grouping(&mut small, "Li", "Lj", params).unwrap();
         let b = Bindings::square(256);
         let dev = DeviceSpec::gtx285();

@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn scaling_and_addition() {
-        let mut a = ProfileCounters { gld_coherent: 2.0, instructions: 10.0, ..Default::default() };
+        let mut a = ProfileCounters {
+            gld_coherent: 2.0,
+            instructions: 10.0,
+            ..Default::default()
+        };
         let b = a.scaled(3.0);
         assert_eq!(b.gld_coherent, 6.0);
         a += b;

@@ -1,0 +1,1032 @@
+//! The compiled-tape executor: the fast path of the functional GPU
+//! simulator.
+//!
+//! [`exec::exec_program`](crate::exec::exec_program) walks the [`Program`]
+//! tree with per-thread `HashMap<String, i64>` environments, cloning one
+//! per statement per thread and hashing variable names on every bound,
+//! subscript and guard evaluation.  That is the right shape for an oracle
+//! but dominates the runtime of the composer's legality filter, the BLAS3
+//! verifier and the autotuner, all of which execute the same program over
+//! and over.
+//!
+//! This module lowers a program **once** per (program, bindings) pair into
+//! a [`Tape`]:
+//!
+//! * every variable name is interned to a slot in a flat per-thread frame
+//!   (`Vec<i64>`) and every affine expression / predicate becomes a
+//!   [`SlotExpr`] / [`SlotPred`] evaluable with integer indexing only
+//!   (see [`oa_loopir::slots`]);
+//! * size parameters, derived ceil-div parameters and scalar parameters
+//!   are folded into constants at compile time;
+//! * register tiles live in a dense per-block arena indexed by
+//!   `(reg, tid)` and shared tiles in a dense per-block arena, replacing
+//!   the string-keyed maps of the oracle;
+//! * the `has_barrier` segmentation the oracle recomputes on every visit
+//!   is precomputed on each loop/guard node.
+//!
+//! Execution is **block-parallel**: CUDA blocks are independent in every
+//! kernel this framework generates, so the grid is fanned out with rayon.
+//! Each block runs against an immutable snapshot of global memory plus a
+//! private write overlay (read-your-writes within the block); overlays are
+//! merged into the buffers sequentially in `(by, bx)` order afterwards.
+//! Within one block the overlay holds one final value per distinct
+//! element, and across blocks the sequential merge reproduces the block
+//! loop order of the oracle, so results are bit-identical to
+//! `exec_program` whenever no block reads another block's output — which
+//! holds for all generated kernels and is enforced by the
+//! `engine_differential` test over the full 24-routine pipeline.
+
+use oa_loopir::arrays::{AllocMode, Fill, MemSpace};
+use oa_loopir::interp::{blank_is_zero, run_map_kernel, Bindings, Buffers, Matrix};
+use oa_loopir::nest::MapKernel;
+use oa_loopir::scalar::{BinOp, ScalarExpr};
+use oa_loopir::slots::{SlotExpr, SlotMap, SlotPred};
+use oa_loopir::stmt::{AssignOp, RegTile, SharedStage, Stmt};
+use oa_loopir::Program;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::exec::ExecError;
+use crate::launch::{extract_launch, Builtin};
+
+/// A resolved array reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ArrRef {
+    /// Index into the tape's global-array table.
+    Global(usize),
+    /// Index into the per-block shared-tile arena.
+    Shared(usize),
+    /// Index into the per-block register-tile arena (per thread).
+    Reg(usize),
+}
+
+/// A scalar expression with accesses and parameters resolved.
+#[derive(Clone, Debug)]
+enum SExpr {
+    Load(ArrRef, SlotExpr, SlotExpr),
+    Lit(f32),
+    /// A named scalar parameter; `None` when unbound (panics on use, like
+    /// the oracle).
+    Param(String, Option<f32>),
+    Bin(BinOp, Box<SExpr>, Box<SExpr>),
+}
+
+/// One tape node. The tree shape of the source program is kept (loops and
+/// guards nest), but every name and affine form is pre-resolved and the
+/// barrier segmentation is baked in.
+#[derive(Clone, Debug)]
+enum Op {
+    Loop {
+        var: usize,
+        lower: SlotExpr,
+        upper: SlotExpr,
+        has_barrier: bool,
+        label: String,
+        body: Vec<Op>,
+    },
+    Assign {
+        arr: ArrRef,
+        row: SlotExpr,
+        col: SlotExpr,
+        op: AssignOp,
+        rhs: SExpr,
+    },
+    If {
+        pred: SlotPred,
+        has_barrier: bool,
+        then_ops: Vec<Op>,
+        else_ops: Vec<Op>,
+    },
+    Stage {
+        dst: usize,
+        src: usize,
+        row0: SlotExpr,
+        col0: SlotExpr,
+        rows: i64,
+        cols: i64,
+        mode: AllocMode,
+        guard: SlotPred,
+    },
+    RegMove {
+        load: bool,
+        reg: usize,
+        global: usize,
+        row0: SlotExpr,
+        col0: SlotExpr,
+        row_stride: i64,
+        col_stride: i64,
+        rows: i64,
+        cols: i64,
+        guard: SlotPred,
+    },
+    RegZero {
+        reg: usize,
+    },
+    Sync,
+}
+
+impl Op {
+    fn has_barrier(&self) -> bool {
+        match self {
+            Op::Sync | Op::Stage { .. } => true,
+            Op::Loop { has_barrier, .. } | Op::If { has_barrier, .. } => *has_barrier,
+            _ => false,
+        }
+    }
+}
+
+/// One global array of the tape.
+#[derive(Clone, Debug)]
+struct GlobalInfo {
+    name: String,
+    /// Whether the kernel body ever writes this array. Read-only arrays
+    /// skip the overlay lookup entirely.
+    written: bool,
+}
+
+/// Shared-tile shape.
+#[derive(Clone, Copy, Debug)]
+struct SmemDecl {
+    rows: i64,
+    cols: i64,
+    pad: i64,
+}
+
+/// Register-tile shape.
+#[derive(Clone, Copy, Debug)]
+struct RegDecl {
+    rows: i64,
+    cols: i64,
+}
+
+/// A program compiled for concrete bindings: launch shape plus the
+/// slot-resolved instruction tree. Compile once, execute many times.
+#[derive(Clone, Debug)]
+pub struct Tape {
+    /// Grid dimensions `(gx, gy)`.
+    pub grid: (i64, i64),
+    /// Block dimensions `(bx, by)` in threads.
+    pub block: (i64, i64),
+    n_slots: usize,
+    /// Mapped-variable slots and the builtin index each takes.
+    binds: Vec<(usize, Builtin)>,
+    tx_slot: usize,
+    ty_slot: usize,
+    sr_slot: usize,
+    sc_slot: usize,
+    gr_slot: usize,
+    gc_slot: usize,
+    ops: Vec<Op>,
+    globals: Vec<GlobalInfo>,
+    smem: Vec<SmemDecl>,
+    regs: Vec<RegDecl>,
+    /// `(global index, fill)` per `blank_checks` entry; flag `i` of the
+    /// runtime flag vector is computed from entry `i`.
+    blank_checks: Vec<(usize, Fill)>,
+    /// Flag-vector length; may exceed `blank_checks.len()` when guards
+    /// reference arrays with no check (those flags stay `false`, as in the
+    /// oracle).
+    n_blank_flags: usize,
+    prologues: Vec<MapKernel>,
+    /// Pre-resolved values for every name the prologue extents mention.
+    prologue_env: HashMap<String, i64>,
+}
+
+/// Identity-ish hasher for the packed element keys of a write overlay —
+/// the key is already well-mixed by the multiply.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("overlay keys are u64")
+    }
+    fn write_u64(&mut self, k: u64) {
+        self.0 = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// A block's private global-memory write log: packed element key → final
+/// value written by this block.
+type Overlay = HashMap<u64, f32, BuildHasherDefault<KeyHasher>>;
+
+const COORD_BITS: u32 = 28;
+const COORD_MASK: u64 = (1 << COORD_BITS) - 1;
+
+#[inline]
+fn pack_key(arr: usize, r: i64, c: i64) -> u64 {
+    ((arr as u64) << (2 * COORD_BITS))
+        | ((r as u64 & COORD_MASK) << COORD_BITS)
+        | (c as u64 & COORD_MASK)
+}
+
+#[inline]
+fn unpack_key(k: u64) -> (usize, i64, i64) {
+    (
+        (k >> (2 * COORD_BITS)) as usize,
+        ((k >> COORD_BITS) & COORD_MASK) as i64,
+        (k & COORD_MASK) as i64,
+    )
+}
+
+struct Compiler<'a> {
+    program: &'a Program,
+    bindings: &'a Bindings,
+    slots: SlotMap,
+    arr_refs: HashMap<String, ArrRef>,
+    globals: Vec<GlobalInfo>,
+    /// Array name → flag index, for guards' `blank_zero` references.
+    blank_index: HashMap<String, usize>,
+    n_blank_flags: usize,
+}
+
+impl Compiler<'_> {
+    fn resolve(&self, name: &str) -> i64 {
+        self.program.resolve(name, self.bindings)
+    }
+
+    fn expr(&self, e: &oa_loopir::AffineExpr) -> SlotExpr {
+        SlotExpr::compile(e, &self.slots, &|n| self.program.resolve(n, self.bindings))
+    }
+
+    fn pred(&mut self, p: &oa_loopir::Predicate) -> SlotPred {
+        // Split borrows: the blank-index map grows while names resolve.
+        let (program, bindings) = (self.program, self.bindings);
+        let blank_index = &mut self.blank_index;
+        let n_blank_flags = &mut self.n_blank_flags;
+        SlotPred::compile(
+            p,
+            &self.slots,
+            &|n| program.resolve(n, bindings),
+            &mut |name| {
+                *blank_index.entry(name.to_string()).or_insert_with(|| {
+                    // Guard references an array with no runtime check: give
+                    // it a fresh always-false flag, matching the oracle's
+                    // `unwrap_or(&false)`.
+                    let ix = *n_blank_flags;
+                    *n_blank_flags += 1;
+                    ix
+                })
+            },
+        )
+    }
+
+    fn arr(&self, name: &str) -> Result<ArrRef, ExecError> {
+        self.arr_refs
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExecError::MissingBuffer(name.to_string()))
+    }
+
+    fn global(&self, name: &str) -> Result<usize, ExecError> {
+        match self.arr(name)? {
+            ArrRef::Global(g) => Ok(g),
+            _ => Err(ExecError::MissingBuffer(name.to_string())),
+        }
+    }
+
+    fn shared(&self, name: &str) -> Result<usize, ExecError> {
+        match self.arr(name)? {
+            ArrRef::Shared(s) => Ok(s),
+            _ => Err(ExecError::MissingBuffer(name.to_string())),
+        }
+    }
+
+    fn reg(&self, name: &str) -> Result<usize, ExecError> {
+        match self.arr(name)? {
+            ArrRef::Reg(r) => Ok(r),
+            _ => Err(ExecError::MissingBuffer(name.to_string())),
+        }
+    }
+
+    fn scalar(&self, e: &ScalarExpr) -> Result<SExpr, ExecError> {
+        Ok(match e {
+            ScalarExpr::Load(acc) => SExpr::Load(
+                self.arr(&acc.array)?,
+                self.expr(&acc.row),
+                self.expr(&acc.col),
+            ),
+            ScalarExpr::Lit(v) => SExpr::Lit(*v),
+            ScalarExpr::Param(p) => SExpr::Param(p.clone(), self.bindings.scalars.get(p).copied()),
+            ScalarExpr::Bin(op, l, r) => {
+                SExpr::Bin(*op, Box::new(self.scalar(l)?), Box::new(self.scalar(r)?))
+            }
+        })
+    }
+
+    fn mark_written(&mut self, arr: ArrRef) {
+        if let ArrRef::Global(g) = arr {
+            self.globals[g].written = true;
+        }
+    }
+
+    fn reg_move(&mut self, rt: &RegTile, load: bool) -> Result<Op, ExecError> {
+        Ok(Op::RegMove {
+            load,
+            reg: self.reg(&rt.reg)?,
+            global: self.global(&rt.global)?,
+            row0: self.expr(&rt.row0),
+            col0: self.expr(&rt.col0),
+            row_stride: rt.row_stride,
+            col_stride: rt.col_stride,
+            rows: rt.rows,
+            cols: rt.cols,
+            guard: self.pred(&rt.guard),
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<Op>, ExecError> {
+        stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<Op, ExecError> {
+        Ok(match s {
+            Stmt::Loop(l) => {
+                // Bounds resolve in the enclosing scope, before the loop's
+                // own variable becomes a slot.
+                let lower = self.expr(&l.lower);
+                let upper = self.expr(&l.upper);
+                let var = self.slots.register(&l.var);
+                let body = self.stmts(&l.body)?;
+                Op::Loop {
+                    var,
+                    lower,
+                    upper,
+                    has_barrier: body.iter().any(Op::has_barrier),
+                    label: l.label.clone(),
+                    body,
+                }
+            }
+            Stmt::Assign(a) => {
+                let arr = self.arr(&a.lhs.array)?;
+                self.mark_written(arr);
+                Op::Assign {
+                    arr,
+                    row: self.expr(&a.lhs.row),
+                    col: self.expr(&a.lhs.col),
+                    op: a.op,
+                    rhs: self.scalar(&a.rhs)?,
+                }
+            }
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => {
+                let then_ops = self.stmts(then_body)?;
+                let else_ops = self.stmts(else_body)?;
+                Op::If {
+                    pred: self.pred(pred),
+                    has_barrier: then_ops.iter().chain(&else_ops).any(Op::has_barrier),
+                    then_ops,
+                    else_ops,
+                }
+            }
+            Stmt::Stage(st) => self.stage(st)?,
+            Stmt::RegLoad(rt) => self.reg_move(rt, true)?,
+            Stmt::RegStore(rt) => {
+                let op = self.reg_move(rt, false)?;
+                if let Op::RegMove { global, .. } = op {
+                    self.globals[global].written = true;
+                }
+                op
+            }
+            Stmt::RegZero(rt) => Op::RegZero {
+                reg: self.reg(&rt.reg)?,
+            },
+            Stmt::Sync => Op::Sync,
+        })
+    }
+
+    fn stage(&mut self, st: &SharedStage) -> Result<Op, ExecError> {
+        Ok(Op::Stage {
+            dst: self.shared(&st.dst)?,
+            src: self.global(&st.src)?,
+            row0: self.expr(&st.src_row0),
+            col0: self.expr(&st.src_col0),
+            rows: st.rows,
+            cols: st.cols,
+            mode: st.mode,
+            guard: self.pred(&st.guard),
+        })
+    }
+}
+
+impl Tape {
+    /// Lower `p` for concrete `bindings` into an executable tape.
+    pub fn compile(p: &Program, bindings: &Bindings) -> Result<Tape, ExecError> {
+        let launch = extract_launch(p, bindings)?;
+
+        let mut slots = SlotMap::new();
+        let tx_slot = slots.register("__tx");
+        let ty_slot = slots.register("__ty");
+        let sr_slot = slots.register("__sr");
+        let sc_slot = slots.register("__sc");
+        let gr_slot = slots.register("__gr");
+        let gc_slot = slots.register("__gc");
+        let binds: Vec<(usize, Builtin)> = launch
+            .binds
+            .iter()
+            .map(|(v, b)| (slots.register(v), *b))
+            .collect();
+
+        // Array tables: globals keep their names (for buffer lookup and
+        // overlay merge); shared/register tiles get dense arena indices.
+        let mut arr_refs = HashMap::new();
+        let mut globals = Vec::new();
+        let mut smem = Vec::new();
+        let mut regs = Vec::new();
+        for a in &p.arrays {
+            let r = match a.space {
+                MemSpace::Global => {
+                    globals.push(GlobalInfo {
+                        name: a.name.clone(),
+                        written: false,
+                    });
+                    ArrRef::Global(globals.len() - 1)
+                }
+                MemSpace::Shared => {
+                    smem.push(SmemDecl {
+                        rows: a.rows.as_const().expect("shared dims are constant"),
+                        cols: a.cols.as_const().expect("shared dims are constant"),
+                        pad: a.pad,
+                    });
+                    ArrRef::Shared(smem.len() - 1)
+                }
+                MemSpace::Reg => {
+                    regs.push(RegDecl {
+                        rows: a.rows.as_const().expect("reg dims constant"),
+                        cols: a.cols.as_const().expect("reg dims constant"),
+                    });
+                    ArrRef::Reg(regs.len() - 1)
+                }
+            };
+            arr_refs.insert(a.name.clone(), r);
+        }
+
+        let mut c = Compiler {
+            program: p,
+            bindings,
+            slots,
+            arr_refs,
+            globals,
+            blank_index: HashMap::new(),
+            n_blank_flags: 0,
+        };
+
+        // Runtime blank-zero checks, in program order: flag i belongs to
+        // check i. Guards referencing unchecked arrays get extra
+        // always-false flags appended during compilation below.
+        let mut blank_checks = Vec::new();
+        for chk in &p.blank_checks {
+            let decl = p
+                .array(&chk.array)
+                .ok_or_else(|| ExecError::MissingBuffer(chk.array.clone()))?;
+            let g = c.global(&chk.array)?;
+            c.blank_index.insert(chk.array.clone(), blank_checks.len());
+            blank_checks.push((g, decl.fill));
+            c.n_blank_flags += 1;
+        }
+
+        let ops = c.stmts(&launch.inner)?;
+
+        // Resolve every name the prologue extents mention so execution
+        // needs no Program/Bindings back-reference.
+        let mut prologue_env = HashMap::new();
+        for mk in &p.prologues {
+            for name in mk.rows.vars().chain(mk.cols.vars()) {
+                let v = c.resolve(name);
+                prologue_env.insert(name.to_string(), v);
+            }
+        }
+
+        Ok(Tape {
+            grid: launch.grid,
+            block: launch.block,
+            n_slots: c.slots.len(),
+            binds,
+            tx_slot,
+            ty_slot,
+            sr_slot,
+            sc_slot,
+            gr_slot,
+            gc_slot,
+            ops,
+            globals: c.globals,
+            smem,
+            regs,
+            blank_checks,
+            n_blank_flags: c.n_blank_flags,
+            prologues: p.prologues.clone(),
+            prologue_env,
+        })
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> i64 {
+        self.block.0 * self.block.1
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> i64 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Execute on the given buffers: prologue kernels, blank-zero checks,
+    /// then the block-parallel grid with deterministic overlay merge.
+    pub fn execute(&self, bufs: &mut Buffers) -> Result<(), ExecError> {
+        for mk in &self.prologues {
+            run_map_kernel(mk, bufs, &|n| self.prologue_env[n]);
+        }
+
+        let mut blank_flags = vec![false; self.n_blank_flags];
+        for (i, &(g, fill)) in self.blank_checks.iter().enumerate() {
+            let name = &self.globals[g].name;
+            let m = bufs
+                .get(name)
+                .ok_or_else(|| ExecError::MissingBuffer(name.clone()))?;
+            blank_flags[i] = blank_is_zero(m, fill);
+        }
+
+        let nblocks = self.total_blocks();
+        let overlays: Vec<Result<Overlay, ExecError>> = {
+            let mut base = Vec::with_capacity(self.globals.len());
+            for g in &self.globals {
+                base.push(
+                    bufs.get(&g.name)
+                        .ok_or_else(|| ExecError::MissingBuffer(g.name.clone()))?,
+                );
+            }
+            let base = &base;
+            let flags = &blank_flags;
+            (0..nblocks)
+                .into_par_iter()
+                .map(|rank| self.run_block(rank, base, flags))
+                .collect()
+        };
+
+        // Merge block write logs in (by, bx) order — the oracle's block
+        // loop order — so any cross-block overwrite resolves identically.
+        for res in overlays {
+            let overlay = res?;
+            for (key, v) in overlay {
+                let (g, r, c) = unpack_key(key);
+                bufs.get_mut(&self.globals[g].name)
+                    .expect("checked above")
+                    .set(r, c, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_block(
+        &self,
+        rank: i64,
+        base: &[&Matrix],
+        blank_flags: &[bool],
+    ) -> Result<Overlay, ExecError> {
+        let bx = rank % self.grid.0;
+        let by = rank / self.grid.0;
+        let nthreads = self.threads_per_block() as usize;
+
+        let mut frames = vec![0i64; nthreads * self.n_slots];
+        for ty in 0..self.block.1 {
+            for tx in 0..self.block.0 {
+                let tid = (tx + ty * self.block.0) as usize;
+                let frame = &mut frames[tid * self.n_slots..(tid + 1) * self.n_slots];
+                frame[self.tx_slot] = tx;
+                frame[self.ty_slot] = ty;
+                for &(slot, b) in &self.binds {
+                    frame[slot] = match b {
+                        Builtin::BlockX => bx,
+                        Builtin::BlockY => by,
+                        Builtin::ThreadX => tx,
+                        Builtin::ThreadY => ty,
+                    };
+                }
+            }
+        }
+
+        let mut st = BlockState {
+            tape: self,
+            nthreads,
+            frames,
+            smem: self
+                .smem
+                .iter()
+                .map(|d| Matrix::zeros_padded(d.rows, d.cols, d.pad))
+                .collect(),
+            regs: self
+                .regs
+                .iter()
+                .flat_map(|d| (0..nthreads).map(move |_| Matrix::zeros(d.rows, d.cols)))
+                .collect(),
+            overlay: Overlay::default(),
+            base,
+            blank_flags,
+        };
+        self.lockstep(&self.ops, &mut st)?;
+        Ok(st.overlay)
+    }
+
+    /// Lockstep execution of a tape segment by all threads of a block:
+    /// barrier-free ops run per-thread to completion; barrier-enclosing
+    /// loops and guards advance all threads together and must be uniform.
+    fn lockstep(&self, ops: &[Op], st: &mut BlockState<'_>) -> Result<(), ExecError> {
+        for op in ops {
+            if !op.has_barrier() {
+                for tid in 0..st.nthreads {
+                    self.exec_thread(op, tid, st)?;
+                }
+                continue;
+            }
+            match op {
+                Op::Sync => {} // all threads are here by construction
+                Op::Stage { .. } => self.exec_stage(op, st)?,
+                Op::Loop {
+                    var,
+                    lower,
+                    upper,
+                    label,
+                    body,
+                    ..
+                } => {
+                    let lo = lower.eval(st.frame(0));
+                    let hi = upper.eval(st.frame(0));
+                    for tid in 1..st.nthreads {
+                        let f = st.frame(tid);
+                        if lower.eval(f) != lo || upper.eval(f) != hi {
+                            return Err(ExecError::BarrierDivergence(format!(
+                                "loop {label} bounds differ across threads"
+                            )));
+                        }
+                    }
+                    for v in lo..hi {
+                        for tid in 0..st.nthreads {
+                            st.frame_mut(tid)[*var] = v;
+                        }
+                        self.lockstep(body, st)?;
+                    }
+                }
+                Op::If {
+                    pred,
+                    then_ops,
+                    else_ops,
+                    ..
+                } => {
+                    let first = pred.eval(st.frame(0), true, st.blank_flags);
+                    for tid in 1..st.nthreads {
+                        if pred.eval(st.frame(tid), false, st.blank_flags) != first {
+                            return Err(ExecError::BarrierDivergence(
+                                "guard enclosing a barrier diverges".into(),
+                            ));
+                        }
+                    }
+                    let body = if first { then_ops } else { else_ops };
+                    self.lockstep(body, st)?;
+                }
+                _ => unreachable!("has_barrier only flags Sync/Stage/Loop/If"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Cooperative staging: semantically a single whole-tile copy per
+    /// block, evaluated on thread 0's frame (thread0 = true), as in the
+    /// oracle.
+    fn exec_stage(&self, op: &Op, st: &mut BlockState<'_>) -> Result<(), ExecError> {
+        let Op::Stage {
+            dst,
+            src,
+            row0,
+            col0,
+            rows,
+            cols,
+            mode,
+            guard,
+        } = op
+        else {
+            unreachable!()
+        };
+        let r0 = row0.eval(st.frame(0));
+        let c0 = col0.eval(st.frame(0));
+        for c in 0..*cols {
+            for r in 0..*rows {
+                let f0 = st.frame_mut(0);
+                f0[self.sr_slot] = r0 + r;
+                f0[self.sc_slot] = c0 + c;
+                let v = if guard.eval(st.frame(0), true, st.blank_flags) {
+                    st.gread(*src, r0 + r, c0 + c)
+                } else {
+                    0.0
+                };
+                let tile = &mut st.smem[*dst];
+                match mode {
+                    AllocMode::NoChange => tile.set(r, c, v),
+                    AllocMode::Transpose => tile.set(c, r, v),
+                    AllocMode::Symmetry => {
+                        tile.set(r, c, v);
+                        tile.set(c, r, v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fully sequential execution of a barrier-free subtree by one thread.
+    fn exec_thread(&self, op: &Op, tid: usize, st: &mut BlockState<'_>) -> Result<(), ExecError> {
+        match op {
+            Op::Loop {
+                var,
+                lower,
+                upper,
+                body,
+                ..
+            } => {
+                let lo = lower.eval(st.frame(tid));
+                let hi = upper.eval(st.frame(tid));
+                for v in lo..hi {
+                    st.frame_mut(tid)[*var] = v;
+                    for inner in body {
+                        self.exec_thread(inner, tid, st)?;
+                    }
+                }
+            }
+            Op::Assign {
+                arr,
+                row,
+                col,
+                op,
+                rhs,
+            } => {
+                let v = self.eval_scalar(rhs, tid, st);
+                let f = st.frame(tid);
+                let r = row.eval(f);
+                let c = col.eval(f);
+                let old = st.read_elem(*arr, r, c, tid);
+                let new = match op {
+                    AssignOp::Assign => v,
+                    AssignOp::AddAssign => old + v,
+                    AssignOp::SubAssign => old - v,
+                };
+                st.write_elem(*arr, r, c, new, tid);
+            }
+            Op::If {
+                pred,
+                then_ops,
+                else_ops,
+                ..
+            } => {
+                let body = if pred.eval(st.frame(tid), tid == 0, st.blank_flags) {
+                    then_ops
+                } else {
+                    else_ops
+                };
+                for inner in body {
+                    self.exec_thread(inner, tid, st)?;
+                }
+            }
+            Op::RegMove {
+                load,
+                reg,
+                global,
+                row0,
+                col0,
+                row_stride,
+                col_stride,
+                rows,
+                cols,
+                guard,
+            } => {
+                let f = st.frame(tid);
+                let r0 = row0.eval(f);
+                let c0 = col0.eval(f);
+                for c in 0..*cols {
+                    for r in 0..*rows {
+                        let gr = r0 + r * row_stride;
+                        let gc = c0 + c * col_stride;
+                        let f = st.frame_mut(tid);
+                        f[self.gr_slot] = gr;
+                        f[self.gc_slot] = gc;
+                        if !guard.eval(st.frame(tid), tid == 0, st.blank_flags) {
+                            continue;
+                        }
+                        if *load {
+                            let v = st.gread(*global, gr, gc);
+                            st.reg_tile(*reg, tid).set(r, c, v);
+                        } else {
+                            let v = st.reg_tile(*reg, tid).get(r, c);
+                            st.gwrite(*global, gr, gc, v);
+                        }
+                    }
+                }
+            }
+            Op::RegZero { reg } => {
+                st.reg_tile(*reg, tid).data.fill(0.0);
+            }
+            Op::Sync | Op::Stage { .. } => {
+                unreachable!("barrier ops handled in lockstep")
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_scalar(&self, e: &SExpr, tid: usize, st: &BlockState<'_>) -> f32 {
+        match e {
+            SExpr::Load(arr, row, col) => {
+                let f = st.frame(tid);
+                st.read_elem(*arr, row.eval(f), col.eval(f), tid)
+            }
+            SExpr::Lit(v) => *v,
+            SExpr::Param(name, v) => v.unwrap_or_else(|| panic!("unbound scalar parameter {name}")),
+            SExpr::Bin(op, l, r) => {
+                let a = self.eval_scalar(l, tid, st);
+                let b = self.eval_scalar(r, tid, st);
+                op.apply(a, b)
+            }
+        }
+    }
+}
+
+/// Mutable per-block execution state.
+struct BlockState<'a> {
+    tape: &'a Tape,
+    nthreads: usize,
+    /// All thread frames, contiguous: `frames[tid*n_slots..][..n_slots]`.
+    frames: Vec<i64>,
+    smem: Vec<Matrix>,
+    /// Dense register arena, `regs[reg * nthreads + tid]`.
+    regs: Vec<Matrix>,
+    overlay: Overlay,
+    base: &'a [&'a Matrix],
+    blank_flags: &'a [bool],
+}
+
+impl BlockState<'_> {
+    #[inline]
+    fn frame(&self, tid: usize) -> &[i64] {
+        let n = self.tape.n_slots;
+        &self.frames[tid * n..(tid + 1) * n]
+    }
+
+    #[inline]
+    fn frame_mut(&mut self, tid: usize) -> &mut [i64] {
+        let n = self.tape.n_slots;
+        &mut self.frames[tid * n..(tid + 1) * n]
+    }
+
+    #[inline]
+    fn reg_tile(&mut self, reg: usize, tid: usize) -> &mut Matrix {
+        &mut self.regs[reg * self.nthreads + tid]
+    }
+
+    /// Global read: the block's own writes shadow the snapshot.
+    #[inline]
+    fn gread(&self, g: usize, r: i64, c: i64) -> f32 {
+        if self.tape.globals[g].written {
+            if let Some(&v) = self.overlay.get(&pack_key(g, r, c)) {
+                return v;
+            }
+        }
+        self.base[g].get(r, c)
+    }
+
+    #[inline]
+    fn gwrite(&mut self, g: usize, r: i64, c: i64, v: f32) {
+        self.overlay.insert(pack_key(g, r, c), v);
+    }
+
+    #[inline]
+    fn read_elem(&self, arr: ArrRef, r: i64, c: i64, tid: usize) -> f32 {
+        match arr {
+            ArrRef::Global(g) => self.gread(g, r, c),
+            ArrRef::Shared(s) => self.smem[s].get(r, c),
+            ArrRef::Reg(x) => self.regs[x * self.nthreads + tid].get(r, c),
+        }
+    }
+
+    #[inline]
+    fn write_elem(&mut self, arr: ArrRef, r: i64, c: i64, v: f32, tid: usize) {
+        match arr {
+            ArrRef::Global(g) => self.gwrite(g, r, c, v),
+            ArrRef::Shared(s) => self.smem[s].set(r, c, v),
+            ArrRef::Reg(x) => self.reg_tile(x, tid).set(r, c, v),
+        }
+    }
+}
+
+/// Compile `p` and execute it on `bufs` — the fast-path equivalent of
+/// [`crate::exec::exec_program`]. Prefer building a [`Tape`] once when
+/// running the same program repeatedly.
+pub fn exec_program_fast(
+    p: &Program,
+    bindings: &Bindings,
+    bufs: &mut Buffers,
+) -> Result<(), ExecError> {
+    Tape::compile(p, bindings)?.execute(bufs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::exec_program;
+    use oa_loopir::builder::{gemm_nn_like, trmm_ll_like};
+    use oa_loopir::interp::alloc_buffers;
+    use oa_loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
+
+    fn params() -> TileParams {
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
+    }
+
+    /// Bit-exact comparison of tape vs oracle on fresh buffers.
+    fn assert_bit_identical(p: &Program, n: i64, seed: u64) {
+        let b = Bindings::square(n);
+        let mut oracle = alloc_buffers(p, &b, seed);
+        exec_program(p, &b, &mut oracle).expect("oracle exec");
+        let mut fast = alloc_buffers(p, &b, seed);
+        exec_program_fast(p, &b, &mut fast).expect("tape exec");
+        for (name, m) in &oracle {
+            let f = &fast[name];
+            assert_eq!(
+                m.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                f.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "buffer {name} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_full_scheme_bit_identical() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        assert_bit_identical(&p, 16, 3);
+        assert_bit_identical(&p, 32, 7);
+        assert_bit_identical(&p, 19, 23); // ragged
+    }
+
+    #[test]
+    fn trmm_scheme_bit_identical() {
+        let mut p = trmm_ll_like("t");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        oa_loopir::transform::peel_triangular(&mut p, "A").unwrap();
+        assert_bit_identical(&p, 16, 5);
+        assert_bit_identical(&p, 24, 9);
+    }
+
+    #[test]
+    fn grouping_only_bit_identical() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        assert_bit_identical(&p, 19, 23);
+    }
+
+    #[test]
+    fn unmapped_program_fails_compile() {
+        let p = gemm_nn_like("g");
+        let err = Tape::compile(&p, &Bindings::square(8)).unwrap_err();
+        assert!(matches!(err, ExecError::Launch(_)));
+    }
+
+    #[test]
+    fn repeated_execution_is_deterministic() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        let b = Bindings::square(32);
+        let tape = Tape::compile(&p, &b).unwrap();
+        let mut first = alloc_buffers(&p, &b, 1);
+        tape.execute(&mut first).unwrap();
+        let mut second = alloc_buffers(&p, &b, 1);
+        tape.execute(&mut second).unwrap();
+        assert_eq!(first["C"].data, second["C"].data);
+    }
+
+    #[test]
+    fn key_packing_roundtrip() {
+        for &(a, r, c) in &[
+            (0usize, 0i64, 0i64),
+            (3, 1023, 4095),
+            (7, 1 << 27, (1 << 28) - 1),
+        ] {
+            assert_eq!(unpack_key(pack_key(a, r, c)), (a, r, c));
+        }
+    }
+}

@@ -98,7 +98,10 @@ impl ArrayDecl {
         cols: AffineExpr,
         fill: Fill,
     ) -> Self {
-        Self { fill, ..Self::global(name, rows, cols) }
+        Self {
+            fill,
+            ..Self::global(name, rows, cols)
+        }
     }
 
     /// A constant-size shared-memory tile.

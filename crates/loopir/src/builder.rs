@@ -10,12 +10,7 @@ use crate::scalar::{Access, ScalarExpr};
 use crate::stmt::{AssignOp, AssignStmt, Loop, Stmt};
 
 /// Build the triply nested update statement `C[i][j] (op)= A[ar][ac] * B[br][bc]`.
-pub fn mad_stmt(
-    c: (&str, &str),
-    a: (&str, &str),
-    b: (&str, &str),
-    op: AssignOp,
-) -> Stmt {
+pub fn mad_stmt(c: (&str, &str), a: (&str, &str), b: (&str, &str), op: AssignOp) -> Stmt {
     Stmt::Assign(AssignStmt::new(
         Access::idx("C", c.0, c.1),
         op,
@@ -36,15 +31,32 @@ pub fn mad_stmt(
 /// ```
 pub fn gemm_nn_like(name: &str) -> Program {
     let mut p = Program::new(name, &["M", "N", "K"]);
-    p.declare(ArrayDecl::global("A", AffineExpr::var("M"), AffineExpr::var("K")));
-    p.declare(ArrayDecl::global("B", AffineExpr::var("K"), AffineExpr::var("N")));
-    p.declare(ArrayDecl::global("C", AffineExpr::var("M"), AffineExpr::var("N")));
+    p.declare(ArrayDecl::global(
+        "A",
+        AffineExpr::var("M"),
+        AffineExpr::var("K"),
+    ));
+    p.declare(ArrayDecl::global(
+        "B",
+        AffineExpr::var("K"),
+        AffineExpr::var("N"),
+    ));
+    p.declare(ArrayDecl::global(
+        "C",
+        AffineExpr::var("M"),
+        AffineExpr::var("N"),
+    ));
     let lk = Loop::new(
         "Lk",
         "k",
         AffineExpr::zero(),
         AffineExpr::var("K"),
-        vec![mad_stmt(("i", "j"), ("i", "k"), ("k", "j"), AssignOp::AddAssign)],
+        vec![mad_stmt(
+            ("i", "j"),
+            ("i", "k"),
+            ("k", "j"),
+            AssignOp::AddAssign,
+        )],
     );
     let lj = Loop::new(
         "Lj",

@@ -75,8 +75,12 @@ impl DepGraph {
         walker.walk_stmts(&program.body, &mut Vec::new());
         let mut deps: Vec<Dependence> = walker.edges.into_keys().collect();
         deps.sort_by(|a, b| {
-            (a.src_stmt, a.dst_stmt, &a.array, a.kind as u8)
-                .cmp(&(b.src_stmt, b.dst_stmt, &b.array, b.kind as u8))
+            (a.src_stmt, a.dst_stmt, &a.array, a.kind as u8).cmp(&(
+                b.src_stmt,
+                b.dst_stmt,
+                &b.array,
+                b.kind as u8,
+            ))
         });
         Self { deps }
     }
@@ -85,21 +89,29 @@ impl DepGraph {
     /// loop with the given label — i.e. its iterations may execute in
     /// parallel with no further machinery.
     pub fn loop_is_parallel(&self, label: &str) -> bool {
-        !self.deps.iter().any(|d| d.carrier.as_deref() == Some(label))
+        !self
+            .deps
+            .iter()
+            .any(|d| d.carrier.as_deref() == Some(label))
     }
 
     /// True when the only dependences carried by the loop are reduction
     /// self-dependences — the loop may be reordered/tiled (associativity)
     /// but not trivially parallelized.
     pub fn loop_is_reduction(&self, label: &str) -> bool {
-        let carried: Vec<_> =
-            self.deps.iter().filter(|d| d.carrier.as_deref() == Some(label)).collect();
+        let carried: Vec<_> = self
+            .deps
+            .iter()
+            .filter(|d| d.carrier.as_deref() == Some(label))
+            .collect();
         !carried.is_empty() && carried.iter().all(|d| d.is_reduction)
     }
 
     /// Dependences carried by a given loop label.
     pub fn carried_by<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Dependence> + 'a {
-        self.deps.iter().filter(move |d| d.carrier.as_deref() == Some(label))
+        self.deps
+            .iter()
+            .filter(move |d| d.carrier.as_deref() == Some(label))
     }
 }
 
@@ -136,7 +148,11 @@ impl<'a> Walker<'a> {
             match s {
                 Stmt::Loop(l) => self.walk_loop(l),
                 Stmt::Assign(a) => self.visit_assign(a),
-                Stmt::If { pred, then_body, else_body } => {
+                Stmt::If {
+                    pred,
+                    then_body,
+                    else_body,
+                } => {
                     // Polyhedral sequences (the only input to legality
                     // checking) contain affine guards only; the special
                     // thread0/blank flags default permissively.
@@ -182,7 +198,13 @@ impl<'a> Walker<'a> {
     }
 
     fn current_instance(&self, stmt: usize) -> Instance {
-        (stmt, self.iter_stack.iter().map(|(lbl, _, v)| (lbl.clone(), *v)).collect())
+        (
+            stmt,
+            self.iter_stack
+                .iter()
+                .map(|(lbl, _, v)| (lbl.clone(), *v))
+                .collect(),
+        )
     }
 
     fn visit_assign(&mut self, a: &crate::stmt::AssignStmt) {
@@ -221,7 +243,10 @@ impl<'a> Walker<'a> {
             if let Some(writer) = self.last_writer.get(key) {
                 self.record(DepKind::Flow, &key.0, writer.clone(), inst.clone(), *is_acc);
             }
-            self.readers.entry(key.clone()).or_default().push(inst.clone());
+            self.readers
+                .entry(key.clone())
+                .or_default()
+                .push(inst.clone());
         }
 
         // Then the write.
@@ -385,7 +410,10 @@ mod tests {
             ],
         )))];
         let g = DepGraph::compute(&p, &Bindings::square(4));
-        assert!(g.deps.iter().any(|d| d.kind == DepKind::Anti && d.carrier.is_none()));
+        assert!(g
+            .deps
+            .iter()
+            .any(|d| d.kind == DepKind::Anti && d.carrier.is_none()));
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl AffineExpr {
 
     /// A constant expression.
     pub fn cst(c: i64) -> Self {
-        Self { terms: BTreeMap::new(), constant: c }
+        Self {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A single variable with coefficient 1.
@@ -290,7 +293,11 @@ impl AffineCond {
 
     /// Rename a variable on both sides.
     pub fn rename(&self, from: &str, to: &str) -> Self {
-        Self { lhs: self.lhs.rename(from, to), op: self.op, rhs: self.rhs.rename(from, to) }
+        Self {
+            lhs: self.lhs.rename(from, to),
+            op: self.op,
+            rhs: self.rhs.rename(from, to),
+        }
     }
 
     /// Substitute an expression for a variable on both sides.
@@ -334,12 +341,18 @@ impl Predicate {
 
     /// A predicate with a single affine conjunct.
     pub fn cond(lhs: AffineExpr, op: CmpOp, rhs: AffineExpr) -> Self {
-        Self { conds: vec![AffineCond::new(lhs, op, rhs)], ..Self::default() }
+        Self {
+            conds: vec![AffineCond::new(lhs, op, rhs)],
+            ..Self::default()
+        }
     }
 
     /// The `threadIdx == (0,0)` predicate.
     pub fn thread0() -> Self {
-        Self { thread0_only: true, ..Self::default() }
+        Self {
+            thread0_only: true,
+            ..Self::default()
+        }
     }
 
     /// Conjoin another affine condition.
@@ -371,7 +384,11 @@ impl Predicate {
     /// Substitute an expression for a variable in every affine conjunct.
     pub fn subst(&self, name: &str, replacement: &AffineExpr) -> Self {
         Self {
-            conds: self.conds.iter().map(|c| c.subst(name, replacement)).collect(),
+            conds: self
+                .conds
+                .iter()
+                .map(|c| c.subst(name, replacement))
+                .collect(),
             thread0_only: self.thread0_only,
             blank_zero: self.blank_zero.clone(),
             blank_zero_negated: self.blank_zero_negated,
@@ -452,7 +469,9 @@ mod tests {
 
     #[test]
     fn eval_linear() {
-        let e = AffineExpr::term("i", 2).add(&AffineExpr::term("j", -1)).add_const(10);
+        let e = AffineExpr::term("i", 2)
+            .add(&AffineExpr::term("j", -1))
+            .add_const(10);
         assert_eq!(e.eval(&env(&[("i", 3), ("j", 4)])), 2 * 3 - 4 + 10);
     }
 
@@ -478,7 +497,9 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = AffineExpr::term("i", 2).add(&AffineExpr::term("j", -1)).add_const(-3);
+        let e = AffineExpr::term("i", 2)
+            .add(&AffineExpr::term("j", -1))
+            .add_const(-3);
         assert_eq!(e.to_string(), "2*i - j - 3");
         assert_eq!(AffineExpr::cst(0).to_string(), "0");
         assert_eq!(AffineExpr::var("k").to_string(), "k");
@@ -504,7 +525,10 @@ mod tests {
         assert!(p0.eval(&|_| 0, true, false));
         assert!(!p0.eval(&|_| 0, false, false));
 
-        let bz = Predicate { blank_zero: Some("A".into()), ..Predicate::default() };
+        let bz = Predicate {
+            blank_zero: Some("A".into()),
+            ..Predicate::default()
+        };
         assert!(bz.eval(&|_| 0, false, true));
         assert!(!bz.eval(&|_| 0, false, false));
 

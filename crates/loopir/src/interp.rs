@@ -71,26 +71,42 @@ pub struct Matrix {
 impl Matrix {
     /// A zero-filled matrix.
     pub fn zeros(rows: i64, cols: i64) -> Self {
-        Self { rows, cols, ld: rows, data: vec![0.0; (rows * cols) as usize] }
+        Self {
+            rows,
+            cols,
+            ld: rows,
+            data: vec![0.0; (rows * cols) as usize],
+        }
     }
 
     /// A zero-filled matrix with an explicit leading dimension.
     pub fn zeros_padded(rows: i64, cols: i64, pad: i64) -> Self {
         let ld = rows + pad;
-        Self { rows, cols, ld, data: vec![0.0; (ld * cols) as usize] }
+        Self {
+            rows,
+            cols,
+            ld,
+            data: vec![0.0; (ld * cols) as usize],
+        }
     }
 
     /// Element read (column-major).
     #[inline]
     pub fn get(&self, r: i64, c: i64) -> f32 {
-        debug_assert!(r >= 0 && r < self.ld && c >= 0 && c < self.cols, "({r},{c}) out of bounds");
+        debug_assert!(
+            r >= 0 && r < self.ld && c >= 0 && c < self.cols,
+            "({r},{c}) out of bounds"
+        );
         self.data[(r + c * self.ld) as usize]
     }
 
     /// Element write (column-major).
     #[inline]
     pub fn set(&mut self, r: i64, c: i64, v: f32) {
-        debug_assert!(r >= 0 && r < self.ld && c >= 0 && c < self.cols, "({r},{c}) out of bounds");
+        debug_assert!(
+            r >= 0 && r < self.ld && c >= 0 && c < self.cols,
+            "({r},{c}) out of bounds"
+        );
         self.data[(r + c * self.ld) as usize] = v;
     }
 
@@ -99,7 +115,9 @@ impl Matrix {
     pub fn fill_pseudo(&mut self, seed: u64) {
         let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         for v in &mut self.data {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
         }
     }
@@ -251,7 +269,11 @@ impl<'a> Interp<'a> {
                 };
                 m.set(r, c, new);
             }
-            Stmt::If { pred, then_body, else_body } => {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => {
                 if self.eval_pred(pred) {
                     self.exec_stmts(then_body, bufs);
                 } else {
@@ -475,12 +497,12 @@ pub fn equivalent_on(
             written.push(&a.lhs.array);
         }
     }
-    written.iter().all(|name| {
-        match (ref_out.get(*name), cand_out.get(*name)) {
+    written
+        .iter()
+        .all(|name| match (ref_out.get(*name), cand_out.get(*name)) {
             (Some(r), Some(c)) => r.max_abs_diff(c) <= tol,
             _ => false,
-        }
-    })
+        })
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod interp;
 pub mod nest;
 pub mod pretty;
 pub mod scalar;
+pub mod slots;
 pub mod stmt;
 pub mod transform;
 
@@ -43,5 +44,6 @@ pub use arrays::{AllocMode, ArrayDecl, Fill, MemSpace};
 pub use expr::{AffineCond, AffineExpr, CmpOp, Predicate};
 pub use nest::{BlankZeroCheck, DerivedParam, MapKernel, Program};
 pub use scalar::{Access, BinOp, ScalarExpr};
+pub use slots::{SlotCond, SlotExpr, SlotMap, SlotPred};
 pub use stmt::{AssignOp, AssignStmt, Loop, LoopMapping, RegTile, SharedStage, Stmt};
 pub use transform::{TileParams, TilingInfo, TransformError};

@@ -19,14 +19,26 @@ pub fn pretty_program(p: &Program) -> String {
             a.rows,
             a.cols,
             a.space,
-            if a.pad > 0 { format!(" pad+{}", a.pad) } else { String::new() }
+            if a.pad > 0 {
+                format!(" pad+{}", a.pad)
+            } else {
+                String::new()
+            }
         );
     }
     for mk in &p.prologues {
-        let _ = writeln!(out, "// GM_map kernel: {} = {}({})", mk.dst, mk.mode, mk.src);
+        let _ = writeln!(
+            out,
+            "// GM_map kernel: {} = {}({})",
+            mk.dst, mk.mode, mk.src
+        );
     }
     for chk in &p.blank_checks {
-        let _ = writeln!(out, "// runtime: blank_zero_{} = check_blank_zero({});", chk.array, chk.array);
+        let _ = writeln!(
+            out,
+            "// runtime: blank_zero_{} = check_blank_zero({});",
+            chk.array, chk.array
+        );
     }
     pretty_stmts(&p.body, 0, &mut out);
     out
@@ -58,7 +70,11 @@ pub fn pretty_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
             Stmt::Assign(a) => {
                 let _ = writeln!(out, "{pad}{a}");
             }
-            Stmt::If { pred, then_body, else_body } => {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => {
                 let _ = writeln!(out, "{pad}if ({pred}) {{");
                 pretty_stmts(then_body, depth + 1, out);
                 if else_body.is_empty() {
@@ -80,7 +96,14 @@ pub fn pretty_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
                 let _ = writeln!(
                     out,
                     "{pad}__reg_load({}[{}x{}] <- {}[{}][{}], stride ({}, {}));",
-                    rt.reg, rt.rows, rt.cols, rt.global, rt.row0, rt.col0, rt.row_stride, rt.col_stride
+                    rt.reg,
+                    rt.rows,
+                    rt.cols,
+                    rt.global,
+                    rt.row0,
+                    rt.col0,
+                    rt.row_stride,
+                    rt.col_stride
                 );
             }
             Stmt::RegZero(rt) => {
@@ -90,7 +113,14 @@ pub fn pretty_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
                 let _ = writeln!(
                     out,
                     "{pad}__reg_store({}[{}][{}] <- {}[{}x{}], stride ({}, {}));",
-                    rt.global, rt.row0, rt.col0, rt.reg, rt.rows, rt.cols, rt.row_stride, rt.col_stride
+                    rt.global,
+                    rt.row0,
+                    rt.col0,
+                    rt.reg,
+                    rt.rows,
+                    rt.cols,
+                    rt.row_stride,
+                    rt.col_stride
                 );
             }
             Stmt::Sync => {

@@ -29,7 +29,12 @@ pub struct Access {
 impl Access {
     /// Construct a plain access.
     pub fn new(array: impl Into<String>, row: AffineExpr, col: AffineExpr) -> Self {
-        Self { array: array.into(), row, col, mirrored: false }
+        Self {
+            array: array.into(),
+            row,
+            col,
+            mirrored: false,
+        }
     }
 
     /// Shorthand: `X[r][c]` with single-variable subscripts.
@@ -40,7 +45,10 @@ impl Access {
     /// A shadow-area access: physically reads `X[r][c]` but logically
     /// denotes element `(c, r)` of the symmetric matrix.
     pub fn mirrored_idx(array: impl Into<String>, r: &str, c: &str) -> Self {
-        Self { mirrored: true, ..Self::idx(array, r, c) }
+        Self {
+            mirrored: true,
+            ..Self::idx(array, r, c)
+        }
     }
 
     /// Substitute an affine expression for a variable in both subscripts.
@@ -127,16 +135,19 @@ pub enum ScalarExpr {
 
 impl ScalarExpr {
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Bin(BinOp::Add, Box::new(a), Box::new(b))
     }
 
     /// `a / b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(a: ScalarExpr, b: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Bin(BinOp::Div, Box::new(a), Box::new(b))
     }

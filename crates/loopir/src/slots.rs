@@ -1,0 +1,295 @@
+//! Slot resolution: compiling name-based affine expressions and predicates
+//! down to integer-indexed forms evaluable over a flat `&[i64]` frame.
+//!
+//! The tree-walking interpreters resolve every variable name through a
+//! `HashMap<String, i64>` environment on every evaluation.  For the GPU
+//! executor that cost dominates: each thread of each block hashes the same
+//! handful of strings millions of times.  This module does the name
+//! resolution **once**: a [`SlotMap`] interns every live variable to a
+//! frame index, and [`SlotExpr`] / [`SlotPred`] are the pre-resolved
+//! residues of [`AffineExpr`] / [`Predicate`] in which
+//!
+//! * registered variables became `(slot, coefficient)` pairs, and
+//! * everything else (size parameters, derived ceil-div parameters) was
+//!   folded into the constant via the caller's resolve function —
+//!   mirroring the interpreter's `env.get(name).unwrap_or_else(resolve)`
+//!   lookup order exactly.
+//!
+//! Evaluation is then a dot product over a dense frame with no hashing and
+//! no allocation.
+
+use crate::expr::{AffineExpr, CmpOp, Predicate};
+use std::collections::HashMap;
+
+/// An interning map from variable names to frame slots.
+///
+/// A name is a *slot* (per-thread mutable state: loop iterators, mapped
+/// block/thread indices, the staging/tile specials) iff it was registered
+/// here; any other name appearing in an expression is a constant parameter
+/// to be folded at compile time.
+#[derive(Debug, Default, Clone)]
+pub struct SlotMap {
+    names: HashMap<String, usize>,
+}
+
+impl SlotMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name`, returning its slot (existing slot if already
+    /// registered — re-registration is idempotent, so sibling loops
+    /// reusing an iterator name share a slot exactly like they share an
+    /// environment entry).
+    pub fn register(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.names.get(name) {
+            return s;
+        }
+        let s = self.names.len();
+        self.names.insert(name.to_string(), s);
+        s
+    }
+
+    /// The slot of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of slots; the per-thread frame length.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no slot has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// An affine expression with all names resolved: `Σ cₛ·frame[s] + c₀`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotExpr {
+    /// `(slot, coefficient)` pairs for the registered variables.
+    pub terms: Vec<(usize, i64)>,
+    /// The constant, including every folded parameter.
+    pub constant: i64,
+}
+
+impl SlotExpr {
+    /// A constant expression.
+    pub fn cst(c: i64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Compile `e` against the slot map: registered names become terms,
+    /// unregistered names are folded through `resolve`.
+    pub fn compile(e: &AffineExpr, slots: &SlotMap, resolve: &dyn Fn(&str) -> i64) -> Self {
+        let mut terms = Vec::new();
+        let mut constant = e.constant();
+        for (name, coeff) in e.terms() {
+            match slots.get(name) {
+                Some(s) => terms.push((s, coeff)),
+                None => constant += coeff * resolve(name),
+            }
+        }
+        Self { terms, constant }
+    }
+
+    /// `Some(c)` when no slots remain — the expression is a compile-time
+    /// constant.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.constant)
+    }
+
+    /// Evaluate over a frame.
+    #[inline]
+    pub fn eval(&self, frame: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(s, c) in &self.terms {
+            acc += c * frame[s];
+        }
+        acc
+    }
+}
+
+/// One pre-resolved comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotCond {
+    /// Left-hand side.
+    pub lhs: SlotExpr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: SlotExpr,
+}
+
+impl SlotCond {
+    /// Evaluate over a frame.
+    #[inline]
+    pub fn eval(&self, frame: &[i64]) -> bool {
+        self.op.eval(self.lhs.eval(frame), self.rhs.eval(frame))
+    }
+}
+
+/// A pre-resolved guard predicate.
+///
+/// The `blank_zero` special is resolved to an index into the executor's
+/// runtime blank-flag vector (the flags themselves are only known after
+/// the prologue kernels run, so they stay an execution-time input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotPred {
+    /// Affine conjuncts; empty means `true` modulo the specials.
+    pub conds: Vec<SlotCond>,
+    /// Require `threadIdx == (0, 0)`.
+    pub thread0_only: bool,
+    /// Index of the runtime blank-zero flag this predicate consults.
+    pub blank_flag: Option<usize>,
+    /// Negate the blank-zero requirement.
+    pub blank_negated: bool,
+}
+
+impl SlotPred {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Self {
+            conds: Vec::new(),
+            thread0_only: false,
+            blank_flag: None,
+            blank_negated: false,
+        }
+    }
+
+    /// Compile `p`; `blank_index` maps a checked array name to its flag
+    /// index in the executor's flag vector.
+    pub fn compile(
+        p: &Predicate,
+        slots: &SlotMap,
+        resolve: &dyn Fn(&str) -> i64,
+        blank_index: &mut dyn FnMut(&str) -> usize,
+    ) -> Self {
+        Self {
+            conds: p
+                .conds
+                .iter()
+                .map(|c| SlotCond {
+                    lhs: SlotExpr::compile(&c.lhs, slots, resolve),
+                    op: c.op,
+                    rhs: SlotExpr::compile(&c.rhs, slots, resolve),
+                })
+                .collect(),
+            thread0_only: p.thread0_only,
+            blank_flag: p.blank_zero.as_deref().map(&mut *blank_index),
+            blank_negated: p.blank_zero_negated,
+        }
+    }
+
+    /// True when nothing can ever make this predicate false.
+    pub fn is_always(&self) -> bool {
+        self.conds.is_empty() && !self.thread0_only && self.blank_flag.is_none()
+    }
+
+    /// Evaluate over a frame plus the two runtime specials.
+    #[inline]
+    pub fn eval(&self, frame: &[i64], thread0: bool, blank_flags: &[bool]) -> bool {
+        if self.thread0_only && !thread0 {
+            return false;
+        }
+        if let Some(ix) = self.blank_flag {
+            if blank_flags[ix] == self.blank_negated {
+                return false;
+            }
+        }
+        self.conds.iter().all(|c| c.eval(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut m = SlotMap::new();
+        let a = m.register("i");
+        let b = m.register("k");
+        assert_ne!(a, b);
+        assert_eq!(m.register("i"), a);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("k"), Some(b));
+        assert_eq!(m.get("zzz"), None);
+    }
+
+    #[test]
+    fn compile_folds_unregistered_names() {
+        let mut m = SlotMap::new();
+        let si = m.register("i");
+        // 2*i + 3*M + 1  with M unregistered and resolve(M) = 10.
+        let e = AffineExpr::term("i", 2)
+            .add(&AffineExpr::term("M", 3))
+            .add_const(1);
+        let c = SlotExpr::compile(&e, &m, &|n| match n {
+            "M" => 10,
+            _ => panic!("unexpected resolve of {n}"),
+        });
+        assert_eq!(c.terms, vec![(si, 2)]);
+        assert_eq!(c.constant, 31);
+        let mut frame = vec![0i64; m.len()];
+        frame[si] = 4;
+        assert_eq!(c.eval(&frame), 39);
+    }
+
+    #[test]
+    fn fully_constant_expression() {
+        let m = SlotMap::new();
+        let e = AffineExpr::term("N", 2).add_const(5);
+        let c = SlotExpr::compile(&e, &m, &|_| 8);
+        assert_eq!(c.as_const(), Some(21));
+    }
+
+    #[test]
+    fn pred_compile_and_eval() {
+        use crate::expr::Predicate;
+        let mut m = SlotMap::new();
+        let si = m.register("i");
+        let p = Predicate::cond(AffineExpr::var("i"), CmpOp::Lt, AffineExpr::var("M"));
+        let mut blank = |_: &str| 0usize;
+        let c = SlotPred::compile(&p, &m, &|_| 7, &mut blank);
+        let mut frame = vec![0i64; m.len()];
+        frame[si] = 6;
+        assert!(c.eval(&frame, false, &[]));
+        frame[si] = 7;
+        assert!(!c.eval(&frame, false, &[]));
+    }
+
+    #[test]
+    fn pred_specials() {
+        use crate::expr::Predicate;
+        let m = SlotMap::new();
+        let mut blank = |_: &str| 0usize;
+        let t0 = SlotPred::compile(&Predicate::thread0(), &m, &|_| 0, &mut blank);
+        assert!(t0.eval(&[], true, &[]));
+        assert!(!t0.eval(&[], false, &[]));
+
+        let bz = Predicate {
+            blank_zero: Some("A".into()),
+            ..Predicate::default()
+        };
+        let c = SlotPred::compile(&bz, &m, &|_| 0, &mut blank);
+        assert_eq!(c.blank_flag, Some(0));
+        assert!(c.eval(&[], false, &[true]));
+        assert!(!c.eval(&[], false, &[false]));
+
+        let nbz = Predicate {
+            blank_zero: Some("A".into()),
+            blank_zero_negated: true,
+            ..Predicate::default()
+        };
+        let c = SlotPred::compile(&nbz, &m, &|_| 0, &mut blank);
+        assert!(c.eval(&[], false, &[false]));
+        assert!(!c.eval(&[], false, &[true]));
+    }
+}

@@ -186,7 +186,11 @@ pub enum Stmt {
 impl Stmt {
     /// Convenience constructor for a guarded block with no else branch.
     pub fn guarded(pred: Predicate, body: Vec<Stmt>) -> Stmt {
-        Stmt::If { pred, then_body: body, else_body: Vec::new() }
+        Stmt::If {
+            pred,
+            then_body: body,
+            else_body: Vec::new(),
+        }
     }
 
     /// Apply an access-rewriting function to every access in this subtree.
@@ -202,7 +206,11 @@ impl Stmt {
                 op: a.op,
                 rhs: a.rhs.map_accesses(f),
             }),
-            Stmt::If { pred, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 pred: pred.clone(),
                 then_body: then_body.iter().map(|s| s.map_accesses(f)).collect(),
                 else_body: else_body.iter().map(|s| s.map_accesses(f)).collect(),
@@ -223,10 +231,20 @@ impl Stmt {
                 Stmt::Loop(Box::new(nl))
             }
             Stmt::Assign(a) => Stmt::Assign(a.subst(name, replacement)),
-            Stmt::If { pred, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 pred: pred.subst(name, replacement),
-                then_body: then_body.iter().map(|s| s.subst(name, replacement)).collect(),
-                else_body: else_body.iter().map(|s| s.subst(name, replacement)).collect(),
+                then_body: then_body
+                    .iter()
+                    .map(|s| s.subst(name, replacement))
+                    .collect(),
+                else_body: else_body
+                    .iter()
+                    .map(|s| s.subst(name, replacement))
+                    .collect(),
             },
             Stmt::Stage(st) => {
                 let mut ns = st.clone();
@@ -240,12 +258,11 @@ impl Stmt {
                 nrt.row0 = nrt.row0.subst(name, replacement);
                 nrt.col0 = nrt.col0.subst(name, replacement);
                 nrt.guard = nrt.guard.subst(name, replacement);
-                let nstmt = match self {
+                match self {
                     Stmt::RegLoad(_) => Stmt::RegLoad(nrt),
                     Stmt::RegZero(_) => Stmt::RegZero(nrt),
                     _ => Stmt::RegStore(nrt),
-                };
-                nstmt
+                }
             }
             Stmt::Sync => Stmt::Sync,
         }
@@ -262,7 +279,11 @@ impl Stmt {
         match self {
             Stmt::Loop(l) => l.body.iter().for_each(|s| s.collect_assignments(out)),
             Stmt::Assign(a) => out.push(a),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 then_body.iter().for_each(|s| s.collect_assignments(out));
                 else_body.iter().for_each(|s| s.collect_assignments(out));
             }
@@ -411,7 +432,13 @@ mod tests {
     #[test]
     fn nonrectangular_detection() {
         // k < i + 1: depends on lower-case iterator `i` -> non-rectangular.
-        let tri = Loop::new("Lk", "k", AffineExpr::zero(), AffineExpr::var("i").add_const(1), vec![]);
+        let tri = Loop::new(
+            "Lk",
+            "k",
+            AffineExpr::zero(),
+            AffineExpr::var("i").add_const(1),
+            vec![],
+        );
         assert!(tri.has_nonrectangular_bounds());
         // k < K: `K` is an upper-case size parameter -> rectangular.
         let rect = Loop::new("Lk", "k", AffineExpr::zero(), AffineExpr::var("K"), vec![]);

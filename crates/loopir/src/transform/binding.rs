@@ -16,7 +16,7 @@
 use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::nest::Program;
 use crate::stmt::{Loop, Stmt};
-use crate::transform::{GroupingStyle, TransformError, TResult};
+use crate::transform::{GroupingStyle, TResult, TransformError};
 
 /// Apply `binding_triangular(X, thread_id)` (only `thread_id == 0` is
 /// supported, as in the paper).
@@ -43,10 +43,14 @@ pub fn binding_triangular(p: &mut Program, array: &str, thread_id: u32) -> TResu
     }
     let dim_j = info.dim_j.clone();
     let (Some(jt), Some(jj)) = (dim_j.thread_var.clone(), dim_j.reg_var.clone()) else {
-        return Err(TransformError::NotApplicable("missing thread distribution".into()));
+        return Err(TransformError::NotApplicable(
+            "missing thread distribution".into(),
+        ));
     };
     let Some(jb) = dim_j.block_var.clone() else {
-        return Err(TransformError::NotApplicable("missing block distribution".into()));
+        return Err(TransformError::NotApplicable(
+            "missing block distribution".into(),
+        ));
     };
     let diag = p
         .find_loop(&diag_label)
@@ -62,8 +66,7 @@ pub fn binding_triangular(p: &mut Program, array: &str, thread_id: u32) -> TResu
     // from the guarded j expression's bound in the surrounding If, which
     // the solver grouping produced; structurally we know it is the column
     // count of the output array (any array subscripted by j).
-    let n_bound = column_bound(p, &info.dim_j.orig_var)
-        .unwrap_or_else(|| AffineExpr::var("N"));
+    let n_bound = column_bound(p, &info.dim_j.orig_var).unwrap_or_else(|| AffineExpr::var("N"));
     let col_guard = Predicate::cond(
         AffineExpr::term(&jb, dim_j.tile).add(&AffineExpr::var("jc")),
         CmpOp::Lt,
@@ -148,7 +151,14 @@ mod tests {
     }
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::interp::{equivalent_on, Bindings};
 use crate::nest::Program;
 use crate::stmt::{Loop, Stmt};
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Distribute a loop over its body statements: `for v { S1; S2; … }`
 /// becomes `for v { S1 }; for v { S2 }; …` with labels `<L>_f0`, `<L>_f1`…
@@ -68,9 +68,11 @@ pub fn loop_fusion(p: &mut Program, first: &str, second: &str) -> TResult {
         )));
     }
     let mut fused = l1.clone();
-    fused
-        .body
-        .extend(l2.body.iter().map(|s| s.subst(&l2.var, &crate::expr::AffineExpr::var(&l1.var))));
+    fused.body.extend(
+        l2.body
+            .iter()
+            .map(|s| s.subst(&l2.var, &crate::expr::AffineExpr::var(&l1.var))),
+    );
 
     let mut candidate = p.clone();
     // Remove the second loop, then replace the first with the fusion.

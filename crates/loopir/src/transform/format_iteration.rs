@@ -24,7 +24,7 @@ use crate::expr::AffineExpr;
 use crate::interp::{equivalent_on, Bindings};
 use crate::nest::Program;
 use crate::stmt::{AssignStmt, Loop, Stmt};
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Outcome of `format_iteration`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,23 +63,29 @@ pub fn format_iteration(p: &mut Program, array: &str, mode: AllocMode) -> TResul
 
     // ---- Step 1: fission --------------------------------------------------
     let mut cand = p.clone();
-    let fissioned = apply_in_parent(&mut cand.body, &pat.k_label, &mut |slot: &mut Vec<Stmt>, idx| {
-        let Stmt::Loop(lk) = slot[idx].clone() else { unreachable!() };
-        let mk = |suffix: &str, stmt: Stmt| {
-            Stmt::Loop(Box::new(Loop {
-                label: format!("{}_{suffix}", lk.label),
-                var: lk.var.clone(),
-                lower: lk.lower.clone(),
-                upper: lk.upper.clone(),
-                mapping: lk.mapping,
-                unroll: lk.unroll,
-                body: vec![stmt],
-            }))
-        };
-        let real = mk("real", lk.body[pat.real_idx].clone());
-        let shadow = mk("shadow", lk.body[pat.shadow_idx].clone());
-        slot.splice(idx..=idx, [real, shadow]);
-    });
+    let fissioned = apply_in_parent(
+        &mut cand.body,
+        &pat.k_label,
+        &mut |slot: &mut Vec<Stmt>, idx| {
+            let Stmt::Loop(lk) = slot[idx].clone() else {
+                unreachable!()
+            };
+            let mk = |suffix: &str, stmt: Stmt| {
+                Stmt::Loop(Box::new(Loop {
+                    label: format!("{}_{suffix}", lk.label),
+                    var: lk.var.clone(),
+                    lower: lk.lower.clone(),
+                    upper: lk.upper.clone(),
+                    mapping: lk.mapping,
+                    unroll: lk.unroll,
+                    body: vec![stmt],
+                }))
+            };
+            let real = mk("real", lk.body[pat.real_idx].clone());
+            let shadow = mk("shadow", lk.body[pat.shadow_idx].clone());
+            slot.splice(idx..=idx, [real, shadow]);
+        },
+    );
     if !fissioned {
         return Err(TransformError::Missing(format!("loop {}", pat.k_label)));
     }
@@ -184,7 +190,11 @@ fn find_symmetric_pattern(p: &Program, target: &str) -> Option<SymPattern> {
             if !reads_target {
                 return;
             }
-            if a.rhs.accesses().iter().any(|acc| acc.array == target && acc.mirrored) {
+            if a.rhs
+                .accesses()
+                .iter()
+                .any(|acc| acc.array == target && acc.mirrored)
+            {
                 shadow_mirrored = true;
             }
             let lhs_uses_k = a.lhs.row.uses(&l.var) || a.lhs.col.uses(&l.var);
@@ -194,7 +204,9 @@ fn find_symmetric_pattern(p: &Program, target: &str) -> Option<SymPattern> {
                 real_idx = Some(idx);
             }
         }
-        let (Some(ri), Some(si)) = (real_idx, shadow_idx) else { return };
+        let (Some(ri), Some(si)) = (real_idx, shadow_idx) else {
+            return;
+        };
         if ri == si {
             return;
         }
@@ -250,7 +262,9 @@ fn try_fuse(
     // Bodies must now be identical, and the diagonal statement must be the
     // body instantiated at k = o.
     if real.body != shadow.body {
-        return Err(TransformError::NotApplicable("real/shadow bodies differ".into()));
+        return Err(TransformError::NotApplicable(
+            "real/shadow bodies differ".into(),
+        ));
     }
     let at_diag: Vec<Stmt> = real
         .body
@@ -302,7 +316,11 @@ fn visit_loops(stmts: &[Stmt], f: &mut dyn FnMut(&Loop, &[Stmt], usize)) {
                 f(l, stmts, idx);
                 visit_loops(&l.body, f);
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 visit_loops(then_body, f);
                 visit_loops(else_body, f);
             }
@@ -322,7 +340,11 @@ fn find_loop_by_var<'a>(stmts: &'a [Stmt], var: &str) -> Option<&'a Loop> {
                     return Some(found);
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 if let Some(found) = find_loop_by_var(then_body, var) {
                     return Some(found);
                 }
@@ -353,9 +375,11 @@ fn apply_in_parent(
     for s in stmts.iter_mut() {
         let found = match s {
             Stmt::Loop(l) => apply_in_parent(&mut l.body, label, f),
-            Stmt::If { then_body, else_body, .. } => {
-                apply_in_parent(then_body, label, f) || apply_in_parent(else_body, label, f)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => apply_in_parent(then_body, label, f) || apply_in_parent(else_body, label, f),
             _ => false,
         };
         if found {
@@ -433,7 +457,13 @@ mod tests {
         assert_eq!(lk.upper, AffineExpr::var("M"));
         assert_eq!(lk.body.len(), 1);
         // And semantics match the SYMM source.
-        assert!(equivalent_on(&reference, &p, &Bindings::square(12), 41, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(12),
+            41,
+            1e-4
+        ));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::arrays::{AllocMode, ArrayDecl, Fill, MemSpace};
 use crate::nest::{MapKernel, Program};
 use crate::scalar::Access;
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Apply `GM_map(X, mode)`.  Returns the new array's name.
 pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> {
@@ -115,7 +115,11 @@ pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> 
                                 mirrored: false,
                             }
                         } else {
-                            Access { array: nn.clone(), mirrored: false, ..acc.clone() }
+                            Access {
+                                array: nn.clone(),
+                                mirrored: false,
+                                ..acc.clone()
+                            }
                         }
                     }
                     AllocMode::NoChange => unreachable!(),
@@ -139,7 +143,11 @@ mod tests {
     fn transpose_redirects_and_appends_prologue() {
         let mut p = gemm_nn_like("GEMM-TN");
         // GEMM-TN source reads A[k][i] (A stored K x M transposed input).
-        p.declare(ArrayDecl::global("A", AffineExpr::var("K"), AffineExpr::var("M")));
+        p.declare(ArrayDecl::global(
+            "A",
+            AffineExpr::var("K"),
+            AffineExpr::var("M"),
+        ));
         p.rewrite_loop("Lk", &mut |mut lk: Loop| {
             lk.body = vec![Stmt::Assign(AssignStmt::new(
                 Access::idx("C", "i", "j"),

@@ -13,7 +13,7 @@ use crate::expr::AffineExpr;
 use crate::interp::{equivalent_on, Bindings};
 use crate::nest::Program;
 use crate::stmt::{Loop, Stmt};
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Interchange two perfectly nested rectangular loops (outer directly
 /// encloses inner).
@@ -86,13 +86,18 @@ fn interchange_triangular(p: &mut Program, outer: Loop, inner: Loop) -> TResult 
         unroll: inner.unroll,
         body,
     };
-    let candidate = Loop { body: vec![Stmt::Loop(Box::new(new_inner))], ..outer.clone() };
+    let candidate = Loop {
+        body: vec![Stmt::Loop(Box::new(new_inner))],
+        ..outer.clone()
+    };
     commit_if_equivalent(p, &outer.label, candidate)
 }
 
 fn commit_if_equivalent(p: &mut Program, at_label: &str, replacement: Loop) -> TResult {
     let mut candidate = p.clone();
-    candidate.rewrite_loop(at_label, &mut |_| vec![Stmt::Loop(Box::new(replacement.clone()))]);
+    candidate.rewrite_loop(at_label, &mut |_| {
+        vec![Stmt::Loop(Box::new(replacement.clone()))]
+    });
     for (sizes, seed) in [(7, 11u64), (9, 23u64)] {
         if !equivalent_on(p, &candidate, &Bindings::square(sizes), seed, 1e-4) {
             return Err(TransformError::NotApplicable(format!(

@@ -11,8 +11,8 @@
 //! | traditional | `loop_unroll`, `SM_alloc`, `Reg_alloc`, `binding_triangular` |
 
 mod binding;
-mod format_iteration;
 mod fission_fusion;
+mod format_iteration;
 mod gm_map;
 mod interchange;
 mod peel_pad;
@@ -23,8 +23,8 @@ mod tiling;
 mod unroll;
 
 pub use binding::binding_triangular;
-pub use format_iteration::format_iteration;
 pub use fission_fusion::{loop_fission, loop_fusion};
+pub use format_iteration::format_iteration;
 pub use gm_map::gm_map;
 pub use interchange::loop_interchange;
 pub use peel_pad::{has_triangular_guard, padding_triangular, peel_triangular};
@@ -91,7 +91,14 @@ impl Default for TileParams {
     fn default() -> Self {
         // A safe, CC1.x-friendly default: 32x32 C tiles, 16x16 threads
         // (256 threads/block), 2x2 register tiles, 16-deep K tiles.
-        Self { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 }
+        Self {
+            ty: 32,
+            tx: 32,
+            thr_i: 16,
+            thr_j: 16,
+            kb: 16,
+            unroll: 0,
+        }
     }
 }
 
@@ -114,7 +121,9 @@ impl TileParams {
     /// Validate divisibility constraints.
     pub fn validate(&self) -> TResult {
         if self.ty <= 0 || self.tx <= 0 || self.thr_i <= 0 || self.thr_j <= 0 || self.kb <= 0 {
-            return Err(TransformError::BadParams("non-positive tile parameter".into()));
+            return Err(TransformError::BadParams(
+                "non-positive tile parameter".into(),
+            ));
         }
         if self.ty % self.thr_i != 0 || self.tx % self.thr_j != 0 {
             return Err(TransformError::BadParams(format!(
@@ -225,8 +234,18 @@ impl TilingInfo {
                 return self.dim_i.tile;
             }
         }
-        if self.dim_i.thread_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
-            || self.dim_i.reg_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+        if self
+            .dim_i
+            .thread_var
+            .as_deref()
+            .map(|v| e.uses(v))
+            .unwrap_or(false)
+            || self
+                .dim_i
+                .reg_var
+                .as_deref()
+                .map(|v| e.uses(v))
+                .unwrap_or(false)
         {
             return self.dim_i.tile;
         }
@@ -235,8 +254,18 @@ impl TilingInfo {
                 return self.dim_j.tile;
             }
         }
-        if self.dim_j.thread_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
-            || self.dim_j.reg_var.as_deref().map(|v| e.uses(v)).unwrap_or(false)
+        if self
+            .dim_j
+            .thread_var
+            .as_deref()
+            .map(|v| e.uses(v))
+            .unwrap_or(false)
+            || self
+                .dim_j
+                .reg_var
+                .as_deref()
+                .map(|v| e.uses(v))
+                .unwrap_or(false)
         {
             return self.dim_j.tile;
         }

@@ -19,7 +19,7 @@
 use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::nest::{BlankZeroCheck, Program};
 use crate::stmt::{AssignOp, Loop, Stmt};
-use crate::transform::{GroupingStyle, TransformError, TResult};
+use crate::transform::{GroupingStyle, TResult, TransformError};
 
 /// The analyzed triangular guard of a tiled nest.
 struct TriBand {
@@ -65,9 +65,11 @@ fn analyze(p: &Program, array: &str) -> TResult<(TriBand, Loop, Predicate, Vec<S
     let (pred, inner) = loop {
         match cursor {
             [Stmt::Loop(l)] => cursor = &l.body,
-            [Stmt::If { pred, then_body, else_body }] if else_body.is_empty() => {
-                break (pred.clone(), then_body.clone())
-            }
+            [Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            }] if else_body.is_empty() => break (pred.clone(), then_body.clone()),
             _ => {
                 return Err(TransformError::NotApplicable(
                     "no guarded region inside the k point loop".into(),
@@ -117,10 +119,23 @@ fn analyze(p: &Program, array: &str) -> TResult<(TriBand, Loop, Predicate, Vec<S
 }
 
 /// Rebuild the `Lkk` loop body with the given guard predicate (or none).
-fn rebuild_kk(template: &Loop, label: &str, lower: AffineExpr, upper: AffineExpr, pred: Option<Predicate>, inner: &[Stmt], relabel_suffix: Option<&str>) -> Stmt {
+fn rebuild_kk(
+    template: &Loop,
+    label: &str,
+    lower: AffineExpr,
+    upper: AffineExpr,
+    pred: Option<Predicate>,
+    inner: &[Stmt],
+    relabel_suffix: Option<&str>,
+) -> Stmt {
     // template.body = [... Liii { Ljjj { If(outer guard) { Lkkk { If(pred){inner} } } } }]
     // We rewrite the innermost guard through a structural map.
-    fn rewrite(stmts: &[Stmt], pred: &Option<Predicate>, inner: &[Stmt], suffix: Option<&str>) -> Vec<Stmt> {
+    fn rewrite(
+        stmts: &[Stmt],
+        pred: &Option<Predicate>,
+        inner: &[Stmt],
+        suffix: Option<&str>,
+    ) -> Vec<Stmt> {
         stmts
             .iter()
             .map(|s| match s {
@@ -132,7 +147,11 @@ fn rebuild_kk(template: &Loop, label: &str, lower: AffineExpr, upper: AffineExpr
                     nl.body = rewrite(&nl.body, pred, inner, suffix);
                     Stmt::Loop(Box::new(nl))
                 }
-                Stmt::If { pred: q, then_body, else_body } => {
+                Stmt::If {
+                    pred: q,
+                    then_body,
+                    else_body,
+                } => {
                     // The innermost guard is the one wrapping the original
                     // inner statements.
                     if then_body == inner {
@@ -183,22 +202,62 @@ pub fn peel_triangular(p: &mut Program, array: &str) -> TResult {
     // Guard without the triangular conjunct (rectangular region).
     let mut rect_pred = pred.clone();
     rect_pred.conds.remove(band.cond_idx);
-    let rect_pred = if rect_pred.is_always() { None } else { Some(rect_pred) };
+    let rect_pred = if rect_pred.is_always() {
+        None
+    } else {
+        Some(rect_pred)
+    };
 
     let (rect, diag) = if band.lower_form {
         // full: [0, ib*R)           diag: [ib*R, (ib+1)*R)
         (
-            rebuild_kk(&lkk, "Lkk", AffineExpr::zero(), bv.clone(), rect_pred, &inner, None),
-            rebuild_kk(&lkk, "Lkk_diag", bv.clone(), bv.add_const(r), Some(pred.clone()), &inner, Some("_t")),
+            rebuild_kk(
+                &lkk,
+                "Lkk",
+                AffineExpr::zero(),
+                bv.clone(),
+                rect_pred,
+                &inner,
+                None,
+            ),
+            rebuild_kk(
+                &lkk,
+                "Lkk_diag",
+                bv.clone(),
+                bv.add_const(r),
+                Some(pred.clone()),
+                &inner,
+                Some("_t"),
+            ),
         )
     } else {
         // diag: [ib*R, (ib+1)*R)    full: [(ib+1)*R, Kb)
         (
-            rebuild_kk(&lkk, "Lkk", bv.add_const(r), lkk.upper.clone(), rect_pred, &inner, None),
-            rebuild_kk(&lkk, "Lkk_diag", bv.clone(), bv.add_const(r), Some(pred.clone()), &inner, Some("_t")),
+            rebuild_kk(
+                &lkk,
+                "Lkk",
+                bv.add_const(r),
+                lkk.upper.clone(),
+                rect_pred,
+                &inner,
+                None,
+            ),
+            rebuild_kk(
+                &lkk,
+                "Lkk_diag",
+                bv.clone(),
+                bv.add_const(r),
+                Some(pred.clone()),
+                &inner,
+                Some("_t"),
+            ),
         )
     };
-    let replacement = if band.lower_form { vec![rect, diag] } else { vec![diag, rect] };
+    let replacement = if band.lower_form {
+        vec![rect, diag]
+    } else {
+        vec![diag, rect]
+    };
     let label = lkk.label.clone();
     p.rewrite_loop(&label, &mut |_| replacement.clone());
     Ok(())
@@ -220,7 +279,8 @@ pub fn padding_triangular(p: &mut Program, array: &str) -> TResult {
             }
             let feeds = a.rhs.accesses().iter().any(|acc| {
                 let d = p.array(&acc.array);
-                d.map(|d| d.name == *array || d.name == format!("New{array}")).unwrap_or(false)
+                d.map(|d| d.name == *array || d.name == format!("New{array}"))
+                    .unwrap_or(false)
             });
             if !feeds {
                 return Err(TransformError::NotApplicable(format!(
@@ -237,16 +297,21 @@ pub fn padding_triangular(p: &mut Program, array: &str) -> TResult {
     // The removed triangular conjunct may have been the only bound keeping
     // `k` inside the matrix (ragged sizes); re-impose the edge guard.  It
     // specializes away on tile-divisible sizes.
-    let kt = p.tiling.as_ref().and_then(|i| i.k_tile.clone()).expect("k-tiled");
-    let edge = crate::expr::AffineCond::new(
-        kt.expr.clone(),
-        CmpOp::Lt,
-        AffineExpr::var(&kt.extent),
-    );
+    let kt = p
+        .tiling
+        .as_ref()
+        .and_then(|i| i.k_tile.clone())
+        .expect("k-tiled");
+    let edge =
+        crate::expr::AffineCond::new(kt.expr.clone(), CmpOp::Lt, AffineExpr::var(&kt.extent));
     if !padded_pred.conds.contains(&edge) {
         padded_pred.conds.push(edge);
     }
-    let padded_pred = if padded_pred.is_always() { None } else { Some(padded_pred) };
+    let padded_pred = if padded_pred.is_always() {
+        None
+    } else {
+        Some(padded_pred)
+    };
 
     let (lo, hi) = if band.lower_form {
         (AffineExpr::zero(), bv.add_const(r))
@@ -257,7 +322,15 @@ pub fn padding_triangular(p: &mut Program, array: &str) -> TResult {
     // The fallback version keeps the original (guarded, full-range) loop.
     let mut fallback_lkk = lkk.clone();
     fallback_lkk.label = "Lkk_orig".into();
-    let fallback = rebuild_kk(&fallback_lkk, "Lkk_orig", lkk.lower.clone(), lkk.upper.clone(), Some(pred), &inner, Some("_o"));
+    let fallback = rebuild_kk(
+        &fallback_lkk,
+        "Lkk_orig",
+        lkk.lower.clone(),
+        lkk.upper.clone(),
+        Some(pred),
+        &inner,
+        Some("_o"),
+    );
 
     // When GM_map re-mapped the matrix, the padded iterations read the
     // mapped copy: the runtime blank check must target it.
@@ -317,7 +390,14 @@ mod tests {
     use crate::transform::{loop_tiling, thread_grouping, TileParams};
 
     fn params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     fn tiled_trmm() -> (Program, Program) {
@@ -334,8 +414,20 @@ mod tests {
         peel_triangular(&mut p, "A").unwrap();
         assert!(p.find_loop("Lkk").is_some());
         assert!(p.find_loop("Lkk_diag").is_some());
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 7, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            3,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(24),
+            7,
+            1e-4
+        ));
     }
 
     #[test]
@@ -351,7 +443,11 @@ mod tests {
         fn scan(stmts: &[Stmt], found: &mut bool) {
             for s in stmts {
                 match s {
-                    Stmt::If { pred, then_body, else_body } => {
+                    Stmt::If {
+                        pred,
+                        then_body,
+                        else_body,
+                    } => {
                         if pred.conds.iter().any(|c| {
                             let uses = |v: &str| c.lhs.uses(v) || c.rhs.uses(v);
                             (uses("kk") || uses("k3")) && uses("ib")
@@ -367,7 +463,10 @@ mod tests {
             }
         }
         scan(&lkk.body, &mut found_tri);
-        assert!(!found_tri, "triangular guard must be peeled off the rectangular region");
+        assert!(
+            !found_tri,
+            "triangular guard must be peeled off the rectangular region"
+        );
     }
 
     #[test]
@@ -402,7 +501,13 @@ mod tests {
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         padding_triangular(&mut p, "A").unwrap();
         assert_eq!(p.blank_checks.len(), 1);
-        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 11, 1e-4));
+        assert!(equivalent_on(
+            &reference2,
+            &p,
+            &Bindings::square(16),
+            11,
+            1e-4
+        ));
     }
 
     #[test]
@@ -419,7 +524,13 @@ mod tests {
         thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         padding_triangular(&mut p, "A").unwrap();
-        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 13, 1e-4));
+        assert!(equivalent_on(
+            &reference2,
+            &p,
+            &Bindings::square(16),
+            13,
+            1e-4
+        ));
     }
 
     /// TRMM-LU-N-like nest: k in [i, M) — the upper-triangular form.
@@ -442,8 +553,20 @@ mod tests {
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         peel_triangular(&mut p, "A").unwrap();
         assert!(p.find_loop("Lkk_diag").is_some());
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 5, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            3,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(24),
+            5,
+            1e-4
+        ));
     }
 
     #[test]
@@ -456,9 +579,21 @@ mod tests {
         thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         padding_triangular(&mut p, "A").unwrap();
-        assert!(equivalent_on(&reference2, &p, &Bindings::square(16), 7, 1e-4));
+        assert!(equivalent_on(
+            &reference2,
+            &p,
+            &Bindings::square(16),
+            7,
+            1e-4
+        ));
         // Ragged size exercises the re-imposed k < K edge guard.
-        assert!(equivalent_on(&reference2, &p, &Bindings::square(20), 7, 1e-4));
+        assert!(equivalent_on(
+            &reference2,
+            &p,
+            &Bindings::square(20),
+            7,
+            1e-4
+        ));
     }
 
     #[test]

@@ -16,14 +16,13 @@ use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::nest::Program;
 use crate::scalar::Access;
 use crate::stmt::{RegTile, Stmt};
-use crate::transform::{GroupingStyle, TransformError, TResult};
+use crate::transform::{GroupingStyle, TResult, TransformError};
 
 /// Apply `Reg_alloc(X)`.  Returns the register array's name.
 pub fn reg_alloc(p: &mut Program, array: &str) -> TResult<String> {
-    let info = p
-        .tiling
-        .clone()
-        .ok_or_else(|| TransformError::NotApplicable("Reg_alloc requires thread_grouping".into()))?;
+    let info = p.tiling.clone().ok_or_else(|| {
+        TransformError::NotApplicable("Reg_alloc requires thread_grouping".into())
+    })?;
     let Some(kt) = info.k_tile.clone() else {
         return Err(TransformError::NotApplicable(
             "Reg_alloc requires a tiled k dimension to hoist the accumulator across".into(),
@@ -146,9 +145,20 @@ pub fn reg_alloc(p: &mut Program, array: &str) -> TResult<String> {
         if acc.array != array {
             return acc.clone();
         }
-        let r = ivar2.as_ref().map(|v| AffineExpr::var(v)).unwrap_or_else(AffineExpr::zero);
-        let c = jvar2.as_ref().map(|v| AffineExpr::var(v)).unwrap_or_else(AffineExpr::zero);
-        Access { array: reg_name.clone(), row: r, col: c, mirrored: false }
+        let r = ivar2
+            .as_ref()
+            .map(AffineExpr::var)
+            .unwrap_or_else(AffineExpr::zero);
+        let c = jvar2
+            .as_ref()
+            .map(AffineExpr::var)
+            .unwrap_or_else(AffineExpr::zero);
+        Access {
+            array: reg_name.clone(),
+            row: r,
+            col: c,
+            mirrored: false,
+        }
     };
     let new_lkk_body: Vec<Stmt> = lkk.body.iter().map(|s| s.map_accesses(&rewrite)).collect();
 
@@ -178,7 +188,14 @@ mod tests {
 
     fn tiled_gemm() -> Program {
         let mut p = gemm_nn_like("g");
-        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         p
@@ -191,8 +208,20 @@ mod tests {
         sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
         let reg = reg_alloc(&mut p, "C").unwrap();
         assert_eq!(reg, "rC");
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 21, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(11), 21, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            21,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(11),
+            21,
+            1e-4
+        ));
     }
 
     #[test]
@@ -249,7 +278,14 @@ mod tests {
             ]
         });
         let mut p = reference.clone();
-        let params = TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
@@ -259,7 +295,19 @@ mod tests {
         assert_eq!(rb.rows.as_const(), Some(8)); // the row block TB
         assert_eq!(rb.cols.as_const(), Some(1));
         // Sequential semantics still hold (no binding here).
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 31, 1e-3));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(24), 31, 1e-3));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            31,
+            1e-3
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(24),
+            31,
+            1e-3
+        ));
     }
 }

@@ -12,7 +12,7 @@ use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::nest::Program;
 use crate::scalar::Access;
 use crate::stmt::{SharedStage, Stmt};
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Bank-conflict padding rule: pad the leading dimension by one when it is
 /// a multiple of the (half-)warp width, which would otherwise map an entire
@@ -63,8 +63,7 @@ pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String
     for s in &lkk.body {
         for a in s.assignments() {
             if a.lhs.array == array {
-                write_origins
-                    .push((info.tile_origin(&a.lhs.row), info.tile_origin(&a.lhs.col)));
+                write_origins.push((info.tile_origin(&a.lhs.row), info.tile_origin(&a.lhs.col)));
             }
             for acc in a.rhs.accesses() {
                 if acc.array != array {
@@ -111,7 +110,12 @@ pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String
         AllocMode::Transpose => (ext_c, ext_r),
         _ => (ext_r, ext_c),
     };
-    p.declare(ArrayDecl::shared(&shared_name, srows, scols, auto_pad(srows)));
+    p.declare(ArrayDecl::shared(
+        &shared_name,
+        srows,
+        scols,
+        auto_pad(srows),
+    ));
 
     // The staging guard keeps edge tiles in range.
     let guard = Predicate::cond(AffineExpr::var("__sr"), CmpOp::Lt, decl.rows.clone()).and(
@@ -145,7 +149,12 @@ pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String
             AllocMode::Transpose => (lc, lr),
             _ => (lr, lc),
         };
-        Access { array: shared_name.clone(), row: nr, col: nc, mirrored: false }
+        Access {
+            array: shared_name.clone(),
+            row: nr,
+            col: nc,
+            mirrored: false,
+        }
     };
     let mut new_body: Vec<Stmt> = vec![stage, Stmt::Sync];
     new_body.extend(lkk.body.iter().map(|s| s.map_accesses(&rewrite)));
@@ -166,7 +175,14 @@ mod tests {
 
     fn tiled_gemm() -> crate::nest::Program {
         let mut p = gemm_nn_like("g");
-        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         p
@@ -184,8 +200,20 @@ mod tests {
         assert_eq!(sb.rows.as_const(), Some(8));
         assert_eq!(sb.cols.as_const(), Some(4));
         assert_eq!(sb.pad, 0);
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(13), 3, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            3,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(13),
+            3,
+            1e-4
+        ));
     }
 
     #[test]
@@ -195,13 +223,26 @@ mod tests {
         sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
         sm_alloc(&mut p, "A", AllocMode::NoChange).unwrap();
         assert!(p.array("sA").is_some());
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 5, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            5,
+            1e-4
+        ));
     }
 
     #[test]
     fn padding_kicks_in_at_warp_multiples() {
         let mut p = gemm_nn_like("g");
-        let params = TileParams { ty: 16, tx: 16, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+        let params = TileParams {
+            ty: 16,
+            tx: 16,
+            thr_i: 16,
+            thr_j: 16,
+            kb: 16,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
         sm_alloc(&mut p, "B", AllocMode::NoChange).unwrap();

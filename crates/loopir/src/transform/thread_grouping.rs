@@ -21,7 +21,7 @@ use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::interp::Bindings;
 use crate::nest::Program;
 use crate::stmt::{Loop, LoopMapping, Stmt};
-use crate::transform::{TileParams, TiledDim, TilingInfo, TransformError, TResult};
+use crate::transform::{TResult, TileParams, TiledDim, TilingInfo, TransformError};
 
 /// Which distribution `thread_grouping` chose.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -113,7 +113,13 @@ fn group_2d(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TResult<
     );
     let guarded = vec![Stmt::guarded(guard, inner)];
 
-    let ljj = Loop::new("Ljj", "jj", AffineExpr::zero(), AffineExpr::cst(params.reg_cols()), guarded);
+    let ljj = Loop::new(
+        "Ljj",
+        "jj",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.reg_cols()),
+        guarded,
+    );
     let lii = Loop::new(
         "Lii",
         "ii",
@@ -192,7 +198,12 @@ fn group_2d(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TResult<
     Ok(("Lii".into(), "Ljj".into()))
 }
 
-fn group_solver(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TResult<(String, String)> {
+fn group_solver(
+    p: &mut Program,
+    li: Loop,
+    lj: Loop,
+    params: TileParams,
+) -> TResult<(String, String)> {
     // One output column per thread: with register columns (reg_cols > 1) a
     // thread's second column would only receive its updates after the
     // bound diagonal solve of the first pass already consumed it.
@@ -223,7 +234,13 @@ fn group_solver(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TRes
     let guard = Predicate::cond(j_expr.clone(), CmpOp::Lt, AffineExpr::var(&n_param));
     let guarded = vec![Stmt::guarded(guard, vec![Stmt::Loop(Box::new(li_seq))])];
 
-    let ljj = Loop::new("Ljj", "jj", AffineExpr::zero(), AffineExpr::cst(params.reg_cols()), guarded);
+    let ljj = Loop::new(
+        "Ljj",
+        "jj",
+        AffineExpr::zero(),
+        AffineExpr::cst(params.reg_cols()),
+        guarded,
+    );
     let mut ljt = Loop::new(
         "Ljt",
         "jt",
@@ -266,7 +283,10 @@ fn group_solver(p: &mut Program, li: Loop, lj: Loop, params: TileParams) -> TRes
             expr: j_expr,
         },
         k_tile: None,
-        intra_vars: vec![("jt".into(), params.thr_j), ("jj".into(), params.reg_cols())],
+        intra_vars: vec![
+            ("jt".into(), params.thr_j),
+            ("jj".into(), params.reg_cols()),
+        ],
         params,
         style: GroupingStyle::Solver1D,
         diag_label: None,
@@ -304,8 +324,20 @@ mod tests {
         assert_eq!((lii.as_str(), ljj.as_str()), ("Lii", "Ljj"));
         assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Gemm2D);
         // Exact-tile size and a ragged size both stay correct.
-        assert!(equivalent_on(&reference, &p, &Bindings::square(32), 3, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(19), 3, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(32),
+            3,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(19),
+            3,
+            1e-4
+        ));
     }
 
     #[test]
@@ -314,7 +346,13 @@ mod tests {
         let mut p = reference.clone();
         thread_grouping(&mut p, "Li", "Lj", TileParams::default()).unwrap();
         assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Gemm2D);
-        assert!(equivalent_on(&reference, &p, &Bindings::square(33), 1, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(33),
+            1,
+            1e-4
+        ));
     }
 
     #[test]
@@ -334,12 +372,31 @@ mod tests {
         });
         let mut p = reference.clone();
         // One column per thread: TX == thr_j.
-        let params = TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 8, kb: 4, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 8,
+            kb: 4,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         assert_eq!(p.tiling.as_ref().unwrap().style, GroupingStyle::Solver1D);
         // Sequential semantics preserved (M = K for the square solve).
-        assert!(equivalent_on(&reference, &p, &Bindings::square(32), 9, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(21), 9, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(32),
+            9,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(21),
+            9,
+            1e-4
+        ));
     }
 
     #[test]
@@ -360,7 +417,11 @@ mod tests {
     #[test]
     fn bad_params_rejected() {
         let mut p = gemm_nn_like("g");
-        let bad = TileParams { ty: 30, thr_i: 16, ..TileParams::default() };
+        let bad = TileParams {
+            ty: 30,
+            thr_i: 16,
+            ..TileParams::default()
+        };
         let err = thread_grouping(&mut p, "Li", "Lj", bad).unwrap_err();
         assert!(matches!(err, TransformError::BadParams(_)));
     }

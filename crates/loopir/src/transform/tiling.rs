@@ -18,7 +18,7 @@
 use crate::expr::{AffineExpr, CmpOp, Predicate};
 use crate::nest::Program;
 use crate::stmt::{AssignOp, Loop, Stmt};
-use crate::transform::{GroupingStyle, KTileInfo, TransformError, TResult};
+use crate::transform::{GroupingStyle, KTileInfo, TResult, TransformError};
 
 /// Apply `loop_tiling(Lii, Ljj, Lk)`.  Returns the labels
 /// `(Liii, Ljjj, Lkkk)` (cf. Fig. 3).
@@ -28,12 +28,13 @@ pub fn loop_tiling(
     ljj_label: &str,
     lk_label: &str,
 ) -> TResult<(String, String, String)> {
-    let info = p
-        .tiling
-        .clone()
-        .ok_or_else(|| TransformError::NotApplicable("loop_tiling requires thread_grouping first".into()))?;
+    let info = p.tiling.clone().ok_or_else(|| {
+        TransformError::NotApplicable("loop_tiling requires thread_grouping first".into())
+    })?;
     if info.k_tile.is_some() {
-        return Err(TransformError::NotApplicable("k dimension already tiled".into()));
+        return Err(TransformError::NotApplicable(
+            "k dimension already tiled".into(),
+        ));
     }
     match info.style {
         GroupingStyle::Gemm2D => tile_2d(p, lii_label, ljj_label, lk_label),
@@ -50,7 +51,9 @@ fn k_extent(p: &Program, lk: &Loop) -> TResult<String> {
     }
     for a in lk.body.iter().flat_map(|s| s.assignments()) {
         for acc in a.accesses() {
-            let Some(decl) = p.array(&acc.array) else { continue };
+            let Some(decl) = p.array(&acc.array) else {
+                continue;
+            };
             if acc.row.uses(&lk.var) {
                 if let Some(param) = single_param(&decl.rows) {
                     return Ok(param);
@@ -102,9 +105,11 @@ fn tile_2d(
         }
     };
     let (guard, guarded_body) = match &ljj.body[..] {
-        [Stmt::If { pred, then_body, else_body }] if else_body.is_empty() => {
-            (pred.clone(), then_body.clone())
-        }
+        [Stmt::If {
+            pred,
+            then_body,
+            else_body,
+        }] if else_body.is_empty() => (pred.clone(), then_body.clone()),
         _ => {
             return Err(TransformError::NotApplicable(
                 "expected a single guarded region inside the register loops".into(),
@@ -241,8 +246,7 @@ fn tile_solver(
     let mbb = p.derive_param(&m_param, tb);
 
     let i_expr = AffineExpr::term("ibb", tb).add(&AffineExpr::var("i3"));
-    let i_guard =
-        Predicate::cond(i_expr.clone(), CmpOp::Lt, AffineExpr::var(&m_param));
+    let i_guard = Predicate::cond(i_expr.clone(), CmpOp::Lt, AffineExpr::var(&m_param));
 
     // Rectangular region: kk in [0, ibb*R), k = kk*KB + k3 (all below the
     // diagonal block, reading rows solved in earlier ibb iterations).
@@ -252,13 +256,22 @@ fn tile_solver(
         .iter()
         .map(|s| s.subst(&lii.var, &i_expr).subst(&lk.var, &k_rect))
         .collect();
-    let lkkk = Loop::new("Lkkk", "k3", AffineExpr::zero(), AffineExpr::cst(kb), rect_body);
+    let lkkk = Loop::new(
+        "Lkkk",
+        "k3",
+        AffineExpr::zero(),
+        AffineExpr::cst(kb),
+        rect_body,
+    );
     let liii = Loop::new(
         "Liii",
         "i3",
         AffineExpr::zero(),
         AffineExpr::cst(tb),
-        vec![Stmt::guarded(i_guard.clone(), vec![Stmt::Loop(Box::new(lkkk))])],
+        vec![Stmt::guarded(
+            i_guard.clone(),
+            vec![Stmt::Loop(Box::new(lkkk))],
+        )],
     );
     let lkk = Loop::new(
         "Lkk",
@@ -319,7 +332,8 @@ fn tile_solver(
         expr: k_rect,
         extent: m_param.clone(),
     });
-    info.intra_vars.extend([("i3".into(), tb), ("k3".into(), kb)]);
+    info.intra_vars
+        .extend([("i3".into(), tb), ("k3".into(), kb)]);
     info.diag_label = Some("Ldiag".into());
     p.tiling = Some(info);
     // By convention the returned labels address the rectangular region,
@@ -337,12 +351,26 @@ mod tests {
     use crate::transform::{thread_grouping, TileParams};
 
     fn small_params() -> TileParams {
-        TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     /// The solver distribution requires one column per thread (TX == thr_j).
     fn solver_params() -> TileParams {
-        TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+        TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
     }
 
     #[test]
@@ -356,8 +384,20 @@ mod tests {
             ("Liii", "Ljjj", "Lkkk")
         );
         assert!(p.find_loop("Lkk").is_some());
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 3, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(13), 3, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            3,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(13),
+            3,
+            1e-4
+        ));
     }
 
     #[test]
@@ -366,8 +406,20 @@ mod tests {
         let mut p = reference.clone();
         thread_grouping(&mut p, "Li", "Lj", small_params()).unwrap();
         loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 5, 1e-4));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(11), 5, 1e-4));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            5,
+            1e-4
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(11),
+            5,
+            1e-4
+        ));
     }
 
     fn trsm_like() -> Program {
@@ -409,8 +461,20 @@ mod tests {
         assert_eq!(info.diag_label.as_deref(), Some("Ldiag"));
         // Note the diagonal of A must be non-zero for the divide; the
         // pseudo-random fill makes zeros measure-zero.
-        assert!(equivalent_on(&reference, &p, &Bindings::square(16), 7, 1e-3));
-        assert!(equivalent_on(&reference, &p, &Bindings::square(10), 7, 1e-3));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(16),
+            7,
+            1e-3
+        ));
+        assert!(equivalent_on(
+            &reference,
+            &p,
+            &Bindings::square(10),
+            7,
+            1e-3
+        ));
     }
 
     #[test]
@@ -432,7 +496,14 @@ mod tests {
     #[test]
     fn solver_kb_must_divide_ty() {
         let mut p = trsm_like();
-        let params = TileParams { ty: 8, tx: 4, thr_i: 4, thr_j: 4, kb: 3, unroll: 0 };
+        let params = TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 3,
+            unroll: 0,
+        };
         thread_grouping(&mut p, "Li", "Lj", params).unwrap();
         let err = loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap_err();
         assert!(matches!(err, TransformError::BadParams(_)));

@@ -8,7 +8,7 @@
 
 use crate::nest::Program;
 use crate::stmt::{Loop, Stmt};
-use crate::transform::{TransformError, TResult};
+use crate::transform::{TResult, TransformError};
 
 /// Does the loop's subtree contain a guard conjunct coupling the k-tile
 /// iterators with an i/j-dimension iterator — a triangular (non-rectangular
@@ -25,7 +25,11 @@ fn contains_triangular_band(p: &Program, l: &Loop) -> bool {
     }
     fn scan(stmts: &[Stmt], k_vars: &[&str], ij_vars: &[&str]) -> bool {
         stmts.iter().any(|s| match s {
-            Stmt::If { pred, then_body, else_body } => {
+            Stmt::If {
+                pred,
+                then_body,
+                else_body,
+            } => {
                 pred.conds.iter().any(|c| {
                     let uses = |v: &str| c.lhs.uses(v) || c.rhs.uses(v);
                     k_vars.iter().any(|v| uses(v)) && ij_vars.iter().any(|v| uses(v))

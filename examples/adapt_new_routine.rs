@@ -33,16 +33,28 @@ fn main() {
           | GM_map(X, Transpose);
           | SM_alloc(X, Transpose);
     ";
-    let adaptor = oa_core::adl::parse_adl(adl_text).expect("valid ADL").remove(0);
+    let adaptor = oa_core::adl::parse_adl(adl_text)
+        .expect("valid ADL")
+        .remove(0);
     println!("developer ADL:\n{adaptor}");
 
     // 4. Compose: the framework derives new scripts for the new routine.
-    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
     let apps = [AdaptorApplication::new(adaptor, "B")];
     let variants = compose(&source, &base, &apps, params).expect("composer runs");
     println!("generated {} candidate scripts:", variants.len());
     for (i, v) in variants.iter().enumerate() {
-        println!("--- candidate {i} (adaptor rule {:?}) ---\n{}", v.rule_choice, v.script);
+        println!(
+            "--- candidate {i} (adaptor rule {:?}) ---\n{}",
+            v.rule_choice, v.script
+        );
     }
 
     // 5. Each candidate is a *correct* implementation: check one on the
@@ -50,9 +62,7 @@ fn main() {
     let n = 64;
     let some = variants
         .iter()
-        .find(|v| {
-            oa_core::gpusim::extract_launch(&v.program, &Bindings::square(n)).is_ok()
-        })
+        .find(|v| oa_core::gpusim::extract_launch(&v.program, &Bindings::square(n)).is_ok())
         .expect("an executable variant");
     let rep = oa_core::blas3::verify::verify_against_reference(
         oa_core::RoutineId::Gemm(oa_core::Trans::N, oa_core::Trans::T),
@@ -62,7 +72,10 @@ fn main() {
         false,
     )
     .expect("executes");
-    println!("verified candidate against the CPU reference: max |err| = {:.2e}", rep.max_abs_diff);
+    println!(
+        "verified candidate against the CPU reference: max |err| = {:.2e}",
+        rep.max_abs_diff
+    );
     assert!(rep.max_abs_diff < 1e-2);
     println!("OK — the allocator merged the adaptor's transposition with the script's");
     println!("     SM_alloc(B, Transpose) into SM_alloc(B, NoChange), as in Sec. IV.B.3.");

@@ -10,17 +10,28 @@
 use oa_core::{DeviceSpec, OaFramework, RoutineId};
 
 fn main() {
-    let n: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1024);
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
     let device = DeviceSpec::gtx285();
     let oa = OaFramework::new(device.clone());
 
-    println!("generating the BLAS3 library for {} at n = {n}\n", device.name);
-    println!("{:<12} {:>9} {:>12} {:>9}  best script (components)", "routine", "OA", "CUBLAS-like", "speedup");
+    println!(
+        "generating the BLAS3 library for {} at n = {n}\n",
+        device.name
+    );
+    println!(
+        "{:<12} {:>9} {:>12} {:>9}  best script (components)",
+        "routine", "OA", "CUBLAS-like", "speedup"
+    );
 
     let mut worst: f64 = f64::INFINITY;
     let mut best: f64 = 0.0;
     for r in RoutineId::all24() {
-        let t = oa.tune(r, n).unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        let t = oa
+            .tune(r, n)
+            .unwrap_or_else(|e| panic!("{}: {e}", r.name()));
         let base = oa.cublas_baseline(r, n);
         let speedup = t.report.gflops / base.gflops;
         worst = worst.min(speedup);

@@ -14,7 +14,14 @@ use oa_core::loopir::AllocMode;
 use oa_core::{RoutineId, Side, Trans, Uplo};
 
 fn main() {
-    let params = TileParams { ty: 32, tx: 32, thr_i: 16, thr_j: 16, kb: 16, unroll: 0 };
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 16,
+        thr_j: 16,
+        kb: 16,
+        unroll: 0,
+    };
 
     println!("================ GEMM-NN, the Fig. 3 scheme, stage by stage ================\n");
     let mut p = oa_core::blas3::routines::source(RoutineId::Gemm(Trans::N, Trans::N));
@@ -32,20 +39,15 @@ fn main() {
     println!("---- after SM_alloc(B, Transpose) + reg_alloc(C) ----\n{p}");
 
     // The EPOD translator's final artifact: CUDA-like source.
-    let cuda = oa_core::gpusim::to_cuda_source(
-        &p,
-        &oa_core::loopir::interp::Bindings::square(1024),
-    )
-    .unwrap();
+    let cuda =
+        oa_core::gpusim::to_cuda_source(&p, &oa_core::loopir::interp::Bindings::square(1024))
+            .unwrap();
     println!("---- emitted CUDA source (n = 1024) ----\n{cuda}");
 
     println!("================ TRMM-LL-N: peeling vs padding (Fig. 6) ================\n");
     let make_tiled = || {
-        let mut t = oa_core::blas3::routines::source(RoutineId::Trmm(
-            Side::Left,
-            Uplo::Lower,
-            Trans::N,
-        ));
+        let mut t =
+            oa_core::blas3::routines::source(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
         thread_grouping(&mut t, "Li", "Lj", params).unwrap();
         loop_tiling(&mut t, "Lii", "Ljj", "Lk").unwrap();
         t

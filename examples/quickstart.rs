@@ -18,7 +18,10 @@ fn main() {
     println!("tuning {} on {} (n = {n})…", routine.name(), device.name);
     let tuned = oa.tune(routine, n).expect("tuning succeeds");
 
-    println!("\nbest EPOD script ({} candidates evaluated):", tuned.evaluated);
+    println!(
+        "\nbest EPOD script ({} candidates evaluated):",
+        tuned.evaluated
+    );
     println!("{}", tuned.script);
     println!("tile parameters: {:?}", tuned.params);
     println!(

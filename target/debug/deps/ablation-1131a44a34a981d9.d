@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1131a44a34a981d9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1131a44a34a981d9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

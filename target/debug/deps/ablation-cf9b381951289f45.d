@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-cf9b381951289f45.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-cf9b381951289f45: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

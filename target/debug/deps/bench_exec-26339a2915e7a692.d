@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_exec-26339a2915e7a692.d: crates/bench/src/bin/bench_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_exec-26339a2915e7a692.rmeta: crates/bench/src/bin/bench_exec.rs Cargo.toml
+
+crates/bench/src/bin/bench_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composer_filter_example-2554b41e598cfd7b.d: crates/core/../../tests/composer_filter_example.rs
+
+/root/repo/target/debug/deps/composer_filter_example-2554b41e598cfd7b: crates/core/../../tests/composer_filter_example.rs
+
+crates/core/../../tests/composer_filter_example.rs:

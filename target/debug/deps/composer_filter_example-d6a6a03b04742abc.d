@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composer_filter_example-d6a6a03b04742abc.d: crates/core/../../tests/composer_filter_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposer_filter_example-d6a6a03b04742abc.rmeta: crates/core/../../tests/composer_filter_example.rs Cargo.toml
+
+crates/core/../../tests/composer_filter_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

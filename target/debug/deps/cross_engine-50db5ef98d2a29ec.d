@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-50db5ef98d2a29ec.d: crates/core/../../tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-50db5ef98d2a29ec: crates/core/../../tests/cross_engine.rs
+
+crates/core/../../tests/cross_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine-a36e648f5ca3099e.d: crates/core/../../tests/cross_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine-a36e648f5ca3099e.rmeta: crates/core/../../tests/cross_engine.rs Cargo.toml
+
+crates/core/../../tests/cross_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

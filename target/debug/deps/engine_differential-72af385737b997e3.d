@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_differential-72af385737b997e3.d: crates/core/../../tests/engine_differential.rs
+
+/root/repo/target/debug/deps/engine_differential-72af385737b997e3: crates/core/../../tests/engine_differential.rs
+
+crates/core/../../tests/engine_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0458e44bf57288f9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0458e44bf57288f9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

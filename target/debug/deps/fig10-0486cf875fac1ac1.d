@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0486cf875fac1ac1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0486cf875fac1ac1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_geforce9800-fd4931e193fba415.d: crates/bench/benches/fig10_geforce9800.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_geforce9800-fd4931e193fba415.rmeta: crates/bench/benches/fig10_geforce9800.rs Cargo.toml
+
+crates/bench/benches/fig10_geforce9800.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

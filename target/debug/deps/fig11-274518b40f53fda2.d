@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-274518b40f53fda2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-274518b40f53fda2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-71398ddb0d26266b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-71398ddb0d26266b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

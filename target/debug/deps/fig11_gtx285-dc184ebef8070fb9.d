@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_gtx285-dc184ebef8070fb9.d: crates/bench/benches/fig11_gtx285.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_gtx285-dc184ebef8070fb9.rmeta: crates/bench/benches/fig11_gtx285.rs Cargo.toml
+
+crates/bench/benches/fig11_gtx285.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

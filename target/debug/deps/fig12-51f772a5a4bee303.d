@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-51f772a5a4bee303.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-51f772a5a4bee303: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-c95d39d7168dc079.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-c95d39d7168dc079: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_fermi-f176686c995bfa0b.d: crates/bench/benches/fig12_fermi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_fermi-f176686c995bfa0b.rmeta: crates/bench/benches/fig12_fermi.rs Cargo.toml
+
+crates/bench/benches/fig12_fermi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-23d8e09937dcaab4.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-23d8e09937dcaab4: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

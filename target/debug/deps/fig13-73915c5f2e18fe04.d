@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-73915c5f2e18fe04.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-73915c5f2e18fe04: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

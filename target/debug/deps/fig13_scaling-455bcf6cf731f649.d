@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_scaling-455bcf6cf731f649.d: crates/bench/benches/fig13_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_scaling-455bcf6cf731f649.rmeta: crates/bench/benches/fig13_scaling.rs Cargo.toml
+
+crates/bench/benches/fig13_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-324deb849d36990d.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-324deb849d36990d: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

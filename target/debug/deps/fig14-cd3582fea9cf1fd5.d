@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-cd3582fea9cf1fd5.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-cd3582fea9cf1fd5: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_scripts-a24a02c14ec247ad.d: crates/core/../../tests/fig14_scripts.rs
+
+/root/repo/target/debug/deps/fig14_scripts-a24a02c14ec247ad: crates/core/../../tests/fig14_scripts.rs
+
+crates/core/../../tests/fig14_scripts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_scripts-a87a98717bb14b89.d: crates/core/../../tests/fig14_scripts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_scripts-a87a98717bb14b89.rmeta: crates/core/../../tests/fig14_scripts.rs Cargo.toml
+
+crates/core/../../tests/fig14_scripts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

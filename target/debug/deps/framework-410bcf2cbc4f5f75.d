@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework-410bcf2cbc4f5f75.d: crates/bench/benches/framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework-410bcf2cbc4f5f75.rmeta: crates/bench/benches/framework.rs Cargo.toml
+
+crates/bench/benches/framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

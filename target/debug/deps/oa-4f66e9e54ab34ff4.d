@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa-4f66e9e54ab34ff4.d: crates/core/src/bin/oa.rs
+
+/root/repo/target/debug/deps/oa-4f66e9e54ab34ff4: crates/core/src/bin/oa.rs
+
+crates/core/src/bin/oa.rs:

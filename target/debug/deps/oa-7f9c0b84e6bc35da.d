@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa-7f9c0b84e6bc35da.d: crates/core/src/bin/oa.rs
+
+/root/repo/target/debug/deps/oa-7f9c0b84e6bc35da: crates/core/src/bin/oa.rs
+
+crates/core/src/bin/oa.rs:

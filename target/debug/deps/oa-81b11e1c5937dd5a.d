@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa-81b11e1c5937dd5a.d: crates/core/src/bin/oa.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa-81b11e1c5937dd5a.rmeta: crates/core/src/bin/oa.rs Cargo.toml
+
+crates/core/src/bin/oa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa-9791f723badb0b8f.d: crates/core/src/bin/oa.rs
+
+/root/repo/target/debug/deps/oa-9791f723badb0b8f: crates/core/src/bin/oa.rs
+
+crates/core/src/bin/oa.rs:

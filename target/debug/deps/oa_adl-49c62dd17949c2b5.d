@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oa_adl-49c62dd17949c2b5.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_adl-49c62dd17949c2b5.rmeta: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs Cargo.toml
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

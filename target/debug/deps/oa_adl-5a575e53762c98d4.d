@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_adl-5a575e53762c98d4.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/debug/deps/liboa_adl-5a575e53762c98d4.rlib: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/debug/deps/liboa_adl-5a575e53762c98d4.rmeta: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_adl-8cf591d3c45224ff.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/debug/deps/oa_adl-8cf591d3c45224ff: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:

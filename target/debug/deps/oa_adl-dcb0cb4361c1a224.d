@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_adl-dcb0cb4361c1a224.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/debug/deps/liboa_adl-dcb0cb4361c1a224.rlib: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/debug/deps/liboa_adl-dcb0cb4361c1a224.rmeta: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oa_autotune-127ce2174b46e6f1.d: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/debug/deps/liboa_autotune-127ce2174b46e6f1.rlib: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/debug/deps/liboa_autotune-127ce2174b46e6f1.rmeta: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/cache.rs:
+crates/autotune/src/json.rs:
+crates/autotune/src/space.rs:
+crates/autotune/src/tuner.rs:

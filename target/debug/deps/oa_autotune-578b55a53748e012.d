@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oa_autotune-578b55a53748e012.d: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_autotune-578b55a53748e012.rmeta: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs Cargo.toml
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/cache.rs:
+crates/autotune/src/json.rs:
+crates/autotune/src/space.rs:
+crates/autotune/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

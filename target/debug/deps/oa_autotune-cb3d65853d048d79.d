@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_autotune-cb3d65853d048d79.d: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/debug/deps/oa_autotune-cb3d65853d048d79: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/cache.rs:
+crates/autotune/src/json.rs:
+crates/autotune/src/space.rs:
+crates/autotune/src/tuner.rs:

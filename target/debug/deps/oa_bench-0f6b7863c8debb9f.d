@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_bench-0f6b7863c8debb9f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-0f6b7863c8debb9f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-0f6b7863c8debb9f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_bench-1fbf498aa356c69a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_bench-1fbf498aa356c69a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa_bench-591251f6fbcaf613.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/oa_bench-591251f6fbcaf613: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

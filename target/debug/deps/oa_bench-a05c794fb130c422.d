@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_bench-a05c794fb130c422.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_bench-a05c794fb130c422.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

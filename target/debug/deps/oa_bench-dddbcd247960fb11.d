@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_bench-dddbcd247960fb11.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-dddbcd247960fb11.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-dddbcd247960fb11.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oa_blas3-4c449db56e339ae1.d: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_blas3-4c449db56e339ae1.rmeta: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs Cargo.toml
+
+crates/blas3/src/lib.rs:
+crates/blas3/src/baselines.rs:
+crates/blas3/src/reference.rs:
+crates/blas3/src/routines.rs:
+crates/blas3/src/schemes.rs:
+crates/blas3/src/types.rs:
+crates/blas3/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oa_blas3-aec8a5ad9f1f00f4.d: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/debug/deps/liboa_blas3-aec8a5ad9f1f00f4.rlib: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/debug/deps/liboa_blas3-aec8a5ad9f1f00f4.rmeta: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+crates/blas3/src/lib.rs:
+crates/blas3/src/baselines.rs:
+crates/blas3/src/reference.rs:
+crates/blas3/src/routines.rs:
+crates/blas3/src/schemes.rs:
+crates/blas3/src/types.rs:
+crates/blas3/src/verify.rs:

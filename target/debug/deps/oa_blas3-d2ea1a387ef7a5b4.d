@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oa_blas3-d2ea1a387ef7a5b4.d: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/debug/deps/oa_blas3-d2ea1a387ef7a5b4: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+crates/blas3/src/lib.rs:
+crates/blas3/src/baselines.rs:
+crates/blas3/src/reference.rs:
+crates/blas3/src/routines.rs:
+crates/blas3/src/schemes.rs:
+crates/blas3/src/types.rs:
+crates/blas3/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oa_composer-4b8b3e47e15c48d7.d: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/debug/deps/liboa_composer-4b8b3e47e15c48d7.rlib: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/debug/deps/liboa_composer-4b8b3e47e15c48d7.rmeta: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+crates/composer/src/lib.rs:
+crates/composer/src/allocator.rs:
+crates/composer/src/compose.rs:
+crates/composer/src/filter.rs:
+crates/composer/src/mixer.rs:
+crates/composer/src/splitter.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/oa_composer-d6e7a967e4410820.d: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_composer-d6e7a967e4410820.rmeta: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs Cargo.toml
+
+crates/composer/src/lib.rs:
+crates/composer/src/allocator.rs:
+crates/composer/src/compose.rs:
+crates/composer/src/filter.rs:
+crates/composer/src/mixer.rs:
+crates/composer/src/splitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/oa_composer-f475c51950939149.d: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/debug/deps/liboa_composer-f475c51950939149.rlib: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/debug/deps/liboa_composer-f475c51950939149.rmeta: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+crates/composer/src/lib.rs:
+crates/composer/src/allocator.rs:
+crates/composer/src/compose.rs:
+crates/composer/src/filter.rs:
+crates/composer/src/mixer.rs:
+crates/composer/src/splitter.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_core-18427e466dea9eca.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_core-18427e466dea9eca.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_core-18427e466dea9eca.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_core-211feeaba515047c.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_core-211feeaba515047c.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

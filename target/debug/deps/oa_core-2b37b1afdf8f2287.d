@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_core-2b37b1afdf8f2287.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_core-2b37b1afdf8f2287.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_core-2b37b1afdf8f2287.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

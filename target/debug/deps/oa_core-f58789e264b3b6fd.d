@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa_core-f58789e264b3b6fd.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/oa_core-f58789e264b3b6fd: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oa_epod-68fb49c72fe1a1de.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/debug/deps/liboa_epod-68fb49c72fe1a1de.rlib: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/debug/deps/liboa_epod-68fb49c72fe1a1de.rmeta: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:

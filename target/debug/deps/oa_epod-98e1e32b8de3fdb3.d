@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oa_epod-98e1e32b8de3fdb3.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_epod-98e1e32b8de3fdb3.rmeta: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs Cargo.toml
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oa_epod-b3a54a86df021a99.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/debug/deps/oa_epod-b3a54a86df021a99: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oa_epod-d0e6c90827f9e729.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/debug/deps/liboa_epod-d0e6c90827f9e729.rlib: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/debug/deps/liboa_epod-d0e6c90827f9e729.rmeta: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oa_gpusim-41beb83860055f5d.d: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/debug/deps/liboa_gpusim-41beb83860055f5d.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/debug/deps/liboa_gpusim-41beb83860055f5d.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cudagen.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/events.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/perf.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/tape.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/oa_gpusim-4944529a757685a2.d: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboa_gpusim-4944529a757685a2.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cudagen.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/events.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/perf.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

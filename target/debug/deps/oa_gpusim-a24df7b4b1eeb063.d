@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/oa_gpusim-a24df7b4b1eeb063.d: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/debug/deps/liboa_gpusim-a24df7b4b1eeb063.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/debug/deps/liboa_gpusim-a24df7b4b1eeb063.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cudagen.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/events.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/perf.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/tape.rs:

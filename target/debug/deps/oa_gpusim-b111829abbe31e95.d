@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oa_gpusim-b111829abbe31e95.d: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/debug/deps/oa_gpusim-b111829abbe31e95: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cudagen.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/events.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/perf.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/tape.rs:

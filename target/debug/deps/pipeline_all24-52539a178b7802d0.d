@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_all24-52539a178b7802d0.d: crates/core/../../tests/pipeline_all24.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_all24-52539a178b7802d0.rmeta: crates/core/../../tests/pipeline_all24.rs Cargo.toml
+
+crates/core/../../tests/pipeline_all24.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_all24-66d4895fc45882a3.d: crates/core/../../tests/pipeline_all24.rs
+
+/root/repo/target/debug/deps/pipeline_all24-66d4895fc45882a3: crates/core/../../tests/pipeline_all24.rs
+
+crates/core/../../tests/pipeline_all24.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-636ad4997d2f66cf.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-636ad4997d2f66cf: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-9969c1ac281b6b46.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9969c1ac281b6b46.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-9969c1ac281b6b46.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

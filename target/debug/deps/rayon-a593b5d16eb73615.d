@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-a593b5d16eb73615.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-a593b5d16eb73615: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

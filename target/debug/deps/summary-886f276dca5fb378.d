@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-886f276dca5fb378.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-886f276dca5fb378: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

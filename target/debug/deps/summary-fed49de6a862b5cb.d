@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-fed49de6a862b5cb.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-fed49de6a862b5cb: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-1dc0dc4a3f16c6a9.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-1dc0dc4a3f16c6a9: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

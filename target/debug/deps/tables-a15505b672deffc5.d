@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-a15505b672deffc5.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-a15505b672deffc5: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

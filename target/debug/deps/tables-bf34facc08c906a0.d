@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-bf34facc08c906a0.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-bf34facc08c906a0.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

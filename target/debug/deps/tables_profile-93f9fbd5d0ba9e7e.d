@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables_profile-93f9fbd5d0ba9e7e.d: crates/bench/benches/tables_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables_profile-93f9fbd5d0ba9e7e.rmeta: crates/bench/benches/tables_profile.rs Cargo.toml
+
+crates/bench/benches/tables_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

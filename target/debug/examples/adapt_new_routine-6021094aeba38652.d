@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adapt_new_routine-6021094aeba38652.d: crates/core/../../examples/adapt_new_routine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadapt_new_routine-6021094aeba38652.rmeta: crates/core/../../examples/adapt_new_routine.rs Cargo.toml
+
+crates/core/../../examples/adapt_new_routine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

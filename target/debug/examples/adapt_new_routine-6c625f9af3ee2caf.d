@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adapt_new_routine-6c625f9af3ee2caf.d: crates/core/../../examples/adapt_new_routine.rs
+
+/root/repo/target/debug/examples/adapt_new_routine-6c625f9af3ee2caf: crates/core/../../examples/adapt_new_routine.rs
+
+crates/core/../../examples/adapt_new_routine.rs:

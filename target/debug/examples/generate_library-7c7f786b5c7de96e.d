@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generate_library-7c7f786b5c7de96e.d: crates/core/../../examples/generate_library.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerate_library-7c7f786b5c7de96e.rmeta: crates/core/../../examples/generate_library.rs Cargo.toml
+
+crates/core/../../examples/generate_library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

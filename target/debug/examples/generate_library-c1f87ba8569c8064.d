@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generate_library-c1f87ba8569c8064.d: crates/core/../../examples/generate_library.rs
+
+/root/repo/target/debug/examples/generate_library-c1f87ba8569c8064: crates/core/../../examples/generate_library.rs
+
+crates/core/../../examples/generate_library.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_kernels-1e6ea7f4740ce5bd.d: crates/core/../../examples/inspect_kernels.rs
+
+/root/repo/target/debug/examples/inspect_kernels-1e6ea7f4740ce5bd: crates/core/../../examples/inspect_kernels.rs
+
+crates/core/../../examples/inspect_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_kernels-ee935e60ce7c91ad.d: crates/core/../../examples/inspect_kernels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_kernels-ee935e60ce7c91ad.rmeta: crates/core/../../examples/inspect_kernels.rs Cargo.toml
+
+crates/core/../../examples/inspect_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

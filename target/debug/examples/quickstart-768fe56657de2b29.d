@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-768fe56657de2b29.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-768fe56657de2b29: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0243df633dcd736d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-0243df633dcd736d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

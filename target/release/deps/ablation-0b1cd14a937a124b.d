@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-0b1cd14a937a124b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-0b1cd14a937a124b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

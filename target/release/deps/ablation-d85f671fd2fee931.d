@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d85f671fd2fee931.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d85f671fd2fee931: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_exec-2ffcd49c2cb163a1.d: crates/bench/src/bin/bench_exec.rs
+
+/root/repo/target/release/deps/bench_exec-2ffcd49c2cb163a1: crates/bench/src/bin/bench_exec.rs
+
+crates/bench/src/bin/bench_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_exec-be5b09be2d8bbf6a.d: crates/bench/src/bin/bench_exec.rs
+
+/root/repo/target/release/deps/bench_exec-be5b09be2d8bbf6a: crates/bench/src/bin/bench_exec.rs
+
+crates/bench/src/bin/bench_exec.rs:

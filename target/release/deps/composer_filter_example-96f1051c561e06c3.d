@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/composer_filter_example-96f1051c561e06c3.d: crates/core/../../tests/composer_filter_example.rs
+
+/root/repo/target/release/deps/composer_filter_example-96f1051c561e06c3: crates/core/../../tests/composer_filter_example.rs
+
+crates/core/../../tests/composer_filter_example.rs:

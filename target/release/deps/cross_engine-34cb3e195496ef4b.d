@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_engine-34cb3e195496ef4b.d: crates/core/../../tests/cross_engine.rs
+
+/root/repo/target/release/deps/cross_engine-34cb3e195496ef4b: crates/core/../../tests/cross_engine.rs
+
+crates/core/../../tests/cross_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_differential-e04f2ca6bcdf91fa.d: crates/core/../../tests/engine_differential.rs
+
+/root/repo/target/release/deps/engine_differential-e04f2ca6bcdf91fa: crates/core/../../tests/engine_differential.rs
+
+crates/core/../../tests/engine_differential.rs:

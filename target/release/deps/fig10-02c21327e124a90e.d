@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-02c21327e124a90e.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-02c21327e124a90e: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

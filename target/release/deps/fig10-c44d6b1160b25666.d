@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-c44d6b1160b25666.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-c44d6b1160b25666: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

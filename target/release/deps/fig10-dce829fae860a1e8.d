@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-dce829fae860a1e8.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-dce829fae860a1e8: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-87cff184ffb04ad4.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-87cff184ffb04ad4: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-b710a3c746a4d686.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-b710a3c746a4d686: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

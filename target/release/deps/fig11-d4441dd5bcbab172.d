@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-d4441dd5bcbab172.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-d4441dd5bcbab172: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

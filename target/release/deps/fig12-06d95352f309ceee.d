@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-06d95352f309ceee.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-06d95352f309ceee: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-312c09b0f580c1c0.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-312c09b0f580c1c0: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-aae116bd2ef96806.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-aae116bd2ef96806: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-7344adc2dfb3c24d.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-7344adc2dfb3c24d: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-a8550833e762853f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-a8550833e762853f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

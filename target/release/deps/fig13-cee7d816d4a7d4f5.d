@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-cee7d816d4a7d4f5.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-cee7d816d4a7d4f5: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

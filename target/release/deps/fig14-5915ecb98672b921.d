@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-5915ecb98672b921.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-5915ecb98672b921: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-b33ce071d58317e2.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-b33ce071d58317e2: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-c3fd0c152be203e9.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-c3fd0c152be203e9: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_scripts-44427adc62ab300e.d: crates/core/../../tests/fig14_scripts.rs
+
+/root/repo/target/release/deps/fig14_scripts-44427adc62ab300e: crates/core/../../tests/fig14_scripts.rs
+
+crates/core/../../tests/fig14_scripts.rs:

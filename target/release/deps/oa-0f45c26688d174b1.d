@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oa-0f45c26688d174b1.d: crates/core/src/bin/oa.rs
+
+/root/repo/target/release/deps/oa-0f45c26688d174b1: crates/core/src/bin/oa.rs
+
+crates/core/src/bin/oa.rs:

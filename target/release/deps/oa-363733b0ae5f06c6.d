@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oa-363733b0ae5f06c6.d: crates/core/src/bin/oa.rs
+
+/root/repo/target/release/deps/oa-363733b0ae5f06c6: crates/core/src/bin/oa.rs
+
+crates/core/src/bin/oa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oa_adl-7df7c93248cdaaa2.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/release/deps/liboa_adl-7df7c93248cdaaa2.rlib: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/release/deps/liboa_adl-7df7c93248cdaaa2.rmeta: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oa_adl-bf09ab942acebb69.d: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+/root/repo/target/release/deps/oa_adl-bf09ab942acebb69: crates/adl/src/lib.rs crates/adl/src/builtin.rs crates/adl/src/parser.rs
+
+crates/adl/src/lib.rs:
+crates/adl/src/builtin.rs:
+crates/adl/src/parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oa_autotune-432984e4714c7714.d: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/release/deps/oa_autotune-432984e4714c7714: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/cache.rs:
+crates/autotune/src/json.rs:
+crates/autotune/src/space.rs:
+crates/autotune/src/tuner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oa_autotune-aa89f202df8b6f80.d: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/release/deps/liboa_autotune-aa89f202df8b6f80.rlib: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+/root/repo/target/release/deps/liboa_autotune-aa89f202df8b6f80.rmeta: crates/autotune/src/lib.rs crates/autotune/src/cache.rs crates/autotune/src/json.rs crates/autotune/src/space.rs crates/autotune/src/tuner.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/cache.rs:
+crates/autotune/src/json.rs:
+crates/autotune/src/space.rs:
+crates/autotune/src/tuner.rs:

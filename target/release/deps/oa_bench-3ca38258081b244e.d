@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oa_bench-3ca38258081b244e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboa_bench-3ca38258081b244e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboa_bench-3ca38258081b244e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

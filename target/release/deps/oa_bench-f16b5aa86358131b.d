@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oa_bench-f16b5aa86358131b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/oa_bench-f16b5aa86358131b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oa_bench-fcb1524464121bbd.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboa_bench-fcb1524464121bbd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liboa_bench-fcb1524464121bbd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

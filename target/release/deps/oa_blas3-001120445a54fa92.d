@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/oa_blas3-001120445a54fa92.d: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/release/deps/liboa_blas3-001120445a54fa92.rlib: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/release/deps/liboa_blas3-001120445a54fa92.rmeta: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+crates/blas3/src/lib.rs:
+crates/blas3/src/baselines.rs:
+crates/blas3/src/reference.rs:
+crates/blas3/src/routines.rs:
+crates/blas3/src/schemes.rs:
+crates/blas3/src/types.rs:
+crates/blas3/src/verify.rs:

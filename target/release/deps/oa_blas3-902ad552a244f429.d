@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oa_blas3-902ad552a244f429.d: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+/root/repo/target/release/deps/oa_blas3-902ad552a244f429: crates/blas3/src/lib.rs crates/blas3/src/baselines.rs crates/blas3/src/reference.rs crates/blas3/src/routines.rs crates/blas3/src/schemes.rs crates/blas3/src/types.rs crates/blas3/src/verify.rs
+
+crates/blas3/src/lib.rs:
+crates/blas3/src/baselines.rs:
+crates/blas3/src/reference.rs:
+crates/blas3/src/routines.rs:
+crates/blas3/src/schemes.rs:
+crates/blas3/src/types.rs:
+crates/blas3/src/verify.rs:

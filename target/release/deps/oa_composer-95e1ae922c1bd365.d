@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/oa_composer-95e1ae922c1bd365.d: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/release/deps/liboa_composer-95e1ae922c1bd365.rlib: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/release/deps/liboa_composer-95e1ae922c1bd365.rmeta: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+crates/composer/src/lib.rs:
+crates/composer/src/allocator.rs:
+crates/composer/src/compose.rs:
+crates/composer/src/filter.rs:
+crates/composer/src/mixer.rs:
+crates/composer/src/splitter.rs:

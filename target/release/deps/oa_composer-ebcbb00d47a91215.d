@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/oa_composer-ebcbb00d47a91215.d: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+/root/repo/target/release/deps/oa_composer-ebcbb00d47a91215: crates/composer/src/lib.rs crates/composer/src/allocator.rs crates/composer/src/compose.rs crates/composer/src/filter.rs crates/composer/src/mixer.rs crates/composer/src/splitter.rs
+
+crates/composer/src/lib.rs:
+crates/composer/src/allocator.rs:
+crates/composer/src/compose.rs:
+crates/composer/src/filter.rs:
+crates/composer/src/mixer.rs:
+crates/composer/src/splitter.rs:

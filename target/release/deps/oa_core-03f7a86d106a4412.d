@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oa_core-03f7a86d106a4412.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/oa_core-03f7a86d106a4412: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

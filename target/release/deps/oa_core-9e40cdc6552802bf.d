@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oa_core-9e40cdc6552802bf.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/liboa_core-9e40cdc6552802bf.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/liboa_core-9e40cdc6552802bf.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oa_epod-3c4c8c9c12a7cde5.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/release/deps/liboa_epod-3c4c8c9c12a7cde5.rlib: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/release/deps/liboa_epod-3c4c8c9c12a7cde5.rmeta: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:

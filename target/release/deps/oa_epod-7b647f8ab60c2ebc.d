@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oa_epod-7b647f8ab60c2ebc.d: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+/root/repo/target/release/deps/oa_epod-7b647f8ab60c2ebc: crates/epod/src/lib.rs crates/epod/src/ast.rs crates/epod/src/component.rs crates/epod/src/parser.rs crates/epod/src/translator.rs
+
+crates/epod/src/lib.rs:
+crates/epod/src/ast.rs:
+crates/epod/src/component.rs:
+crates/epod/src/parser.rs:
+crates/epod/src/translator.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/oa_gpusim-c14791fd3f2c29a5.d: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/release/deps/liboa_gpusim-c14791fd3f2c29a5.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+/root/repo/target/release/deps/liboa_gpusim-c14791fd3f2c29a5.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cudagen.rs crates/gpusim/src/device.rs crates/gpusim/src/events.rs crates/gpusim/src/exec.rs crates/gpusim/src/launch.rs crates/gpusim/src/perf.rs crates/gpusim/src/profile.rs crates/gpusim/src/tape.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cudagen.rs:
+crates/gpusim/src/device.rs:
+crates/gpusim/src/events.rs:
+crates/gpusim/src/exec.rs:
+crates/gpusim/src/launch.rs:
+crates/gpusim/src/perf.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_all24-9dfbd309a30a97de.d: crates/core/../../tests/pipeline_all24.rs
+
+/root/repo/target/release/deps/pipeline_all24-9dfbd309a30a97de: crates/core/../../tests/pipeline_all24.rs
+
+crates/core/../../tests/pipeline_all24.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d09b6ff33d3e35a2.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-d09b6ff33d3e35a2: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

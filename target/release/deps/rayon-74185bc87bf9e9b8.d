@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-74185bc87bf9e9b8.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-74185bc87bf9e9b8: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

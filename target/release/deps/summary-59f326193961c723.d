@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-59f326193961c723.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-59f326193961c723: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-e3d27104dfd53f24.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-e3d27104dfd53f24: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

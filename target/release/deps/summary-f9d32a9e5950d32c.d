@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-f9d32a9e5950d32c.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-f9d32a9e5950d32c: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

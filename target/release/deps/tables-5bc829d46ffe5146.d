@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-5bc829d46ffe5146.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-5bc829d46ffe5146: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-b07b23f08dd2c1b7.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-b07b23f08dd2c1b7: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

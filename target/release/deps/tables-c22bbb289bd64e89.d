@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-c22bbb289bd64e89.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-c22bbb289bd64e89: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adapt_new_routine-dae7ea8c270f24f4.d: crates/core/../../examples/adapt_new_routine.rs
+
+/root/repo/target/release/examples/adapt_new_routine-dae7ea8c270f24f4: crates/core/../../examples/adapt_new_routine.rs
+
+crates/core/../../examples/adapt_new_routine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/generate_library-031c4a9c00908386.d: crates/core/../../examples/generate_library.rs
+
+/root/repo/target/release/examples/generate_library-031c4a9c00908386: crates/core/../../examples/generate_library.rs
+
+crates/core/../../examples/generate_library.rs:

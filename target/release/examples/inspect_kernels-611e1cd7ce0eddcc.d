@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect_kernels-611e1cd7ce0eddcc.d: crates/core/../../examples/inspect_kernels.rs
+
+/root/repo/target/release/examples/inspect_kernels-611e1cd7ce0eddcc: crates/core/../../examples/inspect_kernels.rs
+
+crates/core/../../examples/inspect_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8eca1ac82574d75b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8eca1ac82574d75b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

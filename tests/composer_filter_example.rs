@@ -15,7 +15,9 @@ fn triangular_adaptor_mixing_matches_the_paper_example() {
         oa_core::blas3::routines::source(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N));
     let base = split(&oa_core::blas3::gemm_nn_script().stmts).sequence;
     assert_eq!(
-        base.iter().map(|i| i.component.as_str()).collect::<Vec<_>>(),
+        base.iter()
+            .map(|i| i.component.as_str())
+            .collect::<Vec<_>>(),
         vec!["thread_grouping", "loop_tiling", "loop_unroll"]
     );
 
@@ -23,10 +25,20 @@ fn triangular_adaptor_mixing_matches_the_paper_example() {
     let mut sequences = Vec::new();
     sequences.extend(mix(&base, &[]));
     sequences.extend(mix(&base, &[Invocation::idents("peel_triangular", &["A"])]));
-    sequences.extend(mix(&base, &[Invocation::idents("padding_triangular", &["A"])]));
+    sequences.extend(mix(
+        &base,
+        &[Invocation::idents("padding_triangular", &["A"])],
+    ));
     assert_eq!(sequences.len(), 9, "the paper's example mixes 9 sequences");
 
-    let params = TileParams { ty: 16, tx: 16, thr_i: 8, thr_j: 8, kb: 8, unroll: 0 };
+    let params = TileParams {
+        ty: 16,
+        tx: 16,
+        thr_i: 8,
+        thr_j: 8,
+        kb: 8,
+        unroll: 0,
+    };
     let surviving = filter(&source, &sequences, params).unwrap();
     let effective: Vec<Vec<&str>> = surviving
         .iter()
@@ -37,12 +49,24 @@ fn triangular_adaptor_mixing_matches_the_paper_example() {
     // counts 7 because its grouping tiles k too — DESIGN.md §6):
     assert_eq!(surviving.len(), 5, "semi-output: {effective:?}");
     // All three optimization outcomes are represented.
-    assert!(effective
-        .contains(&vec!["thread_grouping", "loop_tiling", "peel_triangular", "loop_unroll"]));
+    assert!(effective.contains(&vec![
+        "thread_grouping",
+        "loop_tiling",
+        "peel_triangular",
+        "loop_unroll"
+    ]));
     assert!(effective.contains(&vec!["thread_grouping", "loop_tiling", "peel_triangular"]));
-    assert!(effective
-        .contains(&vec!["thread_grouping", "loop_tiling", "padding_triangular", "loop_unroll"]));
-    assert!(effective.contains(&vec!["thread_grouping", "loop_tiling", "padding_triangular"]));
+    assert!(effective.contains(&vec![
+        "thread_grouping",
+        "loop_tiling",
+        "padding_triangular",
+        "loop_unroll"
+    ]));
+    assert!(effective.contains(&vec![
+        "thread_grouping",
+        "loop_tiling",
+        "padding_triangular"
+    ]));
 
     // Degenerations recorded: peel before tiling fails ("cannot detect a
     // trapezoid area"), unroll over the triangular band fails.
@@ -51,7 +75,10 @@ fn triangular_adaptor_mixing_matches_the_paper_example() {
             .iter()
             .any(|(inv, _)| inv.component == "loop_unroll" || inv.component == "peel_triangular")
     });
-    assert!(some_drop, "degeneration must be visible in the filter output");
+    assert!(
+        some_drop,
+        "degeneration must be visible in the filter output"
+    );
 }
 
 #[test]

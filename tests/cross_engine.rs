@@ -13,7 +13,14 @@ use oa_core::loopir::transform::{
 use oa_core::loopir::{AllocMode, Program};
 
 fn params() -> TileParams {
-    TileParams { ty: 8, tx: 8, thr_i: 4, thr_j: 4, kb: 4, unroll: 0 }
+    TileParams {
+        ty: 8,
+        tx: 8,
+        thr_i: 4,
+        thr_j: 4,
+        kb: 4,
+        unroll: 0,
+    }
 }
 
 fn assert_engines_agree(p: &Program, n: i64, seed: u64) {

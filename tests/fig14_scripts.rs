@@ -22,14 +22,18 @@ fn winning_scripts_have_fig14_shapes() {
 
     // SYMM (left/lower = the paper's SYMM-LN): GM_map(A, Symmetry) +
     // format_iteration — exactly Fig. 14.
-    let symm = oa.tune(RoutineId::Symm(Side::Left, Uplo::Lower), n).unwrap();
+    let symm = oa
+        .tune(RoutineId::Symm(Side::Left, Uplo::Lower), n)
+        .unwrap();
     let names = symm.script.component_names();
     assert_eq!(names[0], "GM_map", "SYMM script:\n{}", symm.script);
     assert_eq!(names[1], "format_iteration");
     assert!(names.contains(&"thread_grouping"));
 
     // TRMM-LL-N: padding_triangular (Fig. 14's pick) or peel_triangular.
-    let trmm = oa.tune(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N), n).unwrap();
+    let trmm = oa
+        .tune(RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N), n)
+        .unwrap();
     let names = trmm.script.component_names();
     assert!(
         names.contains(&"padding_triangular") || names.contains(&"peel_triangular"),
@@ -42,7 +46,9 @@ fn winning_scripts_have_fig14_shapes() {
     // per-column solve (the empty solver rule) — assert the kernel came
     // from the solver scheme either way (SM_alloc(B, Transpose) and the
     // register accumulator are its signature).
-    let trsm = oa.tune(RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N), n).unwrap();
+    let trsm = oa
+        .tune(RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N), n)
+        .unwrap();
     let names = trsm.script.component_names();
     assert!(names.contains(&"thread_grouping"));
     assert!(names.contains(&"SM_alloc"));
@@ -62,7 +68,14 @@ fn bound_trsm_variant_exists_and_is_correct() {
     let r = RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N);
     let scheme = oa_core::blas3::schemes::oa_scheme(r);
     let src = oa_core::blas3::routines::source(r);
-    let params = TileParams { ty: 16, tx: 32, thr_i: 1, thr_j: 32, kb: 8, unroll: 0 };
+    let params = TileParams {
+        ty: 16,
+        tx: 32,
+        thr_i: 1,
+        thr_j: 32,
+        kb: 8,
+        unroll: 0,
+    };
     let mut found = false;
     for base in &scheme.bases {
         for v in compose(&src, base, &scheme.apps, params).unwrap() {
@@ -71,7 +84,11 @@ fn bound_trsm_variant_exists_and_is_correct() {
                 let rep =
                     oa_core::blas3::verify::verify_against_reference(r, &v.program, 64, 7, true)
                         .unwrap();
-                assert!(rep.max_abs_diff < 5e-2, "bound TRSM wrong by {}", rep.max_abs_diff);
+                assert!(
+                    rep.max_abs_diff < 5e-2,
+                    "bound TRSM wrong by {}",
+                    rep.max_abs_diff
+                );
             }
         }
     }

@@ -13,9 +13,23 @@ use oa_core::RoutineId;
 
 fn exec_params(solver: bool) -> TileParams {
     if solver {
-        TileParams { ty: 16, tx: 32, thr_i: 1, thr_j: 32, kb: 8, unroll: 0 }
+        TileParams {
+            ty: 16,
+            tx: 32,
+            thr_i: 1,
+            thr_j: 32,
+            kb: 8,
+            unroll: 0,
+        }
     } else {
-        TileParams { ty: 16, tx: 16, thr_i: 8, thr_j: 8, kb: 8, unroll: 0 }
+        TileParams {
+            ty: 16,
+            tx: 16,
+            thr_i: 8,
+            thr_j: 8,
+            kb: 8,
+            unroll: 0,
+        }
     }
 }
 
@@ -63,6 +77,10 @@ fn every_variant_of_every_routine_is_correct_on_the_gpu_executor() {
                 }
             }
         }
-        assert!(checked >= 2, "{}: no executable variants were verified", r.name());
+        assert!(
+            checked >= 2,
+            "{}: no executable variants were verified",
+            r.name()
+        );
     }
 }

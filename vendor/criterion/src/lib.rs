@@ -1,0 +1,250 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate, vendored
+//! so the workspace's `harness = false` benches build and run offline.
+//!
+//! It implements the API subset the benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples wall-clock measurement instead of criterion's full
+//! statistical machinery.  Passing `--bench` / `--test` on the command line
+//! (as `cargo bench` / `cargo test --benches` do) is accepted; `--test`
+//! runs each benchmark once, for smoke coverage.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default sample count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            c: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let smoke = self.smoke_only;
+        run_one(&id.into(), sample_size, smoke, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Set the group's target measurement time (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.c.sample_size)
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.effective_samples(), self.c.smoke_only, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(&full, self.effective_samples(), self.c.smoke_only, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// The per-sample iteration driver handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds of the most recent sample.
+    sample_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.sample_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, smoke_only: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if smoke_only {
+        let mut b = Bencher {
+            sample_ns: 0,
+            iters: 1,
+        };
+        f(&mut b);
+        println!("{id:<48} smoke ok");
+        return;
+    }
+    // Calibrate the per-sample iteration count toward ~50ms samples.
+    let mut b = Bencher {
+        sample_ns: 0,
+        iters: 1,
+    };
+    f(&mut b);
+    let per_iter = b.sample_ns.max(1);
+    let iters = ((50_000_000 / per_iter).clamp(1, 1_000_000)) as u64;
+
+    let mut ns: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            sample_ns: 0,
+            iters,
+        };
+        f(&mut b);
+        ns.push(b.sample_ns / iters as u128);
+    }
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    let lo = ns[0];
+    let hi = ns[ns.len() - 1];
+    println!(
+        "{id:<48} median {} (min {}, max {}, {} samples x {iters} iters)",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declare a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("evaluate", 512).render(), "evaluate/512");
+    }
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut n = 0u64;
+        let mut b = Bencher {
+            sample_ns: 0,
+            iters: 3,
+        };
+        b.iter(|| n += 1);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,373 @@
+//! A minimal, dependency-free stand-in for the `rayon` crate, vendored so
+//! the workspace builds fully offline.
+//!
+//! It implements the ordered data-parallel subset this workspace actually
+//! uses — `par_iter()` over slices/`Vec`s and `into_par_iter()` over `Vec`s
+//! and integer ranges, with `map` / `filter_map` / `for_each` / `collect` —
+//! on top of `std::thread::scope`.  Results always come back in input
+//! order, matching real rayon's `collect` semantics for indexed iterators.
+//!
+//! Nested parallelism is handled by running any par-iterator that is
+//! already inside a worker thread sequentially (a simpler but effective
+//! version of rayon's work-stealing: the outer level saturates the cores,
+//! inner levels stay inline instead of oversubscribing).
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Set while the current thread is a worker of an enclosing par-iter.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order; `None`
+/// results are filtered out.  The single execution primitive every adapter
+/// funnels into.
+fn drive<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> Option<O> + Sync,
+{
+    let workers = worker_count().min(items.len().max(1));
+    if workers <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().filter_map(f).collect();
+    }
+    // Pre-slice into one contiguous chunk per worker so concatenation
+    // preserves input order.
+    let len = items.len();
+    let chunk = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    c.into_iter().filter_map(f).collect::<Vec<O>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An ordered parallel iterator.
+///
+/// Unlike real rayon this is not a splittable producer; adapters compose a
+/// closure pipeline which [`drive`] runs chunk-parallel over the
+/// materialized base items.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Run the pipeline, keeping `Some` results in input order.
+    fn run<O, F>(self, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Sync;
+
+    /// Transform every item.
+    fn map<O, G>(self, g: G) -> Map<Self, G>
+    where
+        O: Send,
+        G: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, g }
+    }
+
+    /// Transform and filter in one step.
+    fn filter_map<O, G>(self, g: G) -> FilterMap<Self, G>
+    where
+        O: Send,
+        G: Fn(Self::Item) -> Option<O> + Sync,
+    {
+        FilterMap { base: self, g }
+    }
+
+    /// Keep items satisfying the predicate.
+    fn filter<G>(self, g: G) -> Filter<Self, G>
+    where
+        G: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, g }
+    }
+
+    /// Consume every item for its side effect.
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(Self::Item) + Sync,
+    {
+        self.run(|x| {
+            g(x);
+            None::<()>
+        });
+    }
+
+    /// Collect the results (ordered).
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(self.run(Some))
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run(Some).into_iter().sum()
+    }
+
+    /// Number of items surviving the pipeline.
+    fn count(self) -> usize {
+        self.run(|_| Some(())).len()
+    }
+}
+
+/// `map` adapter.
+pub struct Map<I, G> {
+    base: I,
+    g: G,
+}
+
+impl<I, O, G> ParallelIterator for Map<I, G>
+where
+    I: ParallelIterator,
+    O: Send,
+    G: Fn(I::Item) -> O + Sync,
+{
+    type Item = O;
+
+    fn run<O2, F>(self, f: F) -> Vec<O2>
+    where
+        O2: Send,
+        F: Fn(O) -> Option<O2> + Sync,
+    {
+        let g = self.g;
+        self.base.run(move |x| f(g(x)))
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<I, G> {
+    base: I,
+    g: G,
+}
+
+impl<I, O, G> ParallelIterator for FilterMap<I, G>
+where
+    I: ParallelIterator,
+    O: Send,
+    G: Fn(I::Item) -> Option<O> + Sync,
+{
+    type Item = O;
+
+    fn run<O2, F>(self, f: F) -> Vec<O2>
+    where
+        O2: Send,
+        F: Fn(O) -> Option<O2> + Sync,
+    {
+        let g = self.g;
+        self.base.run(move |x| g(x).and_then(&f))
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<I, G> {
+    base: I,
+    g: G,
+}
+
+impl<I, G> ParallelIterator for Filter<I, G>
+where
+    I: ParallelIterator,
+    G: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+
+    fn run<O2, F>(self, f: F) -> Vec<O2>
+    where
+        O2: Send,
+        F: Fn(I::Item) -> Option<O2> + Sync,
+    {
+        let g = self.g;
+        self.base.run(move |x| if g(&x) { f(x) } else { None })
+    }
+}
+
+/// Base iterator over owned items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run<O, F>(self, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(T) -> Option<O> + Sync,
+    {
+        drive(self.items, f)
+    }
+}
+
+/// Base iterator over borrowed items.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run<O, F>(self, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(&'a T) -> Option<O> + Sync,
+    {
+        drive(self.items.iter().collect(), f)
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = VecParIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> VecParIter<$t> {
+                VecParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` / `into_par_iter`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Current number of worker threads an outermost par-iter will use.
+pub fn current_num_threads() -> usize {
+    worker_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_collect() {
+        let v: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<i64> = (0i64..17).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[16], 17);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_inline() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..100).collect();
+                inner.par_iter().map(|&j| i + j).collect::<Vec<_>>().len()
+            })
+            .collect();
+        assert!(sums.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn for_each_and_sum() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..50).collect();
+        v.par_iter().for_each(|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 50);
+        let s: usize = (0usize..10).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}
