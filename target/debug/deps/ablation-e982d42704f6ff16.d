@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e982d42704f6ff16.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e982d42704f6ff16: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

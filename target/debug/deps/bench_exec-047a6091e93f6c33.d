@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_exec-047a6091e93f6c33.d: crates/bench/src/bin/bench_exec.rs
+
+/root/repo/target/debug/deps/bench_exec-047a6091e93f6c33: crates/bench/src/bin/bench_exec.rs
+
+crates/bench/src/bin/bench_exec.rs:

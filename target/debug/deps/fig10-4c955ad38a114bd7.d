@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4c955ad38a114bd7.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-4c955ad38a114bd7: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

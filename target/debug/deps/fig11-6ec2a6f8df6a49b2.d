@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-6ec2a6f8df6a49b2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-6ec2a6f8df6a49b2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-06fc836a1b450c60.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-06fc836a1b450c60: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

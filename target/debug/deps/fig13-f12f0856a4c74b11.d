@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f12f0856a4c74b11.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f12f0856a4c74b11: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-3d1b0f2ab1e8f45e.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-3d1b0f2ab1e8f45e: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

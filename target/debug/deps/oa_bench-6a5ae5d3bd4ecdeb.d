@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oa_bench-6a5ae5d3bd4ecdeb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-6a5ae5d3bd4ecdeb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liboa_bench-6a5ae5d3bd4ecdeb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

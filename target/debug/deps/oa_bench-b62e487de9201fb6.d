@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oa_bench-b62e487de9201fb6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/oa_bench-b62e487de9201fb6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/oa_loopir-9a12f21008677676.d: crates/loopir/src/lib.rs crates/loopir/src/arrays.rs crates/loopir/src/builder.rs crates/loopir/src/deps.rs crates/loopir/src/expr.rs crates/loopir/src/interp.rs crates/loopir/src/nest.rs crates/loopir/src/pretty.rs crates/loopir/src/scalar.rs crates/loopir/src/slots.rs crates/loopir/src/stmt.rs crates/loopir/src/transform/mod.rs crates/loopir/src/transform/binding.rs crates/loopir/src/transform/format_iteration.rs crates/loopir/src/transform/fission_fusion.rs crates/loopir/src/transform/gm_map.rs crates/loopir/src/transform/interchange.rs crates/loopir/src/transform/peel_pad.rs crates/loopir/src/transform/reg_alloc.rs crates/loopir/src/transform/sm_alloc.rs crates/loopir/src/transform/thread_grouping.rs crates/loopir/src/transform/tiling.rs crates/loopir/src/transform/unroll.rs
+/root/repo/target/debug/deps/oa_loopir-9a12f21008677676.d: crates/loopir/src/lib.rs crates/loopir/src/arrays.rs crates/loopir/src/builder.rs crates/loopir/src/deps.rs crates/loopir/src/expr.rs crates/loopir/src/interp.rs crates/loopir/src/nest.rs crates/loopir/src/pretty.rs crates/loopir/src/scalar.rs crates/loopir/src/slots.rs crates/loopir/src/stmt.rs crates/loopir/src/transform/mod.rs crates/loopir/src/transform/binding.rs crates/loopir/src/transform/fission_fusion.rs crates/loopir/src/transform/format_iteration.rs crates/loopir/src/transform/gm_map.rs crates/loopir/src/transform/interchange.rs crates/loopir/src/transform/peel_pad.rs crates/loopir/src/transform/reg_alloc.rs crates/loopir/src/transform/sm_alloc.rs crates/loopir/src/transform/thread_grouping.rs crates/loopir/src/transform/tiling.rs crates/loopir/src/transform/unroll.rs
 
-/root/repo/target/debug/deps/oa_loopir-9a12f21008677676: crates/loopir/src/lib.rs crates/loopir/src/arrays.rs crates/loopir/src/builder.rs crates/loopir/src/deps.rs crates/loopir/src/expr.rs crates/loopir/src/interp.rs crates/loopir/src/nest.rs crates/loopir/src/pretty.rs crates/loopir/src/scalar.rs crates/loopir/src/slots.rs crates/loopir/src/stmt.rs crates/loopir/src/transform/mod.rs crates/loopir/src/transform/binding.rs crates/loopir/src/transform/format_iteration.rs crates/loopir/src/transform/fission_fusion.rs crates/loopir/src/transform/gm_map.rs crates/loopir/src/transform/interchange.rs crates/loopir/src/transform/peel_pad.rs crates/loopir/src/transform/reg_alloc.rs crates/loopir/src/transform/sm_alloc.rs crates/loopir/src/transform/thread_grouping.rs crates/loopir/src/transform/tiling.rs crates/loopir/src/transform/unroll.rs
+/root/repo/target/debug/deps/oa_loopir-9a12f21008677676: crates/loopir/src/lib.rs crates/loopir/src/arrays.rs crates/loopir/src/builder.rs crates/loopir/src/deps.rs crates/loopir/src/expr.rs crates/loopir/src/interp.rs crates/loopir/src/nest.rs crates/loopir/src/pretty.rs crates/loopir/src/scalar.rs crates/loopir/src/slots.rs crates/loopir/src/stmt.rs crates/loopir/src/transform/mod.rs crates/loopir/src/transform/binding.rs crates/loopir/src/transform/fission_fusion.rs crates/loopir/src/transform/format_iteration.rs crates/loopir/src/transform/gm_map.rs crates/loopir/src/transform/interchange.rs crates/loopir/src/transform/peel_pad.rs crates/loopir/src/transform/reg_alloc.rs crates/loopir/src/transform/sm_alloc.rs crates/loopir/src/transform/thread_grouping.rs crates/loopir/src/transform/tiling.rs crates/loopir/src/transform/unroll.rs
 
 crates/loopir/src/lib.rs:
 crates/loopir/src/arrays.rs:
@@ -15,8 +15,8 @@ crates/loopir/src/slots.rs:
 crates/loopir/src/stmt.rs:
 crates/loopir/src/transform/mod.rs:
 crates/loopir/src/transform/binding.rs:
-crates/loopir/src/transform/format_iteration.rs:
 crates/loopir/src/transform/fission_fusion.rs:
+crates/loopir/src/transform/format_iteration.rs:
 crates/loopir/src/transform/gm_map.rs:
 crates/loopir/src/transform/interchange.rs:
 crates/loopir/src/transform/peel_pad.rs:

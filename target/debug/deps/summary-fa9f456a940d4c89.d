@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-fa9f456a940d4c89.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-fa9f456a940d4c89: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

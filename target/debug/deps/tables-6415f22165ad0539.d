@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-6415f22165ad0539.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-6415f22165ad0539: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:
