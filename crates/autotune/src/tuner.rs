@@ -274,6 +274,46 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// The execution engine behind the composer's legality filter must not
+    /// leak into search results: a fresh tune under each `OA_EXEC_ENGINE`
+    /// choice, and a cache replay (`tune_at`), all pick the same winner
+    /// for a pinned routine/size.  Guards against the bytecode engine
+    /// silently changing which candidate sequences survive filtering.
+    #[test]
+    fn engine_choice_does_not_change_tuning_results() {
+        let dev = DeviceSpec::gtx285();
+        let r = RoutineId::Gemm(Trans::T, Trans::N);
+        let n = 512;
+
+        let baseline = tune_fresh(r, &dev, n).unwrap();
+        for engine in ["oracle", "tape", "bytecode"] {
+            std::env::set_var("OA_EXEC_ENGINE", engine);
+            let t = tune_fresh(r, &dev, n).unwrap();
+            std::env::remove_var("OA_EXEC_ENGINE");
+            assert_eq!(t.script, baseline.script, "engine {engine} changed winner");
+            assert_eq!(t.params, baseline.params, "engine {engine} changed params");
+            assert!(
+                (t.report.gflops - baseline.report.gflops).abs() < 1e-9,
+                "engine {engine} changed predicted perf"
+            );
+        }
+
+        // A cached replay reproduces the same kernel without sweeping.
+        let dir = std::env::temp_dir().join("oa_tune_engine_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("tuning_cache.json");
+        let _ = std::fs::remove_file(&path);
+        let fresh = tune_at(r, &dev, n, &path).unwrap();
+        let replayed = tune_at(r, &dev, n, &path).unwrap();
+        assert_eq!(replayed.evaluated, 0);
+        for t in [&fresh, &replayed] {
+            assert_eq!(t.script, baseline.script);
+            assert_eq!(t.params, baseline.params);
+            assert!((t.report.gflops - baseline.report.gflops).abs() < 1e-9);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn tuned_trsm_solver_works() {
         let dev = DeviceSpec::gtx285();

@@ -1,19 +1,22 @@
-//! Micro-benchmark of the two functional GPU executors.
+//! Micro-benchmark of the three functional GPU executors.
 //!
 //! Runs fully lowered kernels (the CUBLAS-like baselines, which exercise
-//! staging, register tiles and barriers) through both engines:
+//! staging, register tiles and barriers) through all engines:
 //!
 //! * `exec::exec_program` — the tree-walking oracle (sequential blocks,
 //!   string-keyed environments);
-//! * `tape::Tape` — compile-once kernel tape, block-parallel with rayon.
+//! * `tape::Tape` — compile-once kernel tape, block-parallel with rayon;
+//! * `bytecode::ByteCode` — flat linear bytecode, optimized address units,
+//!   lane-vectorized interpretation (`vexec`).
 //!
 //! Reports wall-clock per launch, blocks/second and effective GFLOPS for
-//! each, and writes the measurements to `BENCH_exec.json`.  `--quick`
-//! trims the routine set and iteration budget for smoke runs.
+//! each, plus per-row and geomean tape→bytecode speedups, and writes the
+//! measurements to `BENCH_exec.json`.  `--quick` (alias `--smoke`) trims
+//! the routine set and iteration budget for smoke runs.
 
 use oa_core::autotune::json::Json;
 use oa_core::blas3::baselines::cublas_like;
-use oa_core::gpusim::{exec_program, DeviceSpec, Tape};
+use oa_core::gpusim::{exec_program, ByteCode, DeviceSpec, Tape};
 use oa_core::loopir::interp::{alloc_buffers, Bindings, Buffers};
 use oa_core::loopir::Program;
 use oa_core::{RoutineId, Side, Trans, Uplo};
@@ -51,11 +54,18 @@ struct Measurement {
     blocks: i64,
     legacy_secs: f64,
     tape_secs: f64,
+    bytecode_secs: f64,
 }
 
 impl Measurement {
+    /// Oracle → tape speedup (the PR 1 headline).
     fn speedup(&self) -> f64 {
         self.legacy_secs / self.tape_secs
+    }
+
+    /// Tape → bytecode speedup (the PR 2 headline).
+    fn bytecode_speedup(&self) -> f64 {
+        self.tape_secs / self.bytecode_secs
     }
 }
 
@@ -65,12 +75,18 @@ fn measure(r: RoutineId, n: i64, dev: &DeviceSpec, budget: f64) -> Measurement {
     let base = alloc_buffers(&p, &bindings, 0xBEEF);
 
     let tape = Tape::compile(&p, &bindings).expect("baseline kernels lower");
-    // Warm both paths once (page-in, lazy allocations) before timing.
+    let bc = ByteCode::compile(&p, &bindings).expect("baseline kernels lower to bytecode");
+    // Warm all paths once (page-in, lazy allocations) before timing.
     let mut warm = base.clone();
     tape.execute(&mut warm).expect("tape exec");
     let mut warm = base.clone();
+    bc.execute(&mut warm).expect("bytecode exec");
+    let mut warm = base.clone();
     exec_program(&p, &bindings, &mut warm).expect("oracle exec");
 
+    let bytecode_secs = time_launches(budget, 200, &base, |bufs| {
+        bc.execute(bufs).expect("bytecode exec");
+    });
     let tape_secs = time_launches(budget, 200, &base, |bufs| {
         tape.execute(bufs).expect("tape exec");
     });
@@ -84,11 +100,12 @@ fn measure(r: RoutineId, n: i64, dev: &DeviceSpec, budget: f64) -> Measurement {
         blocks: tape.total_blocks(),
         legacy_secs,
         tape_secs,
+        bytecode_secs,
     }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
     let dev = DeviceSpec::gtx285();
     let budget = if quick { 0.3 } else { 1.5 };
 
@@ -104,24 +121,36 @@ fn main() {
     }
 
     println!(
-        "{:<10} {:>5} {:>7} {:>12} {:>12} {:>9} {:>12} {:>10}",
-        "routine", "n", "blocks", "legacy ms", "tape ms", "speedup", "blocks/s", "GFLOPS"
+        "{:<10} {:>5} {:>7} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "routine",
+        "n",
+        "blocks",
+        "legacy ms",
+        "tape ms",
+        "bytecode ms",
+        "tape/leg",
+        "bc/tape",
+        "GFLOPS"
     );
     let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0;
     for &(r, n) in &cases {
         let m = measure(r, n, &dev, budget);
-        let blocks_per_sec = m.blocks as f64 / m.tape_secs;
-        let gflops = r.flops(n) / m.tape_secs / 1e9;
+        let blocks_per_sec = m.blocks as f64 / m.bytecode_secs;
+        let gflops = r.flops(n) / m.bytecode_secs / 1e9;
+        let tape_gflops = r.flops(n) / m.tape_secs / 1e9;
         let legacy_gflops = r.flops(n) / m.legacy_secs / 1e9;
+        log_speedup_sum += m.bytecode_speedup().ln();
         println!(
-            "{:<10} {:>5} {:>7} {:>12.3} {:>12.3} {:>8.2}x {:>12.0} {:>10.4}",
+            "{:<10} {:>5} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>9.2}x {:>9.2}x {:>10.4}",
             m.routine,
             m.n,
             m.blocks,
             m.legacy_secs * 1e3,
             m.tape_secs * 1e3,
+            m.bytecode_secs * 1e3,
             m.speedup(),
-            blocks_per_sec,
+            m.bytecode_speedup(),
             gflops
         );
         rows.push(Json::Obj(BTreeMap::from([
@@ -130,23 +159,33 @@ fn main() {
             ("blocks".to_string(), Json::Num(m.blocks as f64)),
             ("legacy_secs".to_string(), Json::Num(m.legacy_secs)),
             ("tape_secs".to_string(), Json::Num(m.tape_secs)),
+            ("bytecode_secs".to_string(), Json::Num(m.bytecode_secs)),
             ("speedup".to_string(), Json::Num(m.speedup())),
+            (
+                "bytecode_speedup".to_string(),
+                Json::Num(m.bytecode_speedup()),
+            ),
             ("blocks_per_sec".to_string(), Json::Num(blocks_per_sec)),
-            ("tape_gflops".to_string(), Json::Num(gflops)),
+            ("bytecode_gflops".to_string(), Json::Num(gflops)),
+            ("tape_gflops".to_string(), Json::Num(tape_gflops)),
             ("legacy_gflops".to_string(), Json::Num(legacy_gflops)),
         ])));
     }
+    let geomean = (log_speedup_sum / cases.len() as f64).exp();
+    println!("\ntape -> bytecode geomean speedup: {geomean:.2}x");
 
     let doc = Json::Obj(BTreeMap::from([
         (
             "note".to_string(),
             Json::Str(
                 "functional-executor wall clock: tree-walking oracle vs compiled kernel tape \
-                 (block-parallel); GFLOPS are simulation throughput, not modeled device GFLOPS"
+                 (block-parallel) vs lane-vectorized linear bytecode; GFLOPS are simulation \
+                 throughput, not modeled device GFLOPS"
                     .to_string(),
             ),
         ),
         ("threads".to_string(), Json::Num(rayon_threads() as f64)),
+        ("bytecode_geomean_speedup".to_string(), Json::Num(geomean)),
         ("measurements".to_string(), Json::Arr(rows)),
     ]));
     std::fs::write("BENCH_exec.json", doc.pretty() + "\n").expect("write BENCH_exec.json");

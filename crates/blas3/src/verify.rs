@@ -4,7 +4,7 @@
 use crate::reference::run_reference;
 use crate::types::RoutineId;
 use oa_gpusim::exec::ExecError;
-use oa_gpusim::tape::exec_program_fast;
+use oa_gpusim::exec_program_fast;
 use oa_loopir::interp::{alloc_buffers, Bindings, Buffers};
 use oa_loopir::Program;
 
@@ -58,8 +58,9 @@ pub fn verify_against_reference(
         .unwrap_or_else(|| oa_loopir::interp::Matrix::zeros(n, n));
     run_reference(r, &a_in, &mut b_ref, &mut c_ref);
 
-    // The compiled-tape executor: bit-identical to the tree-walking
-    // oracle, but block-parallel (all 24 routines verify in seconds).
+    // The fast executor (bytecode by default, OA_EXEC_ENGINE-selectable):
+    // bit-identical to the tree-walking oracle, but compiled and
+    // block-parallel (all 24 routines verify in seconds).
     exec_program_fast(program, &bindings, &mut bufs)?;
 
     let (output, expect) = match r {

@@ -6,7 +6,7 @@
 
 use oa_epod::translator::{apply_lenient, TranslateError};
 use oa_epod::{Invocation, Script};
-use oa_gpusim::Tape;
+use oa_gpusim::{exec_program_on, ExecEngine, ExecError};
 use oa_loopir::interp::{alloc_buffers, equivalent_on, run_fresh, Bindings};
 use oa_loopir::stmt::Stmt;
 use oa_loopir::transform::{TileParams, TransformError};
@@ -82,22 +82,25 @@ pub fn filter(
 }
 
 /// Sampled equivalence of a candidate against the source, preferring the
-/// compiled-tape GPU executor.
+/// compiled GPU executor.
 ///
 /// A block/thread-mapped candidate is what the downstream pipeline will
-/// actually launch, so it is checked by compiling it to a kernel tape and
-/// running block-parallel (far cheaper than the tree-walking interpreter
-/// when the filter sweeps dozens of sequences).  Candidates that do not
-/// lower — not yet mapped, or structurally unlaunchable — fall back to the
-/// sequential interpreter, which executes mapped loops as ordinary loops.
+/// actually launch, so it is checked on the selected fast engine
+/// (`OA_EXEC_ENGINE`, bytecode by default — far cheaper than the
+/// tree-walking interpreter when the filter sweeps dozens of sequences).
+/// Candidates that do not lower — not yet mapped, or structurally
+/// unlaunchable — fall back to the sequential interpreter, which executes
+/// mapped loops as ordinary loops.  A barrier divergence, by contrast, is
+/// a *legality* verdict: the candidate is illegal under GPU semantics.
 fn matches_source(source: &Program, candidate: &Program, n: i64, seed: u64, tol: f32) -> bool {
     let bindings = Bindings::square(n);
-    let Ok(tape) = Tape::compile(candidate, &bindings) else {
-        return equivalent_on(source, candidate, &bindings, seed, tol);
-    };
     let mut cand_out = alloc_buffers(candidate, &bindings, seed);
-    if tape.execute(&mut cand_out).is_err() {
-        return false; // diverged at a barrier: illegal under GPU semantics
+    match exec_program_on(ExecEngine::from_env(), candidate, &bindings, &mut cand_out) {
+        Ok(()) => {}
+        Err(ExecError::BarrierDivergence(_)) => return false,
+        // Launch extraction or buffer resolution failed: not launchable
+        // yet, check sequentially.
+        Err(_) => return equivalent_on(source, candidate, &bindings, seed, tol),
     }
     let ref_out = run_fresh(source, &bindings, seed);
     // Same comparison set as `equivalent_on`: every global array the

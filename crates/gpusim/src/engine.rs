@@ -1,0 +1,134 @@
+//! Engine selection: one entry point over the three executors.
+//!
+//! The simulator has three semantically identical engines, in increasing
+//! order of compilation effort and execution speed:
+//!
+//! 1. **oracle** — the tree-walking reference executor
+//!    ([`exec_program`](crate::exec::exec_program));
+//! 2. **tape** — the slot-resolved compiled tape ([`Tape`]);
+//! 3. **bytecode** — the tape lowered to optimized linear bytecode and
+//!    run on the lane-vectorized interpreter ([`ByteCode`]).
+//!
+//! [`exec_program_fast`] is the fast path used by the composer's legality
+//! filter, the BLAS3 verifier and the autotuner. It defaults to the
+//! bytecode engine; set `OA_EXEC_ENGINE=oracle|tape|bytecode` to pin a
+//! specific engine (an unrecognized value falls back to the default, so
+//! stale scripts keep working).
+
+use oa_loopir::interp::{Bindings, Buffers};
+use oa_loopir::Program;
+
+use crate::bytecode::ByteCode;
+use crate::exec::ExecError;
+use crate::tape::Tape;
+
+/// Which executor to run a program on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Tree-walking reference interpreter (slow, zero compilation).
+    Oracle,
+    /// Compiled kernel tape (PR 1 fast path).
+    Tape,
+    /// Optimized linear bytecode on the lane-vectorized interpreter
+    /// (default).
+    Bytecode,
+}
+
+impl ExecEngine {
+    /// Read the engine selection from `OA_EXEC_ENGINE`.
+    ///
+    /// Read fresh on every call so tests and benchmarks can switch
+    /// engines between executions. Unset or unrecognized values select
+    /// [`ExecEngine::Bytecode`].
+    pub fn from_env() -> ExecEngine {
+        match std::env::var("OA_EXEC_ENGINE").as_deref() {
+            Ok("oracle") => ExecEngine::Oracle,
+            Ok("tape") => ExecEngine::Tape,
+            _ => ExecEngine::Bytecode,
+        }
+    }
+}
+
+/// Execute `p` on `bufs` with the given engine.
+///
+/// Compilation errors (unmapped program, missing buffer) and barrier
+/// divergence surface as [`ExecError`] regardless of engine; results are
+/// bit-identical across engines for every kernel this framework
+/// generates.
+pub fn exec_program_on(
+    engine: ExecEngine,
+    p: &Program,
+    bindings: &Bindings,
+    bufs: &mut Buffers,
+) -> Result<(), ExecError> {
+    match engine {
+        ExecEngine::Oracle => crate::exec::exec_program(p, bindings, bufs),
+        ExecEngine::Tape => Tape::compile(p, bindings)?.execute(bufs),
+        ExecEngine::Bytecode => ByteCode::compile(p, bindings)?.execute(bufs),
+    }
+}
+
+/// Compile and execute `p` on the fast path: the engine selected by
+/// `OA_EXEC_ENGINE`, defaulting to the optimized bytecode interpreter.
+pub fn exec_program_fast(
+    p: &Program,
+    bindings: &Bindings,
+    bufs: &mut Buffers,
+) -> Result<(), ExecError> {
+    exec_program_on(ExecEngine::from_env(), p, bindings, bufs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_loopir::builder::gemm_nn_like;
+    use oa_loopir::interp::alloc_buffers;
+    use oa_loopir::transform::{loop_tiling, sm_alloc, thread_grouping, TileParams};
+
+    fn mapped_gemm() -> Program {
+        let mut p = gemm_nn_like("g");
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        p
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let p = mapped_gemm();
+        let b = Bindings::square(32);
+        let mut outs = Vec::new();
+        for engine in [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode] {
+            let mut bufs = alloc_buffers(&p, &b, 11);
+            exec_program_on(engine, &p, &b, &mut bufs).expect("exec");
+            outs.push(
+                bufs["C"]
+                    .data
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(outs[0], outs[1], "oracle vs tape");
+        assert_eq!(outs[0], outs[2], "oracle vs bytecode");
+    }
+
+    #[test]
+    fn unmapped_program_fails_on_every_engine() {
+        let p = gemm_nn_like("g");
+        let b = Bindings::square(8);
+        for engine in [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode] {
+            let mut bufs = alloc_buffers(&p, &b, 1);
+            let err = exec_program_on(engine, &p, &b, &mut bufs).unwrap_err();
+            assert!(matches!(err, ExecError::Launch(_)), "{engine:?}");
+        }
+    }
+}

@@ -460,12 +460,13 @@ impl<'a> Engine<'a> {
 /// Run a program on freshly allocated buffers (pseudo-random global data)
 /// and return them — the GPU-side analogue of `interp::run_fresh`.
 ///
-/// Uses the compiled-tape fast path ([`crate::tape`]); results are
+/// Uses the fast path ([`crate::engine::exec_program_fast`] —
+/// `OA_EXEC_ENGINE`-selectable, bytecode by default); results are
 /// bit-identical to the tree-walking oracle, which remains available as
 /// [`run_fresh_gpu_ref`].
 pub fn run_fresh_gpu(p: &Program, bindings: &Bindings, seed: u64) -> Result<Buffers, ExecError> {
     let mut bufs = oa_loopir::interp::alloc_buffers(p, bindings, seed);
-    crate::tape::exec_program_fast(p, bindings, &mut bufs)?;
+    crate::engine::exec_program_fast(p, bindings, &mut bufs)?;
     Ok(bufs)
 }
 

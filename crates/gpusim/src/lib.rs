@@ -9,8 +9,14 @@
 //!   transformed loop nest (the nvcc stand-in);
 //! * [`exec`] — a functional, barrier-stepped executor used as the
 //!   correctness oracle for final kernels;
-//! * [`tape`] — the fast path: the same semantics compiled once into a
-//!   slot-resolved kernel tape and executed block-parallel with rayon;
+//! * [`tape`] — the same semantics compiled once into a slot-resolved
+//!   kernel tape and executed block-parallel with rayon;
+//! * [`bytecode`] / [`vexec`] — the fastest path: the tape lowered to an
+//!   optimized flat bytecode (constant folding, invariant hoisting,
+//!   strength reduction, FMA fusion) and run on a lane-vectorized
+//!   interpreter;
+//! * [`engine`] — selection among the three engines
+//!   (`OA_EXEC_ENGINE=oracle|tape|bytecode`, default bytecode);
 //! * [`events`] — per-warp coalescing and bank-conflict classification;
 //! * [`perf`] — the sampled performance model producing GFLOPS estimates
 //!   and `cuda_profile`-style counters ([`profile`]).
@@ -22,19 +28,24 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod cudagen;
 pub mod device;
+pub mod engine;
 pub mod events;
 pub mod exec;
 pub mod launch;
 pub mod perf;
 pub mod profile;
 pub mod tape;
+pub mod vexec;
 
+pub use bytecode::ByteCode;
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
+pub use engine::{exec_program_fast, exec_program_on, ExecEngine};
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
 pub use perf::{evaluate, PerfReport};
 pub use profile::ProfileCounters;
-pub use tape::{exec_program_fast, Tape};
+pub use tape::Tape;

@@ -44,6 +44,7 @@ use oa_loopir::slots::{SlotExpr, SlotMap, SlotPred};
 use oa_loopir::stmt::{AssignOp, RegTile, SharedStage, Stmt};
 use oa_loopir::Program;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -52,7 +53,7 @@ use crate::launch::{extract_launch, Builtin};
 
 /// A resolved array reference.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ArrRef {
+pub(crate) enum ArrRef {
     /// Index into the tape's global-array table.
     Global(usize),
     /// Index into the per-block shared-tile arena.
@@ -63,7 +64,7 @@ enum ArrRef {
 
 /// A scalar expression with accesses and parameters resolved.
 #[derive(Clone, Debug)]
-enum SExpr {
+pub(crate) enum SExpr {
     Load(ArrRef, SlotExpr, SlotExpr),
     Lit(f32),
     /// A named scalar parameter; `None` when unbound (panics on use, like
@@ -76,7 +77,7 @@ enum SExpr {
 /// guards nest), but every name and affine form is pre-resolved and the
 /// barrier segmentation is baked in.
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     Loop {
         var: usize,
         lower: SlotExpr,
@@ -138,26 +139,26 @@ impl Op {
 
 /// One global array of the tape.
 #[derive(Clone, Debug)]
-struct GlobalInfo {
-    name: String,
+pub(crate) struct GlobalInfo {
+    pub(crate) name: String,
     /// Whether the kernel body ever writes this array. Read-only arrays
     /// skip the overlay lookup entirely.
-    written: bool,
+    pub(crate) written: bool,
 }
 
 /// Shared-tile shape.
 #[derive(Clone, Copy, Debug)]
-struct SmemDecl {
-    rows: i64,
-    cols: i64,
-    pad: i64,
+pub(crate) struct SmemDecl {
+    pub(crate) rows: i64,
+    pub(crate) cols: i64,
+    pub(crate) pad: i64,
 }
 
 /// Register-tile shape.
 #[derive(Clone, Copy, Debug)]
-struct RegDecl {
-    rows: i64,
-    cols: i64,
+pub(crate) struct RegDecl {
+    pub(crate) rows: i64,
+    pub(crate) cols: i64,
 }
 
 /// A program compiled for concrete bindings: launch shape plus the
@@ -168,35 +169,35 @@ pub struct Tape {
     pub grid: (i64, i64),
     /// Block dimensions `(bx, by)` in threads.
     pub block: (i64, i64),
-    n_slots: usize,
+    pub(crate) n_slots: usize,
     /// Mapped-variable slots and the builtin index each takes.
-    binds: Vec<(usize, Builtin)>,
-    tx_slot: usize,
-    ty_slot: usize,
-    sr_slot: usize,
-    sc_slot: usize,
-    gr_slot: usize,
-    gc_slot: usize,
-    ops: Vec<Op>,
-    globals: Vec<GlobalInfo>,
-    smem: Vec<SmemDecl>,
-    regs: Vec<RegDecl>,
+    pub(crate) binds: Vec<(usize, Builtin)>,
+    pub(crate) tx_slot: usize,
+    pub(crate) ty_slot: usize,
+    pub(crate) sr_slot: usize,
+    pub(crate) sc_slot: usize,
+    pub(crate) gr_slot: usize,
+    pub(crate) gc_slot: usize,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) globals: Vec<GlobalInfo>,
+    pub(crate) smem: Vec<SmemDecl>,
+    pub(crate) regs: Vec<RegDecl>,
     /// `(global index, fill)` per `blank_checks` entry; flag `i` of the
     /// runtime flag vector is computed from entry `i`.
-    blank_checks: Vec<(usize, Fill)>,
+    pub(crate) blank_checks: Vec<(usize, Fill)>,
     /// Flag-vector length; may exceed `blank_checks.len()` when guards
     /// reference arrays with no check (those flags stay `false`, as in the
     /// oracle).
-    n_blank_flags: usize,
-    prologues: Vec<MapKernel>,
+    pub(crate) n_blank_flags: usize,
+    pub(crate) prologues: Vec<MapKernel>,
     /// Pre-resolved values for every name the prologue extents mention.
-    prologue_env: HashMap<String, i64>,
+    pub(crate) prologue_env: HashMap<String, i64>,
 }
 
 /// Identity-ish hasher for the packed element keys of a write overlay —
 /// the key is already well-mixed by the multiply.
 #[derive(Default)]
-struct KeyHasher(u64);
+pub(crate) struct KeyHasher(u64);
 
 impl Hasher for KeyHasher {
     fn finish(&self) -> u64 {
@@ -212,20 +213,20 @@ impl Hasher for KeyHasher {
 
 /// A block's private global-memory write log: packed element key → final
 /// value written by this block.
-type Overlay = HashMap<u64, f32, BuildHasherDefault<KeyHasher>>;
+pub(crate) type Overlay = HashMap<u64, f32, BuildHasherDefault<KeyHasher>>;
 
 const COORD_BITS: u32 = 28;
 const COORD_MASK: u64 = (1 << COORD_BITS) - 1;
 
 #[inline]
-fn pack_key(arr: usize, r: i64, c: i64) -> u64 {
+pub(crate) fn pack_key(arr: usize, r: i64, c: i64) -> u64 {
     ((arr as u64) << (2 * COORD_BITS))
         | ((r as u64 & COORD_MASK) << COORD_BITS)
         | (c as u64 & COORD_MASK)
 }
 
 #[inline]
-fn unpack_key(k: u64) -> (usize, i64, i64) {
+pub(crate) fn unpack_key(k: u64) -> (usize, i64, i64) {
     (
         (k >> (2 * COORD_BITS)) as usize,
         ((k >> COORD_BITS) & COORD_MASK) as i64,
@@ -553,7 +554,7 @@ impl Tape {
         }
 
         let nblocks = self.total_blocks();
-        let overlays: Vec<Result<Overlay, ExecError>> = {
+        let logs: Vec<Result<Vec<(u64, f32)>, ExecError>> = {
             let mut base = Vec::with_capacity(self.globals.len());
             for g in &self.globals {
                 base.push(
@@ -571,9 +572,10 @@ impl Tape {
 
         // Merge block write logs in (by, bx) order — the oracle's block
         // loop order — so any cross-block overwrite resolves identically.
-        for res in overlays {
-            let overlay = res?;
-            for (key, v) in overlay {
+        // (Keys within one block's log are distinct, so the arbitrary
+        // drain order inside a log cannot change the result.)
+        for res in logs {
+            for (key, v) in res? {
                 let (g, r, c) = unpack_key(key);
                 bufs.get_mut(&self.globals[g].name)
                     .expect("checked above")
@@ -588,12 +590,29 @@ impl Tape {
         rank: i64,
         base: &[&Matrix],
         blank_flags: &[bool],
-    ) -> Result<Overlay, ExecError> {
+    ) -> Result<Vec<(u64, f32)>, ExecError> {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.run_block_in(rank, base, blank_flags, scratch)
+        })
+    }
+
+    fn run_block_in(
+        &self,
+        rank: i64,
+        base: &[&Matrix],
+        blank_flags: &[bool],
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(u64, f32)>, ExecError> {
         let bx = rank % self.grid.0;
         let by = rank / self.grid.0;
         let nthreads = self.threads_per_block() as usize;
 
-        let mut frames = vec![0i64; nthreads * self.n_slots];
+        // Frames: memset to the same all-zero state a fresh allocation
+        // would have, then bind the builtins.
+        scratch.frames.clear();
+        scratch.frames.resize(nthreads * self.n_slots, 0);
+        let frames = &mut scratch.frames[..];
         for ty in 0..self.block.1 {
             for tx in 0..self.block.0 {
                 let tid = (tx + ty * self.block.0) as usize;
@@ -611,26 +630,58 @@ impl Tape {
             }
         }
 
+        // Shared tiles: zero in place when the shapes already match this
+        // tape (the common case — one tape, many blocks), else rebuild.
+        let smem_ok = scratch.smem.len() == self.smem.len()
+            && scratch
+                .smem
+                .iter()
+                .zip(&self.smem)
+                .all(|(m, d)| m.rows == d.rows && m.cols == d.cols && m.ld == d.rows + d.pad);
+        if smem_ok {
+            for m in &mut scratch.smem {
+                m.data.fill(0.0);
+            }
+        } else {
+            scratch.smem = self
+                .smem
+                .iter()
+                .map(|d| Matrix::zeros_padded(d.rows, d.cols, d.pad))
+                .collect();
+        }
+
+        // Register tiles, `regs[reg * nthreads + tid]`.
+        let regs_ok = scratch.regs.len() == self.regs.len() * nthreads
+            && scratch.regs.iter().enumerate().all(|(i, m)| {
+                let d = &self.regs[i / nthreads];
+                m.rows == d.rows && m.cols == d.cols && m.ld == d.rows
+            });
+        if regs_ok {
+            for m in &mut scratch.regs {
+                m.data.fill(0.0);
+            }
+        } else {
+            scratch.regs = self
+                .regs
+                .iter()
+                .flat_map(|d| (0..nthreads).map(move |_| Matrix::zeros(d.rows, d.cols)))
+                .collect();
+        }
+
+        scratch.overlay.clear();
+
         let mut st = BlockState {
             tape: self,
             nthreads,
             frames,
-            smem: self
-                .smem
-                .iter()
-                .map(|d| Matrix::zeros_padded(d.rows, d.cols, d.pad))
-                .collect(),
-            regs: self
-                .regs
-                .iter()
-                .flat_map(|d| (0..nthreads).map(move |_| Matrix::zeros(d.rows, d.cols)))
-                .collect(),
-            overlay: Overlay::default(),
+            smem: &mut scratch.smem,
+            regs: &mut scratch.regs,
+            overlay: &mut scratch.overlay,
             base,
             blank_flags,
         };
         self.lockstep(&self.ops, &mut st)?;
-        Ok(st.overlay)
+        Ok(scratch.overlay.drain().collect())
     }
 
     /// Lockstep execution of a tape segment by all threads of a block:
@@ -853,16 +904,34 @@ impl Tape {
     }
 }
 
-/// Mutable per-block execution state.
+/// Per-worker scratch memory reused across blocks (and, on a long-lived
+/// worker, across tape executions): frames, tile arenas and the write
+/// overlay are the only per-block allocations, and on small-`n` grids the
+/// allocator traffic they generate is measurable. Each scratch reset
+/// reproduces the exact state a fresh allocation would have, so reuse
+/// cannot perturb results.
+#[derive(Default)]
+struct Scratch {
+    frames: Vec<i64>,
+    smem: Vec<Matrix>,
+    regs: Vec<Matrix>,
+    overlay: Overlay,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Mutable per-block execution state, borrowing a worker's [`Scratch`].
 struct BlockState<'a> {
     tape: &'a Tape,
     nthreads: usize,
     /// All thread frames, contiguous: `frames[tid*n_slots..][..n_slots]`.
-    frames: Vec<i64>,
-    smem: Vec<Matrix>,
+    frames: &'a mut [i64],
+    smem: &'a mut [Matrix],
     /// Dense register arena, `regs[reg * nthreads + tid]`.
-    regs: Vec<Matrix>,
-    overlay: Overlay,
+    regs: &'a mut [Matrix],
+    overlay: &'a mut Overlay,
     base: &'a [&'a Matrix],
     blank_flags: &'a [bool],
 }
@@ -920,17 +989,6 @@ impl BlockState<'_> {
     }
 }
 
-/// Compile `p` and execute it on `bufs` — the fast-path equivalent of
-/// [`crate::exec::exec_program`]. Prefer building a [`Tape`] once when
-/// running the same program repeatedly.
-pub fn exec_program_fast(
-    p: &Program,
-    bindings: &Bindings,
-    bufs: &mut Buffers,
-) -> Result<(), ExecError> {
-    Tape::compile(p, bindings)?.execute(bufs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -956,7 +1014,8 @@ mod tests {
         let mut oracle = alloc_buffers(p, &b, seed);
         exec_program(p, &b, &mut oracle).expect("oracle exec");
         let mut fast = alloc_buffers(p, &b, seed);
-        exec_program_fast(p, &b, &mut fast).expect("tape exec");
+        let tape = Tape::compile(p, &b).expect("tape compile");
+        tape.execute(&mut fast).expect("tape exec");
         for (name, m) in &oracle {
             let f = &fast[name];
             assert_eq!(

@@ -1,0 +1,909 @@
+//! Lane-vectorized execution of [`ByteCode`]: the fastest of the three
+//! engines.
+//!
+//! The tape executor walks its `Op` tree once *per simulated thread*; this
+//! interpreter walks the flat instruction stream once *per block*, applying
+//! each instruction across all lanes (threads) of the block in lockstep:
+//!
+//! * **state is lane-vectorized** — integer frames are slot-major
+//!   (`frames[slot·n + lane]`) and f32 registers reg-major
+//!   (`fregs[reg·n + lane]`), so one instruction touches `n` contiguous
+//!   values and the per-instruction dispatch cost amortizes over the whole
+//!   block;
+//! * **divergence is a mask stack** — `LoopInit`/`IfSplit` push the current
+//!   active-lane bitset, `LoopTest`/`IfElse` refine it, `PopMask` restores
+//!   it; a region whose mask empties is skipped by a jump rather than
+//!   visited by every thread;
+//! * **addresses are incremental** — after the optimizer most subscripts
+//!   are a cache-slot read kept fresh by `StepAdd`, not an affine dot
+//!   product.
+//!
+//! Equivalence with the tape: within one barrier-free segment the tape runs
+//! thread `t` to completion before thread `t+1`, while this engine runs
+//! lanes in lockstep per instruction. The two orders can differ only when
+//! lanes of the same segment touch the *same* element — a data race no
+//! generated kernel exhibits (each thread owns its output elements between
+//! barriers), and one the engine-differential tests would catch. Loads are
+//! masked (inactive lanes compute no address, so guard-protected
+//! out-of-bounds subscripts are never formed), stores are masked, and pure
+//! per-lane arithmetic on inactive lanes is unobservable.
+
+use oa_loopir::arrays::AllocMode;
+use oa_loopir::interp::{blank_is_zero, run_map_kernel, Buffers, Matrix};
+use oa_loopir::scalar::BinOp;
+use oa_loopir::slots::SlotExpr;
+use oa_loopir::stmt::AssignOp;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+use crate::bytecode::{AOp, AddrClass, ByteCode, Instr};
+use crate::exec::ExecError;
+use crate::launch::Builtin;
+use crate::tape::{pack_key, unpack_key, ArrRef, Overlay};
+
+/// Per-worker scratch reused across blocks and executions: all
+/// per-block state lives here, so steady-state execution allocates
+/// nothing. Every reset reproduces the state a fresh allocation would
+/// have.
+#[derive(Default)]
+struct VScratch {
+    frames: Vec<i64>,
+    fregs: Vec<f32>,
+    smem: Vec<f32>,
+    regs: Vec<f32>,
+    overlay: Overlay,
+    active: Vec<u64>,
+    /// The all-lanes mask pattern, for cheap "is the mask full" tests.
+    full: Vec<u64>,
+    /// Mask stack entries `(saved, pred_lanes)`; retained and rewritten
+    /// in place, `sp` marks the live depth.
+    stack: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+thread_local! {
+    static VSCRATCH: RefCell<VScratch> = RefCell::new(VScratch::default());
+}
+
+impl ByteCode {
+    /// Execute on the given buffers: prologue kernels, blank-zero checks,
+    /// then the block-parallel grid with the same deterministic `(by, bx)`
+    /// overlay merge as the tape engine.
+    pub fn execute(&self, bufs: &mut Buffers) -> Result<(), ExecError> {
+        for mk in &self.prologues {
+            run_map_kernel(mk, bufs, &|n| self.prologue_env[n]);
+        }
+
+        let mut blank_flags = vec![false; self.n_blank_flags];
+        for (i, &(g, fill)) in self.blank_checks.iter().enumerate() {
+            let name = &self.globals[g].name;
+            let m = bufs
+                .get(name)
+                .ok_or_else(|| ExecError::MissingBuffer(name.clone()))?;
+            blank_flags[i] = blank_is_zero(m, fill);
+        }
+
+        let nblocks = self.total_blocks();
+        let logs: Vec<Result<Vec<(u64, f32)>, ExecError>> = {
+            let mut base = Vec::with_capacity(self.globals.len());
+            for g in &self.globals {
+                base.push(
+                    bufs.get(&g.name)
+                        .ok_or_else(|| ExecError::MissingBuffer(g.name.clone()))?,
+                );
+            }
+            let base = &base;
+            let flags = &blank_flags;
+            (0..nblocks)
+                .into_par_iter()
+                .map(|rank| self.run_block(rank, base, flags))
+                .collect()
+        };
+
+        // Keys within one block's log are distinct, so drain order within
+        // a log cannot change the merged result; across blocks the
+        // sequential (by, bx) order reproduces the oracle's block loop.
+        for res in logs {
+            for (key, v) in res? {
+                let (g, r, c) = unpack_key(key);
+                bufs.get_mut(&self.globals[g].name)
+                    .expect("checked above")
+                    .set(r, c, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_block(
+        &self,
+        rank: i64,
+        base: &[&Matrix],
+        blank_flags: &[bool],
+    ) -> Result<Vec<(u64, f32)>, ExecError> {
+        VSCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.run_block_in(rank, base, blank_flags, scratch)
+        })
+    }
+
+    fn run_block_in(
+        &self,
+        rank: i64,
+        base: &[&Matrix],
+        blank_flags: &[bool],
+        scratch: &mut VScratch,
+    ) -> Result<Vec<(u64, f32)>, ExecError> {
+        let bx = rank % self.grid.0;
+        let by = rank / self.grid.0;
+        let n = self.threads_per_block() as usize;
+        let words = n.div_ceil(64);
+
+        scratch.frames.clear();
+        scratch.frames.resize(self.n_slots * n, 0);
+        for ty in 0..self.block.1 {
+            for tx in 0..self.block.0 {
+                let lane = (tx + ty * self.block.0) as usize;
+                scratch.frames[self.tx_slot * n + lane] = tx;
+                scratch.frames[self.ty_slot * n + lane] = ty;
+                for &(slot, b) in &self.binds {
+                    scratch.frames[slot * n + lane] = match b {
+                        Builtin::BlockX => bx,
+                        Builtin::BlockY => by,
+                        Builtin::ThreadX => tx,
+                        Builtin::ThreadY => ty,
+                    };
+                }
+            }
+        }
+        scratch.fregs.clear();
+        scratch.fregs.resize(self.n_fregs * n, 0.0);
+        scratch.smem.clear();
+        scratch.smem.resize(self.smem_len, 0.0);
+        scratch.regs.clear();
+        scratch.regs.resize(self.reg_len * n, 0.0);
+        scratch.overlay.clear();
+        scratch.active.clear();
+        scratch.active.resize(words, 0);
+        for lane in 0..n {
+            scratch.active[lane / 64] |= 1 << (lane % 64);
+        }
+        scratch.full.clear();
+        scratch.full.extend_from_slice(&scratch.active);
+
+        let mut vb = VBlock {
+            bc: self,
+            n,
+            words,
+            frames: &mut scratch.frames,
+            fregs: &mut scratch.fregs,
+            smem: &mut scratch.smem,
+            regs: &mut scratch.regs,
+            overlay: &mut scratch.overlay,
+            base,
+            blank_flags,
+            active: &mut scratch.active,
+            full: &scratch.full,
+            stack: &mut scratch.stack,
+            sp: 0,
+        };
+        vb.run()?;
+        Ok(scratch.overlay.drain().collect())
+    }
+}
+
+/// One block's execution state, borrowing a worker's [`VScratch`].
+struct VBlock<'a> {
+    bc: &'a ByteCode,
+    /// Lanes (threads per block).
+    n: usize,
+    /// `n.div_ceil(64)` — length of every mask bitset.
+    words: usize,
+    /// Slot-major integer frames: `frames[slot*n + lane]`.
+    frames: &'a mut [i64],
+    /// Reg-major virtual f32 registers: `fregs[reg*n + lane]`.
+    fregs: &'a mut [f32],
+    /// Flat shared-tile arena (one copy per block), tiles at
+    /// `smem_off[s]`, column-major with leading dimension `rows + pad`.
+    smem: &'a mut [f32],
+    /// Flat register-tile arena: `regs[(reg_off[x] + r + c*rows)*n + lane]`.
+    regs: &'a mut [f32],
+    overlay: &'a mut Overlay,
+    base: &'a [&'a Matrix],
+    blank_flags: &'a [bool],
+    active: &'a mut Vec<u64>,
+    /// The all-lanes mask pattern (`active == full` ⇔ no divergence).
+    full: &'a [u64],
+    stack: &'a mut Vec<(Vec<u64>, Vec<u64>)>,
+    sp: usize,
+}
+
+/// Iterate the set lanes of a mask word-by-word.
+macro_rules! for_active {
+    ($self:ident, $lane:ident => $body:block) => {
+        for w in 0..$self.words {
+            let mut m = $self.active[w];
+            while m != 0 {
+                let $lane = w * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                $body
+            }
+        }
+    };
+}
+
+impl VBlock<'_> {
+    #[inline]
+    fn eval_expr(&self, e: &SlotExpr, lane: usize) -> i64 {
+        // SlotExpr::eval expects a lane-contiguous frame; our frames are
+        // slot-major, so the dot product is re-expressed over the strided
+        // layout here.
+        let mut acc = e.constant;
+        for &(s, c) in &e.terms {
+            acc += c * self.frames[s * self.n + lane];
+        }
+        acc
+    }
+
+    #[inline]
+    fn aop(&self, a: AOp, lane: usize) -> i64 {
+        match a {
+            AOp::Const(c) => c,
+            AOp::Slot(s) => self.frames[s as usize * self.n + lane],
+            AOp::Unit(u) => self.eval_expr(&self.bc.units[u as usize], lane),
+        }
+    }
+
+    #[inline]
+    fn eval_pred(&self, p: u32, lane: usize, thread0: bool) -> bool {
+        let p = &self.bc.preds[p as usize];
+        if p.thread0_only && !thread0 {
+            return false;
+        }
+        if let Some(ix) = p.blank_flag {
+            if self.blank_flags[ix] == p.blank_negated {
+                return false;
+            }
+        }
+        p.conds.iter().all(|c| {
+            c.op.eval(self.eval_expr(&c.lhs, lane), self.eval_expr(&c.rhs, lane))
+        })
+    }
+
+    /// Global read: the block's own writes shadow the snapshot.
+    #[inline]
+    fn gread(&self, g: usize, r: i64, c: i64) -> f32 {
+        if self.bc.globals[g].written {
+            if let Some(&v) = self.overlay.get(&pack_key(g, r, c)) {
+                return v;
+            }
+        }
+        self.base[g].get(r, c)
+    }
+
+    #[inline]
+    fn gwrite(&mut self, g: usize, r: i64, c: i64, v: f32) {
+        self.overlay.insert(pack_key(g, r, c), v);
+    }
+
+    #[inline]
+    fn smem_ix(&self, s: usize, r: i64, c: i64) -> usize {
+        let d = &self.bc.smem[s];
+        let ld = d.rows + d.pad;
+        // Mirrors Matrix::get/set bounds (rows ≤ r < ld lands in the pad).
+        debug_assert!(
+            r >= 0 && r < ld && c >= 0 && c < d.cols,
+            "shared tile index ({r}, {c}) out of bounds"
+        );
+        self.bc.smem_off[s] + (r + c * ld) as usize
+    }
+
+    #[inline]
+    fn reg_ix(&self, x: usize, r: i64, c: i64, lane: usize) -> usize {
+        let d = &self.bc.regs[x];
+        debug_assert!(
+            r >= 0 && r < d.rows && c >= 0 && c < d.cols,
+            "register tile index ({r}, {c}) out of bounds"
+        );
+        (self.bc.reg_off[x] + (r + c * d.rows) as usize) * self.n + lane
+    }
+
+    #[inline]
+    fn read_elem(&self, arr: ArrRef, r: i64, c: i64, lane: usize) -> f32 {
+        match arr {
+            ArrRef::Global(g) => self.gread(g, r, c),
+            ArrRef::Shared(s) => self.smem[self.smem_ix(s, r, c)],
+            ArrRef::Reg(x) => self.regs[self.reg_ix(x, r, c, lane)],
+        }
+    }
+
+    #[inline]
+    fn write_elem(&mut self, arr: ArrRef, r: i64, c: i64, v: f32, lane: usize) {
+        match arr {
+            ArrRef::Global(g) => self.gwrite(g, r, c, v),
+            ArrRef::Shared(s) => self.smem[self.smem_ix(s, r, c)] = v,
+            ArrRef::Reg(x) => self.regs[self.reg_ix(x, r, c, lane)] = v,
+        }
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|&w| w != 0)
+    }
+
+    /// True when every lane is active (the overwhelmingly common case in
+    /// generated kernels — divergence is confined to guard regions).
+    #[inline]
+    fn mask_full(&self) -> bool {
+        self.active[..] == self.full[..]
+    }
+
+    /// Lowest-numbered active lane, if any.
+    #[inline]
+    fn first_active(&self) -> Option<usize> {
+        self.active
+            .iter()
+            .enumerate()
+            .find(|(_, &m)| m != 0)
+            .map(|(w, m)| w * 64 + m.trailing_zeros() as usize)
+    }
+
+    /// Uniform-address load: one read, broadcast to every lane.  Register
+    /// tiles are lane-contiguous at a uniform element, so they broadcast
+    /// as one vector copy.  Inactive lanes receive the value too — their
+    /// virtual registers are dead (never stored), so this is
+    /// unobservable.
+    #[inline]
+    fn fload_uniform(&mut self, dst: u32, arr: ArrRef, row: AOp, col: AOp) {
+        let n = self.n;
+        let Some(l0) = self.first_active() else {
+            return;
+        };
+        let r = self.aop(row, l0);
+        let c = self.aop(col, l0);
+        let d = dst as usize * n;
+        if let ArrRef::Reg(x) = arr {
+            let base = self.reg_ix(x, r, c, 0);
+            self.fregs[d..d + n].copy_from_slice(&self.regs[base..base + n]);
+        } else {
+            let v = self.read_elem(arr, r, c, l0);
+            self.fregs[d..d + n].fill(v);
+        }
+    }
+
+    /// Full-mask load: every lane gathers, with no mask bookkeeping and
+    /// the array dispatch hoisted out of the lane loop.
+    #[inline]
+    fn fload_dense(&mut self, dst: u32, arr: ArrRef, row: AOp, col: AOp) {
+        let n = self.n;
+        let d = dst as usize * n;
+        match arr {
+            ArrRef::Global(g) if !self.bc.globals[g].written => {
+                let m = self.base[g];
+                for lane in 0..n {
+                    let r = self.aop(row, lane);
+                    let c = self.aop(col, lane);
+                    self.fregs[d + lane] = m.get(r, c);
+                }
+            }
+            _ => {
+                for lane in 0..n {
+                    let r = self.aop(row, lane);
+                    let c = self.aop(col, lane);
+                    let v = self.read_elem(arr, r, c, lane);
+                    self.fregs[d + lane] = v;
+                }
+            }
+        }
+    }
+
+    /// Lane-affine load: the subscripts advance by a constant per lane,
+    /// so the gather needs no per-lane address evaluation.  A stride-1
+    /// walk over an unwritten global — the coalesced-load pattern of the
+    /// generated kernels — collapses to a plain slice copy; shared tiles
+    /// become a constant-stride walk over the arena.
+    #[inline]
+    fn fload_affine(&mut self, dst: u32, arr: ArrRef, row: AOp, col: AOp, lr: i64, lc: i64) {
+        let n = self.n;
+        let Some(l0) = self.first_active() else {
+            return;
+        };
+        // Subscripts at lane 0, extrapolated from the first active lane
+        // (exact: the class is affine across every lane of the block).
+        let r0 = self.aop(row, l0) - lr * l0 as i64;
+        let c0 = self.aop(col, l0) - lc * l0 as i64;
+        let d = dst as usize * n;
+        if !self.mask_full() {
+            for_active!(self, lane => {
+                let r = r0 + lr * lane as i64;
+                let c = c0 + lc * lane as i64;
+                self.fregs[d + lane] = self.read_elem(arr, r, c, lane);
+            });
+            return;
+        }
+        match arr {
+            ArrRef::Global(g) if !self.bc.globals[g].written => {
+                let m = self.base[g];
+                let base = r0 + c0 * m.ld;
+                let stride = lr + lc * m.ld;
+                if stride == 1 {
+                    let base = base as usize;
+                    self.fregs[d..d + n].copy_from_slice(&m.data[base..base + n]);
+                } else {
+                    for (lane, f) in self.fregs[d..d + n].iter_mut().enumerate() {
+                        *f = m.data[(base + stride * lane as i64) as usize];
+                    }
+                }
+            }
+            ArrRef::Shared(s) => {
+                let t = &self.bc.smem[s];
+                let ld = t.rows + t.pad;
+                let base = self.bc.smem_off[s] as i64 + r0 + c0 * ld;
+                let stride = lr + lc * ld;
+                for (lane, f) in self.fregs[d..d + n].iter_mut().enumerate() {
+                    *f = self.smem[(base + stride * lane as i64) as usize];
+                }
+            }
+            _ => {
+                let (mut r, mut c) = (r0, c0);
+                for lane in 0..n {
+                    self.fregs[d + lane] = self.read_elem(arr, r, c, lane);
+                    r += lr;
+                    c += lc;
+                }
+            }
+        }
+    }
+
+    /// Reserve (or reuse) the mask-stack entry at `sp` and return it.
+    fn stack_entry(&mut self) -> (Vec<u64>, Vec<u64>) {
+        if self.sp < self.stack.len() {
+            std::mem::take(&mut self.stack[self.sp])
+        } else {
+            self.stack.push(Default::default());
+            Default::default()
+        }
+    }
+
+    fn run(&mut self) -> Result<(), ExecError> {
+        let bc = self.bc;
+        let code = &bc.code;
+        let n = self.n;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match code[pc] {
+                Instr::Eval { dst, unit } => {
+                    let e = &bc.units[unit as usize];
+                    for lane in 0..n {
+                        self.frames[dst as usize * n + lane] = self.eval_expr(e, lane);
+                    }
+                    pc += 1;
+                }
+                Instr::StepAdd { dst, imm } => {
+                    for v in &mut self.frames[dst as usize * n..(dst as usize + 1) * n] {
+                        *v += imm;
+                    }
+                    pc += 1;
+                }
+                Instr::LoopInit {
+                    var,
+                    hi,
+                    lo,
+                    hi_src,
+                    uniform,
+                    label,
+                } => {
+                    let (mut saved, predm) = self.stack_entry();
+                    saved.clear();
+                    saved.extend_from_slice(self.active);
+                    self.stack[self.sp] = (saved, predm);
+                    self.sp += 1;
+                    for lane in 0..n {
+                        let l = self.aop(lo, lane);
+                        let h = self.aop(hi_src, lane);
+                        self.frames[var as usize * n + lane] = l;
+                        self.frames[hi as usize * n + lane] = h;
+                    }
+                    if uniform {
+                        let (l0, h0) =
+                            (self.frames[var as usize * n], self.frames[hi as usize * n]);
+                        for lane in 1..n {
+                            if self.frames[var as usize * n + lane] != l0
+                                || self.frames[hi as usize * n + lane] != h0
+                            {
+                                let label = &bc.labels[label as usize];
+                                return Err(ExecError::BarrierDivergence(format!(
+                                    "loop {label} bounds differ across threads"
+                                )));
+                            }
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::LoopTest {
+                    var,
+                    hi,
+                    exit,
+                    uniform,
+                } => {
+                    let vn = var as usize * n;
+                    let hn = hi as usize * n;
+                    if uniform {
+                        // Statically lane-invariant bounds: every lane
+                        // passes or fails together, so test lane 0 and
+                        // leave the mask untouched.
+                        pc = if self.frames[vn] < self.frames[hn] {
+                            pc + 1
+                        } else {
+                            exit as usize
+                        };
+                        continue;
+                    }
+                    let mut any = false;
+                    for w in 0..self.words {
+                        let lane0 = w * 64;
+                        let lim = 64.min(n - lane0);
+                        let mut bits = 0u64;
+                        for i in 0..lim {
+                            if self.frames[vn + lane0 + i] < self.frames[hn + lane0 + i] {
+                                bits |= 1 << i;
+                            }
+                        }
+                        let na = self.active[w] & bits;
+                        self.active[w] = na;
+                        any |= na != 0;
+                    }
+                    pc = if any { pc + 1 } else { exit as usize };
+                }
+                Instr::LoopJump { top } => pc = top as usize,
+                Instr::Jump { target } => pc = target as usize,
+                Instr::BranchUniform { pred, if_false } => {
+                    let first = self.eval_pred(pred, 0, true);
+                    for lane in 1..n {
+                        if self.eval_pred(pred, lane, false) != first {
+                            return Err(ExecError::BarrierDivergence(
+                                "guard enclosing a barrier diverges".into(),
+                            ));
+                        }
+                    }
+                    pc = if first { pc + 1 } else { if_false as usize };
+                }
+                Instr::IfSplit { pred, on_empty } => {
+                    let (mut saved, mut predm) = self.stack_entry();
+                    saved.clear();
+                    saved.extend_from_slice(self.active);
+                    predm.clear();
+                    predm.resize(self.words, 0);
+                    for lane in 0..n {
+                        if self.eval_pred(pred, lane, lane == 0) {
+                            predm[lane / 64] |= 1 << (lane % 64);
+                        }
+                    }
+                    for w in 0..self.words {
+                        self.active[w] = saved[w] & predm[w];
+                    }
+                    self.stack[self.sp] = (saved, predm);
+                    self.sp += 1;
+                    pc = if self.any_active() {
+                        pc + 1
+                    } else {
+                        on_empty as usize
+                    };
+                }
+                Instr::IfElse { done } => {
+                    let (saved, predm) = &self.stack[self.sp - 1];
+                    for w in 0..self.words {
+                        self.active[w] = saved[w] & !predm[w];
+                    }
+                    pc = if self.any_active() {
+                        pc + 1
+                    } else {
+                        done as usize
+                    };
+                }
+                Instr::PopMask => {
+                    self.sp -= 1;
+                    self.active.copy_from_slice(&self.stack[self.sp].0);
+                    pc += 1;
+                }
+                Instr::FConst { dst, v } => {
+                    self.fregs[dst as usize * n..(dst as usize + 1) * n].fill(v);
+                    pc += 1;
+                }
+                Instr::FParamPanic { name } => {
+                    // Reached only with at least one active lane (empty
+                    // regions are jumped over), matching the oracle.
+                    panic!("unbound scalar parameter {}", bc.params[name as usize]);
+                }
+                Instr::FLoad {
+                    dst,
+                    arr,
+                    row,
+                    col,
+                    addr,
+                } => {
+                    match addr {
+                        AddrClass::Affine { lr: 0, lc: 0 } => {
+                            self.fload_uniform(dst, arr, row, col);
+                        }
+                        AddrClass::Affine { lr, lc } => {
+                            self.fload_affine(dst, arr, row, col, lr, lc);
+                        }
+                        AddrClass::Generic => {
+                            if self.mask_full() {
+                                self.fload_dense(dst, arr, row, col);
+                            } else {
+                                for_active!(self, lane => {
+                                    let r = self.aop(row, lane);
+                                    let c = self.aop(col, lane);
+                                    self.fregs[dst as usize * n + lane] =
+                                        self.read_elem(arr, r, c, lane);
+                                });
+                            }
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::FBin { op, dst, a, b } => {
+                    // Registers are statement-local and allocated
+                    // operands-first, so dst > a, b and the split is safe.
+                    let (src, d) = self.fregs.split_at_mut(dst as usize * n);
+                    let d = &mut d[..n];
+                    let a = &src[a as usize * n..][..n];
+                    let b = &src[b as usize * n..][..n];
+                    let lanes = d.iter_mut().zip(a).zip(b);
+                    match op {
+                        BinOp::Add => lanes.for_each(|((d, a), b)| *d = a + b),
+                        BinOp::Sub => lanes.for_each(|((d, a), b)| *d = a - b),
+                        BinOp::Mul => lanes.for_each(|((d, a), b)| *d = a * b),
+                        BinOp::Div => lanes.for_each(|((d, a), b)| *d = a / b),
+                    }
+                    pc += 1;
+                }
+                Instr::FFma {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    mul_first,
+                } => {
+                    let (src, d) = self.fregs.split_at_mut(dst as usize * n);
+                    let d = &mut d[..n];
+                    let a = &src[a as usize * n..][..n];
+                    let b = &src[b as usize * n..][..n];
+                    let c = &src[c as usize * n..][..n];
+                    // Two separately rounded operations, never a fused
+                    // mul_add: bit-identical to the tape's tree walk.
+                    let lanes = d.iter_mut().zip(a).zip(b).zip(c);
+                    match (op, mul_first) {
+                        (BinOp::Add, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b + c),
+                        (BinOp::Add, false) => lanes.for_each(|(((d, a), b), c)| *d = c + a * b),
+                        (BinOp::Sub, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b - c),
+                        (BinOp::Sub, false) => lanes.for_each(|(((d, a), b), c)| *d = c - a * b),
+                        _ => unreachable!("FFma is only built for Add/Sub"),
+                    }
+                    pc += 1;
+                }
+                Instr::FStore {
+                    src,
+                    arr,
+                    row,
+                    col,
+                    op,
+                    addr,
+                } => {
+                    // Uniform-address register-tile store: each lane owns
+                    // its own register file, so the whole store is one
+                    // contiguous vector op (the hot accumulator update in
+                    // register-tiled kernels).
+                    if addr == AddrClass::UNIFORM && self.mask_full() {
+                        if let ArrRef::Reg(x) = arr {
+                            let r = self.aop(row, 0);
+                            let c = self.aop(col, 0);
+                            let base = self.reg_ix(x, r, c, 0);
+                            let s = src as usize * n;
+                            let lanes = self.regs[base..base + n]
+                                .iter_mut()
+                                .zip(&self.fregs[s..s + n]);
+                            match op {
+                                AssignOp::Assign => lanes.for_each(|(d, v)| *d = *v),
+                                AssignOp::AddAssign => lanes.for_each(|(d, v)| *d += v),
+                                AssignOp::SubAssign => lanes.for_each(|(d, v)| *d -= v),
+                            }
+                            pc += 1;
+                            continue;
+                        }
+                    }
+                    for_active!(self, lane => {
+                        let r = self.aop(row, lane);
+                        let c = self.aop(col, lane);
+                        let v = self.fregs[src as usize * n + lane];
+                        let new = match op {
+                            AssignOp::Assign => v,
+                            AssignOp::AddAssign => self.read_elem(arr, r, c, lane) + v,
+                            AssignOp::SubAssign => self.read_elem(arr, r, c, lane) - v,
+                        };
+                        self.write_elem(arr, r, c, new, lane);
+                    });
+                    pc += 1;
+                }
+                Instr::Stage { ix } => {
+                    self.stage(ix);
+                    pc += 1;
+                }
+                Instr::Move { ix } => {
+                    self.reg_move(ix);
+                    pc += 1;
+                }
+                Instr::RegZero { reg } => {
+                    let x = reg as usize;
+                    let d = &self.bc.regs[x];
+                    let len = (d.rows * d.cols) as usize;
+                    let off = self.bc.reg_off[x];
+                    if self.mask_full() {
+                        self.regs[off * n..(off + len) * n].fill(0.0);
+                    } else {
+                        for_active!(self, lane => {
+                            for e in 0..len {
+                                self.regs[(off + e) * n + lane] = 0.0;
+                            }
+                        });
+                    }
+                    pc += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cooperative staging: one whole-tile copy per block, evaluated on
+    /// lane 0's frame with `thread0 = true`, exactly like the tape.
+    /// Always runs in a uniform (all-lanes) context.
+    fn stage(&mut self, ix: u32) {
+        let st = self.bc.stages[ix as usize];
+        let n = self.n;
+        let r0 = self.aop(st.row0, 0);
+        let c0 = self.aop(st.col0, 0);
+        let sr = self.bc.sr_slot * n;
+        let sc = self.bc.sc_slot * n;
+        for c in 0..st.cols {
+            for r in 0..st.rows {
+                self.frames[sr] = r0 + r;
+                self.frames[sc] = c0 + c;
+                let v = if self.eval_pred(st.guard, 0, true) {
+                    self.gread(st.src, r0 + r, c0 + c)
+                } else {
+                    0.0
+                };
+                match st.mode {
+                    AllocMode::NoChange => {
+                        let ix = self.smem_ix(st.dst, r, c);
+                        self.smem[ix] = v;
+                    }
+                    AllocMode::Transpose => {
+                        let ix = self.smem_ix(st.dst, c, r);
+                        self.smem[ix] = v;
+                    }
+                    AllocMode::Symmetry => {
+                        let (i1, i2) = (self.smem_ix(st.dst, r, c), self.smem_ix(st.dst, c, r));
+                        self.smem[i1] = v;
+                        self.smem[i2] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Register-tile load/store nest for every active lane, mirroring the
+    /// tape's per-thread `RegMove` (including the `__gr`/`__gc` specials
+    /// the guard may consult).
+    fn reg_move(&mut self, ix: u32) {
+        let mv = self.bc.moves[ix as usize];
+        let n = self.n;
+        let grn = self.bc.gr_slot * n;
+        let gcn = self.bc.gc_slot * n;
+        for_active!(self, lane => {
+            let r0 = self.aop(mv.row0, lane);
+            let c0 = self.aop(mv.col0, lane);
+            for c in 0..mv.cols {
+                for r in 0..mv.rows {
+                    let gr = r0 + r * mv.row_stride;
+                    let gc = c0 + c * mv.col_stride;
+                    self.frames[grn + lane] = gr;
+                    self.frames[gcn + lane] = gc;
+                    if !self.eval_pred(mv.guard, lane, lane == 0) {
+                        continue;
+                    }
+                    let rix = self.reg_ix(mv.reg, r, c, lane);
+                    if mv.load {
+                        self.regs[rix] = self.gread(mv.global, gr, gc);
+                    } else {
+                        self.gwrite(mv.global, gr, gc, self.regs[rix]);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::exec_program;
+    use oa_loopir::builder::{gemm_nn_like, trmm_ll_like};
+    use oa_loopir::interp::{alloc_buffers, Bindings};
+    use oa_loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
+    use oa_loopir::Program;
+
+    fn params() -> TileParams {
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
+    }
+
+    /// Bit-exact comparison of bytecode vs oracle on fresh buffers.
+    fn assert_bit_identical(p: &Program, n: i64, seed: u64) {
+        let b = Bindings::square(n);
+        let mut oracle = alloc_buffers(p, &b, seed);
+        exec_program(p, &b, &mut oracle).expect("oracle exec");
+        let mut fast = alloc_buffers(p, &b, seed);
+        let bc = ByteCode::compile(p, &b).expect("bytecode compile");
+        bc.execute(&mut fast).expect("bytecode exec");
+        for (name, m) in &oracle {
+            let f = &fast[name];
+            assert_eq!(
+                m.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                f.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "buffer {name} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_full_scheme_bit_identical() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        assert_bit_identical(&p, 16, 3);
+        assert_bit_identical(&p, 32, 7);
+        assert_bit_identical(&p, 19, 23); // ragged
+    }
+
+    #[test]
+    fn trmm_scheme_bit_identical() {
+        let mut p = trmm_ll_like("t");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        oa_loopir::transform::peel_triangular(&mut p, "A").unwrap();
+        assert_bit_identical(&p, 16, 5);
+        assert_bit_identical(&p, 24, 9);
+    }
+
+    #[test]
+    fn grouping_only_bit_identical() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        assert_bit_identical(&p, 19, 23);
+    }
+
+    #[test]
+    fn repeated_execution_is_deterministic() {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", oa_loopir::AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        let b = Bindings::square(32);
+        let bc = ByteCode::compile(&p, &b).unwrap();
+        let mut first = alloc_buffers(&p, &b, 1);
+        bc.execute(&mut first).unwrap();
+        let mut second = alloc_buffers(&p, &b, 1);
+        bc.execute(&mut second).unwrap();
+        assert_eq!(first["C"].data, second["C"].data);
+    }
+}

@@ -68,7 +68,10 @@ impl SlotMap {
 }
 
 /// An affine expression with all names resolved: `Σ cₛ·frame[s] + c₀`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Hashable so downstream lowerings (the gpusim bytecode compiler) can
+/// intern identical address expressions into a shared unit table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SlotExpr {
     /// `(slot, coefficient)` pairs for the registered variables.
     pub terms: Vec<(usize, i64)>,
@@ -117,7 +120,7 @@ impl SlotExpr {
 }
 
 /// One pre-resolved comparison.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SlotCond {
     /// Left-hand side.
     pub lhs: SlotExpr,
@@ -140,7 +143,7 @@ impl SlotCond {
 /// The `blank_zero` special is resolved to an index into the executor's
 /// runtime blank-flag vector (the flags themselves are only known after
 /// the prologue kernels run, so they stay an execution-time input).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SlotPred {
     /// Affine conjuncts; empty means `true` modulo the specials.
     pub conds: Vec<SlotCond>,

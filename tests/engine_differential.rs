@@ -1,15 +1,17 @@
-//! Differential test between the two GPU execution engines.
+//! Differential test between the three GPU execution engines.
 //!
-//! The compiled-tape block-parallel executor (`oa_gpusim::tape`) must be
-//! **bit-identical** — not merely within tolerance — to the tree-walking
-//! oracle (`oa_gpusim::exec`) on every kernel the pipeline can produce:
-//! every composer-generated variant of every one of the 24 BLAS3 routine
-//! variants, with the blank triangles both zeroed and dirty.  The oracle
-//! executes blocks sequentially in `(by, bx)` order; the tape fans blocks
-//! out with rayon and merges per-block write logs in the same order, so
-//! any divergence (a missed read-your-write, a wrong slot binding, a
-//! cross-block dependence the parallel engine would break) shows up as a
-//! differing bit pattern here.
+//! The compiled-tape block-parallel executor (`oa_gpusim::tape`) and the
+//! lane-vectorized bytecode interpreter (`oa_gpusim::bytecode` +
+//! `oa_gpusim::vexec`) must be **bit-identical** — not merely within
+//! tolerance — to the tree-walking oracle (`oa_gpusim::exec`) on every
+//! kernel the pipeline can produce: every composer-generated variant of
+//! every one of the 24 BLAS3 routine variants, with the blank triangles
+//! both zeroed and dirty.  The oracle executes blocks sequentially in
+//! `(by, bx)` order; the compiled engines fan blocks out with rayon and
+//! merge per-block write logs in the same order, so any divergence (a
+//! missed read-your-write, a wrong slot binding, a cross-block dependence
+//! the parallel engines would break, a bad optimizer rewrite in the
+//! bytecode lowering) shows up as a differing bit pattern here.
 //!
 //! A second pass re-executes the same tape and asserts the outputs agree
 //! bit-for-bit with the first parallel run: scheduling must never leak
@@ -18,7 +20,7 @@
 use oa_core::blas3::schemes::oa_scheme;
 use oa_core::blas3::verify::prepare_buffers;
 use oa_core::composer::compose;
-use oa_core::gpusim::{exec_program, Tape};
+use oa_core::gpusim::{exec_program, ByteCode, Tape};
 use oa_core::loopir::interp::{Bindings, Buffers};
 use oa_core::loopir::transform::TileParams;
 use oa_core::RoutineId;
@@ -67,7 +69,7 @@ fn assert_buffers_bit_identical(a: &Buffers, b: &Buffers, ctx: &str) {
 }
 
 #[test]
-fn tape_engine_is_bit_identical_to_oracle_on_all_24_routines() {
+fn compiled_engines_are_bit_identical_to_oracle_on_all_24_routines() {
     let n = 64;
     let bindings = Bindings::square(n);
     for r in RoutineId::all24() {
@@ -83,6 +85,8 @@ fn tape_engine_is_bit_identical_to_oracle_on_all_24_routines() {
                 let Ok(tape) = Tape::compile(&v.program, &bindings) else {
                     continue;
                 };
+                let bc = ByteCode::compile(&v.program, &bindings)
+                    .unwrap_or_else(|e| panic!("{}: bytecode lowering failed: {e}", r.name()));
                 for zero_blanks in [true, false] {
                     let ctx = format!(
                         "{} (zero_blanks={zero_blanks}) script:\n{}",
@@ -97,6 +101,11 @@ fn tape_engine_is_bit_identical_to_oracle_on_all_24_routines() {
                     tape.execute(&mut fast)
                         .unwrap_or_else(|e| panic!("{ctx}: tape failed: {e}"));
                     assert_buffers_bit_identical(&oracle, &fast, &ctx);
+
+                    let mut vec_out = prepare_buffers(&v.program, n, 0xFACE, zero_blanks);
+                    bc.execute(&mut vec_out)
+                        .unwrap_or_else(|e| panic!("{ctx}: bytecode failed: {e}"));
+                    assert_buffers_bit_identical(&oracle, &vec_out, &ctx);
 
                     // Determinism: a second parallel run of the same tape
                     // reproduces the first bit-for-bit.
