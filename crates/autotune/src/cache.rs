@@ -1,13 +1,141 @@
 //! Persistent tuning cache: the benchmark harnesses tune each
 //! (routine, device, size) once and replay the result afterwards.
+//!
+//! The on-disk format is versioned (`CACHE_VERSION`) and crash-safe:
+//!
+//! * every record carries a FNV-1a fingerprint (`check`) verified on
+//!   load, so a torn or hand-edited record is detected, reported as a
+//!   [`CacheIssue`] and skipped — never silently replayed;
+//! * [`TuneCache::save`] writes a temp file in the same directory and
+//!   atomically renames it over the cache, so a writer killed mid-write
+//!   (SIGKILL, power loss) leaves the previous cache intact;
+//! * [`TuneCache::update`] serializes read-modify-write cycles across
+//!   processes through a lock file ([`CacheLock`]), so concurrent bench
+//!   runs sharing one cache path cannot lose each other's records.
+//!
+//! Version-1 caches (a bare top-level array, numbers squeezed through
+//! `f64`) still load, flagged with [`CacheIssue::LegacyFormat`]; the next
+//! save rewrites them as version 2.
 
 use crate::json::{self, Json};
-use crate::tuner::{tune, TuneError, TunedKernel};
+use crate::tuner::{tune, validate_record, TuneError, TunedKernel};
 use oa_blas3::types::RoutineId;
 use oa_gpusim::DeviceSpec;
 use oa_loopir::transform::TileParams;
 use std::collections::{BTreeMap, HashMap};
-use std::path::Path;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The on-disk schema version this build writes.
+pub const CACHE_VERSION: i64 = 2;
+
+/// How long [`CacheLock::acquire`] waits before treating a lock file as
+/// abandoned by a dead process and stealing it.  Writers hold the lock
+/// only around a load-modify-save cycle (milliseconds), never during a
+/// tuning sweep.
+const STALE_LOCK_MS: u64 = 5_000;
+
+/// A problem found while reading, writing, or replaying a cache.
+///
+/// Issues are *reported*, not swallowed: loaders return them alongside
+/// the usable records and the tuner forwards them to its trace observer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CacheIssue {
+    /// The file exists but could not be read.
+    Unreadable {
+        /// The cache path.
+        path: String,
+        /// The I/O error.
+        reason: String,
+    },
+    /// The file is not well-formed JSON.
+    Syntax {
+        /// The cache path.
+        path: String,
+    },
+    /// The document's schema version is newer than this build understands.
+    UnknownVersion {
+        /// The version field found.
+        found: String,
+    },
+    /// A version-1 document (bare array, no integrity checks).
+    LegacyFormat,
+    /// One record is malformed and was skipped.
+    BadRecord {
+        /// Index in the records array.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A record's integrity fingerprint does not match its content.
+    IntegrityMismatch {
+        /// Index in the records array.
+        index: usize,
+        /// `routine@device@n` of the rejected record.
+        key: String,
+    },
+    /// A cached script no longer parses or applies under the current
+    /// component set — the record is stale and must not be replayed.
+    StaleScript {
+        /// `routine@device@n` of the stale record.
+        key: String,
+        /// Parse/apply failure.
+        reason: String,
+    },
+    /// A cached record's tile parameters are no longer in the search
+    /// space (`space::candidates`), so replaying it would trust a point
+    /// the current tuner cannot produce.
+    StaleParams {
+        /// `routine@device@n` of the stale record.
+        key: String,
+    },
+    /// A lock file was held past [`STALE_LOCK_MS`] and stolen.
+    StaleLock {
+        /// The lock-file path.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for CacheIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheIssue::Unreadable { path, reason } => {
+                write!(f, "{path} unreadable: {reason}")
+            }
+            CacheIssue::Syntax { path } => write!(f, "{path} is not valid JSON"),
+            CacheIssue::UnknownVersion { found } => {
+                write!(f, "schema version {found} is newer than this build")
+            }
+            CacheIssue::LegacyFormat => {
+                write!(
+                    f,
+                    "legacy v1 cache (no integrity checks); will rewrite as v2"
+                )
+            }
+            CacheIssue::BadRecord { index, reason } => {
+                write!(f, "record {index} malformed ({reason}); skipped")
+            }
+            CacheIssue::IntegrityMismatch { index, key } => {
+                write!(
+                    f,
+                    "record {index} ({key}) failed its integrity check; skipped"
+                )
+            }
+            CacheIssue::StaleScript { key, reason } => {
+                write!(f, "cached script for {key} is stale ({reason}); re-tuning")
+            }
+            CacheIssue::StaleParams { key } => {
+                write!(
+                    f,
+                    "cached parameters for {key} left the search space; re-tuning"
+                )
+            }
+            CacheIssue::StaleLock { path } => {
+                write!(f, "stole abandoned lock file {path}")
+            }
+        }
+    }
+}
 
 /// One cached tuning outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,45 +181,102 @@ impl TunedRecord {
         }
     }
 
+    /// `routine@device@n`, the key used in issue reports.
+    pub fn key(&self) -> String {
+        format!("{}@{}@{}", self.routine, self.device, self.n)
+    }
+
+    /// FNV-1a fingerprint over the record's content, written as the
+    /// `check` field and verified on load.
+    fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            h ^= 0xff; // field separator
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        };
+        eat(self.routine.as_bytes());
+        eat(self.device.as_bytes());
+        eat(&self.n.to_le_bytes());
+        eat(self.script.as_bytes());
+        let (ty, tx, thr_i, thr_j, kb, unroll) = self.params;
+        for v in [ty, tx, thr_i, thr_j, kb, unroll as i64] {
+            eat(&v.to_le_bytes());
+        }
+        eat(&self.gflops.to_bits().to_le_bytes());
+        h
+    }
+
     fn to_json(&self) -> Json {
         let (ty, tx, thr_i, thr_j, kb, unroll) = self.params;
         Json::Obj(BTreeMap::from([
             ("routine".to_string(), Json::Str(self.routine.clone())),
             ("device".to_string(), Json::Str(self.device.clone())),
-            ("n".to_string(), Json::Num(self.n as f64)),
+            ("n".to_string(), Json::Int(self.n)),
             ("script".to_string(), Json::Str(self.script.clone())),
             (
                 "params".to_string(),
                 Json::Arr(
                     [ty, tx, thr_i, thr_j, kb, unroll as i64]
                         .iter()
-                        .map(|&v| Json::Num(v as f64))
+                        .map(|&v| Json::Int(v))
                         .collect(),
                 ),
             ),
             ("gflops".to_string(), Json::Num(self.gflops)),
+            (
+                "check".to_string(),
+                Json::Str(format!("{:016x}", self.fingerprint())),
+            ),
         ]))
     }
 
-    fn from_json(v: &Json) -> Option<Self> {
-        let p = v.get("params")?.as_arr()?;
+    /// Parse one record; a structured reason on any malformation —
+    /// including fractional or out-of-range numbers where integers are
+    /// required (never truncated).
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field `{k}`"));
+        let int = |k: &str| {
+            field(k)?
+                .as_i64()
+                .ok_or_else(|| format!("field `{k}` is not an integer"))
+        };
+        let p = field("params")?
+            .as_arr()
+            .ok_or("field `params` is not an array")?;
         if p.len() != 6 {
-            return None;
+            return Err(format!("expected 6 params, got {}", p.len()));
         }
-        Some(TunedRecord {
-            routine: v.get("routine")?.as_str()?.to_string(),
-            device: v.get("device")?.as_str()?.to_string(),
-            n: v.get("n")?.as_i64()?,
-            script: v.get("script")?.as_str()?.to_string(),
-            params: (
-                p[0].as_i64()?,
-                p[1].as_i64()?,
-                p[2].as_i64()?,
-                p[3].as_i64()?,
-                p[4].as_i64()?,
-                p[5].as_i64()? as usize,
-            ),
-            gflops: v.get("gflops")?.as_f64()?,
+        let mut ip = [0i64; 6];
+        for (i, x) in p.iter().enumerate() {
+            ip[i] = x
+                .as_i64()
+                .ok_or_else(|| format!("params[{i}] is not an integer (fractional input?)"))?;
+        }
+        if ip[5] < 0 {
+            return Err("params[5] (unroll) is negative".to_string());
+        }
+        Ok(TunedRecord {
+            routine: field("routine")?
+                .as_str()
+                .ok_or("field `routine` is not a string")?
+                .to_string(),
+            device: field("device")?
+                .as_str()
+                .ok_or("field `device` is not a string")?
+                .to_string(),
+            n: int("n")?,
+            script: field("script")?
+                .as_str()
+                .ok_or("field `script` is not a string")?
+                .to_string(),
+            params: (ip[0], ip[1], ip[2], ip[3], ip[4], ip[5] as usize),
+            gflops: field("gflops")?
+                .as_f64()
+                .ok_or("field `gflops` is not a number")?,
         })
     }
 }
@@ -102,34 +287,251 @@ pub struct TuneCache {
     records: HashMap<(String, String, i64), TunedRecord>,
 }
 
+/// The temp-file path [`TuneCache::save`] stages its atomic write in:
+/// same directory (so `rename` never crosses filesystems), name derived
+/// from the cache file plus the writer's pid.
+fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "cache".to_string());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+fn lock_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "cache".to_string());
+    path.with_file_name(format!(".{name}.lock"))
+}
+
+/// Advisory lock-file guard serializing cache writers across processes.
+///
+/// Acquisition creates `.<cache>.lock` with `create_new` (atomic on every
+/// platform std supports); the file is removed on drop.  A lock older
+/// than [`STALE_LOCK_MS`] is presumed abandoned by a killed process and
+/// stolen (reported through the acquired lock's [`CacheLock::stolen`]).
+pub struct CacheLock {
+    path: PathBuf,
+    stolen: bool,
+}
+
+impl CacheLock {
+    /// Acquire the lock guarding `cache_path`, blocking (with a small
+    /// sleep) until free or stale.
+    pub fn acquire(cache_path: &Path) -> io::Result<CacheLock> {
+        let path = lock_path(cache_path);
+        let mut waited_ms: u64 = 0;
+        let mut stolen = false;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(CacheLock { path, stolen });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if waited_ms >= STALE_LOCK_MS {
+                        // Holder is presumed dead (writers hold the lock
+                        // for milliseconds); break the lock and retry.
+                        let _ = std::fs::remove_file(&path);
+                        waited_ms = 0;
+                        stolen = true;
+                        continue;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    waited_ms += 5;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether acquisition had to steal an abandoned lock.
+    pub fn stolen(&self) -> bool {
+        self.stolen
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 impl TuneCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Load from a JSON file (missing file = empty cache).
+    /// Load from a JSON file, discarding issue reports (missing file =
+    /// empty cache).  Prefer [`TuneCache::load_reporting`] where the
+    /// issues can be surfaced.
     pub fn load(path: &Path) -> Self {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            return Self::new();
-        };
-        let mut cache = Self::new();
-        if let Some(Json::Arr(items)) = json::parse(&text) {
-            for r in items.iter().filter_map(TunedRecord::from_json) {
-                cache
-                    .records
-                    .insert((r.routine.clone(), r.device.clone(), r.n), r);
-            }
-        }
-        cache
+        Self::load_reporting(path).0
     }
 
-    /// Persist to a JSON file.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+    /// Load from a JSON file plus every [`CacheIssue`] encountered.
+    ///
+    /// A missing file is an empty cache with no issues; anything else
+    /// that prevents a record from being trusted produces an issue and
+    /// skips exactly that record (or, for document-level problems, the
+    /// whole file).
+    pub fn load_reporting(path: &Path) -> (Self, Vec<CacheIssue>) {
+        let mut issues = Vec::new();
+        let mut cache = Self::new();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return (cache, issues),
+            Err(e) => {
+                issues.push(CacheIssue::Unreadable {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                });
+                return (cache, issues);
+            }
+        };
+        let Some(doc) = json::parse(&text) else {
+            issues.push(CacheIssue::Syntax {
+                path: path.display().to_string(),
+            });
+            return (cache, issues);
+        };
+        let items: &[Json] = match &doc {
+            // Version-1 layout: a bare array of records, no checksums.
+            Json::Arr(items) => {
+                issues.push(CacheIssue::LegacyFormat);
+                items
+            }
+            Json::Obj(_) => {
+                match doc.get("version").and_then(Json::as_i64) {
+                    Some(v) if v <= CACHE_VERSION => {}
+                    found => {
+                        issues.push(CacheIssue::UnknownVersion {
+                            found: found.map_or_else(|| "?".to_string(), |v| v.to_string()),
+                        });
+                        return (cache, issues);
+                    }
+                }
+                match doc.get("records").and_then(Json::as_arr) {
+                    Some(items) => items,
+                    None => {
+                        issues.push(CacheIssue::BadRecord {
+                            index: 0,
+                            reason: "document has no `records` array".to_string(),
+                        });
+                        return (cache, issues);
+                    }
+                }
+            }
+            _ => {
+                issues.push(CacheIssue::Syntax {
+                    path: path.display().to_string(),
+                });
+                return (cache, issues);
+            }
+        };
+        let versioned = matches!(doc, Json::Obj(_));
+        for (index, item) in items.iter().enumerate() {
+            match TunedRecord::from_json(item) {
+                Ok(rec) => {
+                    if versioned {
+                        let stored = item.get("check").and_then(Json::as_str);
+                        let expect = format!("{:016x}", rec.fingerprint());
+                        if stored != Some(expect.as_str()) {
+                            issues.push(CacheIssue::IntegrityMismatch {
+                                index,
+                                key: rec.key(),
+                            });
+                            continue;
+                        }
+                    }
+                    cache
+                        .records
+                        .insert((rec.routine.clone(), rec.device.clone(), rec.n), rec);
+                }
+                Err(reason) => issues.push(CacheIssue::BadRecord { index, reason }),
+            }
+        }
+        (cache, issues)
+    }
+
+    fn to_json(&self) -> Json {
         let mut records: Vec<&TunedRecord> = self.records.values().collect();
         records.sort_by(|a, b| (&a.device, &a.routine, a.n).cmp(&(&b.device, &b.routine, b.n)));
-        let doc = Json::Arr(records.iter().map(|r| r.to_json()).collect());
-        std::fs::write(path, doc.pretty())
+        Json::Obj(BTreeMap::from([
+            ("version".to_string(), Json::Int(CACHE_VERSION)),
+            (
+                "records".to_string(),
+                Json::Arr(records.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]))
+    }
+
+    /// Persist atomically: serialize to a same-directory temp file, flush
+    /// it to disk, then `rename` over `path`.  A crash at any point
+    /// leaves either the old cache or the new one — never a torn file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = temp_path(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().pretty().as_bytes())?;
+            f.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Serialize the document to the staging temp file *without* the
+    /// final rename — the test hook simulating a writer killed between
+    /// write and rename.
+    #[cfg(test)]
+    fn save_interrupted(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(temp_path(path), self.to_json().pretty())
+    }
+
+    /// Locked read-modify-write: acquire the cache's lock file, reload
+    /// the on-disk state (so records written by concurrent processes
+    /// survive), apply `f`, save atomically, release.
+    ///
+    /// Returns `f`'s result plus any issues found while loading.
+    pub fn update<T>(
+        path: &Path,
+        f: impl FnOnce(&mut TuneCache) -> T,
+    ) -> io::Result<(T, Vec<CacheIssue>)> {
+        let lock = CacheLock::acquire(path)?;
+        let (mut cache, mut issues) = Self::load_reporting(path);
+        if lock.stolen() {
+            issues.push(CacheIssue::StaleLock {
+                path: lock_path(path).display().to_string(),
+            });
+        }
+        let out = f(&mut cache);
+        cache.save(path)?;
+        Ok((out, issues))
+    }
+
+    /// Merge this cache's records into the file at `path` under the lock
+    /// (on-disk records not shadowed by in-memory ones survive), then
+    /// save atomically.  The multi-process-safe replacement for
+    /// `load → mutate → save` round trips.
+    pub fn merge_save(&self, path: &Path) -> io::Result<Vec<CacheIssue>> {
+        let (_, issues) = Self::update(path, |disk| {
+            for rec in self.records.values() {
+                disk.insert(rec.clone());
+            }
+        })?;
+        Ok(issues)
     }
 
     /// Look up a record.
@@ -145,6 +547,10 @@ impl TuneCache {
     }
 
     /// Tune (or fetch) and memoize.
+    ///
+    /// A stored record is revalidated before being trusted ([`validate_record`]):
+    /// a stale script or out-of-space parameters trigger a fresh tune
+    /// whose winner overwrites the stale entry.
     pub fn tune_cached(
         &mut self,
         routine: RoutineId,
@@ -152,7 +558,9 @@ impl TuneCache {
         n: i64,
     ) -> Result<TunedRecord, TuneError> {
         if let Some(r) = self.get(routine, device, n) {
-            return Ok(r.clone());
+            if validate_record(routine, r).is_ok() {
+                return Ok(r.clone());
+            }
         }
         let t = tune(routine, device, n)?;
         let rec = TunedRecord::from_kernel(&t);
@@ -179,26 +587,32 @@ mod tests {
     use super::*;
     use oa_blas3::types::Trans;
 
-    #[test]
-    fn roundtrip_through_json() {
-        let rec = TunedRecord {
+    fn sample_record() -> TunedRecord {
+        TunedRecord {
             routine: "GEMM-NN".into(),
             device: "GTX 285".into(),
             n: 1024,
             script: "reg_alloc(C);\n".into(),
             params: (64, 16, 64, 1, 16, 0),
             gflops: 400.0,
-        };
-        let dir = std::env::temp_dir().join("oa_tune_cache_test");
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
         let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("cache.json");
+        dir
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let rec = sample_record();
+        let path = tmp_dir("oa_tune_cache_test").join("cache.json");
         let mut cache = TuneCache::new();
-        cache.records.insert(
-            (rec.routine.clone(), rec.device.clone(), rec.n),
-            rec.clone(),
-        );
+        cache.insert(rec.clone());
         cache.save(&path).unwrap();
-        let loaded = TuneCache::load(&path);
+        let (loaded, issues) = TuneCache::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
         assert_eq!(loaded.len(), 1);
         let got = loaded
             .get(
@@ -209,12 +623,189 @@ mod tests {
             .unwrap();
         assert_eq!(*got, rec);
         assert_eq!(got.tile_params().ty, 64);
+        // The document is versioned and checksummed.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"version\""));
+        assert!(text.contains("\"check\""));
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn missing_file_is_empty() {
-        let cache = TuneCache::load(Path::new("/nonexistent/oa-cache.json"));
+        let (cache, issues) = TuneCache::load_reporting(Path::new("/nonexistent/oa-cache.json"));
         assert!(cache.is_empty());
+        assert!(
+            issues.is_empty(),
+            "missing file is not an issue: {issues:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_v1_array_still_loads() {
+        let path = tmp_dir("oa_cache_legacy_test").join("cache.json");
+        // The pre-version format: top-level array, no `check` field.
+        std::fs::write(
+            &path,
+            r#"[{"routine": "GEMM-NN", "device": "GTX 285", "n": 1024,
+                "script": "reg_alloc(C);\n", "params": [64, 16, 64, 1, 16, 0],
+                "gflops": 400.0}]"#,
+        )
+        .unwrap();
+        let (cache, issues) = TuneCache::load_reporting(&path);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(issues, vec![CacheIssue::LegacyFormat]);
+        // Saving upgrades the file to v2.
+        cache.save(&path).unwrap();
+        let (again, issues2) = TuneCache::load_reporting(&path);
+        assert_eq!(again.len(), 1);
+        assert!(issues2.is_empty(), "{issues2:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_caches_recover_with_issues() {
+        let dir = tmp_dir("oa_cache_corrupt_test");
+        let path = dir.join("cache.json");
+
+        // Truncated JSON: no records, one syntax issue, and a subsequent
+        // save + load round-trips cleanly.
+        let mut cache = TuneCache::new();
+        cache.insert(sample_record());
+        cache.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (c, issues) = TuneCache::load_reporting(&path);
+        assert!(c.is_empty());
+        assert!(matches!(issues[0], CacheIssue::Syntax { .. }));
+
+        // One flipped byte inside a record: parses, fails the integrity
+        // check, record skipped with a report.
+        std::fs::write(&path, full.replace("400", "401")).unwrap();
+        let (c, issues) = TuneCache::load_reporting(&path);
+        assert!(c.is_empty());
+        assert!(
+            matches!(issues[0], CacheIssue::IntegrityMismatch { .. }),
+            "{issues:?}"
+        );
+
+        // Fractional tile parameter: rejected with a reason, not truncated.
+        std::fs::write(
+            &path,
+            r#"[{"routine": "GEMM-NN", "device": "GTX 285", "n": 1024,
+                "script": "s", "params": [64.5, 16, 64, 1, 16, 0], "gflops": 1.0}]"#,
+        )
+        .unwrap();
+        let (c, issues) = TuneCache::load_reporting(&path);
+        assert!(c.is_empty());
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, CacheIssue::BadRecord { reason, .. } if reason.contains("params[0]"))),
+            "{issues:?}"
+        );
+
+        // A future schema version is refused wholesale.
+        std::fs::write(&path, r#"{"version": 99, "records": []}"#).unwrap();
+        let (c, issues) = TuneCache::load_reporting(&path);
+        assert!(c.is_empty());
+        assert_eq!(
+            issues,
+            vec![CacheIssue::UnknownVersion { found: "99".into() }]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// SIGKILL-simulated interruption mid-write: the temp file is fully
+    /// staged but the rename never happens.  The previous cache must stay
+    /// intact and readable, and the stray temp file must not disturb
+    /// loads or subsequent saves.
+    #[test]
+    fn crash_before_rename_leaves_previous_cache_intact() {
+        let dir = tmp_dir("oa_cache_crash_test");
+        let path = dir.join("cache.json");
+        let mut v1 = TuneCache::new();
+        v1.insert(sample_record());
+        v1.save(&path).unwrap();
+
+        // A second writer stages a different cache, then "dies".
+        let mut v2 = TuneCache::new();
+        let mut other = sample_record();
+        other.routine = "GEMM-TN".into();
+        v2.insert(other.clone());
+        v2.save_interrupted(&path).unwrap();
+        assert!(temp_path(&path).exists(), "staged temp file");
+
+        // The cache still reads as the *previous* state, no issues.
+        let (loaded, issues) = TuneCache::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded
+            .get(
+                RoutineId::Gemm(Trans::N, Trans::N),
+                &DeviceSpec::gtx285(),
+                1024
+            )
+            .is_some());
+
+        // A later successful save replaces both cache and stray temp.
+        v2.save(&path).unwrap();
+        assert!(!temp_path(&path).exists());
+        let (loaded, issues) = TuneCache::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded
+            .get(
+                RoutineId::Gemm(Trans::T, Trans::N),
+                &DeviceSpec::gtx285(),
+                1024
+            )
+            .is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Two writers interleaving read-modify-write cycles on one path must
+    /// not lose each other's records.
+    #[test]
+    fn concurrent_updates_lose_no_records() {
+        let dir = tmp_dir("oa_cache_concurrent_test");
+        let path = dir.join("cache.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mk = |routine: &str, n: i64| TunedRecord {
+            routine: routine.into(),
+            n,
+            ..sample_record()
+        };
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let path = path.clone();
+                let mk = &mk;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let rec = mk(&format!("R{t}"), i);
+                        TuneCache::update(&path, |c| c.insert(rec)).unwrap();
+                    }
+                });
+            }
+        });
+        let (cache, issues) = TuneCache::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(cache.len(), 32, "lost records under concurrent writers");
+        assert!(!lock_path(&path).exists(), "lock file released");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_lock_is_stolen() {
+        let dir = tmp_dir("oa_cache_stale_lock_test");
+        let path = dir.join("cache.json");
+        // A lock file abandoned by a dead process.
+        std::fs::write(lock_path(&path), "99999").unwrap();
+        let t0 = std::time::Instant::now();
+        let lock = CacheLock::acquire(&path).unwrap();
+        assert!(lock.stolen());
+        assert!(t0.elapsed().as_millis() >= STALE_LOCK_MS as u128 - 100);
+        drop(lock);
+        assert!(!lock_path(&path).exists());
     }
 }

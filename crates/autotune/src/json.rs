@@ -10,13 +10,16 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum Json {
     /// `null`
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (stored as f64; integral values round-trip exactly up to 2^53).
+    /// An integer literal (no `.`/`e` in the source): preserved exactly
+    /// over the full `i64` range, not squeezed through `f64`.
+    Int(i64),
+    /// Any other number (stored as f64).
     Num(f64),
     /// A string.
     Str(String),
@@ -26,18 +29,47 @@ pub enum Json {
     Obj(BTreeMap<String, Json>),
 }
 
+/// Numbers compare by value: `Int(5) == Num(5.0)`, so documents written
+/// before the integer-preserving path reload as equal.
+impl PartialEq for Json {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Int(a), Json::Num(b)) | (Json::Num(b), Json::Int(a)) => *a as f64 == *b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Json {
     /// The value as an f64, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
             _ => None,
         }
     }
 
-    /// The value as an i64, if an integral number.
+    /// The value as an i64, if an *integral* number.
+    ///
+    /// `Int` values pass through exactly.  Legacy `Num` values are
+    /// accepted only when integral and exactly representable (|n| < 2^53);
+    /// fractional numbers return `None` rather than truncating.
     pub fn as_i64(&self) -> Option<i64> {
-        self.as_f64().map(|n| n as i64)
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
     }
 
     /// The value as a string slice.
@@ -71,10 +103,48 @@ impl Json {
         out
     }
 
+    /// Serialize on a single line (the JSONL trace-stream format).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9e15 {
                     let _ = write!(out, "{}", *n as i64);
@@ -292,11 +362,15 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
     if *pos == start {
         return None;
     }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()?
-        .parse::<f64>()
-        .ok()
-        .map(Json::Num)
+    let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+    // An integer literal takes the exact `i64` path; anything with a
+    // fraction or exponent (or beyond the i64 range) stays an f64.
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Some(Json::Int(i));
+        }
+    }
+    text.parse::<f64>().ok().map(Json::Num)
 }
 
 #[cfg(test)]
@@ -318,6 +392,25 @@ mod tests {
         let text = src.pretty();
         let back = parse(&text).unwrap();
         assert_eq!(back, src);
+    }
+
+    #[test]
+    fn integers_roundtrip_exactly() {
+        // Values at and beyond 2^53 lose bits through f64; the Int path
+        // must carry them exactly.
+        for v in [i64::MAX, i64::MIN, (1i64 << 53) + 1, -((1i64 << 53) + 3)] {
+            let text = Json::Int(v).pretty();
+            assert_eq!(parse(&text).unwrap().as_i64(), Some(v), "{v}");
+        }
+        // A float literal parses as Num; as_i64 rejects fractions.
+        assert_eq!(parse("2.5").unwrap().as_i64(), None);
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        // Legacy integral floats still convert.
+        assert_eq!(Json::Num(64.0).as_i64(), Some(64));
+        assert_eq!(Json::Num(9.3e15).as_i64(), None, "beyond 2^53");
+        // Cross-variant numeric equality (old caches reload as equal).
+        assert_eq!(Json::Int(1024), Json::Num(1024.0));
+        assert_ne!(Json::Int(3), Json::Num(3.5));
     }
 
     #[test]

@@ -3,15 +3,21 @@
 //! The OA framework generates multiple EPOD scripts per routine; this crate
 //! sweeps them against the tile-parameter [`space`] on the simulator's
 //! performance model and keeps the best performer ([`tuner`]), memoizing
-//! outcomes in a JSON [`cache`].
+//! outcomes in a versioned crash-safe JSON [`cache`] and reporting every
+//! stage and candidate outcome through the [`report`] event types.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod json;
+pub mod report;
 pub mod space;
 pub mod tuner;
 
-pub use cache::{TuneCache, TunedRecord};
+pub use cache::{CacheIssue, CacheLock, TuneCache, TunedRecord, CACHE_VERSION};
+pub use report::{CandidateFate, CandidateOutcome, FailureTable, Stage, TuneEvent};
 pub use space::{candidates, default_params, gemm_candidates, solver_candidates};
-pub use tuner::{baseline_perf, magma_perf, tune, tune_at, tune_fresh, TuneError, TunedKernel};
+pub use tuner::{
+    baseline_perf, magma_perf, tune, tune_at, tune_at_observed, tune_fresh, tune_fresh_observed,
+    tune_fresh_on, tune_observed, validate_record, TuneError, TunedKernel,
+};

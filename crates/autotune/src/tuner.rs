@@ -3,22 +3,35 @@
 //! (Sec. II: "Our OA framework will generate a set of code variants
 //! according to the composed EPOD scripts obtained.  The best among the
 //! set is searched for.")
+//!
+//! Every entry point has an *observed* variant taking a
+//! `&mut dyn FnMut(TuneEvent)` callback; the tuner emits one span per
+//! pipeline stage (compose, filter, translate, evaluate) and one terminal
+//! outcome per candidate, so callers can render a trace (`oa_core::trace`)
+//! or account for failures without the tuner knowing how they display.
+//!
+//! The execution engine behind the composer's legality filter is threaded
+//! explicitly ([`tune_fresh_on`]); the `OA_EXEC_ENGINE` environment
+//! variable is read exactly once, in `oa_gpusim::engine::select`, never
+//! mutated here.
 
 use oa_blas3::schemes::oa_scheme;
 use oa_blas3::types::RoutineId;
-use oa_composer::compose;
-use oa_epod::translator::apply_lenient;
+use oa_composer::{compose_on, ComposeStats};
+use oa_epod::translator::{apply_lenient, TranslateError};
 use oa_epod::Script;
-use oa_gpusim::perf::{evaluate, PerfReport};
-use oa_gpusim::DeviceSpec;
+use oa_gpusim::perf::{evaluate, EvalError, PerfReport};
+use oa_gpusim::{select_engine, DeviceSpec, ExecEngine};
 use oa_loopir::interp::Bindings;
 use oa_loopir::transform::TileParams;
 use oa_loopir::Program;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::path::Path;
+use std::time::Instant;
 
-use crate::cache::{TuneCache, TunedRecord};
+use crate::cache::{CacheIssue, TuneCache, TunedRecord};
+use crate::report::{CandidateFate, CandidateOutcome, FailureTable, Stage, TuneEvent};
 use crate::space::{candidates, default_params};
 
 /// A tuned kernel: the winning script/parameter pair and its predicted
@@ -48,8 +61,14 @@ pub struct TunedKernel {
 pub enum TuneError {
     /// The composer produced no variants.
     NoVariants(String),
-    /// No candidate survived evaluation.
-    NothingEvaluated(String),
+    /// No candidate survived evaluation; `failures` classifies where
+    /// every sweep point died (the table `oa tune` prints).
+    NothingEvaluated {
+        /// The routine that came up empty.
+        routine: String,
+        /// Failure counts by class.
+        failures: FailureTable,
+    },
     /// Composer failure.
     Composer(String),
 }
@@ -58,7 +77,10 @@ impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TuneError::NoVariants(r) => write!(f, "no script variants generated for {r}"),
-            TuneError::NothingEvaluated(r) => write!(f, "no evaluable candidate for {r}"),
+            TuneError::NothingEvaluated { routine, failures } => {
+                writeln!(f, "no evaluable candidate for {routine}:")?;
+                write!(f, "{failures}")
+            }
             TuneError::Composer(m) => write!(f, "composer: {m}"),
         }
     }
@@ -66,51 +88,122 @@ impl std::fmt::Display for TuneError {
 
 impl std::error::Error for TuneError {}
 
+/// A no-op observer for untraced entry points.
+fn silent() -> impl FnMut(TuneEvent) {
+    |_| {}
+}
+
 /// Run the full OA pipeline for one routine on one device at size `n`.
 ///
 /// When the `OA_TUNE_CACHE` environment variable names a JSON cache file,
 /// previously tuned `(routine, device, n)` outcomes are replayed from it
 /// and fresh outcomes appended — see [`tune_at`].
 pub fn tune(r: RoutineId, device: &DeviceSpec, n: i64) -> Result<TunedKernel, TuneError> {
+    tune_observed(r, device, n, &mut silent())
+}
+
+/// [`tune`] with a trace observer.
+pub fn tune_observed(
+    r: RoutineId,
+    device: &DeviceSpec,
+    n: i64,
+    obs: &mut dyn FnMut(TuneEvent),
+) -> Result<TunedKernel, TuneError> {
     match std::env::var_os("OA_TUNE_CACHE") {
-        Some(path) => tune_at(r, device, n, Path::new(&path)),
-        None => tune_fresh(r, device, n),
+        Some(path) => tune_at_observed(r, device, n, Path::new(&path), obs),
+        None => tune_fresh_observed(r, device, n, obs),
     }
 }
 
 /// [`tune`] memoized through the JSON cache at `path` (the benchmark
 /// harnesses use `tuning_cache.json`).
 ///
-/// A cache hit replays the stored script/parameter pair — one
+/// A cache hit is revalidated ([`validate_record`]) and replayed — one
 /// parse + apply + evaluate instead of the full sweep.  A stale record
-/// (script no longer parses or applies, e.g. after a component rename)
-/// falls through to a fresh sweep whose winner overwrites it.
+/// (script no longer parses or applies, or parameters that left the
+/// search space) is reported as a [`CacheIssue`] and falls through to a
+/// fresh sweep whose winner overwrites it.  The write-back goes through
+/// [`TuneCache::update`] — a locked read-modify-write — so concurrent
+/// bench processes sharing one path cannot lose each other's records.
 pub fn tune_at(
     r: RoutineId,
     device: &DeviceSpec,
     n: i64,
     path: &Path,
 ) -> Result<TunedKernel, TuneError> {
-    let mut cache = TuneCache::load(path);
+    tune_at_observed(r, device, n, path, &mut silent())
+}
+
+/// [`tune_at`] with a trace observer ([`CacheIssue`]s are forwarded as
+/// [`TuneEvent::Cache`] events rather than swallowed).
+pub fn tune_at_observed(
+    r: RoutineId,
+    device: &DeviceSpec,
+    n: i64,
+    path: &Path,
+    obs: &mut dyn FnMut(TuneEvent),
+) -> Result<TunedKernel, TuneError> {
+    let (cache, issues) = TuneCache::load_reporting(path);
+    for issue in issues {
+        obs(TuneEvent::Cache(issue));
+    }
     if let Some(rec) = cache.get(r, device, n) {
-        if let Some(t) = replay(r, device, n, rec) {
-            return Ok(t);
+        match replay(r, device, n, rec) {
+            Ok(t) => {
+                obs(TuneEvent::Replayed {
+                    routine: r.name(),
+                    gflops: t.report.gflops,
+                });
+                return Ok(t);
+            }
+            Err(issue) => obs(TuneEvent::Cache(issue)),
         }
     }
-    let t = tune_fresh(r, device, n)?;
-    cache.insert(TunedRecord::from_kernel(&t));
-    // Persistence is best-effort: an unwritable path degrades to
-    // tuning fresh next time, never to a wrong result.
-    let _ = cache.save(path);
+    let t = tune_fresh_observed(r, device, n, obs)?;
+    // Persistence is best-effort: an unwritable path degrades to tuning
+    // fresh next time, never to a wrong result.  The update runs under
+    // the cache's lock file so a concurrent writer's records survive.
+    if let Ok((_, issues)) = TuneCache::update(path, |c| c.insert(TunedRecord::from_kernel(&t))) {
+        for issue in issues {
+            obs(TuneEvent::Cache(issue));
+        }
+    }
     Ok(t)
 }
 
+/// Check that a cached record is still meaningful under the current
+/// build: its script must parse and its tile parameters must still be in
+/// the routine's search space (`space::candidates`).  Returns the parsed
+/// script, or the [`CacheIssue`] explaining why the record is stale.
+pub fn validate_record(r: RoutineId, rec: &TunedRecord) -> Result<Script, CacheIssue> {
+    let script =
+        oa_epod::parser::parse_script(&rec.script).map_err(|e| CacheIssue::StaleScript {
+            key: rec.key(),
+            reason: format!("{e:?}"),
+        })?;
+    let scheme = oa_scheme(r);
+    let params = rec.tile_params();
+    if !candidates(scheme.solver).contains(&params) {
+        return Err(CacheIssue::StaleParams { key: rec.key() });
+    }
+    Ok(script)
+}
+
 /// Reconstruct a [`TunedKernel`] from a cached record without sweeping.
-fn replay(r: RoutineId, device: &DeviceSpec, n: i64, rec: &TunedRecord) -> Option<TunedKernel> {
-    let script = oa_epod::parser::parse_script(&rec.script).ok()?;
+fn replay(
+    r: RoutineId,
+    device: &DeviceSpec,
+    n: i64,
+    rec: &TunedRecord,
+) -> Result<TunedKernel, CacheIssue> {
+    let script = validate_record(r, rec)?;
     let src = oa_blas3::routines::source(r);
     let params = rec.tile_params();
-    let outcome = apply_lenient(&src, &script, params).ok()?;
+    let stale = |reason: String| CacheIssue::StaleScript {
+        key: rec.key(),
+        reason,
+    };
+    let outcome = apply_lenient(&src, &script, params).map_err(|e| stale(e.to_string()))?;
     let report = evaluate(
         &outcome.program,
         &Bindings::square(n),
@@ -118,8 +211,8 @@ fn replay(r: RoutineId, device: &DeviceSpec, n: i64, rec: &TunedRecord) -> Optio
         r.flops(n),
         true,
     )
-    .ok()?;
-    Some(TunedKernel {
+    .map_err(|e| stale(e.to_string()))?;
+    Ok(TunedKernel {
         routine: r,
         device: device.name.to_string(),
         n,
@@ -131,8 +224,62 @@ fn replay(r: RoutineId, device: &DeviceSpec, n: i64, rec: &TunedRecord) -> Optio
     })
 }
 
-/// [`tune`] without cache consultation: always runs the full sweep.
+/// [`tune`] without cache consultation: always runs the full sweep with
+/// the process-default execution engine.
 pub fn tune_fresh(r: RoutineId, device: &DeviceSpec, n: i64) -> Result<TunedKernel, TuneError> {
+    tune_fresh_on(select_engine(), r, device, n, &mut silent())
+}
+
+/// [`tune_fresh`] with a trace observer.
+pub fn tune_fresh_observed(
+    r: RoutineId,
+    device: &DeviceSpec,
+    n: i64,
+    obs: &mut dyn FnMut(TuneEvent),
+) -> Result<TunedKernel, TuneError> {
+    tune_fresh_on(select_engine(), r, device, n, obs)
+}
+
+/// The terminal state of one sweep point, gathered in parallel and
+/// accounted for afterwards (every point lands in exactly one arm).
+enum PointResult {
+    /// Translated, lowered, ranked (boxed: this variant dwarfs the rest).
+    Evaluated {
+        program: Box<Program>,
+        report: PerfReport,
+        translate_ms: f64,
+        evaluate_ms: f64,
+    },
+    /// Evaluated but unlaunchable (zero occupancy): removed from ranking.
+    Pruned { translate_ms: f64, evaluate_ms: f64 },
+    /// Script application failed under these parameters.
+    TranslateErr(TranslateError, f64),
+    /// Lowering/evaluation failed (no grouping mapped, non-finite time).
+    EvalErr(EvalError, f64, f64),
+}
+
+/// The full sweep with an explicit execution engine (behind the
+/// composer's legality filter) and a trace observer.
+///
+/// Emits, in order: [`TuneEvent::Begin`], one [`TuneEvent::Span`] per
+/// stage, one [`TuneEvent::Candidate`] per compose-stage degeneration and
+/// per sweep point, and a final [`TuneEvent::Summary`].  The winner is
+/// selected exactly as before this instrumentation existed (same sweep
+/// order, same `total_cmp` comparator), so tuned results are bit-identical
+/// to the untraced path.
+pub fn tune_fresh_on(
+    engine: ExecEngine,
+    r: RoutineId,
+    device: &DeviceSpec,
+    n: i64,
+    obs: &mut dyn FnMut(TuneEvent),
+) -> Result<TunedKernel, TuneError> {
+    obs(TuneEvent::Begin {
+        routine: r.name(),
+        device: device.name.to_string(),
+        n,
+        engine: engine.name(),
+    });
     let scheme = oa_scheme(r);
     let src = oa_blas3::routines::source(r);
 
@@ -140,16 +287,50 @@ pub fn tune_fresh(r: RoutineId, device: &DeviceSpec, n: i64) -> Result<TunedKern
     // scheme-appropriate defaults.  Different bases can compose into the
     // same script, so de-duplicate (hash set: the sweep below is
     // quadratic in duplicates otherwise).
+    let compose_t0 = Instant::now();
     let mut scripts: Vec<Script> = Vec::new();
     let mut seen: HashSet<Script> = HashSet::new();
+    let mut stats = ComposeStats::default();
     for base in &scheme.bases {
-        let variants = compose(&src, base, &scheme.apps, default_params(scheme.solver))
-            .map_err(|e| TuneError::Composer(e.to_string()))?;
+        let (variants, s) = compose_on(
+            engine,
+            &src,
+            base,
+            &scheme.apps,
+            default_params(scheme.solver),
+        )
+        .map_err(|e| TuneError::Composer(e.to_string()))?;
+        stats.mixed += s.mixed;
+        stats.surviving += s.surviving;
+        stats.filter_ms += s.filter_ms;
+        stats.degenerated.extend(s.degenerated);
         for v in variants {
             if seen.insert(v.script.clone()) {
                 scripts.push(v.script);
             }
         }
+    }
+    let compose_ms = (compose_t0.elapsed().as_secs_f64() * 1e3 - stats.filter_ms).max(0.0);
+    obs(TuneEvent::Span {
+        stage: Stage::Compose,
+        ms: compose_ms,
+        items: scripts.len(),
+    });
+    obs(TuneEvent::Span {
+        stage: Stage::Filter,
+        ms: stats.filter_ms,
+        items: stats.surviving,
+    });
+    for (component, reason) in &stats.degenerated {
+        obs(TuneEvent::Candidate(CandidateOutcome {
+            script: None,
+            params: None,
+            fate: CandidateFate::Degenerated {
+                component: component.clone(),
+                reason: reason.clone(),
+            },
+            gflops: None,
+        }));
     }
     if scripts.is_empty() {
         return Err(TuneError::NoVariants(r.name()));
@@ -165,36 +346,178 @@ pub fn tune_fresh(r: RoutineId, device: &DeviceSpec, n: i64) -> Result<TunedKern
         .flat_map(|(si, _)| param_list.iter().map(move |p| (si, *p)))
         .collect();
 
-    let evals: Vec<(usize, TileParams, Program, PerfReport)> = points
+    let results: Vec<PointResult> = points
         .par_iter()
-        .filter_map(|(si, params)| {
-            let outcome = apply_lenient(&src, &scripts[*si], *params).ok()?;
+        .map(|(si, params)| {
+            let t0 = Instant::now();
+            let outcome = match apply_lenient(&src, &scripts[*si], *params) {
+                Ok(o) => o,
+                Err(e) => return PointResult::TranslateErr(e, t0.elapsed().as_secs_f64() * 1e3),
+            };
+            let translate_ms = t0.elapsed().as_secs_f64() * 1e3;
             // A candidate whose grouping failed under these parameters
             // cannot launch, and one whose resource footprint fits no SM
             // is unlaunchable: `evaluate` reports the former as an error
             // and the latter through zero occupancy.
-            let report = evaluate(&outcome.program, &bindings, device, flops, true).ok()?;
-            if report.occupancy == 0.0 {
-                return None;
+            let e0 = Instant::now();
+            match evaluate(&outcome.program, &bindings, device, flops, true) {
+                Ok(report) if report.occupancy == 0.0 => PointResult::Pruned {
+                    translate_ms,
+                    evaluate_ms: e0.elapsed().as_secs_f64() * 1e3,
+                },
+                Ok(report) => PointResult::Evaluated {
+                    program: Box::new(outcome.program),
+                    report,
+                    translate_ms,
+                    evaluate_ms: e0.elapsed().as_secs_f64() * 1e3,
+                },
+                Err(e) => PointResult::EvalErr(e, translate_ms, e0.elapsed().as_secs_f64() * 1e3),
             }
-            Some((*si, *params, outcome.program, report))
         })
         .collect();
 
-    let evaluated = evals.len();
-    let best = evals
-        .into_iter()
-        .max_by(|a, b| a.3.gflops.total_cmp(&b.3.gflops))
-        .ok_or_else(|| TuneError::NothingEvaluated(r.name()))?;
+    // Stage spans: cumulative per-candidate wall time (the stages run
+    // interleaved across the rayon pool, so there is no single interval).
+    let mut translate_ms = 0.0;
+    let mut evaluate_ms = 0.0;
+    let mut reached_eval = 0usize;
+    for pr in &results {
+        match pr {
+            PointResult::Evaluated {
+                translate_ms: t,
+                evaluate_ms: e,
+                ..
+            }
+            | PointResult::Pruned {
+                translate_ms: t,
+                evaluate_ms: e,
+            }
+            | PointResult::EvalErr(_, t, e) => {
+                translate_ms += t;
+                evaluate_ms += e;
+                reached_eval += 1;
+            }
+            PointResult::TranslateErr(_, t) => translate_ms += t,
+        }
+    }
+    obs(TuneEvent::Span {
+        stage: Stage::Translate,
+        ms: translate_ms,
+        items: points.len(),
+    });
+    obs(TuneEvent::Span {
+        stage: Stage::Evaluate,
+        ms: evaluate_ms,
+        items: reached_eval,
+    });
 
+    // Winner: identical order and comparator to the pre-instrumentation
+    // sweep (`max_by` keeps the last maximum on exact ties).
+    let best_idx = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, pr)| match pr {
+            PointResult::Evaluated { report, .. } => Some((i, report.gflops)),
+            _ => None,
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i);
+
+    // Terminal outcome per sweep point + failure accounting.
+    let mut failures = FailureTable::new();
+    let mut evaluated = 0usize;
+    let mut pruned = 0usize;
+    let mut errored = 0usize;
+    for (i, pr) in results.iter().enumerate() {
+        let (si, params) = points[i];
+        let (fate, gflops) = match pr {
+            PointResult::Evaluated { report, .. } => {
+                evaluated += 1;
+                let fate = if Some(i) == best_idx {
+                    CandidateFate::Won
+                } else {
+                    CandidateFate::Lost
+                };
+                (fate, Some(report.gflops))
+            }
+            PointResult::Pruned { .. } => {
+                pruned += 1;
+                failures.add("launch/zero-occupancy");
+                (
+                    CandidateFate::Pruned {
+                        reason: "resource footprint fits no SM (zero occupancy)".to_string(),
+                    },
+                    None,
+                )
+            }
+            PointResult::TranslateErr(e, _) => {
+                errored += 1;
+                failures.add(e.class());
+                (
+                    CandidateFate::Errored {
+                        stage: Stage::Translate,
+                        class: e.class(),
+                        reason: e.to_string(),
+                    },
+                    None,
+                )
+            }
+            PointResult::EvalErr(e, _, _) => {
+                errored += 1;
+                failures.add(e.class());
+                (
+                    CandidateFate::Errored {
+                        stage: Stage::Evaluate,
+                        class: e.class().to_string(),
+                        reason: e.to_string(),
+                    },
+                    None,
+                )
+            }
+        };
+        obs(TuneEvent::Candidate(CandidateOutcome {
+            script: Some(si),
+            params: Some(params),
+            fate,
+            gflops,
+        }));
+    }
+    let winner_gflops = best_idx.map(|i| match &results[i] {
+        PointResult::Evaluated { report, .. } => report.gflops,
+        _ => unreachable!("best_idx only indexes Evaluated points"),
+    });
+    obs(TuneEvent::Summary {
+        variants: scripts.len(),
+        points: points.len(),
+        evaluated,
+        pruned,
+        degenerated: stats.degenerated.len(),
+        errored,
+        winner_gflops,
+    });
+
+    let Some(bi) = best_idx else {
+        return Err(TuneError::NothingEvaluated {
+            routine: r.name(),
+            failures,
+        });
+    };
+    let (si, params) = points[bi];
+    let mut results = results;
+    let PointResult::Evaluated {
+        program, report, ..
+    } = results.swap_remove(bi)
+    else {
+        unreachable!("best_idx only indexes Evaluated points");
+    };
     Ok(TunedKernel {
         routine: r,
         device: device.name.to_string(),
         n,
-        script: scripts[best.0].clone(),
-        params: best.1,
-        report: best.3,
-        program: best.2,
+        script: scripts[si].clone(),
+        params,
+        report,
+        program: *program,
         evaluated,
     })
 }
@@ -266,19 +589,28 @@ mod tests {
         assert!(path.exists());
 
         // Second call replays: no sweep, same winner.
-        let replayed = tune_at(r, &dev, 512, &path).unwrap();
+        let mut replay_events = Vec::new();
+        let replayed =
+            tune_at_observed(r, &dev, 512, &path, &mut |e| replay_events.push(e)).unwrap();
         assert_eq!(replayed.evaluated, 0);
         assert_eq!(replayed.script, fresh.script);
         assert_eq!(replayed.params, fresh.params);
         assert!((replayed.report.gflops - fresh.report.gflops).abs() < 1e-9);
+        assert!(
+            replay_events
+                .iter()
+                .any(|e| matches!(e, TuneEvent::Replayed { .. })),
+            "replay must be announced through the observer"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
     /// The execution engine behind the composer's legality filter must not
-    /// leak into search results: a fresh tune under each `OA_EXEC_ENGINE`
-    /// choice, and a cache replay (`tune_at`), all pick the same winner
-    /// for a pinned routine/size.  Guards against the bytecode engine
-    /// silently changing which candidate sequences survive filtering.
+    /// leak into search results: a fresh tune under each explicit
+    /// [`ExecEngine`], and a cache replay (`tune_at`), all pick the same
+    /// winner for a pinned routine/size.  Guards against the bytecode
+    /// engine silently changing which candidate sequences survive
+    /// filtering.  The engine is a parameter — no environment mutation.
     #[test]
     fn engine_choice_does_not_change_tuning_results() {
         let dev = DeviceSpec::gtx285();
@@ -286,15 +618,24 @@ mod tests {
         let n = 512;
 
         let baseline = tune_fresh(r, &dev, n).unwrap();
-        for engine in ["oracle", "tape", "bytecode"] {
-            std::env::set_var("OA_EXEC_ENGINE", engine);
-            let t = tune_fresh(r, &dev, n).unwrap();
-            std::env::remove_var("OA_EXEC_ENGINE");
-            assert_eq!(t.script, baseline.script, "engine {engine} changed winner");
-            assert_eq!(t.params, baseline.params, "engine {engine} changed params");
+        for engine in ExecEngine::ALL {
+            let t = tune_fresh_on(engine, r, &dev, n, &mut |_| {}).unwrap();
+            assert_eq!(
+                t.script,
+                baseline.script,
+                "engine {} changed winner",
+                engine.name()
+            );
+            assert_eq!(
+                t.params,
+                baseline.params,
+                "engine {} changed params",
+                engine.name()
+            );
             assert!(
                 (t.report.gflops - baseline.report.gflops).abs() < 1e-9,
-                "engine {engine} changed predicted perf"
+                "engine {} changed predicted perf",
+                engine.name()
             );
         }
 
@@ -312,6 +653,58 @@ mod tests {
             assert!((t.report.gflops - baseline.report.gflops).abs() < 1e-9);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The trace stream is complete: one span per stage, one terminal
+    /// outcome per sweep point, exactly one winner, and a summary whose
+    /// buckets add up to the point count.
+    #[test]
+    fn trace_stream_accounts_for_every_candidate() {
+        let dev = DeviceSpec::gtx285();
+        let r = RoutineId::Gemm(Trans::N, Trans::N);
+        let mut events = Vec::new();
+        let t = tune_fresh_observed(r, &dev, 512, &mut |e| events.push(e)).unwrap();
+
+        assert!(matches!(events.first(), Some(TuneEvent::Begin { .. })));
+        for stage in Stage::ALL {
+            assert_eq!(
+                events
+                    .iter()
+                    .filter(|e| matches!(e, TuneEvent::Span { stage: s, .. } if *s == stage))
+                    .count(),
+                1,
+                "exactly one {} span",
+                stage.name()
+            );
+        }
+        let outcomes: Vec<&CandidateOutcome> = events
+            .iter()
+            .filter_map(|e| match e {
+                TuneEvent::Candidate(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        let won = outcomes
+            .iter()
+            .filter(|o| matches!(o.fate, CandidateFate::Won))
+            .count();
+        assert_eq!(won, 1, "exactly one winner");
+        let Some(TuneEvent::Summary {
+            points,
+            evaluated,
+            pruned,
+            degenerated,
+            errored,
+            winner_gflops,
+            ..
+        }) = events.last()
+        else {
+            panic!("stream must end with a summary");
+        };
+        assert_eq!(outcomes.len(), points + degenerated);
+        assert_eq!(evaluated + pruned + errored, *points);
+        assert_eq!(t.evaluated, *evaluated);
+        assert_eq!(winner_gflops.unwrap(), t.report.gflops);
     }
 
     #[test]

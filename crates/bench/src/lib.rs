@@ -136,12 +136,24 @@ pub fn print_figure(title: &str, device: &DeviceSpec, n: i64, rows: &[FigureRow]
 }
 
 /// Load the cache, run a closure with it, persist it back.
+///
+/// Load issues (stale or corrupted records) are reported on stderr, and
+/// the write-back merges under the cache's lock file, so concurrent bench
+/// binaries sharing one path cannot lose each other's records.
 pub fn with_cache<T>(f: impl FnOnce(&mut TuneCache) -> T) -> T {
     let path = cache_path();
-    let mut cache = TuneCache::load(&path);
+    let (mut cache, issues) = TuneCache::load_reporting(&path);
+    for issue in issues {
+        eprintln!("tuning cache: {issue}");
+    }
     let out = f(&mut cache);
-    if let Err(e) = cache.save(&path) {
-        eprintln!("warning: could not save tuning cache: {e}");
+    match cache.merge_save(&path) {
+        Ok(issues) => {
+            for issue in issues {
+                eprintln!("tuning cache: {issue}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not save tuning cache: {e}"),
     }
     out
 }

@@ -3,15 +3,17 @@
 //! an existing script plus developer-defined adaptors.
 
 use crate::allocator::merge_allocations;
-use crate::filter::{filter, FilteredSeq};
+use crate::filter::{filter_on, FilteredSeq};
 use crate::mixer::{mix, MAX_MIXES};
 use crate::splitter::split;
 use oa_adl::{Adaptor, AdaptorRule, Cond};
 use oa_epod::translator::{apply_lenient, TranslateError};
 use oa_epod::{Invocation, Script};
+use oa_gpusim::{select_engine, ExecEngine};
 use oa_loopir::transform::TileParams;
 use oa_loopir::{AllocMode, Program};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One adaptor applied to one matrix of the routine.
 #[derive(Clone, Debug)]
@@ -46,17 +48,47 @@ pub struct GeneratedVariant {
     pub rule_choice: Vec<usize>,
 }
 
+/// Observability record of one compose run: how many sequences the mixer
+/// produced, how many the filter kept, which components degenerated and
+/// why, and how long the legality filter ran.
+#[derive(Clone, Debug, Default)]
+pub struct ComposeStats {
+    /// Mixed sequences handed to the filter (over all rule choices).
+    pub mixed: usize,
+    /// Sequences surviving the filter (the semi-output).
+    pub surviving: usize,
+    /// `(component, reason)` for every degenerated component across the
+    /// surviving sequences.
+    pub degenerated: Vec<(String, String)>,
+    /// Cumulative wall time spent in the legality filter, milliseconds.
+    pub filter_ms: f64,
+}
+
 /// Compose a base script with adaptors, generating candidate scripts for
 /// the new routine.  The best performer is later selected by search
-/// (`oa-autotune`).
+/// (`oa-autotune`).  Uses the process-default execution engine; see
+/// [`compose_on`].
 pub fn compose(
     source: &Program,
     base: &Script,
     applications: &[AdaptorApplication],
     params: TileParams,
 ) -> Result<Vec<GeneratedVariant>, TranslateError> {
+    compose_on(select_engine(), source, base, applications, params).map(|(v, _)| v)
+}
+
+/// [`compose`] with an explicit legality-filter engine and a
+/// [`ComposeStats`] report for tracing.
+pub fn compose_on(
+    engine: ExecEngine,
+    source: &Program,
+    base: &Script,
+    applications: &[AdaptorApplication],
+    params: TileParams,
+) -> Result<(Vec<GeneratedVariant>, ComposeStats), TranslateError> {
     let base_split = split(&base.stmts);
     let mut variants: Vec<GeneratedVariant> = Vec::new();
+    let mut stats = ComposeStats::default();
 
     for choice in rule_choices(applications) {
         // Split each chosen rule; collect conditions.
@@ -87,9 +119,18 @@ pub fn compose(
         }
 
         // Filter: apply-or-degenerate, dedup, dependence check.
-        let survivors: Vec<FilteredSeq> = filter(source, &mixes, params)?;
+        stats.mixed += mixes.len();
+        let t0 = Instant::now();
+        let survivors: Vec<FilteredSeq> = filter_on(engine, source, &mixes, params)?;
+        stats.filter_ms += t0.elapsed().as_secs_f64() * 1e3;
+        stats.surviving += survivors.len();
 
         for surv in survivors {
+            for (inv, err) in &surv.dropped {
+                stats
+                    .degenerated
+                    .push((inv.component.clone(), err.to_string()));
+            }
             // Which GM_maps actually applied (allocator input).
             let mut gm_mapped: HashMap<String, AllocMode> = HashMap::new();
             for inv in &surv.applied {
@@ -126,7 +167,7 @@ pub fn compose(
             });
         }
     }
-    Ok(variants)
+    Ok((variants, stats))
 }
 
 /// Cartesian product of rule indices over the applications.

@@ -6,7 +6,7 @@
 
 use oa_epod::translator::{apply_lenient, TranslateError};
 use oa_epod::{Invocation, Script};
-use oa_gpusim::{exec_program_on, ExecEngine, ExecError};
+use oa_gpusim::{exec_program_on, select_engine, ExecEngine, ExecError};
 use oa_loopir::interp::{alloc_buffers, equivalent_on, run_fresh, Bindings};
 use oa_loopir::stmt::Stmt;
 use oa_loopir::transform::{TileParams, TransformError};
@@ -25,13 +25,24 @@ pub struct FilteredSeq {
     pub program: Program,
 }
 
-/// Run the filter over mixed sequences.
+/// [`filter_on`] with the process-default engine
+/// ([`oa_gpusim::select_engine`]).
+pub fn filter(
+    source: &Program,
+    sequences: &[Vec<Invocation>],
+    params: TileParams,
+) -> Result<Vec<FilteredSeq>, TranslateError> {
+    filter_on(select_engine(), source, sequences, params)
+}
+
+/// Run the filter over mixed sequences, checking candidates on `engine`.
 ///
 /// Sequences containing cross-thread constructs (`binding_triangular`'s
 /// thread-0 regions) cannot be checked by sequential equivalence; they are
 /// passed through (their legality is established by the component's own
 /// structural checks and, downstream, by the GPU executor).
-pub fn filter(
+pub fn filter_on(
+    engine: ExecEngine,
     source: &Program,
     sequences: &[Vec<Invocation>],
     params: TileParams,
@@ -66,7 +77,7 @@ pub fn filter(
         if !has_thread0_region(&outcome.program.body) {
             let ok = [(16i64, 5u64), (12, 19)]
                 .iter()
-                .all(|&(n, seed)| matches_source(source, &outcome.program, n, seed, 1e-3));
+                .all(|&(n, seed)| matches_source(engine, source, &outcome.program, n, seed, 1e-3));
             if !ok {
                 continue; // illegal sequence removed
             }
@@ -85,17 +96,24 @@ pub fn filter(
 /// compiled GPU executor.
 ///
 /// A block/thread-mapped candidate is what the downstream pipeline will
-/// actually launch, so it is checked on the selected fast engine
-/// (`OA_EXEC_ENGINE`, bytecode by default — far cheaper than the
-/// tree-walking interpreter when the filter sweeps dozens of sequences).
-/// Candidates that do not lower — not yet mapped, or structurally
-/// unlaunchable — fall back to the sequential interpreter, which executes
-/// mapped loops as ordinary loops.  A barrier divergence, by contrast, is
-/// a *legality* verdict: the candidate is illegal under GPU semantics.
-fn matches_source(source: &Program, candidate: &Program, n: i64, seed: u64, tol: f32) -> bool {
+/// actually launch, so it is checked on the caller's fast engine (bytecode
+/// by default — far cheaper than the tree-walking interpreter when the
+/// filter sweeps dozens of sequences).  Candidates that do not lower — not
+/// yet mapped, or structurally unlaunchable — fall back to the sequential
+/// interpreter, which executes mapped loops as ordinary loops.  A barrier
+/// divergence, by contrast, is a *legality* verdict: the candidate is
+/// illegal under GPU semantics.
+fn matches_source(
+    engine: ExecEngine,
+    source: &Program,
+    candidate: &Program,
+    n: i64,
+    seed: u64,
+    tol: f32,
+) -> bool {
     let bindings = Bindings::square(n);
     let mut cand_out = alloc_buffers(candidate, &bindings, seed);
-    match exec_program_on(ExecEngine::from_env(), candidate, &bindings, &mut cand_out) {
+    match exec_program_on(engine, candidate, &bindings, &mut cand_out) {
         Ok(()) => {}
         Err(ExecError::BarrierDivergence(_)) => return false,
         // Launch extraction or buffer resolution failed: not launchable

@@ -19,7 +19,7 @@ pub mod mixer;
 pub mod splitter;
 
 pub use allocator::{compose_modes, merge_allocations};
-pub use compose::{compose, AdaptorApplication, GeneratedVariant};
-pub use filter::{filter, FilteredSeq};
+pub use compose::{compose, compose_on, AdaptorApplication, ComposeStats, GeneratedVariant};
+pub use filter::{filter, filter_on, FilteredSeq};
 pub use mixer::mix;
 pub use splitter::{split, SplitSeq};

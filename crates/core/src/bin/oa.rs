@@ -3,12 +3,18 @@
 //! ```text
 //! oa list                                  # routines and devices
 //! oa tune SYMM-LL --device gtx285 --n 1024 # full pipeline for one routine
+//! oa tune GEMM-NN --trace json             # + JSONL trace stream on stderr
 //! oa compare TRSM-LL-N                     # OA vs CUBLAS-like vs MAGMA-like
 //! oa variants TRMM-LL-N                    # the composer's generated scripts
 //! oa cuda GEMM-NN --n 1024                 # emit the tuned kernel's CUDA source
+//! oa trace-check trace.jsonl               # validate a captured trace stream
 //! ```
+//!
+//! `--trace` overrides the `OA_TRACE` environment variable; the trace
+//! stream goes to stderr so stdout stays clean.
 
-use oa_core::{DeviceSpec, OaFramework, RoutineId};
+use oa_core::trace::{check_stream, stderr_observer, TraceMode};
+use oa_core::{DeviceSpec, OaFramework, RoutineId, TuneError};
 
 fn device_by_name(name: &str) -> Option<DeviceSpec> {
     match name.to_ascii_lowercase().as_str() {
@@ -24,6 +30,7 @@ struct Args {
     routine: Option<String>,
     device: DeviceSpec,
     n: i64,
+    trace: TraceMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
     let mut routine = None;
     let mut device = DeviceSpec::gtx285();
     let mut n = 1024i64;
+    let mut trace = TraceMode::from_env();
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,6 +51,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--n needs a value")?;
                 n = v.parse().map_err(|_| format!("bad size `{v}`"))?;
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value (json|pretty|off)")?;
+                trace = TraceMode::parse(&v).ok_or(format!("unknown trace mode `{v}`"))?;
+            }
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -53,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         routine,
         device,
         n,
+        trace,
     })
 }
 
@@ -91,7 +104,16 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "tune" => {
             let r = need_routine(args)?;
-            let t = oa.tune(r, args.n).map_err(|e| e.to_string())?;
+            let mut obs = stderr_observer(args.trace);
+            let t = oa.tune_observed(r, args.n, &mut obs).map_err(|e| {
+                // The failure taxonomy: print the per-class table, not a
+                // bare error string, when the search came up empty.
+                if let TuneError::NothingEvaluated { routine, failures } = &e {
+                    eprintln!("no evaluable candidate for {routine}; failures by class:");
+                    eprint!("{failures}");
+                }
+                e.to_string()
+            })?;
             println!(
                 "{} on {} (n = {}, {} candidates evaluated)",
                 r.name(),
@@ -161,8 +183,22 @@ fn run(args: &Args) -> Result<(), String> {
             println!("{src}");
             Ok(())
         }
+        "trace-check" => {
+            // The routine slot doubles as the file path for this command.
+            let path = args
+                .routine
+                .as_deref()
+                .ok_or("trace-check needs a trace file (JSONL on stderr of `--trace json`)")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let report = check_stream(&text)?;
+            println!("{report}");
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
-            println!("usage: oa <list|tune|compare|variants|cuda> [ROUTINE] [--device D] [--n N]");
+            println!(
+                "usage: oa <list|tune|compare|variants|cuda|trace-check> [ROUTINE|FILE] \
+                 [--device D] [--n N] [--trace json|pretty|off]"
+            );
             Ok(())
         }
         other => Err(format!("unknown command `{other}` (try `oa help`)")),

@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 pub use oa_adl as adl;
 pub use oa_autotune as autotune;
 pub use oa_blas3 as blas3;
@@ -32,9 +34,12 @@ pub use oa_epod as epod;
 pub use oa_gpusim as gpusim;
 pub use oa_loopir as loopir;
 
-pub use oa_autotune::{TuneCache, TuneError, TunedKernel, TunedRecord};
+pub use oa_autotune::{
+    CacheIssue, FailureTable, TuneCache, TuneError, TuneEvent, TunedKernel, TunedRecord,
+};
 pub use oa_blas3::types::{RoutineId, Side, Trans, Uplo};
 pub use oa_gpusim::{DeviceSpec, PerfReport};
+pub use trace::TraceMode;
 
 use oa_loopir::interp::Bindings;
 
@@ -77,6 +82,18 @@ impl OaFramework {
     /// Tune one routine at problem size `n` (composer + search).
     pub fn tune(&self, r: RoutineId, n: i64) -> Result<TunedKernel, TuneError> {
         oa_autotune::tune(r, &self.device, n)
+    }
+
+    /// [`OaFramework::tune`] with a trace observer: the tuner reports one
+    /// span per pipeline stage and one terminal outcome per candidate
+    /// (render them with [`trace::stderr_observer`] or any callback).
+    pub fn tune_observed(
+        &self,
+        r: RoutineId,
+        n: i64,
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> Result<TunedKernel, TuneError> {
+        oa_autotune::tune_observed(r, &self.device, n, obs)
     }
 
     /// Evaluate the CUBLAS-like baseline.

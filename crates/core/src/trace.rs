@@ -1,0 +1,444 @@
+//! The `OA_TRACE` rendering sink for the tuner's structured events.
+//!
+//! The tuner emits [`TuneEvent`]s through an observer callback (the event
+//! types live in `oa_autotune::report`, below this crate in the
+//! dependency graph); this module turns them into a human-readable
+//! (`pretty`) or machine-readable (`json`, one object per line) stream on
+//! **stderr** — stdout stays reserved for the command's own output, so
+//! `oa tune ... --trace json 2> trace.jsonl` captures a clean JSONL file.
+//!
+//! Every JSON line carries an `"event"` discriminator; candidate lines
+//! carry a terminal `"outcome"` label (`won`, `lost`, `pruned`,
+//! `degenerated`, `errored`).  [`check_stream`] validates a captured
+//! stream: well-formed lines, one span per pipeline stage, a terminal
+//! outcome on every candidate, and summary counts that add up — the
+//! invariant CI asserts.
+
+use oa_autotune::json::{parse, Json};
+use oa_autotune::report::{CandidateFate, CandidateOutcome, Stage, TuneEvent};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// How trace events are rendered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No trace output.
+    #[default]
+    Off,
+    /// One JSON object per event, one per line, on stderr.
+    Json,
+    /// Aligned human-readable lines on stderr.
+    Pretty,
+}
+
+impl TraceMode {
+    /// Parse a mode name (`off`, `json`, `pretty`).
+    pub fn parse(name: &str) -> Option<TraceMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(TraceMode::Off),
+            "json" => Some(TraceMode::Json),
+            "pretty" | "1" => Some(TraceMode::Pretty),
+            _ => None,
+        }
+    }
+
+    /// The mode selected by the `OA_TRACE` environment variable
+    /// (unset or unrecognized = off).
+    pub fn from_env() -> TraceMode {
+        std::env::var("OA_TRACE")
+            .ok()
+            .and_then(|v| TraceMode::parse(&v))
+            .unwrap_or(TraceMode::Off)
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+fn candidate_json(o: &CandidateOutcome) -> Json {
+    let mut fields = vec![
+        ("event", Json::Str("candidate".into())),
+        ("outcome", Json::Str(o.fate.label().into())),
+        (
+            "script",
+            o.script.map_or(Json::Null, |s| Json::Int(s as i64)),
+        ),
+        (
+            "params",
+            o.params.map_or(Json::Null, |p| {
+                Json::Arr(
+                    [p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll as i64]
+                        .iter()
+                        .map(|&v| Json::Int(v))
+                        .collect(),
+                )
+            }),
+        ),
+        ("gflops", opt_num(o.gflops)),
+    ];
+    match &o.fate {
+        CandidateFate::Pruned { reason } => {
+            fields.push(("reason", Json::Str(reason.clone())));
+        }
+        CandidateFate::Degenerated { component, reason } => {
+            fields.push(("component", Json::Str(component.clone())));
+            fields.push(("reason", Json::Str(reason.clone())));
+        }
+        CandidateFate::Errored {
+            stage,
+            class,
+            reason,
+        } => {
+            fields.push(("stage", Json::Str(stage.name().into())));
+            fields.push(("class", Json::Str(class.clone())));
+            fields.push(("reason", Json::Str(reason.clone())));
+        }
+        CandidateFate::Won | CandidateFate::Lost => {}
+    }
+    obj(fields)
+}
+
+/// One event as the JSON object written in `json` mode.
+pub fn event_json(e: &TuneEvent) -> Json {
+    match e {
+        TuneEvent::Begin {
+            routine,
+            device,
+            n,
+            engine,
+        } => obj(vec![
+            ("event", Json::Str("begin".into())),
+            ("routine", Json::Str(routine.clone())),
+            ("device", Json::Str(device.clone())),
+            ("n", Json::Int(*n)),
+            ("engine", Json::Str((*engine).into())),
+        ]),
+        TuneEvent::Span { stage, ms, items } => obj(vec![
+            ("event", Json::Str("span".into())),
+            ("stage", Json::Str(stage.name().into())),
+            ("ms", Json::Num(*ms)),
+            ("items", Json::Int(*items as i64)),
+        ]),
+        TuneEvent::Candidate(o) => candidate_json(o),
+        TuneEvent::Cache(issue) => obj(vec![
+            ("event", Json::Str("cache".into())),
+            ("issue", Json::Str(issue.to_string())),
+        ]),
+        TuneEvent::Replayed { routine, gflops } => obj(vec![
+            ("event", Json::Str("replayed".into())),
+            ("routine", Json::Str(routine.clone())),
+            ("gflops", Json::Num(*gflops)),
+        ]),
+        TuneEvent::Summary {
+            variants,
+            points,
+            evaluated,
+            pruned,
+            degenerated,
+            errored,
+            winner_gflops,
+        } => obj(vec![
+            ("event", Json::Str("summary".into())),
+            ("variants", Json::Int(*variants as i64)),
+            ("points", Json::Int(*points as i64)),
+            ("evaluated", Json::Int(*evaluated as i64)),
+            ("pruned", Json::Int(*pruned as i64)),
+            ("degenerated", Json::Int(*degenerated as i64)),
+            ("errored", Json::Int(*errored as i64)),
+            ("winner_gflops", opt_num(*winner_gflops)),
+        ]),
+    }
+}
+
+/// One event as the aligned line written in `pretty` mode.
+pub fn event_pretty(e: &TuneEvent) -> String {
+    match e {
+        TuneEvent::Begin {
+            routine,
+            device,
+            n,
+            engine,
+        } => format!("tune  {routine} on {device} (n = {n}, engine {engine})"),
+        TuneEvent::Span { stage, ms, items } => {
+            format!("span  {:<9} {items:>5} items  {ms:>8.1} ms", stage.name())
+        }
+        TuneEvent::Candidate(o) => {
+            let place = match (o.script, &o.params) {
+                (Some(s), Some(p)) => format!(
+                    "script {s} ({},{},{},{},{},{})",
+                    p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll
+                ),
+                _ => "compose".to_string(),
+            };
+            let detail = match &o.fate {
+                CandidateFate::Won | CandidateFate::Lost => {
+                    o.gflops.map_or(String::new(), |g| format!("{g:.1} GFLOPS"))
+                }
+                CandidateFate::Pruned { reason } => reason.clone(),
+                CandidateFate::Degenerated { component, reason } => {
+                    format!("{component}: {reason}")
+                }
+                CandidateFate::Errored { class, reason, .. } => format!("{class}: {reason}"),
+            };
+            format!("cand  {:<11} {place}  {detail}", o.fate.label())
+        }
+        TuneEvent::Cache(issue) => format!("cache {issue}"),
+        TuneEvent::Replayed { routine, gflops } => {
+            format!("tune  {routine} replayed from cache ({gflops:.1} GFLOPS)")
+        }
+        TuneEvent::Summary {
+            variants,
+            points,
+            evaluated,
+            pruned,
+            degenerated,
+            errored,
+            winner_gflops,
+        } => format!(
+            "done  {variants} variants, {points} points: {evaluated} evaluated, \
+             {pruned} pruned, {degenerated} degenerated, {errored} errored{}",
+            winner_gflops.map_or(String::new(), |g| format!(" — winner {g:.1} GFLOPS"))
+        ),
+    }
+}
+
+/// Write one event to `out` in the given mode (no-op when `Off`).
+pub fn emit(mode: TraceMode, e: &TuneEvent, out: &mut dyn Write) {
+    let line = match mode {
+        TraceMode::Off => return,
+        TraceMode::Json => event_json(e).compact(),
+        TraceMode::Pretty => event_pretty(e),
+    };
+    let _ = writeln!(out, "{line}");
+}
+
+/// An observer callback rendering every event to **stderr** in `mode` —
+/// the argument `oa tune --trace ...` hands to the tuner.
+pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
+    move |e| emit(mode, &e, &mut std::io::stderr().lock())
+}
+
+/// Validate a captured `json`-mode trace stream (the CI check).
+///
+/// Checks, per tune (`begin` ... `summary`):
+/// * every non-empty line parses as a JSON object with an `"event"` field;
+/// * a fresh tune has exactly one span per pipeline stage;
+/// * every candidate line has a terminal outcome label and, for errors, a
+///   failure class;
+/// * the summary's buckets add up: `evaluated + pruned + errored = points`,
+///   `evaluated` = the won + lost candidate lines, and exactly one
+///   candidate won when anything was evaluated.
+///
+/// Returns a short human-readable report, or the first violation.
+pub fn check_stream(text: &str) -> Result<String, String> {
+    const OUTCOMES: [&str; 5] = ["won", "lost", "pruned", "degenerated", "errored"];
+    let mut tunes = 0usize;
+    let mut replays = 0usize;
+    // Per-tune accounting, reset at `begin`.
+    let mut spans: Vec<String> = Vec::new();
+    let mut won = 0usize;
+    let mut ranked = 0usize; // won + lost
+    let mut sweep_candidates = 0usize; // outcomes tied to a sweep point
+    let mut degenerated_seen = 0usize;
+    let mut in_tune = false;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let doc = parse(line).ok_or_else(|| at(format!("not valid JSON: {line}")))?;
+        let event = doc
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing `event` field".to_string()))?;
+        match event {
+            "begin" => {
+                if in_tune {
+                    return Err(at("`begin` before previous tune's `summary`".into()));
+                }
+                in_tune = true;
+                tunes += 1;
+                spans.clear();
+                won = 0;
+                ranked = 0;
+                sweep_candidates = 0;
+                degenerated_seen = 0;
+            }
+            "span" => {
+                let stage = doc
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("span without `stage`".into()))?;
+                spans.push(stage.to_string());
+            }
+            "candidate" => {
+                let outcome = doc
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("candidate without `outcome`".into()))?;
+                if !OUTCOMES.contains(&outcome) {
+                    return Err(at(format!("unknown outcome `{outcome}`")));
+                }
+                if outcome == "errored" && doc.get("class").and_then(Json::as_str).is_none() {
+                    return Err(at("errored candidate without `class`".into()));
+                }
+                match outcome {
+                    "won" => {
+                        won += 1;
+                        ranked += 1;
+                        sweep_candidates += 1;
+                    }
+                    "lost" => {
+                        ranked += 1;
+                        sweep_candidates += 1;
+                    }
+                    "degenerated" => degenerated_seen += 1,
+                    _ => sweep_candidates += 1,
+                }
+            }
+            "summary" => {
+                if !in_tune {
+                    return Err(at("`summary` without `begin`".into()));
+                }
+                in_tune = false;
+                for stage in Stage::ALL {
+                    let count = spans.iter().filter(|s| *s == stage.name()).count();
+                    if count != 1 {
+                        return Err(at(format!(
+                            "expected exactly one `{}` span, saw {count}",
+                            stage.name()
+                        )));
+                    }
+                }
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .map(|v| v as usize)
+                        .ok_or_else(|| at(format!("summary missing `{k}`")))
+                };
+                let points = field("points")?;
+                let evaluated = field("evaluated")?;
+                let pruned = field("pruned")?;
+                let errored = field("errored")?;
+                let degenerated = field("degenerated")?;
+                if evaluated + pruned + errored != points {
+                    return Err(at(format!(
+                        "summary buckets don't add up: {evaluated} + {pruned} + {errored} != {points}"
+                    )));
+                }
+                if evaluated != ranked {
+                    return Err(at(format!(
+                        "summary says {evaluated} evaluated but stream ranked {ranked}"
+                    )));
+                }
+                if sweep_candidates != points {
+                    return Err(at(format!(
+                        "{points} sweep points but {sweep_candidates} candidate outcomes"
+                    )));
+                }
+                if degenerated != degenerated_seen {
+                    return Err(at(format!(
+                        "summary says {degenerated} degenerated but stream has {degenerated_seen}"
+                    )));
+                }
+                if evaluated > 0 && won != 1 {
+                    return Err(at(format!("expected exactly one winner, saw {won}")));
+                }
+            }
+            "replayed" => replays += 1,
+            "cache" => {}
+            other => return Err(at(format!("unknown event `{other}`"))),
+        }
+    }
+    if in_tune {
+        return Err("stream ends inside a tune (no terminal `summary`)".to_string());
+    }
+    if tunes == 0 && replays == 0 {
+        return Err("stream contains no `begin` or `replayed` event".to_string());
+    }
+    Ok(format!(
+        "trace ok: {tunes} tune(s), {replays} replay(s), every candidate terminal"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_autotune::tune_fresh_observed;
+    use oa_blas3::types::{RoutineId, Trans};
+    use oa_gpusim::DeviceSpec;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(TraceMode::parse("json"), Some(TraceMode::Json));
+        assert_eq!(TraceMode::parse("PRETTY"), Some(TraceMode::Pretty));
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("bogus"), None);
+    }
+
+    /// A real tune's JSON stream is well-formed end to end: every line
+    /// parses, every stage has a span, every candidate is terminal —
+    /// exactly what the CI step asserts on the shipped binary.
+    #[test]
+    fn real_tune_stream_passes_check() {
+        let dev = DeviceSpec::gtx285();
+        let mut buf: Vec<u8> = Vec::new();
+        tune_fresh_observed(RoutineId::Gemm(Trans::N, Trans::N), &dev, 512, &mut |e| {
+            emit(TraceMode::Json, &e, &mut buf)
+        })
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().count() > 5);
+        let report = check_stream(&text).unwrap();
+        assert!(report.contains("trace ok"), "{report}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_streams() {
+        assert!(check_stream("not json\n").is_err());
+        assert!(check_stream("{\"event\":\"nope\"}\n").is_err());
+        // A tune with no summary.
+        let begin =
+            r#"{"event":"begin","routine":"GEMM-NN","device":"d","n":512,"engine":"bytecode"}"#;
+        assert!(check_stream(&format!("{begin}\n")).is_err());
+        // Missing spans.
+        let summary = r#"{"event":"summary","variants":1,"points":0,"evaluated":0,"pruned":0,"degenerated":0,"errored":0,"winner_gflops":null}"#;
+        assert!(check_stream(&format!("{begin}\n{summary}\n"))
+            .unwrap_err()
+            .contains("span"));
+        // Empty stream.
+        assert!(check_stream("").is_err());
+    }
+
+    #[test]
+    fn pretty_lines_name_the_outcome() {
+        let e = TuneEvent::Candidate(oa_autotune::report::CandidateOutcome {
+            script: Some(2),
+            params: None,
+            fate: oa_autotune::report::CandidateFate::Errored {
+                stage: Stage::Translate,
+                class: "translate/component:peel".into(),
+                reason: "no k tiling".into(),
+            },
+            gflops: None,
+        });
+        let line = event_pretty(&e);
+        assert!(line.contains("errored"));
+        assert!(line.contains("translate/component:peel"));
+        let json = event_json(&e).compact();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"outcome\":\"errored\""));
+    }
+}

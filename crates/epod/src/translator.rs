@@ -40,6 +40,20 @@ impl std::fmt::Display for TranslateError {
     }
 }
 
+impl TranslateError {
+    /// A short stable class label for failure-table bucketing: the error
+    /// kind plus the offending component where one is known
+    /// (`translate/unknown`, `translate/signature`,
+    /// `translate/component:loop_unroll`, …).
+    pub fn class(&self) -> String {
+        match self {
+            TranslateError::Unknown(_) => "translate/unknown".to_string(),
+            TranslateError::Signature(_) => "translate/signature".to_string(),
+            TranslateError::Component(n, _) => format!("translate/component:{n}"),
+        }
+    }
+}
+
 impl std::error::Error for TranslateError {}
 
 /// Result of lenient application.

@@ -14,9 +14,18 @@
 //! bytecode engine; set `OA_EXEC_ENGINE=oracle|tape|bytecode` to pin a
 //! specific engine (an unrecognized value falls back to the default, so
 //! stale scripts keep working).
+//!
+//! `OA_EXEC_ENGINE` is the *top-level default only*, read once per process
+//! by [`select`].  Code that needs a specific engine (tests, benchmarks,
+//! the tuner's engine-invariance checks) passes an explicit [`ExecEngine`]
+//! through [`exec_program_on`] / the `*_on` pipeline entry points instead
+//! of mutating the environment — `std::env::set_var` is process-global and
+//! racy under the parallel test harness (and denied by clippy in this
+//! workspace, see `clippy.toml`).
 
 use oa_loopir::interp::{Bindings, Buffers};
 use oa_loopir::Program;
+use std::sync::OnceLock;
 
 use crate::bytecode::ByteCode;
 use crate::exec::ExecError;
@@ -35,18 +44,43 @@ pub enum ExecEngine {
 }
 
 impl ExecEngine {
-    /// Read the engine selection from `OA_EXEC_ENGINE`.
-    ///
-    /// Read fresh on every call so tests and benchmarks can switch
-    /// engines between executions. Unset or unrecognized values select
-    /// [`ExecEngine::Bytecode`].
-    pub fn from_env() -> ExecEngine {
-        match std::env::var("OA_EXEC_ENGINE").as_deref() {
-            Ok("oracle") => ExecEngine::Oracle,
-            Ok("tape") => ExecEngine::Tape,
-            _ => ExecEngine::Bytecode,
+    /// Parse an engine name; `None` for unrecognized input.
+    pub fn parse(name: &str) -> Option<ExecEngine> {
+        match name {
+            "oracle" => Some(ExecEngine::Oracle),
+            "tape" => Some(ExecEngine::Tape),
+            "bytecode" => Some(ExecEngine::Bytecode),
+            _ => None,
         }
     }
+
+    /// The engine's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Oracle => "oracle",
+            ExecEngine::Tape => "tape",
+            ExecEngine::Bytecode => "bytecode",
+        }
+    }
+
+    /// All engines, oracle first (the differential-test iteration order).
+    pub const ALL: [ExecEngine; 3] = [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode];
+}
+
+/// The process-wide default engine: `OA_EXEC_ENGINE`, read **once** on
+/// first use.  Unset or unrecognized values select
+/// [`ExecEngine::Bytecode`] (so stale scripts keep working).
+///
+/// This is the only place the environment influences engine choice; every
+/// other selection point takes an explicit [`ExecEngine`] parameter.
+pub fn select() -> ExecEngine {
+    static DEFAULT: OnceLock<ExecEngine> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("OA_EXEC_ENGINE")
+            .ok()
+            .and_then(|v| ExecEngine::parse(&v))
+            .unwrap_or(ExecEngine::Bytecode)
+    })
 }
 
 /// Execute `p` on `bufs` with the given engine.
@@ -68,14 +102,14 @@ pub fn exec_program_on(
     }
 }
 
-/// Compile and execute `p` on the fast path: the engine selected by
-/// `OA_EXEC_ENGINE`, defaulting to the optimized bytecode interpreter.
+/// Compile and execute `p` on the fast path: the process-default engine
+/// ([`select`]), normally the optimized bytecode interpreter.
 pub fn exec_program_fast(
     p: &Program,
     bindings: &Bindings,
     bufs: &mut Buffers,
 ) -> Result<(), ExecError> {
-    exec_program_on(ExecEngine::from_env(), p, bindings, bufs)
+    exec_program_on(select(), p, bindings, bufs)
 }
 
 #[cfg(test)]

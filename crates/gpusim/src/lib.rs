@@ -43,9 +43,9 @@ pub mod vexec;
 pub use bytecode::ByteCode;
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
-pub use engine::{exec_program_fast, exec_program_on, ExecEngine};
+pub use engine::{exec_program_fast, exec_program_on, select as select_engine, ExecEngine};
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
-pub use perf::{evaluate, PerfReport};
+pub use perf::{evaluate, EvalError, PerfReport};
 pub use profile::ProfileCounters;
 pub use tape::Tape;

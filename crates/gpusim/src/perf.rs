@@ -62,6 +62,47 @@ pub struct PerfReport {
     pub smem_bytes: u32,
 }
 
+/// Why a performance evaluation failed — one class per distinguishable
+/// cause, so the tuner's failure table can bucket candidates precisely.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The program does not lower to a launchable kernel.
+    Launch(LaunchError),
+    /// The model produced a non-finite or non-positive time/GFLOPS figure
+    /// (a modelling bug surfaced by a degenerate candidate; never silently
+    /// ranked).
+    NonFinite(&'static str),
+}
+
+impl EvalError {
+    /// A short stable class label (`launch/not-mapped`,
+    /// `launch/malformed`, `non-finite`) for failure-table bucketing.
+    pub fn class(&self) -> &'static str {
+        match self {
+            EvalError::Launch(LaunchError::NotMapped) => "launch/not-mapped",
+            EvalError::Launch(LaunchError::Malformed(_)) => "launch/malformed",
+            EvalError::NonFinite(_) => "non-finite",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Launch(e) => write!(f, "launch: {e}"),
+            EvalError::NonFinite(what) => write!(f, "non-finite model output ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<LaunchError> for EvalError {
+    fn from(e: LaunchError) -> Self {
+        EvalError::Launch(e)
+    }
+}
+
 /// Evaluate a lowered program on a device.
 ///
 /// `useful_flops` is the routine's nominal flop count (e.g. `2·M·N·K` for
@@ -74,7 +115,7 @@ pub fn evaluate(
     device: &DeviceSpec,
     useful_flops: f64,
     blank_zero: bool,
-) -> Result<PerfReport, LaunchError> {
+) -> Result<PerfReport, EvalError> {
     let launch = extract_launch(p, bindings)?;
     let compiled = Compiler::new(p, bindings, &launch, blank_zero, device).compile(&launch.inner);
 
@@ -124,6 +165,9 @@ pub fn evaluate(
 
     let prologue_time = prologue_cost(p, bindings, device);
     let total = kernel_time + prologue_time;
+    if !total.is_finite() || total <= 0.0 {
+        return Err(EvalError::NonFinite("total time"));
+    }
 
     Ok(PerfReport {
         device: device.name.to_string(),
