@@ -166,6 +166,39 @@ pub enum TuneEvent {
         /// The winner's predicted GFLOPS, if any candidate ranked.
         winner_gflops: Option<f64>,
     },
+    /// A dispatch batch finished (emitted by `oa_core::dispatch`'s
+    /// batched executor, after any tuning its warm-up triggered).
+    Batch(BatchStats),
+}
+
+/// Per-batch accounting of the dispatch layer's batched executor
+/// (`oa_core::dispatch`), carried by [`TuneEvent::Batch`] so batch runs
+/// share the tuner's observer channel and trace sink.
+///
+/// `hits + misses` equals the number of requests that reached the
+/// compiled-program store (every successfully resolved request performs
+/// exactly one lookup); `requests_per_sec` is the batch's measured
+/// throughput — the quantity `bench_dispatch` optimizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchStats {
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests that executed successfully.
+    pub ok: usize,
+    /// Requests that failed (resolution, compilation or execution).
+    pub failed: usize,
+    /// Compiled-program cache hits.
+    pub hits: u64,
+    /// Compiled-program cache misses (each triggers one compilation).
+    pub misses: u64,
+    /// Compiled programs evicted by the bounded LRU during the batch.
+    pub evictions: u64,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+    /// Batch wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Requests per second over the batch wall time.
+    pub requests_per_sec: f64,
 }
 
 /// Failure counts bucketed by stable class label — the per-routine

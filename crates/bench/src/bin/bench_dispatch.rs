@@ -1,0 +1,176 @@
+//! Throughput benchmark of the batched routine-dispatch layer.
+//!
+//! Serves one 64-request mixed-routine batch two ways, tuning amortized
+//! through the persistent cache in both (the library is *generated*
+//! once, then *called*):
+//!
+//! * **baseline** — one request at a time with **no shared state**: a
+//!   fresh registry per request, the pre-`oa serve` workflow (one CLI
+//!   process per request).  Every request re-loads the tuning cache,
+//!   re-validates the record, re-applies the script, re-runs the
+//!   performance model and re-lowers before it executes;
+//! * **batched** — one long-lived [`Registry`]: the batch drained by
+//!   `run_batch`'s worker pool through the compiled-program LRU.  The
+//!   first pass compiles each distinct program once (**cold**); repeat
+//!   passes are the compile-once/run-many regime a server settles into
+//!   (**steady**, the headline `speedup`).
+//!
+//! Prints all three rates and writes `BENCH_dispatch.json`.  The
+//! acceptance bar is batched ≥ 3x baseline on the 64-request batch.
+//! `--quick` (alias `--smoke`) serves a 32-request batch.
+
+use oa_core::autotune::json::Json;
+use oa_core::dispatch::{Registry, Request, RequestStatus};
+use oa_core::gpusim::DeviceSpec;
+use oa_core::{RoutineId, Trans};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The benchmark batch: `count` requests cycling the 24-routine catalog
+/// with alternating sizes and distinct seeds.  The triangular solvers
+/// stay at their 64-wide column-tile multiple (other sizes are rejected
+/// at launch); everything else alternates 32/48 per catalog pass.
+fn bench_requests(count: usize) -> Vec<Request> {
+    let all = RoutineId::all24();
+    (0..count)
+        .map(|i| {
+            let routine = all[i % all.len()];
+            let n = if matches!(routine, RoutineId::Trsm(..)) {
+                64
+            } else {
+                [32i64, 48][(i / all.len()) % 2]
+            };
+            Request {
+                routine,
+                n,
+                seed: i as u64 * 77 + 5,
+                zero_blanks: true,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let device = DeviceSpec::gtx285();
+    let count = if quick { 32 } else { 64 };
+    let steady_passes = if quick { 2 } else { 3 };
+    let reqs = bench_requests(count);
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let cache = oa_bench::cache_path();
+
+    let registry = Registry::new(device.clone()).with_tune_cache(cache.clone());
+
+    // Tune everything the batch needs up front and persist it: both
+    // serving modes below replay the same generated library.
+    let t0 = Instant::now();
+    registry.warm(&reqs, &mut |_| {});
+    let warm_secs = t0.elapsed().as_secs_f64();
+
+    // Baseline: no shared state — a fresh registry per request.
+    let t0 = Instant::now();
+    let mut baseline_ok = 0usize;
+    for req in &reqs {
+        let fresh = Registry::new(device.clone()).with_tune_cache(cache.clone());
+        if matches!(fresh.run_one(req).status, RequestStatus::Ok(_)) {
+            baseline_ok += 1;
+        }
+    }
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(baseline_ok, reqs.len(), "baseline requests failed");
+
+    // Batched, cold store: each distinct program compiles exactly once.
+    registry.clear_programs();
+    let cold = registry.run_batch(&reqs, threads, &mut |_| {});
+    assert_eq!(cold.stats.failed, 0, "cold batch requests failed");
+
+    // Batched, steady state: the warm-store rate over repeat passes.
+    let t0 = Instant::now();
+    let mut steady_ok = 0usize;
+    let mut last = cold.stats;
+    for _ in 0..steady_passes {
+        let rep = registry.run_batch(&reqs, threads, &mut |_| {});
+        assert_eq!(rep.stats.failed, 0, "steady batch requests failed");
+        steady_ok += rep.stats.ok;
+        last = rep.stats;
+    }
+    let steady_secs = t0.elapsed().as_secs_f64();
+
+    let baseline_rps = reqs.len() as f64 / baseline_secs;
+    let cold_rps = cold.stats.requests_per_sec;
+    let steady_rps = steady_ok as f64 / steady_secs;
+    let speedup = steady_rps / baseline_rps;
+    let speedup_cold = cold_rps / baseline_rps;
+
+    println!(
+        "dispatch throughput ({} requests, {} threads)",
+        reqs.len(),
+        threads
+    );
+    println!("  warm-up (tuning, amortized): {:.1} ms", warm_secs * 1e3);
+    println!(
+        "  baseline (fresh registry per request):   {:>8.1} req/s ({:.1} ms)",
+        baseline_rps,
+        baseline_secs * 1e3
+    );
+    println!(
+        "  batched, cold store (compile-once):      {:>8.1} req/s ({:.1} ms, {} hits / {} misses)",
+        cold_rps, cold.stats.wall_ms, cold.stats.hits, cold.stats.misses
+    );
+    println!(
+        "  batched, steady state (run-many):        {:>8.1} req/s ({} passes, {:.1} ms)",
+        steady_rps,
+        steady_passes,
+        steady_secs * 1e3
+    );
+    println!("  batched / baseline: {speedup:.2}x steady, {speedup_cold:.2}x cold");
+    // Sanity: GEMM-NN must be in the mix (it is — the catalog cycles).
+    debug_assert!(reqs
+        .iter()
+        .any(|r| r.routine == RoutineId::Gemm(Trans::N, Trans::N)));
+
+    let batch_json = |s: &oa_core::autotune::report::BatchStats| {
+        Json::Obj(BTreeMap::from([
+            ("requests".to_string(), Json::Int(s.requests as i64)),
+            ("ok".to_string(), Json::Int(s.ok as i64)),
+            ("hits".to_string(), Json::Int(s.hits as i64)),
+            ("misses".to_string(), Json::Int(s.misses as i64)),
+            ("evictions".to_string(), Json::Int(s.evictions as i64)),
+            ("threads".to_string(), Json::Int(s.threads as i64)),
+            ("wall_ms".to_string(), Json::Num(s.wall_ms)),
+            (
+                "requests_per_sec".to_string(),
+                Json::Num(s.requests_per_sec),
+            ),
+        ]))
+    };
+    let doc = Json::Obj(BTreeMap::from([
+        (
+            "note".to_string(),
+            Json::Str(
+                "batched dispatch vs one-request-at-a-time on the same mixed batch; baseline \
+                 serves each request with a fresh registry (cache load + validate + translate + \
+                 model eval + lower + execute every time, the pre-serve workflow); batched \
+                 serves through one registry's program LRU — cold pass compiles each distinct \
+                 program once, steady passes are pure run-many; `speedup` = steady / baseline"
+                    .to_string(),
+            ),
+        ),
+        ("requests".to_string(), Json::Int(reqs.len() as i64)),
+        ("threads".to_string(), Json::Int(threads as i64)),
+        ("steady_passes".to_string(), Json::Int(steady_passes as i64)),
+        ("warm_secs".to_string(), Json::Num(warm_secs)),
+        ("baseline_secs".to_string(), Json::Num(baseline_secs)),
+        (
+            "baseline_requests_per_sec".to_string(),
+            Json::Num(baseline_rps),
+        ),
+        ("batched_cold".to_string(), batch_json(&cold.stats)),
+        ("batched_last_pass".to_string(), batch_json(&last)),
+        ("steady_requests_per_sec".to_string(), Json::Num(steady_rps)),
+        ("speedup".to_string(), Json::Num(speedup)),
+        ("speedup_cold".to_string(), Json::Num(speedup_cold)),
+    ]));
+    std::fs::write("BENCH_dispatch.json", doc.pretty() + "\n").expect("write BENCH_dispatch.json");
+    println!("\nwrote BENCH_dispatch.json");
+}

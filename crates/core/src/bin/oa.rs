@@ -8,11 +8,20 @@
 //! oa variants TRMM-LL-N                    # the composer's generated scripts
 //! oa cuda GEMM-NN --n 1024                 # emit the tuned kernel's CUDA source
 //! oa trace-check trace.jsonl               # validate a captured trace stream
+//! oa serve batch.jsonl --threads 8         # batched dispatch: JSONL in, JSONL out
 //! ```
 //!
 //! `--trace` overrides the `OA_TRACE` environment variable; the trace
 //! stream goes to stderr so stdout stays clean.
+//!
+//! `serve` reads one JSON request per line from a file (or stdin when
+//! the path is `-`), executes the batch through the routine registry,
+//! and writes one JSON result per line to stdout in submission order.
+//! `--threads`/`--capacity` fall back to `OA_DISPATCH_THREADS` /
+//! `OA_DISPATCH_CAPACITY` (capacity 0 = unbounded program store), and
+//! `OA_TUNE_CACHE` names a persistent tuning-cache file.
 
+use oa_core::dispatch::{Registry, Request};
 use oa_core::trace::{check_stream, stderr_observer, TraceMode};
 use oa_core::{DeviceSpec, OaFramework, RoutineId, TuneError};
 
@@ -31,6 +40,12 @@ struct Args {
     device: DeviceSpec,
     n: i64,
     trace: TraceMode,
+    threads: Option<usize>,
+    capacity: Option<usize>,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut device = DeviceSpec::gtx285();
     let mut n = 1024i64;
     let mut trace = TraceMode::from_env();
+    let mut threads = env_usize("OA_DISPATCH_THREADS");
+    let mut capacity = env_usize("OA_DISPATCH_CAPACITY");
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +72,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--trace needs a value (json|pretty|off)")?;
                 trace = TraceMode::parse(&v).ok_or(format!("unknown trace mode `{v}`"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
+            }
+            "--capacity" => {
+                let v = it
+                    .next()
+                    .ok_or("--capacity needs a value (0 = unbounded)")?;
+                capacity = Some(v.parse().map_err(|_| format!("bad capacity `{v}`"))?);
+            }
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -66,6 +93,8 @@ fn parse_args() -> Result<Args, String> {
         device,
         n,
         trace,
+        threads,
+        capacity,
     })
 }
 
@@ -183,6 +212,73 @@ fn run(args: &Args) -> Result<(), String> {
             println!("{src}");
             Ok(())
         }
+        "serve" => {
+            // The routine slot is the request file (`-` = stdin).
+            let path = args
+                .routine
+                .as_deref()
+                .ok_or("serve needs a JSONL request file (or `-` for stdin)")?;
+            let text = if path == "-" {
+                use std::io::Read;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+            };
+            let mut reqs: Vec<Request> = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let doc = oa_core::autotune::json::parse(line)
+                    .ok_or_else(|| format!("request line {}: not valid JSON", lineno + 1))?;
+                reqs.push(
+                    Request::from_json(&doc)
+                        .map_err(|e| format!("request line {}: {e}", lineno + 1))?,
+                );
+            }
+            let mut registry = Registry::new(args.device.clone());
+            if let Some(cap) = args.capacity {
+                registry = registry.with_capacity(if cap == 0 { None } else { Some(cap) });
+            }
+            if let Ok(cache) = std::env::var("OA_TUNE_CACHE") {
+                registry = registry.with_tune_cache(cache.into());
+            }
+            let threads = args
+                .threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+            let mut obs = stderr_observer(args.trace);
+            let report = registry.run_batch(&reqs, threads, &mut obs);
+            let mut out = std::io::stdout().lock();
+            use std::io::Write;
+            for (id, outcome) in report.outcomes.iter().enumerate() {
+                writeln!(out, "{}", outcome.to_json(id).compact())
+                    .map_err(|e| format!("stdout: {e}"))?;
+            }
+            // In json trace mode stderr is a machine-readable stream and
+            // the batch event already carries these numbers — keep it
+            // clean for `oa trace-check`.
+            if args.trace != TraceMode::Json {
+                eprintln!(
+                    "served {} request(s) ({} ok, {} failed) on {} thread(s): \
+                     {:.1} ms, {:.0} req/s",
+                    report.stats.requests,
+                    report.stats.ok,
+                    report.stats.failed,
+                    report.stats.threads,
+                    report.stats.wall_ms,
+                    report.stats.requests_per_sec
+                );
+            }
+            if report.stats.failed > 0 {
+                return Err(format!("{} request(s) failed", report.stats.failed));
+            }
+            Ok(())
+        }
         "trace-check" => {
             // The routine slot doubles as the file path for this command.
             let path = args
@@ -196,8 +292,9 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: oa <list|tune|compare|variants|cuda|trace-check> [ROUTINE|FILE] \
-                 [--device D] [--n N] [--trace json|pretty|off]"
+                "usage: oa <list|tune|compare|variants|cuda|trace-check|serve> [ROUTINE|FILE] \
+                 [--device D] [--n N] [--trace json|pretty|off] \
+                 [--threads T] [--capacity C]"
             );
             Ok(())
         }

@@ -1,0 +1,674 @@
+//! The batched routine-dispatch layer: tuned once, called many times.
+//!
+//! The paper's endgame (Sec. V) is a *library* — each routine tuned once
+//! per device, then invoked repeatedly.  Everything below `oa-core`
+//! executes one request end to end; this module adds the layer that
+//! serves **many independent requests against already-tuned scripts**:
+//!
+//! * [`Registry`] — per [`DeviceSpec`], resolves a routine through the
+//!   tuning cache (tune-on-miss via `tune_fresh_on`), lowers the winning
+//!   script **once** through tape→bytecode, and memoizes the compiled
+//!   program in a bounded LRU keyed by
+//!   `(routine, device, param-point, size)`;
+//! * [`Registry::run_batch`] — a batch of mixed [`Request`]s drained by
+//!   the shared-queue worker pool ([`oa_gpusim::dispatch::run_jobs`])
+//!   with compile-once/run-many semantics and **deterministic
+//!   per-request results regardless of scheduling order** (the dispatch
+//!   test battery runs the same batch across engines, thread counts,
+//!   submission orders and LRU capacities and demands bit-identical
+//!   digests);
+//! * [`BatchStats`] — per-batch hits/misses/evictions and requests/sec,
+//!   emitted as a [`TuneEvent::Batch`] through the same observer channel
+//!   the tuner traces through (`OA_TRACE`, `oa trace-check`).
+//!
+//! Two size notions keep tuning amortized without compromising
+//! correctness: routines are *tuned* per [`size_class`] (problem sizes
+//! bucketed to a power of two, so a thousand nearby sizes share one
+//! sweep) but *compiled* per exact request size (the winning script is
+//! re-applied under the request's own bindings — the same replay the
+//! Fig. 13 scaling study performs), so results are bit-identical to a
+//! direct `engine::exec_program_on` run of the same script/params.
+//!
+//! The CLI face is `oa serve` (JSONL requests in, JSONL results out);
+//! the throughput harness is `bench_dispatch` (`BENCH_dispatch.json`).
+
+use oa_autotune::json::Json;
+use oa_autotune::report::BatchStats;
+use oa_autotune::{tune_fresh_on, validate_record, TuneCache, TuneEvent, TunedRecord};
+use oa_blas3::types::RoutineId;
+use oa_blas3::verify::prepare_buffers;
+use oa_epod::translator::apply_lenient;
+use oa_epod::Script;
+use oa_gpusim::dispatch::{run_jobs, CompiledProgram, Lru};
+use oa_gpusim::{DeviceSpec, ExecEngine};
+use oa_loopir::interp::{Bindings, Buffers};
+use oa_loopir::transform::TileParams;
+use oa_loopir::Program;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One dispatch request: execute `routine` at problem size `n` on inputs
+/// deterministically generated from `seed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// The BLAS3 routine.
+    pub routine: RoutineId,
+    /// Square problem size.
+    pub n: i64,
+    /// Input-generation seed (see `oa_blas3::verify::prepare_buffers`).
+    pub seed: u64,
+    /// Zero the blank triangle of `A` (the storage contract the packed
+    /// routines promise).
+    pub zero_blanks: bool,
+}
+
+impl Request {
+    /// A request with the serve defaults (`seed` 0xD15, blanks zeroed).
+    pub fn new(routine: RoutineId, n: i64) -> Request {
+        Request {
+            routine,
+            n,
+            seed: 0xD15,
+            zero_blanks: true,
+        }
+    }
+
+    /// Parse one JSONL request line:
+    /// `{"routine": "GEMM-NN", "n": 64, "seed": 7, "zero_blanks": true}`
+    /// (`routine` required; `n` defaults to 64, `seed` to 0xD15,
+    /// `zero_blanks` to true).
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let name = doc
+            .get("routine")
+            .and_then(Json::as_str)
+            .ok_or("missing `routine` field")?;
+        let routine = RoutineId::parse(name).ok_or_else(|| format!("unknown routine `{name}`"))?;
+        let n = match doc.get("n") {
+            None => 64,
+            Some(v) => v.as_i64().ok_or("field `n` is not an integer")?,
+        };
+        if n < 1 {
+            return Err(format!("problem size {n} out of range"));
+        }
+        let seed = match doc.get("seed") {
+            None => 0xD15,
+            Some(v) => v.as_i64().ok_or("field `seed` is not an integer")? as u64,
+        };
+        let zero_blanks = match doc.get("zero_blanks") {
+            None => true,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("field `zero_blanks` is not a boolean".into()),
+        };
+        Ok(Request {
+            routine,
+            n,
+            seed,
+            zero_blanks,
+        })
+    }
+
+    /// The request as a JSONL object (the `oa serve` input format).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(BTreeMap::from([
+            ("routine".to_string(), Json::Str(self.routine.name())),
+            ("n".to_string(), Json::Int(self.n)),
+            ("seed".to_string(), Json::Int(self.seed as i64)),
+            ("zero_blanks".to_string(), Json::Bool(self.zero_blanks)),
+        ]))
+    }
+}
+
+/// A successful request execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestOk {
+    /// The routine's output buffer (`B` for TRSM, `C` otherwise).
+    pub output: &'static str,
+    /// FNV-1a digest over **every** buffer's bit pattern after execution
+    /// ([`digest_buffers`]) — the value the differential and concurrency
+    /// suites compare.
+    pub digest: u64,
+    /// Whether the compiled program came from the LRU (`true`) or was
+    /// compiled by this request (`false`).
+    pub cache_hit: bool,
+    /// Performance-model GFLOPS of the compiled kernel at this size,
+    /// when the model could evaluate it.
+    pub model_gflops: Option<f64>,
+    /// Wall time of this request (resolve + execute), milliseconds.
+    pub ms: f64,
+}
+
+/// Terminal status of one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestStatus {
+    /// Executed; digest and cache provenance attached.
+    Ok(RequestOk),
+    /// Failed in resolution, compilation or execution.
+    Failed {
+        /// Stable failure class (`resolve`, `compile/translate`,
+        /// `compile/lower`, `exec`).
+        class: &'static str,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// One request plus its terminal status, in submission order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestOutcome {
+    /// The request as submitted.
+    pub request: Request,
+    /// What happened.
+    pub status: RequestStatus,
+}
+
+impl RequestOutcome {
+    /// The outcome as a JSONL object (the `oa serve` output format);
+    /// `id` is the request's submission index.
+    pub fn to_json(&self, id: usize) -> Json {
+        let mut fields = BTreeMap::from([
+            ("id".to_string(), Json::Int(id as i64)),
+            (
+                "routine".to_string(),
+                Json::Str(self.request.routine.name()),
+            ),
+            ("n".to_string(), Json::Int(self.request.n)),
+            ("seed".to_string(), Json::Int(self.request.seed as i64)),
+        ]);
+        match &self.status {
+            RequestStatus::Ok(ok) => {
+                fields.insert("status".to_string(), Json::Str("ok".into()));
+                fields.insert("output".to_string(), Json::Str(ok.output.into()));
+                fields.insert(
+                    "digest".to_string(),
+                    Json::Str(format!("{:016x}", ok.digest)),
+                );
+                fields.insert(
+                    "cache".to_string(),
+                    Json::Str(if ok.cache_hit { "hit" } else { "miss" }.into()),
+                );
+                if let Some(g) = ok.model_gflops {
+                    fields.insert("model_gflops".to_string(), Json::Num(g));
+                }
+                fields.insert("ms".to_string(), Json::Num(ok.ms));
+            }
+            RequestStatus::Failed { class, reason } => {
+                fields.insert("status".to_string(), Json::Str("error".into()));
+                fields.insert("class".to_string(), Json::Str((*class).into()));
+                fields.insert("reason".to_string(), Json::Str(reason.clone()));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A batch's outcomes (submission order) plus its accounting.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per request, aligned with the submitted slice.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The batch counters also emitted as [`TuneEvent::Batch`].
+    pub stats: BatchStats,
+}
+
+/// The size class a problem size is *tuned* at: the next power of two,
+/// clamped to `[64, 1024]`.  Requests inside one class share a single
+/// tuning sweep; compilation still happens at the exact request size, so
+/// size classes never change results — only how often the tuner runs.
+pub fn size_class(n: i64) -> i64 {
+    (n.max(1) as u64).next_power_of_two().clamp(64, 1024) as i64
+}
+
+/// FNV-1a fingerprint over every buffer (sorted by name): shapes and the
+/// exact bit pattern of every element, inputs included — two executions
+/// agree on this digest iff they are bit-identical observably.
+pub fn digest_buffers(bufs: &Buffers) -> u64 {
+    let mut names: Vec<&String> = bufs.keys().collect();
+    names.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    };
+    for name in names {
+        let m = &bufs[name];
+        eat(name.as_bytes());
+        eat(&m.rows.to_le_bytes());
+        eat(&m.cols.to_le_bytes());
+        for v in &m.data {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// A routine resolved through the tuning cache: the winning script and
+/// tile-parameter point, shared by every size in the class.
+#[derive(Clone, Debug)]
+pub struct TunedEntry {
+    /// The winning EPOD script.
+    pub script: Script,
+    /// The winning tile parameters (the LRU key's param-point).
+    pub params: TileParams,
+}
+
+/// A compiled program plus everything needed to serve requests with it.
+pub struct CompiledEntry {
+    /// The transformed program (buffer allocation needs its array
+    /// declarations).
+    pub program: Program,
+    /// The engine-lowered, ready-to-run form.
+    pub compiled: CompiledProgram,
+    /// Performance-model GFLOPS at this size, when evaluable.
+    pub model_gflops: Option<f64>,
+}
+
+/// `(routine, device, param-point, size)` — the precompiled-program LRU
+/// key.  The param-point pins the exact winning script application; the
+/// size is the request's exact `n` (programs are size-specialized — see
+/// [`size_class`] for the coarser *tuning* granularity).
+type ProgramKey = (String, String, (i64, i64, i64, i64, i64, usize), i64);
+
+type TunedMap = HashMap<(String, i64), Result<Arc<TunedEntry>, String>>;
+
+/// The routine registry: one per device, engine-pinned, holding the
+/// tuned-script table and the bounded precompiled-program LRU.
+///
+/// Thread-safe by construction (`&self` everywhere): the batch executor's
+/// workers resolve and execute through one shared registry.
+pub struct Registry {
+    device: DeviceSpec,
+    engine: ExecEngine,
+    tune_cache_path: Option<PathBuf>,
+    tune_cache: Mutex<TuneCache>,
+    tuned: Mutex<TunedMap>,
+    programs: Mutex<Lru<ProgramKey, Arc<CompiledEntry>>>,
+}
+
+impl Registry {
+    /// A registry for `device` with the process-default engine, an
+    /// unbounded program store and no persistent tuning cache.
+    pub fn new(device: DeviceSpec) -> Registry {
+        Registry {
+            device,
+            engine: oa_gpusim::select_engine(),
+            tune_cache_path: None,
+            tune_cache: Mutex::new(TuneCache::new()),
+            tuned: Mutex::new(HashMap::new()),
+            programs: Mutex::new(Lru::new(None)),
+        }
+    }
+
+    /// Pin the execution engine (tests and the engine-differential suite;
+    /// results are engine-invariant, throughput is not).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Registry {
+        self.engine = engine;
+        self
+    }
+
+    /// Bound the precompiled-program LRU (`None` = unbounded).  Eviction
+    /// never changes results — only the hit rate (the property suite
+    /// replays batches at capacity 1 vs unbounded and demands equal
+    /// outputs).
+    pub fn with_capacity(mut self, capacity: Option<usize>) -> Registry {
+        self.programs = Mutex::new(Lru::new(capacity));
+        self
+    }
+
+    /// Resolve tuning through the persistent JSON cache at `path`
+    /// (loaded now; tune-on-miss winners are merged back best-effort
+    /// under the cache's lock file).
+    pub fn with_tune_cache(mut self, path: PathBuf) -> Registry {
+        let (cache, _issues) = TuneCache::load_reporting(&path);
+        self.tune_cache = Mutex::new(cache);
+        self.tune_cache_path = Some(path);
+        self
+    }
+
+    /// The registry's device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The registry's pinned engine.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Cumulative program-store counters.
+    pub fn program_stats(&self) -> oa_gpusim::LruStats {
+        self.programs.lock().expect("unpoisoned registry").stats()
+    }
+
+    /// Live compiled programs.
+    pub fn programs_len(&self) -> usize {
+        self.programs.lock().expect("unpoisoned registry").len()
+    }
+
+    /// Drop every compiled program (tuned scripts survive) — the cold
+    /// path of `bench_dispatch`.
+    pub fn clear_programs(&self) {
+        self.programs.lock().expect("unpoisoned registry").clear();
+    }
+
+    /// Resolve `routine` at `n`'s size class through the tuning cache,
+    /// sweeping on a miss and reporting every tuner/cache event through
+    /// `obs`.  The resolution is memoized — failures too, so a routine
+    /// the tuner cannot handle fails every request fast instead of
+    /// re-sweeping per request.
+    pub fn resolve_observed(
+        &self,
+        routine: RoutineId,
+        n: i64,
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> Result<Arc<TunedEntry>, String> {
+        let class = size_class(n);
+        let key = (routine.name(), class);
+        if let Some(res) = self.tuned.lock().expect("unpoisoned registry").get(&key) {
+            return res.clone();
+        }
+
+        // Consult the tuning cache (stale records are reported and fall
+        // through to a fresh sweep, exactly like `tune_at`).
+        let mut replayed: Option<(TunedEntry, f64)> = None;
+        {
+            let cache = self.tune_cache.lock().expect("unpoisoned registry");
+            if let Some(rec) = cache.get(routine, &self.device, class) {
+                match validate_record(routine, rec) {
+                    Ok(script) => {
+                        replayed = Some((
+                            TunedEntry {
+                                script,
+                                params: rec.tile_params(),
+                            },
+                            rec.gflops,
+                        ));
+                    }
+                    Err(issue) => obs(TuneEvent::Cache(issue)),
+                }
+            }
+        }
+        let res: Result<Arc<TunedEntry>, String> = match replayed {
+            Some((entry, gflops)) => {
+                obs(TuneEvent::Replayed {
+                    routine: routine.name(),
+                    gflops,
+                });
+                Ok(Arc::new(entry))
+            }
+            None => match tune_fresh_on(self.engine, routine, &self.device, class, obs) {
+                Ok(t) => {
+                    let rec = TunedRecord::from_kernel(&t);
+                    self.tune_cache
+                        .lock()
+                        .expect("unpoisoned registry")
+                        .insert(rec.clone());
+                    // Persistence is best-effort (under the cache's lock
+                    // file); an unwritable path degrades to re-tuning in
+                    // the next process, never to a wrong result.
+                    if let Some(path) = &self.tune_cache_path {
+                        let _ = TuneCache::update(path, |c| c.insert(rec));
+                    }
+                    Ok(Arc::new(TunedEntry {
+                        script: t.script,
+                        params: t.params,
+                    }))
+                }
+                Err(e) => Err(e.to_string()),
+            },
+        };
+
+        // First writer wins, so a racing double-resolution (both threads
+        // missed before either inserted) memoizes one deterministic
+        // entry — the sweep itself is deterministic, so either copy is
+        // the same winner.
+        let mut tuned = self.tuned.lock().expect("unpoisoned registry");
+        tuned.entry(key).or_insert(res.clone());
+        res
+    }
+
+    /// [`Registry::resolve_observed`] without a trace observer.
+    pub fn resolve(&self, routine: RoutineId, n: i64) -> Result<Arc<TunedEntry>, String> {
+        self.resolve_observed(routine, n, &mut |_| {})
+    }
+
+    /// Fetch (or compile) the program for `(routine, entry, n)` through
+    /// the LRU.  Returns the entry and whether it was a cache hit.
+    fn compiled(
+        &self,
+        routine: RoutineId,
+        entry: &TunedEntry,
+        n: i64,
+    ) -> Result<(Arc<CompiledEntry>, bool), (&'static str, String)> {
+        let p = entry.params;
+        let key: ProgramKey = (
+            routine.name(),
+            self.device.name.to_string(),
+            (p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll),
+            n,
+        );
+        if let Some(e) = self.programs.lock().expect("unpoisoned registry").get(&key) {
+            return Ok((e.clone(), true));
+        }
+        // Compile outside the lock: a slow lowering must not serialize
+        // the whole pool.  Two workers racing on one key both compile
+        // (both counted as misses) and the last insert wins — the
+        // compilation is deterministic, so the copies are identical.
+        let src = oa_blas3::routines::source(routine);
+        let outcome = apply_lenient(&src, &entry.script, entry.params)
+            .map_err(|e| ("compile/translate", e.to_string()))?;
+        let bindings = Bindings::square(n);
+        let compiled = CompiledProgram::compile(self.engine, &outcome.program, &bindings)
+            .map_err(|e| ("compile/lower", e.to_string()))?;
+        let model_gflops = oa_gpusim::perf::evaluate(
+            &outcome.program,
+            &bindings,
+            &self.device,
+            routine.flops(n),
+            true,
+        )
+        .ok()
+        .map(|rep| rep.gflops);
+        let e = Arc::new(CompiledEntry {
+            program: outcome.program,
+            compiled,
+            model_gflops,
+        });
+        self.programs
+            .lock()
+            .expect("unpoisoned registry")
+            .insert(key, e.clone());
+        Ok((e, false))
+    }
+
+    /// Execute one request end to end, optionally returning the executed
+    /// buffers (the differential suite compares them bit-for-bit against
+    /// a direct engine run).
+    pub fn run_one_buffers(&self, req: &Request) -> (RequestOutcome, Option<Buffers>) {
+        let t0 = Instant::now();
+        let fail = |class: &'static str, reason: String| RequestOutcome {
+            request: *req,
+            status: RequestStatus::Failed { class, reason },
+        };
+        let entry = match self.resolve(req.routine, req.n) {
+            Ok(e) => e,
+            Err(reason) => return (fail("resolve", reason), None),
+        };
+        let (ce, cache_hit) = match self.compiled(req.routine, &entry, req.n) {
+            Ok(x) => x,
+            Err((class, reason)) => return (fail(class, reason), None),
+        };
+        let mut bufs = prepare_buffers(&ce.program, req.n, req.seed, req.zero_blanks);
+        if let Err(e) = ce.compiled.execute(&mut bufs) {
+            return (fail("exec", e.to_string()), None);
+        }
+        let outcome = RequestOutcome {
+            request: *req,
+            status: RequestStatus::Ok(RequestOk {
+                output: match req.routine {
+                    RoutineId::Trsm(..) => "B",
+                    _ => "C",
+                },
+                digest: digest_buffers(&bufs),
+                cache_hit,
+                model_gflops: ce.model_gflops,
+                ms: t0.elapsed().as_secs_f64() * 1e3,
+            }),
+        };
+        (outcome, Some(bufs))
+    }
+
+    /// Execute one request end to end.
+    pub fn run_one(&self, req: &Request) -> RequestOutcome {
+        self.run_one_buffers(req).0
+    }
+
+    /// Pre-resolve every distinct `(routine, size class)` a batch needs,
+    /// in submission order, on the calling thread.  This is where tuning
+    /// happens — sequentially, so the trace stream stays a well-formed
+    /// series of `begin…summary` tunes instead of an interleaved mess
+    /// from concurrent workers.
+    pub fn warm(&self, reqs: &[Request], obs: &mut dyn FnMut(TuneEvent)) {
+        for req in reqs {
+            let _ = self.resolve_observed(req.routine, req.n, obs);
+        }
+    }
+
+    /// Execute a batch on `threads` workers with compile-once/run-many
+    /// semantics: warm (tune anything unresolved), drain the requests
+    /// through the shared-queue pool, account the batch, and emit
+    /// [`TuneEvent::Batch`].  Outcomes are in submission order and
+    /// bit-identical for any `threads` value.
+    pub fn run_batch(
+        &self,
+        reqs: &[Request],
+        threads: usize,
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> BatchReport {
+        self.warm(reqs, obs);
+        let before = self.program_stats();
+        let t0 = Instant::now();
+        let outcomes = run_jobs(threads, reqs, |_, r| self.run_one(r));
+        let wall = t0.elapsed().as_secs_f64();
+        let delta = self.program_stats().since(&before);
+        let ok = outcomes
+            .iter()
+            .filter(|o| matches!(o.status, RequestStatus::Ok(_)))
+            .count();
+        let stats = BatchStats {
+            requests: reqs.len(),
+            ok,
+            failed: reqs.len() - ok,
+            hits: delta.hits,
+            misses: delta.misses,
+            evictions: delta.evictions,
+            threads: threads.max(1).min(reqs.len().max(1)),
+            wall_ms: wall * 1e3,
+            requests_per_sec: reqs.len() as f64 / wall.max(1e-9),
+        };
+        obs(TuneEvent::Batch(stats));
+        BatchReport { outcomes, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_blas3::types::Trans;
+
+    #[test]
+    fn size_class_buckets() {
+        assert_eq!(size_class(1), 64);
+        assert_eq!(size_class(48), 64);
+        assert_eq!(size_class(64), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(512), 512);
+        assert_eq!(size_class(4096), 1024);
+    }
+
+    #[test]
+    fn request_json_roundtrip_and_defaults() {
+        let r = Request {
+            routine: RoutineId::Gemm(Trans::N, Trans::T),
+            n: 96,
+            seed: 7,
+            zero_blanks: false,
+        };
+        let back = Request::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+
+        let minimal = oa_autotune::json::parse(r#"{"routine": "SYMM-LL"}"#).unwrap();
+        let req = Request::from_json(&minimal).unwrap();
+        assert_eq!(req.n, 64);
+        assert_eq!(req.seed, 0xD15);
+        assert!(req.zero_blanks);
+
+        assert!(Request::from_json(&oa_autotune::json::parse("{}").unwrap()).is_err());
+        assert!(Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "GEMM-NN", "n": 0}"#).unwrap()
+        )
+        .is_err());
+        assert!(Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "NOPE-XX"}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_content_sensitive() {
+        use oa_loopir::interp::Matrix;
+        let mut a = Buffers::new();
+        let mut m1 = Matrix::zeros(4, 4);
+        m1.fill_pseudo(1);
+        let mut m2 = Matrix::zeros(4, 4);
+        m2.fill_pseudo(2);
+        a.insert("A".into(), m1.clone());
+        a.insert("B".into(), m2.clone());
+        // Same content, different insertion order: equal digest
+        // (HashMap iteration order must not leak).
+        let mut b = Buffers::new();
+        b.insert("B".into(), m2.clone());
+        b.insert("A".into(), m1.clone());
+        assert_eq!(digest_buffers(&a), digest_buffers(&b));
+        // One flipped bit: different digest.
+        let v = b.get_mut("A").unwrap().get(0, 0);
+        b.get_mut("A").unwrap().set(0, 0, v + 1.0);
+        assert_ne!(digest_buffers(&a), digest_buffers(&b));
+    }
+
+    #[test]
+    fn outcome_json_has_stable_status_fields() {
+        let req = Request::new(RoutineId::Gemm(Trans::N, Trans::N), 64);
+        let ok = RequestOutcome {
+            request: req,
+            status: RequestStatus::Ok(RequestOk {
+                output: "C",
+                digest: 0xABCD,
+                cache_hit: true,
+                model_gflops: Some(123.0),
+                ms: 1.5,
+            }),
+        };
+        let line = ok.to_json(3).compact();
+        assert!(line.contains("\"id\":3"));
+        assert!(line.contains("\"status\":\"ok\""));
+        assert!(line.contains("\"cache\":\"hit\""));
+        assert!(line.contains("000000000000abcd"));
+
+        let bad = RequestOutcome {
+            request: req,
+            status: RequestStatus::Failed {
+                class: "resolve",
+                reason: "no variants".into(),
+            },
+        };
+        let line = bad.to_json(0).compact();
+        assert!(line.contains("\"status\":\"error\""));
+        assert!(line.contains("\"class\":\"resolve\""));
+    }
+}

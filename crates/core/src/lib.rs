@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
+pub mod testutil;
 pub mod trace;
 
 pub use oa_adl as adl;
@@ -34,6 +36,7 @@ pub use oa_epod as epod;
 pub use oa_gpusim as gpusim;
 pub use oa_loopir as loopir;
 
+pub use dispatch::{BatchReport, Registry, Request, RequestOutcome, RequestStatus};
 pub use oa_autotune::{
     CacheIssue, FailureTable, TuneCache, TuneError, TuneEvent, TunedKernel, TunedRecord,
 };

@@ -157,6 +157,18 @@ pub fn event_json(e: &TuneEvent) -> Json {
             ("errored", Json::Int(*errored as i64)),
             ("winner_gflops", opt_num(*winner_gflops)),
         ]),
+        TuneEvent::Batch(b) => obj(vec![
+            ("event", Json::Str("batch".into())),
+            ("requests", Json::Int(b.requests as i64)),
+            ("ok", Json::Int(b.ok as i64)),
+            ("failed", Json::Int(b.failed as i64)),
+            ("hits", Json::Int(b.hits as i64)),
+            ("misses", Json::Int(b.misses as i64)),
+            ("evictions", Json::Int(b.evictions as i64)),
+            ("threads", Json::Int(b.threads as i64)),
+            ("wall_ms", Json::Num(b.wall_ms)),
+            ("requests_per_sec", Json::Num(b.requests_per_sec)),
+        ]),
     }
 }
 
@@ -209,6 +221,19 @@ pub fn event_pretty(e: &TuneEvent) -> String {
              {pruned} pruned, {degenerated} degenerated, {errored} errored{}",
             winner_gflops.map_or(String::new(), |g| format!(" — winner {g:.1} GFLOPS"))
         ),
+        TuneEvent::Batch(b) => format!(
+            "batch {} requests ({} ok, {} failed) on {} thread(s): \
+             {} hits, {} misses, {} evictions, {:.1} ms ({:.0} req/s)",
+            b.requests,
+            b.ok,
+            b.failed,
+            b.threads,
+            b.hits,
+            b.misses,
+            b.evictions,
+            b.wall_ms,
+            b.requests_per_sec
+        ),
     }
 }
 
@@ -237,13 +262,18 @@ pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
 ///   failure class;
 /// * the summary's buckets add up: `evaluated + pruned + errored = points`,
 ///   `evaluated` = the won + lost candidate lines, and exactly one
-///   candidate won when anything was evaluated.
+///   candidate won when anything was evaluated;
+/// * `batch` lines (the dispatch executor's accounting) sit between
+///   tunes, their `ok + failed` equals `requests`, and their
+///   `hits + misses` never exceeds `requests` (each resolved request
+///   performs exactly one program-store lookup).
 ///
 /// Returns a short human-readable report, or the first violation.
 pub fn check_stream(text: &str) -> Result<String, String> {
     const OUTCOMES: [&str; 5] = ["won", "lost", "pruned", "degenerated", "errored"];
     let mut tunes = 0usize;
     let mut replays = 0usize;
+    let mut batches = 0usize;
     // Per-tune accounting, reset at `begin`.
     let mut spans: Vec<String> = Vec::new();
     let mut won = 0usize;
@@ -359,17 +389,44 @@ pub fn check_stream(text: &str) -> Result<String, String> {
             }
             "replayed" => replays += 1,
             "cache" => {}
+            "batch" => {
+                if in_tune {
+                    return Err(at("`batch` inside a tune (before its `summary`)".into()));
+                }
+                batches += 1;
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| at(format!("batch missing `{k}`")))
+                };
+                let requests = field("requests")?;
+                let ok = field("ok")?;
+                let failed = field("failed")?;
+                let hits = field("hits")?;
+                let misses = field("misses")?;
+                if ok + failed != requests {
+                    return Err(at(format!(
+                        "batch buckets don't add up: {ok} + {failed} != {requests}"
+                    )));
+                }
+                if hits + misses > requests {
+                    return Err(at(format!(
+                        "batch counts {hits} hits + {misses} misses for {requests} requests"
+                    )));
+                }
+            }
             other => return Err(at(format!("unknown event `{other}`"))),
         }
     }
     if in_tune {
         return Err("stream ends inside a tune (no terminal `summary`)".to_string());
     }
-    if tunes == 0 && replays == 0 {
-        return Err("stream contains no `begin` or `replayed` event".to_string());
+    if tunes == 0 && replays == 0 && batches == 0 {
+        return Err("stream contains no `begin`, `replayed` or `batch` event".to_string());
     }
     Ok(format!(
-        "trace ok: {tunes} tune(s), {replays} replay(s), every candidate terminal"
+        "trace ok: {tunes} tune(s), {replays} replay(s), {batches} batch(es), \
+         every candidate terminal"
     ))
 }
 
@@ -420,6 +477,37 @@ mod tests {
             .contains("span"));
         // Empty stream.
         assert!(check_stream("").is_err());
+    }
+
+    #[test]
+    fn batch_events_render_and_validate() {
+        let stats = oa_autotune::report::BatchStats {
+            requests: 8,
+            ok: 7,
+            failed: 1,
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            threads: 4,
+            wall_ms: 12.5,
+            requests_per_sec: 640.0,
+        };
+        let e = TuneEvent::Batch(stats);
+        let line = event_json(&e).compact();
+        assert!(line.contains("\"event\":\"batch\""));
+        assert!(line.contains("\"requests\":8"));
+        assert!(event_pretty(&e).contains("5 hits"));
+
+        // A batch-only stream is a valid trace (the serve smoke path).
+        let report = check_stream(&format!("{line}\n")).unwrap();
+        assert!(report.contains("1 batch(es)"), "{report}");
+
+        // ok + failed must equal requests...
+        let bad = line.replace("\"ok\":7", "\"ok\":8");
+        assert!(check_stream(&bad).unwrap_err().contains("add up"));
+        // ...and hits + misses must not exceed requests.
+        let bad = line.replace("\"hits\":5", "\"hits\":50");
+        assert!(check_stream(&bad).unwrap_err().contains("hits"));
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Execution-level building blocks of the batched routine-dispatch layer.
+//!
+//! The paper's endgame (Sec. V) is a *library*: routines tuned once per
+//! device and then called many times.  The registry and request types live
+//! in `oa_core::dispatch` (they need the tuner and the BLAS3 routine
+//! table, which sit above this crate); what belongs down here is
+//! everything that touches compiled kernels and threads:
+//!
+//! * [`CompiledProgram`] — one program lowered **once** through the
+//!   selected [`ExecEngine`] into its ready-to-run form (tree oracle,
+//!   slot-resolved tape, or linear bytecode), executable any number of
+//!   times from any thread;
+//! * [`Lru`] — a bounded least-recently-used store with hit/miss/eviction
+//!   counters, the precompiled-program cache of the registry;
+//! * [`run_jobs`] — a caller-sized worker pool draining a shared queue:
+//!   idle workers pull the next unclaimed job (the degenerate form of
+//!   work-stealing where every worker steals from a single injector
+//!   queue), results land in submission order, and each worker runs its
+//!   jobs under [`rayon::in_place`] so the engines' internal
+//!   block-parallel regions stay inline instead of oversubscribing the
+//!   machine — batch-level parallelism replaces grid-level parallelism.
+//!
+//! Determinism contract: a job's result may depend only on the job itself
+//! (never on claim order or worker identity), which is what makes batched
+//! results bit-identical to one-at-a-time execution.  The dispatch test
+//! battery (`tests/dispatch_*.rs`) enforces this across engines, thread
+//! counts and LRU capacities.
+
+use oa_loopir::interp::{Bindings, Buffers};
+use oa_loopir::Program;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::ExecEngine;
+use crate::exec::ExecError;
+use crate::{ByteCode, Tape};
+
+/// A program lowered once through one engine, ready for repeated
+/// execution.  The oracle variant keeps the program tree (its "compile"
+/// is free); the tape and bytecode variants hold their fully resolved
+/// forms, so every subsequent launch skips lowering entirely.
+///
+/// Variant sizes are allowed to differ: compiled programs are built
+/// once, parked behind an `Arc` in the registry's LRU, and never moved
+/// by value after that, so inline size is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CompiledProgram {
+    /// Tree-walking oracle: interpretation happens at execute time.
+    /// Boxed so the enum stays the size of its compiled siblings.
+    Oracle {
+        /// The program tree.
+        program: Box<Program>,
+        /// The bindings the program was specialized for.
+        bindings: Bindings,
+    },
+    /// Slot-resolved compiled kernel tape.
+    Tape(Tape),
+    /// Optimized linear bytecode for the lane-vectorized interpreter.
+    Bytecode(ByteCode),
+}
+
+impl CompiledProgram {
+    /// Lower `p` under `bindings` through `engine`.  Unlaunchable
+    /// programs fail here for the compiled engines and at
+    /// [`CompiledProgram::execute`] for the oracle — the same split the
+    /// raw engines have.
+    pub fn compile(
+        engine: ExecEngine,
+        p: &Program,
+        bindings: &Bindings,
+    ) -> Result<CompiledProgram, ExecError> {
+        match engine {
+            ExecEngine::Oracle => Ok(CompiledProgram::Oracle {
+                program: Box::new(p.clone()),
+                bindings: bindings.clone(),
+            }),
+            ExecEngine::Tape => Tape::compile(p, bindings).map(CompiledProgram::Tape),
+            ExecEngine::Bytecode => ByteCode::compile(p, bindings).map(CompiledProgram::Bytecode),
+        }
+    }
+
+    /// Execute on `bufs`.  Results are bit-identical across engines for
+    /// every kernel this framework generates (the engine differential
+    /// invariant).
+    pub fn execute(&self, bufs: &mut Buffers) -> Result<(), ExecError> {
+        match self {
+            CompiledProgram::Oracle { program, bindings } => {
+                crate::exec::exec_program(program, bindings, bufs)
+            }
+            CompiledProgram::Tape(t) => t.execute(bufs),
+            CompiledProgram::Bytecode(b) => b.execute(bufs),
+        }
+    }
+
+    /// Which engine this program was lowered for.
+    pub fn engine(&self) -> ExecEngine {
+        match self {
+            CompiledProgram::Oracle { .. } => ExecEngine::Oracle,
+            CompiledProgram::Tape(_) => ExecEngine::Tape,
+            CompiledProgram::Bytecode(_) => ExecEngine::Bytecode,
+        }
+    }
+}
+
+/// Cumulative counters of one [`Lru`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl LruStats {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &LruStats) -> LruStats {
+        LruStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// A bounded least-recently-used map with hit/miss/eviction accounting.
+///
+/// Recency is a monotone tick bumped on every hit and insert; eviction
+/// scans for the stalest entry (linear in the live set — capacities here
+/// are small, the values are `Arc`-shared compiled programs).  Capacity
+/// `None` means unbounded.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: Option<usize>,
+    tick: u64,
+    entries: HashMap<K, (u64, V)>,
+    stats: LruStats,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty store; `capacity` of `None` never evicts, `Some(c)`
+    /// keeps at most `max(c, 1)` entries.
+    pub fn new(capacity: Option<usize>) -> Self {
+        Lru {
+            capacity: capacity.map(|c| c.max(1)),
+            tick: 0,
+            entries: HashMap::new(),
+            stats: LruStats::default(),
+        }
+    }
+
+    /// Look up `k`, refreshing its recency; counts a hit or a miss.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        match self.entries.get_mut(k) {
+            Some((tick, v)) => {
+                self.tick += 1;
+                *tick = self.tick;
+                self.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `k`, evicting the least-recently-used entry
+    /// when over capacity.
+    pub fn insert(&mut self, k: K, v: V) {
+        self.tick += 1;
+        self.entries.insert(k, (self.tick, v));
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let stalest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (tick, _))| *tick)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty over-capacity LRU");
+                self.entries.remove(&stalest);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (counters survive — they are cumulative).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Run `f` over every job on a pool of `threads` workers and return the
+/// results in submission order.
+///
+/// Scheduling is a single shared injector queue: each idle worker claims
+/// the next unclaimed index with one atomic increment, so a slow job
+/// never blocks the queue behind it and the load balances like a
+/// work-stealing pool whose victims all share one deque.  Workers wrap
+/// `f` in [`rayon::in_place`], keeping the engines' internal
+/// block-parallel regions inline — the pool owns the machine's
+/// parallelism.  With `threads <= 1` (or one job) everything runs on the
+/// calling thread, *without* `in_place`, so a sequential caller keeps
+/// grid-level parallelism for latency.
+///
+/// `f` receives `(submission index, &job)`; results land in slot
+/// `submission index`, so the output order never depends on claim order.
+pub fn run_jobs<T, R, F>(threads: usize, jobs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = rayon::in_place(|| f(i, &jobs[i]));
+                *slots[i].lock().expect("unpoisoned result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("every job index claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_counts_hits_misses_evictions() {
+        let mut lru: Lru<i32, &'static str> = Lru::new(Some(2));
+        assert!(lru.get(&1).is_none());
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.get(&1), Some(&"a")); // 1 is now most recent
+        lru.insert(3, "c"); // evicts 2
+        assert!(lru.get(&2).is_none());
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&3), Some(&"c"));
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 2, 1));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_unbounded_never_evicts_and_capacity_floors_at_one() {
+        let mut unbounded: Lru<u32, u32> = Lru::new(None);
+        for i in 0..100 {
+            unbounded.insert(i, i);
+        }
+        assert_eq!(unbounded.len(), 100);
+        assert_eq!(unbounded.stats().evictions, 0);
+
+        let mut tiny: Lru<u32, u32> = Lru::new(Some(0));
+        tiny.insert(1, 1);
+        tiny.insert(2, 2);
+        assert_eq!(tiny.len(), 1, "capacity 0 behaves as 1");
+    }
+
+    #[test]
+    fn run_jobs_preserves_submission_order_across_thread_counts() {
+        let jobs: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = jobs.iter().map(|j| j * 3).collect();
+        for threads in [1, 2, 8] {
+            let got = run_jobs(threads, &jobs, |i, j| {
+                assert_eq!(i, *j, "index/job alignment");
+                j * 3
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_oversized_pools() {
+        let none: Vec<u8> = run_jobs(8, &[] as &[u8], |_, j| *j);
+        assert!(none.is_empty());
+        let one = run_jobs(64, &[7u8], |_, j| *j + 1);
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -17,6 +17,9 @@
 //!   interpreter;
 //! * [`engine`] — selection among the three engines
 //!   (`OA_EXEC_ENGINE=oracle|tape|bytecode`, default bytecode);
+//! * [`dispatch`] — batched-execution building blocks: compile-once
+//!   programs, the bounded LRU program store, and the shared-queue worker
+//!   pool behind `oa_core::dispatch`'s routine registry;
 //! * [`events`] — per-warp coalescing and bank-conflict classification;
 //! * [`perf`] — the sampled performance model producing GFLOPS estimates
 //!   and `cuda_profile`-style counters ([`profile`]).
@@ -31,6 +34,7 @@
 pub mod bytecode;
 pub mod cudagen;
 pub mod device;
+pub mod dispatch;
 pub mod engine;
 pub mod events;
 pub mod exec;
@@ -43,6 +47,7 @@ pub mod vexec;
 pub use bytecode::ByteCode;
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
+pub use dispatch::{run_jobs, CompiledProgram, Lru, LruStats};
 pub use engine::{exec_program_fast, exec_program_on, select as select_engine, ExecEngine};
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};

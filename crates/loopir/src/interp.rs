@@ -20,6 +20,51 @@ use crate::scalar::{Access, ScalarExpr};
 use crate::stmt::{AssignOp, Loop, LoopMapping, SharedStage, Stmt};
 use std::collections::HashMap;
 
+/// A deterministic 64-bit linear congruential generator (Knuth's MMIX
+/// constants) — the single case/data generator shared by [`Matrix::fill_pseudo`]
+/// and the workspace's property/differential tests (re-exported as
+/// `oa_core::testutil::Lcg`), so tests don't need the `rand` crate and
+/// every stream is reproducible from its seed.
+#[derive(Clone, Debug)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seed the generator (the raw seed is pre-mixed with the golden
+    /// ratio so nearby seeds give unrelated streams).
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Advance the state one MMIX step and return it in full.
+    fn step(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Next pseudo-random value (the state's well-mixed high bits).
+    /// Not an `Iterator`: the stream is infinite and draws are also
+    /// consumed through `range`/`unit_f32`, so an `Option` wrapper
+    /// would only add unwraps at every call site.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.step() >> 17
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform `f32` in `[-1, 1]` (the matrix-fill distribution).
+    pub fn unit_f32(&mut self) -> f32 {
+        ((self.step() >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    }
+}
+
 /// Concrete bindings for size parameters (`M`, `N`, `K`) and scalar
 /// parameters (`alpha`, `beta`).
 #[derive(Clone, Debug, Default)]
@@ -110,15 +155,12 @@ impl Matrix {
         self.data[(r + c * self.ld) as usize] = v;
     }
 
-    /// Fill with deterministic pseudo-random values in `[-1, 1]` (a cheap
-    /// LCG so tests don't need the `rand` crate at runtime).
+    /// Fill with deterministic pseudo-random values in `[-1, 1]` (the
+    /// shared [`Lcg`], so tests don't need the `rand` crate at runtime).
     pub fn fill_pseudo(&mut self, seed: u64) {
-        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut g = Lcg::new(seed);
         for v in &mut self.data {
-            s = s
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            *v = ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+            *v = g.unit_f32();
         }
     }
 

@@ -1,0 +1,102 @@
+//! Concurrency stress test for the batched dispatch executor.
+//!
+//! One mixed-routine batch is executed repeatedly — different worker
+//! counts, different submission orders, bounded and unbounded program
+//! stores — and every run must agree *per request*: identical status,
+//! identical digest, identical output buffer.  Scheduling, claim order,
+//! LRU races (two workers compiling the same key) and evictions must
+//! never leak into results; only throughput and hit rates may move.
+
+use oa_core::dispatch::{Registry, Request, RequestOutcome, RequestStatus};
+use oa_core::testutil::{mixed_requests, shared_tune_cache_path, Lcg};
+use oa_core::DeviceSpec;
+use std::collections::HashMap;
+
+/// The comparable part of an outcome: status class, digest, output —
+/// everything except timing and cache provenance (those legitimately
+/// vary run to run).
+fn fingerprint(o: &RequestOutcome) -> (Request, String) {
+    let status = match &o.status {
+        RequestStatus::Ok(ok) => format!("ok {} {:016x}", ok.output, ok.digest),
+        RequestStatus::Failed { class, reason } => format!("failed {class}: {reason}"),
+    };
+    (o.request, status)
+}
+
+/// A deterministic in-place shuffle (Fisher–Yates on the shared LCG).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut g = Lcg::new(seed);
+    for i in (1..items.len()).rev() {
+        let j = g.range(0, i as i64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn batches_are_deterministic_across_threads_orders_and_capacities() {
+    let device = DeviceSpec::gtx285();
+    let base = mixed_requests(48, 0xC0FFEE);
+
+    // Reference: fully sequential, unbounded store.
+    let reference = Registry::new(device.clone()).with_tune_cache(shared_tune_cache_path());
+    let expected: HashMap<Request, String> = reference
+        .run_batch(&base, 1, &mut |_| {})
+        .outcomes
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(expected.len(), base.len(), "requests must be distinct");
+
+    for (threads, order_seed, capacity) in [
+        (8usize, 0u64, None), // 8 workers, submission order
+        (8, 0x5EED, None),    // 8 workers, shuffled
+        (3, 0x5EED, Some(4)), // odd pool + tiny LRU (evicts constantly)
+        (2, 0xABCD, Some(1)), // degenerate LRU: every request a miss
+    ] {
+        let mut reqs = base.clone();
+        shuffle(&mut reqs, order_seed);
+        let registry = Registry::new(device.clone())
+            .with_capacity(capacity)
+            .with_tune_cache(shared_tune_cache_path());
+        let report = registry.run_batch(&reqs, threads, &mut |_| {});
+        let ctx = format!("threads={threads} order={order_seed:#x} capacity={capacity:?}");
+
+        assert_eq!(report.outcomes.len(), reqs.len(), "{ctx}");
+        assert_eq!(report.stats.failed, 0, "{ctx}: requests failed");
+        // Outcome slot i belongs to submitted request i...
+        for (req, outcome) in reqs.iter().zip(&report.outcomes) {
+            assert_eq!(*req, outcome.request, "{ctx}: outcome order");
+            // ...and its result matches the sequential reference exactly.
+            let (_, status) = fingerprint(outcome);
+            assert_eq!(
+                expected.get(req),
+                Some(&status),
+                "{ctx}: {} n={} diverged from sequential reference",
+                req.routine.name(),
+                req.n
+            );
+        }
+    }
+}
+
+/// Two identical stressed runs (same threads, same shuffled order) agree
+/// with each other outcome-for-outcome — the repeated-run flake check.
+#[test]
+fn repeated_stressed_runs_are_identical() {
+    let device = DeviceSpec::gtx285();
+    let mut reqs = mixed_requests(32, 0xFEED);
+    shuffle(&mut reqs, 0x1234);
+
+    let run = || {
+        let registry = Registry::new(device.clone())
+            .with_capacity(Some(6))
+            .with_tune_cache(shared_tune_cache_path());
+        registry
+            .run_batch(&reqs, 8, &mut |_| {})
+            .outcomes
+            .iter()
+            .map(fingerprint)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,104 @@
+//! Property tests for the dispatch layer's caching.
+//!
+//! Two invariants, checked over randomized batches:
+//!
+//! 1. **Eviction is invisible.**  The same batch served through a
+//!    capacity-1 LRU and an unbounded one yields identical per-request
+//!    outcomes — the program store is a pure memoization, never a
+//!    semantic dependency.
+//! 2. **The accounting adds up.**  Every successfully resolved request
+//!    performs exactly one program-store lookup, so a sequential batch's
+//!    `hits + misses` equals its request count, the LRU never exceeds
+//!    its capacity, and an unbounded store never evicts.
+
+use oa_core::dispatch::{Registry, Request, RequestStatus};
+use oa_core::testutil::{mixed_requests, shared_tune_cache_path, Lcg};
+use oa_core::DeviceSpec;
+
+fn digests(registry: &Registry, reqs: &[Request]) -> Vec<String> {
+    registry
+        .run_batch(reqs, 1, &mut |_| {})
+        .outcomes
+        .iter()
+        .map(|o| match &o.status {
+            RequestStatus::Ok(ok) => format!("{:016x}", ok.digest),
+            RequestStatus::Failed { class, reason } => format!("failed {class}: {reason}"),
+        })
+        .collect()
+}
+
+#[test]
+fn capacity_one_and_unbounded_stores_agree_on_every_output() {
+    let device = DeviceSpec::gtx285();
+    let mut g = Lcg::new(0xCAB);
+    for round in 0..3u64 {
+        let reqs = mixed_requests(16, g.next());
+        let tiny = Registry::new(device.clone())
+            .with_capacity(Some(1))
+            .with_tune_cache(shared_tune_cache_path());
+        let unbounded = Registry::new(device.clone()).with_tune_cache(shared_tune_cache_path());
+        assert_eq!(
+            digests(&tiny, &reqs),
+            digests(&unbounded, &reqs),
+            "round {round}: eviction changed results"
+        );
+        assert!(
+            tiny.programs_len() <= 1,
+            "round {round}: capacity-1 store holds {}",
+            tiny.programs_len()
+        );
+        assert_eq!(
+            unbounded.program_stats().evictions,
+            0,
+            "round {round}: unbounded store evicted"
+        );
+    }
+}
+
+#[test]
+fn hits_and_misses_sum_to_the_request_count() {
+    let device = DeviceSpec::gtx285();
+    let mut g = Lcg::new(0xACC);
+    for round in 0..3u64 {
+        let reqs = mixed_requests(24, g.next());
+        for capacity in [Some(1), Some(5), None] {
+            let registry = Registry::new(device.clone())
+                .with_capacity(capacity)
+                .with_tune_cache(shared_tune_cache_path());
+            let report = registry.run_batch(&reqs, 1, &mut |_| {});
+            let ctx = format!("round {round} capacity {capacity:?}");
+            assert_eq!(report.stats.failed, 0, "{ctx}: requests failed");
+            assert_eq!(
+                report.stats.hits + report.stats.misses,
+                reqs.len() as u64,
+                "{ctx}: every request does exactly one lookup"
+            );
+            // A second pass over the same batch through the same registry
+            // is all hits when nothing was evicted.
+            if capacity.is_none() {
+                let again = registry.run_batch(&reqs, 1, &mut |_| {});
+                assert_eq!(again.stats.misses, 0, "{ctx}: warm re-run missed");
+                assert_eq!(again.stats.hits, reqs.len() as u64, "{ctx}");
+            }
+        }
+    }
+}
+
+/// The batch event the executor emits agrees with the report it returns.
+#[test]
+fn emitted_batch_event_matches_the_returned_stats() {
+    use oa_core::autotune::TuneEvent;
+    let device = DeviceSpec::gtx285();
+    let reqs = mixed_requests(8, 0xE7E7);
+    let registry = Registry::new(device).with_tune_cache(shared_tune_cache_path());
+    let mut seen = None;
+    let report = registry.run_batch(&reqs, 2, &mut |e| {
+        if let TuneEvent::Batch(b) = e {
+            seen = Some(b);
+        }
+    });
+    let b = seen.expect("run_batch emits TuneEvent::Batch");
+    assert_eq!(b, report.stats);
+    assert_eq!(b.requests, reqs.len());
+    assert_eq!(b.ok + b.failed, b.requests);
+}

@@ -15,28 +15,9 @@ use oa_core::loopir::expr::AffineExpr;
 use oa_core::loopir::interp::{equivalent_on, Bindings, Matrix};
 use oa_core::loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
 use oa_core::loopir::AllocMode;
-
-/// Deterministic case generator: a 64-bit LCG (Knuth's MMIX constants).
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 17
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
-}
+// The shared deterministic case generator (Knuth's MMIX LCG) — the same
+// sequence the old private copy here produced, now one implementation.
+use oa_core::testutil::Lcg as Gen;
 
 fn binom(n: u64, k: u64) -> u64 {
     let mut acc = 1u64;

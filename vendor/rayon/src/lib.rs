@@ -316,6 +316,25 @@ pub fn current_num_threads() -> usize {
     worker_count()
 }
 
+/// Run `f` with every par-iterator inside it executing inline on the
+/// calling thread, exactly as if the caller were already a worker of an
+/// enclosing par-iter.
+///
+/// This is the hook a *caller-managed* thread pool (e.g. the dispatch
+/// batch executor) uses to keep its workers from fanning out again: the
+/// pool supplies the outer parallelism, so nested data-parallel regions
+/// must stay inline instead of oversubscribing the machine.  The previous
+/// worker flag is restored on exit, so nesting `in_place` inside real
+/// workers (or other `in_place` scopes) is harmless.
+pub fn in_place<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|w| {
+        let prev = w.replace(true);
+        let r = f();
+        w.set(prev);
+        r
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -356,6 +375,22 @@ mod tests {
             })
             .collect();
         assert!(sums.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn in_place_runs_par_iters_inline_and_restores_flag() {
+        let before = std::thread::current().id();
+        let out: Vec<std::thread::ThreadId> = crate::in_place(|| {
+            let v: Vec<usize> = (0..64).collect();
+            v.par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        assert!(
+            out.iter().all(|&id| id == before),
+            "in_place leaked threads"
+        );
+        // Outside the scope, parallelism is available again (flag restored).
+        let n: usize = (0usize..100).into_par_iter().count();
+        assert_eq!(n, 100);
     }
 
     #[test]
