@@ -119,7 +119,7 @@ pub fn symm_mixed_source(side: Side, uplo: Uplo) -> Program {
         Side::Left => v("M"),
         Side::Right => v("N"),
     };
-    p.declare(ArrayDecl::global_with_fill("A", adim.clone(), adim, fill));
+    p.declare(ArrayDecl::global_with_fill("A", adim.clone(), adim, fill).symmetric());
     p.declare(ArrayDecl::global("B", v("M"), v("N")));
     p.declare(ArrayDecl::global("C", v("M"), v("N")));
     p
@@ -298,6 +298,7 @@ fn cublas_symm_dual_tile(side: Side, uplo: Uplo, device: &DeviceSpec) -> Program
             rows: *er,
             cols: *ec,
             mode: AllocMode::NoChange,
+            src_fill: a_decl.fill,
             guard,
             strided_copy: strided,
         }));

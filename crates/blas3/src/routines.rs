@@ -225,7 +225,9 @@ fn symm_source(side: Side, uplo: Uplo) -> Program {
         Uplo::Lower => Fill::LowerTriangular,
         Uplo::Upper => Fill::UpperTriangular,
     };
-    p.declare(ArrayDecl::global_with_fill("A", a_dim.clone(), a_dim, fill));
+    // A is packed triangular *and* semantically symmetric — the property
+    // the Symmetry allocation modes are allowed to exploit.
+    p.declare(ArrayDecl::global_with_fill("A", a_dim.clone(), a_dim, fill).symmetric());
     p.declare(ArrayDecl::global("B", var("M"), var("N")));
     p.declare(ArrayDecl::global("C", var("M"), var("N")));
     p

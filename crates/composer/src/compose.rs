@@ -3,7 +3,7 @@
 //! an existing script plus developer-defined adaptors.
 
 use crate::allocator::merge_allocations;
-use crate::filter::{filter_on, FilteredSeq};
+use crate::filter::{filter_report_on, FilteredSeq};
 use crate::mixer::{mix, MAX_MIXES};
 use crate::splitter::split;
 use oa_adl::{Adaptor, AdaptorRule, Cond};
@@ -57,6 +57,10 @@ pub struct ComposeStats {
     pub mixed: usize,
     /// Sequences surviving the filter (the semi-output).
     pub surviving: usize,
+    /// Sequences the filter removed as semi-output duplicates.
+    pub duplicates: usize,
+    /// Sequences the filter removed as illegal (dependence check).
+    pub illegal: usize,
     /// `(component, reason)` for every degenerated component across the
     /// surviving sequences.
     pub degenerated: Vec<(String, String)>,
@@ -121,9 +125,12 @@ pub fn compose_on(
         // Filter: apply-or-degenerate, dedup, dependence check.
         stats.mixed += mixes.len();
         let t0 = Instant::now();
-        let survivors: Vec<FilteredSeq> = filter_on(engine, source, &mixes, params)?;
+        let report = filter_report_on(engine, source, &mixes, params)?;
+        let survivors: Vec<FilteredSeq> = report.survivors;
         stats.filter_ms += t0.elapsed().as_secs_f64() * 1e3;
         stats.surviving += survivors.len();
+        stats.duplicates += report.duplicates;
+        stats.illegal += report.illegal;
 
         for surv in survivors {
             for (inv, err) in &surv.dropped {

@@ -25,6 +25,23 @@ pub struct FilteredSeq {
     pub program: Program,
 }
 
+/// Aggregate outcome of one filter run — what survived plus *why* the
+/// rest did not.  The counts feed the composer's [`ComposeStats`]
+/// (crate::ComposeStats) and the fuzzer's coverage map (filter behavior
+/// is a coverage feature: a mutation that first triggers the dependence
+/// check is more interesting than one that repeats a known path).
+#[derive(Clone, Debug)]
+pub struct FilterReport {
+    /// The surviving sequences (the semi-output).
+    pub survivors: Vec<FilteredSeq>,
+    /// Sequences removed because their effective sequence duplicated an
+    /// earlier survivor (semi-output de-duplication).
+    pub duplicates: usize,
+    /// Sequences removed by the dependence check (sampled-equivalence
+    /// mismatch or barrier-divergence verdict).
+    pub illegal: usize,
+}
+
 /// [`filter_on`] with the process-default engine
 /// ([`oa_gpusim::select_engine`]).
 pub fn filter(
@@ -35,19 +52,33 @@ pub fn filter(
     filter_on(select_engine(), source, sequences, params)
 }
 
-/// Run the filter over mixed sequences, checking candidates on `engine`.
-///
-/// Sequences containing cross-thread constructs (`binding_triangular`'s
-/// thread-0 regions) cannot be checked by sequential equivalence; they are
-/// passed through (their legality is established by the component's own
-/// structural checks and, downstream, by the GPU executor).
+/// Run the filter over mixed sequences, checking candidates on `engine`;
+/// returns the survivors only (see [`filter_report_on`] for the counts).
 pub fn filter_on(
     engine: ExecEngine,
     source: &Program,
     sequences: &[Vec<Invocation>],
     params: TileParams,
 ) -> Result<Vec<FilteredSeq>, TranslateError> {
+    filter_report_on(engine, source, sequences, params).map(|r| r.survivors)
+}
+
+/// Run the filter over mixed sequences, checking candidates on `engine`,
+/// and report removal reasons alongside the survivors.
+///
+/// Sequences containing cross-thread constructs (`binding_triangular`'s
+/// thread-0 regions) cannot be checked by sequential equivalence; they are
+/// passed through (their legality is established by the component's own
+/// structural checks and, downstream, by the GPU executor).
+pub fn filter_report_on(
+    engine: ExecEngine,
+    source: &Program,
+    sequences: &[Vec<Invocation>],
+    params: TileParams,
+) -> Result<FilterReport, TranslateError> {
     let mut out: Vec<FilteredSeq> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut illegal = 0usize;
     for seq in sequences {
         let script = Script { stmts: seq.clone() };
         let outcome = match apply_lenient(source, &script, params) {
@@ -70,6 +101,7 @@ pub fn filter_on(
                 == applied_names
                 && f.applied == outcome.applied
         }) {
+            duplicates += 1;
             continue;
         }
         // Dependence check (PolyDeps stand-in): exact equivalence on
@@ -79,6 +111,7 @@ pub fn filter_on(
                 .iter()
                 .all(|&(n, seed)| matches_source(engine, source, &outcome.program, n, seed, 1e-3));
             if !ok {
+                illegal += 1;
                 continue; // illegal sequence removed
             }
         }
@@ -89,7 +122,11 @@ pub fn filter_on(
             program: outcome.program,
         });
     }
-    Ok(out)
+    Ok(FilterReport {
+        survivors: out,
+        duplicates,
+        illegal,
+    })
 }
 
 /// Sampled equivalence of a candidate against the source, preferring the

@@ -20,6 +20,6 @@ pub mod splitter;
 
 pub use allocator::{compose_modes, merge_allocations};
 pub use compose::{compose, compose_on, AdaptorApplication, ComposeStats, GeneratedVariant};
-pub use filter::{filter, filter_on, FilteredSeq};
+pub use filter::{filter, filter_on, filter_report_on, FilterReport, FilteredSeq};
 pub use mixer::mix;
 pub use splitter::{split, SplitSeq};

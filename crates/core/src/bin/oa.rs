@@ -9,6 +9,7 @@
 //! oa cuda GEMM-NN --n 1024                 # emit the tuned kernel's CUDA source
 //! oa trace-check trace.jsonl               # validate a captured trace stream
 //! oa serve batch.jsonl --threads 8         # batched dispatch: JSONL in, JSONL out
+//! oa fuzz --seed 5 --iters 200             # differential fuzz: 3 engines + reference
 //! ```
 //!
 //! `--trace` overrides the `OA_TRACE` environment variable; the trace
@@ -42,6 +43,9 @@ struct Args {
     trace: TraceMode,
     threads: Option<usize>,
     capacity: Option<usize>,
+    seed: u64,
+    iters: usize,
+    corpus: Option<String>,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -57,6 +61,9 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = TraceMode::from_env();
     let mut threads = env_usize("OA_DISPATCH_THREADS");
     let mut capacity = env_usize("OA_DISPATCH_CAPACITY");
+    let mut seed = 0u64;
+    let mut iters = env_usize("OA_FUZZ_ITERS").unwrap_or(200);
+    let mut corpus = None;
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -82,6 +89,19 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--capacity needs a value (0 = unbounded)")?;
                 capacity = Some(v.parse().map_err(|_| format!("bad capacity `{v}`"))?);
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                iters = v
+                    .parse()
+                    .map_err(|_| format!("bad iteration count `{v}`"))?;
+            }
+            "--corpus" => {
+                corpus = Some(it.next().ok_or("--corpus needs a directory")?);
+            }
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -95,6 +115,9 @@ fn parse_args() -> Result<Args, String> {
         trace,
         threads,
         capacity,
+        seed,
+        iters,
+        corpus,
     })
 }
 
@@ -279,6 +302,34 @@ fn run(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
+        "fuzz" => {
+            let mut cfg = oa_core::fuzz::FuzzConfig::new(args.seed, args.iters);
+            cfg.corpus_dir = args.corpus.as_ref().map(std::path::PathBuf::from);
+            let report = oa_core::fuzz::run_fuzz(&cfg);
+            println!(
+                "fuzz: seed {} | {} iterations | {} coverage features | fingerprint {:#018x}",
+                args.seed,
+                args.iters,
+                report.coverage.len(),
+                report.fingerprint()
+            );
+            for (kind, count) in &report.verdicts {
+                println!("  {kind:<12} {count}");
+            }
+            for d in &report.divergences {
+                eprintln!("divergence at iteration {}: {}", d.iter, d.detail);
+                eprintln!("  original: {}", d.original.id_line());
+                eprintln!("  minimal:  {}", d.minimal.id_line());
+                if let Some(p) = &d.repro_path {
+                    eprintln!("  repro written to {}", p.display());
+                }
+            }
+            if report.divergences.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} divergence(s) found", report.divergences.len()))
+            }
+        }
         "trace-check" => {
             // The routine slot doubles as the file path for this command.
             let path = args
@@ -292,9 +343,10 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: oa <list|tune|compare|variants|cuda|trace-check|serve> [ROUTINE|FILE] \
-                 [--device D] [--n N] [--trace json|pretty|off] \
-                 [--threads T] [--capacity C]"
+                "usage: oa <list|tune|compare|variants|cuda|trace-check|serve|fuzz> \
+                 [ROUTINE|FILE] [--device D] [--n N] [--trace json|pretty|off] \
+                 [--threads T] [--capacity C] \
+                 [--seed S] [--iters I] [--corpus DIR]"
             );
             Ok(())
         }

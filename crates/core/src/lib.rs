@@ -33,6 +33,7 @@ pub use oa_autotune as autotune;
 pub use oa_blas3 as blas3;
 pub use oa_composer as composer;
 pub use oa_epod as epod;
+pub use oa_fuzz as fuzz;
 pub use oa_gpusim as gpusim;
 pub use oa_loopir as loopir;
 

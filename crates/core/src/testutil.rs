@@ -20,8 +20,9 @@ pub use oa_loopir::interp::Lcg;
 ///
 /// The triangular solvers only draw tile-multiple sizes: the generated
 /// TRSM kernels serialize along their 64-wide column tile and reject
-/// other sizes at launch (barrier-divergence check), so arbitrary sizes
-/// would make every batch carry the same known failures.
+/// other sizes at launch (classified `launch/size` constraint naming the
+/// offending dimension), so arbitrary sizes would make every batch carry
+/// the same known failures.
 pub fn mixed_requests(count: usize, seed: u64) -> Vec<Request> {
     let all = RoutineId::all24();
     let sizes = [48, 64, 80, 96];

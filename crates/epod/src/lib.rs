@@ -29,10 +29,12 @@
 
 pub mod ast;
 pub mod component;
+pub mod mutate;
 pub mod parser;
 pub mod translator;
 
 pub use ast::{Arg, Invocation, Script};
 pub use component::{lookup, ComponentInfo, Pool, COMPONENTS};
+pub use mutate::{arbitrary_invocation, arbitrary_script, mutate_once, mutate_script};
 pub use parser::{parse_script, ParseError};
 pub use translator::{apply_lenient, apply_strict, LenientOutcome, TranslateError, Translator};

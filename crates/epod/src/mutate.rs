@@ -1,0 +1,235 @@
+//! Deterministic EPOD-script mutation — the generator half of the
+//! differential fuzzer (`oa fuzz`).
+//!
+//! Mutations are *structural*: reorder, drop or duplicate whole component
+//! invocations, perturb their arguments, or splice in arbitrary (but
+//! signature-plausible) invocations.  None of them aim to stay legal —
+//! illegal sequences are exactly as interesting to the fuzzer as legal
+//! ones, because the contract under test is that every engine classifies
+//! an illegal case *identically* (lenient translation drops it, or launch
+//! extraction rejects it with the same error class).
+//!
+//! Everything is driven by the workspace's [`Lcg`]: same seed, same
+//! mutation stream — the determinism contract the fuzzer's replay and
+//! shrinking depend on.
+
+use oa_loopir::interp::Lcg;
+
+use crate::ast::{Arg, Invocation, Script};
+use crate::component::COMPONENTS;
+
+/// Loop labels a mutated script may reference: the source labels of every
+/// built-in scheme plus the labels the grouping/tiling components bind.
+const LABELS: &[&str] = &[
+    "Li", "Lj", "Lk", "Lii", "Ljj", "Liii", "Ljjj", "Lkkk", "Lzz",
+];
+
+/// Array operands of the BLAS3 sources.
+const ARRAYS: &[&str] = &["A", "B", "C"];
+
+/// Allocation / mapping modes.
+const MODES: &[&str] = &["NoChange", "Transpose", "Symmetry"];
+
+fn pick<'a>(rng: &mut Lcg, xs: &[&'a str]) -> &'a str {
+    xs[rng.range(0, xs.len() as i64) as usize]
+}
+
+/// A random invocation of a random registered component, with arguments
+/// shaped like the component's signature (labels where it wants labels,
+/// arrays/modes where it wants those) but drawn blindly — the translator
+/// decides whether the result means anything.
+pub fn arbitrary_invocation(rng: &mut Lcg) -> Invocation {
+    let info = &COMPONENTS[rng.range(0, COMPONENTS.len() as i64) as usize];
+    match info.name {
+        "thread_grouping" => Invocation {
+            outputs: vec!["Lii".into(), "Ljj".into()],
+            component: "thread_grouping".into(),
+            args: vec![
+                Arg::Ident(pick(rng, LABELS).into()),
+                Arg::Ident(pick(rng, LABELS).into()),
+            ],
+        },
+        "loop_tiling" => Invocation {
+            outputs: vec!["Liii".into(), "Ljjj".into(), "Lkkk".into()],
+            component: "loop_tiling".into(),
+            args: vec![
+                Arg::Ident(pick(rng, LABELS).into()),
+                Arg::Ident(pick(rng, LABELS).into()),
+                Arg::Ident(pick(rng, LABELS).into()),
+            ],
+        },
+        "loop_unroll" => {
+            let n = rng.range(1, 3);
+            Invocation::call(
+                "loop_unroll",
+                &(0..n)
+                    .map(|_| Arg::Ident(pick(rng, LABELS).into()))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        "GM_map" | "format_iteration" | "SM_alloc" => Invocation::call(
+            info.name,
+            &[
+                Arg::Ident(pick(rng, ARRAYS).into()),
+                Arg::Ident(pick(rng, MODES).into()),
+            ],
+        ),
+        "reg_alloc" => Invocation::call("reg_alloc", &[Arg::Ident(pick(rng, ARRAYS).into())]),
+        "binding_triangular" => Invocation::call(
+            "binding_triangular",
+            &[
+                Arg::Ident(pick(rng, ARRAYS).into()),
+                Arg::Int(rng.range(0, 4)),
+            ],
+        ),
+        "loop_fission" => Invocation::call("loop_fission", &[Arg::Ident(pick(rng, LABELS).into())]),
+        // loop_interchange / loop_fusion and anything future: two labels.
+        other => Invocation::call(
+            other,
+            &[
+                Arg::Ident(pick(rng, LABELS).into()),
+                Arg::Ident(pick(rng, LABELS).into()),
+            ],
+        ),
+    }
+}
+
+/// A from-scratch random script of `len` arbitrary invocations.
+pub fn arbitrary_script(rng: &mut Lcg, len: usize) -> Script {
+    let mut s = Script::new();
+    for _ in 0..len {
+        s.stmts.push(arbitrary_invocation(rng));
+    }
+    s
+}
+
+/// One structural mutation of `s`, in place.  Returns a short stable tag
+/// naming the mutation applied (a coverage feature for the fuzzer).
+pub fn mutate_once(s: &mut Script, rng: &mut Lcg) -> &'static str {
+    // An empty script can only grow.
+    if s.stmts.is_empty() {
+        s.stmts.push(arbitrary_invocation(rng));
+        return "insert";
+    }
+    match rng.range(0, 6) {
+        0 if s.stmts.len() >= 2 => {
+            // Swap two adjacent invocations (ordering legality probe).
+            let i = rng.range(0, s.stmts.len() as i64 - 1) as usize;
+            s.stmts.swap(i, i + 1);
+            "swap"
+        }
+        1 if s.stmts.len() >= 2 => {
+            // Drop one invocation (degeneration probe).
+            let i = rng.range(0, s.stmts.len() as i64) as usize;
+            s.stmts.remove(i);
+            "drop"
+        }
+        2 => {
+            // Duplicate one invocation (idempotence probe).
+            let i = rng.range(0, s.stmts.len() as i64) as usize;
+            let dup = s.stmts[i].clone();
+            s.stmts.insert(i + 1, dup);
+            "dup"
+        }
+        3 => {
+            // Splice in an arbitrary invocation.
+            let i = rng.range(0, s.stmts.len() as i64 + 1) as usize;
+            s.stmts.insert(i, arbitrary_invocation(rng));
+            "insert"
+        }
+        4 => {
+            // Perturb one argument of one invocation.
+            let i = rng.range(0, s.stmts.len() as i64) as usize;
+            let inv = &mut s.stmts[i];
+            if inv.args.is_empty() {
+                inv.args.push(Arg::Ident(pick(rng, LABELS).into()));
+            } else {
+                let a = rng.range(0, inv.args.len() as i64) as usize;
+                inv.args[a] = match &inv.args[a] {
+                    Arg::Int(v) => Arg::Int(v + rng.range(-2, 3)),
+                    Arg::Ident(id) if MODES.contains(&id.as_str()) => {
+                        Arg::Ident(pick(rng, MODES).into())
+                    }
+                    Arg::Ident(id) if ARRAYS.contains(&id.as_str()) => {
+                        Arg::Ident(pick(rng, ARRAYS).into())
+                    }
+                    Arg::Ident(_) => Arg::Ident(pick(rng, LABELS).into()),
+                };
+            }
+            "arg"
+        }
+        _ => {
+            // Replace a whole invocation.
+            let i = rng.range(0, s.stmts.len() as i64) as usize;
+            s.stmts[i] = arbitrary_invocation(rng);
+            "replace"
+        }
+    }
+}
+
+/// A mutated copy of `base`: 1–3 structural mutations.  Returns the
+/// mutant and the tags of the mutations applied.
+pub fn mutate_script(base: &Script, rng: &mut Lcg) -> (Script, Vec<&'static str>) {
+    let mut s = base.clone();
+    let n = rng.range(1, 4);
+    let mut tags = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        tags.push(mutate_once(&mut s, rng));
+    }
+    (s, tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mutants() {
+        let base = arbitrary_script(&mut Lcg::new(7), 4);
+        let (a, ta) = mutate_script(&base, &mut Lcg::new(42));
+        let (b, tb) = mutate_script(&base, &mut Lcg::new(42));
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_diverge_eventually() {
+        let base = arbitrary_script(&mut Lcg::new(7), 4);
+        let distinct = (0..32u64)
+            .map(|s| mutate_script(&base, &mut Lcg::new(s)).0)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(
+            distinct.len() > 8,
+            "mutator barely moves: {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn mutants_reparse_after_pretty_print() {
+        // Whatever the mutator produces must survive the parser: the
+        // fuzzer pretty-prints cases into repro files and reparses them.
+        let mut rng = Lcg::new(99);
+        let mut base = arbitrary_script(&mut rng, 3);
+        for _ in 0..200 {
+            mutate_once(&mut base, &mut rng);
+            let printed = base.to_string();
+            let reparsed = crate::parse_script(&printed)
+                .unwrap_or_else(|e| panic!("mutant failed to reparse: {e}\n{printed}"));
+            assert_eq!(reparsed, base, "print/reparse changed the script");
+        }
+    }
+
+    #[test]
+    fn arbitrary_invocations_use_registered_components() {
+        let mut rng = Lcg::new(3);
+        for _ in 0..100 {
+            let inv = arbitrary_invocation(&mut rng);
+            assert!(
+                crate::component::lookup(&inv.component).is_some(),
+                "unregistered component {}",
+                inv.component
+            );
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Corpus persistence: a `.case` file is a self-contained, human-readable
+//! reproducer — routine, shape, data seed, tile parameters, adaptor
+//! applications, and the full EPOD script.  Committed seeds are replayed
+//! as regression tests; divergence repros are written in the same format.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use oa_blas3::types::RoutineId;
+use oa_epod::parse_script;
+use oa_loopir::transform::TileParams;
+
+use crate::gen::{builtin_adaptor, Case};
+
+/// Serialize a case to the `.case` text format.
+pub fn to_text(case: &Case) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "routine {}", case.routine.name());
+    let _ = writeln!(s, "n {}", case.n);
+    let _ = writeln!(s, "seed {}", case.seed);
+    let p = case.params;
+    let _ = writeln!(
+        s,
+        "params ty={} tx={} thr_i={} thr_j={} kb={} unroll={}",
+        p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll
+    );
+    let apps = case
+        .apps
+        .iter()
+        .map(|(a, m)| format!("{a}:{m}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let _ = writeln!(s, "apps {apps}");
+    let _ = writeln!(s, "script");
+    let _ = writeln!(s, "{}", case.script);
+    s
+}
+
+/// Parse the `.case` text format back into a [`Case`].
+pub fn from_text(text: &str) -> Result<Case, String> {
+    let mut routine = None;
+    let mut n = None;
+    let mut seed = None;
+    let mut params = None;
+    let mut apps = Vec::new();
+    let mut lines = text.lines();
+    let mut script_text = None;
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "routine" => {
+                routine = Some(
+                    RoutineId::parse(rest).ok_or_else(|| format!("unknown routine {rest:?}"))?,
+                );
+            }
+            "n" => n = Some(rest.parse::<i64>().map_err(|e| format!("bad n: {e}"))?),
+            "seed" => seed = Some(rest.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?),
+            "params" => params = Some(parse_params(rest)?),
+            "apps" => {
+                for pair in rest.split_whitespace() {
+                    let (a, m) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad app {pair:?} (want adaptor:array)"))?;
+                    if builtin_adaptor(a).is_none() {
+                        return Err(format!("unknown adaptor {a:?}"));
+                    }
+                    apps.push((a.to_string(), m.to_string()));
+                }
+            }
+            "script" => {
+                // Everything after the `script` line is the EPOD script.
+                let rest: Vec<&str> = lines.collect();
+                script_text = Some(rest.join("\n"));
+                break;
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    let script_text = script_text.ok_or("missing script section")?;
+    let script = parse_script(&script_text).map_err(|e| format!("script parse: {e}"))?;
+    Ok(Case {
+        routine: routine.ok_or("missing routine")?,
+        script,
+        apps,
+        params: params.ok_or("missing params")?,
+        n: n.ok_or("missing n")?,
+        seed: seed.ok_or("missing seed")?,
+    })
+}
+
+fn parse_params(s: &str) -> Result<TileParams, String> {
+    let mut p = TileParams {
+        ty: 0,
+        tx: 0,
+        thr_i: 0,
+        thr_j: 0,
+        kb: 0,
+        unroll: 0,
+    };
+    for field in s.split_whitespace() {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("bad param field {field:?}"))?;
+        let num: i64 = v.parse().map_err(|e| format!("bad param {k}: {e}"))?;
+        match k {
+            "ty" => p.ty = num,
+            "tx" => p.tx = num,
+            "thr_i" => p.thr_i = num,
+            "thr_j" => p.thr_j = num,
+            "kb" => p.kb = num,
+            "unroll" => p.unroll = num as usize,
+            other => return Err(format!("unknown param {other:?}")),
+        }
+    }
+    Ok(p)
+}
+
+/// Read a `.case` file.
+pub fn read_case(path: &Path) -> Result<Case, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    from_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Write a `.case` file.
+pub fn write_case(path: &Path, case: &Case) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, to_text(case)).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// All `.case` files under a directory, sorted by name (deterministic
+/// replay order).
+pub fn list_cases(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "case") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Generate a deterministic seed corpus: walk the case stream from
+/// `seed` and keep the first `count` cases that executed on all engines
+/// and agreed, writing them as `seed-NNNN.case`.  Used (via the ignored
+/// `regen_seed_corpus` test) to refresh the committed corpus.
+pub fn write_seed_corpus(
+    dir: &Path,
+    seed: u64,
+    count: usize,
+) -> Result<Vec<std::path::PathBuf>, String> {
+    use crate::diff::{run_case, Verdict};
+    use crate::gen::CaseGen;
+    let mut gen = CaseGen::new(seed);
+    let mut out = Vec::new();
+    let mut iter = 0usize;
+    while out.len() < count {
+        let (case, _) = gen.next_case(iter);
+        iter += 1;
+        if iter > count * 50 {
+            return Err(format!(
+                "case stream too dry: {} keepers in {} iterations",
+                out.len(),
+                iter
+            ));
+        }
+        if let (Verdict::Agree { executed, .. }, _) = run_case(&case, None) {
+            if executed == 0 {
+                continue;
+            }
+            let path = dir.join(format!("seed-{:04}.case", out.len()));
+            write_case(&path, &case)?;
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::CaseGen;
+
+    #[test]
+    fn cases_round_trip_through_text() {
+        let mut g = CaseGen::new(11);
+        for i in 0..40 {
+            let (case, _) = g.next_case(i);
+            let text = to_text(&case);
+            let back = from_text(&text).unwrap_or_else(|e| panic!("iter {i}: {e}\n{text}"));
+            assert_eq!(back, case, "iter {i}");
+        }
+    }
+
+    // Refresh the committed seed corpus:
+    //   cargo test -p oa-fuzz --release -- --ignored regen_seed_corpus
+    #[test]
+    #[ignore = "writes the committed corpus/ directory; run explicitly to refresh"]
+    fn regen_seed_corpus() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+        let written = write_seed_corpus(&dir, 5, 24).expect("corpus generation");
+        assert_eq!(written.len(), 24);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_files() {
+        assert!(from_text("routine NOPE\n").is_err());
+        assert!(from_text("routine GEMM-NN\nn 8\nseed 1\nparams ty=8\napps x\nscript\n").is_err());
+        assert!(from_text("").is_err());
+    }
+}

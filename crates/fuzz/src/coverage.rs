@@ -1,0 +1,68 @@
+//! Internal coverage feedback: a feature map over behaviors the pipeline
+//! exhibited — components actually applied, translate/eval error classes
+//! hit, filter outcomes, engine paths taken.  A case that lights up any
+//! feature not seen before is "interesting" and its script joins the
+//! mutation pool, biasing the generator toward unexplored behavior.  No
+//! external fuzzing dependency — the map is a plain ordered set so runs
+//! are bit-reproducible.
+
+use std::collections::BTreeSet;
+
+/// The accumulated feature map of one fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    seen: BTreeSet<String>,
+}
+
+impl Coverage {
+    /// Empty map.
+    pub fn new() -> Coverage {
+        Coverage::default()
+    }
+
+    /// Record a batch of features; returns `true` if any was new.
+    pub fn note(&mut self, features: &BTreeSet<String>) -> bool {
+        let mut fresh = false;
+        for f in features {
+            fresh |= self.seen.insert(f.clone());
+        }
+        fresh
+    }
+
+    /// Number of distinct features seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// The features, in sorted order (stable across runs).
+    pub fn features(&self) -> impl Iterator<Item = &str> {
+        self.seen.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_reports_novelty_only_once() {
+        let mut cov = Coverage::new();
+        let batch: BTreeSet<String> = ["applied:loop_tiling", "exec:ok"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cov.note(&batch));
+        assert!(!cov.note(&batch));
+        let wider: BTreeSet<String> = ["exec:ok", "exec:launch/size"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cov.note(&wider));
+        assert_eq!(cov.len(), 3);
+    }
+}

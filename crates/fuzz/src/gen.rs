@@ -1,0 +1,292 @@
+//! Case generation: random-but-plausible inputs at the three levels the
+//! pipeline accepts — EPOD scripts, ADL adaptor compositions, and problem
+//! shapes — all drawn from the workspace's deterministic [`Lcg`].
+
+use oa_blas3::schemes::oa_scheme;
+use oa_blas3::types::RoutineId;
+use oa_composer::AdaptorApplication;
+use oa_epod::{mutate_once, Script};
+use oa_loopir::interp::Lcg;
+use oa_loopir::transform::TileParams;
+
+/// Problem shapes the fuzzer draws from: tile multiples, non-multiples
+/// (24, 29, 33, 48) and degenerate sizes (1, 2, 3).  Kept ≤ 64 so the
+/// cross-engine runs stay cheap.
+pub const SIZES: &[i64] = &[1, 2, 3, 8, 12, 16, 24, 29, 32, 33, 48, 64];
+
+/// One self-contained fuzz case: everything needed to replay the full
+/// compose → cross-engine pipeline bit-for-bit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Case {
+    /// The routine under test.
+    pub routine: RoutineId,
+    /// The (possibly mutated) base EPOD script fed to the composer.
+    pub script: Script,
+    /// Builtin-adaptor applications, as `(builtin name, array)` pairs —
+    /// serializable form of [`AdaptorApplication`].
+    pub apps: Vec<(String, String)>,
+    /// Tile parameters (possibly outside the tuner's search space).
+    pub params: TileParams,
+    /// Problem size.
+    pub n: i64,
+    /// Input-data seed.
+    pub seed: u64,
+}
+
+/// Look up a builtin adaptor by its short name.
+pub fn builtin_adaptor(name: &str) -> Option<oa_adl::Adaptor> {
+    match name {
+        "transpose" => Some(oa_adl::builtin::transpose()),
+        "symmetry" => Some(oa_adl::builtin::symmetry()),
+        "triangular" => Some(oa_adl::builtin::triangular()),
+        "solver" => Some(oa_adl::builtin::solver()),
+        _ => None,
+    }
+}
+
+/// The short name of a builtin adaptor (`Adaptor_Transpose` →
+/// `transpose`).
+pub fn builtin_short_name(full: &str) -> String {
+    full.strip_prefix("Adaptor_")
+        .unwrap_or(full)
+        .to_ascii_lowercase()
+}
+
+impl Case {
+    /// The adaptor applications this case requests.  Unknown adaptor
+    /// names are impossible by construction (the generator and the corpus
+    /// parser both validate against [`builtin_adaptor`]).
+    pub fn applications(&self) -> Vec<AdaptorApplication> {
+        self.apps
+            .iter()
+            .map(|(name, array)| {
+                AdaptorApplication::new(
+                    builtin_adaptor(name).expect("validated builtin adaptor"),
+                    array,
+                )
+            })
+            .collect()
+    }
+
+    /// A short one-line identity, stable across runs (goes into the
+    /// fuzzer's fingerprint).
+    pub fn id_line(&self) -> String {
+        let apps = self
+            .apps
+            .iter()
+            .map(|(a, m)| format!("{a}:{m}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{} n={} seed={} params={:?} apps=[{}] comps={:?}",
+            self.routine.name(),
+            self.n,
+            self.seed,
+            self.params,
+            apps,
+            self.script.component_names()
+        )
+    }
+}
+
+/// The coverage-biased case generator.
+///
+/// Mutation bases start as the built-in scheme scripts of all 24 routines;
+/// whenever the fuzz loop reports a case that lit up new coverage
+/// features, that case's script joins the pool, biasing later mutants
+/// toward the unexplored behavior ([`CaseGen::add_interesting`]).
+pub struct CaseGen {
+    rng: Lcg,
+    /// Mutation bases: `(routine, script)`, built-ins first.
+    pool: Vec<(RoutineId, Script)>,
+    /// How many pool entries are the pristine built-ins (always kept
+    /// reachable so the stream never collapses onto one discovery).
+    builtins: usize,
+}
+
+impl CaseGen {
+    /// A generator with the built-in schemes of all 24 routines as the
+    /// initial mutation pool.
+    pub fn new(seed: u64) -> CaseGen {
+        let mut pool = Vec::new();
+        for r in RoutineId::all24() {
+            for base in oa_scheme(r).bases {
+                pool.push((r, base));
+            }
+        }
+        let builtins = pool.len();
+        CaseGen {
+            rng: Lcg::new(seed),
+            pool,
+            builtins,
+        }
+    }
+
+    /// Add a script that produced new coverage as a mutation base.
+    pub fn add_interesting(&mut self, routine: RoutineId, script: Script) {
+        self.pool.push((routine, script));
+    }
+
+    fn pick_base(&mut self, iter: usize) -> (RoutineId, Script) {
+        // Every 24-iteration stripe visits every routine once (the
+        // acceptance criterion sweeps "across all 24 routines"); the base
+        // script for that routine is drawn from the pool — half the time
+        // from the interesting tail, if one exists.
+        let all = RoutineId::all24();
+        let routine = all[iter % all.len()];
+        let candidates: Vec<&Script> = {
+            let tail_first = !self.pool[self.builtins..].is_empty() && self.rng.range(0, 2) == 0;
+            let slice = if tail_first {
+                &self.pool[self.builtins..]
+            } else {
+                &self.pool[..]
+            };
+            slice
+                .iter()
+                .filter(|(r, _)| *r == routine)
+                .map(|(_, s)| s)
+                .collect()
+        };
+        let script = if candidates.is_empty() {
+            // Interesting tail has nothing for this routine: fall back to
+            // its built-ins (always present).
+            let own: Vec<&Script> = self.pool[..self.builtins]
+                .iter()
+                .filter(|(r, _)| *r == routine)
+                .map(|(_, s)| s)
+                .collect();
+            own[self.rng.range(0, own.len() as i64) as usize].clone()
+        } else {
+            candidates[self.rng.range(0, candidates.len() as i64) as usize].clone()
+        };
+        (routine, script)
+    }
+
+    fn pick_params(&mut self, solver: bool) -> TileParams {
+        let space = oa_autotune::candidates(solver);
+        let mut p = space[self.rng.range(0, space.len() as i64) as usize];
+        // Random partial unrolls.
+        p.unroll = [0usize, 0, 2, 4][self.rng.range(0, 4) as usize];
+        // One draw in four perturbs a field out of the search space —
+        // invalid shapes must degenerate identically everywhere.
+        if self.rng.range(0, 4) == 0 {
+            match self.rng.range(0, 5) {
+                0 => {
+                    p.ty = if self.rng.range(0, 2) == 0 {
+                        p.ty * 2
+                    } else {
+                        (p.ty / 2).max(1)
+                    }
+                }
+                1 => {
+                    p.tx = if self.rng.range(0, 2) == 0 {
+                        p.tx * 2
+                    } else {
+                        (p.tx / 2).max(1)
+                    }
+                }
+                2 => p.thr_i = (p.thr_i * 3).max(1),
+                3 => p.thr_j = (p.thr_j / 2).max(1),
+                _ => {
+                    p.kb = if self.rng.range(0, 2) == 0 {
+                        p.kb * 2
+                    } else {
+                        (p.kb / 2).max(1)
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    fn pick_apps(&mut self, routine: RoutineId) -> Vec<(String, String)> {
+        let scheme = oa_scheme(routine);
+        let mut apps: Vec<(String, String)> = scheme
+            .apps
+            .iter()
+            .map(|a| (builtin_short_name(&a.adaptor.name), a.array.clone()))
+            .collect();
+        // ADL-composition mutations: drop one application, or splice in a
+        // non-scheme adaptor on a random array.  (The solver adaptor is
+        // never spliced into non-solver routines: binding_triangular is a
+        // Solver1D-only component and would only re-probe a known
+        // degeneration path at full compose cost.)
+        match self.rng.range(0, 8) {
+            0 if !apps.is_empty() => {
+                let i = self.rng.range(0, apps.len() as i64) as usize;
+                apps.remove(i);
+            }
+            1 | 2 => {
+                let extra = ["transpose", "symmetry", "triangular"][self.rng.range(0, 3) as usize];
+                let array = ["A", "B"][self.rng.range(0, 2) as usize];
+                apps.push((extra.to_string(), array.to_string()));
+            }
+            _ => {}
+        }
+        apps
+    }
+
+    /// Produce the next case.  `iter` is the loop counter (drives the
+    /// routine rotation).
+    pub fn next_case(&mut self, iter: usize) -> (Case, Vec<&'static str>) {
+        let (routine, base) = self.pick_base(iter);
+        let solver = oa_scheme(routine).solver;
+
+        // Mutate the base script 0–3 times (0 = pristine scheme, which
+        // keeps the known-good path in every stream).
+        let mut script = base;
+        let mut tags = Vec::new();
+        for _ in 0..self.rng.range(0, 4) {
+            tags.push(mutate_once(&mut script, &mut self.rng));
+        }
+
+        let params = self.pick_params(solver);
+        let n = SIZES[self.rng.range(0, SIZES.len() as i64) as usize];
+        let seed = self.rng.next();
+        (
+            Case {
+                routine,
+                script,
+                apps: self.pick_apps(routine),
+                params,
+                n,
+                seed,
+            },
+            tags,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_case_stream() {
+        let mut a = CaseGen::new(5);
+        let mut b = CaseGen::new(5);
+        for i in 0..50 {
+            assert_eq!(a.next_case(i), b.next_case(i), "iter {i}");
+        }
+    }
+
+    #[test]
+    fn stream_rotates_all_24_routines() {
+        let mut g = CaseGen::new(1);
+        let names: std::collections::BTreeSet<String> =
+            (0..24).map(|i| g.next_case(i).0.routine.name()).collect();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn apps_round_trip_through_short_names() {
+        for r in RoutineId::all24() {
+            for a in oa_scheme(r).apps {
+                let short = builtin_short_name(&a.adaptor.name);
+                let back =
+                    builtin_adaptor(&short).unwrap_or_else(|| panic!("unknown short name {short}"));
+                assert_eq!(back.name, a.adaptor.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The minimizing shrinker: given a diverging case, greedily search for a
+//! smaller case with the same verdict kind — fewest script components
+//! first, then smallest problem size, then fewest adaptor applications.
+//! Deterministic (no randomness: candidates are tried in a fixed order)
+//! and bounded (every accepted step strictly shrinks, so the loop
+//! terminates).
+
+use crate::diff::{run_case, InjectedFault, Verdict};
+use crate::gen::{Case, SIZES};
+
+/// Does this case still reproduce the failure?
+fn still_fails(case: &Case, fault: Option<&InjectedFault>) -> bool {
+    matches!(run_case(case, fault).0, Verdict::Divergence(_))
+}
+
+/// Shrink a diverging case to a local minimum.  Returns the reduced case
+/// and the number of accepted shrink steps.
+pub fn shrink(case: &Case, fault: Option<&InjectedFault>) -> (Case, usize) {
+    let mut best = case.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut improved = false;
+
+        // 1. Drop script components, front to back.  Restart the scan
+        //    after each success so cascading removals are found.
+        let mut i = 0;
+        while i < best.script.stmts.len() {
+            let mut candidate = best.clone();
+            candidate.script.stmts.remove(i);
+            if still_fails(&candidate, fault) {
+                best = candidate;
+                steps += 1;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Smallest failing size.
+        for &n in SIZES {
+            if n >= best.n {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.n = n;
+            if still_fails(&candidate, fault) {
+                best = candidate;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+
+        // 3. Drop adaptor applications.
+        let mut i = 0;
+        while i < best.apps.len() {
+            let mut candidate = best.clone();
+            candidate.apps.remove(i);
+            if still_fails(&candidate, fault) {
+                best = candidate;
+                steps += 1;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if !improved {
+            return (best, steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::InjectedFault;
+    use oa_gpusim::ExecEngine;
+
+    #[test]
+    fn injected_fault_shrinks_to_three_components() {
+        // A GEMM scheme script (6+ components) with an injected bytecode
+        // bug triggered by loop_unroll must shrink to the minimal script
+        // that still unrolls: thread_grouping + loop_tiling + loop_unroll.
+        let case = Case {
+            routine: oa_blas3::types::RoutineId::parse("gemm-nn").unwrap(),
+            script: oa_blas3::schemes::gemm_nn_script(),
+            apps: vec![],
+            params: oa_autotune::default_params(false),
+            n: 64,
+            seed: 7,
+        };
+        let fault = InjectedFault {
+            engine: ExecEngine::Bytecode,
+            trigger_component: "loop_unroll",
+        };
+        assert!(still_fails(&case, Some(&fault)), "fault must reproduce");
+        let (min, steps) = shrink(&case, Some(&fault));
+        assert!(steps > 0, "shrinker made no progress");
+        assert!(
+            min.script.stmts.len() <= 3,
+            "expected <=3 components, got {:?}",
+            min.script.component_names()
+        );
+        assert!(
+            min.script.component_names().contains(&"loop_unroll"),
+            "trigger component must survive shrinking"
+        );
+        assert!(min.n <= case.n);
+        assert!(still_fails(&min, Some(&fault)), "minimum must still fail");
+    }
+}

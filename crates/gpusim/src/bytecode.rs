@@ -202,6 +202,7 @@ pub(crate) struct StageOp {
     pub(crate) rows: i64,
     pub(crate) cols: i64,
     pub(crate) mode: AllocMode,
+    pub(crate) src_fill: Fill,
     pub(crate) guard: u32,
 }
 
@@ -581,6 +582,7 @@ impl<'a> Lower<'a> {
                 rows,
                 cols,
                 mode,
+                src_fill,
                 guard,
             } => {
                 let guard = self.intern_pred(guard);
@@ -594,6 +596,7 @@ impl<'a> Lower<'a> {
                     rows: *rows,
                     cols: *cols,
                     mode: *mode,
+                    src_fill: *src_fill,
                     guard,
                 });
                 out.push(Node::I(Instr::Stage { ix }));

@@ -294,6 +294,85 @@ mod tests {
     }
 
     #[test]
+    fn lru_capacity_zero_still_serves_the_one_entry() {
+        // `Some(0)` floors to one slot: every insert evicts the previous
+        // entry, but the surviving entry is still retrievable and the
+        // counters account for every displacement.
+        let mut lru: Lru<u32, &'static str> = Lru::new(Some(0));
+        lru.insert(1, "a");
+        assert_eq!(lru.get(&1), Some(&"a"));
+        lru.insert(2, "b");
+        assert!(lru.get(&1).is_none(), "old entry displaced");
+        assert_eq!(lru.get(&2), Some(&"b"));
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 1, 1));
+    }
+
+    #[test]
+    fn lru_repeated_same_key_insert_refreshes_not_grows() {
+        let mut lru: Lru<u32, u32> = Lru::new(Some(2));
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        // Re-inserting key 1 must replace its value in place: no growth,
+        // no eviction, and key 1 becomes the most recent.
+        lru.insert(1, 11);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.stats().evictions, 0);
+        assert_eq!(lru.get(&1), Some(&11));
+        // 2 is now the stalest: the next insert evicts it, not 1.
+        lru.insert(3, 30);
+        assert!(lru.get(&2).is_none());
+        assert_eq!(lru.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn lru_eviction_order_breaks_ties_by_recency_not_key() {
+        // Insert in descending key order so that, were eviction keyed on
+        // the map key rather than the recency tick, the victim would
+        // differ.  Recency must win: the *first-inserted* (stalest) key
+        // goes first regardless of its numeric value.
+        let mut lru: Lru<u32, u32> = Lru::new(Some(3));
+        lru.insert(30, 0);
+        lru.insert(20, 0);
+        lru.insert(10, 0);
+        lru.insert(40, 0); // evicts 30 (stalest), not 10 (smallest)
+        assert!(lru.get(&30).is_none());
+        assert_eq!(lru.get(&10), Some(&0));
+        assert_eq!(lru.get(&20), Some(&0));
+
+        // A get() refreshes recency, so the eviction victim follows use
+        // order, not insertion order.
+        lru.insert(50, 0); // evicts 40: 10 and 20 were just refreshed
+        assert!(lru.get(&40).is_none());
+        assert_eq!(lru.get(&10), Some(&0));
+    }
+
+    #[test]
+    fn lru_stats_since_returns_exact_deltas() {
+        let mut lru: Lru<u32, u32> = Lru::new(Some(1));
+        lru.insert(1, 1);
+        let _ = lru.get(&1); // hit
+        let _ = lru.get(&9); // miss
+        let before = lru.stats();
+        assert_eq!((before.hits, before.misses, before.evictions), (1, 1, 0));
+
+        lru.insert(2, 2); // evicts 1
+        let _ = lru.get(&2); // hit
+        let _ = lru.get(&1); // miss (evicted)
+        let _ = lru.get(&3); // miss
+        let delta = lru.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 2, 1));
+
+        // since(self) is the zero delta, and clear() keeps the cumulative
+        // counters (they outlive the entries).
+        let now = lru.stats();
+        assert_eq!(now.since(&now), LruStats::default());
+        lru.clear();
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.stats(), now);
+    }
+
+    #[test]
     fn run_jobs_preserves_submission_order_across_thread_counts() {
         let jobs: Vec<usize> = (0..97).collect();
         let expect: Vec<usize> = jobs.iter().map(|j| j * 3).collect();

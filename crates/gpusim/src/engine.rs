@@ -112,6 +112,40 @@ pub fn exec_program_fast(
     exec_program_on(select(), p, bindings, bufs)
 }
 
+/// Run `p` through **every** engine on its own clone of `bufs`, in
+/// parallel (one OS thread per engine — each engine is internally
+/// deterministic, and they never share state, so the parallelism cannot
+/// change any result).  Results come back in [`ExecEngine::ALL`] order —
+/// oracle first — each carrying the engine's private output buffers or
+/// its error.
+///
+/// This is the differential cross-check primitive: the fuzzer and the
+/// cross-engine tests call it once per case and then compare the three
+/// outcomes for bit-identical buffers or identically-classified errors
+/// ([`ExecError::class`]).
+pub fn exec_all_engines(
+    p: &Program,
+    bindings: &Bindings,
+    bufs: &Buffers,
+) -> [(ExecEngine, Result<Buffers, ExecError>); 3] {
+    let run = |engine: ExecEngine| {
+        let mut mine = bufs.clone();
+        exec_program_on(engine, p, bindings, &mut mine).map(|()| mine)
+    };
+    let [a, b, c] = ExecEngine::ALL;
+    let (ra, rb, rc) = std::thread::scope(|s| {
+        let hb = s.spawn(|| run(b));
+        let hc = s.spawn(|| run(c));
+        let ra = run(a);
+        (
+            ra,
+            hb.join().expect("engine thread panicked"),
+            hc.join().expect("engine thread panicked"),
+        )
+    });
+    [(a, ra), (b, rb), (c, rc)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@ use oa_loopir::arrays::{AllocMode, MemSpace};
 use oa_loopir::expr::{AffineExpr, Predicate};
 use oa_loopir::interp::{blank_is_zero, run_map_kernel, Bindings, Buffers, Matrix};
 use oa_loopir::scalar::{Access, ScalarExpr};
-use oa_loopir::stmt::{AssignOp, SharedStage, Stmt};
+use oa_loopir::stmt::{stage_src_coords, AssignOp, SharedStage, Stmt};
 use oa_loopir::Program;
 use std::collections::HashMap;
 use std::fmt;
@@ -39,6 +39,23 @@ impl fmt::Display for ExecError {
             ExecError::Launch(e) => write!(f, "launch: {e}"),
             ExecError::BarrierDivergence(m) => write!(f, "barrier divergence: {m}"),
             ExecError::MissingBuffer(m) => write!(f, "missing buffer: {m}"),
+        }
+    }
+}
+
+impl ExecError {
+    /// A short stable class label mirroring
+    /// [`EvalError::class`](crate::perf::EvalError::class): two engines
+    /// that reject a case must reject it with the *same class* for the
+    /// differential tests (and the fuzzer) to call the rejection
+    /// identical.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ExecError::Launch(LaunchError::NotMapped) => "launch/not-mapped",
+            ExecError::Launch(LaunchError::Malformed(_)) => "launch/malformed",
+            ExecError::Launch(LaunchError::SizeConstraint { .. }) => "launch/size",
+            ExecError::BarrierDivergence(_) => "barrier-divergence",
+            ExecError::MissingBuffer(_) => "missing-buffer",
         }
     }
 }
@@ -256,11 +273,14 @@ impl<'a> Engine<'a> {
             .clone();
         for c in 0..st.cols {
             for r in 0..st.rows {
+                // Symmetry mode reads blank-side elements from their global
+                // mirror (the logical value of a packed symmetric source).
+                let (sr, sc) = stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
                 let mut env = block_env.clone();
-                env.insert("__sr".into(), r0 + r);
-                env.insert("__sc".into(), c0 + c);
+                env.insert("__sr".into(), sr);
+                env.insert("__sc".into(), sc);
                 let v = if self.eval_pred(&st.guard, &env) {
-                    src.get(r0 + r, c0 + c)
+                    src.get(sr, sc)
                 } else {
                     0.0
                 };
@@ -269,12 +289,8 @@ impl<'a> Engine<'a> {
                     .get_mut(&st.dst)
                     .ok_or_else(|| ExecError::MissingBuffer(st.dst.clone()))?;
                 match st.mode {
-                    AllocMode::NoChange => dst.set(r, c, v),
+                    AllocMode::NoChange | AllocMode::Symmetry => dst.set(r, c, v),
                     AllocMode::Transpose => dst.set(c, r, v),
-                    AllocMode::Symmetry => {
-                        dst.set(r, c, v);
-                        dst.set(c, r, v);
-                    }
                 }
             }
         }

@@ -8,6 +8,7 @@
 
 use oa_loopir::interp::Bindings;
 use oa_loopir::stmt::{LoopMapping, Stmt};
+use oa_loopir::transform::GroupingStyle;
 use oa_loopir::Program;
 use std::fmt;
 
@@ -45,6 +46,18 @@ pub enum LaunchError {
     /// Mapped loops are malformed (non-zero lower bound, duplicated axis,
     /// non-constant thread extent, interleaved unmapped loops…).
     Malformed(String),
+    /// A problem dimension violates a launch-time divisibility constraint
+    /// of the kernel shape (e.g. the solver schemes' column tile: every
+    /// thread of a block must reach the cooperative barriers, so the tile
+    /// must divide the dimension exactly).
+    SizeConstraint {
+        /// The offending size parameter (`N`, `M`…).
+        param: String,
+        /// Its bound value.
+        size: i64,
+        /// The required divisor (the column-tile width).
+        multiple: i64,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -52,19 +65,53 @@ impl fmt::Display for LaunchError {
         match self {
             LaunchError::NotMapped => write!(f, "program has no block/thread-mapped loops"),
             LaunchError::Malformed(m) => write!(f, "malformed mapping: {m}"),
+            LaunchError::SizeConstraint {
+                param,
+                size,
+                multiple,
+            } => write!(
+                f,
+                "size constraint: dimension {param} = {size} must be a multiple of \
+                 the {multiple}-wide column tile (barrier-synchronized solver block)"
+            ),
         }
     }
 }
 
 impl std::error::Error for LaunchError {}
 
+/// Does this subtree contain a cooperative barrier (`__syncthreads()` or a
+/// shared-memory stage, which barriers on both sides)?
+fn contains_barrier(s: &Stmt) -> bool {
+    match s {
+        Stmt::Sync | Stmt::Stage(_) => true,
+        Stmt::Loop(l) => l.body.iter().any(contains_barrier),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => then_body.iter().any(contains_barrier) || else_body.iter().any(contains_barrier),
+        Stmt::Assign(_) | Stmt::RegLoad(_) | Stmt::RegZero(_) | Stmt::RegStore(_) => false,
+    }
+}
+
 /// Extract the launch configuration of a transformed program under
 /// concrete size bindings.
+///
+/// Besides deriving grid/block shapes this is where launch-time *size
+/// constraints* are enforced: a `Solver1D` kernel whose per-thread body
+/// contains a barrier guards the whole body behind `j < N`, so the last
+/// block's guard is non-uniform — and the barrier diverges — whenever the
+/// column tile does not divide `N`.  That case is rejected here, by every
+/// engine identically, as [`LaunchError::SizeConstraint`] naming the
+/// offending dimension, instead of surfacing later as a generic runtime
+/// failure.
 pub fn extract_launch(p: &Program, bindings: &Bindings) -> Result<Launch, LaunchError> {
     let mut grid = (1i64, 1i64);
     let mut block = (1i64, 1i64);
     let mut binds = Vec::new();
     let mut cursor: &[Stmt] = &p.body;
+    let mut block_tile: Option<(String, i64)> = None;
 
     loop {
         // The chain must be a single mapped loop at each level.
@@ -97,6 +144,15 @@ pub fn extract_launch(p: &Program, bindings: &Bindings) -> Result<Launch, Launch
         let builtin = match lp.mapping {
             LoopMapping::BlockX => {
                 grid.0 = extent;
+                // Remember which size parameter this block loop tiles
+                // (its upper bound is a derived ceil-div parameter).
+                if let Some(v) = lp.upper.vars().next() {
+                    block_tile = p
+                        .derived
+                        .iter()
+                        .find(|d| d.name == v)
+                        .map(|d| (d.base.clone(), d.div));
+                }
                 Builtin::BlockX
             }
             LoopMapping::BlockY => {
@@ -125,6 +181,25 @@ pub fn extract_launch(p: &Program, bindings: &Bindings) -> Result<Launch, Launch
 
     if binds.is_empty() {
         return Err(LaunchError::NotMapped);
+    }
+    // Solver kernels hide their row-of-threads guard (`j < N`) *around*
+    // the whole per-thread body; if that body barriers, the guard must be
+    // block-uniform, i.e. the column tile must divide the dimension.
+    if p.tiling
+        .as_ref()
+        .is_some_and(|t| t.style == GroupingStyle::Solver1D)
+        && cursor.iter().any(contains_barrier)
+    {
+        if let Some((param, multiple)) = &block_tile {
+            let size = bindings.size(param);
+            if size % multiple != 0 {
+                return Err(LaunchError::SizeConstraint {
+                    param: param.clone(),
+                    size,
+                    multiple: *multiple,
+                });
+            }
+        }
     }
     Ok(Launch {
         grid,
@@ -243,6 +318,98 @@ mod tests {
         thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
         let launch = extract_launch(&p, &Bindings::square(13)).unwrap();
         assert_eq!(launch.grid, (2, 2)); // ceil(13/8)
+    }
+
+    #[test]
+    fn solver_size_constraint_is_classified_and_names_the_dimension() {
+        use oa_loopir::expr::AffineExpr;
+        use oa_loopir::scalar::{Access, ScalarExpr};
+        use oa_loopir::stmt::{AssignOp, AssignStmt, Loop};
+
+        // A TRSM-like dependent nest: Lk's bound depends on i, so
+        // thread_grouping picks the Solver1D distribution.
+        let mut p = gemm_nn_like("trsm-like");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let solver_params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 8,
+            kb: 4,
+            unroll: 0,
+        };
+        thread_grouping(&mut p, "Li", "Lj", solver_params).unwrap();
+        // Give the per-thread body a cooperative barrier (as
+        // binding_triangular / SM_alloc would).
+        p.rewrite_loop("Ljj", &mut |mut l: Loop| {
+            l.body.push(Stmt::Sync);
+            vec![Stmt::Loop(Box::new(l))]
+        });
+
+        // Tile-multiple size: launches fine.
+        assert!(extract_launch(&p, &Bindings::square(32)).is_ok());
+
+        // Ragged size: a *classified* rejection naming the dimension.
+        let err = extract_launch(&p, &Bindings::square(29)).unwrap_err();
+        assert_eq!(
+            err,
+            LaunchError::SizeConstraint {
+                param: "N".into(),
+                size: 29,
+                multiple: 8,
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "size constraint: dimension N = 29 must be a multiple of the 8-wide \
+             column tile (barrier-synchronized solver block)"
+        );
+        // And the perf model buckets it under its own failure class.
+        assert_eq!(crate::perf::EvalError::Launch(err).class(), "launch/size");
+    }
+
+    #[test]
+    fn barrier_free_solver_body_keeps_ragged_sizes() {
+        use oa_loopir::expr::AffineExpr;
+        use oa_loopir::scalar::{Access, ScalarExpr};
+        use oa_loopir::stmt::{AssignOp, AssignStmt, Loop};
+
+        let mut p = gemm_nn_like("trsm-like");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![Stmt::Loop(Box::new(lk))]
+        });
+        let solver_params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 8,
+            kb: 4,
+            unroll: 0,
+        };
+        thread_grouping(&mut p, "Li", "Lj", solver_params).unwrap();
+        // No barrier in the body: the row guard handles ragged sizes.
+        let launch = extract_launch(&p, &Bindings::square(29)).unwrap();
+        assert_eq!(launch.grid.0, 4); // ceil(29/8)
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub use bytecode::ByteCode;
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
 pub use dispatch::{run_jobs, CompiledProgram, Lru, LruStats};
-pub use engine::{exec_program_fast, exec_program_on, select as select_engine, ExecEngine};
+pub use engine::{
+    exec_all_engines, exec_program_fast, exec_program_on, select as select_engine, ExecEngine,
+};
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
 pub use perf::{evaluate, EvalError, PerfReport};

@@ -76,11 +76,13 @@ pub enum EvalError {
 
 impl EvalError {
     /// A short stable class label (`launch/not-mapped`,
-    /// `launch/malformed`, `non-finite`) for failure-table bucketing.
+    /// `launch/malformed`, `launch/size`, `non-finite`) for failure-table
+    /// bucketing.
     pub fn class(&self) -> &'static str {
         match self {
             EvalError::Launch(LaunchError::NotMapped) => "launch/not-mapped",
             EvalError::Launch(LaunchError::Malformed(_)) => "launch/malformed",
+            EvalError::Launch(LaunchError::SizeConstraint { .. }) => "launch/size",
             EvalError::NonFinite(_) => "non-finite",
         }
     }

@@ -41,7 +41,7 @@ use oa_loopir::interp::{blank_is_zero, run_map_kernel, Bindings, Buffers, Matrix
 use oa_loopir::nest::MapKernel;
 use oa_loopir::scalar::{BinOp, ScalarExpr};
 use oa_loopir::slots::{SlotExpr, SlotMap, SlotPred};
-use oa_loopir::stmt::{AssignOp, RegTile, SharedStage, Stmt};
+use oa_loopir::stmt::{stage_src_coords, AssignOp, RegTile, SharedStage, Stmt};
 use oa_loopir::Program;
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -107,6 +107,7 @@ pub(crate) enum Op {
         rows: i64,
         cols: i64,
         mode: AllocMode,
+        src_fill: Fill,
         guard: SlotPred,
     },
     RegMove {
@@ -412,6 +413,7 @@ impl Compiler<'_> {
             rows: st.rows,
             cols: st.cols,
             mode: st.mode,
+            src_fill: st.src_fill,
             guard: self.pred(&st.guard),
         })
     }
@@ -758,6 +760,7 @@ impl Tape {
             rows,
             cols,
             mode,
+            src_fill,
             guard,
         } = op
         else {
@@ -767,22 +770,21 @@ impl Tape {
         let c0 = col0.eval(st.frame(0));
         for c in 0..*cols {
             for r in 0..*rows {
+                // Symmetry mode reads blank-side elements from their global
+                // mirror, exactly as the oracle does.
+                let (sr, sc) = stage_src_coords(*mode, *src_fill, r0 + r, c0 + c);
                 let f0 = st.frame_mut(0);
-                f0[self.sr_slot] = r0 + r;
-                f0[self.sc_slot] = c0 + c;
+                f0[self.sr_slot] = sr;
+                f0[self.sc_slot] = sc;
                 let v = if guard.eval(st.frame(0), true, st.blank_flags) {
-                    st.gread(*src, r0 + r, c0 + c)
+                    st.gread(*src, sr, sc)
                 } else {
                     0.0
                 };
                 let tile = &mut st.smem[*dst];
                 match mode {
-                    AllocMode::NoChange => tile.set(r, c, v),
+                    AllocMode::NoChange | AllocMode::Symmetry => tile.set(r, c, v),
                     AllocMode::Transpose => tile.set(c, r, v),
-                    AllocMode::Symmetry => {
-                        tile.set(r, c, v);
-                        tile.set(c, r, v);
-                    }
                 }
             }
         }

@@ -32,7 +32,7 @@ use oa_loopir::arrays::AllocMode;
 use oa_loopir::interp::{blank_is_zero, run_map_kernel, Buffers, Matrix};
 use oa_loopir::scalar::BinOp;
 use oa_loopir::slots::SlotExpr;
-use oa_loopir::stmt::AssignOp;
+use oa_loopir::stmt::{stage_src_coords, AssignOp};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -766,26 +766,24 @@ impl VBlock<'_> {
         let sc = self.bc.sc_slot * n;
         for c in 0..st.cols {
             for r in 0..st.rows {
-                self.frames[sr] = r0 + r;
-                self.frames[sc] = c0 + c;
+                // Symmetry mode reads blank-side elements from their global
+                // mirror, exactly as the oracle and the tape do.
+                let (gsr, gsc) = stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
+                self.frames[sr] = gsr;
+                self.frames[sc] = gsc;
                 let v = if self.eval_pred(st.guard, 0, true) {
-                    self.gread(st.src, r0 + r, c0 + c)
+                    self.gread(st.src, gsr, gsc)
                 } else {
                     0.0
                 };
                 match st.mode {
-                    AllocMode::NoChange => {
+                    AllocMode::NoChange | AllocMode::Symmetry => {
                         let ix = self.smem_ix(st.dst, r, c);
                         self.smem[ix] = v;
                     }
                     AllocMode::Transpose => {
                         let ix = self.smem_ix(st.dst, c, r);
                         self.smem[ix] = v;
-                    }
-                    AllocMode::Symmetry => {
-                        let (i1, i2) = (self.smem_ix(st.dst, r, c), self.smem_ix(st.dst, c, r));
-                        self.smem[i1] = v;
-                        self.smem[i2] = v;
                     }
                 }
             }

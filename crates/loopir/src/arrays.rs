@@ -75,6 +75,13 @@ pub struct ArrayDecl {
     /// Whether the blank (unstored) area is guaranteed to contain zeros.
     /// `padding_triangular` requires this (or a runtime check).
     pub blank_is_zero: bool,
+    /// Whether the matrix is *semantically symmetric* (`X == Xᵀ`), with the
+    /// stored triangle given by `fill`.  A triangular `fill` alone does not
+    /// imply this — TRMM/TRSM operands are packed triangular matrices whose
+    /// blank area is logically zero, not mirrored.  The `Symmetry` modes of
+    /// `GM_map` / `SM_alloc` reconstruct the full matrix by mirroring the
+    /// stored triangle, which is only meaningful when this flag holds.
+    pub symmetric: bool,
 }
 
 impl ArrayDecl {
@@ -88,6 +95,7 @@ impl ArrayDecl {
             pad: 0,
             fill: Fill::Full,
             blank_is_zero: false,
+            symmetric: false,
         }
     }
 
@@ -104,6 +112,12 @@ impl ArrayDecl {
         }
     }
 
+    /// Mark the matrix semantically symmetric (builder style).
+    pub fn symmetric(mut self) -> Self {
+        self.symmetric = true;
+        self
+    }
+
     /// A constant-size shared-memory tile.
     pub fn shared(name: impl Into<String>, rows: i64, cols: i64, pad: i64) -> Self {
         Self {
@@ -114,6 +128,7 @@ impl ArrayDecl {
             pad,
             fill: Fill::Full,
             blank_is_zero: false,
+            symmetric: false,
         }
     }
 
@@ -127,6 +142,7 @@ impl ArrayDecl {
             pad: 0,
             fill: Fill::Full,
             blank_is_zero: false,
+            symmetric: false,
         }
     }
 

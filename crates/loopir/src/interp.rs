@@ -17,7 +17,7 @@ use crate::arrays::{AllocMode, MemSpace};
 use crate::expr::{AffineExpr, Predicate};
 use crate::nest::{MapKernel, Program};
 use crate::scalar::{Access, ScalarExpr};
-use crate::stmt::{AssignOp, Loop, LoopMapping, SharedStage, Stmt};
+use crate::stmt::{stage_src_coords, AssignOp, Loop, LoopMapping, SharedStage, Stmt};
 use std::collections::HashMap;
 
 /// A deterministic 64-bit linear congruential generator (Knuth's MMIX
@@ -360,28 +360,22 @@ impl<'a> Interp<'a> {
         let c0 = self.eval_affine(&st.src_col0);
         for c in 0..st.cols {
             for r in 0..st.rows {
+                // Under Symmetry the element's logical value lives at the
+                // globally mirrored position whenever (r0+r, c0+c) falls on
+                // the source's blank side; the other modes read directly.
+                let (sr, sc) = stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
                 // Evaluate the per-element guard with the element's source
                 // coordinates exposed as `__sr` / `__sc`.
-                self.iter_env.insert("__sr".into(), r0 + r);
-                self.iter_env.insert("__sc".into(), c0 + c);
+                self.iter_env.insert("__sr".into(), sr);
+                self.iter_env.insert("__sc".into(), sc);
                 let copy = self.eval_pred(&st.guard);
                 self.iter_env.remove("__sr");
                 self.iter_env.remove("__sc");
-                let v = if copy {
-                    bufs[&st.src].get(r0 + r, c0 + c)
-                } else {
-                    0.0
-                };
+                let v = if copy { bufs[&st.src].get(sr, sc) } else { 0.0 };
                 let dst = bufs.get_mut(&st.dst).expect("shared tile buffer");
                 match st.mode {
-                    AllocMode::NoChange => dst.set(r, c, v),
+                    AllocMode::NoChange | AllocMode::Symmetry => dst.set(r, c, v),
                     AllocMode::Transpose => dst.set(c, r, v),
-                    AllocMode::Symmetry => {
-                        // A symmetric staging fills both (r, c) and (c, r);
-                        // only square tiles on the diagonal use this mode.
-                        dst.set(r, c, v);
-                        dst.set(c, r, v);
-                    }
                 }
             }
         }

@@ -45,5 +45,7 @@ pub use expr::{AffineCond, AffineExpr, CmpOp, Predicate};
 pub use nest::{BlankZeroCheck, DerivedParam, MapKernel, Program};
 pub use scalar::{Access, BinOp, ScalarExpr};
 pub use slots::{SlotCond, SlotExpr, SlotMap, SlotPred};
-pub use stmt::{AssignOp, AssignStmt, Loop, LoopMapping, RegTile, SharedStage, Stmt};
+pub use stmt::{
+    stage_src_coords, AssignOp, AssignStmt, Loop, LoopMapping, RegTile, SharedStage, Stmt,
+};
 pub use transform::{TileParams, TilingInfo, TransformError};

@@ -1,7 +1,7 @@
 //! Statements and loops: the tree-structured loop-nest IR that every EPOD
 //! optimization component rewrites.
 
-use crate::arrays::AllocMode;
+use crate::arrays::{AllocMode, Fill};
 use crate::expr::{AffineExpr, Predicate};
 use crate::scalar::{Access, ScalarExpr};
 use std::fmt;
@@ -120,6 +120,11 @@ pub struct SharedStage {
     /// Allocation mode; `Transpose` stores element `(r, c)` of the source
     /// tile at `(c, r)` of the destination.
     pub mode: AllocMode,
+    /// Which triangle the source stores.  Under `Symmetry` mode the copy
+    /// materializes the *logical* value of every tile element: positions on
+    /// the stored side read directly, positions on the blank side read the
+    /// globally mirrored element `(col, row)`.  Ignored by the other modes.
+    pub src_fill: Fill,
     /// Optional guard restricting which elements are copied (edge tiles).
     pub guard: Predicate,
     /// Copy traversal order: `false` walks the source column-major
@@ -127,6 +132,26 @@ pub struct SharedStage {
     /// walks it row-major, giving consecutive threads a leading-dimension
     /// stride — the non-coalesced copy some legacy library kernels issue.
     pub strided_copy: bool,
+}
+
+/// Source coordinates a stage copy reads for the element whose global
+/// position is `(gr, gc)`: `Symmetry` mode resolves positions on the
+/// source's blank side to their global mirror `(gc, gr)` — materializing
+/// the logical value of a packed symmetric matrix — while every other mode
+/// reads in place.  One shared definition keeps staged tiles bit-identical
+/// across all execution engines.
+pub fn stage_src_coords(mode: AllocMode, src_fill: Fill, gr: i64, gc: i64) -> (i64, i64) {
+    if mode == AllocMode::Symmetry {
+        let stored = match src_fill {
+            Fill::UpperTriangular => gr <= gc,
+            // Full sources behave as lower-stored, as in `run_map_kernel`.
+            _ => gr >= gc,
+        };
+        if !stored {
+            return (gc, gr);
+        }
+    }
+    (gr, gc)
 }
 
 /// A per-thread register tile of a global array, produced by `Reg_alloc`.
@@ -360,6 +385,46 @@ mod tests {
     use super::*;
     use crate::expr::CmpOp;
     use crate::scalar::BinOp;
+
+    #[test]
+    fn stage_src_coords_mirrors_only_symmetry_blanks() {
+        use AllocMode::*;
+        // Non-Symmetry modes read in place regardless of fill.
+        assert_eq!(
+            stage_src_coords(NoChange, Fill::UpperTriangular, 7, 2),
+            (7, 2)
+        );
+        assert_eq!(
+            stage_src_coords(Transpose, Fill::LowerTriangular, 7, 2),
+            (7, 2)
+        );
+        // Upper-stored: below the diagonal reads the mirror.
+        assert_eq!(
+            stage_src_coords(Symmetry, Fill::UpperTriangular, 2, 7),
+            (2, 7)
+        );
+        assert_eq!(
+            stage_src_coords(Symmetry, Fill::UpperTriangular, 7, 2),
+            (2, 7)
+        );
+        // Lower-stored: above the diagonal reads the mirror.
+        assert_eq!(
+            stage_src_coords(Symmetry, Fill::LowerTriangular, 7, 2),
+            (7, 2)
+        );
+        assert_eq!(
+            stage_src_coords(Symmetry, Fill::LowerTriangular, 2, 7),
+            (7, 2)
+        );
+        // Full sources behave as lower-stored; for a bitwise-symmetric
+        // matrix both positions hold the same value, so this is harmless.
+        assert_eq!(stage_src_coords(Symmetry, Fill::Full, 2, 7), (7, 2));
+        // The diagonal is always read in place.
+        assert_eq!(
+            stage_src_coords(Symmetry, Fill::UpperTriangular, 5, 5),
+            (5, 5)
+        );
+    }
 
     fn gemm_update() -> AssignStmt {
         AssignStmt::new(

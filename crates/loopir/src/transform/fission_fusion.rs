@@ -51,6 +51,42 @@ pub fn loop_fission(p: &mut Program, label: &str) -> TResult<Vec<String>> {
     Ok(labels)
 }
 
+/// Whether `first` and `second` are loops in the same statement list, with
+/// `first` before `second` and no other loop between them.  `Some(false)`
+/// when both labels were located but not in that arrangement, `None` when
+/// neither occurs in the subtree.
+fn adjacent_siblings(stmts: &[Stmt], first: &str, second: &str) -> Option<bool> {
+    let mut i1 = None;
+    let mut i2 = None;
+    for (i, s) in stmts.iter().enumerate() {
+        if let Stmt::Loop(l) = s {
+            if l.label == first {
+                i1 = Some(i);
+            } else if l.label == second {
+                i2 = Some(i);
+            }
+        }
+    }
+    match (i1, i2) {
+        (Some(a), Some(b)) => {
+            Some(a < b && stmts[a + 1..b].iter().all(|s| !matches!(s, Stmt::Loop(_))))
+        }
+        // Exactly one found at this level: the other lives in a different
+        // scope (deeper, or another branch) — not siblings.
+        (Some(_), None) | (None, Some(_)) => Some(false),
+        (None, None) => stmts.iter().find_map(|s| match s {
+            Stmt::Loop(l) => adjacent_siblings(&l.body, first, second),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => adjacent_siblings(then_body, first, second)
+                .or_else(|| adjacent_siblings(else_body, first, second)),
+            _ => None,
+        }),
+    }
+}
+
 /// Fuse two adjacent loops with identical bounds into one (keeping the
 /// first label).  Verified by sampled equivalence.
 pub fn loop_fusion(p: &mut Program, first: &str, second: &str) -> TResult {
@@ -65,6 +101,15 @@ pub fn loop_fusion(p: &mut Program, first: &str, second: &str) -> TResult {
     if l1.lower != l2.lower || l1.upper != l2.upper {
         return Err(TransformError::NotApplicable(format!(
             "loops {first} and {second} have mismatched bounds"
+        )));
+    }
+    // Fusing non-siblings would splice a loop body out of the scope that
+    // binds its iterators (e.g. hoisting an inner tile loop's body next to
+    // an outer loop), leaving free variables behind — the sampled
+    // equivalence run would then abort instead of rejecting cleanly.
+    if !adjacent_siblings(&p.body, first, second).unwrap_or(false) {
+        return Err(TransformError::NotApplicable(format!(
+            "loops {first} and {second} are not adjacent siblings"
         )));
     }
     let mut fused = l1.clone();
@@ -171,6 +216,59 @@ mod tests {
         )))];
         let err = loop_fission(&mut p, "Li").unwrap_err();
         assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn fusion_of_non_siblings_rejected() {
+        // for i in 0..M { for k in 0..M { C[i][0] += A[k][0] } }
+        // for j in 0..M { C[j][1] += B[j][1] }
+        // Lk and Lj have identical bounds, but fusing them would hoist
+        // Lk's body out of the scope that binds `i` — the interpreter
+        // would hit a free variable instead of a clean rejection.  The
+        // differential fuzzer found exactly this crash.
+        let mut p = gemm_nn_like("nest");
+        p.body = vec![
+            Stmt::Loop(Box::new(Loop::new(
+                "Li",
+                "i",
+                AffineExpr::zero(),
+                AffineExpr::var("M"),
+                vec![Stmt::Loop(Box::new(Loop::new(
+                    "Lk",
+                    "k",
+                    AffineExpr::zero(),
+                    AffineExpr::var("M"),
+                    vec![Stmt::Assign(AssignStmt::new(
+                        Access::new("C", AffineExpr::var("i"), AffineExpr::cst(0)),
+                        AssignOp::AddAssign,
+                        ScalarExpr::load(Access::new(
+                            "A",
+                            AffineExpr::var("k"),
+                            AffineExpr::cst(0),
+                        )),
+                    ))],
+                )))],
+            ))),
+            Stmt::Loop(Box::new(Loop::new(
+                "Lj",
+                "j",
+                AffineExpr::zero(),
+                AffineExpr::var("M"),
+                vec![Stmt::Assign(AssignStmt::new(
+                    Access::new("C", AffineExpr::var("j"), AffineExpr::cst(1)),
+                    AssignOp::AddAssign,
+                    ScalarExpr::load(Access::new("B", AffineExpr::var("j"), AffineExpr::cst(1))),
+                ))],
+            ))),
+        ];
+        let err = loop_fusion(&mut p, "Lk", "Lj").unwrap_err();
+        assert!(
+            matches!(&err, TransformError::NotApplicable(m) if m.contains("adjacent")),
+            "unexpected error: {err:?}"
+        );
+        // Same labels the other way round: Lj is top-level, Lk nested.
+        let err = loop_fusion(&mut p, "Lj", "Lk").unwrap_err();
+        assert!(matches!(&err, TransformError::NotApplicable(_)));
     }
 
     #[test]

@@ -402,12 +402,15 @@ mod tests {
     /// mirrored, since A is stored lower-triangular).
     pub(crate) fn symm_ln_source() -> Program {
         let mut p = gemm_nn_like("SYMM-LN");
-        p.declare(ArrayDecl::global_with_fill(
-            "A",
-            AffineExpr::var("M"),
-            AffineExpr::var("M"),
-            Fill::LowerTriangular,
-        ));
+        p.declare(
+            ArrayDecl::global_with_fill(
+                "A",
+                AffineExpr::var("M"),
+                AffineExpr::var("M"),
+                Fill::LowerTriangular,
+            )
+            .symmetric(),
+        );
         p.rewrite_loop("Lk", &mut |mut lk: Loop| {
             lk.upper = AffineExpr::var("i");
             lk.body = vec![

@@ -37,6 +37,14 @@ pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> 
             decl.space
         )));
     }
+    // In-place operands (TRMM/TRSM's B) cannot be remapped: every access
+    // is redirected to the materialized copy, so writes would land in
+    // `New<X>` and never reach `<X>` — there is no write-back epilogue.
+    if p.assignments().iter().any(|a| a.lhs.array == array) {
+        return Err(TransformError::NotApplicable(format!(
+            "{array} is written in the nest; GM_map has no write-back epilogue"
+        )));
+    }
     match mode {
         AllocMode::NoChange => {
             return Err(TransformError::NotApplicable(
@@ -53,6 +61,14 @@ pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> 
             if decl.fill == Fill::Full {
                 return Err(TransformError::NotApplicable(format!(
                     "{array} is not triangular-stored; Symmetry mapping is meaningless"
+                )));
+            }
+            if !decl.symmetric {
+                // Triangular storage is necessary but not sufficient:
+                // TRMM/TRSM operands are packed triangular matrices whose
+                // blank side is logically zero, not the mirror image.
+                return Err(TransformError::NotApplicable(format!(
+                    "Symmetry mapping requires a symmetric matrix; {array} is not declared symmetric"
                 )));
             }
         }
@@ -76,6 +92,9 @@ pub fn gm_map(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String> 
         (_, f) => f,
     };
     new_decl.blank_is_zero = new_decl.fill != Fill::Full || decl.blank_is_zero;
+    // Symmetric materialization yields a symmetric matrix by construction;
+    // transposing one preserves the property.
+    new_decl.symmetric = mode == AllocMode::Symmetry || decl.symmetric;
     p.declare(new_decl);
     p.prologues.push(MapKernel {
         dst: new_name.clone(),
@@ -196,14 +215,36 @@ mod tests {
     }
 
     #[test]
-    fn symmetry_mirrored_access_flips_subscripts() {
-        let mut p = gemm_nn_like("symm");
+    fn symmetry_requires_symmetric_declaration() {
+        // Triangular storage alone is not enough: a packed triangular
+        // matrix (TRMM/TRSM operand) has a logically-zero blank side, and
+        // mirroring it would fabricate values.
+        let mut p = gemm_nn_like("trmm");
         p.declare(ArrayDecl::global_with_fill(
             "A",
             AffineExpr::var("M"),
             AffineExpr::var("M"),
             Fill::LowerTriangular,
         ));
+        let err = gm_map(&mut p, "A", AllocMode::Symmetry).unwrap_err();
+        assert!(
+            matches!(&err, TransformError::NotApplicable(m) if m.contains("symmetric")),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn symmetry_mirrored_access_flips_subscripts() {
+        let mut p = gemm_nn_like("symm");
+        p.declare(
+            ArrayDecl::global_with_fill(
+                "A",
+                AffineExpr::var("M"),
+                AffineExpr::var("M"),
+                Fill::LowerTriangular,
+            )
+            .symmetric(),
+        );
         p.rewrite_loop("Lk", &mut |mut lk: Loop| {
             lk.upper = AffineExpr::var("i");
             lk.body = vec![
@@ -237,6 +278,20 @@ mod tests {
         assert_eq!(shadow.row, AffineExpr::var("k"));
         assert_eq!(shadow.col, AffineExpr::var("i"));
         assert!(!shadow.mirrored);
+    }
+
+    #[test]
+    fn written_array_cannot_be_mapped() {
+        // C is the GEMM output; remapping it would send the writes to
+        // NewC with no write-back.  The differential fuzzer found this
+        // escape on TRSM (in-place B) hidden behind a thread-0-bound
+        // solver region, which the filter's equivalence check skips.
+        let mut p = gemm_nn_like("g");
+        let err = gm_map(&mut p, "C", AllocMode::Transpose).unwrap_err();
+        assert!(
+            matches!(&err, TransformError::NotApplicable(m) if m.contains("write-back")),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -98,10 +98,21 @@ pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String
             )));
         }
     }
-    if mode == AllocMode::Symmetry && ext_r != ext_c {
-        return Err(TransformError::NotApplicable(
-            "Symmetry staging requires a square tile".into(),
-        ));
+    if mode == AllocMode::Symmetry {
+        // Symmetry staging reconstructs logical values by mirroring the
+        // stored triangle; on a matrix that is not semantically symmetric
+        // (TRMM's packed-triangular operand, any general matrix) the
+        // mirrored values are simply wrong, so the declaration gates it.
+        if !decl.symmetric {
+            return Err(TransformError::NotApplicable(format!(
+                "Symmetry staging requires a symmetric matrix; {array} is not declared symmetric"
+            )));
+        }
+        if ext_r != ext_c {
+            return Err(TransformError::NotApplicable(
+                "Symmetry staging requires a square tile".into(),
+            ));
+        }
     }
 
     // Declare the shared tile (transposed dims under Transpose mode).
@@ -129,6 +140,7 @@ pub fn sm_alloc(p: &mut Program, array: &str, mode: AllocMode) -> TResult<String
         rows: ext_r,
         cols: ext_c,
         mode,
+        src_fill: decl.fill,
         guard,
         strided_copy: false,
     });
@@ -248,6 +260,30 @@ mod tests {
         sm_alloc(&mut p, "B", AllocMode::NoChange).unwrap();
         // B tile is 16 x 16 -> padded to (16+1) x 16 leading dim.
         assert_eq!(p.array("sB").unwrap().pad, 1);
+    }
+
+    #[test]
+    fn symmetry_staging_requires_symmetric_declaration() {
+        // TRMM's A is packed triangular but NOT symmetric: its blank side
+        // is logically zero, so mirroring it would fabricate values.  The
+        // differential fuzzer found exactly this escape (the legality
+        // filter runs before allocations are applied).
+        let mut p = crate::builder::trmm_ll_like("TRMM");
+        let params = TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        let err = sm_alloc(&mut p, "A", AllocMode::Symmetry).unwrap_err();
+        assert!(
+            matches!(&err, TransformError::NotApplicable(m) if m.contains("symmetric")),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! EPOD parser round-trip: parse → pretty-print → reparse must be the
+//! identity over every built-in scheme script and over a broad sample of
+//! fuzzer-mutated scripts (the mutator only emits syntactically valid
+//! invocations, so a failure here is a printer/parser bug, not a mutator
+//! bug).
+
+use oa_core::blas3::schemes::oa_scheme;
+use oa_core::epod::{mutate_script, parse_script};
+use oa_core::loopir::interp::Lcg;
+use oa_core::RoutineId;
+
+#[test]
+fn builtin_scheme_scripts_round_trip() {
+    for r in RoutineId::all24() {
+        for (i, base) in oa_scheme(r).bases.iter().enumerate() {
+            let printed = base.to_string();
+            let back = parse_script(&printed).unwrap_or_else(|e| {
+                panic!("{} base {i}: reparse failed: {e}\n{printed}", r.name())
+            });
+            assert_eq!(&back, base, "{} base {i} not a fixed point", r.name());
+            // Printing must itself be a fixed point.
+            assert_eq!(back.to_string(), printed, "{} base {i}", r.name());
+        }
+    }
+}
+
+#[test]
+fn mutated_scripts_round_trip() {
+    let mut rng = Lcg::new(42);
+    for r in RoutineId::all24() {
+        for base in oa_scheme(r).bases {
+            for round in 0..20 {
+                let (mutant, tags) = mutate_script(&base, &mut rng);
+                let printed = mutant.to_string();
+                let back = parse_script(&printed).unwrap_or_else(|e| {
+                    panic!(
+                        "{} round {round} (mutations {tags:?}): reparse failed: {e}\n{printed}",
+                        r.name()
+                    )
+                });
+                assert_eq!(back, mutant, "{} round {round} ({tags:?})", r.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Replay the committed seed corpus: every `corpus/*.case` file must
+//! parse, survive a text round-trip, and run through the differential
+//! cross-check without divergence.  These are the fuzzer's regression
+//! seeds — when the fuzzer finds and we fix a real divergence, its shrunk
+//! repro joins this directory.
+
+use std::path::Path;
+
+use oa_core::fuzz::{from_text, list_cases, read_case, run_case, to_text, Verdict};
+
+fn corpus_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the corpus lives at the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let files = list_cases(&corpus_dir()).expect("corpus directory must exist");
+    assert!(
+        files.len() >= 12,
+        "seed corpus unexpectedly small: {} files",
+        files.len()
+    );
+    for f in &files {
+        let case = read_case(f).unwrap_or_else(|e| panic!("{e}"));
+        let back = from_text(&to_text(&case)).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        assert_eq!(back, case, "{} not a text fixed point", f.display());
+    }
+}
+
+#[test]
+fn corpus_replays_without_divergence() {
+    let files = list_cases(&corpus_dir()).expect("corpus directory must exist");
+    for f in files {
+        let case = read_case(&f).unwrap_or_else(|e| panic!("{e}"));
+        let (verdict, _) = run_case(&case, None);
+        assert!(
+            !matches!(verdict, Verdict::Divergence(_)),
+            "{}: {verdict:?}",
+            f.display()
+        );
+    }
+}

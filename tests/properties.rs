@@ -107,6 +107,70 @@ fn alloc_mode_algebra() {
     );
 }
 
+/// `merge_allocations` rules under random allocation declarations:
+/// double transposition cancels, the merged scheme is a normal form
+/// (merging it again changes nothing), and base/adaptor order does not
+/// matter (composition is declared commutative on the mode table).
+#[test]
+fn allocator_merge_rules_properties() {
+    use oa_core::composer::merge_allocations;
+    use std::collections::HashMap;
+
+    let arrays = ["A", "B", "C"];
+    let modes = ["NoChange", "Transpose", "Symmetry"];
+    let empty_gm: HashMap<String, AllocMode> = HashMap::new();
+
+    // Merged scheme as array -> staged mode (reg_allocs ignored).
+    let scheme = |invs: &[Invocation]| -> HashMap<String, String> {
+        invs.iter()
+            .filter(|i| i.component == "SM_alloc")
+            .map(|i| {
+                (
+                    i.args[0].ident().unwrap().to_string(),
+                    i.args[1].ident().unwrap().to_string(),
+                )
+            })
+            .collect()
+    };
+    fn draw(g: &mut Gen, arrays: &[&str], modes: &[&str], n: i64) -> Vec<Invocation> {
+        (0..n)
+            .map(|_| {
+                Invocation::idents(
+                    "SM_alloc",
+                    &[
+                        arrays[g.range(0, 3) as usize],
+                        modes[g.range(0, 3) as usize],
+                    ],
+                )
+            })
+            .collect()
+    }
+    let mut g = Gen::new(31);
+    for _ in 0..200 {
+        let nb = g.range(0, 4);
+        let na = g.range(0, 4);
+        let base = draw(&mut g, &arrays, &modes, nb);
+        let adaptor = draw(&mut g, &arrays, &modes, na);
+
+        let merged = merge_allocations(&base, &adaptor, &empty_gm);
+        // Idempotence: the merged scheme is its own normal form.
+        let again = merge_allocations(&merged, &[], &empty_gm);
+        assert_eq!(scheme(&merged), scheme(&again));
+        // Commutation: script and adaptor declarations merge the same in
+        // either order (ordering of the output declarations may differ).
+        let swapped = merge_allocations(&adaptor, &base, &empty_gm);
+        assert_eq!(scheme(&merged), scheme(&swapped));
+    }
+
+    // Transpose ∘ Transpose cancels for every array, regardless of which
+    // side declares which copy.
+    for arr in arrays {
+        let t = [Invocation::idents("SM_alloc", &[arr, "Transpose"])];
+        let merged = merge_allocations(&t, &t, &empty_gm);
+        assert_eq!(scheme(&merged)[arr], "NoChange");
+    }
+}
+
 /// The full Fig. 3 GEMM scheme preserves semantics for arbitrary
 /// (including ragged) sizes and seeds.
 #[test]
