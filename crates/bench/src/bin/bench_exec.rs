@@ -1,4 +1,4 @@
-//! Micro-benchmark of the three functional GPU executors.
+//! Micro-benchmark of the four functional GPU executors.
 //!
 //! Runs fully lowered kernels (the CUBLAS-like baselines, which exercise
 //! staging, register tiles and barriers) through all engines:
@@ -7,17 +7,24 @@
 //!   string-keyed environments);
 //! * `tape::Tape` — compile-once kernel tape, block-parallel with rayon;
 //! * `bytecode::ByteCode` — flat linear bytecode, optimized address units,
-//!   lane-vectorized interpretation (`vexec`).
+//!   lane-vectorized interpretation (`vexec`);
+//! * `native::NativeProgram` — the bytecode's lane-affine inner loop
+//!   nests lowered to specialized host SIMD microkernels.
 //!
 //! Reports wall-clock per launch, blocks/second and effective GFLOPS for
-//! each, plus per-row and geomean tape→bytecode speedups, and writes the
-//! measurements to `BENCH_exec.json`.  `--quick` (alias `--smoke`) trims
-//! the routine set and iteration budget for smoke runs.
+//! each, plus per-row and geomean tape→bytecode and bytecode→native
+//! speedups, and writes the measurements to `BENCH_exec.json`.  The
+//! `GEMM-NN-inner` row is a register-tiled kernel whose deep K tile makes
+//! the inner FMA nest dominate — the shape the native tier targets.
+//! `--quick` (alias `--smoke`) trims the routine set and iteration budget
+//! for smoke runs.
 
 use oa_core::autotune::json::Json;
 use oa_core::blas3::baselines::cublas_like;
-use oa_core::gpusim::{exec_program, ByteCode, DeviceSpec, Tape};
+use oa_core::gpusim::{exec_program, ByteCode, DeviceSpec, NativeProgram, Tape};
+use oa_core::loopir::builder::gemm_nn_like;
 use oa_core::loopir::interp::{alloc_buffers, Bindings, Buffers};
+use oa_core::loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
 use oa_core::loopir::Program;
 use oa_core::{RoutineId, Side, Trans, Uplo};
 use std::collections::BTreeMap;
@@ -52,9 +59,11 @@ struct Measurement {
     routine: String,
     n: i64,
     blocks: i64,
+    flops: f64,
     legacy_secs: f64,
     tape_secs: f64,
     bytecode_secs: f64,
+    native_secs: f64,
 }
 
 impl Measurement {
@@ -67,23 +76,34 @@ impl Measurement {
     fn bytecode_speedup(&self) -> f64 {
         self.tape_secs / self.bytecode_secs
     }
+
+    /// Bytecode → native speedup (this PR's headline).
+    fn native_speedup(&self) -> f64 {
+        self.bytecode_secs / self.native_secs
+    }
 }
 
-fn measure(r: RoutineId, n: i64, dev: &DeviceSpec, budget: f64) -> Measurement {
-    let p: Program = cublas_like(r, dev);
+/// Measure one fully lowered program through all four engines.
+fn measure_program(label: &str, p: &Program, n: i64, flops: f64, budget: f64) -> Measurement {
     let bindings = Bindings::square(n);
-    let base = alloc_buffers(&p, &bindings, 0xBEEF);
+    let base = alloc_buffers(p, &bindings, 0xBEEF);
 
-    let tape = Tape::compile(&p, &bindings).expect("baseline kernels lower");
-    let bc = ByteCode::compile(&p, &bindings).expect("baseline kernels lower to bytecode");
+    let tape = Tape::compile(p, &bindings).expect("baseline kernels lower");
+    let bc = ByteCode::compile(p, &bindings).expect("baseline kernels lower to bytecode");
+    let native = NativeProgram::compile(p, &bindings).expect("baseline kernels lower natively");
     // Warm all paths once (page-in, lazy allocations) before timing.
     let mut warm = base.clone();
     tape.execute(&mut warm).expect("tape exec");
     let mut warm = base.clone();
     bc.execute(&mut warm).expect("bytecode exec");
     let mut warm = base.clone();
-    exec_program(&p, &bindings, &mut warm).expect("oracle exec");
+    native.execute(&mut warm).expect("native exec");
+    let mut warm = base.clone();
+    exec_program(p, &bindings, &mut warm).expect("oracle exec");
 
+    let native_secs = time_launches(budget, 200, &base, |bufs| {
+        native.execute(bufs).expect("native exec");
+    });
     let bytecode_secs = time_launches(budget, 200, &base, |bufs| {
         bc.execute(bufs).expect("bytecode exec");
     });
@@ -91,17 +111,44 @@ fn measure(r: RoutineId, n: i64, dev: &DeviceSpec, budget: f64) -> Measurement {
         tape.execute(bufs).expect("tape exec");
     });
     let legacy_secs = time_launches(budget, 200, &base, |bufs| {
-        exec_program(&p, &bindings, bufs).expect("oracle exec");
+        exec_program(p, &bindings, bufs).expect("oracle exec");
     });
 
     Measurement {
-        routine: r.name(),
+        routine: label.to_string(),
         n,
         blocks: tape.total_blocks(),
+        flops,
         legacy_secs,
         tape_secs,
         bytecode_secs,
+        native_secs,
     }
+}
+
+fn measure(r: RoutineId, n: i64, dev: &DeviceSpec, budget: f64) -> Measurement {
+    let p: Program = cublas_like(r, dev);
+    measure_program(&r.name(), &p, n, r.flops(n), budget)
+}
+
+/// The native tier's target shape: a register-tiled GEMM with a deep K
+/// tile, so nearly all work is the lane-affine inner FMA nest (staging
+/// and bookkeeping amortize over `kb` accumulate steps per tile).
+fn gemm_inner_block() -> Program {
+    let params = TileParams {
+        ty: 32,
+        tx: 32,
+        thr_i: 8,
+        thr_j: 8,
+        kb: 32,
+        unroll: 0,
+    };
+    let mut p = gemm_nn_like("g");
+    thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    sm_alloc(&mut p, "B", oa_core::loopir::AllocMode::Transpose).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    p
 }
 
 fn main() {
@@ -121,37 +168,60 @@ fn main() {
     }
 
     println!(
-        "{:<10} {:>5} {:>7} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "{:<14} {:>5} {:>7} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8} {:>10}",
         "routine",
         "n",
         "blocks",
         "legacy ms",
         "tape ms",
-        "bytecode ms",
+        "bc ms",
+        "native ms",
         "tape/leg",
         "bc/tape",
+        "nat/bc",
         "GFLOPS"
     );
+    let mut measurements = Vec::new();
+    for &(r, n) in &cases {
+        measurements.push(measure(r, n, &dev, budget));
+    }
+    // The inner-block shape: deep-K register-tiled GEMM where the native
+    // microkernels carry nearly all of the work.
+    let inner_n = if quick { 64 } else { 128 };
+    let inner = gemm_inner_block();
+    let gemm = RoutineId::Gemm(Trans::N, Trans::N);
+    measurements.push(measure_program(
+        "GEMM-NN-inner",
+        &inner,
+        inner_n,
+        gemm.flops(inner_n),
+        budget,
+    ));
+
     let mut rows = Vec::new();
     let mut log_speedup_sum = 0.0;
-    for &(r, n) in &cases {
-        let m = measure(r, n, &dev, budget);
+    let mut log_native_sum = 0.0;
+    for m in &measurements {
         let blocks_per_sec = m.blocks as f64 / m.bytecode_secs;
-        let gflops = r.flops(n) / m.bytecode_secs / 1e9;
-        let tape_gflops = r.flops(n) / m.tape_secs / 1e9;
-        let legacy_gflops = r.flops(n) / m.legacy_secs / 1e9;
+        let gflops = m.flops / m.bytecode_secs / 1e9;
+        let native_gflops = m.flops / m.native_secs / 1e9;
+        let tape_gflops = m.flops / m.tape_secs / 1e9;
+        let legacy_gflops = m.flops / m.legacy_secs / 1e9;
         log_speedup_sum += m.bytecode_speedup().ln();
+        log_native_sum += m.native_speedup().ln();
         println!(
-            "{:<10} {:>5} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>9.2}x {:>9.2}x {:>10.4}",
+            "{:<14} {:>5} {:>7} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>7.2}x {:>7.2}x {:>7.2}x {:>10.4}",
             m.routine,
             m.n,
             m.blocks,
             m.legacy_secs * 1e3,
             m.tape_secs * 1e3,
             m.bytecode_secs * 1e3,
+            m.native_secs * 1e3,
             m.speedup(),
             m.bytecode_speedup(),
-            gflops
+            m.native_speedup(),
+            native_gflops
         );
         rows.push(Json::Obj(BTreeMap::from([
             ("routine".to_string(), Json::Str(m.routine.clone())),
@@ -160,32 +230,42 @@ fn main() {
             ("legacy_secs".to_string(), Json::Num(m.legacy_secs)),
             ("tape_secs".to_string(), Json::Num(m.tape_secs)),
             ("bytecode_secs".to_string(), Json::Num(m.bytecode_secs)),
+            ("native_secs".to_string(), Json::Num(m.native_secs)),
             ("speedup".to_string(), Json::Num(m.speedup())),
             (
                 "bytecode_speedup".to_string(),
                 Json::Num(m.bytecode_speedup()),
             ),
+            ("native_speedup".to_string(), Json::Num(m.native_speedup())),
             ("blocks_per_sec".to_string(), Json::Num(blocks_per_sec)),
             ("bytecode_gflops".to_string(), Json::Num(gflops)),
+            ("native_gflops".to_string(), Json::Num(native_gflops)),
             ("tape_gflops".to_string(), Json::Num(tape_gflops)),
             ("legacy_gflops".to_string(), Json::Num(legacy_gflops)),
         ])));
     }
-    let geomean = (log_speedup_sum / cases.len() as f64).exp();
+    let rows_n = measurements.len() as f64;
+    let geomean = (log_speedup_sum / rows_n).exp();
+    let native_geomean = (log_native_sum / rows_n).exp();
     println!("\ntape -> bytecode geomean speedup: {geomean:.2}x");
+    println!("bytecode -> native geomean speedup: {native_geomean:.2}x");
 
     let doc = Json::Obj(BTreeMap::from([
         (
             "note".to_string(),
             Json::Str(
                 "functional-executor wall clock: tree-walking oracle vs compiled kernel tape \
-                 (block-parallel) vs lane-vectorized linear bytecode; GFLOPS are simulation \
-                 throughput, not modeled device GFLOPS"
+                 (block-parallel) vs lane-vectorized linear bytecode vs native microkernels; \
+                 GFLOPS are simulation throughput, not modeled device GFLOPS"
                     .to_string(),
             ),
         ),
         ("threads".to_string(), Json::Num(rayon_threads() as f64)),
         ("bytecode_geomean_speedup".to_string(), Json::Num(geomean)),
+        (
+            "native_geomean_speedup".to_string(),
+            Json::Num(native_geomean),
+        ),
         ("measurements".to_string(), Json::Arr(rows)),
     ]));
     std::fs::write("BENCH_exec.json", doc.pretty() + "\n").expect("write BENCH_exec.json");

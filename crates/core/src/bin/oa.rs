@@ -9,7 +9,7 @@
 //! oa cuda GEMM-NN --n 1024                 # emit the tuned kernel's CUDA source
 //! oa trace-check trace.jsonl               # validate a captured trace stream
 //! oa serve batch.jsonl --threads 8         # batched dispatch: JSONL in, JSONL out
-//! oa fuzz --seed 5 --iters 200             # differential fuzz: 3 engines + reference
+//! oa fuzz --seed 5 --iters 200             # differential fuzz: 4 engines + reference
 //! ```
 //!
 //! `--trace` overrides the `OA_TRACE` environment variable; the trace

@@ -1,10 +1,10 @@
 //! # oa-fuzz — coverage-guided differential fuzzer
 //!
 //! Feeds random-but-plausible inputs through the whole script → IR →
-//! engine pipeline and demands that the three execution engines (oracle
-//! tree walker, kernel tape, lane-vectorized bytecode) plus the CPU
-//! reference agree — bit-identically when they execute, with one
-//! identical error class when they reject.  On divergence the failing
+//! engine pipeline and demands that the four execution engines (oracle
+//! tree walker, kernel tape, lane-vectorized bytecode, native
+//! microkernels) plus the CPU reference agree — bit-identically when
+//! they execute, with one identical error class when they reject.  On divergence the failing
 //! case is shrunk to a minimal reproducer and written out as a
 //! self-contained `.case` file.
 //!

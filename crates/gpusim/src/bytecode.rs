@@ -269,6 +269,9 @@ pub struct ByteCode {
     pub(crate) n_blank_flags: usize,
     pub(crate) prologues: Vec<MapKernel>,
     pub(crate) prologue_env: HashMap<String, i64>,
+    /// Per-slot lane-affinity classes from [`mark_lanes`] — the loop and
+    /// address metadata the native lowering's pattern matcher consumes.
+    pub(crate) lane_cls: Vec<Lane>,
 }
 
 impl ByteCode {
@@ -286,7 +289,7 @@ impl ByteCode {
         lw.optimize(&mut nodes);
         let mut code = Vec::new();
         emit_nodes(nodes, &mut code);
-        mark_lanes(&mut code, &lw.units, lw.n_slots, tape);
+        let lane_cls = mark_lanes(&mut code, &lw.units, lw.n_slots, tape);
 
         let mut smem_off = Vec::with_capacity(tape.smem.len());
         let mut smem_len = 0usize;
@@ -331,6 +334,7 @@ impl ByteCode {
             n_blank_flags: tape.n_blank_flags,
             prologues: tape.prologues.clone(),
             prologue_env: tape.prologue_env.clone(),
+            lane_cls,
         }
     }
 
@@ -352,6 +356,18 @@ impl ByteCode {
     /// True when the kernel body lowered to no instructions.
     pub fn is_empty(&self) -> bool {
         self.code.is_empty()
+    }
+
+    /// Human-readable disassembly of the instruction stream, one line per
+    /// instruction with its pc — the debugging surface for the optimizer
+    /// and the native lowering's pattern matcher.
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (pc, i) in self.code.iter().enumerate() {
+            let _ = writeln!(s, "{pc:4}: {i:?}");
+        }
+        s
     }
 }
 
@@ -1101,8 +1117,8 @@ fn emit_node(n: Node, code: &mut Vec<Instr>) {
 /// `u`; `Unknown` is the optimistic top (not yet constrained); `Bot` is
 /// "no single affine form" (e.g. the staging specials, or a slot written
 /// with two different shapes).
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Lane {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Lane {
     Unknown,
     Aff(i64, i64),
     Bot,
@@ -1142,7 +1158,7 @@ impl Lane {
 /// column-major global — the coalesced pattern — becomes a slice copy),
 /// run uniform-address register-tile traffic as contiguous vector ops,
 /// and test uniform loop bounds on lane 0 only.
-fn mark_lanes(code: &mut [Instr], units: &[SlotExpr], n_slots: usize, tape: &Tape) {
+fn mark_lanes(code: &mut [Instr], units: &[SlotExpr], n_slots: usize, tape: &Tape) -> Vec<Lane> {
     let (bx, by) = tape.block;
     let mut cls = vec![Lane::Unknown; n_slots];
     let tx_seed = Lane::Aff(i64::from(bx > 1), 0);
@@ -1275,6 +1291,7 @@ fn mark_lanes(code: &mut [Instr], units: &[SlotExpr], n_slots: usize, tape: &Tap
             _ => {}
         }
     }
+    cls
 }
 
 #[cfg(test)]

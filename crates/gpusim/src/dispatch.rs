@@ -35,6 +35,7 @@ use std::sync::Mutex;
 
 use crate::engine::ExecEngine;
 use crate::exec::ExecError;
+use crate::native::NativeProgram;
 use crate::{ByteCode, Tape};
 
 /// A program lowered once through one engine, ready for repeated
@@ -60,6 +61,8 @@ pub enum CompiledProgram {
     Tape(Tape),
     /// Optimized linear bytecode for the lane-vectorized interpreter.
     Bytecode(ByteCode),
+    /// Bytecode annotated with native microkernel regions.
+    Native(NativeProgram),
 }
 
 impl CompiledProgram {
@@ -79,6 +82,7 @@ impl CompiledProgram {
             }),
             ExecEngine::Tape => Tape::compile(p, bindings).map(CompiledProgram::Tape),
             ExecEngine::Bytecode => ByteCode::compile(p, bindings).map(CompiledProgram::Bytecode),
+            ExecEngine::Native => NativeProgram::compile(p, bindings).map(CompiledProgram::Native),
         }
     }
 
@@ -92,6 +96,7 @@ impl CompiledProgram {
             }
             CompiledProgram::Tape(t) => t.execute(bufs),
             CompiledProgram::Bytecode(b) => b.execute(bufs),
+            CompiledProgram::Native(np) => np.execute(bufs),
         }
     }
 
@@ -101,6 +106,7 @@ impl CompiledProgram {
             CompiledProgram::Oracle { .. } => ExecEngine::Oracle,
             CompiledProgram::Tape(_) => ExecEngine::Tape,
             CompiledProgram::Bytecode(_) => ExecEngine::Bytecode,
+            CompiledProgram::Native(_) => ExecEngine::Native,
         }
     }
 }

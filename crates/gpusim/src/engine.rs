@@ -1,19 +1,22 @@
-//! Engine selection: one entry point over the three executors.
+//! Engine selection: one entry point over the four executors.
 //!
-//! The simulator has three semantically identical engines, in increasing
+//! The simulator has four semantically identical engines, in increasing
 //! order of compilation effort and execution speed:
 //!
 //! 1. **oracle** — the tree-walking reference executor
 //!    ([`exec_program`](crate::exec::exec_program));
 //! 2. **tape** — the slot-resolved compiled tape ([`Tape`]);
 //! 3. **bytecode** — the tape lowered to optimized linear bytecode and
-//!    run on the lane-vectorized interpreter ([`ByteCode`]).
+//!    run on the lane-vectorized interpreter ([`ByteCode`]);
+//! 4. **native** — the bytecode further lowered to specialized host
+//!    microkernels for its lane-affine inner loop nests, falling back to
+//!    the interpreter everywhere else ([`NativeProgram`]).
 //!
 //! [`exec_program_fast`] is the fast path used by the composer's legality
 //! filter, the BLAS3 verifier and the autotuner. It defaults to the
-//! bytecode engine; set `OA_EXEC_ENGINE=oracle|tape|bytecode` to pin a
-//! specific engine (an unrecognized value falls back to the default, so
-//! stale scripts keep working).
+//! bytecode engine; set `OA_EXEC_ENGINE=oracle|tape|bytecode|native` to
+//! pin a specific engine (an unrecognized value falls back to the
+//! default, so stale scripts keep working).
 //!
 //! `OA_EXEC_ENGINE` is the *top-level default only*, read once per process
 //! by [`select`].  Code that needs a specific engine (tests, benchmarks,
@@ -29,6 +32,7 @@ use std::sync::OnceLock;
 
 use crate::bytecode::ByteCode;
 use crate::exec::ExecError;
+use crate::native::NativeProgram;
 use crate::tape::Tape;
 
 /// Which executor to run a program on.
@@ -41,6 +45,9 @@ pub enum ExecEngine {
     /// Optimized linear bytecode on the lane-vectorized interpreter
     /// (default).
     Bytecode,
+    /// Bytecode with lane-affine inner loop nests lowered to native host
+    /// microkernels (fastest; interpreter fallback elsewhere).
+    Native,
 }
 
 impl ExecEngine {
@@ -50,6 +57,7 @@ impl ExecEngine {
             "oracle" => Some(ExecEngine::Oracle),
             "tape" => Some(ExecEngine::Tape),
             "bytecode" => Some(ExecEngine::Bytecode),
+            "native" => Some(ExecEngine::Native),
             _ => None,
         }
     }
@@ -60,11 +68,17 @@ impl ExecEngine {
             ExecEngine::Oracle => "oracle",
             ExecEngine::Tape => "tape",
             ExecEngine::Bytecode => "bytecode",
+            ExecEngine::Native => "native",
         }
     }
 
     /// All engines, oracle first (the differential-test iteration order).
-    pub const ALL: [ExecEngine; 3] = [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode];
+    pub const ALL: [ExecEngine; 4] = [
+        ExecEngine::Oracle,
+        ExecEngine::Tape,
+        ExecEngine::Bytecode,
+        ExecEngine::Native,
+    ];
 }
 
 /// The process-wide default engine: `OA_EXEC_ENGINE`, read **once** on
@@ -99,6 +113,7 @@ pub fn exec_program_on(
         ExecEngine::Oracle => crate::exec::exec_program(p, bindings, bufs),
         ExecEngine::Tape => Tape::compile(p, bindings)?.execute(bufs),
         ExecEngine::Bytecode => ByteCode::compile(p, bindings)?.execute(bufs),
+        ExecEngine::Native => NativeProgram::compile(p, bindings)?.execute(bufs),
     }
 }
 
@@ -120,30 +135,32 @@ pub fn exec_program_fast(
 /// its error.
 ///
 /// This is the differential cross-check primitive: the fuzzer and the
-/// cross-engine tests call it once per case and then compare the three
+/// cross-engine tests call it once per case and then compare the four
 /// outcomes for bit-identical buffers or identically-classified errors
 /// ([`ExecError::class`]).
 pub fn exec_all_engines(
     p: &Program,
     bindings: &Bindings,
     bufs: &Buffers,
-) -> [(ExecEngine, Result<Buffers, ExecError>); 3] {
+) -> [(ExecEngine, Result<Buffers, ExecError>); 4] {
     let run = |engine: ExecEngine| {
         let mut mine = bufs.clone();
         exec_program_on(engine, p, bindings, &mut mine).map(|()| mine)
     };
-    let [a, b, c] = ExecEngine::ALL;
-    let (ra, rb, rc) = std::thread::scope(|s| {
+    let [a, b, c, d] = ExecEngine::ALL;
+    let (ra, rb, rc, rd) = std::thread::scope(|s| {
         let hb = s.spawn(|| run(b));
         let hc = s.spawn(|| run(c));
+        let hd = s.spawn(|| run(d));
         let ra = run(a);
         (
             ra,
             hb.join().expect("engine thread panicked"),
             hc.join().expect("engine thread panicked"),
+            hd.join().expect("engine thread panicked"),
         )
     });
-    [(a, ra), (b, rb), (c, rc)]
+    [(a, ra), (b, rb), (c, rc), (d, rd)]
 }
 
 #[cfg(test)]
@@ -174,7 +191,7 @@ mod tests {
         let p = mapped_gemm();
         let b = Bindings::square(32);
         let mut outs = Vec::new();
-        for engine in [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode] {
+        for engine in ExecEngine::ALL {
             let mut bufs = alloc_buffers(&p, &b, 11);
             exec_program_on(engine, &p, &b, &mut bufs).expect("exec");
             outs.push(
@@ -187,13 +204,14 @@ mod tests {
         }
         assert_eq!(outs[0], outs[1], "oracle vs tape");
         assert_eq!(outs[0], outs[2], "oracle vs bytecode");
+        assert_eq!(outs[0], outs[3], "oracle vs native");
     }
 
     #[test]
     fn unmapped_program_fails_on_every_engine() {
         let p = gemm_nn_like("g");
         let b = Bindings::square(8);
-        for engine in [ExecEngine::Oracle, ExecEngine::Tape, ExecEngine::Bytecode] {
+        for engine in ExecEngine::ALL {
             let mut bufs = alloc_buffers(&p, &b, 1);
             let err = exec_program_on(engine, &p, &b, &mut bufs).unwrap_err();
             assert!(matches!(err, ExecError::Launch(_)), "{engine:?}");

@@ -11,12 +11,14 @@
 //!   correctness oracle for final kernels;
 //! * [`tape`] — the same semantics compiled once into a slot-resolved
 //!   kernel tape and executed block-parallel with rayon;
-//! * [`bytecode`] / [`vexec`] — the fastest path: the tape lowered to an
-//!   optimized flat bytecode (constant folding, invariant hoisting,
-//!   strength reduction, FMA fusion) and run on a lane-vectorized
-//!   interpreter;
-//! * [`engine`] — selection among the three engines
-//!   (`OA_EXEC_ENGINE=oracle|tape|bytecode`, default bytecode);
+//! * [`bytecode`] / [`vexec`] — the tape lowered to an optimized flat
+//!   bytecode (constant folding, invariant hoisting, strength reduction,
+//!   FMA fusion) and run on a lane-vectorized interpreter;
+//! * [`native`] — the fastest path: the bytecode's lane-affine inner
+//!   loop nests pattern-matched at compile time and executed through
+//!   specialized host SIMD microkernels, interpreter fallback elsewhere;
+//! * [`engine`] — selection among the four engines
+//!   (`OA_EXEC_ENGINE=oracle|tape|bytecode|native`, default bytecode);
 //! * [`dispatch`] — batched-execution building blocks: compile-once
 //!   programs, the bounded LRU program store, and the shared-queue worker
 //!   pool behind `oa_core::dispatch`'s routine registry;
@@ -39,6 +41,7 @@ pub mod engine;
 pub mod events;
 pub mod exec;
 pub mod launch;
+pub mod native;
 pub mod perf;
 pub mod profile;
 pub mod tape;
@@ -53,6 +56,7 @@ pub use engine::{
 };
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
+pub use native::{NativeProgram, NativeReject};
 pub use perf::{evaluate, EvalError, PerfReport};
 pub use profile::ProfileCounters;
 pub use tape::Tape;

@@ -1,0 +1,1156 @@
+//! Native microkernel engine: the fourth execution tier.
+//!
+//! The bytecode interpreter (`vexec`) still pays per-[`Instr`] dispatch
+//! and per-lane address arithmetic inside the register-tile inner loop —
+//! the FMA-fused accumulate over the K-tile that dominates every BLAS3
+//! routine.  This module lowers a compiled [`ByteCode`] program one tier
+//! further: it pattern-matches the optimizer's lane-affine inner loop
+//! nests at compile time and executes each matched *region* through a
+//! library of specialized host microkernels — monomorphized Rust loops
+//! selected over (guard shape, accumulator target, stride class) whose
+//! contiguous-slice FMA bodies the autovectorizer lifts to SIMD.
+//!
+//! The lowering is an *annotation*, not a rewrite: the bytecode stream is
+//! left untouched, and a region that cannot be proven safe at compile
+//! time (recorded in [`NativeTable::rejects`] with a [`NativeReject`]
+//! reason) or at run time (a divergent mask, a guard the interval
+//! analysis cannot resolve uniformly) simply falls back to interpreting
+//! the very same instructions in place.  Fallbacks are therefore always
+//! bit-identical by construction; the native path must then *also* be
+//! bit-identical, which it achieves by:
+//!
+//! * **a scalar preflight** — lane 0's integer frame column is
+//!   interpreted on a scratch environment, resolving every address and
+//!   proving every guard uniformly true or false across the whole lane
+//!   box via interval analysis over the lane-affine classes that
+//!   [`ByteCode`]'s `mark_lanes` pass computed (`lane_cls`).  Any guard
+//!   with a mixed verdict aborts to the interpreter before anything is
+//!   mutated;
+//! * **sequential trace replay** — statement instances execute in
+//!   exactly the interpreter's order, each through a fused vector kernel
+//!   (or a generic vectorized op-by-op path), so floating-point effects
+//!   are reproduced operation for operation;
+//! * **two-rounding FMA** — every kernel computes `t = a*b` (rounded),
+//!   then `acc ± t` (rounded), never `mul_add`, matching the semantics
+//!   every other engine pins;
+//! * **exact frame writeback** — integer slots written inside the region
+//!   are reconstructed per lane from `env[slot] + a·tx + b·ty`, the very
+//!   invariant `mark_lanes` proved for them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oa_loopir::interp::{Bindings, Buffers, Matrix};
+use oa_loopir::scalar::BinOp;
+use oa_loopir::slots::SlotExpr;
+use oa_loopir::stmt::AssignOp;
+use oa_loopir::{CmpOp, Program};
+
+use crate::bytecode::{AOp, ByteCode, Instr, Lane};
+use crate::exec::ExecError;
+use crate::tape::ArrRef;
+use crate::vexec::VBlock;
+
+/// A bytecode program plus its native-lowering side table: the artifact
+/// the `native` engine compiles to.
+#[derive(Debug)]
+pub struct NativeProgram {
+    bc: ByteCode,
+    table: NativeTable,
+}
+
+impl NativeProgram {
+    /// Compile a program for the native engine: bytecode lowering first,
+    /// then the region matcher over the instruction stream.
+    pub fn compile(p: &Program, bindings: &Bindings) -> Result<NativeProgram, ExecError> {
+        Ok(NativeProgram::from_bytecode(ByteCode::compile(
+            p, bindings,
+        )?))
+    }
+
+    /// Annotate an already-compiled bytecode program.
+    pub(crate) fn from_bytecode(bc: ByteCode) -> NativeProgram {
+        let table = lower(&bc);
+        NativeProgram { bc, table }
+    }
+
+    /// Execute on the given buffers: the interpreter drives, entering a
+    /// native region whenever the program counter hits a matched entry
+    /// point and the runtime checks pass.
+    pub fn execute(&self, bufs: &mut Buffers) -> Result<(), ExecError> {
+        self.bc.execute_with_native(bufs, &self.table)
+    }
+
+    /// Number of inner-loop regions the matcher lowered.
+    pub fn region_count(&self) -> usize {
+        self.table.regions.len()
+    }
+
+    /// Loop nests the matcher inspected but refused, with the reason —
+    /// the structured fallback trace the lowering tests assert on.
+    pub fn rejects(&self) -> &[(usize, NativeReject)] {
+        &self.table.rejects
+    }
+
+    /// Runtime counters: `(entries, fallbacks)` — how often a lowered
+    /// region actually ran natively vs. fell back to the interpreter.
+    pub fn runtime_stats(&self) -> (u64, u64) {
+        (
+            self.table.entries.load(Ordering::Relaxed),
+            self.table.fallbacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The underlying bytecode program the regions annotate.
+    pub fn bytecode(&self) -> &ByteCode {
+        &self.bc
+    }
+}
+
+/// Why the pattern matcher refused to lower a loop nest.  A reject is
+/// not an error: the region simply stays on the interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeReject {
+    /// A loop bound is not provably lane-invariant.
+    NonUniformBounds,
+    /// The loop itself is divergent (per-lane trip counts).
+    DivergentLoop,
+    /// The nest contains an instruction the native tier does not model
+    /// (barrier staging, register moves, nested else-branches, …).
+    UnsupportedInstr,
+    /// A guard is `thread0_only` or its condition is not lane-affine, so
+    /// the interval analysis cannot classify it.
+    NonAffineGuard,
+    /// A load/store subscript has no lane-affine class (gather).
+    NonAffineAddress,
+    /// A store targets something other than a register tile at a
+    /// lane-invariant element.
+    StoreShape,
+    /// A load reads a global the kernel also writes: the interpreter's
+    /// overlay (read-your-write) semantics would be bypassed.
+    WrittenGlobalLoad,
+    /// An integer slot written in the nest has no lane-affine class, so
+    /// the frame writeback could not be reconstructed.
+    NonAffineWriteback,
+    /// The nest matched but contains no accumulate statement — nothing
+    /// to win, so it stays on the interpreter.
+    NoStatement,
+}
+
+/// The lowering side table for one program.
+#[derive(Debug)]
+pub(crate) struct NativeTable {
+    /// Per-pc region index (`u32::MAX` = no region starts here).
+    pub(crate) entry: Vec<u32>,
+    pub(crate) regions: Vec<Region>,
+    /// `(pc, reason)` for every loop nest the matcher refused.
+    pub(crate) rejects: Vec<(usize, NativeReject)>,
+    /// Regions entered natively (runtime, relaxed).
+    pub(crate) entries: AtomicU64,
+    /// Runtime fallbacks to the interpreter (divergent mask or a guard
+    /// the interval analysis could not resolve uniformly).
+    pub(crate) fallbacks: AtomicU64,
+}
+
+/// One matched loop nest: an annotation over `code[start..resume]`.
+#[derive(Debug)]
+pub(crate) struct Region {
+    /// pc of the outer `LoopInit`.
+    pub(crate) start: usize,
+    /// pc just past the outer `PopMask` — where the interpreter resumes.
+    pub(crate) resume: usize,
+    stmts: Vec<NStmt>,
+    /// `(pc, stmt index)` sorted by pc — the preflight's statement map.
+    stmt_entry: Vec<(usize, u32)>,
+    /// Integer slots written inside the region, with their lane-affine
+    /// class `(slot, a, b)`: lane value = `env[slot] + a·tx + b·ty`.
+    writeback: Vec<(u32, i64, i64)>,
+    /// Every slot/guard/address in this region passed the affinity
+    /// analysis.  Always true for a constructed region — asserted at
+    /// entry so the native path can never run on a rejected nest.
+    pub(crate) affine_ok: bool,
+}
+
+/// One floating-point statement (a guarded or bare run of F-instrs).
+#[derive(Debug)]
+struct NStmt {
+    /// Guard predicate index into `bc.preds`, if any.
+    pred: Option<u32>,
+    /// Per-condition interval slack `(lo_extra, hi_extra)`: the min/max
+    /// of `A·tx + B·ty` over the lane box, where `(A, B)` are the
+    /// lane-affine coefficients of `lhs − rhs`.
+    conds: Vec<(i64, i64)>,
+    ops: Vec<NOp>,
+    /// Trace addresses per instance (one `(r, c)` pair per load/store).
+    n_addrs: usize,
+    /// pc just past the statement (past the guard's `PopMask`).
+    exit: usize,
+    /// The fused FMA-accumulate shape, when the ops match it exactly.
+    hot: Option<Hot>,
+}
+
+/// One lowered operation; loads/stores resolve their `(r, c)` during the
+/// preflight (recorded in the trace), everything else is compile-time.
+#[derive(Clone, Copy, Debug)]
+enum NOp {
+    Const {
+        dst: u32,
+        v: f32,
+    },
+    Load {
+        dst: u32,
+        row: AOp,
+        col: AOp,
+        src: NSrc,
+    },
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Fma {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        mul_first: bool,
+    },
+    Store {
+        src: u32,
+        row: AOp,
+        col: AOp,
+        x: u32,
+        op: AssignOp,
+    },
+}
+
+/// A load source with its compile-time lane structure.
+#[derive(Clone, Copy, Debug)]
+enum NSrc {
+    /// Unwritten global; `(ra, rb)`/`(ca, cb)` are the row/col lane
+    /// coefficients (the leading dimension is runtime).
+    Global {
+        g: u32,
+        ra: i64,
+        rb: i64,
+        ca: i64,
+        cb: i64,
+    },
+    /// Shared tile: arena offset, leading dimension and the flat per-tx
+    /// / per-ty deltas, all compile-time.
+    Shared {
+        off: i64,
+        ld: i64,
+        dtx: i64,
+        dty: i64,
+    },
+    /// Register tile at a lane-invariant element (lane-contiguous).
+    Reg { x: u32 },
+}
+
+/// The fused accumulate `acc ±= a*b`: two loads, one multiply, one
+/// register-tile read-modify-write, executed as a single pass.
+#[derive(Clone, Copy, Debug)]
+struct Hot {
+    a: NSrc,
+    b: NSrc,
+    sub: bool,
+    x: u32,
+}
+
+impl NStmt {
+    fn record_len(&self) -> usize {
+        1 + 2 * self.n_addrs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time lowering: the pattern matcher.
+// ---------------------------------------------------------------------------
+
+/// Scan the instruction stream for lowerable loop nests.  Outer nests
+/// that fail keep scanning inward, so a GEMM whose K-block loop stages
+/// shared memory (unsupported) still gets its inner register-tile nest.
+pub(crate) fn lower(bc: &ByteCode) -> NativeTable {
+    let mut entry = vec![u32::MAX; bc.code.len()];
+    let mut regions = Vec::new();
+    let mut rejects = Vec::new();
+    let mut pc = 0usize;
+    while pc < bc.code.len() {
+        if matches!(bc.code[pc], Instr::LoopInit { .. }) {
+            let mut b = RegionBuilder::new(bc);
+            match b.parse_loop(pc) {
+                Ok(resume) if b.has_store => {
+                    entry[pc] = regions.len() as u32;
+                    regions.push(b.finish(pc, resume));
+                    pc = resume;
+                    continue;
+                }
+                Ok(_) => rejects.push((pc, NativeReject::NoStatement)),
+                Err(r) => rejects.push((pc, r)),
+            }
+        }
+        pc += 1;
+    }
+    NativeTable {
+        entry,
+        regions,
+        rejects,
+        entries: AtomicU64::new(0),
+        fallbacks: AtomicU64::new(0),
+    }
+}
+
+struct RegionBuilder<'a> {
+    bc: &'a ByteCode,
+    stmts: Vec<NStmt>,
+    stmt_entry: Vec<(usize, u32)>,
+    writeback: Vec<(u32, i64, i64)>,
+    has_store: bool,
+}
+
+impl<'a> RegionBuilder<'a> {
+    fn new(bc: &'a ByteCode) -> Self {
+        RegionBuilder {
+            bc,
+            stmts: Vec::new(),
+            stmt_entry: Vec::new(),
+            writeback: Vec::new(),
+            has_store: false,
+        }
+    }
+
+    fn finish(self, start: usize, resume: usize) -> Region {
+        Region {
+            start,
+            resume,
+            stmts: self.stmts,
+            stmt_entry: self.stmt_entry,
+            writeback: self.writeback,
+            affine_ok: true,
+        }
+    }
+
+    /// Lane-affine class of a slot, or the reject for slots the affinity
+    /// analysis could not classify.
+    fn cls(&self, s: usize) -> Result<(i64, i64), NativeReject> {
+        match self.bc.lane_cls[s] {
+            Lane::Aff(a, b) => Ok((a, b)),
+            _ => Err(NativeReject::NonAffineAddress),
+        }
+    }
+
+    /// Lane-affine class of an address operand.
+    fn aop_aff(&self, a: AOp) -> Result<(i64, i64), NativeReject> {
+        match a {
+            AOp::Const(_) => Ok((0, 0)),
+            AOp::Slot(s) => self.cls(s as usize),
+            AOp::Unit(u) => self.expr_aff(&self.bc.units[u as usize]),
+        }
+    }
+
+    fn expr_aff(&self, e: &SlotExpr) -> Result<(i64, i64), NativeReject> {
+        let mut aa = 0;
+        let mut bb = 0;
+        for &(s, c) in &e.terms {
+            let (a1, b1) = self.cls(s)?;
+            aa += c * a1;
+            bb += c * b1;
+        }
+        Ok((aa, bb))
+    }
+
+    fn uniform_bound(&self, a: AOp) -> Result<(), NativeReject> {
+        match self.aop_aff(a) {
+            Ok((0, 0)) => Ok(()),
+            _ => Err(NativeReject::NonUniformBounds),
+        }
+    }
+
+    /// Record an integer slot the region writes; its lane-affine class
+    /// becomes the writeback formula.
+    fn note_write(&mut self, s: u32) -> Result<(), NativeReject> {
+        if self.writeback.iter().any(|w| w.0 == s) {
+            return Ok(());
+        }
+        match self.bc.lane_cls[s as usize] {
+            Lane::Aff(a, b) => {
+                self.writeback.push((s, a, b));
+                Ok(())
+            }
+            _ => Err(NativeReject::NonAffineWriteback),
+        }
+    }
+
+    /// Match one loop: `LoopInit` / init `Eval`s / uniform `LoopTest`,
+    /// body items, `LoopJump` + `PopMask` at the test's exit.  Returns
+    /// the pc just past the `PopMask`.
+    fn parse_loop(&mut self, pc: usize) -> Result<usize, NativeReject> {
+        let code = &self.bc.code;
+        let Instr::LoopInit {
+            var,
+            hi,
+            lo,
+            hi_src,
+            ..
+        } = code[pc]
+        else {
+            return Err(NativeReject::UnsupportedInstr);
+        };
+        self.uniform_bound(lo)?;
+        self.uniform_bound(hi_src)?;
+        self.note_write(var)?;
+        self.note_write(hi)?;
+        let mut i = pc + 1;
+        while let Instr::Eval { dst, .. } = code[i] {
+            self.note_write(dst)?;
+            i += 1;
+        }
+        let Instr::LoopTest { exit, uniform, .. } = code[i] else {
+            return Err(NativeReject::UnsupportedInstr);
+        };
+        if !uniform {
+            return Err(NativeReject::DivergentLoop);
+        }
+        let end = exit as usize;
+        if end <= i + 1
+            || end >= code.len()
+            || !matches!(code[end], Instr::PopMask)
+            || !matches!(code[end - 1], Instr::LoopJump { .. })
+        {
+            return Err(NativeReject::UnsupportedInstr);
+        }
+        self.parse_items(i + 1, end - 1)?;
+        Ok(end + 1)
+    }
+
+    /// Match a loop body: slot updates, nested loops, guarded and bare
+    /// floating-point statements.  Anything else rejects the nest.
+    fn parse_items(&mut self, mut i: usize, hi: usize) -> Result<(), NativeReject> {
+        let code = &self.bc.code;
+        while i < hi {
+            match code[i] {
+                Instr::Eval { dst, .. } | Instr::StepAdd { dst, .. } => {
+                    self.note_write(dst)?;
+                    i += 1;
+                }
+                Instr::LoopInit { .. } => i = self.parse_loop(i)?,
+                Instr::IfSplit { pred, on_empty } => {
+                    let end = on_empty as usize;
+                    if end <= i || end > hi || !matches!(code[end], Instr::PopMask) {
+                        return Err(NativeReject::UnsupportedInstr);
+                    }
+                    self.push_stmt(i, i + 1, end, Some(pred))?;
+                    i = end + 1;
+                }
+                Instr::FConst { .. }
+                | Instr::FLoad { .. }
+                | Instr::FBin { .. }
+                | Instr::FFma { .. }
+                | Instr::FStore { .. } => {
+                    let mut j = i;
+                    while j < hi && is_fop(&code[j]) {
+                        j += 1;
+                    }
+                    self.push_stmt(i, i, j, None)?;
+                    i = j;
+                }
+                _ => return Err(NativeReject::UnsupportedInstr),
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower one statement: guard interval slack, then the op run.
+    fn push_stmt(
+        &mut self,
+        entry_pc: usize,
+        ops_lo: usize,
+        ops_hi: usize,
+        pred: Option<u32>,
+    ) -> Result<(), NativeReject> {
+        let mut conds = Vec::new();
+        if let Some(p) = pred {
+            let sp = &self.bc.preds[p as usize];
+            if sp.thread0_only {
+                return Err(NativeReject::NonAffineGuard);
+            }
+            let (bx, by) = self.bc.block;
+            for c in &sp.conds {
+                let (la, lb) = self
+                    .expr_aff(&c.lhs)
+                    .map_err(|_| NativeReject::NonAffineGuard)?;
+                let (ra, rb) = self
+                    .expr_aff(&c.rhs)
+                    .map_err(|_| NativeReject::NonAffineGuard)?;
+                let xt = (la - ra) * (bx - 1);
+                let yt = (lb - rb) * (by - 1);
+                conds.push((xt.min(0) + yt.min(0), xt.max(0) + yt.max(0)));
+            }
+        }
+
+        let mut ops = Vec::new();
+        let mut n_addrs = 0usize;
+        for k in ops_lo..ops_hi {
+            match self.bc.code[k] {
+                Instr::FConst { dst, v } => ops.push(NOp::Const { dst, v }),
+                Instr::FLoad {
+                    dst, arr, row, col, ..
+                } => {
+                    let (ra, rb) = self.aop_aff(row)?;
+                    let (ca, cb) = self.aop_aff(col)?;
+                    let src = match arr {
+                        ArrRef::Global(g) => {
+                            if self.bc.globals[g].written {
+                                return Err(NativeReject::WrittenGlobalLoad);
+                            }
+                            NSrc::Global {
+                                g: g as u32,
+                                ra,
+                                rb,
+                                ca,
+                                cb,
+                            }
+                        }
+                        ArrRef::Shared(s) => {
+                            let d = &self.bc.smem[s];
+                            let ld = d.rows + d.pad;
+                            NSrc::Shared {
+                                off: self.bc.smem_off[s] as i64,
+                                ld,
+                                dtx: ra + ca * ld,
+                                dty: rb + cb * ld,
+                            }
+                        }
+                        ArrRef::Reg(x) => {
+                            if (ra, rb, ca, cb) != (0, 0, 0, 0) {
+                                return Err(NativeReject::NonAffineAddress);
+                            }
+                            NSrc::Reg { x: x as u32 }
+                        }
+                    };
+                    n_addrs += 1;
+                    ops.push(NOp::Load { dst, row, col, src });
+                }
+                Instr::FBin { op, dst, a, b } => ops.push(NOp::Bin { op, dst, a, b }),
+                Instr::FFma {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    mul_first,
+                } => ops.push(NOp::Fma {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    mul_first,
+                }),
+                Instr::FStore {
+                    src,
+                    arr,
+                    row,
+                    col,
+                    op,
+                    ..
+                } => {
+                    let ArrRef::Reg(x) = arr else {
+                        return Err(NativeReject::StoreShape);
+                    };
+                    if self.aop_aff(row)? != (0, 0) || self.aop_aff(col)? != (0, 0) {
+                        return Err(NativeReject::StoreShape);
+                    }
+                    self.has_store = true;
+                    n_addrs += 1;
+                    ops.push(NOp::Store {
+                        src,
+                        row,
+                        col,
+                        x: x as u32,
+                        op,
+                    });
+                }
+                _ => return Err(NativeReject::UnsupportedInstr),
+            }
+        }
+
+        let exit = if pred.is_some() { ops_hi + 1 } else { ops_hi };
+        let hot = detect_hot(&ops);
+        let id = self.stmts.len() as u32;
+        self.stmt_entry.push((entry_pc, id));
+        self.stmts.push(NStmt {
+            pred,
+            conds,
+            ops,
+            n_addrs,
+            exit,
+            hot,
+        });
+        Ok(())
+    }
+}
+
+fn is_fop(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::FConst { .. }
+            | Instr::FLoad { .. }
+            | Instr::FBin { .. }
+            | Instr::FFma { .. }
+            | Instr::FStore { .. }
+    )
+}
+
+/// Recognize the fused accumulate: `load a; load b; mul; acc ±= t`, with
+/// both sources outside the register file (the accumulator may alias a
+/// `Reg` source slice, so those stay on the generic path).
+fn detect_hot(ops: &[NOp]) -> Option<Hot> {
+    match *ops {
+        [NOp::Load {
+            dst: la, src: sa, ..
+        }, NOp::Load {
+            dst: lb, src: sb, ..
+        }, NOp::Bin {
+            op: BinOp::Mul,
+            dst,
+            a,
+            b,
+        }, NOp::Store { src, x, op, .. }]
+            if a == la
+                && b == lb
+                && src == dst
+                && !matches!(sa, NSrc::Reg { .. })
+                && !matches!(sb, NSrc::Reg { .. })
+                && matches!(op, AssignOp::AddAssign | AssignOp::SubAssign) =>
+        {
+            Some(Hot {
+                a: sa,
+                b: sb,
+                sub: matches!(op, AssignOp::SubAssign),
+                x,
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: preflight, trace replay, microkernels, writeback.
+// ---------------------------------------------------------------------------
+
+/// Per-worker native scratch (lives inside the interpreter's `VScratch`).
+#[derive(Debug, Default)]
+pub(crate) struct NativeScratch {
+    /// Lane-0 integer frame column, interpreted scalar by the preflight.
+    pub(crate) env: Vec<i64>,
+    /// Resolved statement instances: `[stmt, r, c, r, c, …]` per record.
+    pub(crate) trace: Vec<i64>,
+}
+
+fn aop_env(bc: &ByteCode, env: &[i64], a: AOp) -> i64 {
+    match a {
+        AOp::Const(c) => c,
+        AOp::Slot(s) => env[s as usize],
+        AOp::Unit(u) => bc.units[u as usize].eval(env),
+    }
+}
+
+impl VBlock<'_> {
+    /// Attempt to run region `rix` natively.  Returns the resume pc on
+    /// success; `None` means nothing was mutated and the interpreter
+    /// must execute the region itself.
+    pub(crate) fn try_native(&mut self, nat: &NativeTable, rix: u32) -> Option<usize> {
+        let region = &nat.regions[rix as usize];
+        // The no-mis-lower guard: a region object only exists for nests
+        // the affinity analysis fully accepted.
+        debug_assert!(
+            region.affine_ok,
+            "native region selected for a nest the affinity analysis rejected"
+        );
+        if !self.mask_full() || !self.native_preflight(region) {
+            nat.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        nat.entries.fetch_add(1, Ordering::Relaxed);
+        self.native_replay(region);
+        self.native_writeback(region);
+        Some(region.resume)
+    }
+
+    /// Phase 1: interpret the region's integer control flow on lane 0's
+    /// frame column, proving every guard uniform and recording every
+    /// resolved address.  Returns false (mixed guard — abort, nothing
+    /// mutated) or true with `nscratch.{env, trace}` filled.
+    fn native_preflight(&mut self, region: &Region) -> bool {
+        let bc = self.bc;
+        let n = self.n;
+        let mut env = std::mem::take(&mut self.nscratch.env);
+        let mut trace = std::mem::take(&mut self.nscratch.trace);
+        env.clear();
+        trace.clear();
+        for s in 0..bc.n_slots {
+            env.push(self.frames[s * n]);
+        }
+
+        let end = region.resume - 1; // the outer PopMask
+        let mut pc = region.start;
+        let mut ok = true;
+        while pc != end {
+            if let Ok(ix) = region.stmt_entry.binary_search_by_key(&pc, |e| e.0) {
+                let sid = region.stmt_entry[ix].1;
+                let stmt = &region.stmts[sid as usize];
+                match self.stmt_verdict(stmt, &env) {
+                    Some(true) => {
+                        trace.push(sid as i64);
+                        for op in &stmt.ops {
+                            if let NOp::Load { row, col, .. } | NOp::Store { row, col, .. } = *op {
+                                trace.push(aop_env(bc, &env, row));
+                                trace.push(aop_env(bc, &env, col));
+                            }
+                        }
+                        pc = stmt.exit;
+                    }
+                    Some(false) => pc = stmt.exit,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+                continue;
+            }
+            match bc.code[pc] {
+                Instr::Eval { dst, unit } => {
+                    let v = bc.units[unit as usize].eval(&env);
+                    env[dst as usize] = v;
+                    pc += 1;
+                }
+                Instr::StepAdd { dst, imm } => {
+                    env[dst as usize] += imm;
+                    pc += 1;
+                }
+                Instr::LoopInit {
+                    var,
+                    hi,
+                    lo,
+                    hi_src,
+                    ..
+                } => {
+                    env[var as usize] = aop_env(bc, &env, lo);
+                    env[hi as usize] = aop_env(bc, &env, hi_src);
+                    pc += 1;
+                }
+                Instr::LoopTest { var, hi, exit, .. } => {
+                    pc = if env[var as usize] < env[hi as usize] {
+                        pc + 1
+                    } else {
+                        exit as usize
+                    };
+                }
+                Instr::LoopJump { top } => pc = top as usize,
+                Instr::PopMask => pc += 1,
+                _ => unreachable!("unmodeled instruction inside a native region"),
+            }
+        }
+        self.nscratch.env = env;
+        self.nscratch.trace = trace;
+        ok
+    }
+
+    /// Interval verdict for one guarded statement at the current scalar
+    /// environment: `Some(true)` — every lane passes, `Some(false)` —
+    /// every lane fails, `None` — mixed (abort to the interpreter).
+    fn stmt_verdict(&self, stmt: &NStmt, env: &[i64]) -> Option<bool> {
+        let Some(p) = stmt.pred else {
+            return Some(true);
+        };
+        let sp = &self.bc.preds[p as usize];
+        if let Some(ix) = sp.blank_flag {
+            if self.blank_flags[ix] == sp.blank_negated {
+                return Some(false);
+            }
+        }
+        let mut all = true;
+        for (c, &(lo_x, hi_x)) in sp.conds.iter().zip(&stmt.conds) {
+            let d0 = c.lhs.eval(env) - c.rhs.eval(env);
+            let (dmin, dmax) = (d0 + lo_x, d0 + hi_x);
+            let v = match c.op {
+                CmpOp::Lt => verdict(dmax < 0, dmin >= 0),
+                CmpOp::Le => verdict(dmax <= 0, dmin > 0),
+                CmpOp::Gt => verdict(dmin > 0, dmax <= 0),
+                CmpOp::Ge => verdict(dmin >= 0, dmax < 0),
+                CmpOp::Eq => verdict(dmin == 0 && dmax == 0, dmax < 0 || dmin > 0),
+                CmpOp::Ne => verdict(dmax < 0 || dmin > 0, dmin == 0 && dmax == 0),
+            };
+            match v {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all = false,
+            }
+        }
+        if all {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Phase 2: replay the recorded statement instances sequentially —
+    /// exactly the interpreter's order, through vector kernels.
+    fn native_replay(&mut self, region: &Region) {
+        let trace = std::mem::take(&mut self.nscratch.trace);
+        let mut off = 0;
+        while off < trace.len() {
+            let stmt = &region.stmts[trace[off] as usize];
+            let addrs = &trace[off + 1..off + stmt.record_len()];
+            if let Some(hot) = stmt.hot {
+                self.native_hot(hot, addrs);
+            } else {
+                self.native_generic(stmt, addrs);
+            }
+            off += stmt.record_len();
+        }
+        self.nscratch.trace = trace;
+    }
+
+    /// The fused microkernel: one pass `acc[l] ±= a(l)·b(l)` with both
+    /// gathers and the accumulate in a single loop, dispatched over the
+    /// stride classes of the two sources.
+    fn native_hot(&mut self, hot: Hot, addrs: &[i64]) {
+        let n = self.n;
+        let (bx, _) = self.bc.block;
+        let d = &self.bc.regs[hot.x as usize];
+        let base = (self.bc.reg_off[hot.x as usize] + (addrs[4] + addrs[5] * d.rows) as usize) * n;
+        debug_assert!(
+            addrs[4] >= 0 && addrs[4] < d.rows && addrs[5] >= 0 && addrs[5] < d.cols,
+            "register tile index out of bounds"
+        );
+        // Field-disjoint reborrows: sources read smem / the global
+        // snapshot, the accumulator mutates regs.
+        let smem: &[f32] = self.smem;
+        let mats = self.base;
+        let regs: &mut [f32] = self.regs;
+        let a = resolve_span(hot.a, addrs[0], addrs[1], smem, mats, n, bx);
+        let b = resolve_span(hot.b, addrs[2], addrs[3], smem, mats, n, bx);
+        let acc = &mut regs[base..base + n];
+        if hot.sub {
+            fused::<true>(acc, a, b, bx);
+        } else {
+            fused::<false>(acc, a, b, bx);
+        }
+    }
+
+    /// Generic vectorized statement: op-by-op over the virtual f32
+    /// registers, with addresses taken from the trace instead of
+    /// per-lane evaluation.
+    fn native_generic(&mut self, stmt: &NStmt, addrs: &[i64]) {
+        let n = self.n;
+        let (bx, _) = self.bc.block;
+        let mut ai = 0usize;
+        for op in &stmt.ops {
+            match *op {
+                NOp::Const { dst, v } => self.fregs[dst as usize * n..][..n].fill(v),
+                NOp::Load { dst, src, .. } => {
+                    let (r, c) = (addrs[ai], addrs[ai + 1]);
+                    ai += 2;
+                    let smem: &[f32] = self.smem;
+                    let mats = self.base;
+                    let span = match src {
+                        NSrc::Reg { x } => {
+                            let d = &self.bc.regs[x as usize];
+                            debug_assert!(
+                                r >= 0 && r < d.rows && c >= 0 && c < d.cols,
+                                "register tile index out of bounds"
+                            );
+                            let base =
+                                (self.bc.reg_off[x as usize] + (r + c * d.rows) as usize) * n;
+                            Span::Slice(&self.regs[base..base + n])
+                        }
+                        _ => resolve_span(src, r, c, smem, mats, n, bx),
+                    };
+                    let dst = &mut self.fregs[dst as usize * n..][..n];
+                    match span {
+                        Span::Uni(v) => dst.fill(v),
+                        Span::Slice(s) => dst.copy_from_slice(s),
+                        Span::Step(data, b0, s) => {
+                            for (l, x) in dst.iter_mut().enumerate() {
+                                *x = data[(b0 + s * l as i64) as usize];
+                            }
+                        }
+                        Span::Grid(data, b0, dtx, dty) => {
+                            let mut tx = 0i64;
+                            let mut ty = 0i64;
+                            for x in dst.iter_mut() {
+                                *x = data[(b0 + dtx * tx + dty * ty) as usize];
+                                tx += 1;
+                                if tx == bx {
+                                    tx = 0;
+                                    ty += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                NOp::Bin { op, dst, a, b } => {
+                    // dst > a, b: statement-local registers are allocated
+                    // operands-first, same as the interpreter's split.
+                    let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
+                    let dsl = &mut dsl[..n];
+                    let a = &src[a as usize * n..][..n];
+                    let b = &src[b as usize * n..][..n];
+                    let lanes = dsl.iter_mut().zip(a).zip(b);
+                    match op {
+                        BinOp::Add => lanes.for_each(|((d, a), b)| *d = a + b),
+                        BinOp::Sub => lanes.for_each(|((d, a), b)| *d = a - b),
+                        BinOp::Mul => lanes.for_each(|((d, a), b)| *d = a * b),
+                        BinOp::Div => lanes.for_each(|((d, a), b)| *d = a / b),
+                    }
+                }
+                NOp::Fma {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    mul_first,
+                } => {
+                    let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
+                    let dsl = &mut dsl[..n];
+                    let a = &src[a as usize * n..][..n];
+                    let b = &src[b as usize * n..][..n];
+                    let c = &src[c as usize * n..][..n];
+                    // Two roundings, never mul_add: same as every tier.
+                    let lanes = dsl.iter_mut().zip(a).zip(b).zip(c);
+                    match (op, mul_first) {
+                        (BinOp::Add, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b + c),
+                        (BinOp::Add, false) => lanes.for_each(|(((d, a), b), c)| *d = c + a * b),
+                        (BinOp::Sub, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b - c),
+                        (BinOp::Sub, false) => lanes.for_each(|(((d, a), b), c)| *d = c - a * b),
+                        _ => unreachable!("FFma is only built for Add/Sub"),
+                    }
+                }
+                NOp::Store { src, x, op, .. } => {
+                    let (r, c) = (addrs[ai], addrs[ai + 1]);
+                    ai += 2;
+                    let d = &self.bc.regs[x as usize];
+                    debug_assert!(
+                        r >= 0 && r < d.rows && c >= 0 && c < d.cols,
+                        "register tile index out of bounds"
+                    );
+                    let base = (self.bc.reg_off[x as usize] + (r + c * d.rows) as usize) * n;
+                    let s = src as usize * n;
+                    let lanes = self.regs[base..base + n]
+                        .iter_mut()
+                        .zip(&self.fregs[s..s + n]);
+                    match op {
+                        AssignOp::Assign => lanes.for_each(|(d, v)| *d = *v),
+                        AssignOp::AddAssign => lanes.for_each(|(d, v)| *d += v),
+                        AssignOp::SubAssign => lanes.for_each(|(d, v)| *d -= v),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 3: reconstruct every integer slot the region wrote, per
+    /// lane, from the scalar environment and the slot's affine class.
+    fn native_writeback(&mut self, region: &Region) {
+        let n = self.n;
+        let (bx, by) = self.bc.block;
+        for &(s, a, b) in &region.writeback {
+            let v0 = self.nscratch.env[s as usize];
+            let col = &mut self.frames[s as usize * n..][..n];
+            if a == 0 && b == 0 {
+                col.fill(v0);
+            } else {
+                let mut l = 0usize;
+                for ty in 0..by {
+                    for tx in 0..bx {
+                        col[l] = v0 + a * tx + b * ty;
+                        l += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Some(true)` / `Some(false)` when the interval proves the comparison
+/// uniform, `None` when it straddles.
+#[inline]
+fn verdict(all_true: bool, all_false: bool) -> Option<bool> {
+    if all_true {
+        Some(true)
+    } else if all_false {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// A load source resolved to its per-lane access pattern for one
+/// statement instance.
+enum Span<'x> {
+    /// Lane-invariant: one value broadcast.
+    Uni(f32),
+    /// Contiguous: `data[l]`.
+    Slice(&'x [f32]),
+    /// Constant stride: `data[base + s·l]`.
+    Step(&'x [f32], i64, i64),
+    /// Separate tx/ty strides: `data[base + dtx·tx + dty·ty]`.
+    Grid(&'x [f32], i64, i64, i64),
+}
+
+/// Classify a source at a resolved `(r, c)` into its stride class.
+fn resolve_span<'x>(
+    src: NSrc,
+    r: i64,
+    c: i64,
+    smem: &'x [f32],
+    mats: &[&'x Matrix],
+    n: usize,
+    bx: i64,
+) -> Span<'x> {
+    let (data, base, dtx, dty): (&[f32], i64, i64, i64) = match src {
+        NSrc::Global { g, ra, rb, ca, cb } => {
+            let m = mats[g as usize];
+            debug_assert!(r >= 0 && c >= 0 && c < m.cols, "global index out of bounds");
+            (&m.data, r + c * m.ld, ra + ca * m.ld, rb + cb * m.ld)
+        }
+        NSrc::Shared { off, ld, dtx, dty } => (smem, off + r + c * ld, dtx, dty),
+        NSrc::Reg { .. } => unreachable!("register sources resolve to lane slices"),
+    };
+    if dtx == 0 && dty == 0 {
+        return Span::Uni(data[base as usize]);
+    }
+    // A single lane-index stride exists when one block dimension is
+    // degenerate or the ty stride is exactly bx rows of the tx stride.
+    let step = if n as i64 == bx {
+        Some(dtx)
+    } else if bx == 1 {
+        Some(dty)
+    } else if dty == dtx * bx {
+        Some(dtx)
+    } else {
+        None
+    };
+    match step {
+        Some(1) => Span::Slice(&data[base as usize..base as usize + n]),
+        Some(s) => Span::Step(data, base, s),
+        None => Span::Grid(data, base, dtx, dty),
+    }
+}
+
+/// The microkernel library: one monomorphized loop per (sign, stride
+/// class, stride class) combination the generated kernels exhibit.  Each
+/// body keeps the two-rounding contract (`t = a·b`, then `acc ± t`) and
+/// iterates plain slices so the autovectorizer can lift it to SIMD.
+fn fused<const SUB: bool>(acc: &mut [f32], a: Span, b: Span, bx: i64) {
+    #[inline(always)]
+    fn k1<const SUB: bool>(acc: &mut [f32], a: impl Fn(usize) -> f32, b: impl Fn(usize) -> f32) {
+        for (l, x) in acc.iter_mut().enumerate() {
+            let t = a(l) * b(l);
+            if SUB {
+                *x -= t;
+            } else {
+                *x += t;
+            }
+        }
+    }
+    #[inline(always)]
+    fn k2<const SUB: bool>(
+        acc: &mut [f32],
+        bx: i64,
+        a: impl Fn(i64, i64) -> f32,
+        b: impl Fn(i64, i64) -> f32,
+    ) {
+        let mut tx = 0i64;
+        let mut ty = 0i64;
+        for x in acc.iter_mut() {
+            let t = a(tx, ty) * b(tx, ty);
+            if SUB {
+                *x -= t;
+            } else {
+                *x += t;
+            }
+            tx += 1;
+            if tx == bx {
+                tx = 0;
+                ty += 1;
+            }
+        }
+    }
+    use Span::{Grid, Slice, Step, Uni};
+    match (a, b) {
+        (Uni(av), Uni(bv)) => {
+            let t = av * bv;
+            for x in acc.iter_mut() {
+                if SUB {
+                    *x -= t;
+                } else {
+                    *x += t;
+                }
+            }
+        }
+        (Slice(s), Uni(v)) => k1::<SUB>(acc, |l| s[l], |_| v),
+        (Uni(v), Slice(s)) => k1::<SUB>(acc, |_| v, |l| s[l]),
+        (Slice(sa), Slice(sb)) => k1::<SUB>(acc, |l| sa[l], |l| sb[l]),
+        (Step(d, b0, st), Uni(v)) => k1::<SUB>(acc, |l| d[(b0 + st * l as i64) as usize], |_| v),
+        (Uni(v), Step(d, b0, st)) => k1::<SUB>(acc, |_| v, |l| d[(b0 + st * l as i64) as usize]),
+        (Step(da, ba, sa), Step(db, bb, sb)) => k1::<SUB>(
+            acc,
+            |l| da[(ba + sa * l as i64) as usize],
+            |l| db[(bb + sb * l as i64) as usize],
+        ),
+        (Step(d, b0, st), Slice(s)) => {
+            k1::<SUB>(acc, |l| d[(b0 + st * l as i64) as usize], |l| s[l])
+        }
+        (Slice(s), Step(d, b0, st)) => {
+            k1::<SUB>(acc, |l| s[l], |l| d[(b0 + st * l as i64) as usize])
+        }
+        (Grid(d, b0, dx, dy), Uni(v)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+            |_, _| v,
+        ),
+        (Uni(v), Grid(d, b0, dx, dy)) => k2::<SUB>(
+            acc,
+            bx,
+            |_, _| v,
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+        ),
+        (Grid(da, ba, dxa, dya), Grid(db, bb, dxb, dyb)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| da[(ba + dxa * tx + dya * ty) as usize],
+            |tx, ty| db[(bb + dxb * tx + dyb * ty) as usize],
+        ),
+        (Grid(d, b0, dx, dy), Slice(s)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+            |tx, ty| s[(tx + ty * bx) as usize],
+        ),
+        (Slice(s), Grid(d, b0, dx, dy)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| s[(tx + ty * bx) as usize],
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+        ),
+        (Grid(d, b0, dx, dy), Step(ds, bs, st)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+            |tx, ty| ds[(bs + st * (tx + ty * bx)) as usize],
+        ),
+        (Step(ds, bs, st), Grid(d, b0, dx, dy)) => k2::<SUB>(
+            acc,
+            bx,
+            |tx, ty| ds[(bs + st * (tx + ty * bx)) as usize],
+            |tx, ty| d[(b0 + dx * tx + dy * ty) as usize],
+        ),
+    }
+}

@@ -39,6 +39,7 @@ use std::cell::RefCell;
 use crate::bytecode::{AOp, AddrClass, ByteCode, Instr};
 use crate::exec::ExecError;
 use crate::launch::Builtin;
+use crate::native::{NativeScratch, NativeTable};
 use crate::tape::{pack_key, unpack_key, ArrRef, Overlay};
 
 /// Per-worker scratch reused across blocks and executions: all
@@ -58,6 +59,8 @@ struct VScratch {
     /// Mask stack entries `(saved, pred_lanes)`; retained and rewritten
     /// in place, `sp` marks the live depth.
     stack: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Scratch for the native tier's preflight and trace replay.
+    native: NativeScratch,
 }
 
 thread_local! {
@@ -69,6 +72,24 @@ impl ByteCode {
     /// then the block-parallel grid with the same deterministic `(by, bx)`
     /// overlay merge as the tape engine.
     pub fn execute(&self, bufs: &mut Buffers) -> Result<(), ExecError> {
+        self.execute_impl(bufs, None)
+    }
+
+    /// Execute with the native tier's region table: the interpreter
+    /// drives, handing matched regions to the native microkernels.
+    pub(crate) fn execute_with_native(
+        &self,
+        bufs: &mut Buffers,
+        table: &NativeTable,
+    ) -> Result<(), ExecError> {
+        self.execute_impl(bufs, Some(table))
+    }
+
+    fn execute_impl(
+        &self,
+        bufs: &mut Buffers,
+        native: Option<&NativeTable>,
+    ) -> Result<(), ExecError> {
         for mk in &self.prologues {
             run_map_kernel(mk, bufs, &|n| self.prologue_env[n]);
         }
@@ -95,7 +116,7 @@ impl ByteCode {
             let flags = &blank_flags;
             (0..nblocks)
                 .into_par_iter()
-                .map(|rank| self.run_block(rank, base, flags))
+                .map(|rank| self.run_block(rank, base, flags, native))
                 .collect()
         };
 
@@ -118,10 +139,11 @@ impl ByteCode {
         rank: i64,
         base: &[&Matrix],
         blank_flags: &[bool],
+        native: Option<&NativeTable>,
     ) -> Result<Vec<(u64, f32)>, ExecError> {
         VSCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            self.run_block_in(rank, base, blank_flags, scratch)
+            self.run_block_in(rank, base, blank_flags, native, scratch)
         })
     }
 
@@ -130,6 +152,7 @@ impl ByteCode {
         rank: i64,
         base: &[&Matrix],
         blank_flags: &[bool],
+        native: Option<&NativeTable>,
         scratch: &mut VScratch,
     ) -> Result<Vec<(u64, f32)>, ExecError> {
         let bx = rank % self.grid.0;
@@ -184,6 +207,8 @@ impl ByteCode {
             full: &scratch.full,
             stack: &mut scratch.stack,
             sp: 0,
+            native,
+            nscratch: &mut scratch.native,
         };
         vb.run()?;
         Ok(scratch.overlay.drain().collect())
@@ -191,29 +216,34 @@ impl ByteCode {
 }
 
 /// One block's execution state, borrowing a worker's [`VScratch`].
-struct VBlock<'a> {
-    bc: &'a ByteCode,
+/// Fields are `pub(crate)` so the native tier (`crate::native`) can run
+/// its preflight and microkernels directly on the block state.
+pub(crate) struct VBlock<'a> {
+    pub(crate) bc: &'a ByteCode,
     /// Lanes (threads per block).
-    n: usize,
+    pub(crate) n: usize,
     /// `n.div_ceil(64)` — length of every mask bitset.
-    words: usize,
+    pub(crate) words: usize,
     /// Slot-major integer frames: `frames[slot*n + lane]`.
-    frames: &'a mut [i64],
+    pub(crate) frames: &'a mut [i64],
     /// Reg-major virtual f32 registers: `fregs[reg*n + lane]`.
-    fregs: &'a mut [f32],
+    pub(crate) fregs: &'a mut [f32],
     /// Flat shared-tile arena (one copy per block), tiles at
     /// `smem_off[s]`, column-major with leading dimension `rows + pad`.
-    smem: &'a mut [f32],
+    pub(crate) smem: &'a mut [f32],
     /// Flat register-tile arena: `regs[(reg_off[x] + r + c*rows)*n + lane]`.
-    regs: &'a mut [f32],
-    overlay: &'a mut Overlay,
-    base: &'a [&'a Matrix],
-    blank_flags: &'a [bool],
-    active: &'a mut Vec<u64>,
+    pub(crate) regs: &'a mut [f32],
+    pub(crate) overlay: &'a mut Overlay,
+    pub(crate) base: &'a [&'a Matrix],
+    pub(crate) blank_flags: &'a [bool],
+    pub(crate) active: &'a mut Vec<u64>,
     /// The all-lanes mask pattern (`active == full` ⇔ no divergence).
-    full: &'a [u64],
-    stack: &'a mut Vec<(Vec<u64>, Vec<u64>)>,
-    sp: usize,
+    pub(crate) full: &'a [u64],
+    pub(crate) stack: &'a mut Vec<(Vec<u64>, Vec<u64>)>,
+    pub(crate) sp: usize,
+    /// The native tier's region table, when executing as `native`.
+    pub(crate) native: Option<&'a NativeTable>,
+    pub(crate) nscratch: &'a mut NativeScratch,
 }
 
 /// Iterate the set lanes of a mask word-by-word.
@@ -331,7 +361,7 @@ impl VBlock<'_> {
     /// True when every lane is active (the overwhelmingly common case in
     /// generated kernels — divergence is confined to guard regions).
     #[inline]
-    fn mask_full(&self) -> bool {
+    pub(crate) fn mask_full(&self) -> bool {
         self.active[..] == self.full[..]
     }
 
@@ -468,6 +498,19 @@ impl VBlock<'_> {
         let n = self.n;
         let mut pc = 0usize;
         while pc < code.len() {
+            // Native tier: at a lowered region's entry point, hand the
+            // whole nest to the microkernels; on `None` (divergent mask
+            // or an unprovable guard — nothing mutated) fall through and
+            // interpret the very same instructions.
+            if let Some(nat) = self.native {
+                let rix = nat.entry[pc];
+                if rix != u32::MAX {
+                    if let Some(next) = self.try_native(nat, rix) {
+                        pc = next;
+                        continue;
+                    }
+                }
+            }
             match code[pc] {
                 Instr::Eval { dst, unit } => {
                     let e = &bc.units[unit as usize];

@@ -3,9 +3,9 @@
 //! `engine_differential` pins one tile shape per solver class; this test
 //! draws *randomized* tile/unroll parameter points per routine (from a
 //! deterministic xorshift PRNG, so failures replay exactly) and asserts
-//! that the tree-walking oracle, the compiled tape and the lane-vectorized
-//! bytecode interpreter produce bit-identical buffers on every launchable
-//! composer variant.  Random shapes exercise lowering paths the pinned
+//! that the tree-walking oracle, the compiled tape, the lane-vectorized
+//! bytecode interpreter and the native microkernel tier produce
+//! bit-identical buffers on every launchable composer variant.  Random shapes exercise lowering paths the pinned
 //! shapes cannot: partial unrolls, 1-wide thread groups, register tiles
 //! of different aspect ratios, shallow and deep K tiles — each a
 //! different mix of guards, peel bands and address strides for the
@@ -20,7 +20,7 @@ use oa_core::blas3::schemes::oa_scheme;
 use oa_core::blas3::verify::prepare_buffers;
 use oa_core::composer::compose;
 use oa_core::gpusim::exec::ExecError;
-use oa_core::gpusim::{exec_program, ByteCode, Tape};
+use oa_core::gpusim::{exec_program, ByteCode, NativeProgram, Tape};
 use oa_core::loopir::interp::{Bindings, Buffers};
 use oa_core::loopir::transform::TileParams;
 use oa_core::RoutineId;
@@ -126,6 +126,8 @@ fn randomized_tile_points_are_bit_identical_across_engines() {
                     };
                     let bc = ByteCode::compile(&v.program, &bindings)
                         .unwrap_or_else(|e| panic!("{}: bytecode lowering failed: {e}", r.name()));
+                    let native = NativeProgram::compile(&v.program, &bindings)
+                        .unwrap_or_else(|e| panic!("{}: native lowering failed: {e}", r.name()));
                     let ctx = format!(
                         "{} n={n} params={params:?} zero_blanks={zero_blanks} script:\n{}",
                         r.name(),
@@ -152,6 +154,14 @@ fn randomized_tile_points_are_bit_identical_across_engines() {
                                 matches!(bc.execute(&mut b), Err(ExecError::BarrierDivergence(_))),
                                 "{ctx}: oracle diverged but bytecode did not"
                             );
+                            let mut nb = prepare_buffers(&v.program, n, 0xF00D, zero_blanks);
+                            assert!(
+                                matches!(
+                                    native.execute(&mut nb),
+                                    Err(ExecError::BarrierDivergence(_))
+                                ),
+                                "{ctx}: oracle diverged but native did not"
+                            );
                             continue;
                         }
                         Err(e) => panic!("{ctx}: oracle failed: {e}"),
@@ -166,6 +176,12 @@ fn randomized_tile_points_are_bit_identical_across_engines() {
                     bc.execute(&mut bc_out)
                         .unwrap_or_else(|e| panic!("{ctx}: bytecode failed: {e}"));
                     assert_bit_identical(&oracle, &bc_out, &ctx);
+
+                    let mut nat_out = prepare_buffers(&v.program, n, 0xF00D, zero_blanks);
+                    native
+                        .execute(&mut nat_out)
+                        .unwrap_or_else(|e| panic!("{ctx}: native failed: {e}"));
+                    assert_bit_identical(&oracle, &nat_out, &ctx);
                     checked += 1;
                 }
             }

@@ -97,7 +97,7 @@ fn registry_requests_match_direct_engine_execution_on_all_24_routines() {
 }
 
 /// The registry's reported digest is also engine-invariant: serving the
-/// same request through all three engines yields one digest (the
+/// same request through all four engines yields one digest (the
 /// engine-differential invariant, observed through the dispatch layer).
 #[test]
 fn dispatch_digests_are_engine_invariant() {
@@ -124,4 +124,5 @@ fn dispatch_digests_are_engine_invariant() {
         .collect();
     assert_eq!(digests[0], digests[1], "oracle vs tape");
     assert_eq!(digests[0], digests[2], "oracle vs bytecode");
+    assert_eq!(digests[0], digests[3], "oracle vs native");
 }

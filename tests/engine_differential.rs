@@ -1,8 +1,9 @@
-//! Differential test between the three GPU execution engines.
+//! Differential test between the four GPU execution engines.
 //!
-//! The compiled-tape block-parallel executor (`oa_gpusim::tape`) and the
+//! The compiled-tape block-parallel executor (`oa_gpusim::tape`), the
 //! lane-vectorized bytecode interpreter (`oa_gpusim::bytecode` +
-//! `oa_gpusim::vexec`) must be **bit-identical** — not merely within
+//! `oa_gpusim::vexec`) and the native microkernel tier
+//! (`oa_gpusim::native`) must be **bit-identical** — not merely within
 //! tolerance — to the tree-walking oracle (`oa_gpusim::exec`) on every
 //! kernel the pipeline can produce: every composer-generated variant of
 //! every one of the 24 BLAS3 routine variants, with the blank triangles
@@ -11,7 +12,8 @@
 //! merge per-block write logs in the same order, so any divergence (a
 //! missed read-your-write, a wrong slot binding, a cross-block dependence
 //! the parallel engines would break, a bad optimizer rewrite in the
-//! bytecode lowering) shows up as a differing bit pattern here.
+//! bytecode lowering, a mis-lowered native region) shows up as a
+//! differing bit pattern here.
 //!
 //! A second pass re-executes the same tape and asserts the outputs agree
 //! bit-for-bit with the first parallel run: scheduling must never leak
@@ -20,7 +22,7 @@
 use oa_core::blas3::schemes::oa_scheme;
 use oa_core::blas3::verify::prepare_buffers;
 use oa_core::composer::compose;
-use oa_core::gpusim::{exec_program, ByteCode, Tape};
+use oa_core::gpusim::{exec_program, ByteCode, NativeProgram, Tape};
 use oa_core::loopir::interp::{Bindings, Buffers};
 use oa_core::loopir::transform::TileParams;
 use oa_core::RoutineId;
@@ -87,6 +89,8 @@ fn compiled_engines_are_bit_identical_to_oracle_on_all_24_routines() {
                 };
                 let bc = ByteCode::compile(&v.program, &bindings)
                     .unwrap_or_else(|e| panic!("{}: bytecode lowering failed: {e}", r.name()));
+                let native = NativeProgram::compile(&v.program, &bindings)
+                    .unwrap_or_else(|e| panic!("{}: native lowering failed: {e}", r.name()));
                 for zero_blanks in [true, false] {
                     let ctx = format!(
                         "{} (zero_blanks={zero_blanks}) script:\n{}",
@@ -106,6 +110,12 @@ fn compiled_engines_are_bit_identical_to_oracle_on_all_24_routines() {
                     bc.execute(&mut vec_out)
                         .unwrap_or_else(|e| panic!("{ctx}: bytecode failed: {e}"));
                     assert_buffers_bit_identical(&oracle, &vec_out, &ctx);
+
+                    let mut nat_out = prepare_buffers(&v.program, n, 0xFACE, zero_blanks);
+                    native
+                        .execute(&mut nat_out)
+                        .unwrap_or_else(|e| panic!("{ctx}: native failed: {e}"));
+                    assert_buffers_bit_identical(&oracle, &nat_out, &ctx);
 
                     // Determinism: a second parallel run of the same tape
                     // reproduces the first bit-for-bit.
