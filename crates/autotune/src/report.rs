@@ -169,6 +169,10 @@ pub enum TuneEvent {
     /// A dispatch batch finished (emitted by `oa_core::dispatch`'s
     /// batched executor, after any tuning its warm-up triggered).
     Batch(BatchStats),
+    /// Native-tier coverage for one compiled program (emitted by the
+    /// bench harness after running a routine on the native engine, so
+    /// coverage regressions show up in the trace stream, not silently).
+    NativeCoverage(NativeCoverageStats),
 }
 
 /// Per-batch accounting of the dispatch layer's batched executor
@@ -199,6 +203,25 @@ pub struct BatchStats {
     pub wall_ms: f64,
     /// Requests per second over the batch wall time.
     pub requests_per_sec: f64,
+}
+
+/// Per-program coverage of the native microkernel tier, carried by
+/// [`TuneEvent::NativeCoverage`].  `entries` counts region executions
+/// that ran natively, `fallbacks` those handed back to the interpreter
+/// at runtime; `rejects` is the deduplicated compile-time reject
+/// histogram (kebab-case reason → count), most frequent first.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NativeCoverageStats {
+    /// Routine name.
+    pub routine: String,
+    /// Lowered regions in the compiled program.
+    pub regions: usize,
+    /// Region executions that ran natively.
+    pub entries: u64,
+    /// Region executions that fell back to the interpreter.
+    pub fallbacks: u64,
+    /// Deduplicated compile-time reject reasons with counts.
+    pub rejects: Vec<(String, u64)>,
 }
 
 /// Failure counts bucketed by stable class label — the per-routine

@@ -20,12 +20,14 @@
 //! for smoke runs.
 
 use oa_core::autotune::json::Json;
+use oa_core::autotune::report::{NativeCoverageStats, TuneEvent};
 use oa_core::blas3::baselines::cublas_like;
 use oa_core::gpusim::{exec_program, ByteCode, DeviceSpec, NativeProgram, Tape};
-use oa_core::loopir::builder::gemm_nn_like;
+use oa_core::loopir::builder::{gemm_nn_like, syrk_ln_like};
 use oa_core::loopir::interp::{alloc_buffers, Bindings, Buffers};
 use oa_core::loopir::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
 use oa_core::loopir::Program;
+use oa_core::trace::{stderr_observer, TraceMode};
 use oa_core::{RoutineId, Side, Trans, Uplo};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -64,6 +66,7 @@ struct Measurement {
     tape_secs: f64,
     bytecode_secs: f64,
     native_secs: f64,
+    coverage: NativeCoverageStats,
 }
 
 impl Measurement {
@@ -114,6 +117,21 @@ fn measure_program(label: &str, p: &Program, n: i64, flops: f64, budget: f64) ->
         exec_program(p, &bindings, bufs).expect("oracle exec");
     });
 
+    // Coverage after all launches: entries/fallbacks accumulate over the
+    // warm-up and every timed iteration.
+    let cov = native.coverage();
+    let coverage = NativeCoverageStats {
+        routine: label.to_string(),
+        regions: cov.regions,
+        entries: cov.entries,
+        fallbacks: cov.fallbacks,
+        rejects: cov
+            .rejects
+            .iter()
+            .map(|&(name, count)| (name.to_string(), count))
+            .collect(),
+    };
+
     Measurement {
         routine: label.to_string(),
         n,
@@ -123,6 +141,7 @@ fn measure_program(label: &str, p: &Program, n: i64, flops: f64, budget: f64) ->
         tape_secs,
         bytecode_secs,
         native_secs,
+        coverage,
     }
 }
 
@@ -146,7 +165,29 @@ fn gemm_inner_block() -> Program {
     let mut p = gemm_nn_like("g");
     thread_grouping(&mut p, "Li", "Lj", params).unwrap();
     loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    sm_alloc(&mut p, "A", oa_core::loopir::AllocMode::NoChange).unwrap();
     sm_alloc(&mut p, "B", oa_core::loopir::AllocMode::Transpose).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    p
+}
+
+/// The register-tiled SYRK-LN pipeline (rank-K update of the lower
+/// triangle, `C := A·Aᵀ + C`).
+fn syrk_ln(n: i64) -> Program {
+    // 64-lane blocks (8×8 threads, 2×2 register tiles): the 16-wide
+    // output tile keeps the diagonal straddle-fallback fraction small
+    // while the lane count matches the library kernels' vector width.
+    let params = TileParams {
+        ty: if n >= 128 { 16 } else { 8 },
+        tx: if n >= 128 { 16 } else { 8 },
+        thr_i: if n >= 128 { 8 } else { 4 },
+        thr_j: if n >= 128 { 8 } else { 4 },
+        kb: if n >= 128 { 32 } else { 4 },
+        unroll: 0,
+    };
+    let mut p = syrk_ln_like("syrk");
+    thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
     reg_alloc(&mut p, "C").unwrap();
     p
 }
@@ -158,14 +199,24 @@ fn main() {
 
     // GEMM-NN at n=64 is the headline case (the composer filter and the
     // differential tests launch exactly this scale); the larger sizes and
-    // extra routines show how the gap widens with grid size.
+    // extra routines show how the gap widens with grid size.  The
+    // triangular family (TRMM/SYMM/TRSM) rides in both modes so the
+    // native-coverage floor guards it even on smoke runs.
     let mut cases: Vec<(RoutineId, i64)> = vec![(RoutineId::Gemm(Trans::N, Trans::N), 64)];
+    let tri_n = if quick { 64 } else { 256 };
     if !quick {
         cases.push((RoutineId::Gemm(Trans::N, Trans::N), 128));
         cases.push((RoutineId::Gemm(Trans::N, Trans::N), 256));
-        cases.push((RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N), 128));
-        cases.push((RoutineId::Symm(Side::Left, Uplo::Lower), 128));
     }
+    cases.push((RoutineId::Trmm(Side::Left, Uplo::Lower, Trans::N), tri_n));
+    cases.push((RoutineId::Symm(Side::Left, Uplo::Lower), tri_n));
+    // TRSM sizes must be 64-multiples (the solver serializes along a
+    // 64-wide column tile).  It runs a size up from the rest of the
+    // family: the interpreted substitution is O(n²·64) while the
+    // natively lowered update nest is O(n³), so the larger size shows
+    // the covered fraction rather than the serial floor.
+    let trsm_n = if quick { 64 } else { tri_n };
+    cases.push((RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N), trsm_n));
 
     println!(
         "{:<14} {:>5} {:>7} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8} {:>10}",
@@ -197,6 +248,12 @@ fn main() {
         gemm.flops(inner_n),
         budget,
     ));
+    // SYRK-LN is not one of the 24 library routines, but its
+    // output-triangle guard is the both-axes divergence shape: full
+    // blocks get a uniform corner verdict, diagonal blocks fall back.
+    let syrk = syrk_ln(tri_n);
+    let syrk_flops = tri_n as f64 * tri_n as f64 * (tri_n as f64 + 1.0);
+    measurements.push(measure_program("SYRK-LN", &syrk, tri_n, syrk_flops, budget));
 
     let mut rows = Vec::new();
     let mut log_speedup_sum = 0.0;
@@ -242,7 +299,34 @@ fn main() {
             ("native_gflops".to_string(), Json::Num(native_gflops)),
             ("tape_gflops".to_string(), Json::Num(tape_gflops)),
             ("legacy_gflops".to_string(), Json::Num(legacy_gflops)),
+            (
+                "native_coverage".to_string(),
+                Json::Obj(BTreeMap::from([
+                    ("regions".to_string(), Json::Int(m.coverage.regions as i64)),
+                    ("entries".to_string(), Json::Int(m.coverage.entries as i64)),
+                    (
+                        "fallbacks".to_string(),
+                        Json::Int(m.coverage.fallbacks as i64),
+                    ),
+                    (
+                        "rejects".to_string(),
+                        Json::Obj(
+                            m.coverage
+                                .rejects
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                                .collect::<BTreeMap<_, _>>(),
+                        ),
+                    ),
+                ])),
+            ),
         ])));
+    }
+    // Coverage through the trace stream (OA_TRACE=json|pretty), so
+    // regressions show up in captured streams, not just the artifact.
+    let mut obs = stderr_observer(TraceMode::from_env());
+    for m in &measurements {
+        obs(TuneEvent::NativeCoverage(m.coverage.clone()));
     }
     let rows_n = measurements.len() as f64;
     let geomean = (log_speedup_sum / rows_n).exp();
@@ -270,6 +354,27 @@ fn main() {
     ]));
     std::fs::write("BENCH_exec.json", doc.pretty() + "\n").expect("write BENCH_exec.json");
     println!("\nwrote BENCH_exec.json");
+
+    // Perf floor: the committed geomean minus 10% slack.  CI fails the
+    // build when a fresh run regresses below it.
+    let key = if quick { "smoke" } else { "full" };
+    match std::fs::read_to_string("results/native_floor.json") {
+        Ok(text) => {
+            let floor = oa_core::autotune::json::parse(&text)
+                .and_then(|d| d.get(key).and_then(Json::as_f64))
+                .unwrap_or_else(|| panic!("results/native_floor.json lacks a `{key}` number"));
+            let min = floor * 0.9;
+            if native_geomean < min {
+                eprintln!(
+                    "FAIL: native_geomean_speedup {native_geomean:.2}x regressed below the \
+                     committed `{key}` floor {floor:.2}x - 10% = {min:.2}x"
+                );
+                std::process::exit(1);
+            }
+            println!("native geomean {native_geomean:.2}x >= `{key}` floor {floor:.2}x - 10%");
+        }
+        Err(_) => println!("no results/native_floor.json here; floor check skipped"),
+    }
 }
 
 fn rayon_threads() -> usize {

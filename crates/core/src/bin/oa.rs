@@ -10,6 +10,7 @@
 //! oa trace-check trace.jsonl               # validate a captured trace stream
 //! oa serve batch.jsonl --threads 8         # batched dispatch: JSONL in, JSONL out
 //! oa fuzz --seed 5 --iters 200             # differential fuzz: 4 engines + reference
+//! oa explain --native TRSM-LL-N --n 256    # native-tier region map + reject table
 //! ```
 //!
 //! `--trace` overrides the `OA_TRACE` environment variable; the trace
@@ -46,6 +47,7 @@ struct Args {
     seed: u64,
     iters: usize,
     corpus: Option<String>,
+    native: bool,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -64,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0u64;
     let mut iters = env_usize("OA_FUZZ_ITERS").unwrap_or(200);
     let mut corpus = None;
+    let mut native = false;
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -102,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
             "--corpus" => {
                 corpus = Some(it.next().ok_or("--corpus needs a directory")?);
             }
+            "--native" => native = true,
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -118,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         iters,
         corpus,
+        native,
     })
 }
 
@@ -330,6 +335,23 @@ fn run(args: &Args) -> Result<(), String> {
                 Err(format!("{} divergence(s) found", report.divergences.len()))
             }
         }
+        "explain" => {
+            // Matcher-tuning dump: region map, annotated disassembly and
+            // the deduplicated reject table for one routine's baseline
+            // kernel, with runtime counters from one execution at --n.
+            let r = need_routine(args)?;
+            if !args.native {
+                return Err("explain currently supports only `--native`".into());
+            }
+            let p = oa_core::blas3::baselines::cublas_like(r, &args.device);
+            let b = oa_core::loopir::interp::Bindings::square(args.n);
+            let np = oa_core::gpusim::NativeProgram::compile(&p, &b).map_err(|e| e.to_string())?;
+            let mut bufs = oa_core::loopir::interp::alloc_buffers(&p, &b, 7);
+            np.execute(&mut bufs).map_err(|e| e.to_string())?;
+            println!("{} on {} (n = {})", r.name(), args.device.name, args.n);
+            println!("{}", np.explain());
+            Ok(())
+        }
         "trace-check" => {
             // The routine slot doubles as the file path for this command.
             let path = args
@@ -343,10 +365,10 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: oa <list|tune|compare|variants|cuda|trace-check|serve|fuzz> \
+                "usage: oa <list|tune|compare|variants|cuda|explain|trace-check|serve|fuzz> \
                  [ROUTINE|FILE] [--device D] [--n N] [--trace json|pretty|off] \
                  [--threads T] [--capacity C] \
-                 [--seed S] [--iters I] [--corpus DIR]"
+                 [--seed S] [--iters I] [--corpus DIR] [--native]"
             );
             Ok(())
         }

@@ -169,6 +169,22 @@ pub fn event_json(e: &TuneEvent) -> Json {
             ("wall_ms", Json::Num(b.wall_ms)),
             ("requests_per_sec", Json::Num(b.requests_per_sec)),
         ]),
+        TuneEvent::NativeCoverage(c) => obj(vec![
+            ("event", Json::Str("native_coverage".into())),
+            ("routine", Json::Str(c.routine.clone())),
+            ("regions", Json::Int(c.regions as i64)),
+            ("entries", Json::Int(c.entries as i64)),
+            ("fallbacks", Json::Int(c.fallbacks as i64)),
+            (
+                "rejects",
+                Json::Obj(
+                    c.rejects
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                        .collect::<BTreeMap<_, _>>(),
+                ),
+            ),
+        ]),
     }
 }
 
@@ -234,6 +250,21 @@ pub fn event_pretty(e: &TuneEvent) -> String {
             b.wall_ms,
             b.requests_per_sec
         ),
+        TuneEvent::NativeCoverage(c) => {
+            let rejects = if c.rejects.is_empty() {
+                "none".to_string()
+            } else {
+                c.rejects
+                    .iter()
+                    .map(|(k, v)| format!("{k}×{v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!(
+                "nativ {} {} region(s): {} entries, {} fallbacks, rejects {rejects}",
+                c.routine, c.regions, c.entries, c.fallbacks
+            )
+        }
     }
 }
 
@@ -266,7 +297,10 @@ pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
 /// * `batch` lines (the dispatch executor's accounting) sit between
 ///   tunes, their `ok + failed` equals `requests`, and their
 ///   `hits + misses` never exceeds `requests` (each resolved request
-///   performs exactly one program-store lookup).
+///   performs exactly one program-store lookup);
+/// * `native_coverage` lines (the bench harness's native-tier
+///   accounting) name a routine and cannot count entries without a
+///   lowered region.
 ///
 /// Returns a short human-readable report, or the first violation.
 pub fn check_stream(text: &str) -> Result<String, String> {
@@ -389,6 +423,23 @@ pub fn check_stream(text: &str) -> Result<String, String> {
             }
             "replayed" => replays += 1,
             "cache" => {}
+            "native_coverage" => {
+                doc.get("routine")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("native_coverage without `routine`".into()))?;
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| at(format!("native_coverage missing `{k}`")))
+                };
+                let regions = field("regions")?;
+                let entries = field("entries")?;
+                if regions == 0 && entries > 0 {
+                    return Err(at(format!(
+                        "native_coverage counts {entries} entries with no lowered region"
+                    )));
+                }
+            }
             "batch" => {
                 if in_tune {
                     return Err(at("`batch` inside a tune (before its `summary`)".into()));
@@ -508,6 +559,31 @@ mod tests {
         // ...and hits + misses must not exceed requests.
         let bad = line.replace("\"hits\":5", "\"hits\":50");
         assert!(check_stream(&bad).unwrap_err().contains("hits"));
+    }
+
+    #[test]
+    fn native_coverage_events_render_and_validate() {
+        let e = TuneEvent::NativeCoverage(oa_autotune::report::NativeCoverageStats {
+            routine: "TRMM-LL-N".into(),
+            regions: 1,
+            entries: 4,
+            fallbacks: 0,
+            rejects: vec![("store-shape".into(), 2)],
+        });
+        let line = event_json(&e).compact();
+        assert!(line.contains("\"event\":\"native_coverage\""));
+        assert!(line.contains("\"entries\":4"));
+        assert!(line.contains("\"store-shape\":2"));
+        assert!(event_pretty(&e).contains("store-shape×2"));
+
+        // Standalone coverage lines pass alongside a batch event …
+        let batch = r#"{"event":"batch","requests":1,"ok":1,"failed":0,"hits":1,"misses":0,"evictions":0,"threads":1,"wall_ms":1.0,"requests_per_sec":1.0}"#;
+        assert!(check_stream(&format!("{batch}\n{line}\n")).is_ok());
+        // … but entries without any lowered region are a violation.
+        let bad = line.replace("\"regions\":1", "\"regions\":0");
+        assert!(check_stream(&format!("{batch}\n{bad}\n"))
+            .unwrap_err()
+            .contains("no lowered region"));
     }
 
     #[test]

@@ -7,14 +7,15 @@ use std::collections::BTreeSet;
 
 use oa_blas3::reference::run_reference;
 use oa_blas3::routines::source;
+use oa_blas3::schemes::oa_scheme;
 use oa_blas3::types::RoutineId;
 use oa_blas3::verify::prepare_buffers;
 use oa_composer::compose_on;
 use oa_epod::translator::TranslateError;
-use oa_gpusim::{exec_all_engines, ExecEngine};
+use oa_gpusim::{exec_all_engines, ExecEngine, NativeProgram};
 use oa_loopir::interp::{Bindings, Buffers};
 
-use crate::gen::Case;
+use crate::gen::{builtin_short_name, Case};
 
 /// An injected engine bug, for mutation-testing the fuzzer itself: when
 /// the final script of a variant contains `trigger_component`, the
@@ -143,6 +144,7 @@ pub fn run_case(case: &Case, fault: Option<&InjectedFault>) -> (Verdict, BTreeSe
     let bindings = Bindings::square(case.n);
     let mut executed = 0usize;
     let mut rejected = 0usize;
+    let mut native_probed = false;
     for (vi, v) in variants.iter().enumerate() {
         for name in v.script.component_names() {
             features.insert(format!("applied:{name}"));
@@ -259,8 +261,81 @@ pub fn run_case(case: &Case, fault: Option<&InjectedFault>) -> (Verdict, BTreeSe
         }
         features.insert("exec:ok".into());
         executed += 1;
+
+        // Native-coverage probe (first executed variant only): recompile
+        // the variant for the native annotation alone and record what the
+        // lowering actually did.  Bit-identical agreement alone can't see
+        // the native tier silently falling back to the interpreter on
+        // every block — the coverage features make that visible, and for
+        // a case where entry is provable (pristine scheme, exact tile
+        // multiples, ≥ 2×2 grid) a lowered-but-never-entered region is
+        // promoted to a divergence.
+        if !native_probed {
+            native_probed = true;
+            if let Ok(np) = NativeProgram::compile(&v.program, &bindings) {
+                for &(_, r) in np.rejects() {
+                    features.insert(format!("native:reject:{}", r.name()));
+                }
+                if np.region_count() == 0 {
+                    features.insert("native:no-region".into());
+                } else {
+                    let mut scratch = prepare_buffers(&v.program, case.n, case.seed, true);
+                    if np.execute(&mut scratch).is_ok() {
+                        let (entries, fallbacks) = np.runtime_stats();
+                        if entries > 0 {
+                            features.insert("native:entered".into());
+                        }
+                        if fallbacks > 0 {
+                            features.insert("native:fallback".into());
+                        }
+                        if entries == 0 {
+                            features.insert("native:fallback-only".into());
+                            if provable_native_entry(case) {
+                                return (
+                                    Verdict::Divergence(Divergence {
+                                        variant: vi,
+                                        script: v.script.to_string(),
+                                        detail: format!(
+                                            "native tier lowered {} region(s) but entered none \
+                                             (fallbacks={fallbacks}) on a pristine scheme at a \
+                                             clean size",
+                                            np.region_count()
+                                        ),
+                                    }),
+                                    features,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     (Verdict::Agree { executed, rejected }, features)
+}
+
+/// A case where the native tier has no excuse not to enter: the pristine
+/// scheme script with exactly the scheme's adaptor applications, at a
+/// size that is an exact tile multiple with a ≥ 2×2 block grid — so even
+/// a triangular or symmetry guard leaves provably-uniform off-diagonal
+/// blocks for the preflight's corner verdict.
+fn provable_native_entry(case: &Case) -> bool {
+    let scheme = oa_scheme(case.routine);
+    let scheme_apps: Vec<(String, String)> = scheme
+        .apps
+        .iter()
+        .map(|a| (builtin_short_name(&a.adaptor.name), a.array.clone()))
+        .collect();
+    let p = case.params;
+    scheme.bases.contains(&case.script)
+        && case.apps == scheme_apps
+        && p.unroll == 0
+        && p.ty > 0
+        && p.tx > 0
+        && case.n % p.ty == 0
+        && case.n % p.tx == 0
+        && case.n / p.ty >= 2
+        && case.n / p.tx >= 2
 }
 
 /// Simulate a miscompilation: perturb one element of the routine's output
@@ -322,6 +397,65 @@ mod tests {
             matches!(verdict, Verdict::Divergence(_)),
             "fault not caught: {verdict:?}"
         );
+    }
+
+    #[test]
+    fn pristine_clean_cases_report_native_entry() {
+        // One flagship per family at a clean 2×2-grid size: the probe
+        // must see the lowered region actually entered.  The
+        // fallback-everything regression this probe exists for would turn
+        // each of these into a divergence, not a silent agree.
+        use oa_loopir::transform::TileParams;
+        for name in ["GEMM-NN", "TRMM-LL-N", "SYMM-LL", "TRSM-LL-N"] {
+            let routine = RoutineId::parse(name).unwrap();
+            let scheme = oa_blas3::schemes::oa_scheme(routine);
+            let params = if scheme.solver {
+                TileParams {
+                    ty: 32,
+                    tx: 32,
+                    thr_i: 1,
+                    thr_j: 32,
+                    kb: 16,
+                    unroll: 0,
+                }
+            } else {
+                TileParams {
+                    ty: 32,
+                    tx: 32,
+                    thr_i: 16,
+                    thr_j: 16,
+                    kb: 16,
+                    unroll: 0,
+                }
+            };
+            let case = crate::gen::Case {
+                routine,
+                script: scheme.bases[0].clone(),
+                apps: scheme
+                    .apps
+                    .iter()
+                    .map(|a| {
+                        (
+                            crate::gen::builtin_short_name(&a.adaptor.name),
+                            a.array.clone(),
+                        )
+                    })
+                    .collect(),
+                params,
+                n: 64,
+                seed: 9,
+            };
+            assert!(super::provable_native_entry(&case), "{name}: not strict");
+            let (verdict, feats) = run_case(&case, None);
+            match verdict {
+                Verdict::Agree { executed, .. } => assert!(executed >= 1, "{name}"),
+                other => panic!("{name}: expected agreement, got {other:?}"),
+            }
+            assert!(
+                feats.contains("native:entered"),
+                "{name}: native never entered; features: {feats:?}"
+            );
+        }
     }
 
     #[test]

@@ -128,12 +128,28 @@ impl CaseGen {
     }
 
     fn pick_base(&mut self, iter: usize) -> (RoutineId, Script) {
-        // Every 24-iteration stripe visits every routine once (the
-        // acceptance criterion sweeps "across all 24 routines"); the base
-        // script for that routine is drawn from the pool — half the time
-        // from the interesting tail, if one exists.
+        // Every stripe visits every routine once (the acceptance
+        // criterion sweeps "across all 24 routines"), then replays an
+        // encore of triangular/symmetric routines — the barrier-staged,
+        // iteration-split and guard-peeled shapes the native lowering is
+        // newest on get proportionally more fuzz time than plain GEMM.
+        // The base script for the routine is drawn from the pool — half
+        // the time from the interesting tail, if one exists.
         let all = RoutineId::all24();
-        let routine = all[iter % all.len()];
+        let encore = [
+            "TRMM-LL-N",
+            "SYMM-LL",
+            "TRSM-LL-N",
+            "TRMM-RU-T",
+            "SYMM-RU",
+            "TRSM-RL-N",
+        ];
+        let slot = iter % (all.len() + encore.len());
+        let routine = if slot < all.len() {
+            all[slot]
+        } else {
+            RoutineId::parse(encore[slot - all.len()]).expect("static encore routine parses")
+        };
         let candidates: Vec<&Script> = {
             let tail_first = !self.pool[self.builtins..].is_empty() && self.rng.range(0, 2) == 0;
             let slice = if tail_first {
@@ -276,6 +292,22 @@ mod tests {
         let names: std::collections::BTreeSet<String> =
             (0..24).map(|i| g.next_case(i).0.routine.name()).collect();
         assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn encore_weights_the_triangular_family() {
+        // One full 30-iteration stripe: 24 built-ins (20 of which are
+        // already TRMM/SYMM/TRSM) plus a 6-slot triangular/symmetric
+        // encore — GEMM never gets more than 4 slots out of 30.
+        let mut g = CaseGen::new(3);
+        let mut tri = 0usize;
+        for i in 0..30 {
+            let name = g.next_case(i).0.routine.name();
+            if !name.starts_with("GEMM") {
+                tri += 1;
+            }
+        }
+        assert_eq!(tri, 26);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use engine::{
 };
 pub use exec::{exec_program, run_fresh_gpu, run_fresh_gpu_ref, ExecError};
 pub use launch::{extract_launch, Launch, LaunchError};
-pub use native::{NativeProgram, NativeReject};
+pub use native::{NativeCoverage, NativeProgram, NativeReject};
 pub use perf::{evaluate, EvalError, PerfReport};
 pub use profile::ProfileCounters;
 pub use tape::Tape;

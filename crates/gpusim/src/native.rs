@@ -4,45 +4,61 @@
 //! and per-lane address arithmetic inside the register-tile inner loop —
 //! the FMA-fused accumulate over the K-tile that dominates every BLAS3
 //! routine.  This module lowers a compiled [`ByteCode`] program one tier
-//! further: it pattern-matches the optimizer's lane-affine inner loop
-//! nests at compile time and executes each matched *region* through a
-//! library of specialized host microkernels — monomorphized Rust loops
-//! selected over (guard shape, accumulator target, stride class) whose
+//! further: it pattern-matches the optimizer's lane-affine loop nests at
+//! compile time and executes each matched *region* through a library of
+//! specialized host microkernels — monomorphized Rust loops selected
+//! over (guard shape, accumulator target, stride class) whose
 //! contiguous-slice FMA bodies the autovectorizer lifts to SIMD.
 //!
 //! The lowering is an *annotation*, not a rewrite: the bytecode stream is
 //! left untouched, and a region that cannot be proven safe at compile
 //! time (recorded in [`NativeTable::rejects`] with a [`NativeReject`]
-//! reason) or at run time (a divergent mask, a guard the interval
-//! analysis cannot resolve uniformly) simply falls back to interpreting
-//! the very same instructions in place.  Fallbacks are therefore always
-//! bit-identical by construction; the native path must then *also* be
-//! bit-identical, which it achieves by:
+//! reason) or at run time (a divergent entry mask, a guard or loop test
+//! the interval analysis cannot represent) simply falls back to
+//! interpreting the very same instructions in place.  Fallbacks are
+//! therefore always bit-identical by construction; the native path must
+//! then *also* be bit-identical, which it achieves by:
 //!
-//! * **a scalar preflight** — lane 0's integer frame column is
-//!   interpreted on a scratch environment, resolving every address and
-//!   proving every guard uniformly true or false across the whole lane
-//!   box via interval analysis over the lane-affine classes that
-//!   [`ByteCode`]'s `mark_lanes` pass computed (`lane_cls`).  Any guard
-//!   with a mixed verdict aborts to the interpreter before anything is
-//!   mutated;
+//! * **a scalar preflight over lane boxes** — lane 0's integer frame
+//!   column is interpreted on a scratch environment while the active
+//!   lane set is tracked as a rectangular sub-box of the thread block
+//!   (`[txl, txh) × [tyl, tyh)`).  An affine guard or a divergent
+//!   (lane-affine) loop test whose condition varies along a *single*
+//!   block axis cuts the box exactly — the triangular-prefix /
+//!   diagonal-split patterns TRMM, SYMM and TRSM emit — while a
+//!   condition varying along both axes is admitted only with a uniform
+//!   corner-interval verdict.  Anything unrepresentable aborts to the
+//!   interpreter *before anything is mutated*;
+//! * **staged shared memory inside the region** — the stage→sync→consume
+//!   barrier macro is a compile-time region boundary: the preflight
+//!   resolves the tile origin and records the per-element guard bits,
+//!   the replay performs the whole-tile copy (a contiguous column
+//!   `memcpy` when every guard bit is set), and the consume nests that
+//!   follow read the freshly staged arena exactly as the interpreter
+//!   would;
 //! * **sequential trace replay** — statement instances execute in
-//!   exactly the interpreter's order, each through a fused vector kernel
-//!   (or a generic vectorized op-by-op path), so floating-point effects
-//!   are reproduced operation for operation;
+//!   exactly the interpreter's order, each over its recorded lane box
+//!   through a fused vector kernel (or a generic vectorized op-by-op
+//!   path), so floating-point effects are reproduced operation for
+//!   operation;
 //! * **two-rounding FMA** — every kernel computes `t = a*b` (rounded),
 //!   then `acc ± t` (rounded), never `mul_add`, matching the semantics
 //!   every other engine pins;
 //! * **exact frame writeback** — integer slots written inside the region
 //!   are reconstructed per lane from `env[slot] + a·tx + b·ty`, the very
-//!   invariant `mark_lanes` proved for them.
+//!   invariant `mark_lanes` proved for them.  This stays exact under
+//!   divergence because the interpreter's `Eval`/`StepAdd`/`LoopInit`
+//!   write all lanes unmasked.
 
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use oa_loopir::arrays::AllocMode;
 use oa_loopir::interp::{Bindings, Buffers, Matrix};
 use oa_loopir::scalar::BinOp;
 use oa_loopir::slots::SlotExpr;
-use oa_loopir::stmt::AssignOp;
+use oa_loopir::stmt::{stage_src_coords, AssignOp};
 use oa_loopir::{CmpOp, Program};
 
 use crate::bytecode::{AOp, ByteCode, Instr, Lane};
@@ -80,13 +96,15 @@ impl NativeProgram {
         self.bc.execute_with_native(bufs, &self.table)
     }
 
-    /// Number of inner-loop regions the matcher lowered.
+    /// Number of loop-nest regions the matcher lowered.
     pub fn region_count(&self) -> usize {
         self.table.regions.len()
     }
 
-    /// Loop nests the matcher inspected but refused, with the reason —
-    /// the structured fallback trace the lowering tests assert on.
+    /// Loop nests the matcher inspected but refused, with the pc of the
+    /// offending instruction and the reason — deduplicated, in program
+    /// order.  The structured fallback trace the lowering tests assert
+    /// on.
     pub fn rejects(&self) -> &[(usize, NativeReject)] {
         &self.table.rejects
     }
@@ -104,21 +122,102 @@ impl NativeProgram {
     pub fn bytecode(&self) -> &ByteCode {
         &self.bc
     }
+
+    /// Structured coverage snapshot: region count, runtime counters and
+    /// the reject-reason histogram (descending by count).
+    pub fn coverage(&self) -> NativeCoverage {
+        let (entries, fallbacks) = self.runtime_stats();
+        let mut by: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for &(_, r) in &self.table.rejects {
+            *by.entry(r.name()).or_insert(0) += 1;
+        }
+        let mut rejects: Vec<(&'static str, u64)> = by.into_iter().collect();
+        rejects.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        NativeCoverage {
+            regions: self.table.regions.len(),
+            entries,
+            fallbacks,
+            rejects,
+        }
+    }
+
+    /// Human-readable lowering report: region map, reject table and the
+    /// annotated instruction stream — the `oa explain --native` dump
+    /// used to tune the matcher.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        let (entries, fallbacks) = self.runtime_stats();
+        let _ = writeln!(
+            s,
+            "native lowering: {} region(s), {} reject(s), entries={entries} fallbacks={fallbacks}",
+            self.table.regions.len(),
+            self.table.rejects.len(),
+        );
+        for (k, r) in self.table.regions.iter().enumerate() {
+            let (mut runs, mut stages) = (0usize, 0usize);
+            for st in &r.stmts {
+                match st {
+                    NStmt::Run(_) => runs += 1,
+                    NStmt::Stage(_) => stages += 1,
+                }
+            }
+            let _ = writeln!(
+                s,
+                "  region {k}: pc {}..{}  runs={runs} stages={stages} guards={} writeback-slots={}",
+                r.start,
+                r.resume,
+                r.guards.len(),
+                r.writeback.len(),
+            );
+        }
+        if !self.table.rejects.is_empty() {
+            let _ = writeln!(s, "  rejects:");
+            for &(pc, r) in &self.table.rejects {
+                let _ = writeln!(s, "    pc {pc:4}: {}", r.name());
+            }
+        }
+        let _ = writeln!(s, "instruction stream:");
+        for (pc, line) in self.bc.disasm().lines().enumerate() {
+            let mut mark = String::new();
+            if pc < self.table.entry.len() && self.table.entry[pc] != u32::MAX {
+                mark = format!("R{}>", self.table.entry[pc]);
+            } else if self.table.rejects.iter().any(|&(p, _)| p == pc) {
+                mark = "x".into();
+            }
+            let _ = writeln!(s, "{mark:>4} {line}");
+        }
+        s
+    }
+}
+
+/// Per-program native coverage, surfaced through the trace stream and
+/// the bench reports so coverage regressions are visible, not silent.
+#[derive(Clone, Debug)]
+pub struct NativeCoverage {
+    /// Regions the matcher lowered.
+    pub regions: usize,
+    /// Regions entered natively at runtime.
+    pub entries: u64,
+    /// Runtime fallbacks to the interpreter.
+    pub fallbacks: u64,
+    /// Reject-reason histogram, descending by count.
+    pub rejects: Vec<(&'static str, u64)>,
 }
 
 /// Why the pattern matcher refused to lower a loop nest.  A reject is
 /// not an error: the region simply stays on the interpreter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NativeReject {
-    /// A loop bound is not provably lane-invariant.
+    /// A barrier loop's bound is not provably lane-invariant.
     NonUniformBounds,
-    /// The loop itself is divergent (per-lane trip counts).
+    /// A divergent loop's trip count has no lane-affine class, so the
+    /// iteration-space split cannot be constructed.
     DivergentLoop,
     /// The nest contains an instruction the native tier does not model
-    /// (barrier staging, register moves, nested else-branches, …).
+    /// (register moves, uniform branches, …).
     UnsupportedInstr,
     /// A guard is `thread0_only` or its condition is not lane-affine, so
-    /// the interval analysis cannot classify it.
+    /// the box-cut analysis cannot classify it.
     NonAffineGuard,
     /// A load/store subscript has no lane-affine class (gather).
     NonAffineAddress,
@@ -136,19 +235,74 @@ pub enum NativeReject {
     NoStatement,
 }
 
+impl NativeReject {
+    /// Stable short name, for histograms and the trace stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeReject::NonUniformBounds => "non-uniform-bounds",
+            NativeReject::DivergentLoop => "divergent-loop",
+            NativeReject::UnsupportedInstr => "unsupported-instr",
+            NativeReject::NonAffineGuard => "non-affine-guard",
+            NativeReject::NonAffineAddress => "non-affine-address",
+            NativeReject::StoreShape => "store-shape",
+            NativeReject::WrittenGlobalLoad => "written-global-load",
+            NativeReject::NonAffineWriteback => "non-affine-writeback",
+            NativeReject::NoStatement => "no-statement",
+        }
+    }
+}
+
 /// The lowering side table for one program.
 #[derive(Debug)]
 pub(crate) struct NativeTable {
     /// Per-pc region index (`u32::MAX` = no region starts here).
     pub(crate) entry: Vec<u32>,
     pub(crate) regions: Vec<Region>,
-    /// `(pc, reason)` for every loop nest the matcher refused.
+    /// `(pc, reason)` for every instruction the matcher refused,
+    /// deduplicated, in program order.
     pub(crate) rejects: Vec<(usize, NativeReject)>,
     /// Regions entered natively (runtime, relaxed).
     pub(crate) entries: AtomicU64,
-    /// Runtime fallbacks to the interpreter (divergent mask or a guard
-    /// the interval analysis could not resolve uniformly).
+    /// Runtime fallbacks to the interpreter (divergent entry mask, or a
+    /// guard/loop-test cut the box analysis could not represent).
     pub(crate) fallbacks: AtomicU64,
+}
+
+/// The active-lane set as a rectangular sub-box of the thread block:
+/// lanes `(tx, ty)` with `txl ≤ tx < txh`, `tyl ≤ ty < tyh`.  Guards and
+/// divergent loop tests refine it by exact single-axis interval cuts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct LBox {
+    pub(crate) txl: i64,
+    pub(crate) txh: i64,
+    pub(crate) tyl: i64,
+    pub(crate) tyh: i64,
+}
+
+impl LBox {
+    const EMPTY: LBox = LBox {
+        txl: 0,
+        txh: 0,
+        tyl: 0,
+        tyh: 0,
+    };
+
+    fn full(bx: i64, by: i64) -> LBox {
+        LBox {
+            txl: 0,
+            txh: bx,
+            tyl: 0,
+            tyh: by,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.txl >= self.txh || self.tyl >= self.tyh
+    }
+
+    fn is_full(&self, bx: i64, by: i64) -> bool {
+        *self == LBox::full(bx, by)
+    }
 }
 
 /// One matched loop nest: an annotation over `code[start..resume]`.
@@ -159,8 +313,14 @@ pub(crate) struct Region {
     /// pc just past the outer `PopMask` — where the interpreter resumes.
     pub(crate) resume: usize,
     stmts: Vec<NStmt>,
-    /// `(pc, stmt index)` sorted by pc — the preflight's statement map.
-    stmt_entry: Vec<(usize, u32)>,
+    guards: Vec<GuardInfo>,
+    /// `(pc, action)` sorted by pc — the preflight's dispatch map for
+    /// every instruction that is not pure integer control flow.
+    pf: Vec<(usize, PfOp)>,
+    /// Direct-mapped dispatch: `pf_map[pc - start]` is the `pf` index
+    /// plus one, or 0 when the pc is plain control flow.  The preflight
+    /// consults this every pc step, so it must be O(1).
+    pf_map: Vec<u32>,
     /// Integer slots written inside the region, with their lane-affine
     /// class `(slot, a, b)`: lane value = `env[slot] + a·tx + b·ty`.
     writeback: Vec<(u32, i64, i64)>,
@@ -170,22 +330,70 @@ pub(crate) struct Region {
     pub(crate) affine_ok: bool,
 }
 
-/// One floating-point statement (a guarded or bare run of F-instrs).
+/// One lowered statement: a run of F-instrs or a shared-memory stage.
 #[derive(Debug)]
-struct NStmt {
-    /// Guard predicate index into `bc.preds`, if any.
-    pred: Option<u32>,
-    /// Per-condition interval slack `(lo_extra, hi_extra)`: the min/max
-    /// of `A·tx + B·ty` over the lane box, where `(A, B)` are the
-    /// lane-affine coefficients of `lhs − rhs`.
-    conds: Vec<(i64, i64)>,
+enum NStmt {
+    Run(NRun),
+    Stage(NStage),
+}
+
+/// A guarded or bare run of floating-point instructions.
+#[derive(Debug)]
+struct NRun {
     ops: Vec<NOp>,
     /// Trace addresses per instance (one `(r, c)` pair per load/store).
     n_addrs: usize,
-    /// pc just past the statement (past the guard's `PopMask`).
+    /// pc just past the run.
     exit: usize,
     /// The fused FMA-accumulate shape, when the ops match it exactly.
     hot: Option<Hot>,
+}
+
+/// A cooperative shared-memory stage executed inside the region.
+#[derive(Debug)]
+struct NStage {
+    /// Index into `bc.stages`.
+    ix: u32,
+    /// Guard-bit words per instance: `(rows·cols).div_ceil(64)`.
+    words: usize,
+    /// Whether guard-true at the four tile corners proves guard-true
+    /// everywhere: source coords affine in the tile element (any mode
+    /// but `Symmetry`) and every conjunct monotone affine (no `Ne`).
+    corners: bool,
+}
+
+/// An `IfSplit` guard lowered to box cuts.
+#[derive(Debug)]
+struct GuardInfo {
+    /// Predicate index into `bc.preds`.
+    pred: u32,
+    /// The `IfSplit`'s empty-branch target (`IfElse` or `PopMask`).
+    on_empty: u32,
+    /// Whether an else branch follows (`on_empty` is an `IfElse`).
+    has_else: bool,
+    /// Per-condition lane coefficients `(dA, dB)` of `lhs − rhs`: the
+    /// condition value at lane `(tx, ty)` is `d0 + dA·tx + dB·ty`.
+    conds: Vec<(i64, i64)>,
+}
+
+/// Preflight dispatch at one pc.
+#[derive(Clone, Copy, Debug)]
+enum PfOp {
+    /// Record statement `sid` over the current box, skip to its exit.
+    Run(u32),
+    /// Resolve stage origin and guard bits for statement `sid`.
+    Stage(u32),
+    /// Cut the box through guard `gix`, push the else box.
+    Guard(u32),
+    /// Divergent loop test `var < hi` with lane coefficients `(da, db)`
+    /// of `var − hi`: cut the box, exit the loop when it empties.
+    Test {
+        var: u32,
+        hi: u32,
+        exit: u32,
+        da: i64,
+        db: i64,
+    },
 }
 
 /// One lowered operation; loads/stores resolve their `(r, c)` during the
@@ -259,23 +467,22 @@ struct Hot {
     x: u32,
 }
 
-impl NStmt {
-    fn record_len(&self) -> usize {
-        1 + 2 * self.n_addrs
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Compile-time lowering: the pattern matcher.
 // ---------------------------------------------------------------------------
 
+/// A parse refusal: the pc of the offending instruction plus the reason.
+type RErr = (usize, NativeReject);
+
 /// Scan the instruction stream for lowerable loop nests.  Outer nests
-/// that fail keep scanning inward, so a GEMM whose K-block loop stages
-/// shared memory (unsupported) still gets its inner register-tile nest.
+/// that fail keep scanning inward, so a nest with an unsupported outer
+/// construct still gets its inner register-tile nest; identical rejects
+/// rediscovered by the inward scan are deduplicated.
 pub(crate) fn lower(bc: &ByteCode) -> NativeTable {
     let mut entry = vec![u32::MAX; bc.code.len()];
     let mut regions = Vec::new();
-    let mut rejects = Vec::new();
+    let mut rejects: Vec<(usize, NativeReject)> = Vec::new();
+    let mut seen: HashSet<(usize, NativeReject)> = HashSet::new();
     let mut pc = 0usize;
     while pc < bc.code.len() {
         if matches!(bc.code[pc], Instr::LoopInit { .. }) {
@@ -287,8 +494,16 @@ pub(crate) fn lower(bc: &ByteCode) -> NativeTable {
                     pc = resume;
                     continue;
                 }
-                Ok(_) => rejects.push((pc, NativeReject::NoStatement)),
-                Err(r) => rejects.push((pc, r)),
+                Ok(_) => {
+                    if seen.insert((pc, NativeReject::NoStatement)) {
+                        rejects.push((pc, NativeReject::NoStatement));
+                    }
+                }
+                Err((at, r)) => {
+                    if seen.insert((at, r)) {
+                        rejects.push((at, r));
+                    }
+                }
             }
         }
         pc += 1;
@@ -305,7 +520,8 @@ pub(crate) fn lower(bc: &ByteCode) -> NativeTable {
 struct RegionBuilder<'a> {
     bc: &'a ByteCode,
     stmts: Vec<NStmt>,
-    stmt_entry: Vec<(usize, u32)>,
+    guards: Vec<GuardInfo>,
+    pf: Vec<(usize, PfOp)>,
     writeback: Vec<(u32, i64, i64)>,
     has_store: bool,
 }
@@ -315,18 +531,29 @@ impl<'a> RegionBuilder<'a> {
         RegionBuilder {
             bc,
             stmts: Vec::new(),
-            stmt_entry: Vec::new(),
+            guards: Vec::new(),
+            pf: Vec::new(),
             writeback: Vec::new(),
             has_store: false,
         }
     }
 
     fn finish(self, start: usize, resume: usize) -> Region {
+        debug_assert!(
+            self.pf.windows(2).all(|w| w[0].0 < w[1].0),
+            "preflight map must be sorted by pc"
+        );
+        let mut pf_map = vec![0u32; resume - start];
+        for (ix, &(pc, _)) in self.pf.iter().enumerate() {
+            pf_map[pc - start] = ix as u32 + 1;
+        }
         Region {
             start,
             resume,
             stmts: self.stmts,
-            stmt_entry: self.stmt_entry,
+            guards: self.guards,
+            pf: self.pf,
+            pf_map,
             writeback: self.writeback,
             affine_ok: true,
         }
@@ -383,35 +610,70 @@ impl<'a> RegionBuilder<'a> {
         }
     }
 
-    /// Match one loop: `LoopInit` / init `Eval`s / uniform `LoopTest`,
-    /// body items, `LoopJump` + `PopMask` at the test's exit.  Returns
-    /// the pc just past the `PopMask`.
-    fn parse_loop(&mut self, pc: usize) -> Result<usize, NativeReject> {
+    /// Match one loop: `LoopInit` / init `Eval`s / `LoopTest`, body
+    /// items, `LoopJump` + `PopMask` at the test's exit.  Barrier
+    /// (`uniform`) loops need statically uniform bounds (the interpreter
+    /// would otherwise raise a divergence error the native path must not
+    /// skip); divergent loops need lane-affine classes for `var`/`hi`
+    /// so the test becomes a runtime box cut.  Returns the pc just past
+    /// the `PopMask`.
+    fn parse_loop(&mut self, pc: usize) -> Result<usize, RErr> {
         let code = &self.bc.code;
         let Instr::LoopInit {
             var,
             hi,
             lo,
             hi_src,
+            uniform,
             ..
         } = code[pc]
         else {
-            return Err(NativeReject::UnsupportedInstr);
+            return Err((pc, NativeReject::UnsupportedInstr));
         };
-        self.uniform_bound(lo)?;
-        self.uniform_bound(hi_src)?;
-        self.note_write(var)?;
-        self.note_write(hi)?;
+        if uniform {
+            self.uniform_bound(lo).map_err(|e| (pc, e))?;
+            self.uniform_bound(hi_src).map_err(|e| (pc, e))?;
+        } else {
+            self.aop_aff(lo)
+                .map_err(|_| (pc, NativeReject::NonUniformBounds))?;
+            self.aop_aff(hi_src)
+                .map_err(|_| (pc, NativeReject::NonUniformBounds))?;
+        }
+        self.note_write(var).map_err(|e| (pc, e))?;
+        self.note_write(hi).map_err(|e| (pc, e))?;
         let mut i = pc + 1;
         while let Instr::Eval { dst, .. } = code[i] {
-            self.note_write(dst)?;
+            self.note_write(dst).map_err(|e| (i, e))?;
             i += 1;
         }
-        let Instr::LoopTest { exit, uniform, .. } = code[i] else {
-            return Err(NativeReject::UnsupportedInstr);
+        let Instr::LoopTest {
+            var: tvar,
+            hi: thi,
+            exit,
+            uniform: tuni,
+        } = code[i]
+        else {
+            return Err((i, NativeReject::UnsupportedInstr));
         };
-        if !uniform {
-            return Err(NativeReject::DivergentLoop);
+        if !tuni {
+            // Divergent trip counts: the test value `var − hi` must be
+            // lane-affine so each iteration's survivor set is a box cut.
+            let (va, vb) = self
+                .cls(tvar as usize)
+                .map_err(|_| (i, NativeReject::DivergentLoop))?;
+            let (ha, hb) = self
+                .cls(thi as usize)
+                .map_err(|_| (i, NativeReject::DivergentLoop))?;
+            self.pf.push((
+                i,
+                PfOp::Test {
+                    var: tvar,
+                    hi: thi,
+                    exit,
+                    da: va - ha,
+                    db: vb - hb,
+                },
+            ));
         }
         let end = exit as usize;
         if end <= i + 1
@@ -419,30 +681,48 @@ impl<'a> RegionBuilder<'a> {
             || !matches!(code[end], Instr::PopMask)
             || !matches!(code[end - 1], Instr::LoopJump { .. })
         {
-            return Err(NativeReject::UnsupportedInstr);
+            return Err((i, NativeReject::UnsupportedInstr));
         }
         self.parse_items(i + 1, end - 1)?;
         Ok(end + 1)
     }
 
-    /// Match a loop body: slot updates, nested loops, guarded and bare
-    /// floating-point statements.  Anything else rejects the nest.
-    fn parse_items(&mut self, mut i: usize, hi: usize) -> Result<(), NativeReject> {
+    /// Match a loop body: slot updates, nested loops, shared-memory
+    /// stages, guarded and bare floating-point statements.  Anything
+    /// else rejects the nest.
+    fn parse_items(&mut self, mut i: usize, hi: usize) -> Result<(), RErr> {
         let code = &self.bc.code;
         while i < hi {
             match code[i] {
                 Instr::Eval { dst, .. } | Instr::StepAdd { dst, .. } => {
-                    self.note_write(dst)?;
+                    self.note_write(dst).map_err(|e| (i, e))?;
                     i += 1;
                 }
-                Instr::LoopInit { .. } => i = self.parse_loop(i)?,
-                Instr::IfSplit { pred, on_empty } => {
-                    let end = on_empty as usize;
-                    if end <= i || end > hi || !matches!(code[end], Instr::PopMask) {
-                        return Err(NativeReject::UnsupportedInstr);
+                Instr::LoopInit { .. } => {
+                    i = self.parse_loop(i)?;
+                    if i > hi {
+                        return Err((i - 1, NativeReject::UnsupportedInstr));
                     }
-                    self.push_stmt(i, i + 1, end, Some(pred))?;
-                    i = end + 1;
+                }
+                Instr::Stage { ix } => {
+                    // Block-level macro: origin and guard are resolved
+                    // scalar by the preflight, so no affinity constraint
+                    // applies to its operands.
+                    let st = &self.bc.stages[ix as usize];
+                    let words = ((st.rows * st.cols) as usize).div_ceil(64);
+                    let sp = &self.bc.preds[st.guard as usize];
+                    let corners = st.mode != AllocMode::Symmetry
+                        && sp.conds.iter().all(|c| c.op != CmpOp::Ne);
+                    let sid = self.stmts.len() as u32;
+                    self.pf.push((i, PfOp::Stage(sid)));
+                    self.stmts.push(NStmt::Stage(NStage { ix, words, corners }));
+                    i += 1;
+                }
+                Instr::IfSplit { .. } => {
+                    i = self.parse_guard(i)?;
+                    if i > hi {
+                        return Err((i - 1, NativeReject::UnsupportedInstr));
+                    }
                 }
                 Instr::FConst { .. }
                 | Instr::FLoad { .. }
@@ -453,57 +733,132 @@ impl<'a> RegionBuilder<'a> {
                     while j < hi && is_fop(&code[j]) {
                         j += 1;
                     }
-                    self.push_stmt(i, i, j, None)?;
+                    self.push_run(i, j)?;
                     i = j;
                 }
-                _ => return Err(NativeReject::UnsupportedInstr),
+                _ => return Err((i, NativeReject::UnsupportedInstr)),
             }
         }
         Ok(())
     }
 
-    /// Lower one statement: guard interval slack, then the op run.
-    fn push_stmt(
-        &mut self,
-        entry_pc: usize,
-        ops_lo: usize,
-        ops_hi: usize,
-        pred: Option<u32>,
-    ) -> Result<(), NativeReject> {
+    /// Match an `IfSplit` guard: lane-affine conditions become box cuts.
+    /// The then (and optional else) branch may hold F-runs, nested
+    /// guards and integer slot updates — the interpreter executes
+    /// `Eval`/`StepAdd` unmasked whenever the branch is *entered* (any
+    /// lane active) and jumps past it otherwise, which is exactly the
+    /// preflight's box-emptiness test, so walking the taken branches on
+    /// the scalar environment reproduces lane 0 bit for bit.  Returns
+    /// the pc just past the guard's `PopMask`.
+    fn parse_guard(&mut self, pc: usize) -> Result<usize, RErr> {
+        let code = &self.bc.code;
+        let Instr::IfSplit { pred, on_empty } = code[pc] else {
+            return Err((pc, NativeReject::UnsupportedInstr));
+        };
+        let sp = &self.bc.preds[pred as usize];
+        if sp.thread0_only {
+            return Err((pc, NativeReject::NonAffineGuard));
+        }
         let mut conds = Vec::new();
-        if let Some(p) = pred {
-            let sp = &self.bc.preds[p as usize];
-            if sp.thread0_only {
-                return Err(NativeReject::NonAffineGuard);
+        for c in &sp.conds {
+            let (la, lb) = self
+                .expr_aff(&c.lhs)
+                .map_err(|_| (pc, NativeReject::NonAffineGuard))?;
+            let (ra, rb) = self
+                .expr_aff(&c.rhs)
+                .map_err(|_| (pc, NativeReject::NonAffineGuard))?;
+            conds.push((la - ra, lb - rb));
+        }
+        let oe = on_empty as usize;
+        if oe <= pc || oe >= code.len() {
+            return Err((pc, NativeReject::UnsupportedInstr));
+        }
+        let (has_else, ret) = match code[oe] {
+            Instr::PopMask => (false, oe + 1),
+            Instr::IfElse { done } => {
+                let dn = done as usize;
+                if dn <= oe || dn >= code.len() || !matches!(code[dn], Instr::PopMask) {
+                    return Err((oe, NativeReject::UnsupportedInstr));
+                }
+                (true, dn + 1)
             }
-            let (bx, by) = self.bc.block;
-            for c in &sp.conds {
-                let (la, lb) = self
-                    .expr_aff(&c.lhs)
-                    .map_err(|_| NativeReject::NonAffineGuard)?;
-                let (ra, rb) = self
-                    .expr_aff(&c.rhs)
-                    .map_err(|_| NativeReject::NonAffineGuard)?;
-                let xt = (la - ra) * (bx - 1);
-                let yt = (lb - rb) * (by - 1);
-                conds.push((xt.min(0) + yt.min(0), xt.max(0) + yt.max(0)));
+            _ => return Err((pc, NativeReject::UnsupportedInstr)),
+        };
+        let gix = self.guards.len() as u32;
+        self.pf.push((pc, PfOp::Guard(gix)));
+        self.guards.push(GuardInfo {
+            pred,
+            on_empty,
+            has_else,
+            conds,
+        });
+        self.parse_branch(pc + 1, oe)?;
+        if has_else {
+            let Instr::IfElse { done } = code[oe] else {
+                unreachable!("checked above");
+            };
+            self.parse_branch(oe + 1, done as usize)?;
+        }
+        Ok(ret)
+    }
+
+    /// Match a guard branch: F-runs, nested guards, nested loops and
+    /// integer slot updates (conditional on the branch being entered —
+    /// see [`Self::parse_guard`]).
+    fn parse_branch(&mut self, mut i: usize, hi: usize) -> Result<(), RErr> {
+        let code = &self.bc.code;
+        while i < hi {
+            match code[i] {
+                Instr::Eval { dst, .. } | Instr::StepAdd { dst, .. } => {
+                    self.note_write(dst).map_err(|e| (i, e))?;
+                    i += 1;
+                }
+                Instr::LoopInit { .. } => {
+                    i = self.parse_loop(i)?;
+                    if i > hi {
+                        return Err((i - 1, NativeReject::UnsupportedInstr));
+                    }
+                }
+                Instr::IfSplit { .. } => {
+                    i = self.parse_guard(i)?;
+                    if i > hi {
+                        return Err((i - 1, NativeReject::UnsupportedInstr));
+                    }
+                }
+                Instr::FConst { .. }
+                | Instr::FLoad { .. }
+                | Instr::FBin { .. }
+                | Instr::FFma { .. }
+                | Instr::FStore { .. } => {
+                    let mut j = i;
+                    while j < hi && is_fop(&code[j]) {
+                        j += 1;
+                    }
+                    self.push_run(i, j)?;
+                    i = j;
+                }
+                _ => return Err((i, NativeReject::UnsupportedInstr)),
             }
         }
+        Ok(())
+    }
 
+    /// Lower one run of F-instrs `code[lo..hi]`.
+    fn push_run(&mut self, lo: usize, hi: usize) -> Result<(), RErr> {
         let mut ops = Vec::new();
         let mut n_addrs = 0usize;
-        for k in ops_lo..ops_hi {
+        for k in lo..hi {
             match self.bc.code[k] {
                 Instr::FConst { dst, v } => ops.push(NOp::Const { dst, v }),
                 Instr::FLoad {
                     dst, arr, row, col, ..
                 } => {
-                    let (ra, rb) = self.aop_aff(row)?;
-                    let (ca, cb) = self.aop_aff(col)?;
+                    let (ra, rb) = self.aop_aff(row).map_err(|e| (k, e))?;
+                    let (ca, cb) = self.aop_aff(col).map_err(|e| (k, e))?;
                     let src = match arr {
                         ArrRef::Global(g) => {
                             if self.bc.globals[g].written {
-                                return Err(NativeReject::WrittenGlobalLoad);
+                                return Err((k, NativeReject::WrittenGlobalLoad));
                             }
                             NSrc::Global {
                                 g: g as u32,
@@ -525,7 +880,7 @@ impl<'a> RegionBuilder<'a> {
                         }
                         ArrRef::Reg(x) => {
                             if (ra, rb, ca, cb) != (0, 0, 0, 0) {
-                                return Err(NativeReject::NonAffineAddress);
+                                return Err((k, NativeReject::NonAffineAddress));
                             }
                             NSrc::Reg { x: x as u32 }
                         }
@@ -558,10 +913,12 @@ impl<'a> RegionBuilder<'a> {
                     ..
                 } => {
                     let ArrRef::Reg(x) = arr else {
-                        return Err(NativeReject::StoreShape);
+                        return Err((k, NativeReject::StoreShape));
                     };
-                    if self.aop_aff(row)? != (0, 0) || self.aop_aff(col)? != (0, 0) {
-                        return Err(NativeReject::StoreShape);
+                    if self.aop_aff(row).map_err(|e| (k, e))? != (0, 0)
+                        || self.aop_aff(col).map_err(|e| (k, e))? != (0, 0)
+                    {
+                        return Err((k, NativeReject::StoreShape));
                     }
                     self.has_store = true;
                     n_addrs += 1;
@@ -573,22 +930,19 @@ impl<'a> RegionBuilder<'a> {
                         op,
                     });
                 }
-                _ => return Err(NativeReject::UnsupportedInstr),
+                _ => return Err((k, NativeReject::UnsupportedInstr)),
             }
         }
 
-        let exit = if pred.is_some() { ops_hi + 1 } else { ops_hi };
         let hot = detect_hot(&ops);
-        let id = self.stmts.len() as u32;
-        self.stmt_entry.push((entry_pc, id));
-        self.stmts.push(NStmt {
-            pred,
-            conds,
+        let sid = self.stmts.len() as u32;
+        self.pf.push((lo, PfOp::Run(sid)));
+        self.stmts.push(NStmt::Run(NRun {
             ops,
             n_addrs,
-            exit,
+            exit: hi,
             hot,
-        });
+        }));
         Ok(())
     }
 }
@@ -638,6 +992,173 @@ fn detect_hot(ops: &[NOp]) -> Option<Hot> {
 }
 
 // ---------------------------------------------------------------------------
+// Box arithmetic: exact interval cuts over the lane box.
+// ---------------------------------------------------------------------------
+
+/// Refine `b` by the condition `op(d0 + da·tx + db·ty, 0)`.  Exact when
+/// the condition varies along at most one axis (the survivor set is an
+/// interval found by binary search); a two-axis condition is admitted
+/// only with a uniform corner-interval verdict.  `None` means the
+/// survivor set is not a box — abort to the interpreter.
+fn apply_cut(b: LBox, d0: i64, da: i64, db: i64, op: CmpOp) -> Option<LBox> {
+    if b.is_empty() {
+        return Some(b);
+    }
+    if da == 0 && db == 0 {
+        return Some(if op.eval(d0, 0) { b } else { LBox::EMPTY });
+    }
+    if db == 0 {
+        let (lo, hi) = cut_axis(b.txl, b.txh, d0, da, op)?;
+        return Some(LBox {
+            txl: lo,
+            txh: hi,
+            ..b
+        });
+    }
+    if da == 0 {
+        let (lo, hi) = cut_axis(b.tyl, b.tyh, d0, db, op)?;
+        return Some(LBox {
+            tyl: lo,
+            tyh: hi,
+            ..b
+        });
+    }
+    // Both axes vary: only a uniform verdict keeps the set a box.
+    let corners = [
+        d0 + da * b.txl + db * b.tyl,
+        d0 + da * (b.txh - 1) + db * b.tyl,
+        d0 + da * b.txl + db * (b.tyh - 1),
+        d0 + da * (b.txh - 1) + db * (b.tyh - 1),
+    ];
+    let dmin = *corners.iter().min().expect("non-empty");
+    let dmax = *corners.iter().max().expect("non-empty");
+    let v = match op {
+        CmpOp::Lt => verdict(dmax < 0, dmin >= 0),
+        CmpOp::Le => verdict(dmax <= 0, dmin > 0),
+        CmpOp::Gt => verdict(dmin > 0, dmax <= 0),
+        CmpOp::Ge => verdict(dmin >= 0, dmax < 0),
+        CmpOp::Eq => verdict(dmin == 0 && dmax == 0, dmax < 0 || dmin > 0),
+        CmpOp::Ne => verdict(dmax < 0 || dmin > 0, dmin == 0 && dmax == 0),
+    };
+    match v {
+        Some(true) => Some(b),
+        Some(false) => Some(LBox::EMPTY),
+        None => None,
+    }
+}
+
+/// True-set of `op(d0 + k·t, 0)` over `t ∈ [lo, hi)` as a half-open
+/// interval (`(lo, lo)` when empty).  Monotone comparisons always yield
+/// a prefix or suffix; `Ne` with an interior hole is not an interval
+/// (`None`).
+fn cut_axis(lo: i64, hi: i64, d0: i64, k: i64, op: CmpOp) -> Option<(i64, i64)> {
+    debug_assert!(lo < hi && k != 0);
+    match op {
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let t = |x: i64| op.eval(d0 + k * x, 0);
+            match (t(lo), t(hi - 1)) {
+                (true, true) => Some((lo, hi)),
+                (false, false) => Some((lo, lo)),
+                (true, false) => {
+                    // d0 + k·t is monotone, so the predicate flips once:
+                    // binary-search the last true.
+                    let (mut l, mut r) = (lo, hi - 1);
+                    while r - l > 1 {
+                        let m = l + (r - l) / 2;
+                        if t(m) {
+                            l = m;
+                        } else {
+                            r = m;
+                        }
+                    }
+                    Some((lo, l + 1))
+                }
+                (false, true) => {
+                    let (mut l, mut r) = (lo, hi - 1);
+                    while r - l > 1 {
+                        let m = l + (r - l) / 2;
+                        if t(m) {
+                            r = m;
+                        } else {
+                            l = m;
+                        }
+                    }
+                    Some((r, hi))
+                }
+            }
+        }
+        CmpOp::Eq => {
+            if d0 % k == 0 {
+                let x = -d0 / k;
+                if x >= lo && x < hi {
+                    Some((x, x + 1))
+                } else {
+                    Some((lo, lo))
+                }
+            } else {
+                Some((lo, lo))
+            }
+        }
+        CmpOp::Ne => {
+            if d0 % k != 0 {
+                return Some((lo, hi));
+            }
+            let x = -d0 / k;
+            if x < lo || x >= hi {
+                Some((lo, hi))
+            } else if x == lo {
+                Some((lo + 1, hi))
+            } else if x == hi - 1 {
+                Some((lo, hi - 1))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The else box `b ∖ t`, when it is itself a box: `t` must share `b`'s
+/// extent on one axis and a boundary on the other.
+fn complement(b: LBox, t: LBox) -> Option<LBox> {
+    if t.is_empty() {
+        return Some(b);
+    }
+    if t == b {
+        return Some(LBox::EMPTY);
+    }
+    if (t.tyl, t.tyh) == (b.tyl, b.tyh) {
+        if t.txl == b.txl {
+            return Some(LBox { txl: t.txh, ..b });
+        }
+        if t.txh == b.txh {
+            return Some(LBox { txh: t.txl, ..b });
+        }
+    }
+    if (t.txl, t.txh) == (b.txl, b.txh) {
+        if t.tyl == b.tyl {
+            return Some(LBox { tyl: t.tyh, ..b });
+        }
+        if t.tyh == b.tyh {
+            return Some(LBox { tyh: t.tyl, ..b });
+        }
+    }
+    None
+}
+
+/// `Some(true)` / `Some(false)` when the interval proves the comparison
+/// uniform, `None` when it straddles.
+#[inline]
+fn verdict(all_true: bool, all_false: bool) -> Option<bool> {
+    if all_true {
+        Some(true)
+    } else if all_false {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Runtime: preflight, trace replay, microkernels, writeback.
 // ---------------------------------------------------------------------------
 
@@ -646,8 +1167,12 @@ fn detect_hot(ops: &[NOp]) -> Option<Hot> {
 pub(crate) struct NativeScratch {
     /// Lane-0 integer frame column, interpreted scalar by the preflight.
     pub(crate) env: Vec<i64>,
-    /// Resolved statement instances: `[stmt, r, c, r, c, …]` per record.
+    /// Resolved statement instances.  A run record is
+    /// `[sid, txl, txh, tyl, tyh, r, c, …]`; a stage record is
+    /// `[sid, r0, c0, guard-bit words…]`.
     pub(crate) trace: Vec<i64>,
+    /// Preflight box stack: `(saved box, else box)` per open construct.
+    pub(crate) bstack: Vec<(LBox, Option<LBox>)>,
 }
 
 fn aop_env(bc: &ByteCode, env: &[i64], a: AOp) -> i64 {
@@ -681,42 +1206,155 @@ impl VBlock<'_> {
     }
 
     /// Phase 1: interpret the region's integer control flow on lane 0's
-    /// frame column, proving every guard uniform and recording every
-    /// resolved address.  Returns false (mixed guard — abort, nothing
-    /// mutated) or true with `nscratch.{env, trace}` filled.
+    /// frame column while tracking the active-lane box, proving every
+    /// guard and divergent loop test an exact box cut and recording
+    /// every resolved address, box and stage guard bit.  Returns false
+    /// (unrepresentable cut — abort, nothing mutated) or true with
+    /// `nscratch.{env, trace}` filled.
     fn native_preflight(&mut self, region: &Region) -> bool {
         let bc = self.bc;
         let n = self.n;
+        let (bxd, byd) = bc.block;
         let mut env = std::mem::take(&mut self.nscratch.env);
         let mut trace = std::mem::take(&mut self.nscratch.trace);
+        let mut bstack = std::mem::take(&mut self.nscratch.bstack);
         env.clear();
         trace.clear();
+        bstack.clear();
         for s in 0..bc.n_slots {
             env.push(self.frames[s * n]);
         }
 
         let end = region.resume - 1; // the outer PopMask
         let mut pc = region.start;
+        let mut cur = LBox::full(bxd, byd);
         let mut ok = true;
-        while pc != end {
-            if let Ok(ix) = region.stmt_entry.binary_search_by_key(&pc, |e| e.0) {
-                let sid = region.stmt_entry[ix].1;
-                let stmt = &region.stmts[sid as usize];
-                match self.stmt_verdict(stmt, &env) {
-                    Some(true) => {
+        'walk: while pc != end {
+            let pfix = region.pf_map[pc - region.start];
+            if pfix != 0 {
+                match region.pf[pfix as usize - 1].1 {
+                    PfOp::Run(sid) => {
+                        let NStmt::Run(run) = &region.stmts[sid as usize] else {
+                            unreachable!("pf run points at a run statement");
+                        };
                         trace.push(sid as i64);
-                        for op in &stmt.ops {
+                        trace.extend_from_slice(&[cur.txl, cur.txh, cur.tyl, cur.tyh]);
+                        for op in &run.ops {
                             if let NOp::Load { row, col, .. } | NOp::Store { row, col, .. } = *op {
                                 trace.push(aop_env(bc, &env, row));
                                 trace.push(aop_env(bc, &env, col));
                             }
                         }
-                        pc = stmt.exit;
+                        pc = run.exit;
                     }
-                    Some(false) => pc = stmt.exit,
-                    None => {
-                        ok = false;
-                        break;
+                    PfOp::Stage(sid) => {
+                        let NStmt::Stage(stg) = &region.stmts[sid as usize] else {
+                            unreachable!("pf stage points at a stage statement");
+                        };
+                        let st = bc.stages[stg.ix as usize];
+                        let r0 = aop_env(bc, &env, st.row0);
+                        let c0 = aop_env(bc, &env, st.col0);
+                        trace.push(sid as i64);
+                        trace.push(r0);
+                        trace.push(c0);
+                        let base = trace.len();
+                        trace.resize(base + stg.words, 0);
+                        // Evaluate the stage guard exactly as the
+                        // interpreter does (lane 0, thread0 = true,
+                        // staging slots set before each test) — but only
+                        // record the bits; nothing is mutated yet.  With
+                        // affine source coords and monotone conjuncts,
+                        // guard-true at all four tile corners proves the
+                        // guard over the whole tile (an affine function
+                        // on a rectangle takes its extremes at corners),
+                        // so the common all-in-bounds stage skips the
+                        // O(rows·cols) per-element sweep.
+                        let sp = &bc.preds[st.guard as usize];
+                        let mut full = stg.corners;
+                        if full {
+                            'corner: for &c in &[0, st.cols - 1] {
+                                for &r in &[0, st.rows - 1] {
+                                    let (gsr, gsc) =
+                                        stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
+                                    env[bc.sr_slot] = gsr;
+                                    env[bc.sc_slot] = gsc;
+                                    if !sp.eval(&env, true, self.blank_flags) {
+                                        full = false;
+                                        break 'corner;
+                                    }
+                                }
+                            }
+                        }
+                        if full {
+                            let total = (st.rows * st.cols) as usize;
+                            for (w, slot) in trace[base..base + stg.words].iter_mut().enumerate() {
+                                let bits = (total - w * 64).min(64) as u32;
+                                *slot = (u64::MAX >> (64 - bits)) as i64;
+                            }
+                        } else {
+                            let mut e = 0usize;
+                            for c in 0..st.cols {
+                                for r in 0..st.rows {
+                                    let (gsr, gsc) =
+                                        stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
+                                    env[bc.sr_slot] = gsr;
+                                    env[bc.sc_slot] = gsc;
+                                    if sp.eval(&env, true, self.blank_flags) {
+                                        trace[base + e / 64] |= 1i64 << (e % 64);
+                                    }
+                                    e += 1;
+                                }
+                            }
+                        }
+                        // The interpreter leaves the last element's
+                        // source coords in the staging slots.
+                        let (gsr, gsc) = stage_src_coords(
+                            st.mode,
+                            st.src_fill,
+                            r0 + st.rows - 1,
+                            c0 + st.cols - 1,
+                        );
+                        env[bc.sr_slot] = gsr;
+                        env[bc.sc_slot] = gsc;
+                        pc += 1;
+                    }
+                    PfOp::Guard(gix) => {
+                        let g = &region.guards[gix as usize];
+                        match self.guard_boxes(g, &env, cur) {
+                            None => {
+                                ok = false;
+                                break 'walk;
+                            }
+                            Some((then_b, else_b)) => {
+                                bstack.push((cur, else_b));
+                                if then_b.is_empty() {
+                                    pc = g.on_empty as usize;
+                                } else {
+                                    cur = then_b;
+                                    pc += 1;
+                                }
+                            }
+                        }
+                    }
+                    PfOp::Test {
+                        var,
+                        hi,
+                        exit,
+                        da,
+                        db,
+                    } => {
+                        let d0 = env[var as usize] - env[hi as usize];
+                        match apply_cut(cur, d0, da, db, CmpOp::Lt) {
+                            None => {
+                                ok = false;
+                                break 'walk;
+                            }
+                            Some(nb) if nb.is_empty() => pc = exit as usize,
+                            Some(nb) => {
+                                cur = nb;
+                                pc += 1;
+                            }
+                        }
                     }
                 }
                 continue;
@@ -740,9 +1378,12 @@ impl VBlock<'_> {
                 } => {
                     env[var as usize] = aop_env(bc, &env, lo);
                     env[hi as usize] = aop_env(bc, &env, hi_src);
+                    bstack.push((cur, None));
                     pc += 1;
                 }
                 Instr::LoopTest { var, hi, exit, .. } => {
+                    // Non-uniform tests are pf entries; this arm is the
+                    // statically uniform test on lane 0.
                     pc = if env[var as usize] < env[hi as usize] {
                         pc + 1
                     } else {
@@ -750,67 +1391,94 @@ impl VBlock<'_> {
                     };
                 }
                 Instr::LoopJump { top } => pc = top as usize,
-                Instr::PopMask => pc += 1,
+                Instr::IfElse { done } => {
+                    let &(_, else_b) = bstack.last().expect("guard pushed its box");
+                    let e = else_b.expect("else box computed at guard entry");
+                    if e.is_empty() {
+                        pc = done as usize;
+                    } else {
+                        cur = e;
+                        pc += 1;
+                    }
+                }
+                Instr::PopMask => {
+                    cur = bstack.pop().expect("balanced mask stack").0;
+                    pc += 1;
+                }
                 _ => unreachable!("unmodeled instruction inside a native region"),
             }
         }
         self.nscratch.env = env;
         self.nscratch.trace = trace;
+        self.nscratch.bstack = bstack;
         ok
     }
 
-    /// Interval verdict for one guarded statement at the current scalar
-    /// environment: `Some(true)` — every lane passes, `Some(false)` —
-    /// every lane fails, `None` — mixed (abort to the interpreter).
-    fn stmt_verdict(&self, stmt: &NStmt, env: &[i64]) -> Option<bool> {
-        let Some(p) = stmt.pred else {
-            return Some(true);
-        };
-        let sp = &self.bc.preds[p as usize];
+    /// Resolve one guard at the current scalar environment into
+    /// `(then box, else box)`.  `None` — a cut or the else complement is
+    /// not representable as a box — aborts the region.
+    fn guard_boxes(&self, g: &GuardInfo, env: &[i64], b: LBox) -> Option<(LBox, Option<LBox>)> {
+        let sp = &self.bc.preds[g.pred as usize];
+        let mut then_b = b;
         if let Some(ix) = sp.blank_flag {
             if self.blank_flags[ix] == sp.blank_negated {
-                return Some(false);
+                then_b = LBox::EMPTY;
             }
         }
-        let mut all = true;
-        for (c, &(lo_x, hi_x)) in sp.conds.iter().zip(&stmt.conds) {
-            let d0 = c.lhs.eval(env) - c.rhs.eval(env);
-            let (dmin, dmax) = (d0 + lo_x, d0 + hi_x);
-            let v = match c.op {
-                CmpOp::Lt => verdict(dmax < 0, dmin >= 0),
-                CmpOp::Le => verdict(dmax <= 0, dmin > 0),
-                CmpOp::Gt => verdict(dmin > 0, dmax <= 0),
-                CmpOp::Ge => verdict(dmin >= 0, dmax < 0),
-                CmpOp::Eq => verdict(dmin == 0 && dmax == 0, dmax < 0 || dmin > 0),
-                CmpOp::Ne => verdict(dmax < 0 || dmin > 0, dmin == 0 && dmax == 0),
-            };
-            match v {
-                Some(true) => {}
-                Some(false) => return Some(false),
-                None => all = false,
+        if !then_b.is_empty() {
+            for (c, &(da, db)) in sp.conds.iter().zip(&g.conds) {
+                let d0 = c.lhs.eval(env) - c.rhs.eval(env);
+                then_b = apply_cut(then_b, d0, da, db, c.op)?;
+                if then_b.is_empty() {
+                    break;
+                }
             }
         }
-        if all {
-            Some(true)
+        let else_b = if g.has_else {
+            Some(complement(b, then_b)?)
         } else {
             None
-        }
+        };
+        Some((then_b, else_b))
     }
 
     /// Phase 2: replay the recorded statement instances sequentially —
-    /// exactly the interpreter's order, through vector kernels.
+    /// exactly the interpreter's order, through vector kernels over each
+    /// instance's recorded lane box.
     fn native_replay(&mut self, region: &Region) {
         let trace = std::mem::take(&mut self.nscratch.trace);
+        let (bxd, byd) = self.bc.block;
         let mut off = 0;
         while off < trace.len() {
-            let stmt = &region.stmts[trace[off] as usize];
-            let addrs = &trace[off + 1..off + stmt.record_len()];
-            if let Some(hot) = stmt.hot {
-                self.native_hot(hot, addrs);
-            } else {
-                self.native_generic(stmt, addrs);
+            match &region.stmts[trace[off] as usize] {
+                NStmt::Run(run) => {
+                    let b = LBox {
+                        txl: trace[off + 1],
+                        txh: trace[off + 2],
+                        tyl: trace[off + 3],
+                        tyh: trace[off + 4],
+                    };
+                    let addrs = &trace[off + 5..off + 5 + 2 * run.n_addrs];
+                    if b.is_full(bxd, byd) {
+                        if let Some(hot) = run.hot {
+                            self.native_hot(hot, addrs);
+                        } else {
+                            self.native_generic(run, addrs);
+                        }
+                    } else if let Some(hot) = run.hot {
+                        self.native_hot_boxed(hot, addrs, b);
+                    } else {
+                        self.native_generic_boxed(run, addrs, b);
+                    }
+                    off += 5 + 2 * run.n_addrs;
+                }
+                NStmt::Stage(stg) => {
+                    let (r0, c0) = (trace[off + 1], trace[off + 2]);
+                    let bits = &trace[off + 3..off + 3 + stg.words];
+                    self.native_stage(stg.ix, r0, c0, bits);
+                    off += 3 + stg.words;
+                }
             }
-            off += stmt.record_len();
         }
         self.nscratch.trace = trace;
     }
@@ -842,14 +1510,49 @@ impl VBlock<'_> {
         }
     }
 
+    /// The fused microkernel over a partial lane box: raw strided
+    /// gathers restricted to the in-box lanes.  Addresses are lane-0
+    /// extrapolations (lane `(0, 0)` may sit outside the box, so flat
+    /// indices stay signed until each in-box element is touched).
+    fn native_hot_boxed(&mut self, hot: Hot, addrs: &[i64], bxv: LBox) {
+        let n = self.n;
+        let (bxd, _) = self.bc.block;
+        let d = &self.bc.regs[hot.x as usize];
+        let base = (self.bc.reg_off[hot.x as usize] + (addrs[4] + addrs[5] * d.rows) as usize) * n;
+        debug_assert!(
+            addrs[4] >= 0 && addrs[4] < d.rows && addrs[5] >= 0 && addrs[5] < d.cols,
+            "register tile index out of bounds"
+        );
+        let smem: &[f32] = self.smem;
+        let mats = self.base;
+        let regs: &mut [f32] = self.regs;
+        let a = raw_span(hot.a, addrs[0], addrs[1], smem, mats);
+        let b = raw_span(hot.b, addrs[2], addrs[3], smem, mats);
+        let acc = &mut regs[base..base + n];
+        for ty in bxv.tyl..bxv.tyh {
+            let row = (ty * bxd) as usize;
+            let ab = a.base + a.dty * ty;
+            let bb = b.base + b.dty * ty;
+            for tx in bxv.txl..bxv.txh {
+                let t = a.data[(ab + a.dtx * tx) as usize] * b.data[(bb + b.dtx * tx) as usize];
+                let x = &mut acc[row + tx as usize];
+                if hot.sub {
+                    *x -= t;
+                } else {
+                    *x += t;
+                }
+            }
+        }
+    }
+
     /// Generic vectorized statement: op-by-op over the virtual f32
     /// registers, with addresses taken from the trace instead of
     /// per-lane evaluation.
-    fn native_generic(&mut self, stmt: &NStmt, addrs: &[i64]) {
+    fn native_generic(&mut self, run: &NRun, addrs: &[i64]) {
         let n = self.n;
         let (bx, _) = self.bc.block;
         let mut ai = 0usize;
-        for op in &stmt.ops {
+        for op in &run.ops {
             match *op {
                 NOp::Const { dst, v } => self.fregs[dst as usize * n..][..n].fill(v),
                 NOp::Load { dst, src, .. } => {
@@ -893,21 +1596,7 @@ impl VBlock<'_> {
                         }
                     }
                 }
-                NOp::Bin { op, dst, a, b } => {
-                    // dst > a, b: statement-local registers are allocated
-                    // operands-first, same as the interpreter's split.
-                    let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
-                    let dsl = &mut dsl[..n];
-                    let a = &src[a as usize * n..][..n];
-                    let b = &src[b as usize * n..][..n];
-                    let lanes = dsl.iter_mut().zip(a).zip(b);
-                    match op {
-                        BinOp::Add => lanes.for_each(|((d, a), b)| *d = a + b),
-                        BinOp::Sub => lanes.for_each(|((d, a), b)| *d = a - b),
-                        BinOp::Mul => lanes.for_each(|((d, a), b)| *d = a * b),
-                        BinOp::Div => lanes.for_each(|((d, a), b)| *d = a / b),
-                    }
-                }
+                NOp::Bin { op, dst, a, b } => self.vec_bin(op, dst, a, b),
                 NOp::Fma {
                     op,
                     dst,
@@ -915,22 +1604,7 @@ impl VBlock<'_> {
                     b,
                     c,
                     mul_first,
-                } => {
-                    let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
-                    let dsl = &mut dsl[..n];
-                    let a = &src[a as usize * n..][..n];
-                    let b = &src[b as usize * n..][..n];
-                    let c = &src[c as usize * n..][..n];
-                    // Two roundings, never mul_add: same as every tier.
-                    let lanes = dsl.iter_mut().zip(a).zip(b).zip(c);
-                    match (op, mul_first) {
-                        (BinOp::Add, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b + c),
-                        (BinOp::Add, false) => lanes.for_each(|(((d, a), b), c)| *d = c + a * b),
-                        (BinOp::Sub, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b - c),
-                        (BinOp::Sub, false) => lanes.for_each(|(((d, a), b), c)| *d = c - a * b),
-                        _ => unreachable!("FFma is only built for Add/Sub"),
-                    }
-                }
+                } => self.vec_fma(op, dst, a, b, c, mul_first),
                 NOp::Store { src, x, op, .. } => {
                     let (r, c) = (addrs[ai], addrs[ai + 1]);
                     ai += 2;
@@ -954,8 +1628,201 @@ impl VBlock<'_> {
         }
     }
 
+    /// Generic statement over a partial lane box.  Loads and stores are
+    /// box-restricted (out-of-box addresses may be invalid — that is
+    /// exactly what the guard proves); pure arithmetic runs full-width,
+    /// since out-of-box virtual registers are never stored.
+    fn native_generic_boxed(&mut self, run: &NRun, addrs: &[i64], bv: LBox) {
+        let n = self.n;
+        let (bxd, _) = self.bc.block;
+        let mut ai = 0usize;
+        for op in &run.ops {
+            match *op {
+                NOp::Const { dst, v } => self.fregs[dst as usize * n..][..n].fill(v),
+                NOp::Load { dst, src, .. } => {
+                    let (r, c) = (addrs[ai], addrs[ai + 1]);
+                    ai += 2;
+                    let doff = dst as usize * n;
+                    match src {
+                        NSrc::Reg { x } => {
+                            let d = &self.bc.regs[x as usize];
+                            debug_assert!(
+                                r >= 0 && r < d.rows && c >= 0 && c < d.cols,
+                                "register tile index out of bounds"
+                            );
+                            let base =
+                                (self.bc.reg_off[x as usize] + (r + c * d.rows) as usize) * n;
+                            for ty in bv.tyl..bv.tyh {
+                                let l0 = (ty * bxd + bv.txl) as usize;
+                                let len = (bv.txh - bv.txl) as usize;
+                                self.fregs[doff + l0..doff + l0 + len]
+                                    .copy_from_slice(&self.regs[base + l0..base + l0 + len]);
+                            }
+                        }
+                        _ => {
+                            let smem: &[f32] = self.smem;
+                            let mats = self.base;
+                            let sp = raw_span(src, r, c, smem, mats);
+                            let dsl = &mut self.fregs[doff..doff + n];
+                            for ty in bv.tyl..bv.tyh {
+                                let sb = sp.base + sp.dty * ty;
+                                let l0 = (ty * bxd) as usize;
+                                for tx in bv.txl..bv.txh {
+                                    dsl[l0 + tx as usize] = sp.data[(sb + sp.dtx * tx) as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+                NOp::Bin { op, dst, a, b } => self.vec_bin(op, dst, a, b),
+                NOp::Fma {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    mul_first,
+                } => self.vec_fma(op, dst, a, b, c, mul_first),
+                NOp::Store { src, x, op, .. } => {
+                    let (r, c) = (addrs[ai], addrs[ai + 1]);
+                    ai += 2;
+                    let d = &self.bc.regs[x as usize];
+                    debug_assert!(
+                        r >= 0 && r < d.rows && c >= 0 && c < d.cols,
+                        "register tile index out of bounds"
+                    );
+                    let base = (self.bc.reg_off[x as usize] + (r + c * d.rows) as usize) * n;
+                    let s = src as usize * n;
+                    for ty in bv.tyl..bv.tyh {
+                        let l0 = (ty * bxd + bv.txl) as usize;
+                        let len = (bv.txh - bv.txl) as usize;
+                        let lanes = self.regs[base + l0..base + l0 + len]
+                            .iter_mut()
+                            .zip(&self.fregs[s + l0..s + l0 + len]);
+                        match op {
+                            AssignOp::Assign => lanes.for_each(|(d, v)| *d = *v),
+                            AssignOp::AddAssign => lanes.for_each(|(d, v)| *d += v),
+                            AssignOp::SubAssign => lanes.for_each(|(d, v)| *d -= v),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `freg[dst] = freg[a] op freg[b]`, all lanes.  Registers are
+    /// statement-local and allocated operands-first, so `dst > a, b` and
+    /// the split is safe.
+    fn vec_bin(&mut self, op: BinOp, dst: u32, a: u32, b: u32) {
+        let n = self.n;
+        let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
+        let dsl = &mut dsl[..n];
+        let a = &src[a as usize * n..][..n];
+        let b = &src[b as usize * n..][..n];
+        let lanes = dsl.iter_mut().zip(a).zip(b);
+        match op {
+            BinOp::Add => lanes.for_each(|((d, a), b)| *d = a + b),
+            BinOp::Sub => lanes.for_each(|((d, a), b)| *d = a - b),
+            BinOp::Mul => lanes.for_each(|((d, a), b)| *d = a * b),
+            BinOp::Div => lanes.for_each(|((d, a), b)| *d = a / b),
+        }
+    }
+
+    /// Fused multiply-add, all lanes — two roundings, never `mul_add`,
+    /// same as every tier.
+    fn vec_fma(&mut self, op: BinOp, dst: u32, a: u32, b: u32, c: u32, mul_first: bool) {
+        let n = self.n;
+        let (src, dsl) = self.fregs.split_at_mut(dst as usize * n);
+        let dsl = &mut dsl[..n];
+        let a = &src[a as usize * n..][..n];
+        let b = &src[b as usize * n..][..n];
+        let c = &src[c as usize * n..][..n];
+        let lanes = dsl.iter_mut().zip(a).zip(b).zip(c);
+        match (op, mul_first) {
+            (BinOp::Add, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b + c),
+            (BinOp::Add, false) => lanes.for_each(|(((d, a), b), c)| *d = c + a * b),
+            (BinOp::Sub, true) => lanes.for_each(|(((d, a), b), c)| *d = a * b - c),
+            (BinOp::Sub, false) => lanes.for_each(|(((d, a), b), c)| *d = c - a * b),
+            _ => unreachable!("FFma is only built for Add/Sub"),
+        }
+    }
+
+    /// Replay one shared-memory stage from its preflight record: whole
+    /// columns `memcpy` when every guard bit is set and the source span
+    /// is a plain in-bounds rectangle of an unwritten global, otherwise
+    /// the exact per-element walk (guard-false elements stage `0.0`,
+    /// exactly like the interpreter).
+    fn native_stage(&mut self, ix: u32, r0: i64, c0: i64, bits: &[i64]) {
+        let st = self.bc.stages[ix as usize];
+        let n = self.n;
+        let total = (st.rows * st.cols) as usize;
+        let all = bits.iter().map(|w| w.count_ones() as usize).sum::<usize>() == total;
+        let src_m = self.base[st.src];
+        let fast = all
+            && !self.bc.globals[st.src].written
+            && st.mode != AllocMode::Symmetry
+            && r0 >= 0
+            && c0 >= 0
+            && r0 + st.rows <= src_m.ld
+            && c0 + st.cols <= src_m.cols;
+        if fast && st.mode == AllocMode::NoChange {
+            let d = &self.bc.smem[st.dst];
+            let tld = (d.rows + d.pad) as usize;
+            let doff = self.bc.smem_off[st.dst];
+            let rows = st.rows as usize;
+            for c in 0..st.cols {
+                let s0 = (r0 + (c0 + c) * src_m.ld) as usize;
+                let d0 = doff + c as usize * tld;
+                self.smem[d0..d0 + rows].copy_from_slice(&src_m.data[s0..s0 + rows]);
+            }
+        } else if fast {
+            // Transposed stage: each *source row* lands contiguously in
+            // the destination tile, so walk rows and gather the strided
+            // source column run directly (no per-element guard/coord
+            // machinery).
+            let d = &self.bc.smem[st.dst];
+            let tld = (d.rows + d.pad) as usize;
+            let doff = self.bc.smem_off[st.dst];
+            let cols = st.cols as usize;
+            for r in 0..st.rows {
+                let s0 = r0 + r + c0 * src_m.ld;
+                let dst = &mut self.smem[doff + r as usize * tld..][..cols];
+                for (c, slot) in dst.iter_mut().enumerate() {
+                    *slot = src_m.data[(s0 + c as i64 * src_m.ld) as usize];
+                }
+            }
+        } else {
+            let mut e = 0usize;
+            for c in 0..st.cols {
+                for r in 0..st.rows {
+                    let set = (bits[e / 64] >> (e % 64)) & 1 != 0;
+                    e += 1;
+                    let v = if set {
+                        let (gsr, gsc) = stage_src_coords(st.mode, st.src_fill, r0 + r, c0 + c);
+                        self.gread(st.src, gsr, gsc)
+                    } else {
+                        0.0
+                    };
+                    let sx = match st.mode {
+                        AllocMode::NoChange | AllocMode::Symmetry => self.smem_ix(st.dst, r, c),
+                        AllocMode::Transpose => self.smem_ix(st.dst, c, r),
+                    };
+                    self.smem[sx] = v;
+                }
+            }
+        }
+        // The interpreter leaves the last element's source coords in the
+        // lane-0 staging slots; reproduce that exactly.
+        let (gsr, gsc) = stage_src_coords(st.mode, st.src_fill, r0 + st.rows - 1, c0 + st.cols - 1);
+        self.frames[self.bc.sr_slot * n] = gsr;
+        self.frames[self.bc.sc_slot * n] = gsc;
+    }
+
     /// Phase 3: reconstruct every integer slot the region wrote, per
     /// lane, from the scalar environment and the slot's affine class.
+    /// Exact even for divergent loops: the interpreter's slot updates
+    /// write all lanes unmasked, so the affine lane relation holds at
+    /// region exit.
     fn native_writeback(&mut self, region: &Region) {
         let n = self.n;
         let (bx, by) = self.bc.block;
@@ -977,19 +1844,6 @@ impl VBlock<'_> {
     }
 }
 
-/// `Some(true)` / `Some(false)` when the interval proves the comparison
-/// uniform, `None` when it straddles.
-#[inline]
-fn verdict(all_true: bool, all_false: bool) -> Option<bool> {
-    if all_true {
-        Some(true)
-    } else if all_false {
-        Some(false)
-    } else {
-        None
-    }
-}
-
 /// A load source resolved to its per-lane access pattern for one
 /// statement instance.
 enum Span<'x> {
@@ -1001,6 +1855,38 @@ enum Span<'x> {
     Step(&'x [f32], i64, i64),
     /// Separate tx/ty strides: `data[base + dtx·tx + dty·ty]`.
     Grid(&'x [f32], i64, i64, i64),
+}
+
+/// A source as raw strided storage for box-restricted kernels: flat
+/// element at `(tx, ty)` is `data[base + dtx·tx + dty·ty]`.  No bounds
+/// reasoning — `base` extrapolates lane `(0, 0)`, which may sit outside
+/// the box (and outside the array); only in-box elements are indexed.
+struct RawSpan<'x> {
+    data: &'x [f32],
+    base: i64,
+    dtx: i64,
+    dty: i64,
+}
+
+fn raw_span<'x>(src: NSrc, r: i64, c: i64, smem: &'x [f32], mats: &[&'x Matrix]) -> RawSpan<'x> {
+    match src {
+        NSrc::Global { g, ra, rb, ca, cb } => {
+            let m = mats[g as usize];
+            RawSpan {
+                data: &m.data,
+                base: r + c * m.ld,
+                dtx: ra + ca * m.ld,
+                dty: rb + cb * m.ld,
+            }
+        }
+        NSrc::Shared { off, ld, dtx, dty } => RawSpan {
+            data: smem,
+            base: off + r + c * ld,
+            dtx,
+            dty,
+        },
+        NSrc::Reg { .. } => unreachable!("register sources resolve to lane slices"),
+    }
 }
 
 /// Classify a source at a resolved `(r, c)` into its stride class.

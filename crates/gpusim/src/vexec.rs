@@ -300,7 +300,7 @@ impl VBlock<'_> {
 
     /// Global read: the block's own writes shadow the snapshot.
     #[inline]
-    fn gread(&self, g: usize, r: i64, c: i64) -> f32 {
+    pub(crate) fn gread(&self, g: usize, r: i64, c: i64) -> f32 {
         if self.bc.globals[g].written {
             if let Some(&v) = self.overlay.get(&pack_key(g, r, c)) {
                 return v;
@@ -315,7 +315,7 @@ impl VBlock<'_> {
     }
 
     #[inline]
-    fn smem_ix(&self, s: usize, r: i64, c: i64) -> usize {
+    pub(crate) fn smem_ix(&self, s: usize, r: i64, c: i64) -> usize {
         let d = &self.bc.smem[s];
         let ld = d.rows + d.pad;
         // Mirrors Matrix::get/set bounds (rows ≤ r < ld lands in the pad).

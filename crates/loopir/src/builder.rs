@@ -102,6 +102,71 @@ pub fn trmm_ll_like(name: &str) -> Program {
     p
 }
 
+/// A rank-K update restricted to the lower triangle (SYRK-LN shape):
+///
+/// ```text
+/// Li: for (i = 0; i < M; i++)
+///   Lj: for (j = 0; j < N; j++)
+///     Lk: for (k = 0; k < K; k++)
+///       if (i >= j)                    // only the stored triangle of C
+///         C[i][j] += A[i][k] * A[j][k];
+/// ```
+///
+/// Both operands read the *same* matrix (`C := A·Aᵀ + C`), and the
+/// triangular restriction is a guard over the output — the shape whose
+/// diagonal blocks straddle a thread block after distribution.  The
+/// guard sits inside `Lk` so `loop_tiling`'s guard-contains-exactly-`Lk`
+/// structure is preserved by `thread_grouping`.
+pub fn syrk_ln_like(name: &str) -> Program {
+    let mut p = Program::new(name, &["M", "N", "K"]);
+    p.declare(ArrayDecl::global(
+        "A",
+        AffineExpr::var("M"),
+        AffineExpr::var("K"),
+    ));
+    p.declare(ArrayDecl::global(
+        "C",
+        AffineExpr::var("M"),
+        AffineExpr::var("N"),
+    ));
+    let guard = crate::expr::Predicate::cond(
+        AffineExpr::var("i"),
+        crate::expr::CmpOp::Ge,
+        AffineExpr::var("j"),
+    );
+    let update = Stmt::Assign(AssignStmt::new(
+        Access::idx("C", "i", "j"),
+        AssignOp::AddAssign,
+        ScalarExpr::mul(
+            ScalarExpr::load(Access::idx("A", "i", "k")),
+            ScalarExpr::load(Access::idx("A", "j", "k")),
+        ),
+    ));
+    let lk = Loop::new(
+        "Lk",
+        "k",
+        AffineExpr::zero(),
+        AffineExpr::var("K"),
+        vec![Stmt::guarded(guard, vec![update])],
+    );
+    let lj = Loop::new(
+        "Lj",
+        "j",
+        AffineExpr::zero(),
+        AffineExpr::var("N"),
+        vec![Stmt::Loop(Box::new(lk))],
+    );
+    let li = Loop::new(
+        "Li",
+        "i",
+        AffineExpr::zero(),
+        AffineExpr::var("M"),
+        vec![Stmt::Loop(Box::new(lj))],
+    );
+    p.body = vec![Stmt::Loop(Box::new(li))];
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +176,14 @@ mod tests {
         let p = gemm_nn_like("g");
         let lk = p.find_loop("Lk").unwrap();
         assert_eq!(lk.upper, AffineExpr::var("K"));
+        assert_eq!(p.assignments().len(), 1);
+    }
+
+    #[test]
+    fn syrk_guards_the_lower_triangle() {
+        let p = syrk_ln_like("s");
+        let lk = p.find_loop("Lk").unwrap();
+        assert!(matches!(&lk.body[..], [Stmt::If { else_body, .. }] if else_body.is_empty()));
         assert_eq!(p.assignments().len(), 1);
     }
 

@@ -2,27 +2,30 @@
 //!
 //! The native engine is an *annotation* over bytecode: a loop nest either
 //! lowers to a microkernel region (and must then be entered at runtime
-//! whenever its guards prove uniform) or is refused with a recorded
-//! [`NativeReject`] reason and stays on the interpreter.  These tests pin
-//! both directions:
+//! whenever its preflight proves every guard an exact lane-box cut) or is
+//! refused with a recorded [`NativeReject`] reason and stays on the
+//! interpreter.  These tests pin both directions:
 //!
-//! * the tuned register-tiled GEMM — the shape the engine exists for —
-//!   must match at least one inner region and actually run it natively;
+//! * the tuned register-tiled GEMM — and now the barrier-staged,
+//!   divergent-triangular and guard-peeled shapes of the TRMM/SYMM/TRSM
+//!   family — must match a region and actually run it natively;
 //! * nests the affinity analysis cannot prove (stores to written
-//!   globals, divergent triangular loops, staging barriers) must be
-//!   *cleanly* rejected — reason recorded, results still bit-identical —
-//!   never mis-lowered;
-//! * a runtime mask/guard the interval analysis cannot resolve must fall
-//!   back without mutating anything (the fallback counter ticks, the
-//!   results stay bit-identical).
+//!   globals, solver serialization) must be *cleanly* rejected — reason
+//!   recorded, results still bit-identical — never mis-lowered;
+//! * a runtime guard the box analysis cannot resolve must fall back
+//!   without mutating anything;
+//! * the reject tables of the four flagship routines are snapshotted so
+//!   matcher regressions are loud.
 
-use oa_core::gpusim::{exec_program, NativeProgram, NativeReject};
-use oa_core::loopir::builder::{gemm_nn_like, trmm_ll_like};
+use oa_core::blas3::baselines::cublas_like;
+use oa_core::gpusim::{exec_program, DeviceSpec, NativeProgram, NativeReject};
+use oa_core::loopir::builder::{gemm_nn_like, syrk_ln_like, trmm_ll_like};
 use oa_core::loopir::interp::{alloc_buffers, Bindings, Buffers};
 use oa_core::loopir::transform::{
     loop_tiling, peel_triangular, reg_alloc, sm_alloc, thread_grouping, TileParams,
 };
 use oa_core::loopir::Program;
+use oa_core::RoutineId;
 
 fn params() -> TileParams {
     TileParams {
@@ -41,6 +44,16 @@ fn tuned_gemm() -> Program {
     thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
     loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
     sm_alloc(&mut p, "B", oa_core::loopir::AllocMode::Transpose).unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    p
+}
+
+/// TRMM with per-lane (triangular) K-loop trip counts, register-tiled:
+/// the divergent-nest shape the iteration-space split exists for.
+fn tiled_trmm() -> Program {
+    let mut p = trmm_ll_like("t");
+    thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
     reg_alloc(&mut p, "C").unwrap();
     p
 }
@@ -85,21 +98,84 @@ fn tuned_gemm_lowers_and_enters_the_inner_region() {
 }
 
 #[test]
-fn outer_staging_loop_rejects_but_inner_nest_still_lowers() {
+fn staged_shared_memory_region_lowers_and_enters() {
+    // The K-block loop stages shared memory behind a barrier.  The
+    // barrier is a compile-time region boundary now: the stage→Sync→
+    // consume macro lowers as one region (guard bits recorded in the
+    // preflight, the copy replayed natively), with no instruction-shape
+    // reject left on the staging loop.
     let p = tuned_gemm();
-    let b = Bindings::square(32);
-    let np = NativeProgram::compile(&p, &b).expect("native compile");
-    // The K-block loop stages shared memory — a barrier macro the native
-    // tier does not model.  It must be *refused* (recorded, with the
-    // instruction-shape reason), while the FMA nest inside it lowers.
+    let np = assert_native_bit_identical(&p, 32, 7);
     assert!(
-        np.rejects()
+        !np.rejects()
             .iter()
             .any(|(_, r)| *r == NativeReject::UnsupportedInstr),
-        "staging nest should be rejected as unsupported; rejects: {:?}",
+        "staging macro should lower, not reject; rejects: {:?}",
         np.rejects()
     );
-    assert!(np.region_count() >= 1);
+    let (entries, fallbacks) = np.runtime_stats();
+    assert!(entries > 0, "staged region was never entered natively");
+    assert_eq!(fallbacks, 0, "staged region fell back on an exact size");
+}
+
+#[test]
+fn divergent_triangular_nest_lowers_with_iteration_split() {
+    // TRMM's K loop has lane-affine trip counts (the triangular
+    // pattern).  The preflight turns the divergent loop test into an
+    // interval cut over the lane box, so the nest lowers and enters
+    // instead of rejecting with DivergentLoop/NonUniformBounds.
+    let p = tiled_trmm();
+    let np = assert_native_bit_identical(&p, 32, 11);
+    assert!(
+        np.region_count() >= 1,
+        "triangular nest matched no region; rejects: {:?}",
+        np.rejects()
+    );
+    assert!(
+        !np.rejects().iter().any(|(_, r)| matches!(
+            r,
+            NativeReject::DivergentLoop | NativeReject::NonUniformBounds
+        )),
+        "divergent trip counts should box-split, not reject; rejects: {:?}",
+        np.rejects()
+    );
+    let (entries, _) = np.runtime_stats();
+    assert!(entries > 0, "triangular region was never entered natively");
+}
+
+#[test]
+fn guard_peeled_else_branch_enters_natively() {
+    // SYMM's diagonal blocks select between the stored triangle and its
+    // mirror with an IfSplit/IfElse pair.  Both branch boxes are exact
+    // complements, so the guard peels into two sub-boxes and the whole
+    // kernel runs natively with zero fallbacks.
+    let dev = DeviceSpec::gtx285();
+    let p = cublas_like(RoutineId::parse("SYMM-LL").unwrap(), &dev);
+    let np = assert_native_bit_identical(&p, 64, 13);
+    assert!(np.region_count() >= 1, "SYMM matched no region");
+    let (entries, fallbacks) = np.runtime_stats();
+    assert!(entries > 0, "guard-peeled region was never entered");
+    assert_eq!(fallbacks, 0, "guard peel fell back on an exact size");
+}
+
+#[test]
+fn syrk_triangular_guard_splits_blocks() {
+    // SYRK's output-triangle guard varies along *both* lane axes: blocks
+    // fully inside or outside the triangle get a uniform corner verdict
+    // (native entry or skip), diagonal blocks straddle and must abort to
+    // the interpreter before any mutation.
+    let mut p = syrk_ln_like("s");
+    thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
+    loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+    reg_alloc(&mut p, "C").unwrap();
+    let np = assert_native_bit_identical(&p, 32, 17);
+    assert!(np.region_count() >= 1, "SYRK matched no region");
+    let (entries, fallbacks) = np.runtime_stats();
+    assert!(entries > 0, "off-diagonal blocks should enter natively");
+    assert!(
+        fallbacks > 0,
+        "diagonal blocks should abort to the interpreter"
+    );
 }
 
 #[test]
@@ -127,18 +203,18 @@ fn written_global_store_falls_back_cleanly() {
 }
 
 #[test]
-fn divergent_triangular_loop_falls_back_cleanly() {
-    // TRMM's peeled K loop has per-lane (triangular) trip counts: the
-    // bounds are not lane-invariant, so the nest must stay interpreted.
+fn global_store_triangular_loop_falls_back_cleanly() {
+    // TRMM grouped without register allocation: divergent loops *and*
+    // stores to the written global.  The store shape keeps the nest on
+    // the interpreter regardless of the new loop support.
     let mut p = trmm_ll_like("t");
     thread_grouping(&mut p, "Li", "Lj", params()).unwrap();
     let np = assert_native_bit_identical(&p, 16, 5);
     assert!(
-        np.rejects().iter().any(|(_, r)| matches!(
-            r,
-            NativeReject::NonUniformBounds | NativeReject::DivergentLoop | NativeReject::StoreShape
-        )),
-        "expected a divergence/bounds reject; rejects: {:?}",
+        np.rejects()
+            .iter()
+            .any(|(_, r)| matches!(r, NativeReject::StoreShape)),
+        "expected a store-shape reject; rejects: {:?}",
         np.rejects()
     );
 }
@@ -156,17 +232,16 @@ fn peeled_trmm_stays_bit_identical() {
 }
 
 #[test]
-fn ragged_sizes_fall_back_at_runtime_not_in_results() {
+fn ragged_sizes_split_boxes_instead_of_falling_back() {
     // A ragged problem size makes the tile guards straddle inside a
-    // block: the interval analysis cannot prove them uniform, so the
-    // preflight must abort — *before* mutating any state — and hand the
-    // nest back to the interpreter.
+    // block.  The straddle is lane-contiguous, so the box analysis peels
+    // it into a partial box and still enters natively.
     let p = tuned_gemm();
     let np = assert_native_bit_identical(&p, 19, 23);
     let (entries, fallbacks) = np.runtime_stats();
     assert!(
-        entries + fallbacks > 0,
-        "lowered regions were never even attempted"
+        entries > 0,
+        "ragged guards should box-split, not fall back (entries={entries}, fallbacks={fallbacks})"
     );
 }
 
@@ -180,4 +255,36 @@ fn repeated_native_execution_is_deterministic() {
     let mut second = alloc_buffers(&p, &b, 1);
     np.execute(&mut second).unwrap();
     assert_eq!(first["C"].data, second["C"].data);
+}
+
+#[test]
+fn flagship_reject_tables_do_not_regress() {
+    // Snapshot of the deduplicated reject histograms for the four
+    // flagship kernels.  GEMM/TRMM/SYMM lower completely; TRSM lowers
+    // its staged update nest and keeps exactly its solver-serialization
+    // rejects (the thread-0 branch and register `Move` of the per-column
+    // substitution) and the read-after-write on B.  Any new entry here
+    // is a matcher regression.
+    let dev = DeviceSpec::gtx285();
+    let expect: &[(&str, &[(&str, u64)])] = &[
+        ("GEMM-NN", &[]),
+        ("TRMM-LL-N", &[]),
+        ("SYMM-LL", &[]),
+        (
+            "TRSM-LL-N",
+            &[("unsupported-instr", 2), ("written-global-load", 1)],
+        ),
+    ];
+    for &(name, want) in expect {
+        let p = cublas_like(RoutineId::parse(name).unwrap(), &dev);
+        let np = NativeProgram::compile(&p, &Bindings::square(64)).expect("compile");
+        let cov = np.coverage();
+        assert!(cov.regions >= 1, "{name}: no region lowered");
+        assert_eq!(
+            cov.rejects,
+            want,
+            "{name}: reject table moved; explain:\n{}",
+            np.explain()
+        );
+    }
 }
