@@ -15,7 +15,9 @@ pub mod space;
 pub mod tuner;
 
 pub use cache::{CacheIssue, CacheLock, TuneCache, TunedRecord, CACHE_VERSION};
-pub use report::{BatchStats, CandidateFate, CandidateOutcome, FailureTable, Stage, TuneEvent};
+pub use report::{
+    BatchStats, CandidateFate, CandidateOutcome, FailureTable, ServeStats, Stage, TuneEvent,
+};
 pub use space::{candidates, default_params, gemm_candidates, solver_candidates};
 pub use tuner::{
     baseline_perf, magma_perf, tune, tune_at, tune_at_observed, tune_fresh, tune_fresh_observed,

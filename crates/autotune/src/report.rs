@@ -169,6 +169,9 @@ pub enum TuneEvent {
     /// A dispatch batch finished (emitted by `oa_core::dispatch`'s
     /// batched executor, after any tuning its warm-up triggered).
     Batch(BatchStats),
+    /// A persistent server drained and shut down (emitted once by
+    /// `oa serve --listen` with the lifetime totals).
+    Serve(ServeStats),
     /// Native-tier coverage for one compiled program (emitted by the
     /// bench harness after running a routine on the native engine, so
     /// coverage regressions show up in the trace stream, not silently).
@@ -203,6 +206,52 @@ pub struct BatchStats {
     pub wall_ms: f64,
     /// Requests per second over the batch wall time.
     pub requests_per_sec: f64,
+}
+
+/// Lifetime totals of one persistent-server run, carried by
+/// [`TuneEvent::Serve`] and emitted exactly once, after the graceful
+/// drain — so `admitted == completed` always holds in the event
+/// (rejected requests were never admitted and are counted separately).
+///
+/// The live view of the same counters is the server's `metrics`
+/// introspection request; this event is the durable end-of-life record
+/// in the `OA_TRACE` stream, validated by `oa trace-check`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted into the admission queue.
+    pub admitted: usize,
+    /// Admitted requests that reached a terminal outcome (`ok + failed`).
+    pub completed: usize,
+    /// Completed requests that executed successfully.
+    pub ok: usize,
+    /// Completed requests that failed (admission validation, resolution,
+    /// compilation or execution).
+    pub failed: usize,
+    /// Requests refused at admission (queue full, tenant over quota, or
+    /// arriving during drain) — never admitted, answered with a
+    /// structured JSONL error.
+    pub rejected: usize,
+    /// Completed requests whose problem size was clamped to a boundary
+    /// tuning class (`n < 64` or `n > 1024`).
+    pub clamped: usize,
+    /// Dynamic batches dispatched.
+    pub batches: usize,
+    /// Largest dynamic batch.
+    pub max_batch: usize,
+    /// Mean dynamic-batch size (`completed / batches`).
+    pub mean_batch: f64,
+    /// Median server-side latency (admission → response ready), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile server-side latency, ms.
+    pub p99_ms: f64,
+    /// Compiled-program cache hits over the server lifetime.
+    pub hits: u64,
+    /// Compiled-program cache misses over the server lifetime.
+    pub misses: u64,
+    /// Distinct tenants seen.
+    pub tenants: usize,
+    /// Server lifetime, milliseconds.
+    pub wall_ms: f64,
 }
 
 /// Per-program coverage of the native microkernel tier, carried by

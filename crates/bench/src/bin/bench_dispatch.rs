@@ -45,6 +45,7 @@ fn bench_requests(count: usize) -> Vec<Request> {
                 n,
                 seed: i as u64 * 77 + 5,
                 zero_blanks: true,
+                tenant: None,
             }
         })
         .collect()

@@ -17,13 +17,23 @@
 //! stream goes to stderr so stdout stays clean.
 //!
 //! `serve` reads one JSON request per line from a file (or stdin when
-//! the path is `-`), executes the batch through the routine registry,
-//! and writes one JSON result per line to stdout in submission order.
+//! the path is `-`), executes each as soon as it arrives through the
+//! routine registry, and streams one JSON result per line to stdout in
+//! submission order (flushed per line — a slow producer sees results
+//! flow, not silence until EOF).
 //! `--threads`/`--capacity` fall back to `OA_DISPATCH_THREADS` /
 //! `OA_DISPATCH_CAPACITY` (capacity 0 = unbounded program store), and
 //! `OA_TUNE_CACHE` names a persistent tuning-cache file.
+//!
+//! `serve --listen ADDR` instead starts the **persistent multi-tenant
+//! server**: same JSONL protocol over TCP (`host:port`) or a Unix
+//! socket (`unix:/path`), with bounded admission queues, per-tenant
+//! fairness, dynamic batching, and `{"op": "metrics"}` /
+//! `{"op": "health"}` / `{"op": "shutdown"}` introspection ops.
+//! `--queue-cap`, `--tenant-quota`, `--batch-max` and
+//! `--batch-window-ms` tune it (env fallbacks `OA_SERVE_*`).
 
-use oa_core::dispatch::{Registry, Request};
+use oa_core::dispatch::Registry;
 use oa_core::trace::{check_stream, stderr_observer, TraceMode};
 use oa_core::{DeviceSpec, OaFramework, RoutineId, TuneError};
 
@@ -48,6 +58,11 @@ struct Args {
     iters: usize,
     corpus: Option<String>,
     native: bool,
+    listen: Option<String>,
+    queue_cap: Option<usize>,
+    tenant_quota: Option<usize>,
+    batch_max: Option<usize>,
+    batch_window_ms: Option<usize>,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -67,6 +82,11 @@ fn parse_args() -> Result<Args, String> {
     let mut iters = env_usize("OA_FUZZ_ITERS").unwrap_or(200);
     let mut corpus = None;
     let mut native = false;
+    let mut listen = None;
+    let mut queue_cap = None;
+    let mut tenant_quota = None;
+    let mut batch_max = None;
+    let mut batch_window_ms = None;
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -106,6 +126,28 @@ fn parse_args() -> Result<Args, String> {
                 corpus = Some(it.next().ok_or("--corpus needs a directory")?);
             }
             "--native" => native = true,
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or("--listen needs an address (host:port or unix:/path)")?,
+                );
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                queue_cap = Some(v.parse().map_err(|_| format!("bad queue cap `{v}`"))?);
+            }
+            "--tenant-quota" => {
+                let v = it.next().ok_or("--tenant-quota needs a value")?;
+                tenant_quota = Some(v.parse().map_err(|_| format!("bad tenant quota `{v}`"))?);
+            }
+            "--batch-max" => {
+                let v = it.next().ok_or("--batch-max needs a value")?;
+                batch_max = Some(v.parse().map_err(|_| format!("bad batch size `{v}`"))?);
+            }
+            "--batch-window-ms" => {
+                let v = it.next().ok_or("--batch-window-ms needs a value")?;
+                batch_window_ms = Some(v.parse().map_err(|_| format!("bad window `{v}`"))?);
+            }
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -123,6 +165,11 @@ fn parse_args() -> Result<Args, String> {
         iters,
         corpus,
         native,
+        listen,
+        queue_cap,
+        tenant_quota,
+        batch_max,
+        batch_window_ms,
     })
 }
 
@@ -241,34 +288,6 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            // The routine slot is the request file (`-` = stdin).
-            let path = args
-                .routine
-                .as_deref()
-                .ok_or("serve needs a JSONL request file (or `-` for stdin)")?;
-            let text = if path == "-" {
-                use std::io::Read;
-                let mut buf = String::new();
-                std::io::stdin()
-                    .read_to_string(&mut buf)
-                    .map_err(|e| format!("stdin: {e}"))?;
-                buf
-            } else {
-                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
-            };
-            let mut reqs: Vec<Request> = Vec::new();
-            for (lineno, line) in text.lines().enumerate() {
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                let doc = oa_core::autotune::json::parse(line)
-                    .ok_or_else(|| format!("request line {}: not valid JSON", lineno + 1))?;
-                reqs.push(
-                    Request::from_json(&doc)
-                        .map_err(|e| format!("request line {}: {e}", lineno + 1))?,
-                );
-            }
             let mut registry = Registry::new(args.device.clone());
             if let Some(cap) = args.capacity {
                 registry = registry.with_capacity(if cap == 0 { None } else { Some(cap) });
@@ -279,14 +298,71 @@ fn run(args: &Args) -> Result<(), String> {
             let threads = args
                 .threads
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
-            let mut obs = stderr_observer(args.trace);
-            let report = registry.run_batch(&reqs, threads, &mut obs);
-            let mut out = std::io::stdout().lock();
-            use std::io::Write;
-            for (id, outcome) in report.outcomes.iter().enumerate() {
-                writeln!(out, "{}", outcome.to_json(id).compact())
-                    .map_err(|e| format!("stdout: {e}"))?;
+
+            if let Some(addr) = &args.listen {
+                // Persistent multi-tenant server mode.
+                let mut cfg = oa_core::ServeConfig::from_env();
+                cfg.threads = threads;
+                if let Some(v) = args.queue_cap {
+                    cfg.queue_cap = v.max(1);
+                }
+                if let Some(v) = args.tenant_quota {
+                    cfg.tenant_quota = v.max(1);
+                }
+                if let Some(v) = args.batch_max {
+                    cfg.batch_max = v.max(1);
+                }
+                if let Some(v) = args.batch_window_ms {
+                    cfg.batch_window = std::time::Duration::from_millis(v as u64);
+                }
+                let listener =
+                    oa_core::Listener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+                let server =
+                    oa_core::spawn_server(std::sync::Arc::new(registry), listener, cfg, args.trace);
+                // On stdout (and flushed): stderr must stay a clean
+                // JSONL stream in `--trace json` mode, and launch
+                // scripts wait for this line to learn the bound port.
+                println!("oa serve: listening on {}", server.addr());
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                // Runs until a client sends {"op": "shutdown"}.
+                let stats = server.join();
+                if args.trace != TraceMode::Json {
+                    eprintln!(
+                        "oa serve: drained — {} admitted, {} ok, {} failed, \
+                         {} rejected, {} batch(es), p50 {:.2} ms, p99 {:.2} ms",
+                        stats.admitted,
+                        stats.ok,
+                        stats.failed,
+                        stats.rejected,
+                        stats.batches,
+                        stats.p50_ms,
+                        stats.p99_ms
+                    );
+                }
+                return Ok(());
             }
+
+            // One-shot mode: the routine slot is the request file
+            // (`-` = stdin), streamed line by line with incremental
+            // output — no slurping the whole input first.
+            let path = args
+                .routine
+                .as_deref()
+                .ok_or("serve needs a JSONL request file (or `-` for stdin), or --listen")?;
+            let stats = {
+                // `Stdout` (not the non-`Send` lock): each line is
+                // written and flushed whole, so interleaving is moot.
+                let mut out = std::io::stdout();
+                if path == "-" {
+                    let mut input = std::io::stdin().lock();
+                    oa_core::serve_stream(&registry, &mut input, &mut out, threads, args.trace)?
+                } else {
+                    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                    let mut input = std::io::BufReader::new(f);
+                    oa_core::serve_stream(&registry, &mut input, &mut out, threads, args.trace)?
+                }
+            };
             // In json trace mode stderr is a machine-readable stream and
             // the batch event already carries these numbers — keep it
             // clean for `oa trace-check`.
@@ -294,16 +370,16 @@ fn run(args: &Args) -> Result<(), String> {
                 eprintln!(
                     "served {} request(s) ({} ok, {} failed) on {} thread(s): \
                      {:.1} ms, {:.0} req/s",
-                    report.stats.requests,
-                    report.stats.ok,
-                    report.stats.failed,
-                    report.stats.threads,
-                    report.stats.wall_ms,
-                    report.stats.requests_per_sec
+                    stats.requests,
+                    stats.ok,
+                    stats.failed,
+                    stats.threads,
+                    stats.wall_ms,
+                    stats.requests_per_sec
                 );
             }
-            if report.stats.failed > 0 {
-                return Err(format!("{} request(s) failed", report.stats.failed));
+            if stats.failed > 0 {
+                return Err(format!("{} request(s) failed", stats.failed));
             }
             Ok(())
         }
@@ -368,6 +444,8 @@ fn run(args: &Args) -> Result<(), String> {
                 "usage: oa <list|tune|compare|variants|cuda|explain|trace-check|serve|fuzz> \
                  [ROUTINE|FILE] [--device D] [--n N] [--trace json|pretty|off] \
                  [--threads T] [--capacity C] \
+                 [--listen ADDR] [--queue-cap Q] [--tenant-quota K] \
+                 [--batch-max B] [--batch-window-ms W] \
                  [--seed S] [--iters I] [--corpus DIR] [--native]"
             );
             Ok(())

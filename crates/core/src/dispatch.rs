@@ -45,13 +45,14 @@ use oa_loopir::interp::{Bindings, Buffers};
 use oa_loopir::transform::TileParams;
 use oa_loopir::Program;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// One dispatch request: execute `routine` at problem size `n` on inputs
 /// deterministically generated from `seed`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Request {
     /// The BLAS3 routine.
     pub routine: RoutineId,
@@ -62,23 +63,35 @@ pub struct Request {
     /// Zero the blank triangle of `A` (the storage contract the packed
     /// routines promise).
     pub zero_blanks: bool,
+    /// The submitting tenant (`oa serve --listen` fairness/quota unit).
+    /// Pure scheduling metadata: it never reaches the engines, so results
+    /// are tenant-invariant.  `None` means the anonymous default tenant.
+    pub tenant: Option<String>,
 }
 
 impl Request {
-    /// A request with the serve defaults (`seed` 0xD15, blanks zeroed).
+    /// A request with the serve defaults (`seed` 0xD15, blanks zeroed,
+    /// anonymous tenant).
     pub fn new(routine: RoutineId, n: i64) -> Request {
         Request {
             routine,
             n,
             seed: 0xD15,
             zero_blanks: true,
+            tenant: None,
         }
     }
 
+    /// The tenant this request bills to (the fairness/quota bucket);
+    /// anonymous requests share one default bucket.
+    pub fn tenant_name(&self) -> &str {
+        self.tenant.as_deref().unwrap_or("default")
+    }
+
     /// Parse one JSONL request line:
-    /// `{"routine": "GEMM-NN", "n": 64, "seed": 7, "zero_blanks": true}`
-    /// (`routine` required; `n` defaults to 64, `seed` to 0xD15,
-    /// `zero_blanks` to true).
+    /// `{"routine": "GEMM-NN", "n": 64, "seed": 7, "zero_blanks": true,
+    /// "tenant": "team-a"}` (`routine` required; `n` defaults to 64,
+    /// `seed` to 0xD15, `zero_blanks` to true, `tenant` to anonymous).
     pub fn from_json(doc: &Json) -> Result<Request, String> {
         let name = doc
             .get("routine")
@@ -92,32 +105,90 @@ impl Request {
         if n < 1 {
             return Err(format!("problem size {n} out of range"));
         }
+        // A negative seed must be rejected, not wrapped: `-1 as u64` is
+        // 2^64-1, which would silently serve a different input set than
+        // the client asked for.
         let seed = match doc.get("seed") {
             None => 0xD15,
-            Some(v) => v.as_i64().ok_or("field `seed` is not an integer")? as u64,
+            Some(v) => {
+                let s = v.as_i64().ok_or("field `seed` is not an integer")?;
+                u64::try_from(s).map_err(|_| format!("field `seed` is negative ({s})"))?
+            }
         };
         let zero_blanks = match doc.get("zero_blanks") {
             None => true,
             Some(Json::Bool(b)) => *b,
             Some(_) => return Err("field `zero_blanks` is not a boolean".into()),
         };
+        let tenant = match doc.get("tenant") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("field `tenant` is not a string")?
+                    .to_string(),
+            ),
+        };
         Ok(Request {
             routine,
             n,
             seed,
             zero_blanks,
+            tenant,
         })
     }
 
     /// The request as a JSONL object (the `oa serve` input format).
     pub fn to_json(&self) -> Json {
-        Json::Obj(BTreeMap::from([
+        let mut fields = BTreeMap::from([
             ("routine".to_string(), Json::Str(self.routine.name())),
             ("n".to_string(), Json::Int(self.n)),
             ("seed".to_string(), Json::Int(self.seed as i64)),
             ("zero_blanks".to_string(), Json::Bool(self.zero_blanks)),
-        ]))
+        ]);
+        if let Some(t) = &self.tenant {
+            fields.insert("tenant".to_string(), Json::Str(t.clone()));
+        }
+        Json::Obj(fields)
     }
+}
+
+/// The column-tile width `routine`'s generated kernels serialize along,
+/// when they carry one.  The triangular-solver schemes substitute down a
+/// barrier-synchronized 64-wide column block, so TRSM problem sizes must
+/// be a multiple of 64 — anything else is rejected **at admission**
+/// (see [`admit`]) instead of surfacing as a launch failure deep in the
+/// engine after tuning already ran.
+pub fn solver_tile(routine: RoutineId) -> Option<i64> {
+    match routine {
+        RoutineId::Trsm(..) => Some(64),
+        _ => None,
+    }
+}
+
+/// Validate a request against launch-time constraints that are knowable
+/// up front.  Returns the structured failure (`admission/...` class) the
+/// request would otherwise hit much later in the pipeline.
+pub fn admit(req: &Request) -> Result<(), RequestStatus> {
+    if req.n < 1 {
+        return Err(RequestStatus::Failed {
+            class: "admission/size",
+            reason: format!("problem size {} out of range", req.n),
+        });
+    }
+    if let Some(tile) = solver_tile(req.routine) {
+        if req.n % tile != 0 {
+            return Err(RequestStatus::Failed {
+                class: "admission/size-constraint",
+                reason: format!(
+                    "{} requires n to be a multiple of the {tile}-wide column tile \
+                     (barrier-synchronized solver block); got n = {}",
+                    req.routine.name(),
+                    req.n
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// A successful request execution.
@@ -137,6 +208,14 @@ pub struct RequestOk {
     pub model_gflops: Option<f64>,
     /// Wall time of this request (resolve + execute), milliseconds.
     pub ms: f64,
+    /// The size class the serving script was *tuned* at (execution is
+    /// still exact-size).
+    pub tuned_class: i64,
+    /// Whether `tuned_class` was **clamped** to a boundary class
+    /// (`n < 64` or `n > 1024`): the params were tuned for a different
+    /// size regime than requested.  Surfaced so clients and metrics see
+    /// the quality signal instead of silently absorbing it.
+    pub clamped: bool,
 }
 
 /// Terminal status of one request.
@@ -176,6 +255,9 @@ impl RequestOutcome {
             ("n".to_string(), Json::Int(self.request.n)),
             ("seed".to_string(), Json::Int(self.request.seed as i64)),
         ]);
+        if let Some(t) = &self.request.tenant {
+            fields.insert("tenant".to_string(), Json::Str(t.clone()));
+        }
         match &self.status {
             RequestStatus::Ok(ok) => {
                 fields.insert("status".to_string(), Json::Str("ok".into()));
@@ -192,6 +274,10 @@ impl RequestOutcome {
                     fields.insert("model_gflops".to_string(), Json::Num(g));
                 }
                 fields.insert("ms".to_string(), Json::Num(ok.ms));
+                fields.insert("tuned_class".to_string(), Json::Int(ok.tuned_class));
+                if ok.clamped {
+                    fields.insert("clamped".to_string(), Json::Bool(true));
+                }
             }
             RequestStatus::Failed { class, reason } => {
                 fields.insert("status".to_string(), Json::Str("error".into()));
@@ -217,7 +303,19 @@ pub struct BatchReport {
 /// tuning sweep; compilation still happens at the exact request size, so
 /// size classes never change results — only how often the tuner runs.
 pub fn size_class(n: i64) -> i64 {
-    (n.max(1) as u64).next_power_of_two().clamp(64, 1024) as i64
+    size_class_info(n).0
+}
+
+/// [`size_class`] plus whether the class was **clamped** to a boundary
+/// (`true` when the natural next-power-of-two class fell outside
+/// `[64, 1024]`, i.e. `n < 33` or `n > 1024`).  A clamped request is
+/// served with parameters tuned for a different size regime — still
+/// correct, but a quality signal worth surfacing, so it is carried into
+/// [`RequestOk::clamped`], the outcome JSON, and the server metrics.
+pub fn size_class_info(n: i64) -> (i64, bool) {
+    let natural = (n.max(1) as u64).next_power_of_two() as i64;
+    let class = natural.clamp(64, 1024);
+    (class, class != natural)
 }
 
 /// FNV-1a fingerprint over every buffer (sorted by name): shapes and the
@@ -274,20 +372,116 @@ pub struct CompiledEntry {
 /// [`size_class`] for the coarser *tuning* granularity).
 type ProgramKey = (String, String, (i64, i64, i64, i64, i64, usize), i64);
 
-type TunedMap = HashMap<(String, i64), Result<Arc<TunedEntry>, String>>;
+/// One tuned-table slot: either a terminal resolution or a tune in
+/// flight on some thread — waiters block on the shard's condvar instead
+/// of launching a duplicate multi-second sweep.
+enum TunedSlot {
+    InFlight,
+    Done(Result<Arc<TunedEntry>, String>),
+}
+
+/// One shard of the tuned-script table.  Sharding means a thread
+/// resolving routine A never touches the lock a thread serving routine B
+/// holds — tuning one routine cannot block serving another (the mutex is
+/// only ever held for map ops; the sweep itself runs outside it).
+struct TunedShard {
+    map: Mutex<HashMap<(String, i64), TunedSlot>>,
+    cv: Condvar,
+}
+
+/// Owns an `InFlight` claim on a tuned-table key.  On drop it publishes
+/// the resolution (or, on a panic before [`InFlightGuard::publish`],
+/// removes the claim so a later resolver retries instead of every
+/// waiter deadlocking on a slot nobody will fill) and wakes all waiters.
+struct InFlightGuard<'a> {
+    shard: &'a TunedShard,
+    key: &'a (String, i64),
+    result: Option<Result<Arc<TunedEntry>, String>>,
+}
+
+impl InFlightGuard<'_> {
+    fn publish(mut self, res: Result<Arc<TunedEntry>, String>) {
+        self.result = Some(res);
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut map = self.shard.map.lock().expect("unpoisoned registry");
+        match self.result.take() {
+            Some(res) => {
+                map.insert(self.key.clone(), TunedSlot::Done(res));
+            }
+            None => {
+                map.remove(self.key);
+            }
+        }
+        drop(map);
+        self.shard.cv.notify_all();
+    }
+}
+
+/// Shard counts.  Tuned shards spread `(routine, class)` keys (48-ish
+/// live keys in a full catalog — collisions are rare and harmless);
+/// program shards only apply to the unbounded store, where eviction
+/// accounting cannot observe the split.
+const TUNED_SHARDS: usize = 16;
+const PROGRAM_SHARDS: usize = 8;
+
+fn shard_of<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
 
 /// The routine registry: one per device, engine-pinned, holding the
 /// tuned-script table and the bounded precompiled-program LRU.
 ///
 /// Thread-safe by construction (`&self` everywhere): the batch executor's
-/// workers resolve and execute through one shared registry.
+/// workers resolve and execute through one shared registry.  Both hot
+/// tables are sharded so the persistent server's concurrency holds up:
+///
+/// * the tuned-script table is [`TUNED_SHARDS`] independent shards with
+///   **in-flight deduplication** — the first thread to miss a
+///   `(routine, class)` key runs the sweep, concurrent requests for the
+///   *same* key wait on the shard condvar for the one result, and
+///   requests for *any other* key proceed untouched;
+/// * the compiled-program store is [`PROGRAM_SHARDS`] shards when
+///   unbounded (the server default), or a single exact-capacity LRU when
+///   bounded (so `with_capacity(Some(c))` keeps its precise global
+///   bound — the property suite pins `capacity 1 → at most 1 live
+///   program`).
 pub struct Registry {
     device: DeviceSpec,
     engine: ExecEngine,
     tune_cache_path: Option<PathBuf>,
     tune_cache: Mutex<TuneCache>,
-    tuned: Mutex<TunedMap>,
-    programs: Mutex<Lru<ProgramKey, Arc<CompiledEntry>>>,
+    tuned: Vec<TunedShard>,
+    programs: Vec<Mutex<Lru<ProgramKey, Arc<CompiledEntry>>>>,
+    /// Serializes fresh tunes *for trace emission only*: a tune emits a
+    /// multi-line `begin…summary` span, and two interleaved spans would
+    /// be rejected by `oa trace-check`.  Serving never takes this lock —
+    /// only fresh sweeps (cold path) and the server's own event lines.
+    trace_gate: Mutex<()>,
+}
+
+fn tuned_shards() -> Vec<TunedShard> {
+    (0..TUNED_SHARDS)
+        .map(|_| TunedShard {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        })
+        .collect()
+}
+
+fn program_shards(capacity: Option<usize>) -> Vec<Mutex<Lru<ProgramKey, Arc<CompiledEntry>>>> {
+    match capacity {
+        // A bounded store keeps its exact global capacity: one shard.
+        Some(c) => vec![Mutex::new(Lru::new(Some(c)))],
+        None => (0..PROGRAM_SHARDS)
+            .map(|_| Mutex::new(Lru::new(None)))
+            .collect(),
+    }
 }
 
 impl Registry {
@@ -299,8 +493,9 @@ impl Registry {
             engine: oa_gpusim::select_engine(),
             tune_cache_path: None,
             tune_cache: Mutex::new(TuneCache::new()),
-            tuned: Mutex::new(HashMap::new()),
-            programs: Mutex::new(Lru::new(None)),
+            tuned: tuned_shards(),
+            programs: program_shards(None),
+            trace_gate: Mutex::new(()),
         }
     }
 
@@ -316,7 +511,7 @@ impl Registry {
     /// replays batches at capacity 1 vs unbounded and demands equal
     /// outputs).
     pub fn with_capacity(mut self, capacity: Option<usize>) -> Registry {
-        self.programs = Mutex::new(Lru::new(capacity));
+        self.programs = program_shards(capacity);
         self
     }
 
@@ -340,20 +535,42 @@ impl Registry {
         self.engine
     }
 
-    /// Cumulative program-store counters.
+    /// Cumulative program-store counters (summed across shards).
     pub fn program_stats(&self) -> oa_gpusim::LruStats {
-        self.programs.lock().expect("unpoisoned registry").stats()
+        let mut total = oa_gpusim::LruStats::default();
+        for shard in &self.programs {
+            let s = shard.lock().expect("unpoisoned registry").stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
     }
 
-    /// Live compiled programs.
+    /// Live compiled programs (summed across shards).
     pub fn programs_len(&self) -> usize {
-        self.programs.lock().expect("unpoisoned registry").len()
+        self.programs
+            .iter()
+            .map(|s| s.lock().expect("unpoisoned registry").len())
+            .sum()
     }
 
     /// Drop every compiled program (tuned scripts survive) — the cold
     /// path of `bench_dispatch`.
     pub fn clear_programs(&self) {
-        self.programs.lock().expect("unpoisoned registry").clear();
+        for shard in &self.programs {
+            shard.lock().expect("unpoisoned registry").clear();
+        }
+    }
+
+    /// The registry's trace-emission gate.  Any multi-line event span
+    /// written to a shared trace sink from concurrent threads must hold
+    /// this lock while emitting, so `oa trace-check` never sees two
+    /// interleaved spans.  Fresh tunes inside [`Registry::resolve_observed`]
+    /// take it automatically; the server takes it around its own
+    /// `Batch`/`Serve` event lines.
+    pub fn trace_gate(&self) -> MutexGuard<'_, ()> {
+        self.trace_gate.lock().expect("unpoisoned registry")
     }
 
     /// Resolve `routine` at `n`'s size class through the tuning cache,
@@ -369,9 +586,33 @@ impl Registry {
     ) -> Result<Arc<TunedEntry>, String> {
         let class = size_class(n);
         let key = (routine.name(), class);
-        if let Some(res) = self.tuned.lock().expect("unpoisoned registry").get(&key) {
-            return res.clone();
+        let shard = &self.tuned[shard_of(&key, TUNED_SHARDS)];
+
+        // Fast path / claim: either return a memoized resolution, wait
+        // for an in-flight sweep on the same key, or claim the key and
+        // become the sweeping thread ourselves.
+        {
+            let mut map = shard.map.lock().expect("unpoisoned registry");
+            loop {
+                match map.get(&key) {
+                    Some(TunedSlot::Done(res)) => return res.clone(),
+                    Some(TunedSlot::InFlight) => {
+                        map = shard.cv.wait(map).expect("unpoisoned registry");
+                    }
+                    None => {
+                        map.insert(key.clone(), TunedSlot::InFlight);
+                        break;
+                    }
+                }
+            }
         }
+        // From here on we own the in-flight slot; any early return or
+        // panic must release it or every waiter deadlocks.
+        let guard = InFlightGuard {
+            shard,
+            key: &key,
+            result: None,
+        };
 
         // Consult the tuning cache (stale records are reported and fall
         // through to a fresh sweep, exactly like `tune_at`).
@@ -401,34 +642,35 @@ impl Registry {
                 });
                 Ok(Arc::new(entry))
             }
-            None => match tune_fresh_on(self.engine, routine, &self.device, class, obs) {
-                Ok(t) => {
-                    let rec = TunedRecord::from_kernel(&t);
-                    self.tune_cache
-                        .lock()
-                        .expect("unpoisoned registry")
-                        .insert(rec.clone());
-                    // Persistence is best-effort (under the cache's lock
-                    // file); an unwritable path degrades to re-tuning in
-                    // the next process, never to a wrong result.
-                    if let Some(path) = &self.tune_cache_path {
-                        let _ = TuneCache::update(path, |c| c.insert(rec));
+            None => {
+                // A fresh sweep emits a multi-line begin…summary span;
+                // hold the trace gate so concurrent sweeps of *different*
+                // keys cannot interleave their spans in the trace stream.
+                let _trace = self.trace_gate.lock().expect("unpoisoned registry");
+                match tune_fresh_on(self.engine, routine, &self.device, class, obs) {
+                    Ok(t) => {
+                        let rec = TunedRecord::from_kernel(&t);
+                        self.tune_cache
+                            .lock()
+                            .expect("unpoisoned registry")
+                            .insert(rec.clone());
+                        // Persistence is best-effort (under the cache's lock
+                        // file); an unwritable path degrades to re-tuning in
+                        // the next process, never to a wrong result.
+                        if let Some(path) = &self.tune_cache_path {
+                            let _ = TuneCache::update(path, |c| c.insert(rec));
+                        }
+                        Ok(Arc::new(TunedEntry {
+                            script: t.script,
+                            params: t.params,
+                        }))
                     }
-                    Ok(Arc::new(TunedEntry {
-                        script: t.script,
-                        params: t.params,
-                    }))
+                    Err(e) => Err(e.to_string()),
                 }
-                Err(e) => Err(e.to_string()),
-            },
+            }
         };
 
-        // First writer wins, so a racing double-resolution (both threads
-        // missed before either inserted) memoizes one deterministic
-        // entry — the sweep itself is deterministic, so either copy is
-        // the same winner.
-        let mut tuned = self.tuned.lock().expect("unpoisoned registry");
-        tuned.entry(key).or_insert(res.clone());
+        guard.publish(res.clone());
         res
     }
 
@@ -452,7 +694,8 @@ impl Registry {
             (p.ty, p.tx, p.thr_i, p.thr_j, p.kb, p.unroll),
             n,
         );
-        if let Some(e) = self.programs.lock().expect("unpoisoned registry").get(&key) {
+        let shard = &self.programs[shard_of(&key, self.programs.len())];
+        if let Some(e) = shard.lock().expect("unpoisoned registry").get(&key) {
             return Ok((e.clone(), true));
         }
         // Compile outside the lock: a slow lowering must not serialize
@@ -479,7 +722,7 @@ impl Registry {
             compiled,
             model_gflops,
         });
-        self.programs
+        shard
             .lock()
             .expect("unpoisoned registry")
             .insert(key, e.clone());
@@ -488,27 +731,73 @@ impl Registry {
 
     /// Execute one request end to end, optionally returning the executed
     /// buffers (the differential suite compares them bit-for-bit against
-    /// a direct engine run).
+    /// a direct engine run).  [`admit`] runs first, so constraint
+    /// violations (TRSM sizes off the 64-wide solver tile) fail with a
+    /// structured `admission/...` outcome before any tuning or
+    /// compilation is spent on them.
     pub fn run_one_buffers(&self, req: &Request) -> (RequestOutcome, Option<Buffers>) {
+        self.run_one_buffers_observed(req, &mut |_| {})
+    }
+
+    /// [`Registry::run_one_buffers`] with a trace observer for any
+    /// tuning the request triggers.
+    pub fn run_one_buffers_observed(
+        &self,
+        req: &Request,
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> (RequestOutcome, Option<Buffers>) {
         let t0 = Instant::now();
-        let fail = |class: &'static str, reason: String| RequestOutcome {
-            request: *req,
-            status: RequestStatus::Failed { class, reason },
+        let fail = |status: RequestStatus| RequestOutcome {
+            request: req.clone(),
+            status,
         };
-        let entry = match self.resolve(req.routine, req.n) {
+        if let Err(status) = admit(req) {
+            return (fail(status), None);
+        }
+        let entry = match self.resolve_observed(req.routine, req.n, obs) {
             Ok(e) => e,
-            Err(reason) => return (fail("resolve", reason), None),
+            Err(reason) => {
+                return (
+                    fail(RequestStatus::Failed {
+                        class: "resolve",
+                        reason,
+                    }),
+                    None,
+                )
+            }
         };
         let (ce, cache_hit) = match self.compiled(req.routine, &entry, req.n) {
             Ok(x) => x,
-            Err((class, reason)) => return (fail(class, reason), None),
+            Err((class, reason)) => return (fail(RequestStatus::Failed { class, reason }), None),
         };
+        self.finish_one(req, &ce, cache_hit, t0)
+    }
+
+    /// Prepare inputs, execute a compiled program, and build the
+    /// terminal outcome — the tail every execution path shares.
+    fn finish_one(
+        &self,
+        req: &Request,
+        ce: &CompiledEntry,
+        cache_hit: bool,
+        t0: Instant,
+    ) -> (RequestOutcome, Option<Buffers>) {
         let mut bufs = prepare_buffers(&ce.program, req.n, req.seed, req.zero_blanks);
         if let Err(e) = ce.compiled.execute(&mut bufs) {
-            return (fail("exec", e.to_string()), None);
+            return (
+                RequestOutcome {
+                    request: req.clone(),
+                    status: RequestStatus::Failed {
+                        class: "exec",
+                        reason: e.to_string(),
+                    },
+                },
+                None,
+            );
         }
+        let (tuned_class, clamped) = size_class_info(req.n);
         let outcome = RequestOutcome {
-            request: *req,
+            request: req.clone(),
             status: RequestStatus::Ok(RequestOk {
                 output: match req.routine {
                     RoutineId::Trsm(..) => "B",
@@ -518,6 +807,8 @@ impl Registry {
                 cache_hit,
                 model_gflops: ce.model_gflops,
                 ms: t0.elapsed().as_secs_f64() * 1e3,
+                tuned_class,
+                clamped,
             }),
         };
         (outcome, Some(bufs))
@@ -526,6 +817,85 @@ impl Registry {
     /// Execute one request end to end.
     pub fn run_one(&self, req: &Request) -> RequestOutcome {
         self.run_one_buffers(req).0
+    }
+
+    /// Execute one request with a trace observer.
+    pub fn run_one_observed(
+        &self,
+        req: &Request,
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> RequestOutcome {
+        self.run_one_buffers_observed(req, obs).0
+    }
+
+    /// Execute a coalesced group of requests sharing one
+    /// `(routine, n)` — the dynamic-batching hot path of
+    /// `oa serve --listen`.  The tuned script is resolved and the
+    /// program fetched/compiled **once**; every member then executes
+    /// against the shared compiled entry with its own seed/buffers.
+    /// Outcomes are in group order, identical to running each request
+    /// through [`Registry::run_one`] (the first member carries the real
+    /// cache provenance; later members are hits by construction).
+    pub fn run_group(&self, reqs: &[Request]) -> Vec<RequestOutcome> {
+        self.run_group_observed(reqs, &mut |_| {})
+    }
+
+    /// [`Registry::run_group`] with a trace observer.
+    pub fn run_group_observed(
+        &self,
+        reqs: &[Request],
+        obs: &mut dyn FnMut(TuneEvent),
+    ) -> Vec<RequestOutcome> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut shared: Option<(RoutineId, i64, Arc<CompiledEntry>)> = None;
+        for req in reqs {
+            let t0 = Instant::now();
+            if let Err(status) = admit(req) {
+                out.push(RequestOutcome {
+                    request: req.clone(),
+                    status,
+                });
+                continue;
+            }
+            let (ce, cache_hit) = match &shared {
+                // Every request after the first reuses the group's
+                // compiled program: a cache hit by construction.  The
+                // key check keeps a mis-coalesced group correct (it
+                // falls back to its own resolve) instead of running the
+                // wrong program.
+                Some((r, n, ce)) if *r == req.routine && *n == req.n => (ce.clone(), true),
+                _ => {
+                    let entry = match self.resolve_observed(req.routine, req.n, obs) {
+                        Ok(e) => e,
+                        Err(reason) => {
+                            out.push(RequestOutcome {
+                                request: req.clone(),
+                                status: RequestStatus::Failed {
+                                    class: "resolve",
+                                    reason,
+                                },
+                            });
+                            continue;
+                        }
+                    };
+                    match self.compiled(req.routine, &entry, req.n) {
+                        Ok((ce, hit)) => {
+                            shared = Some((req.routine, req.n, ce.clone()));
+                            (ce, hit)
+                        }
+                        Err((class, reason)) => {
+                            out.push(RequestOutcome {
+                                request: req.clone(),
+                                status: RequestStatus::Failed { class, reason },
+                            });
+                            continue;
+                        }
+                    }
+                }
+            };
+            out.push(self.finish_one(req, &ce, cache_hit, t0).0);
+        }
+        out
     }
 
     /// Pre-resolve every distinct `(routine, size class)` a batch needs,
@@ -598,15 +968,19 @@ mod tests {
             n: 96,
             seed: 7,
             zero_blanks: false,
+            tenant: Some("team-a".into()),
         };
         let back = Request::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+        assert_eq!(back.tenant_name(), "team-a");
 
         let minimal = oa_autotune::json::parse(r#"{"routine": "SYMM-LL"}"#).unwrap();
         let req = Request::from_json(&minimal).unwrap();
         assert_eq!(req.n, 64);
         assert_eq!(req.seed, 0xD15);
         assert!(req.zero_blanks);
+        assert_eq!(req.tenant, None);
+        assert_eq!(req.tenant_name(), "default");
 
         assert!(Request::from_json(&oa_autotune::json::parse("{}").unwrap()).is_err());
         assert!(Request::from_json(
@@ -617,6 +991,77 @@ mod tests {
             &oa_autotune::json::parse(r#"{"routine": "NOPE-XX"}"#).unwrap()
         )
         .is_err());
+        assert!(Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "GEMM-NN", "tenant": 3}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn negative_seed_is_rejected_not_wrapped() {
+        // Pre-fix, `-1 as u64` wrapped to 2^64-1 and silently served a
+        // different input set; the parser must refuse instead.
+        let err = Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "GEMM-NN", "seed": -1}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("negative"), "unexpected error: {err}");
+        let err = Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "GEMM-NN", "seed": 1.5}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("integer"), "unexpected error: {err}");
+        // Boundary: zero and large positive seeds still parse.
+        let ok = Request::from_json(
+            &oa_autotune::json::parse(r#"{"routine": "GEMM-NN", "seed": 0}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ok.seed, 0);
+    }
+
+    #[test]
+    fn admission_rejects_off_tile_trsm() {
+        // TRSM kernels serialize down a 64-wide column tile; any n not a
+        // multiple of 64 used to die at kernel launch after tuning spent
+        // seconds — admission now front-loads the rejection.
+        use oa_blas3::types::{Side, Uplo};
+        let bad = Request::new(RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N), 96);
+        match admit(&bad) {
+            Err(RequestStatus::Failed { class, reason }) => {
+                assert_eq!(class, "admission/size-constraint");
+                assert!(
+                    reason.contains("64"),
+                    "reason should name the tile: {reason}"
+                );
+            }
+            other => panic!("expected admission failure, got {other:?}"),
+        }
+        let good = Request::new(RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N), 128);
+        assert!(admit(&good).is_ok());
+        // GEMM has no tile constraint at odd sizes.
+        assert!(admit(&Request::new(RoutineId::Gemm(Trans::N, Trans::N), 97)).is_ok());
+        assert!(matches!(
+            admit(&Request::new(RoutineId::Gemm(Trans::N, Trans::N), 0)),
+            Err(RequestStatus::Failed {
+                class: "admission/size",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn size_class_info_reports_clamping() {
+        // Inside [64, 1024]: natural class, not clamped.
+        assert_eq!(size_class_info(64), (64, false));
+        assert_eq!(size_class_info(48), (64, false)); // next pow2 is 64
+        assert_eq!(size_class_info(1000), (1024, false));
+        // Below: n <= 32 has natural class < 64 — clamped up.
+        assert_eq!(size_class_info(16), (64, true));
+        assert_eq!(size_class_info(32), (64, true));
+        assert_eq!(size_class_info(33), (64, false));
+        // Above: n > 1024 — clamped down.
+        assert_eq!(size_class_info(2048), (1024, true));
+        assert_eq!(size_class_info(1025), (1024, true));
     }
 
     #[test]
@@ -643,15 +1088,18 @@ mod tests {
 
     #[test]
     fn outcome_json_has_stable_status_fields() {
-        let req = Request::new(RoutineId::Gemm(Trans::N, Trans::N), 64);
+        let mut req = Request::new(RoutineId::Gemm(Trans::N, Trans::N), 64);
+        req.tenant = Some("acme".into());
         let ok = RequestOutcome {
-            request: req,
+            request: req.clone(),
             status: RequestStatus::Ok(RequestOk {
                 output: "C",
                 digest: 0xABCD,
                 cache_hit: true,
                 model_gflops: Some(123.0),
                 ms: 1.5,
+                tuned_class: 64,
+                clamped: false,
             }),
         };
         let line = ok.to_json(3).compact();
@@ -659,6 +1107,16 @@ mod tests {
         assert!(line.contains("\"status\":\"ok\""));
         assert!(line.contains("\"cache\":\"hit\""));
         assert!(line.contains("000000000000abcd"));
+        assert!(line.contains("\"tenant\":\"acme\""));
+        assert!(line.contains("\"tuned_class\":64"));
+        // `clamped` only appears when true.
+        assert!(!line.contains("clamped"));
+
+        let mut clamped_ok = ok.clone();
+        if let RequestStatus::Ok(ref mut o) = clamped_ok.status {
+            o.clamped = true;
+        }
+        assert!(clamped_ok.to_json(3).compact().contains("\"clamped\":true"));
 
         let bad = RequestOutcome {
             request: req,

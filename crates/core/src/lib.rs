@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod dispatch;
+pub mod serve;
 pub mod testutil;
 pub mod trace;
 
@@ -43,6 +44,7 @@ pub use oa_autotune::{
 };
 pub use oa_blas3::types::{RoutineId, Side, Trans, Uplo};
 pub use oa_gpusim::{DeviceSpec, PerfReport};
+pub use serve::{serve_stream, spawn_server, Listener, ServeConfig, Server};
 pub use trace::TraceMode;
 
 use oa_loopir::interp::Bindings;

@@ -41,6 +41,7 @@ pub fn mixed_requests(count: usize, seed: u64) -> Vec<Request> {
                 n,
                 seed: g.next(),
                 zero_blanks: true,
+                tenant: None,
             }
         })
         .collect()

@@ -169,6 +169,24 @@ pub fn event_json(e: &TuneEvent) -> Json {
             ("wall_ms", Json::Num(b.wall_ms)),
             ("requests_per_sec", Json::Num(b.requests_per_sec)),
         ]),
+        TuneEvent::Serve(s) => obj(vec![
+            ("event", Json::Str("serve".into())),
+            ("admitted", Json::Int(s.admitted as i64)),
+            ("completed", Json::Int(s.completed as i64)),
+            ("ok", Json::Int(s.ok as i64)),
+            ("failed", Json::Int(s.failed as i64)),
+            ("rejected", Json::Int(s.rejected as i64)),
+            ("clamped", Json::Int(s.clamped as i64)),
+            ("batches", Json::Int(s.batches as i64)),
+            ("max_batch", Json::Int(s.max_batch as i64)),
+            ("mean_batch", Json::Num(s.mean_batch)),
+            ("p50_ms", Json::Num(s.p50_ms)),
+            ("p99_ms", Json::Num(s.p99_ms)),
+            ("hits", Json::Int(s.hits as i64)),
+            ("misses", Json::Int(s.misses as i64)),
+            ("tenants", Json::Int(s.tenants as i64)),
+            ("wall_ms", Json::Num(s.wall_ms)),
+        ]),
         TuneEvent::NativeCoverage(c) => obj(vec![
             ("event", Json::Str("native_coverage".into())),
             ("routine", Json::Str(c.routine.clone())),
@@ -250,6 +268,25 @@ pub fn event_pretty(e: &TuneEvent) -> String {
             b.wall_ms,
             b.requests_per_sec
         ),
+        TuneEvent::Serve(s) => format!(
+            "serve {} admitted ({} ok, {} failed, {} rejected, {} clamped) in \
+             {} batch(es, max {}, mean {:.1}): p50 {:.2} ms, p99 {:.2} ms, \
+             {} hits, {} misses, {} tenant(s), {:.1} ms up",
+            s.admitted,
+            s.ok,
+            s.failed,
+            s.rejected,
+            s.clamped,
+            s.batches,
+            s.max_batch,
+            s.mean_batch,
+            s.p50_ms,
+            s.p99_ms,
+            s.hits,
+            s.misses,
+            s.tenants,
+            s.wall_ms
+        ),
         TuneEvent::NativeCoverage(c) => {
             let rejects = if c.rejects.is_empty() {
                 "none".to_string()
@@ -298,6 +335,11 @@ pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
 ///   tunes, their `ok + failed` equals `requests`, and their
 ///   `hits + misses` never exceeds `requests` (each resolved request
 ///   performs exactly one program-store lookup);
+/// * `serve` lines (the persistent server's end-of-life record) sit
+///   between tunes, `ok + failed = completed = admitted` (the event is
+///   emitted after the graceful drain), latency percentiles are ordered
+///   (`p50 <= p99`), `hits + misses` never exceeds `completed`, and any
+///   completed work implies at least one dispatched batch;
 /// * `native_coverage` lines (the bench harness's native-tier
 ///   accounting) name a routine and cannot count entries without a
 ///   lowered region.
@@ -308,6 +350,7 @@ pub fn check_stream(text: &str) -> Result<String, String> {
     let mut tunes = 0usize;
     let mut replays = 0usize;
     let mut batches = 0usize;
+    let mut serves = 0usize;
     // Per-tune accounting, reset at `begin`.
     let mut spans: Vec<String> = Vec::new();
     let mut won = 0usize;
@@ -466,18 +509,68 @@ pub fn check_stream(text: &str) -> Result<String, String> {
                     )));
                 }
             }
+            "serve" => {
+                if in_tune {
+                    return Err(at("`serve` inside a tune (before its `summary`)".into()));
+                }
+                serves += 1;
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| at(format!("serve missing `{k}`")))
+                };
+                let admitted = field("admitted")?;
+                let completed = field("completed")?;
+                let ok = field("ok")?;
+                let failed = field("failed")?;
+                let hits = field("hits")?;
+                let misses = field("misses")?;
+                let batch_count = field("batches")?;
+                if ok + failed != completed {
+                    return Err(at(format!(
+                        "serve buckets don't add up: {ok} + {failed} != {completed}"
+                    )));
+                }
+                if admitted != completed {
+                    return Err(at(format!(
+                        "serve emitted before drain: {admitted} admitted, {completed} completed"
+                    )));
+                }
+                if hits + misses > completed {
+                    return Err(at(format!(
+                        "serve counts {hits} hits + {misses} misses for {completed} completed"
+                    )));
+                }
+                if completed > 0 && batch_count == 0 {
+                    return Err(at(format!(
+                        "serve completed {completed} request(s) with no dispatched batch"
+                    )));
+                }
+                let num = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| at(format!("serve missing `{k}`")))
+                };
+                let p50 = num("p50_ms")?;
+                let p99 = num("p99_ms")?;
+                if p50 > p99 {
+                    return Err(at(format!(
+                        "serve latency percentiles out of order: p50 {p50} > p99 {p99}"
+                    )));
+                }
+            }
             other => return Err(at(format!("unknown event `{other}`"))),
         }
     }
     if in_tune {
         return Err("stream ends inside a tune (no terminal `summary`)".to_string());
     }
-    if tunes == 0 && replays == 0 && batches == 0 {
-        return Err("stream contains no `begin`, `replayed` or `batch` event".to_string());
+    if tunes == 0 && replays == 0 && batches == 0 && serves == 0 {
+        return Err("stream contains no `begin`, `replayed`, `batch` or `serve` event".to_string());
     }
     Ok(format!(
         "trace ok: {tunes} tune(s), {replays} replay(s), {batches} batch(es), \
-         every candidate terminal"
+         {serves} serve(s), every candidate terminal"
     ))
 }
 
@@ -559,6 +652,62 @@ mod tests {
         // ...and hits + misses must not exceed requests.
         let bad = line.replace("\"hits\":5", "\"hits\":50");
         assert!(check_stream(&bad).unwrap_err().contains("hits"));
+    }
+
+    #[test]
+    fn serve_events_render_and_validate() {
+        let stats = oa_autotune::report::ServeStats {
+            admitted: 32,
+            completed: 32,
+            ok: 30,
+            failed: 2,
+            rejected: 4,
+            clamped: 6,
+            batches: 5,
+            max_batch: 12,
+            mean_batch: 6.4,
+            p50_ms: 1.2,
+            p99_ms: 9.5,
+            hits: 28,
+            misses: 4,
+            tenants: 3,
+            wall_ms: 250.0,
+        };
+        let e = TuneEvent::Serve(stats);
+        let line = event_json(&e).compact();
+        assert!(line.contains("\"event\":\"serve\""));
+        assert!(line.contains("\"admitted\":32"));
+        assert!(line.contains("\"rejected\":4"));
+        let pretty = event_pretty(&e);
+        assert!(pretty.contains("32 admitted"));
+        assert!(pretty.contains("4 rejected"));
+
+        // A serve-only stream is a valid trace (the server smoke path).
+        let report = check_stream(&format!("{line}\n")).unwrap();
+        assert!(report.contains("1 serve(s)"), "{report}");
+
+        // ok + failed must equal completed...
+        let bad = line.replace("\"ok\":30", "\"ok\":31");
+        assert!(check_stream(&bad).unwrap_err().contains("add up"));
+        // ...the event is post-drain, so admitted == completed...
+        let bad = line.replace("\"admitted\":32", "\"admitted\":33");
+        assert!(check_stream(&bad).unwrap_err().contains("drain"));
+        // ...percentiles are ordered...
+        let bad = line.replace("\"p50_ms\":1.2", "\"p50_ms\":99.0");
+        assert!(check_stream(&bad).unwrap_err().contains("percentiles"));
+        // ...completed work needs at least one batch...
+        let bad = line.replace("\"batches\":5", "\"batches\":0");
+        assert!(check_stream(&bad).unwrap_err().contains("batch"));
+        // ...and lookups never exceed completed requests.
+        let bad = line.replace("\"hits\":28", "\"hits\":280");
+        assert!(check_stream(&bad).unwrap_err().contains("hits"));
+
+        // A serve line inside an open tune is malformed.
+        let begin =
+            r#"{"event":"begin","routine":"GEMM-NN","device":"d","n":512,"engine":"bytecode"}"#;
+        assert!(check_stream(&format!("{begin}\n{line}\n"))
+            .unwrap_err()
+            .contains("inside a tune"));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod vexec;
 pub use bytecode::ByteCode;
 pub use cudagen::to_cuda_source;
 pub use device::{ComputeCapability, DeviceSpec};
-pub use dispatch::{run_jobs, CompiledProgram, Lru, LruStats};
+pub use dispatch::{run_jobs, Coalescer, CompiledProgram, Lru, LruStats, Pool};
 pub use engine::{
     exec_all_engines, exec_program_fast, exec_program_on, select as select_engine, ExecEngine,
 };

@@ -20,7 +20,7 @@ fn fingerprint(o: &RequestOutcome) -> (Request, String) {
         RequestStatus::Ok(ok) => format!("ok {} {:016x}", ok.output, ok.digest),
         RequestStatus::Failed { class, reason } => format!("failed {class}: {reason}"),
     };
-    (o.request, status)
+    (o.request.clone(), status)
 }
 
 /// A deterministic in-place shuffle (Fisher–Yates on the shared LCG).

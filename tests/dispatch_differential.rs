@@ -64,6 +64,7 @@ fn registry_requests_match_direct_engine_execution_on_all_24_routines() {
                     n,
                     seed,
                     zero_blanks: true,
+                    tenant: None,
                 };
                 let (outcome, dispatched) = registry.run_one_buffers(&req);
                 let ok = match &outcome.status {
@@ -107,6 +108,7 @@ fn dispatch_digests_are_engine_invariant() {
         n: 64,
         seed: 0xBEEF,
         zero_blanks: true,
+        tenant: None,
     };
     let digests: Vec<u64> = ExecEngine::ALL
         .iter()
