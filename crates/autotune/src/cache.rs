@@ -540,6 +540,17 @@ impl TuneCache {
             .get(&(routine.name(), device.name.to_string(), n))
     }
 
+    /// All records for one routine on one device, across sizes — the
+    /// seed set for cross-size-class transfer in the ranked sweep.
+    pub fn records_for(&self, routine: RoutineId, device: &DeviceSpec) -> Vec<TunedRecord> {
+        let (r, d) = (routine.name(), device.name);
+        self.records
+            .values()
+            .filter(|rec| rec.routine == r && rec.device == d)
+            .cloned()
+            .collect()
+    }
+
     /// Insert (or overwrite) a record under its own key.
     pub fn insert(&mut self, rec: TunedRecord) {
         self.records

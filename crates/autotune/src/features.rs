@@ -1,0 +1,217 @@
+//! Static candidate features for the learned cost model.
+//!
+//! Every sweep point — an (EPOD script, tile parameters) pair for one
+//! (routine, size) — is described by a fixed-order numeric vector computed
+//! *before* translation or evaluation, so the model can rank candidates
+//! without paying the per-point pipeline cost it is trying to avoid.  The
+//! inputs are exactly what the tuner already holds when the sweep starts:
+//! the routine identity, the problem size, the tile parameters, the
+//! composed script (component counts), the composer's counters
+//! ([`ComposeStats`]), and closed-form register/shared-memory footprint
+//! estimates mirroring the simulator's occupancy inputs.
+//!
+//! The vector layout is part of the model artifact's schema: the artifact
+//! stores [`FEATURE_NAMES`] and a loader rejects artifacts whose feature
+//! list no longer matches this build (the model would silently misread
+//! columns otherwise).
+
+use oa_blas3::types::{RoutineId, Side, Trans, Uplo};
+use oa_composer::ComposeStats;
+use oa_epod::Script;
+use oa_loopir::transform::TileParams;
+
+/// The EPOD components counted per script, in feature order.
+const COMPONENT_FEATURES: [&str; 13] = [
+    "thread_grouping",
+    "loop_tiling",
+    "loop_interchange",
+    "loop_fission",
+    "loop_fusion",
+    "GM_map",
+    "format_iteration",
+    "peel_triangular",
+    "padding_triangular",
+    "loop_unroll",
+    "SM_alloc",
+    "reg_alloc",
+    "binding_triangular",
+];
+
+/// Names of the feature columns, in the exact order
+/// [`candidate_features`] emits them.
+pub const FEATURE_NAMES: [&str; 39] = [
+    // Routine identity.
+    "fam_gemm",
+    "fam_symm",
+    "fam_trmm",
+    "fam_trsm",
+    "side_right",
+    "uplo_upper",
+    "trans_a",
+    "trans_b",
+    // Problem size.
+    "log2_n",
+    // Raw tile parameters.
+    "ty",
+    "tx",
+    "thr_i",
+    "thr_j",
+    "kb",
+    "unroll",
+    // Derived shape quantities.
+    "threads",
+    "reg_rows",
+    "reg_cols",
+    "reg_tile",
+    "tile_elems",
+    "tiles_per_dim",
+    // Footprint estimates (the occupancy inputs, in closed form).
+    "regs_est",
+    "smem_words_est",
+    // Script shape.
+    "script_len",
+    "n_thread_grouping",
+    "n_loop_tiling",
+    "n_loop_interchange",
+    "n_loop_fission",
+    "n_loop_fusion",
+    "n_gm_map",
+    "n_format_iteration",
+    "n_peel_triangular",
+    "n_padding_triangular",
+    "n_loop_unroll",
+    "n_sm_alloc",
+    "n_reg_alloc",
+    "n_binding_triangular",
+    // Composer counters (per-tune context).
+    "compose_mixed",
+    "compose_surviving",
+];
+
+/// The number of feature columns.
+pub const FEATURE_DIM: usize = FEATURE_NAMES.len();
+
+/// Routine-identity features (family one-hot + operand flags).
+fn routine_features(r: RoutineId) -> [f64; 8] {
+    let fam = |want: &str| if r.family() == want { 1.0 } else { 0.0 };
+    let (side, uplo, ta, tb) = match r {
+        RoutineId::Gemm(a, b) => (Side::Left, Uplo::Lower, a, b),
+        RoutineId::Symm(s, u) => (s, u, Trans::N, Trans::N),
+        RoutineId::Trmm(s, u, t) | RoutineId::Trsm(s, u, t) => (s, u, t, Trans::N),
+    };
+    [
+        fam("GEMM"),
+        fam("SYMM"),
+        fam("TRMM"),
+        fam("TRSM"),
+        if side == Side::Right { 1.0 } else { 0.0 },
+        if uplo == Uplo::Upper { 1.0 } else { 0.0 },
+        if ta == Trans::T { 1.0 } else { 0.0 },
+        if tb == Trans::T { 1.0 } else { 0.0 },
+    ]
+}
+
+/// Compute the feature vector for one sweep point.
+///
+/// Panics never; degenerate tile parameters (zero threads) are guarded so
+/// the vector is always finite.
+pub fn candidate_features(
+    r: RoutineId,
+    n: i64,
+    params: &TileParams,
+    script: &Script,
+    stats: &ComposeStats,
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(FEATURE_DIM);
+    v.extend_from_slice(&routine_features(r));
+    v.push((n.max(1) as f64).log2());
+
+    let p = params;
+    v.extend_from_slice(&[
+        p.ty as f64,
+        p.tx as f64,
+        p.thr_i as f64,
+        p.thr_j as f64,
+        p.kb as f64,
+        p.unroll as f64,
+    ]);
+    let threads = (p.thr_i * p.thr_j).max(1) as f64;
+    let reg_rows = if p.thr_i > 0 { p.ty / p.thr_i } else { 0 } as f64;
+    let reg_cols = if p.thr_j > 0 { p.tx / p.thr_j } else { 0 } as f64;
+    let tile_elems = (p.ty * p.tx) as f64;
+    let tiles_per_dim = if p.ty > 0 {
+        n as f64 / p.ty as f64
+    } else {
+        0.0
+    };
+    v.extend_from_slice(&[
+        threads,
+        reg_rows,
+        reg_cols,
+        reg_rows * reg_cols,
+        tile_elems,
+        tiles_per_dim,
+    ]);
+
+    // Footprint estimates: an accumulator tile per thread plus one
+    // staging row/column per dimension (registers), and the classic
+    // A-panel + B-panel staging tiles (shared-memory words) scaled by how
+    // many allocation components the script actually carries.
+    let names = script.component_names();
+    let count = |want: &str| names.iter().filter(|c| **c == want).count() as f64;
+    let regs_est = reg_rows * reg_cols + reg_rows + reg_cols + 4.0;
+    let smem_words_est = count("SM_alloc") * ((p.ty * p.kb) + (p.kb * p.tx)) as f64;
+    v.extend_from_slice(&[regs_est, smem_words_est]);
+
+    v.push(names.len() as f64);
+    for comp in COMPONENT_FEATURES {
+        v.push(count(comp));
+    }
+
+    v.extend_from_slice(&[stats.mixed as f64, stats.surviving as f64]);
+    debug_assert_eq!(v.len(), FEATURE_DIM);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::default_params;
+    use oa_blas3::schemes::oa_scheme;
+
+    #[test]
+    fn feature_vector_matches_schema() {
+        let r = RoutineId::Gemm(Trans::N, Trans::T);
+        let script = oa_epod::parser::parse_script("SM_alloc(A);\nreg_alloc(C);\n").unwrap();
+        let stats = ComposeStats {
+            mixed: 12,
+            surviving: 5,
+            ..Default::default()
+        };
+        let p = default_params(oa_scheme(r).solver);
+        let v = candidate_features(r, 1024, &p, &script, &stats);
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+        let at = |name: &str| v[FEATURE_NAMES.iter().position(|n| *n == name).unwrap()];
+        assert_eq!(at("fam_gemm"), 1.0);
+        assert_eq!(at("fam_trsm"), 0.0);
+        assert_eq!(at("trans_b"), 1.0);
+        assert_eq!(at("log2_n"), 10.0);
+        assert_eq!(at("threads"), (p.thr_i * p.thr_j) as f64);
+        assert_eq!(at("n_sm_alloc"), 1.0);
+        assert_eq!(at("n_reg_alloc"), 1.0);
+        assert_eq!(at("script_len"), 2.0);
+        assert_eq!(at("compose_mixed"), 12.0);
+        assert!(at("smem_words_est") > 0.0);
+    }
+
+    #[test]
+    fn distinct_params_get_distinct_vectors() {
+        let r = RoutineId::Symm(Side::Left, Uplo::Lower);
+        let script = Script::new();
+        let stats = ComposeStats::default();
+        let a = candidate_features(r, 512, &crate::space::gemm_candidates()[0], &script, &stats);
+        let b = candidate_features(r, 512, &crate::space::gemm_candidates()[5], &script, &stats);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,922 @@
+//! The learned cost model: a small, zero-dependency ensemble of
+//! depth-bounded regression trees over static candidate [`features`],
+//! trained on the tuner's own sweep outcomes and used to *order* a fresh
+//! sweep — never to change its winner.
+//!
+//! Contract (the falsifiability clause the ROADMAP demands): with the
+//! model on, tuned winners are bit-identical to the exact sweep; only the
+//! order and count of candidate evaluations may differ.  The early-exit
+//! rule is built for that contract — a point is skipped only when its
+//! predicted GFLOPS, inflated by the [`CostModel::safety`] margin learned
+//! from training residuals, still falls strictly below an already-measured
+//! incumbent.
+//!
+//! The on-disk artifact mirrors `cache.rs`: versioned
+//! ([`MODEL_VERSION`]), FNV-1a fingerprinted, written atomically
+//! (same-directory temp + rename) under the shared [`CacheLock`], and
+//! loaded through a reporting API that degrades to the exact sweep on any
+//! corruption, classified with the cache's [`CacheIssue`] taxonomy.  A
+//! trace set too small to learn from produces a *refuse-to-rank* artifact
+//! ([`CostModel::refused`]) with a structured reason — an explicit "use
+//! the exact sweep" marker, not a degenerate always-zero tree.
+//!
+//! [`features`]: crate::features
+
+use crate::cache::{CacheIssue, CacheLock};
+use crate::features::FEATURE_NAMES;
+use crate::json::{self, Json};
+use oa_loopir::interp::Lcg;
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The artifact schema version this build writes.
+pub const MODEL_VERSION: i64 = 1;
+
+/// Trees in the ensemble.
+const N_TREES: usize = 16;
+/// Maximum tree depth.
+const MAX_DEPTH: usize = 12;
+/// Minimum rows per leaf.
+const MIN_LEAF: usize = 2;
+/// Candidate split thresholds examined per feature (quantile midpoints).
+const MAX_THRESHOLDS: usize = 32;
+/// Points evaluated in the first ranked batch (the predicted top-k).
+/// Lives here (not in the tuner) because the safety-margin simulation
+/// in [`CostModel::train`] must replay the exact batching the tuner
+/// uses.
+pub const RANK_TOP_K: usize = 5;
+/// Points per subsequent ranked batch.
+pub const RANK_CHUNK: usize = 8;
+/// The safety margin is clamped to this range: at least 1.15 (a sliver
+/// of headroom even for a perfect in-sample fit), at most 10 (a model
+/// this wrong barely exits at all — which is the correct behavior, not
+/// a failure).
+const SAFETY_RANGE: (f64, f64) = (1.15, 10.0);
+/// Held-out hedge: the margin that never skips a *training* winner is
+/// scaled by this factor, because the sweeps the model exits on are
+/// precisely the (routine, class) pairs it was not trained on.
+const SAFETY_HEDGE: f64 = 1.25;
+
+/// One training/evaluation row: a sweep point with its measured outcome.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Routine name (`GEMM-NN`, …).
+    pub routine: String,
+    /// Problem size the sweep ran at.
+    pub n: i64,
+    /// Index of the point in the sweep's original order.
+    pub point: usize,
+    /// Static candidate features ([`crate::features::candidate_features`]).
+    pub features: Vec<f64>,
+    /// Measured label: the perf model's GFLOPS, `0.0` for points that
+    /// pruned or errored (the model learns to rank failures last).
+    pub gflops: f64,
+    /// Whether this point won its sweep.
+    pub won: bool,
+}
+
+/// One node of a regression tree, stored flat.  `feature < 0` marks a
+/// leaf carrying `value`; interior nodes route `x[feature] <= threshold`
+/// to `left`, else `right`.
+#[derive(Clone, Debug, PartialEq)]
+struct Node {
+    feature: i64,
+    threshold: f64,
+    left: usize,
+    right: usize,
+    value: f64,
+}
+
+/// A depth-bounded CART regression tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Predict the label for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.feature < 0 {
+                return node.value;
+            }
+            let f = node.feature as usize;
+            i = if x.get(f).copied().unwrap_or(0.0) <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+}
+
+/// Variance of the labels at `rows` (biased; only compared, never reported).
+fn variance(rows: &[usize], labels: &[f64]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let mean = rows.iter().map(|&i| labels[i]).sum::<f64>() / rows.len() as f64;
+    rows.iter()
+        .map(|&i| (labels[i] - mean).powi(2))
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+/// Grow one CART tree on `rows` (indices into `xs`/`labels`).
+fn grow(xs: &[Vec<f64>], labels: &[f64], rows: Vec<usize>) -> Tree {
+    let mut tree = Tree::default();
+    build(xs, labels, rows, 0, &mut tree.nodes);
+    tree
+}
+
+fn leaf(nodes: &mut Vec<Node>, rows: &[usize], labels: &[f64]) -> usize {
+    let value = if rows.is_empty() {
+        0.0
+    } else {
+        rows.iter().map(|&i| labels[i]).sum::<f64>() / rows.len() as f64
+    };
+    nodes.push(Node {
+        feature: -1,
+        threshold: 0.0,
+        left: 0,
+        right: 0,
+        value,
+    });
+    nodes.len() - 1
+}
+
+fn build(
+    xs: &[Vec<f64>],
+    labels: &[f64],
+    rows: Vec<usize>,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let parent_var = variance(&rows, labels);
+    if depth >= MAX_DEPTH || rows.len() < 2 * MIN_LEAF || parent_var <= 1e-12 {
+        return leaf(nodes, &rows, labels);
+    }
+    // Best split by weighted-variance reduction; features scanned in
+    // order with strictly-better comparisons, so training is fully
+    // deterministic.
+    let n_features = xs[rows[0]].len();
+    // `f` indexes a *column* across the row-major `xs`, not `xs` itself.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    #[allow(clippy::needless_range_loop)]
+    for f in 0..n_features {
+        let mut values: Vec<f64> = rows.iter().map(|&i| xs[i][f]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let step = (values.len() - 1).div_ceil(MAX_THRESHOLDS).max(1);
+        for w in (0..values.len() - 1).step_by(step) {
+            let thr = (values[w] + values[w + 1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&i| xs[i][f] <= thr);
+            if left.len() < MIN_LEAF || right.len() < MIN_LEAF {
+                continue;
+            }
+            let w_l = left.len() as f64 / rows.len() as f64;
+            let score =
+                parent_var - w_l * variance(&left, labels) - (1.0 - w_l) * variance(&right, labels);
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((f, thr, score));
+            }
+        }
+    }
+    let Some((f, thr, score)) = best else {
+        return leaf(nodes, &rows, labels);
+    };
+    if score <= 1e-12 {
+        return leaf(nodes, &rows, labels);
+    }
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&i| xs[i][f] <= thr);
+    // Reserve the interior node before recursing so child indices are known.
+    let me = nodes.len();
+    nodes.push(Node {
+        feature: f as i64,
+        threshold: thr,
+        left: 0,
+        right: 0,
+        value: 0.0,
+    });
+    let left = build(xs, labels, left_rows, depth + 1, nodes);
+    let right = build(xs, labels, right_rows, depth + 1, nodes);
+    nodes[me].left = left;
+    nodes[me].right = right;
+    me
+}
+
+/// The persisted cost model.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostModel {
+    /// Feature schema the trees were trained against (must match
+    /// [`FEATURE_NAMES`] on load).
+    pub feature_names: Vec<String>,
+    /// The ensemble (empty when refused).
+    trees: Vec<Tree>,
+    /// Early-exit margin: the smallest factor that — replaying the
+    /// ranked, calibrated sweep over every training group — never skips
+    /// a training winner, hedged by [`SAFETY_HEDGE`] and clamped to
+    /// [`SAFETY_RANGE`].  A point may be skipped only when
+    /// `safety * calibration * predicted` is strictly below an
+    /// already-measured incumbent.
+    pub safety: f64,
+    /// Training rows.
+    pub samples: usize,
+    /// Distinct `(routine, n)` sweep groups in the training set.
+    pub groups: usize,
+    /// Present when the trace set was too small to learn a ranking from —
+    /// the structured "use the exact sweep" marker.
+    pub refused: Option<String>,
+    /// Per-family execution-engine pick hints (`GEMM` → `native`, …),
+    /// measured at train time; advisory only.
+    pub engine_hints: BTreeMap<String, String>,
+}
+
+impl CostModel {
+    /// Train a model on sweep samples with a deterministic seed.
+    ///
+    /// An empty trace set, or one where no sweep has at least two
+    /// candidates, yields a refuse-to-rank artifact ([`CostModel::refused`])
+    /// rather than a degenerate tree.
+    pub fn train(samples: &[Sample], seed: u64) -> CostModel {
+        let mut groups: BTreeMap<(&str, i64), usize> = BTreeMap::new();
+        for s in samples {
+            *groups.entry((s.routine.as_str(), s.n)).or_insert(0) += 1;
+        }
+        let refuse = |reason: &str, groups: usize| CostModel {
+            feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            trees: Vec::new(),
+            safety: SAFETY_RANGE.1,
+            samples: samples.len(),
+            groups,
+            refused: Some(reason.to_string()),
+            engine_hints: BTreeMap::new(),
+        };
+        if samples.is_empty() {
+            return refuse("empty-trace-set: no candidates to learn from", 0);
+        }
+        if groups.values().all(|&c| c < 2) {
+            return refuse(
+                "single-candidate-sweeps: no sweep has two candidates to rank",
+                groups.len(),
+            );
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+        let labels: Vec<f64> = samples.iter().map(|s| s.gflops).collect();
+        let mut rng = Lcg::new(seed);
+        let trees: Vec<Tree> = (0..N_TREES)
+            .map(|_| {
+                // Bootstrap bag: n rows drawn with replacement.
+                let rows: Vec<usize> = (0..samples.len())
+                    .map(|_| rng.range(0, samples.len() as i64) as usize)
+                    .collect();
+                grow(&xs, &labels, rows)
+            })
+            .collect();
+        let mut model = CostModel {
+            feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            trees,
+            safety: SAFETY_RANGE.0,
+            samples: samples.len(),
+            groups: groups.len(),
+            refused: None,
+            engine_hints: BTreeMap::new(),
+        };
+        // Safety margin by simulation: replay the tuner's ranked,
+        // calibrated sweep (top-k batch then fixed chunks, ceiling =
+        // safety × calibration × prediction) over every training group
+        // and find the smallest margin that never skips the group's
+        // winner, then hedge for held-out sweeps.  The tuner's exit rule
+        // mirrors this exactly, so in-sample the margin is sufficient by
+        // construction.
+        let mut by_group: BTreeMap<(&str, i64), Vec<usize>> = BTreeMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            by_group
+                .entry((s.routine.as_str(), s.n))
+                .or_default()
+                .push(i);
+        }
+        let preds: Vec<f64> = samples.iter().map(|s| model.predict(&s.features)).collect();
+        let mut needed: f64 = 1.0;
+        for idxs in by_group.values() {
+            let Some(&winner) = idxs.iter().find(|&&i| samples[i].won) else {
+                continue;
+            };
+            if preds[winner] <= 0.0 {
+                // The winner predicts at (or below) zero: no finite
+                // margin protects it — never exit under this model.
+                needed = SAFETY_RANGE.1;
+                continue;
+            }
+            let mut order: Vec<usize> = idxs.clone();
+            order.sort_by(|&a, &b| preds[b].total_cmp(&preds[a]).then(a.cmp(&b)));
+            let mut calib = 0.0f64;
+            let mut best = 0.0f64;
+            let mut cursor = 0usize;
+            while cursor < order.len() {
+                let size = if cursor == 0 { RANK_TOP_K } else { RANK_CHUNK };
+                let batch = &order[cursor..(cursor + size).min(order.len())];
+                let winner_seen = order[..cursor + batch.len()].contains(&winner);
+                for &i in batch {
+                    if samples[i].gflops > 0.0 && preds[i] > 0.0 {
+                        calib = calib.max(samples[i].gflops / preds[i]);
+                    }
+                    best = best.max(samples[i].gflops);
+                }
+                cursor += batch.len();
+                if winner_seen {
+                    break;
+                }
+                // The winner is still in the tail: the margin must keep
+                // its calibrated ceiling at or above the incumbent.
+                if calib > 0.0 && best > 0.0 {
+                    needed = needed.max(best / (calib * preds[winner]));
+                }
+            }
+        }
+        model.safety = (needed * SAFETY_HEDGE).clamp(SAFETY_RANGE.0, SAFETY_RANGE.1);
+        model
+    }
+
+    /// Whether the model is willing and able to rank candidates.
+    pub fn can_rank(&self) -> bool {
+        self.refused.is_none() && !self.trees.is_empty()
+    }
+
+    /// Ensemble prediction (mean over trees) for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Split-count × variance-reduction importance per feature, sorted
+    /// descending (the `oa model explain` view).
+    pub fn importances(&self) -> Vec<(String, f64)> {
+        let mut weight = vec![0.0f64; self.feature_names.len()];
+        for t in &self.trees {
+            for node in &t.nodes {
+                if node.feature >= 0 {
+                    if let Some(w) = weight.get_mut(node.feature as usize) {
+                        *w += 1.0;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(weight)
+            .filter(|(_, w)| *w > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Engine-pick hint for a routine family, if the artifact carries one.
+    pub fn engine_hint(&self, family: &str) -> Option<&str> {
+        self.engine_hints.get(family).map(String::as_str)
+    }
+
+    /// FNV-1a fingerprint over the serialized model body (the `check`
+    /// field, verified on load).
+    fn fingerprint(body: &Json) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in body.compact().as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h
+    }
+
+    fn body_json(&self) -> Json {
+        let tree_json = |t: &Tree| {
+            Json::Arr(
+                t.nodes
+                    .iter()
+                    .map(|n| {
+                        Json::Arr(vec![
+                            Json::Int(n.feature),
+                            Json::Num(n.threshold),
+                            Json::Int(n.left as i64),
+                            Json::Int(n.right as i64),
+                            Json::Num(n.value),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let mut body = BTreeMap::from([
+            (
+                "feature_names".to_string(),
+                Json::Arr(
+                    self.feature_names
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "trees".to_string(),
+                Json::Arr(self.trees.iter().map(tree_json).collect()),
+            ),
+            ("safety".to_string(), Json::Num(self.safety)),
+            ("samples".to_string(), Json::Int(self.samples as i64)),
+            ("groups".to_string(), Json::Int(self.groups as i64)),
+            (
+                "engine_hints".to_string(),
+                Json::Obj(
+                    self.engine_hints
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Some(reason) = &self.refused {
+            body.insert("refused".to_string(), Json::Str(reason.clone()));
+        }
+        Json::Obj(body)
+    }
+
+    fn to_json(&self) -> Json {
+        let body = self.body_json();
+        Json::Obj(BTreeMap::from([
+            ("version".to_string(), Json::Int(MODEL_VERSION)),
+            (
+                "check".to_string(),
+                Json::Str(format!("{:016x}", Self::fingerprint(&body))),
+            ),
+            ("model".to_string(), body),
+        ]))
+    }
+
+    fn from_body(body: &Json) -> Result<CostModel, String> {
+        let names = body
+            .get("feature_names")
+            .and_then(Json::as_arr)
+            .ok_or("missing `feature_names` array")?;
+        let feature_names: Vec<String> = names
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<_>>()
+            .ok_or("non-string feature name")?;
+        let mut trees = Vec::new();
+        for (ti, t) in body
+            .get("trees")
+            .and_then(Json::as_arr)
+            .ok_or("missing `trees` array")?
+            .iter()
+            .enumerate()
+        {
+            let mut nodes = Vec::new();
+            for (ni, n) in t.as_arr().ok_or("tree is not an array")?.iter().enumerate() {
+                let row = n.as_arr().ok_or("node is not an array")?;
+                if row.len() != 5 {
+                    return Err(format!("tree {ti} node {ni}: expected 5 fields"));
+                }
+                let int = |i: usize, what: &str| {
+                    row[i]
+                        .as_i64()
+                        .ok_or_else(|| format!("tree {ti} node {ni}: {what} is not an integer"))
+                };
+                let num = |i: usize, what: &str| {
+                    row[i]
+                        .as_f64()
+                        .filter(|v| v.is_finite())
+                        .ok_or_else(|| format!("tree {ti} node {ni}: {what} is not finite"))
+                };
+                nodes.push(Node {
+                    feature: int(0, "feature")?,
+                    threshold: num(1, "threshold")?,
+                    left: int(2, "left")? as usize,
+                    right: int(3, "right")? as usize,
+                    value: num(4, "value")?,
+                });
+            }
+            // Child links must stay inside the node table (a garbled
+            // artifact must fail load, not panic at predict time).
+            for (ni, n) in nodes.iter().enumerate() {
+                if n.feature >= 0 && (n.left >= nodes.len() || n.right >= nodes.len()) {
+                    return Err(format!("tree {ti} node {ni}: child index out of range"));
+                }
+            }
+            if nodes.is_empty() {
+                return Err(format!("tree {ti} is empty"));
+            }
+            trees.push(Tree { nodes });
+        }
+        let int_field = |k: &str| {
+            body.get(k)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("missing integer `{k}`"))
+        };
+        Ok(CostModel {
+            feature_names,
+            trees,
+            safety: body
+                .get("safety")
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite())
+                .ok_or("missing finite `safety`")?,
+            samples: int_field("samples")?.max(0) as usize,
+            groups: int_field("groups")?.max(0) as usize,
+            refused: body
+                .get("refused")
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or("`refused` is not a string")
+                })
+                .transpose()?,
+            engine_hints: match body.get("engine_hints") {
+                Some(Json::Obj(m)) => m
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or("engine hint is not a string")
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err("`engine_hints` is not an object".to_string()),
+                None => BTreeMap::new(),
+            },
+        })
+    }
+
+    /// Load the artifact, reporting every problem with the cache's issue
+    /// taxonomy.  A missing file is `(None, [])`; any corruption is
+    /// `(None, [classified issue])` — the caller falls back to the exact
+    /// sweep in both cases, never panics.
+    pub fn load_reporting(path: &Path) -> (Option<CostModel>, Vec<CacheIssue>) {
+        let mut issues = Vec::new();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return (None, issues),
+            Err(e) => {
+                issues.push(CacheIssue::Unreadable {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                });
+                return (None, issues);
+            }
+        };
+        let Some(doc) = json::parse(&text) else {
+            issues.push(CacheIssue::Syntax {
+                path: path.display().to_string(),
+            });
+            return (None, issues);
+        };
+        match doc.get("version").and_then(Json::as_i64) {
+            Some(v) if v <= MODEL_VERSION => {}
+            found => {
+                issues.push(CacheIssue::UnknownVersion {
+                    found: found.map_or_else(|| "?".to_string(), |v| v.to_string()),
+                });
+                return (None, issues);
+            }
+        }
+        let Some(body) = doc.get("model") else {
+            issues.push(CacheIssue::BadRecord {
+                index: 0,
+                reason: "document has no `model` object".to_string(),
+            });
+            return (None, issues);
+        };
+        let expect = format!("{:016x}", Self::fingerprint(body));
+        if doc.get("check").and_then(Json::as_str) != Some(expect.as_str()) {
+            issues.push(CacheIssue::IntegrityMismatch {
+                index: 0,
+                key: "model".to_string(),
+            });
+            return (None, issues);
+        }
+        let model = match Self::from_body(body) {
+            Ok(m) => m,
+            Err(reason) => {
+                issues.push(CacheIssue::BadRecord { index: 0, reason });
+                return (None, issues);
+            }
+        };
+        // Feature-schema drift: the trees would silently misread columns.
+        if model.feature_names != FEATURE_NAMES {
+            issues.push(CacheIssue::BadRecord {
+                index: 0,
+                reason: "feature schema drift: artifact features do not match this build"
+                    .to_string(),
+            });
+            return (None, issues);
+        }
+        (Some(model), issues)
+    }
+
+    /// Persist atomically (same-directory temp + fsync + rename), under
+    /// the shared cache lock so a train racing a concurrent trainer or a
+    /// tuner mid-load never exposes a torn file.  Returns lock issues
+    /// (a stolen stale lock) the way [`crate::cache::TuneCache::update`]
+    /// does.
+    pub fn save(&self, path: &Path) -> io::Result<Vec<CacheIssue>> {
+        let lock = CacheLock::acquire(path)?;
+        let mut issues = Vec::new();
+        if lock.stolen() {
+            issues.push(CacheIssue::StaleLock {
+                path: lock_display_path(path),
+            });
+        }
+        let tmp = temp_path(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().pretty().as_bytes())?;
+            f.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(issues),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".to_string());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+fn lock_display_path(path: &Path) -> String {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".to_string());
+    path.with_file_name(format!(".{name}.lock"))
+        .display()
+        .to_string()
+}
+
+/// How the tuner uses the cost model, selected by `OA_TUNE_MODEL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelMode {
+    /// Exact sweep, model never consulted.
+    Off,
+    /// The model orders the sweep (likely winners first); every point is
+    /// still evaluated.
+    Rank,
+    /// Ordering plus early exit: remaining points are skipped once the
+    /// incumbent's measured GFLOPS strictly exceeds `safety × predicted`
+    /// for every unevaluated point.
+    RankExit,
+}
+
+impl ModelMode {
+    /// Parse an `OA_TUNE_MODEL` value.
+    pub fn parse(s: &str) -> Option<ModelMode> {
+        match s {
+            "off" => Some(ModelMode::Off),
+            "rank" => Some(ModelMode::Rank),
+            "rank+exit" => Some(ModelMode::RankExit),
+            _ => None,
+        }
+    }
+
+    /// Read `OA_TUNE_MODEL` (default: `rank+exit` — safe because the
+    /// tuner falls back to the exact sweep whenever no usable artifact is
+    /// present, and the winner is invariant even when one is).
+    pub fn from_env() -> ModelMode {
+        std::env::var("OA_TUNE_MODEL")
+            .ok()
+            .and_then(|v| ModelMode::parse(&v))
+            .unwrap_or(ModelMode::RankExit)
+    }
+
+    /// Stable mode label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelMode::Off => "off",
+            ModelMode::Rank => "rank",
+            ModelMode::RankExit => "rank+exit",
+        }
+    }
+}
+
+/// The default artifact name, written next to `tuning_cache.json`.
+pub const MODEL_FILE: &str = "tune_model.json";
+
+/// Resolve the model-artifact path: `OA_TUNE_MODEL_PATH` when set, else
+/// [`MODEL_FILE`] next to the `OA_TUNE_CACHE` file, else `None` (no model
+/// in play).
+pub fn model_path_from_env() -> Option<PathBuf> {
+    if let Some(p) = std::env::var_os("OA_TUNE_MODEL_PATH") {
+        return Some(PathBuf::from(p));
+    }
+    let cache = std::env::var_os("OA_TUNE_CACHE")?;
+    Some(sibling_model_path(Path::new(&cache)))
+}
+
+/// The model artifact that lives next to a tuning-cache file.
+pub fn sibling_model_path(cache_path: &Path) -> PathBuf {
+    cache_path.with_file_name(MODEL_FILE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_DIM;
+
+    /// Synthetic sweep samples with a learnable signal: label rises with
+    /// feature 9 (`ty`) and falls with feature 13 (`kb`).
+    fn synth_samples(groups: usize, per_group: usize) -> Vec<Sample> {
+        let mut out = Vec::new();
+        let mut rng = Lcg::new(7);
+        for g in 0..groups {
+            let mut best = (0usize, f64::MIN);
+            let base = out.len();
+            for p in 0..per_group {
+                let mut features = vec![0.0; FEATURE_DIM];
+                features[9] = rng.range(8, 128) as f64;
+                features[13] = rng.range(4, 32) as f64;
+                let gflops = 4.0 * features[9] - 2.0 * features[13] + 100.0;
+                if gflops > best.1 {
+                    best = (base + p, gflops);
+                }
+                out.push(Sample {
+                    routine: format!("R{g}"),
+                    n: 64,
+                    point: p,
+                    features,
+                    gflops,
+                    won: false,
+                });
+            }
+            out[best.0].won = true;
+        }
+        out
+    }
+
+    #[test]
+    fn learns_a_monotone_signal_and_roundtrips() {
+        let samples = synth_samples(6, 12);
+        let model = CostModel::train(&samples, 42);
+        assert!(model.can_rank(), "{:?}", model.refused);
+        assert!(model.safety >= 1.0 && model.safety <= 2.5);
+        // High-ty/low-kb candidates must outrank low-ty/high-kb ones.
+        let mut hi = vec![0.0; FEATURE_DIM];
+        hi[9] = 120.0;
+        hi[13] = 4.0;
+        let mut lo = vec![0.0; FEATURE_DIM];
+        lo[9] = 8.0;
+        lo[13] = 30.0;
+        assert!(model.predict(&hi) > model.predict(&lo));
+        // Deterministic: same samples + seed → same trees.
+        assert_eq!(model, CostModel::train(&samples, 42));
+        // Importances name the signal features.
+        let imp = model.importances();
+        assert!(imp.iter().any(|(n, _)| n == "ty"), "{imp:?}");
+
+        let dir = std::env::temp_dir().join("oa_model_roundtrip_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(MODEL_FILE);
+        model.save(&path).unwrap();
+        let (loaded, issues) = CostModel::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(loaded.unwrap(), model);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The empty-trace edge: training on nothing (or on sweeps with a
+    /// single candidate each) must refuse to rank with a structured
+    /// reason, not produce an always-zero tree.
+    #[test]
+    fn refuses_to_rank_on_empty_or_single_candidate_traces() {
+        let empty = CostModel::train(&[], 1);
+        assert!(!empty.can_rank());
+        assert!(
+            empty
+                .refused
+                .as_deref()
+                .unwrap()
+                .starts_with("empty-trace-set"),
+            "{:?}",
+            empty.refused
+        );
+
+        let single: Vec<Sample> = (0..4)
+            .map(|g| Sample {
+                routine: format!("R{g}"),
+                n: 64,
+                point: 0,
+                features: vec![0.0; FEATURE_DIM],
+                gflops: 10.0,
+                won: true,
+            })
+            .collect();
+        let refused = CostModel::train(&single, 1);
+        assert!(!refused.can_rank());
+        assert!(
+            refused
+                .refused
+                .as_deref()
+                .unwrap()
+                .starts_with("single-candidate-sweeps"),
+            "{:?}",
+            refused.refused
+        );
+
+        // The refusal round-trips through the artifact.
+        let dir = std::env::temp_dir().join("oa_model_refuse_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(MODEL_FILE);
+        refused.save(&path).unwrap();
+        let (loaded, issues) = CostModel::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        let loaded = loaded.unwrap();
+        assert!(!loaded.can_rank());
+        assert_eq!(loaded.refused, refused.refused);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_artifacts_classify_and_never_load() {
+        let dir = std::env::temp_dir().join("oa_model_corrupt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(MODEL_FILE);
+        let model = CostModel::train(&synth_samples(4, 8), 3);
+        model.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+
+        // Missing file: no model, no issue.
+        let missing = dir.join("absent.json");
+        let (m, issues) = CostModel::load_reporting(&missing);
+        assert!(m.is_none() && issues.is_empty());
+
+        // Truncation → syntax.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (m, issues) = CostModel::load_reporting(&path);
+        assert!(m.is_none());
+        assert!(matches!(issues[0], CacheIssue::Syntax { .. }), "{issues:?}");
+
+        // A flipped byte inside the body → integrity mismatch.
+        std::fs::write(&path, full.replace("\"samples\": 32", "\"samples\": 33")).unwrap();
+        let (m, issues) = CostModel::load_reporting(&path);
+        assert!(m.is_none());
+        assert!(
+            matches!(issues[0], CacheIssue::IntegrityMismatch { .. }),
+            "{issues:?}"
+        );
+
+        // A future schema version is refused wholesale.
+        std::fs::write(&path, r#"{"version": 99, "check": "0", "model": {}}"#).unwrap();
+        let (m, issues) = CostModel::load_reporting(&path);
+        assert!(m.is_none());
+        assert_eq!(
+            issues,
+            vec![CacheIssue::UnknownVersion { found: "99".into() }]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Train-while-train: four concurrent writers saving to one artifact
+    /// path (the model-file mirror of the cache's 4-writer test).  The
+    /// final file must load clean — the lock + atomic rename admit no torn
+    /// state — and every writer's artifact was a valid full document.
+    #[test]
+    fn concurrent_saves_never_tear_the_artifact() {
+        let dir = std::env::temp_dir().join("oa_model_concurrent_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(MODEL_FILE);
+        let _ = std::fs::remove_file(&path);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let path = path.clone();
+                s.spawn(move || {
+                    for i in 0..4 {
+                        let model = CostModel::train(&synth_samples(3, 6), t * 100 + i);
+                        model.save(&path).unwrap();
+                        // Interleaved readers must always see a whole
+                        // artifact (or the lock-free previous one).
+                        let (m, issues) = CostModel::load_reporting(&path);
+                        assert!(issues.is_empty(), "{issues:?}");
+                        assert!(m.is_some());
+                    }
+                });
+            }
+        });
+        let (m, issues) = CostModel::load_reporting(&path);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(m.unwrap().can_rank());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -60,6 +60,13 @@ pub enum CandidateFate {
         /// Why the candidate was pruned.
         reason: String,
     },
+    /// Never evaluated: the cost model's early exit proved the point's
+    /// predicted ceiling (`safety × predicted`) strictly below an already
+    /// measured incumbent.  Only possible under `OA_TUNE_MODEL=rank+exit`.
+    Skipped {
+        /// The model's predicted GFLOPS for the point.
+        predicted: f64,
+    },
     /// A component of this candidate's script degenerated in the filter
     /// (the paper's term: the component's constraints failed and it was
     /// omitted rather than aborting the sequence).
@@ -82,12 +89,13 @@ pub enum CandidateFate {
 
 impl CandidateFate {
     /// Stable lowercase outcome label (`won`, `lost`, `pruned`,
-    /// `degenerated`, `errored`).
+    /// `skipped`, `degenerated`, `errored`).
     pub fn label(&self) -> &'static str {
         match self {
             CandidateFate::Won => "won",
             CandidateFate::Lost => "lost",
             CandidateFate::Pruned { .. } => "pruned",
+            CandidateFate::Skipped { .. } => "skipped",
             CandidateFate::Degenerated { .. } => "degenerated",
             CandidateFate::Errored { .. } => "errored",
         }
@@ -148,6 +156,9 @@ pub enum TuneEvent {
         /// The replayed record's predicted GFLOPS.
         gflops: f64,
     },
+    /// The cost model ranked this sweep (emitted once per modeled tune,
+    /// between the stage spans and the candidate outcomes).
+    Model(ModelStats),
     /// End-of-tune accounting.  `evaluated = won + lost`; every sweep
     /// point lands in exactly one bucket.
     Summary {
@@ -163,6 +174,8 @@ pub enum TuneEvent {
         degenerated: usize,
         /// Candidates that errored in translate/evaluate.
         errored: usize,
+        /// Candidates never evaluated (cost-model early exit).
+        skipped: usize,
         /// The winner's predicted GFLOPS, if any candidate ranked.
         winner_gflops: Option<f64>,
     },
@@ -176,6 +189,30 @@ pub enum TuneEvent {
     /// bench harness after running a routine on the native engine, so
     /// coverage regressions show up in the trace stream, not silently).
     NativeCoverage(NativeCoverageStats),
+}
+
+/// One modeled sweep's accounting, carried by [`TuneEvent::Model`]:
+/// the predicted-vs-actual record the trace stream keeps so the
+/// winner-invariance contract is auditable per tune.
+///
+/// `evaluated + skipped == considered` always holds; `skipped` is zero in
+/// `rank` mode (ordering only, no early exit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelStats {
+    /// Mode label (`rank` or `rank+exit`).
+    pub mode: &'static str,
+    /// Sweep points the model scored.
+    pub considered: usize,
+    /// Points actually evaluated.
+    pub evaluated: usize,
+    /// Points skipped by the early exit.
+    pub skipped: usize,
+    /// Whether a cross-size-class transfer seed promoted a winner family.
+    pub transfer: bool,
+    /// The model's predicted GFLOPS for the eventual winner.
+    pub predicted_winner_gflops: Option<f64>,
+    /// The perf model's actual GFLOPS for the eventual winner.
+    pub actual_winner_gflops: Option<f64>,
 }
 
 /// Per-batch accounting of the dispatch layer's batched executor

@@ -20,10 +20,15 @@
 //! `--quick` (alias `--smoke`) serves a 32-request batch.
 
 use oa_core::autotune::json::Json;
-use oa_core::dispatch::{Registry, Request, RequestStatus};
+use oa_core::autotune::{
+    samples_from_trace, sibling_model_path, CandidateFate, CostModel, Sample, TuneEvent,
+};
+use oa_core::dispatch::{size_class, Registry, Request, RequestStatus};
 use oa_core::gpusim::DeviceSpec;
+use oa_core::loopir::transform::TileParams;
 use oa_core::{RoutineId, Trans};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// The benchmark batch: `count` requests cycling the 24-routine catalog
@@ -49,6 +54,58 @@ fn bench_requests(count: usize) -> Vec<Request> {
             }
         })
         .collect()
+}
+
+/// One sweep's traced rows, grouped per `Begin` event: the routine, the
+/// tuned size, and `(script index, params, gflops, won)` per candidate.
+type TracedSweep = (RoutineId, i64, Vec<(usize, TileParams, f64, bool)>);
+
+/// One timed cold `warm` over a throwaway tuning cache: wall seconds,
+/// total candidate evaluations (points − skipped, summed over sweeps),
+/// and the traced sweeps for model training.
+struct ColdWarm {
+    secs: f64,
+    evals: usize,
+    sweeps: Vec<TracedSweep>,
+    registry: Registry,
+}
+
+fn cold_warm(device: &DeviceSpec, cache: PathBuf, reqs: &[Request]) -> ColdWarm {
+    let registry = Registry::new(device.clone()).with_tune_cache(cache);
+    let mut events = Vec::new();
+    let t0 = Instant::now();
+    registry.warm(reqs, &mut |e| events.push(e));
+    let secs = t0.elapsed().as_secs_f64();
+    let mut evals = 0usize;
+    let mut sweeps: Vec<TracedSweep> = Vec::new();
+    for e in events {
+        match e {
+            TuneEvent::Begin { routine, n, .. } => {
+                let r = RoutineId::parse(&routine).expect("traced routine parses");
+                sweeps.push((r, n, Vec::new()));
+            }
+            TuneEvent::Candidate(c) => {
+                if let (Some(sweep), Some(si), Some(p)) = (sweeps.last_mut(), c.script, c.params) {
+                    sweep.2.push((
+                        si,
+                        p,
+                        c.gflops.unwrap_or(0.0),
+                        matches!(c.fate, CandidateFate::Won),
+                    ));
+                }
+            }
+            TuneEvent::Summary {
+                points, skipped, ..
+            } => evals += points - skipped,
+            _ => {}
+        }
+    }
+    ColdWarm {
+        secs,
+        evals,
+        sweeps,
+        registry,
+    }
 }
 
 fn main() {
@@ -125,6 +182,81 @@ fn main() {
         steady_secs * 1e3
     );
     println!("  batched / baseline: {speedup:.2}x steady, {speedup_cold:.2}x cold");
+
+    // Cold *tuning* with and without the learned cost model: the exact
+    // side's traced sweeps train the artifact the modeled side loads
+    // (`OA_TUNE_MODEL` defaults to rank+exit; its sibling artifact sits
+    // next to the tuning cache), then both sides warm the same request
+    // set from empty throwaway caches.
+    let pid = std::process::id();
+    let tmp = std::env::temp_dir();
+    let cache_exact = tmp.join(format!("oa_bench_dispatch_cold_exact_{pid}.json"));
+    let cache_model = tmp.join(format!("oa_bench_dispatch_cold_model_{pid}.json"));
+    let model_path = sibling_model_path(&cache_model);
+    for p in [
+        &cache_exact,
+        &cache_model,
+        &model_path,
+        &sibling_model_path(&cache_exact),
+    ] {
+        let _ = std::fs::remove_file(p);
+    }
+    let exact = cold_warm(&device, cache_exact.clone(), &reqs);
+    let mut samples: Vec<Sample> = Vec::new();
+    for (r, n, traced) in &exact.sweeps {
+        samples.extend(
+            samples_from_trace(exact.registry.engine(), *r, *n, traced)
+                .unwrap_or_else(|e| panic!("{} n={n}: trace recompose failed: {e}", r.name())),
+        );
+    }
+    let model = CostModel::train(&samples, 5);
+    assert!(
+        model.can_rank(),
+        "cold-path training refused to rank: {:?}",
+        model.refused
+    );
+    model.save(&model_path).expect("write model artifact");
+    let modeled = cold_warm(&device, cache_model.clone(), &reqs);
+
+    // The winner contract, end to end through the registry: identical
+    // tuned entries for every (routine, class) the batch resolves.
+    let mut cold_winners_moved = 0usize;
+    let mut classes: Vec<(RoutineId, i64)> =
+        reqs.iter().map(|q| (q.routine, size_class(q.n))).collect();
+    classes.sort_by_key(|&(r, class)| (r.name(), class));
+    classes.dedup();
+    for &(r, class) in &classes {
+        let a = exact.registry.resolve(r, class).expect("exact resolve");
+        let b = modeled.registry.resolve(r, class).expect("modeled resolve");
+        if a.script.to_string() != b.script.to_string() || a.params != b.params {
+            cold_winners_moved += 1;
+        }
+    }
+    let cold_eval_reduction = exact.evals as f64 / modeled.evals.max(1) as f64;
+    let cold_time_reduction = exact.secs / modeled.secs.max(1e-9);
+    println!(
+        "  cold tuning, exact sweep:                {:>8.1} ms ({} evals)",
+        exact.secs * 1e3,
+        exact.evals
+    );
+    println!(
+        "  cold tuning, model rank+exit:            {:>8.1} ms ({} evals; {:.1}x fewer evals, \
+         {:.1}x faster, {} winner(s) moved)",
+        modeled.secs * 1e3,
+        modeled.evals,
+        cold_eval_reduction,
+        cold_time_reduction,
+        cold_winners_moved
+    );
+    for p in [
+        &cache_exact,
+        &cache_model,
+        &model_path,
+        &sibling_model_path(&cache_exact),
+    ] {
+        let _ = std::fs::remove_file(p);
+    }
+
     // Sanity: GEMM-NN must be in the mix (it is — the catalog cycles).
     debug_assert!(reqs
         .iter()
@@ -171,7 +303,49 @@ fn main() {
         ("steady_requests_per_sec".to_string(), Json::Num(steady_rps)),
         ("speedup".to_string(), Json::Num(speedup)),
         ("speedup_cold".to_string(), Json::Num(speedup_cold)),
+        ("cold_tune_exact_secs".to_string(), Json::Num(exact.secs)),
+        ("cold_tune_model_secs".to_string(), Json::Num(modeled.secs)),
+        (
+            "cold_tune_exact_evals".to_string(),
+            Json::Int(exact.evals as i64),
+        ),
+        (
+            "cold_tune_model_evals".to_string(),
+            Json::Int(modeled.evals as i64),
+        ),
+        (
+            "cold_tune_eval_reduction".to_string(),
+            Json::Num(cold_eval_reduction),
+        ),
+        (
+            "cold_tune_time_reduction".to_string(),
+            Json::Num(cold_time_reduction),
+        ),
+        (
+            "cold_tune_winners_unchanged".to_string(),
+            Json::Bool(cold_winners_moved == 0),
+        ),
     ]));
     std::fs::write("BENCH_dispatch.json", doc.pretty() + "\n").expect("write BENCH_dispatch.json");
     println!("\nwrote BENCH_dispatch.json");
+
+    // Winner invariance is the model's contract — enforced in every mode.
+    assert_eq!(
+        cold_winners_moved, 0,
+        "model-ranked cold tuning changed a registry winner"
+    );
+    // Full mode also enforces the cold-path floor: the modeled warm-up
+    // must pay ≥ 3x fewer candidate evaluations and be visibly faster.
+    if !quick {
+        assert!(
+            cold_eval_reduction >= 3.0,
+            "modeled cold tuning saved only {cold_eval_reduction:.2}x evaluations (need >= 3x)"
+        );
+        assert!(
+            modeled.secs <= 0.9 * exact.secs,
+            "modeled cold tuning not faster: {:.1} ms vs {:.1} ms exact",
+            modeled.secs * 1e3,
+            exact.secs * 1e3
+        );
+    }
 }

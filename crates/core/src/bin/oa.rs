@@ -11,6 +11,9 @@
 //! oa serve batch.jsonl --threads 8         # batched dispatch: JSONL in, JSONL out
 //! oa fuzz --seed 5 --iters 200             # differential fuzz: 4 engines + reference
 //! oa explain --native TRSM-LL-N --n 256    # native-tier region map + reject table
+//! oa model train trace.jsonl               # fit the tuner's learned cost model
+//! oa model eval trace.jsonl --min-hit 0.9  # held-out top-5 hit rate gate
+//! oa model explain                         # artifact summary + importances
 //! ```
 //!
 //! `--trace` overrides the `OA_TRACE` environment variable; the trace
@@ -49,6 +52,14 @@ fn device_by_name(name: &str) -> Option<DeviceSpec> {
 struct Args {
     cmd: String,
     routine: Option<String>,
+    /// Third positional (e.g. `oa model train <trace.jsonl>`).
+    extra: Option<String>,
+    /// `--model` — cost-model artifact path (defaults to
+    /// `OA_TUNE_MODEL_PATH`, else `tune_model.json` next to
+    /// `OA_TUNE_CACHE`, else `tune_model.json`).
+    model_path: Option<String>,
+    /// `--min-hit` — `oa model eval`'s top-5 hit-rate floor.
+    min_hit: f64,
     device: DeviceSpec,
     n: i64,
     trace: TraceMode,
@@ -73,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut routine = None;
+    let mut extra = None;
+    let mut model_path = None;
+    let mut min_hit = 0.9f64;
     let mut device = DeviceSpec::gtx285();
     let mut n = 1024i64;
     let mut trace = TraceMode::from_env();
@@ -125,6 +139,13 @@ fn parse_args() -> Result<Args, String> {
             "--corpus" => {
                 corpus = Some(it.next().ok_or("--corpus needs a directory")?);
             }
+            "--model" => {
+                model_path = Some(it.next().ok_or("--model needs a file path")?);
+            }
+            "--min-hit" => {
+                let v = it.next().ok_or("--min-hit needs a value in [0, 1]")?;
+                min_hit = v.parse().map_err(|_| format!("bad hit rate `{v}`"))?;
+            }
             "--native" => native = true,
             "--listen" => {
                 listen = Some(
@@ -150,12 +171,16 @@ fn parse_args() -> Result<Args, String> {
             }
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other if routine.is_none() => routine = Some(other.to_string()),
+            other if extra.is_none() => extra = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     Ok(Args {
         cmd: cmd.unwrap_or_else(|| "help".into()),
         routine,
+        extra,
+        model_path,
+        min_hit,
         device,
         n,
         trace,
@@ -171,6 +196,153 @@ fn parse_args() -> Result<Args, String> {
         batch_max,
         batch_window_ms,
     })
+}
+
+/// One replayed tune from a `--trace json` stream: routine, size, and
+/// every sweep-point candidate line with a measured label.
+struct TracedTune {
+    routine: RoutineId,
+    n: i64,
+    /// `(script index, params, gflops, won)` per point, trace order.
+    points: Vec<(usize, oa_core::loopir::transform::TileParams, f64, bool)>,
+}
+
+/// Parse the tunes out of a captured JSONL trace.  Lines that are not
+/// tune candidates (spans, cache, batch, serve, …) are skipped; `skipped`
+/// candidates carry no measured label and are excluded from training.
+fn parse_trace_tunes(text: &str) -> Result<Vec<TracedTune>, String> {
+    use oa_core::autotune::json::{parse, Json};
+    use oa_core::loopir::transform::TileParams;
+    let mut tunes: Vec<TracedTune> = Vec::new();
+    let mut cur: Option<TracedTune> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let doc = parse(line).ok_or_else(|| at("not valid JSON"))?;
+        match doc.get("event").and_then(Json::as_str) {
+            Some("begin") => {
+                let name = doc
+                    .get("routine")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("begin without `routine`"))?;
+                let routine = RoutineId::parse(name)
+                    .ok_or_else(|| at(&format!("unknown routine `{name}`")))?;
+                let n = doc
+                    .get("n")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| at("begin without `n`"))?;
+                cur = Some(TracedTune {
+                    routine,
+                    n,
+                    points: Vec::new(),
+                });
+            }
+            Some("candidate") => {
+                let Some(t) = cur.as_mut() else { continue };
+                let outcome = doc.get("outcome").and_then(Json::as_str).unwrap_or("");
+                if outcome == "skipped" || outcome == "degenerated" {
+                    continue;
+                }
+                let (Some(si), Some(arr)) = (
+                    doc.get("script").and_then(Json::as_i64),
+                    doc.get("params").and_then(Json::as_arr),
+                ) else {
+                    continue;
+                };
+                let v: Vec<i64> = arr.iter().filter_map(Json::as_i64).collect();
+                if v.len() != 6 || si < 0 {
+                    return Err(at("malformed candidate `params`"));
+                }
+                let params = TileParams {
+                    ty: v[0],
+                    tx: v[1],
+                    thr_i: v[2],
+                    thr_j: v[3],
+                    kb: v[4],
+                    unroll: v[5] as usize,
+                };
+                let gflops = doc.get("gflops").and_then(Json::as_f64).unwrap_or(0.0);
+                t.points
+                    .push((si as usize, params, gflops, outcome == "won"));
+            }
+            Some("summary") => {
+                if let Some(t) = cur.take() {
+                    tunes.push(t);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(tunes)
+}
+
+/// Resolve the model-artifact path: `--model`, else `OA_TUNE_MODEL_PATH`
+/// / sibling of `OA_TUNE_CACHE`, else `tune_model.json` in the cwd.
+fn resolve_model_path(args: &Args) -> std::path::PathBuf {
+    args.model_path
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .or_else(oa_core::autotune::model_path_from_env)
+        .unwrap_or_else(|| oa_core::autotune::MODEL_FILE.into())
+}
+
+/// Rebuild training/eval samples from a trace file (recomposing each
+/// routine's script variants to recover features).
+fn trace_samples(path: &str) -> Result<Vec<oa_core::autotune::Sample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let tunes = parse_trace_tunes(&text)?;
+    if tunes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let engine = oa_core::gpusim::select_engine();
+    let mut samples = Vec::new();
+    for t in &tunes {
+        samples.extend(
+            oa_core::autotune::samples_from_trace(engine, t.routine, t.n, &t.points)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    Ok(samples)
+}
+
+/// Per-(routine, n) top-5 hit accounting for `oa model eval`.
+fn eval_hit_rate(
+    model: &oa_core::autotune::CostModel,
+    samples: &[oa_core::autotune::Sample],
+) -> (usize, usize, Vec<String>) {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, i64), Vec<&oa_core::autotune::Sample>> = BTreeMap::new();
+    for s in samples {
+        groups.entry((s.routine.clone(), s.n)).or_default().push(s);
+    }
+    let mut hits = 0;
+    let mut total = 0;
+    let mut lines = Vec::new();
+    for ((routine, n), group) in &groups {
+        if !group.iter().any(|s| s.won) {
+            continue; // no measured winner to find
+        }
+        total += 1;
+        let mut ranked: Vec<(usize, f64)> = group
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, model.predict(&s.features)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let hit = ranked.iter().take(5).any(|&(i, _)| group[i].won);
+        if hit {
+            hits += 1;
+        }
+        lines.push(format!(
+            "  {routine:<10} n={n:<5} {} ({} candidates)",
+            if hit { "top-5 hit " } else { "MISS      " },
+            group.len()
+        ));
+    }
+    (hits, total, lines)
 }
 
 fn need_routine(a: &Args) -> Result<RoutineId, String> {
@@ -386,6 +558,9 @@ fn run(args: &Args) -> Result<(), String> {
         "fuzz" => {
             let mut cfg = oa_core::fuzz::FuzzConfig::new(args.seed, args.iters);
             cfg.corpus_dir = args.corpus.as_ref().map(std::path::PathBuf::from);
+            // The CLI runs the full battery: engine cross-checks plus the
+            // tuner model stripe (exact vs rank+exit winner invariance).
+            cfg.model_stripe = true;
             let report = oa_core::fuzz::run_fuzz(&cfg);
             println!(
                 "fuzz: seed {} | {} iterations | {} coverage features | fingerprint {:#018x}",
@@ -428,6 +603,111 @@ fn run(args: &Args) -> Result<(), String> {
             println!("{}", np.explain());
             Ok(())
         }
+        "model" => {
+            // Subcommand rides in the routine slot: train | eval | explain.
+            let sub = args
+                .routine
+                .as_deref()
+                .ok_or("model needs a subcommand: train | eval | explain")?;
+            let path = resolve_model_path(args);
+            match sub {
+                "train" => {
+                    let trace = args
+                        .extra
+                        .as_deref()
+                        .ok_or("model train needs a trace file (JSONL from `--trace json`)")?;
+                    let samples = trace_samples(trace)?;
+                    let mut model = oa_core::autotune::CostModel::train(&samples, args.seed);
+                    model.engine_hints = oa_core::autotune::measure_engine_hints();
+                    let issues = model
+                        .save(&path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    for issue in issues {
+                        eprintln!("model: {issue}");
+                    }
+                    match &model.refused {
+                        Some(reason) => println!(
+                            "model: refuses to rank ({reason}); artifact written to {} — \
+                             sweeps stay exact",
+                            path.display()
+                        ),
+                        None => println!(
+                            "model: trained on {} sample(s) across {} sweep(s) \
+                             (safety x{:.2}); artifact written to {}",
+                            model.samples,
+                            model.groups,
+                            model.safety,
+                            path.display()
+                        ),
+                    }
+                    Ok(())
+                }
+                "eval" => {
+                    let trace = args
+                        .extra
+                        .as_deref()
+                        .ok_or("model eval needs a trace file (JSONL from `--trace json`)")?;
+                    let (model, issues) = oa_core::autotune::CostModel::load_reporting(&path);
+                    for issue in &issues {
+                        eprintln!("model: {issue}");
+                    }
+                    let model = model
+                        .ok_or_else(|| format!("no usable model artifact at {}", path.display()))?;
+                    if let Some(reason) = &model.refused {
+                        return Err(format!("model refuses to rank: {reason}"));
+                    }
+                    let samples = trace_samples(trace)?;
+                    let (hits, total, lines) = eval_hit_rate(&model, &samples);
+                    for l in &lines {
+                        println!("{l}");
+                    }
+                    if total == 0 {
+                        return Err("trace holds no completed sweep with a winner".into());
+                    }
+                    let rate = hits as f64 / total as f64;
+                    println!("top-5 hit rate: {hits}/{total} = {:.0}%", rate * 100.0);
+                    if rate < args.min_hit {
+                        return Err(format!(
+                            "hit rate {rate:.2} below --min-hit {:.2}",
+                            args.min_hit
+                        ));
+                    }
+                    Ok(())
+                }
+                "explain" => {
+                    let (model, issues) = oa_core::autotune::CostModel::load_reporting(&path);
+                    for issue in &issues {
+                        eprintln!("model: {issue}");
+                    }
+                    let model = model
+                        .ok_or_else(|| format!("no usable model artifact at {}", path.display()))?;
+                    println!("cost model at {}", path.display());
+                    match &model.refused {
+                        Some(reason) => println!("  refuses to rank: {reason}"),
+                        None => {
+                            println!(
+                                "  trained on {} sample(s) across {} sweep(s); safety x{:.2}",
+                                model.samples, model.groups, model.safety
+                            );
+                            println!("  top feature importances:");
+                            for (name, w) in model.importances().into_iter().take(12) {
+                                println!("    {name:<22} {w:.3}");
+                            }
+                        }
+                    }
+                    if !model.engine_hints.is_empty() {
+                        println!("  engine hints (fastest composer engine per family):");
+                        for (fam, e) in &model.engine_hints {
+                            println!("    {fam:<6} {e}");
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown model subcommand `{other}` (train | eval | explain)"
+                )),
+            }
+        }
         "trace-check" => {
             // The routine slot doubles as the file path for this command.
             let path = args
@@ -441,12 +721,17 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "help" | "--help" | "-h" => {
             println!(
-                "usage: oa <list|tune|compare|variants|cuda|explain|trace-check|serve|fuzz> \
+                "usage: oa <list|tune|compare|variants|cuda|explain|trace-check|serve|fuzz|model> \
                  [ROUTINE|FILE] [--device D] [--n N] [--trace json|pretty|off] \
                  [--threads T] [--capacity C] \
                  [--listen ADDR] [--queue-cap Q] [--tenant-quota K] \
                  [--batch-max B] [--batch-window-ms W] \
-                 [--seed S] [--iters I] [--corpus DIR] [--native]"
+                 [--seed S] [--iters I] [--corpus DIR] [--native] \
+                 [--model FILE] [--min-hit R]\n\
+                 \n\
+                 oa model train TRACE.jsonl   # fit the tuner's cost model from a trace\n\
+                 oa model eval TRACE.jsonl    # held-out top-5 hit rate (fails < --min-hit)\n\
+                 oa model explain             # artifact summary + feature importances"
             );
             Ok(())
         }

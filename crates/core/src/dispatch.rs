@@ -34,7 +34,10 @@
 
 use oa_autotune::json::Json;
 use oa_autotune::report::BatchStats;
-use oa_autotune::{tune_fresh_on, validate_record, TuneCache, TuneEvent, TunedRecord};
+use oa_autotune::{
+    model_path_from_env, sibling_model_path, tune_fresh_modeled, validate_record, CacheIssue,
+    CostModel, ModelCtx, ModelMode, TuneCache, TuneEvent, TunedRecord,
+};
 use oa_blas3::types::RoutineId;
 use oa_blas3::verify::prepare_buffers;
 use oa_epod::translator::apply_lenient;
@@ -216,6 +219,10 @@ pub struct RequestOk {
     /// size regime than requested.  Surfaced so clients and metrics see
     /// the quality signal instead of silently absorbing it.
     pub clamped: bool,
+    /// The cost-model artifact's per-family engine pick hint (fastest
+    /// composer engine at train time), when an artifact is loaded.
+    /// Advisory metadata only: results are engine-invariant.
+    pub engine_hint: Option<String>,
 }
 
 /// Terminal status of one request.
@@ -277,6 +284,9 @@ impl RequestOutcome {
                 fields.insert("tuned_class".to_string(), Json::Int(ok.tuned_class));
                 if ok.clamped {
                     fields.insert("clamped".to_string(), Json::Bool(true));
+                }
+                if let Some(h) = &ok.engine_hint {
+                    fields.insert("engine_hint".to_string(), Json::Str(h.clone()));
                 }
             }
             RequestStatus::Failed { class, reason } => {
@@ -458,6 +468,14 @@ pub struct Registry {
     tune_cache: Mutex<TuneCache>,
     tuned: Vec<TunedShard>,
     programs: Vec<Mutex<Lru<ProgramKey, Arc<CompiledEntry>>>>,
+    /// How cold-path sweeps use the learned cost model (`OA_TUNE_MODEL`).
+    model_mode: ModelMode,
+    /// The cost-model artifact, loaded **once** at construction and
+    /// shared by every cold tune (order-only: winners are unchanged).
+    model: Option<Arc<CostModel>>,
+    /// Artifact-load issues, surfaced through the first cold tune's
+    /// observer instead of being swallowed (drained after emission).
+    model_issues: Mutex<Vec<CacheIssue>>,
     /// Serializes fresh tunes *for trace emission only*: a tune emits a
     /// multi-line `begin…summary` span, and two interleaved spans would
     /// be rejected by `oa trace-check`.  Serving never takes this lock —
@@ -484,10 +502,27 @@ fn program_shards(capacity: Option<usize>) -> Vec<Mutex<Lru<ProgramKey, Arc<Comp
     }
 }
 
+/// Load the cost-model artifact at `path` (when ranking is on at all);
+/// corruption is classified, never fatal — the registry degrades to
+/// exact sweeps.
+fn load_model(mode: ModelMode, path: Option<PathBuf>) -> (Option<Arc<CostModel>>, Vec<CacheIssue>) {
+    match (mode, path) {
+        (ModelMode::Off, _) | (_, None) => (None, Vec::new()),
+        (_, Some(path)) => {
+            let (model, issues) = CostModel::load_reporting(&path);
+            (model.map(Arc::new), issues)
+        }
+    }
+}
+
 impl Registry {
     /// A registry for `device` with the process-default engine, an
-    /// unbounded program store and no persistent tuning cache.
+    /// unbounded program store and no persistent tuning cache.  The cost
+    /// model is resolved from the environment (`OA_TUNE_MODEL`,
+    /// `OA_TUNE_MODEL_PATH` / sibling of `OA_TUNE_CACHE`).
     pub fn new(device: DeviceSpec) -> Registry {
+        let model_mode = ModelMode::from_env();
+        let (model, model_issues) = load_model(model_mode, model_path_from_env());
         Registry {
             device,
             engine: oa_gpusim::select_engine(),
@@ -495,6 +530,9 @@ impl Registry {
             tune_cache: Mutex::new(TuneCache::new()),
             tuned: tuned_shards(),
             programs: program_shards(None),
+            model_mode,
+            model,
+            model_issues: Mutex::new(model_issues),
             trace_gate: Mutex::new(()),
         }
     }
@@ -517,12 +555,29 @@ impl Registry {
 
     /// Resolve tuning through the persistent JSON cache at `path`
     /// (loaded now; tune-on-miss winners are merged back best-effort
-    /// under the cache's lock file).
+    /// under the cache's lock file).  The cost-model artifact is
+    /// re-resolved next to this path (`OA_TUNE_MODEL_PATH` overrides).
     pub fn with_tune_cache(mut self, path: PathBuf) -> Registry {
         let (cache, _issues) = TuneCache::load_reporting(&path);
         self.tune_cache = Mutex::new(cache);
+        let model_path = std::env::var_os("OA_TUNE_MODEL_PATH")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| sibling_model_path(&path));
+        let (model, issues) = load_model(self.model_mode, Some(model_path));
+        self.model = model;
+        self.model_issues = Mutex::new(issues);
         self.tune_cache_path = Some(path);
         self
+    }
+
+    /// The model artifact's per-family engine pick hint for `routine`
+    /// (fastest composer engine measured at train time) — advisory
+    /// metadata surfaced in request outcomes; never changes results.
+    pub fn engine_hint(&self, routine: RoutineId) -> Option<String> {
+        self.model
+            .as_ref()
+            .and_then(|m| m.engine_hint(routine.family()))
+            .map(str::to_string)
     }
 
     /// The registry's device.
@@ -647,7 +702,23 @@ impl Registry {
                 // hold the trace gate so concurrent sweeps of *different*
                 // keys cannot interleave their spans in the trace stream.
                 let _trace = self.trace_gate.lock().expect("unpoisoned registry");
-                match tune_fresh_on(self.engine, routine, &self.device, class, obs) {
+                // The cold path is where the learned cost model earns its
+                // keep: rank the sweep with the shared artifact, seed the
+                // order from this routine's already-tuned size classes,
+                // and surface any artifact-load issues exactly once.
+                let ctx = ModelCtx {
+                    mode: Some(self.model_mode),
+                    model: self.model.clone(),
+                    transfer: self
+                        .tune_cache
+                        .lock()
+                        .expect("unpoisoned registry")
+                        .records_for(routine, &self.device),
+                    issues: std::mem::take(
+                        &mut *self.model_issues.lock().expect("unpoisoned registry"),
+                    ),
+                };
+                match tune_fresh_modeled(self.engine, routine, &self.device, class, &ctx, obs) {
                     Ok(t) => {
                         let rec = TunedRecord::from_kernel(&t);
                         self.tune_cache
@@ -809,6 +880,7 @@ impl Registry {
                 ms: t0.elapsed().as_secs_f64() * 1e3,
                 tuned_class,
                 clamped,
+                engine_hint: self.engine_hint(req.routine),
             }),
         };
         (outcome, Some(bufs))
@@ -1100,6 +1172,7 @@ mod tests {
                 ms: 1.5,
                 tuned_class: 64,
                 clamped: false,
+                engine_hint: Some("native".into()),
             }),
         };
         let line = ok.to_json(3).compact();
@@ -1109,6 +1182,7 @@ mod tests {
         assert!(line.contains("000000000000abcd"));
         assert!(line.contains("\"tenant\":\"acme\""));
         assert!(line.contains("\"tuned_class\":64"));
+        assert!(line.contains("\"engine_hint\":\"native\""));
         // `clamped` only appears when true.
         assert!(!line.contains("clamped"));
 

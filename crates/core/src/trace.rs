@@ -9,10 +9,11 @@
 //!
 //! Every JSON line carries an `"event"` discriminator; candidate lines
 //! carry a terminal `"outcome"` label (`won`, `lost`, `pruned`,
-//! `degenerated`, `errored`).  [`check_stream`] validates a captured
-//! stream: well-formed lines, one span per pipeline stage, a terminal
-//! outcome on every candidate, and summary counts that add up — the
-//! invariant CI asserts.
+//! `skipped`, `degenerated`, `errored`).  [`check_stream`] validates a
+//! captured stream: well-formed lines, one span per pipeline stage, a
+//! terminal outcome on every candidate, at most one `model` line per tune
+//! with consistent predicted-vs-actual accounting, and summary counts
+//! that add up — the invariant CI asserts.
 
 use oa_autotune::json::{parse, Json};
 use oa_autotune::report::{CandidateFate, CandidateOutcome, Stage, TuneEvent};
@@ -90,6 +91,9 @@ fn candidate_json(o: &CandidateOutcome) -> Json {
         CandidateFate::Pruned { reason } => {
             fields.push(("reason", Json::Str(reason.clone())));
         }
+        CandidateFate::Skipped { predicted } => {
+            fields.push(("predicted", Json::Num(*predicted)));
+        }
         CandidateFate::Degenerated { component, reason } => {
             fields.push(("component", Json::Str(component.clone())));
             fields.push(("reason", Json::Str(reason.clone())));
@@ -139,6 +143,19 @@ pub fn event_json(e: &TuneEvent) -> Json {
             ("routine", Json::Str(routine.clone())),
             ("gflops", Json::Num(*gflops)),
         ]),
+        TuneEvent::Model(m) => obj(vec![
+            ("event", Json::Str("model".into())),
+            ("mode", Json::Str(m.mode.into())),
+            ("considered", Json::Int(m.considered as i64)),
+            ("evaluated", Json::Int(m.evaluated as i64)),
+            ("skipped", Json::Int(m.skipped as i64)),
+            ("transfer", Json::Bool(m.transfer)),
+            (
+                "predicted_winner_gflops",
+                opt_num(m.predicted_winner_gflops),
+            ),
+            ("actual_winner_gflops", opt_num(m.actual_winner_gflops)),
+        ]),
         TuneEvent::Summary {
             variants,
             points,
@@ -146,6 +163,7 @@ pub fn event_json(e: &TuneEvent) -> Json {
             pruned,
             degenerated,
             errored,
+            skipped,
             winner_gflops,
         } => obj(vec![
             ("event", Json::Str("summary".into())),
@@ -155,6 +173,7 @@ pub fn event_json(e: &TuneEvent) -> Json {
             ("pruned", Json::Int(*pruned as i64)),
             ("degenerated", Json::Int(*degenerated as i64)),
             ("errored", Json::Int(*errored as i64)),
+            ("skipped", Json::Int(*skipped as i64)),
             ("winner_gflops", opt_num(*winner_gflops)),
         ]),
         TuneEvent::Batch(b) => obj(vec![
@@ -231,6 +250,9 @@ pub fn event_pretty(e: &TuneEvent) -> String {
                     o.gflops.map_or(String::new(), |g| format!("{g:.1} GFLOPS"))
                 }
                 CandidateFate::Pruned { reason } => reason.clone(),
+                CandidateFate::Skipped { predicted } => {
+                    format!("predicted {predicted:.1} GFLOPS (early exit)")
+                }
                 CandidateFate::Degenerated { component, reason } => {
                     format!("{component}: {reason}")
                 }
@@ -242,6 +264,18 @@ pub fn event_pretty(e: &TuneEvent) -> String {
         TuneEvent::Replayed { routine, gflops } => {
             format!("tune  {routine} replayed from cache ({gflops:.1} GFLOPS)")
         }
+        TuneEvent::Model(m) => format!(
+            "model {} ranked {} points: {} evaluated, {} skipped{}{}",
+            m.mode,
+            m.considered,
+            m.evaluated,
+            m.skipped,
+            if m.transfer { " (transfer-seeded)" } else { "" },
+            match (m.predicted_winner_gflops, m.actual_winner_gflops) {
+                (Some(p), Some(a)) => format!(" — winner predicted {p:.1}, actual {a:.1} GFLOPS"),
+                _ => String::new(),
+            }
+        ),
         TuneEvent::Summary {
             variants,
             points,
@@ -249,10 +283,12 @@ pub fn event_pretty(e: &TuneEvent) -> String {
             pruned,
             degenerated,
             errored,
+            skipped,
             winner_gflops,
         } => format!(
             "done  {variants} variants, {points} points: {evaluated} evaluated, \
-             {pruned} pruned, {degenerated} degenerated, {errored} errored{}",
+             {pruned} pruned, {degenerated} degenerated, {errored} errored, \
+             {skipped} skipped{}",
             winner_gflops.map_or(String::new(), |g| format!(" — winner {g:.1} GFLOPS"))
         ),
         TuneEvent::Batch(b) => format!(
@@ -328,9 +364,14 @@ pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
 /// * a fresh tune has exactly one span per pipeline stage;
 /// * every candidate line has a terminal outcome label and, for errors, a
 ///   failure class;
-/// * the summary's buckets add up: `evaluated + pruned + errored = points`,
-///   `evaluated` = the won + lost candidate lines, and exactly one
-///   candidate won when anything was evaluated;
+/// * at most one `model` line per tune, inside the tune, with a known
+///   mode and `evaluated + skipped = considered`;
+/// * the summary's buckets add up:
+///   `evaluated + pruned + errored + skipped = points` (a stream without
+///   a `skipped` field — pre-model traces — counts it as zero),
+///   `evaluated` = the won + lost candidate lines, skipped candidates
+///   only appear when a `model` line announced the ranking, and exactly
+///   one candidate won when anything was evaluated;
 /// * `batch` lines (the dispatch executor's accounting) sit between
 ///   tunes, their `ok + failed` equals `requests`, and their
 ///   `hits + misses` never exceeds `requests` (each resolved request
@@ -346,17 +387,20 @@ pub fn stderr_observer(mode: TraceMode) -> impl FnMut(TuneEvent) {
 ///
 /// Returns a short human-readable report, or the first violation.
 pub fn check_stream(text: &str) -> Result<String, String> {
-    const OUTCOMES: [&str; 5] = ["won", "lost", "pruned", "degenerated", "errored"];
+    const OUTCOMES: [&str; 6] = ["won", "lost", "pruned", "skipped", "degenerated", "errored"];
     let mut tunes = 0usize;
     let mut replays = 0usize;
     let mut batches = 0usize;
     let mut serves = 0usize;
+    let mut models = 0usize;
     // Per-tune accounting, reset at `begin`.
     let mut spans: Vec<String> = Vec::new();
     let mut won = 0usize;
     let mut ranked = 0usize; // won + lost
     let mut sweep_candidates = 0usize; // outcomes tied to a sweep point
     let mut degenerated_seen = 0usize;
+    let mut skipped_seen = 0usize;
+    let mut model_seen = false;
     let mut in_tune = false;
 
     for (lineno, line) in text.lines().enumerate() {
@@ -382,6 +426,8 @@ pub fn check_stream(text: &str) -> Result<String, String> {
                 ranked = 0;
                 sweep_candidates = 0;
                 degenerated_seen = 0;
+                skipped_seen = 0;
+                model_seen = false;
             }
             "span" => {
                 let stage = doc
@@ -412,7 +458,46 @@ pub fn check_stream(text: &str) -> Result<String, String> {
                         sweep_candidates += 1;
                     }
                     "degenerated" => degenerated_seen += 1,
+                    "skipped" => {
+                        skipped_seen += 1;
+                        sweep_candidates += 1;
+                    }
                     _ => sweep_candidates += 1,
+                }
+            }
+            "model" => {
+                if !in_tune {
+                    return Err(at("`model` outside a tune".into()));
+                }
+                if model_seen {
+                    return Err(at("more than one `model` line in a tune".into()));
+                }
+                model_seen = true;
+                models += 1;
+                let mode = doc
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("model without `mode`".into()))?;
+                if !["rank", "rank+exit"].contains(&mode) {
+                    return Err(at(format!("unknown model mode `{mode}`")));
+                }
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| at(format!("model missing `{k}`")))
+                };
+                let considered = field("considered")?;
+                let evaluated = field("evaluated")?;
+                let skipped = field("skipped")?;
+                if evaluated + skipped != considered {
+                    return Err(at(format!(
+                        "model buckets don't add up: {evaluated} + {skipped} != {considered}"
+                    )));
+                }
+                if mode == "rank" && skipped != 0 {
+                    return Err(at(format!(
+                        "rank mode (no early exit) skipped {skipped} point(s)"
+                    )));
                 }
             }
             "summary" => {
@@ -440,9 +525,15 @@ pub fn check_stream(text: &str) -> Result<String, String> {
                 let pruned = field("pruned")?;
                 let errored = field("errored")?;
                 let degenerated = field("degenerated")?;
-                if evaluated + pruned + errored != points {
+                // Pre-model traces have no `skipped` field: count zero.
+                let skipped = doc
+                    .get("skipped")
+                    .and_then(Json::as_i64)
+                    .map_or(0, |v| v as usize);
+                if evaluated + pruned + errored + skipped != points {
                     return Err(at(format!(
-                        "summary buckets don't add up: {evaluated} + {pruned} + {errored} != {points}"
+                        "summary buckets don't add up: \
+                         {evaluated} + {pruned} + {errored} + {skipped} != {points}"
                     )));
                 }
                 if evaluated != ranked {
@@ -458,6 +549,16 @@ pub fn check_stream(text: &str) -> Result<String, String> {
                 if degenerated != degenerated_seen {
                     return Err(at(format!(
                         "summary says {degenerated} degenerated but stream has {degenerated_seen}"
+                    )));
+                }
+                if skipped != skipped_seen {
+                    return Err(at(format!(
+                        "summary says {skipped} skipped but stream has {skipped_seen}"
+                    )));
+                }
+                if skipped_seen > 0 && !model_seen {
+                    return Err(at(format!(
+                        "{skipped_seen} skipped candidate(s) with no `model` line"
                     )));
                 }
                 if evaluated > 0 && won != 1 {
@@ -570,7 +671,7 @@ pub fn check_stream(text: &str) -> Result<String, String> {
     }
     Ok(format!(
         "trace ok: {tunes} tune(s), {replays} replay(s), {batches} batch(es), \
-         {serves} serve(s), every candidate terminal"
+         {serves} serve(s), {models} model ranking(s), every candidate terminal"
     ))
 }
 
@@ -621,6 +722,62 @@ mod tests {
             .contains("span"));
         // Empty stream.
         assert!(check_stream("").is_err());
+    }
+
+    /// A ranked tune's stream — with a `model` line and `skipped`
+    /// candidates — renders and validates; broken model accounting is
+    /// rejected.
+    #[test]
+    fn model_events_render_and_validate() {
+        use oa_autotune::model::{CostModel, ModelMode};
+        use oa_autotune::tuner::{sweep_samples, tune_fresh_modeled, ModelCtx};
+        use std::sync::Arc;
+
+        let dev = DeviceSpec::gtx285();
+        let r = RoutineId::Gemm(Trans::N, Trans::N);
+        let engine = oa_gpusim::select_engine();
+        let samples = sweep_samples(engine, r, &dev, 512).unwrap();
+        let model = Arc::new(CostModel::train(&samples, 3));
+        let ctx = ModelCtx::with_model(ModelMode::RankExit, model);
+        let mut buf: Vec<u8> = Vec::new();
+        tune_fresh_modeled(engine, r, &dev, 512, &ctx, &mut |e| {
+            emit(TraceMode::Json, &e, &mut buf)
+        })
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"event\":\"model\""));
+        assert!(text.contains("\"mode\":\"rank+exit\""));
+        let report = check_stream(&text).unwrap();
+        assert!(report.contains("1 model ranking(s)"), "{report}");
+
+        // Tearing the model's accounting must be caught...
+        let model_line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"model\""))
+            .unwrap();
+        let considered: i64 = oa_autotune::json::parse(model_line)
+            .unwrap()
+            .get("considered")
+            .and_then(Json::as_i64)
+            .unwrap();
+        let bad = text.replace(
+            &format!("\"considered\":{considered}"),
+            &format!("\"considered\":{}", considered + 1),
+        );
+        assert!(check_stream(&bad).unwrap_err().contains("add up"));
+        // ...a duplicated model line too...
+        let bad = text.replace(
+            &format!("{model_line}\n"),
+            &format!("{model_line}\n{model_line}\n"),
+        );
+        assert!(check_stream(&bad)
+            .unwrap_err()
+            .contains("more than one `model`"));
+        // ...and `rank` mode (no early exit) may not report skips.
+        if text.contains("\"outcome\":\"skipped\"") {
+            let bad = text.replace("\"mode\":\"rank+exit\"", "\"mode\":\"rank\"");
+            assert!(check_stream(&bad).unwrap_err().contains("rank mode"));
+        }
     }
 
     #[test]

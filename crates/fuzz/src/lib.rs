@@ -17,6 +17,7 @@ pub mod corpus;
 pub mod coverage;
 pub mod diff;
 pub mod gen;
+pub mod model_stripe;
 pub mod shrink;
 
 use std::collections::BTreeMap;
@@ -26,6 +27,7 @@ pub use corpus::{from_text, list_cases, read_case, to_text, write_case};
 pub use coverage::Coverage;
 pub use diff::{digest, run_case, Divergence, InjectedFault, Verdict};
 pub use gen::{Case, CaseGen, SIZES};
+pub use model_stripe::{ModelStripe, MODEL_STRIPE_PERIOD};
 pub use shrink::shrink;
 
 /// One fuzz run's configuration.
@@ -41,6 +43,11 @@ pub struct FuzzConfig {
     pub fault: Option<InjectedFault>,
     /// Per-case progress callback (verdict kind, case id line).
     pub on_case: Option<fn(usize, &str, &str)>,
+    /// Cross-check the learned tuner cost model (exact sweep vs
+    /// `rank+exit`, see [`model_stripe`]) on every
+    /// [`MODEL_STRIPE_PERIOD`]-th case.  Off by default — each stripe
+    /// case costs two full tune sweeps — and switched on by `oa fuzz`.
+    pub model_stripe: bool,
 }
 
 impl FuzzConfig {
@@ -52,6 +59,7 @@ impl FuzzConfig {
             corpus_dir: None,
             fault: None,
             on_case: None,
+            model_stripe: false,
         }
     }
 }
@@ -115,6 +123,7 @@ impl FuzzReport {
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let mut gen = CaseGen::new(cfg.seed);
     let mut report = FuzzReport::default();
+    let mut stripe: Option<ModelStripe> = None;
     for iter in 0..cfg.iters {
         let (case, _tags) = gen.next_case(iter);
         let (verdict, features) = run_case(&case, cfg.fault.as_ref());
@@ -128,6 +137,40 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         if report.coverage.note(&features) {
             report.interesting += 1;
             gen.add_interesting(case.routine, case.script.clone());
+        }
+        // Model stripe: every MODEL_STRIPE_PERIOD-th case also
+        // cross-checks the exact tuner sweep against the model-ranked
+        // one at the case's (routine, size) — the winner must not move.
+        if cfg.model_stripe && (iter + 1) % MODEL_STRIPE_PERIOD == 0 {
+            let stripe = stripe.get_or_insert_with(ModelStripe::new);
+            let (mv, mfeatures) = stripe.check(&case);
+            *report
+                .verdicts
+                .entry(format!("model-{}", mv.kind()))
+                .or_insert(0) += 1;
+            if report.coverage.note(&mfeatures) {
+                report.interesting += 1;
+            }
+            if let Verdict::Divergence(d) = mv {
+                let (minimal, _steps) = stripe.shrink(&case);
+                let repro_path = cfg.corpus_dir.as_ref().map(|dir| {
+                    let path = dir.join(format!(
+                        "model-divergence-{:04}.case",
+                        report.divergences.len()
+                    ));
+                    if let Err(e) = write_case(&path, &minimal) {
+                        eprintln!("warning: could not write repro: {e}");
+                    }
+                    path
+                });
+                report.divergences.push(FoundDivergence {
+                    iter,
+                    original: case.clone(),
+                    minimal,
+                    detail: format!("model stripe: {}", d.detail),
+                    repro_path,
+                });
+            }
         }
         if let Verdict::Divergence(_) = &verdict {
             let (minimal, _steps) = shrink(&case, cfg.fault.as_ref());

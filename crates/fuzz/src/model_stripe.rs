@@ -1,0 +1,403 @@
+//! Model stripe: differential check of the learned tuner cost model.
+//!
+//! Every [`MODEL_STRIPE_PERIOD`]-th fuzz case additionally tunes the
+//! case's routine at the case's size twice — once as the exact sweep
+//! ([`ModelCtx::off`], the `OA_TUNE_MODEL=off` semantics) and once under
+//! the ranked sweep with early exit ([`ModelMode::RankExit`]) — and
+//! demands the bit-identical winner the model contract promises: the
+//! same winning script, the same tile parameters, the same GFLOPS bits,
+//! and the same output digest when the two winners execute on the
+//! case's data seed.  Tune failures must match too (identical error
+//! text on both sides).  Any difference is a [`Divergence`], shrunk
+//! (smallest still-diverging size) and committed to the corpus
+//! directory like the engine stripes.
+//!
+//! The model is trained once per process from deterministic exact-sweep
+//! samples ([`sweep_samples`]) so the stripe stays bit-reproducible;
+//! no environment variables are consulted anywhere on this path.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
+use oa_autotune::{sweep_samples, tune_fresh_modeled, CostModel, ModelCtx, ModelMode, TunedKernel};
+use oa_blas3::types::RoutineId;
+use oa_blas3::verify::prepare_buffers;
+use oa_gpusim::{exec_program_on, DeviceSpec, ExecEngine};
+use oa_loopir::interp::Bindings;
+
+use crate::diff::{digest, Divergence, Verdict};
+use crate::gen::{Case, SIZES};
+
+/// Which fuzz iterations run the model stripe (every 5th).
+pub const MODEL_STRIPE_PERIOD: usize = 5;
+
+/// Exact sweeps the stripe's model trains on — one routine per family at
+/// a small size, so training stays cheap and covers every script shape.
+const TRAIN_SET: &[(&str, i64)] = &[
+    ("GEMM-NN", 64),
+    ("SYMM-LL", 64),
+    ("TRMM-LL-N", 64),
+    ("TRSM-LL-N", 64),
+];
+
+/// The process-wide stripe model, trained once (deterministic seed) and
+/// shared by every [`ModelStripe`] in the process.
+fn stripe_model() -> Option<Arc<CostModel>> {
+    static MODEL: OnceLock<Option<Arc<CostModel>>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let device = DeviceSpec::gtx285();
+            let mut samples = Vec::new();
+            for &(name, n) in TRAIN_SET {
+                let r = RoutineId::parse(name).expect("static train routine parses");
+                if let Ok(s) = sweep_samples(ExecEngine::Oracle, r, &device, n) {
+                    samples.extend(s);
+                }
+            }
+            let model = CostModel::train(&samples, 9);
+            model.can_rank().then(|| Arc::new(model))
+        })
+        .clone()
+}
+
+/// Per-run state of the model stripe: the shared cost model plus the
+/// fixed device/engine the cross-check tunes on.
+pub struct ModelStripe {
+    device: DeviceSpec,
+    engine: ExecEngine,
+    model: Option<Arc<CostModel>>,
+}
+
+impl Default for ModelStripe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelStripe {
+    /// A stripe around the process-wide trained model (trains it on
+    /// first use).
+    pub fn new() -> ModelStripe {
+        ModelStripe {
+            device: DeviceSpec::gtx285(),
+            engine: ExecEngine::Oracle,
+            model: stripe_model(),
+        }
+    }
+
+    /// A stripe around an explicit model — the mutation-testing hook:
+    /// hand it a deliberately broken artifact (inverted labels, zeroed
+    /// safety margin) and the stripe must catch the winner change.
+    pub fn with_model(model: Arc<CostModel>) -> ModelStripe {
+        ModelStripe {
+            device: DeviceSpec::gtx285(),
+            engine: ExecEngine::Oracle,
+            model: Some(model),
+        }
+    }
+
+    /// Is the stripe armed (a rankable model trained)?
+    pub fn armed(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Cross-check one case: exact sweep vs `rank+exit` at the case's
+    /// (routine, size).  Returns the verdict plus coverage features.
+    pub fn check(&self, case: &Case) -> (Verdict, BTreeSet<String>) {
+        let mut features = BTreeSet::new();
+        let Some(model) = &self.model else {
+            features.insert("model:untrained".into());
+            return (
+                Verdict::Agree {
+                    executed: 0,
+                    rejected: 0,
+                },
+                features,
+            );
+        };
+        let exact = tune_fresh_modeled(
+            self.engine,
+            case.routine,
+            &self.device,
+            case.n,
+            &ModelCtx::off(),
+            &mut |_| {},
+        );
+        let ranked = tune_fresh_modeled(
+            self.engine,
+            case.routine,
+            &self.device,
+            case.n,
+            &ModelCtx::with_model(ModelMode::RankExit, model.clone()),
+            &mut |_| {},
+        );
+        match (exact, ranked) {
+            (Err(a), Err(b)) => {
+                let (a, b) = (a.to_string(), b.to_string());
+                if a == b {
+                    features.insert("model:error-agree".into());
+                    (
+                        Verdict::Agree {
+                            executed: 0,
+                            rejected: 1,
+                        },
+                        features,
+                    )
+                } else {
+                    (
+                        diverged(
+                            String::new(),
+                            format!("tune errors differ: exact {a:?} vs rank+exit {b:?}"),
+                        ),
+                        features,
+                    )
+                }
+            }
+            (Ok(k), Err(e)) => (
+                diverged(
+                    k.script.to_string(),
+                    format!(
+                        "rank+exit errored where the exact sweep tuned \
+                         {:.1} GFLOPS: {e}",
+                        k.report.gflops
+                    ),
+                ),
+                features,
+            ),
+            (Err(e), Ok(k)) => (
+                diverged(
+                    k.script.to_string(),
+                    format!(
+                        "rank+exit tuned {:.1} GFLOPS where the exact sweep \
+                         errored: {e}",
+                        k.report.gflops
+                    ),
+                ),
+                features,
+            ),
+            (Ok(exact), Ok(ranked)) => self.compare_winners(case, &exact, &ranked, features),
+        }
+    }
+
+    /// Both sweeps produced a winner: they must match bit-for-bit —
+    /// script, parameters, GFLOPS bits, and the output digest of one
+    /// execution on the case's data seed.
+    fn compare_winners(
+        &self,
+        case: &Case,
+        exact: &TunedKernel,
+        ranked: &TunedKernel,
+        mut features: BTreeSet<String>,
+    ) -> (Verdict, BTreeSet<String>) {
+        let (es, rs) = (exact.script.to_string(), ranked.script.to_string());
+        if es != rs {
+            return (
+                diverged(rs, format!("winning scripts differ: exact {es:?}")),
+                features,
+            );
+        }
+        if exact.params != ranked.params {
+            return (
+                diverged(
+                    rs,
+                    format!(
+                        "winning tile parameters differ: exact {:?} vs rank+exit {:?}",
+                        exact.params, ranked.params
+                    ),
+                ),
+                features,
+            );
+        }
+        if exact.report.gflops.to_bits() != ranked.report.gflops.to_bits() {
+            return (
+                diverged(
+                    rs,
+                    format!(
+                        "winner GFLOPS bits differ: exact {} vs rank+exit {}",
+                        exact.report.gflops, ranked.report.gflops
+                    ),
+                ),
+                features,
+            );
+        }
+        match (
+            self.winner_digest(exact, case),
+            self.winner_digest(ranked, case),
+        ) {
+            (Ok(a), Ok(b)) if a == b => {
+                features.insert("model:agree".into());
+                (
+                    Verdict::Agree {
+                        executed: 1,
+                        rejected: 0,
+                    },
+                    features,
+                )
+            }
+            (Ok(a), Ok(b)) => (
+                diverged(
+                    rs,
+                    format!("winner output digests differ: exact {a:#018x} vs rank+exit {b:#018x}"),
+                ),
+                features,
+            ),
+            (Err(a), Err(b)) if a == b => {
+                features.insert(format!("model:winner-{a}"));
+                (
+                    Verdict::Agree {
+                        executed: 0,
+                        rejected: 1,
+                    },
+                    features,
+                )
+            }
+            (a, b) => (
+                diverged(
+                    rs,
+                    format!(
+                        "winner execution split: exact {} vs rank+exit {}",
+                        exec_outcome(&a),
+                        exec_outcome(&b)
+                    ),
+                ),
+                features,
+            ),
+        }
+    }
+
+    /// Execute a tuned winner on the case's data seed and digest its
+    /// output buffers (error class on rejection).
+    fn winner_digest(&self, k: &TunedKernel, case: &Case) -> Result<u64, String> {
+        let bindings = Bindings::square(case.n);
+        let mut bufs = prepare_buffers(&k.program, case.n, case.seed, true);
+        exec_program_on(self.engine, &k.program, &bindings, &mut bufs)
+            .map_err(|e| e.class().to_string())?;
+        Ok(digest(&bufs))
+    }
+
+    /// Minimize a model-stripe divergence.  The ranked tune consults
+    /// only the case's (routine, size) — the script, adaptor and
+    /// parameter dimensions are regenerated by the tuner — so shrinking
+    /// means finding the smallest size that still diverges.
+    pub fn shrink(&self, case: &Case) -> (Case, usize) {
+        for &n in SIZES {
+            if n >= case.n {
+                break;
+            }
+            let mut candidate = case.clone();
+            candidate.n = n;
+            if matches!(self.check(&candidate).0, Verdict::Divergence(_)) {
+                return (candidate, 1);
+            }
+        }
+        (case.clone(), 0)
+    }
+}
+
+fn diverged(script: String, detail: String) -> Verdict {
+    Verdict::Divergence(Divergence {
+        variant: 0,
+        script,
+        detail,
+    })
+}
+
+fn exec_outcome(r: &Result<u64, String>) -> String {
+    match r {
+        Ok(d) => format!("digest {d:#018x}"),
+        Err(class) => format!("rejected ({class})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_autotune::Sample;
+    use oa_epod::Script;
+
+    fn case(routine: &str, n: i64) -> Case {
+        Case {
+            routine: RoutineId::parse(routine).expect("routine parses"),
+            script: Script { stmts: vec![] },
+            apps: vec![],
+            params: oa_autotune::default_params(false),
+            n,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn stripe_agrees_on_healthy_model() {
+        let stripe = ModelStripe::new();
+        assert!(stripe.armed(), "training sweeps must produce a model");
+        for (r, n) in [("GEMM-NT", 32), ("SYMM-RU", 16), ("TRSM-LL-N", 64)] {
+            let (verdict, features) = stripe.check(&case(r, n));
+            match verdict {
+                Verdict::Agree { .. } => {}
+                other => panic!("{r} n={n}: model stripe diverged: {other:?}"),
+            }
+            assert!(
+                features.iter().any(|f| f.starts_with("model:")),
+                "{r}: stripe must report model coverage, got {features:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_model_is_caught_and_shrunk() {
+        // Mutation-test the stripe itself: a model trained on *inverted*
+        // labels ranks the worst points first, and a zeroed safety margin
+        // makes rank+exit abandon the sweep after the first batch — the
+        // true winner is (almost surely) skipped, and the stripe must see
+        // the winner change.  If this ever stops diverging the stripe has
+        // lost its teeth.
+        let device = DeviceSpec::gtx285();
+        let mut samples: Vec<Sample> = Vec::new();
+        for &(name, n) in TRAIN_SET {
+            let r = RoutineId::parse(name).expect("routine parses");
+            samples.extend(
+                sweep_samples(ExecEngine::Oracle, r, &device, n).expect("training sweep runs"),
+            );
+        }
+        let top = samples.iter().map(|s| s.gflops).fold(0.0f64, f64::max);
+        for s in &mut samples {
+            s.gflops = top - s.gflops;
+        }
+        let mut model = CostModel::train(&samples, 9);
+        assert!(model.can_rank(), "inverted training set still trains");
+        model.safety = 0.0;
+        let stripe = ModelStripe::with_model(Arc::new(model));
+
+        let sizes = [64, 48, 33, 32];
+        let routines = ["GEMM-NN", "GEMM-NT", "SYMM-LL", "TRMM-LL-N"];
+        let found = routines.iter().find_map(|r| {
+            sizes.iter().find_map(|&n| {
+                let c = case(r, n);
+                match stripe.check(&c).0 {
+                    Verdict::Divergence(d) => Some((c, d)),
+                    _ => None,
+                }
+            })
+        });
+        let (bad_case, d) = found.expect("a lobotomized model must change some tuned winner");
+        assert!(!d.detail.is_empty());
+        let (minimal, _steps) = stripe.shrink(&bad_case);
+        assert!(minimal.n <= bad_case.n, "shrinking must not grow the case");
+        assert!(
+            matches!(stripe.check(&minimal).0, Verdict::Divergence(_)),
+            "minimum must still diverge"
+        );
+    }
+
+    #[test]
+    fn unarmed_stripe_reports_untrained() {
+        let stripe = ModelStripe {
+            device: DeviceSpec::gtx285(),
+            engine: ExecEngine::Oracle,
+            model: None,
+        };
+        let (verdict, features) = stripe.check(&case("GEMM-NN", 8));
+        assert!(matches!(verdict, Verdict::Agree { .. }));
+        assert!(features.contains("model:untrained"));
+    }
+}

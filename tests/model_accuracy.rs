@@ -1,0 +1,156 @@
+//! Held-out accuracy battery for the learned tuner cost model: exact
+//! sweeps over all 24 routines at two size classes supply the dataset;
+//! a deterministic 80/20 group split trains the model and scores its
+//! predicted top-5 on the held-out (routine, class) groups; and the
+//! ranked sweep modes must reproduce the exact sweep's winner
+//! bit-identically for every routine — the model is order-only by
+//! contract.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use oa_core::autotune::{
+    sweep_samples, tune_fresh_modeled, CostModel, ModelCtx, ModelMode, Sample, TunedKernel,
+};
+use oa_core::gpusim::{DeviceSpec, ExecEngine};
+use oa_core::RoutineId;
+
+/// The size classes the battery sweeps (both TRSM-legal).
+const CLASSES: [i64; 2] = [64, 128];
+
+/// Exact-sweep samples for all 24 routines at every class, computed
+/// once per process (both tests share the dataset).
+fn dataset() -> &'static Vec<Sample> {
+    static DATA: OnceLock<Vec<Sample>> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let device = DeviceSpec::gtx285();
+        let mut out = Vec::new();
+        for r in RoutineId::all24() {
+            for &n in &CLASSES {
+                let s = sweep_samples(ExecEngine::Oracle, r, &device, n)
+                    .unwrap_or_else(|e| panic!("{} n={n}: sweep failed: {e}", r.name()));
+                assert!(!s.is_empty(), "{} n={n}: empty sweep", r.name());
+                out.extend(s);
+            }
+        }
+        out
+    })
+}
+
+/// Group sample indices by (routine, class), sorted by key.
+fn groups(samples: &[Sample]) -> BTreeMap<(String, i64), Vec<usize>> {
+    let mut by: BTreeMap<(String, i64), Vec<usize>> = BTreeMap::new();
+    for (i, s) in samples.iter().enumerate() {
+        by.entry((s.routine.clone(), s.n)).or_default().push(i);
+    }
+    by
+}
+
+#[test]
+fn held_out_top5_contains_the_true_winner() {
+    let samples = dataset();
+    let by_group = groups(samples);
+    assert_eq!(
+        by_group.len(),
+        24 * CLASSES.len(),
+        "expected one group per (routine, class)"
+    );
+
+    // Deterministic 80/20 split: groups sorted by key, every 5th held
+    // out — both sizes of a routine can land on either side.
+    let keys: Vec<_> = by_group.keys().cloned().collect();
+    let held_out: Vec<_> = keys.iter().cloned().step_by(5).collect();
+    let train: Vec<Sample> = keys
+        .iter()
+        .filter(|k| !held_out.contains(k))
+        .flat_map(|k| by_group[k].iter().map(|&i| samples[i].clone()))
+        .collect();
+
+    let model = CostModel::train(&train, 17);
+    assert!(
+        model.can_rank(),
+        "training split must produce a rankable model: {:?}",
+        model.refused
+    );
+
+    let mut scored = 0usize;
+    let mut hits = 0usize;
+    let mut misses = Vec::new();
+    for key in &held_out {
+        let idxs = &by_group[key];
+        let Some(winner) = idxs.iter().position(|&i| samples[i].won) else {
+            continue; // degenerate group: no candidate evaluated
+        };
+        // Rank the group's candidates by predicted GFLOPS (stable on
+        // ties: lower original index first), exactly like `oa model
+        // eval`.
+        let mut order: Vec<usize> = (0..idxs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (
+                model.predict(&samples[idxs[a]].features),
+                model.predict(&samples[idxs[b]].features),
+            );
+            pb.total_cmp(&pa).then(a.cmp(&b))
+        });
+        scored += 1;
+        if order.iter().take(5).any(|&i| i == winner) {
+            hits += 1;
+        } else {
+            misses.push(key.clone());
+        }
+    }
+    assert!(scored >= 8, "too few scoreable held-out groups: {scored}");
+    let rate = hits as f64 / scored as f64;
+    assert!(
+        rate >= 0.9,
+        "held-out top-5 hit rate {rate:.2} ({hits}/{scored}) below 0.9; missed {misses:?}"
+    );
+}
+
+#[test]
+fn ranked_modes_reproduce_exact_winners_bit_identically() {
+    let samples = dataset();
+    let model = std::sync::Arc::new(CostModel::train(samples, 17));
+    assert!(model.can_rank());
+    let device = DeviceSpec::gtx285();
+
+    let fingerprint = |k: &TunedKernel| (k.script.to_string(), k.params, k.report.gflops.to_bits());
+    for r in RoutineId::all24() {
+        let n = 64;
+        let exact = tune_fresh_modeled(
+            ExecEngine::Oracle,
+            r,
+            &device,
+            n,
+            &ModelCtx::off(),
+            &mut |_| {},
+        )
+        .unwrap_or_else(|e| panic!("{}: exact tune failed: {e}", r.name()));
+        for mode in [ModelMode::Rank, ModelMode::RankExit] {
+            let ranked = tune_fresh_modeled(
+                ExecEngine::Oracle,
+                r,
+                &device,
+                n,
+                &ModelCtx::with_model(mode, model.clone()),
+                &mut |_| {},
+            )
+            .unwrap_or_else(|e| panic!("{}: {} tune failed: {e}", r.name(), mode.name()));
+            assert_eq!(
+                fingerprint(&exact),
+                fingerprint(&ranked),
+                "{} n={n}: {} winner differs from the exact sweep",
+                r.name(),
+                mode.name()
+            );
+            assert!(
+                ranked.evaluated <= exact.evaluated,
+                "{} n={n}: {} evaluated more points ({}) than the exact sweep ({})",
+                r.name(),
+                mode.name(),
+                ranked.evaluated,
+                exact.evaluated
+            );
+        }
+    }
+}
