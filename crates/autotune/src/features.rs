@@ -98,6 +98,9 @@ fn routine_features(r: RoutineId) -> [f64; 8] {
         RoutineId::Gemm(a, b) => (Side::Left, Uplo::Lower, a, b),
         RoutineId::Symm(s, u) => (s, u, Trans::N, Trans::N),
         RoutineId::Trmm(s, u, t) | RoutineId::Trsm(s, u, t) => (s, u, t, Trans::N),
+        // ADD is outside the 24-variant space; all identity flags neutral
+        // (its family one-hots are all zero, which is identity enough).
+        RoutineId::Add => (Side::Left, Uplo::Lower, Trans::N, Trans::N),
     };
     [
         fam("GEMM"),

@@ -15,6 +15,7 @@
 
 pub mod cache;
 pub mod features;
+pub mod fuse;
 pub mod json;
 pub mod model;
 pub mod report;
@@ -23,13 +24,17 @@ pub mod tuner;
 
 pub use cache::{CacheIssue, CacheLock, TuneCache, TunedRecord, CACHE_VERSION};
 pub use features::{candidate_features, FEATURE_DIM, FEATURE_NAMES};
+pub use fuse::{
+    plan_dag, shape_key, tune_fused, DagNode, DagPlan, DagRun, FuseEnv, FuseKind, FuseReject,
+    Operand, PlanUnit, ResolveMode,
+};
 pub use model::{
     model_path_from_env, sibling_model_path, CostModel, ModelMode, Sample, MODEL_FILE,
     MODEL_VERSION,
 };
 pub use report::{
-    BatchStats, CandidateFate, CandidateOutcome, FailureTable, ModelStats, ServeStats, Stage,
-    TuneEvent,
+    BatchStats, CandidateFate, CandidateOutcome, FailureTable, FuseStats, ModelStats, ServeStats,
+    Stage, TuneEvent,
 };
 pub use space::{candidates, default_params, gemm_candidates, solver_candidates};
 pub use tuner::{

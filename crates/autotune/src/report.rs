@@ -189,6 +189,27 @@ pub enum TuneEvent {
     /// bench harness after running a routine on the native engine, so
     /// coverage regressions show up in the trace stream, not silently).
     NativeCoverage(NativeCoverageStats),
+    /// A DAG request was planned and executed (emitted once per
+    /// `run_dag` by the fusion runner, carrying every per-edge fuse /
+    /// reject decision so fallbacks are auditable in the trace stream).
+    Fuse(FuseStats),
+}
+
+/// One DAG execution's fusion accounting, carried by [`TuneEvent::Fuse`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseStats {
+    /// Canonical DAG shape key (the registry cache key).
+    pub shape: String,
+    /// Problem size.
+    pub n: i64,
+    /// Nodes in the DAG.
+    pub nodes: usize,
+    /// Fused edges: `(producer id, consumer id, kind)`.
+    pub fused: Vec<(String, String, String)>,
+    /// Rejected or demoted edges: `(producer id, consumer id, reason)`.
+    pub rejected: Vec<(String, String, String)>,
+    /// Execution units after planning and demotion.
+    pub units: usize,
 }
 
 /// One modeled sweep's accounting, carried by [`TuneEvent::Model`]:

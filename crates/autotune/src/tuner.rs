@@ -314,7 +314,7 @@ fn eval_sweep_point(
 ///
 /// Returns the variants, the accumulated composer counters, and the
 /// compose wall time (filter time excluded — it has its own span).
-fn compose_variants(
+pub(crate) fn compose_variants(
     engine: ExecEngine,
     r: RoutineId,
 ) -> Result<(Vec<Script>, ComposeStats, f64), TuneError> {

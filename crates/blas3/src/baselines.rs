@@ -192,6 +192,17 @@ pub fn cublas_like(r: RoutineId, device: &DeviceSpec) -> Program {
             params.kb = 8;
             (source(r), script, params)
         }
+        RoutineId::Add => {
+            // Elementwise: one pass, nothing to stage or tile.
+            let script =
+                parse_script("(Lii, Ljj) = thread_grouping((Li, Lj));").expect("static script");
+            let mut params = baseline_params(false, device);
+            params.ty = 16;
+            params.tx = 16;
+            params.thr_i = 16;
+            params.thr_j = 16;
+            (source(r), script, params)
+        }
     };
     let outcome = apply_lenient(&src, &script, params)
         .unwrap_or_else(|e| panic!("baseline script for {} failed: {e}", r.name()));

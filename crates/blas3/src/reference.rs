@@ -160,6 +160,16 @@ pub fn run_reference(r: RoutineId, a: &Matrix, b: &mut Matrix, c: &mut Matrix) {
         RoutineId::Symm(s, u) => symm_ref(s, u, a, b, c),
         RoutineId::Trmm(s, u, t) => trmm_ref(s, u, t, a, b, c),
         RoutineId::Trsm(s, u, t) => trsm_ref(s, u, t, a, b),
+        RoutineId::Add => add_ref(a, b, c),
+    }
+}
+
+/// `C = A + B` elementwise (plain assignment — no accumulation).
+pub fn add_ref(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    for i in 0..c.rows {
+        for j in 0..c.cols {
+            c.set(i, j, a.get(i, j) + b.get(i, j));
+        }
     }
 }
 

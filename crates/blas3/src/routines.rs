@@ -24,7 +24,35 @@ pub fn source(r: RoutineId) -> Program {
         RoutineId::Symm(s, u) => symm_source(s, u),
         RoutineId::Trmm(s, u, t) => trmm_source(s, u, t),
         RoutineId::Trsm(s, u, t) => trsm_source(s, u, t),
+        RoutineId::Add => add_source(),
     }
+}
+
+/// `C = A + B` elementwise — no reduction loop, so the nest is just
+/// `Li { Lj { … } }` and every component that needs `Lk` degenerates.
+fn add_source() -> Program {
+    let mut p = Program::new("ADD", &["M", "N", "K"]);
+    let stmt = assign(
+        Access::idx("C", "i", "j"),
+        AssignOp::Assign,
+        ScalarExpr::add(
+            ld(Access::idx("A", "i", "j")),
+            ld(Access::idx("B", "i", "j")),
+        ),
+    );
+    let lj = Loop::new("Lj", "j", AffineExpr::zero(), var("N"), vec![stmt]);
+    let li = Loop::new(
+        "Li",
+        "i",
+        AffineExpr::zero(),
+        var("M"),
+        vec![Stmt::Loop(Box::new(lj))],
+    );
+    p.body = vec![Stmt::Loop(Box::new(li))];
+    p.declare(ArrayDecl::global("A", var("M"), var("N")));
+    p.declare(ArrayDecl::global("B", var("M"), var("N")));
+    p.declare(ArrayDecl::global("C", var("M"), var("N")));
+    p
 }
 
 fn var(v: &str) -> AffineExpr {

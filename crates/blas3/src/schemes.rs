@@ -112,7 +112,20 @@ pub fn oa_scheme(r: RoutineId) -> OaScheme {
             apps: vec![AdaptorApplication::new(builtin::solver(), "A")],
             solver: true,
         },
+        // ADD has no reduction loop: thread-group the element pair and let
+        // the per-thread register tile carry the loads.  No Lk ⇒ no tiling,
+        // no staging.
+        RoutineId::Add => OaScheme {
+            bases: vec![add_script()],
+            apps: vec![],
+            solver: false,
+        },
     }
+}
+
+/// The ADD (elementwise consumer) script: thread grouping only.
+pub fn add_script() -> Script {
+    parse_script("(Lii, Ljj) = thread_grouping((Li, Lj));").expect("static script parses")
 }
 
 #[cfg(test)]

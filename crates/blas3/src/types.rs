@@ -43,6 +43,11 @@ pub enum RoutineId {
     Trmm(Side, Uplo, Trans),
     /// `B := op(A)⁻¹·B` / `B·op(A)⁻¹` with `A` triangular (non-unit diag).
     Trsm(Side, Uplo, Trans),
+    /// `C := A + B`, elementwise.  Not one of the paper's 24 variants —
+    /// it exists as the canonical cheap *consumer* in expression DAGs
+    /// (`D = C + E` after a GEMM), the shape the epilogue fusion pass
+    /// splices into a producer's register-tile store.
+    Add,
 }
 
 impl RoutineId {
@@ -101,6 +106,7 @@ impl RoutineId {
             RoutineId::Symm(s, u) => format!("SYMM-{}", su(*s, *u)),
             RoutineId::Trmm(s, u, t) => format!("TRMM-{}-{}", su(*s, *u), tr(*t)),
             RoutineId::Trsm(s, u, t) => format!("TRSM-{}-{}", su(*s, *u), tr(*t)),
+            RoutineId::Add => "ADD".to_string(),
         }
     }
 
@@ -112,6 +118,8 @@ impl RoutineId {
             RoutineId::Gemm(..) | RoutineId::Symm(..) => 2.0 * n * n * n,
             // Triangular operands touch half the elements.
             RoutineId::Trmm(..) | RoutineId::Trsm(..) => n * n * n,
+            // One add per element.
+            RoutineId::Add => n * n,
         }
     }
 
@@ -119,6 +127,9 @@ impl RoutineId {
     /// `TRSM-RU-T`, case-insensitive).
     pub fn parse(name: &str) -> Option<RoutineId> {
         let upper = name.to_ascii_uppercase();
+        if upper == "ADD" {
+            return Some(RoutineId::Add);
+        }
         RoutineId::all24().into_iter().find(|r| r.name() == upper)
     }
 
@@ -129,6 +140,7 @@ impl RoutineId {
             RoutineId::Symm(..) => "SYMM",
             RoutineId::Trmm(..) => "TRMM",
             RoutineId::Trsm(..) => "TRSM",
+            RoutineId::Add => "ADD",
         }
     }
 }
@@ -164,6 +176,16 @@ mod tests {
             RoutineId::Trmm(Side::Right, Uplo::Upper, Trans::T).name(),
             "TRMM-RU-T"
         );
+    }
+
+    #[test]
+    fn add_is_parseable_but_not_in_the_24() {
+        assert_eq!(RoutineId::parse("ADD"), Some(RoutineId::Add));
+        assert_eq!(RoutineId::parse("add"), Some(RoutineId::Add));
+        assert_eq!(RoutineId::Add.name(), "ADD");
+        assert_eq!(RoutineId::Add.family(), "ADD");
+        assert_eq!(RoutineId::Add.flops(64), 64.0 * 64.0);
+        assert!(!RoutineId::all24().contains(&RoutineId::Add));
     }
 
     #[test]

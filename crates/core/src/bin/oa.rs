@@ -559,8 +559,10 @@ fn run(args: &Args) -> Result<(), String> {
             let mut cfg = oa_core::fuzz::FuzzConfig::new(args.seed, args.iters);
             cfg.corpus_dir = args.corpus.as_ref().map(std::path::PathBuf::from);
             // The CLI runs the full battery: engine cross-checks plus the
-            // tuner model stripe (exact vs rank+exit winner invariance).
+            // tuner model stripe (exact vs rank+exit winner invariance)
+            // and the DAG stripe (fused vs sequenced plans, bit for bit).
             cfg.model_stripe = true;
+            cfg.dag_stripe = true;
             let report = oa_core::fuzz::run_fuzz(&cfg);
             println!(
                 "fuzz: seed {} | {} iterations | {} coverage features | fingerprint {:#018x}",
@@ -580,10 +582,19 @@ fn run(args: &Args) -> Result<(), String> {
                     eprintln!("  repro written to {}", p.display());
                 }
             }
-            if report.divergences.is_empty() {
+            for d in &report.dag_divergences {
+                eprintln!("dag divergence at iteration {}: {}", d.iter, d.detail);
+                eprintln!("  original: {}", d.original.id_line());
+                eprintln!("  minimal:  {}", d.minimal.id_line());
+                if let Some(p) = &d.repro_path {
+                    eprintln!("  repro written to {}", p.display());
+                }
+            }
+            let found = report.divergences.len() + report.dag_divergences.len();
+            if found == 0 {
                 Ok(())
             } else {
-                Err(format!("{} divergence(s) found", report.divergences.len()))
+                Err(format!("{found} divergence(s) found"))
             }
         }
         "explain" => {

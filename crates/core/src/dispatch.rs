@@ -481,6 +481,14 @@ pub struct Registry {
     /// be rejected by `oa trace-check`.  Serving never takes this lock —
     /// only fresh sweeps (cold path) and the server's own event lines.
     trace_gate: Mutex<()>,
+    /// The DAG fusion environment (lazy: engine/device are pinned after
+    /// construction).  Holds the tuned singles and fused-pair plans a
+    /// DAG request resolves through; the lock also makes each DAG an
+    /// indivisible execution unit (see `crate::dag`).
+    dag_env: Mutex<Option<oa_autotune::fuse::FuseEnv>>,
+    /// Warm-plan provenance for DAG requests, keyed by
+    /// `(DAG shape, n)` — the `cache: hit|miss` field of DAG outcomes.
+    dag_plans: Mutex<Lru<(String, i64), ()>>,
 }
 
 fn tuned_shards() -> Vec<TunedShard> {
@@ -534,7 +542,19 @@ impl Registry {
             model,
             model_issues: Mutex::new(model_issues),
             trace_gate: Mutex::new(()),
+            dag_env: Mutex::new(None),
+            dag_plans: Mutex::new(Lru::new(None)),
         }
+    }
+
+    /// The lazily-initialized DAG fusion environment (see `crate::dag`).
+    pub(crate) fn dag_env(&self) -> &Mutex<Option<oa_autotune::fuse::FuseEnv>> {
+        &self.dag_env
+    }
+
+    /// The DAG warm-plan table (shape-keyed provenance).
+    pub(crate) fn dag_plans(&self) -> &Mutex<Lru<(String, i64), ()>> {
+        &self.dag_plans
     }
 
     /// Pin the execution engine (tests and the engine-differential suite;

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dag;
 pub mod dispatch;
 pub mod serve;
 pub mod testutil;
@@ -38,6 +39,7 @@ pub use oa_fuzz as fuzz;
 pub use oa_gpusim as gpusim;
 pub use oa_loopir as loopir;
 
+pub use dag::{admit_dag, DagOutcome, DagRequest, DagStatus};
 pub use dispatch::{BatchReport, Registry, Request, RequestOutcome, RequestStatus};
 pub use oa_autotune::{
     CacheIssue, FailureTable, TuneCache, TuneError, TuneEvent, TunedKernel, TunedRecord,

@@ -36,6 +36,7 @@
 //! bit-identical to a sequential one-shot run of the same requests —
 //! the server test battery pins this digest-for-digest.
 
+use crate::dag::{DagRequest, DagStatus};
 use crate::dispatch::{Registry, Request};
 use crate::trace::{emit, stderr_observer, TraceMode};
 use oa_autotune::json::Json;
@@ -525,9 +526,37 @@ impl Metrics {
 // The server
 // ---------------------------------------------------------------------
 
+/// One admitted unit of work: a single routine request, or a whole
+/// expression DAG — a DAG is scheduled, dispatched and executed as one
+/// indivisible unit (never split across batches).
+enum Work {
+    Single(Request),
+    Dag(DagRequest),
+}
+
+impl Work {
+    fn tenant_name(&self) -> &str {
+        match self {
+            Work::Single(r) => r.tenant_name(),
+            Work::Dag(d) => d.tenant_name(),
+        }
+    }
+
+    /// The dynamic-batching key: singles coalesce by `(routine, n)`,
+    /// DAGs by `(shape, n)`.  The `dag:` prefix keeps the key spaces
+    /// disjoint; same-shape DAGs share a group but each member still
+    /// executes as its own unit.
+    fn coalesce_key(&self) -> (String, i64) {
+        match self {
+            Work::Single(r) => (r.routine.name(), r.n),
+            Work::Dag(d) => (format!("dag:{}", d.shape()), d.n),
+        }
+    }
+}
+
 struct Pending {
     id: u64,
-    req: Request,
+    work: Work,
     conn: Arc<ConnOut>,
     admitted_at: Instant,
 }
@@ -704,18 +733,31 @@ fn handle_line(line: &str, next_id: &mut u64, out: &Arc<ConnOut>, ctx: &Arc<Serv
     }
     let id = *next_id;
     *next_id += 1;
-    let req = match Request::from_json(&doc) {
-        Ok(r) => r,
-        Err(e) => {
-            ctx.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            out.send_line(&error_line(Some(id), "parse", &e));
-            return false;
+    // A `dag` field selects the DAG schema; its violations carry their
+    // own structured `admission/dag*` classes.
+    let work = if doc.get("dag").is_some() {
+        match DagRequest::from_json(&doc) {
+            Ok(d) => Work::Dag(d),
+            Err(e) => {
+                ctx.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                out.send_line(&error_line(Some(id), e.class, &e.reason));
+                return false;
+            }
+        }
+    } else {
+        match Request::from_json(&doc) {
+            Ok(r) => Work::Single(r),
+            Err(e) => {
+                ctx.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                out.send_line(&error_line(Some(id), "parse", &e));
+                return false;
+            }
         }
     };
-    let tenant = req.tenant_name().to_string();
+    let tenant = work.tenant_name().to_string();
     let pending = Pending {
         id,
-        req,
+        work,
         conn: out.clone(),
         admitted_at: Instant::now(),
     };
@@ -744,19 +786,42 @@ fn dispatch_group(
     let ctx = ctx.clone();
     let jobs = jobs.clone();
     pool.spawn(move || {
-        let reqs: Vec<Request> = items.iter().map(|p| p.req.clone()).collect();
         let mut obs = stderr_observer(trace);
-        let outcomes = ctx.registry.run_group_observed(&reqs, &mut obs);
-        for (p, outcome) in items.iter().zip(outcomes) {
+        // A group's key is homogeneous, but resolve generically: singles
+        // run through the shared-compile group path, each DAG runs as
+        // one indivisible unit through the fusion registry.
+        let single_reqs: Vec<Request> = items
+            .iter()
+            .filter_map(|p| match &p.work {
+                Work::Single(r) => Some(r.clone()),
+                Work::Dag(_) => None,
+            })
+            .collect();
+        let mut single_outcomes = ctx
+            .registry
+            .run_group_observed(&single_reqs, &mut obs)
+            .into_iter();
+        for p in &items {
             let latency_ms = p.admitted_at.elapsed().as_secs_f64() * 1e3;
-            let (ok, clamped) = match &outcome.status {
-                crate::dispatch::RequestStatus::Ok(o) => (true, o.clamped),
-                crate::dispatch::RequestStatus::Failed { .. } => (false, false),
+            let (line, ok, clamped) = match &p.work {
+                Work::Single(_) => {
+                    let outcome = single_outcomes.next().expect("one outcome per single");
+                    let (ok, clamped) = match &outcome.status {
+                        crate::dispatch::RequestStatus::Ok(o) => (true, o.clamped),
+                        crate::dispatch::RequestStatus::Failed { .. } => (false, false),
+                    };
+                    (outcome.to_json(p.id as usize).compact(), ok, clamped)
+                }
+                Work::Dag(d) => {
+                    let outcome = ctx.registry.run_dag_observed(d, &mut obs);
+                    let ok = matches!(outcome.status, DagStatus::Ok(_));
+                    (outcome.to_json(p.id as usize).compact(), ok, false)
+                }
             };
             ctx.metrics
-                .note_outcome(p.req.tenant_name(), ok, clamped, latency_ms);
-            p.conn.send_line(&outcome.to_json(p.id as usize).compact());
-            ctx.admission.complete(p.req.tenant_name());
+                .note_outcome(p.work.tenant_name(), ok, clamped, latency_ms);
+            p.conn.send_line(&line);
+            ctx.admission.complete(p.work.tenant_name());
         }
         let (lock, cv) = &*jobs;
         *lock.lock().expect("unpoisoned job counter") -= 1;
@@ -860,11 +925,11 @@ pub fn spawn_server(
         let ctx = sched_ctx;
         let pool = Pool::new(ctx.threads);
         let jobs: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
-        let mut coal: Coalescer<(oa_blas3::types::RoutineId, i64), Pending> =
+        let mut coal: Coalescer<(String, i64), Pending> =
             Coalescer::new(cfg.batch_max, cfg.batch_window);
         loop {
             while let Some(p) = ctx.admission.pop() {
-                coal.push((p.req.routine, p.req.n), p, Instant::now());
+                coal.push(p.work.coalesce_key(), p, Instant::now());
             }
             while let Some((_k, items)) = coal.pop_ready(Instant::now()) {
                 dispatch_group(&ctx, &pool, &jobs, trace, items);
@@ -872,7 +937,7 @@ pub fn spawn_server(
             if ctx.shutdown.load(Ordering::SeqCst) {
                 ctx.admission.begin_drain();
                 while let Some(p) = ctx.admission.pop() {
-                    coal.push((p.req.routine, p.req.n), p, Instant::now());
+                    coal.push(p.work.coalesce_key(), p, Instant::now());
                 }
                 while let Some((_k, items)) = coal.pop_oldest() {
                     dispatch_group(&ctx, &pool, &jobs, trace, items);
@@ -946,7 +1011,7 @@ pub fn serve_stream(
     let io_err: Mutex<Option<String>> = Mutex::new(None);
 
     std::thread::scope(|s| {
-        let (tx_req, rx_req) = mpsc::sync_channel::<(usize, Request)>(threads * 4);
+        let (tx_req, rx_req) = mpsc::sync_channel::<(usize, Work)>(threads * 4);
         let (tx_out, rx_out) = mpsc::channel::<(usize, String)>();
         let rx_req = Arc::new(Mutex::new(rx_req));
 
@@ -962,20 +1027,29 @@ pub fn serve_stream(
                 let mut obs = stderr_observer(trace);
                 loop {
                     let job = rx_req.lock().expect("unpoisoned channel").recv();
-                    let (id, req) = match job {
+                    let (id, work) = match job {
                         Ok(j) => j,
                         Err(_) => break,
                     };
-                    let outcome = registry.run_one_observed(&req, &mut obs);
-                    match outcome.status {
-                        crate::dispatch::RequestStatus::Ok(_) => {
-                            ok_count.fetch_add(1, Ordering::Relaxed);
+                    let (line, ok) = match work {
+                        Work::Single(req) => {
+                            let outcome = registry.run_one_observed(&req, &mut obs);
+                            let ok =
+                                matches!(outcome.status, crate::dispatch::RequestStatus::Ok(_));
+                            (outcome.to_json(id).compact(), ok)
                         }
-                        crate::dispatch::RequestStatus::Failed { .. } => {
-                            failed_count.fetch_add(1, Ordering::Relaxed);
+                        Work::Dag(dag) => {
+                            let outcome = registry.run_dag_observed(&dag, &mut obs);
+                            let ok = matches!(outcome.status, DagStatus::Ok(_));
+                            (outcome.to_json(id).compact(), ok)
                         }
+                    };
+                    if ok {
+                        ok_count.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        failed_count.fetch_add(1, Ordering::Relaxed);
                     }
-                    if tx_out.send((id, outcome.to_json(id).compact())).is_err() {
+                    if tx_out.send((id, line)).is_err() {
                         break;
                     }
                 }
@@ -1016,19 +1090,27 @@ pub fn serve_stream(
             }
             let id = submitted;
             submitted += 1;
-            let parsed = oa_autotune::json::parse(trimmed)
-                .ok_or_else(|| "not valid JSON".to_string())
-                .and_then(|doc| Request::from_json(&doc));
+            let parsed = match oa_autotune::json::parse(trimmed) {
+                // The `dag` field selects the DAG schema with its own
+                // structured `admission/dag*` error classes.
+                Some(doc) if doc.get("dag").is_some() => DagRequest::from_json(&doc)
+                    .map(Work::Dag)
+                    .map_err(|e| (e.class, e.reason)),
+                Some(doc) => Request::from_json(&doc)
+                    .map(Work::Single)
+                    .map_err(|e| ("parse", e)),
+                None => Err(("parse", "not valid JSON".to_string())),
+            };
             match parsed {
-                Ok(req) => {
-                    if tx_req.send((id, req)).is_err() {
+                Ok(work) => {
+                    if tx_req.send((id, work)).is_err() {
                         break;
                     }
                 }
-                Err(e) => {
+                Err((class, e)) => {
                     failed_count.fetch_add(1, Ordering::Relaxed);
                     if tx_out
-                        .send((id, error_line(Some(id as u64), "parse", &e)))
+                        .send((id, error_line(Some(id as u64), class, &e)))
                         .is_err()
                     {
                         break;

@@ -222,6 +222,30 @@ pub fn event_json(e: &TuneEvent) -> Json {
                 ),
             ),
         ]),
+        TuneEvent::Fuse(f) => {
+            let edges = |es: &[(String, String, String)]| {
+                Json::Arr(
+                    es.iter()
+                        .map(|(p, c, k)| {
+                            obj(vec![
+                                ("producer", Json::Str(p.clone())),
+                                ("consumer", Json::Str(c.clone())),
+                                ("kind", Json::Str(k.clone())),
+                            ])
+                        })
+                        .collect(),
+                )
+            };
+            obj(vec![
+                ("event", Json::Str("fuse".into())),
+                ("shape", Json::Str(f.shape.clone())),
+                ("n", Json::Int(f.n)),
+                ("nodes", Json::Int(f.nodes as i64)),
+                ("units", Json::Int(f.units as i64)),
+                ("fused", edges(&f.fused)),
+                ("rejected", edges(&f.rejected)),
+            ])
+        }
     }
 }
 
@@ -338,6 +362,23 @@ pub fn event_pretty(e: &TuneEvent) -> String {
                 c.routine, c.regions, c.entries, c.fallbacks
             )
         }
+        TuneEvent::Fuse(f) => {
+            let list = |es: &[(String, String, String)]| {
+                es.iter()
+                    .map(|(p, c, k)| format!("{p}->{c} ({k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!(
+                "fuse  {} (n = {}): {} node(s) in {} unit(s), fused [{}], rejected [{}]",
+                f.shape,
+                f.n,
+                f.nodes,
+                f.units,
+                list(&f.fused),
+                list(&f.rejected)
+            )
+        }
     }
 }
 
@@ -393,6 +434,7 @@ pub fn check_stream(text: &str) -> Result<String, String> {
     let mut batches = 0usize;
     let mut serves = 0usize;
     let mut models = 0usize;
+    let mut fuses = 0usize;
     // Per-tune accounting, reset at `begin`.
     let mut spans: Vec<String> = Vec::new();
     let mut won = 0usize;
@@ -567,6 +609,45 @@ pub fn check_stream(text: &str) -> Result<String, String> {
             }
             "replayed" => replays += 1,
             "cache" => {}
+            "fuse" => {
+                fuses += 1;
+                doc.get("shape")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("fuse without `shape`".into()))?;
+                let field = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| at(format!("fuse missing `{k}`")))
+                };
+                let nodes = field("nodes")?;
+                let units = field("units")?;
+                let edges = |k: &str| -> Result<i64, String> {
+                    let arr = doc
+                        .get(k)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| at(format!("fuse missing `{k}` array")))?;
+                    for e in arr {
+                        for f in ["producer", "consumer"] {
+                            e.get(f)
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| at(format!("fuse `{k}` edge without `{f}`")))?;
+                        }
+                    }
+                    Ok(arr.len() as i64)
+                };
+                let fused = edges("fused")?;
+                edges("rejected")?;
+                // Every fused edge collapses two nodes into one unit;
+                // everything else runs as a single.
+                if units + fused != nodes {
+                    return Err(at(format!(
+                        "fuse accounting broken: {units} units + {fused} fused edges != {nodes} nodes"
+                    )));
+                }
+                if units == 0 || nodes == 0 {
+                    return Err(at("fuse event for an empty DAG".into()));
+                }
+            }
             "native_coverage" => {
                 doc.get("routine")
                     .and_then(Json::as_str)
@@ -671,7 +752,8 @@ pub fn check_stream(text: &str) -> Result<String, String> {
     }
     Ok(format!(
         "trace ok: {tunes} tune(s), {replays} replay(s), {batches} batch(es), \
-         {serves} serve(s), {models} model ranking(s), every candidate terminal"
+         {serves} serve(s), {models} model ranking(s), {fuses} fuse plan(s), \
+         every candidate terminal"
     ))
 }
 

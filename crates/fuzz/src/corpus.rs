@@ -149,6 +149,23 @@ pub fn list_cases(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
     Ok(out)
 }
 
+/// List every `.dag` seed in a corpus directory, sorted.  Each file
+/// holds one JSON line in the `oa serve` DAG schema (see
+/// [`crate::gen::DagCase::from_json_line`]).
+pub fn list_dags(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "dag") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
 /// Generate a deterministic seed corpus: walk the case stream from
 /// `seed` and keep the first `count` cases that executed on all engines
 /// and agreed, writing them as `seed-NNNN.case`.  Used (via the ignored

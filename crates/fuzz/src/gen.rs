@@ -2,8 +2,9 @@
 //! pipeline accepts — EPOD scripts, ADL adaptor compositions, and problem
 //! shapes — all drawn from the workspace's deterministic [`Lcg`].
 
+use oa_autotune::fuse::{shape_key, DagNode, Operand};
 use oa_blas3::schemes::oa_scheme;
-use oa_blas3::types::RoutineId;
+use oa_blas3::types::{RoutineId, Side, Trans, Uplo};
 use oa_composer::AdaptorApplication;
 use oa_epod::{mutate_once, Script};
 use oa_loopir::interp::Lcg;
@@ -273,6 +274,268 @@ impl CaseGen {
     }
 }
 
+/// Sizes the DAG grammar draws from.  Solver nodes serialize down a
+/// 64-wide column tile, so chains containing TRSM only launch at 64 —
+/// off-tile draws still happen on purpose: both plans must then fail
+/// with one identical error.
+pub const DAG_SIZES: &[i64] = &[8, 16, 24, 32, 48, 64];
+
+/// One expression-DAG fuzz case: 2–4 nodes whose operands may reference
+/// earlier nodes, plus the size/seed to run at.  Replayable through
+/// `oa serve` via [`DagCase::to_json_line`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DagCase {
+    /// The nodes, declaration order (references point backward).
+    pub nodes: Vec<DagNode>,
+    /// Square problem size.
+    pub n: i64,
+    /// Input-data seed.
+    pub seed: u64,
+}
+
+impl DagCase {
+    /// Stable one-line identity (goes into fingerprints).
+    pub fn id_line(&self) -> String {
+        format!(
+            "dag {} n={} seed={}",
+            shape_key(&self.nodes),
+            self.n,
+            self.seed
+        )
+    }
+
+    /// The case as a JSONL DAG request — the exact line `oa serve`
+    /// accepts, so every repro doubles as a server regression input.
+    pub fn to_json_line(&self) -> String {
+        let op = |o: &Operand| match o {
+            Operand::Buf(b) => format!("\"{b}\""),
+            Operand::Node(i) => format!("\"@{}\"", self.nodes[*i].id),
+        };
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|nd| {
+                // Always spell `b` out under the routine's canonical name
+                // (a rank update serializes as GEMM-NT with a == b; the
+                // planner recognizes the structure, not the sugar).
+                let mut s = format!(
+                    "{{\"id\": \"{}\", \"routine\": \"{}\", \"a\": {}, \"b\": {}",
+                    nd.id,
+                    nd.routine.name(),
+                    op(&nd.a),
+                    op(&nd.b)
+                );
+                if let Some(c) = &nd.c {
+                    s.push_str(&format!(", \"c\": {}", op(c)));
+                }
+                s.push('}');
+                s
+            })
+            .collect();
+        format!(
+            "{{\"dag\": [{}], \"n\": {}, \"seed\": {}}}",
+            nodes.join(", "),
+            self.n,
+            self.seed
+        )
+    }
+
+    /// Parse one `.dag` corpus line (the same schema `oa serve` accepts:
+    /// `@id` operands reference earlier nodes, a missing `b` on a rank
+    /// update means `b = a`, a missing `c` means no accumulator).
+    pub fn from_json_line(line: &str) -> Result<DagCase, String> {
+        let doc = oa_autotune::json::parse(line).ok_or("not valid JSON")?;
+        let arr = doc
+            .get("dag")
+            .and_then(|d| d.as_arr())
+            .ok_or("missing \"dag\" array")?;
+        let n = doc
+            .get("n")
+            .and_then(|v| v.as_i64())
+            .ok_or("missing \"n\"")?;
+        let seed = doc.get("seed").and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(arr.len());
+        let mut ids: Vec<String> = Vec::with_capacity(arr.len());
+        for (i, nd) in arr.iter().enumerate() {
+            let id = nd
+                .get("id")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("node {i}: missing \"id\""))?
+                .to_string();
+            let rname = nd
+                .get("routine")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{id}: missing \"routine\""))?;
+            // "SYRK" is serve-schema sugar for GEMM-NT with b = a.
+            let routine = if rname.eq_ignore_ascii_case("SYRK") {
+                RoutineId::Gemm(Trans::N, Trans::T)
+            } else {
+                RoutineId::parse(rname).ok_or_else(|| format!("{id}: unknown routine {rname:?}"))?
+            };
+            let op = |slot: &str| -> Result<Option<Operand>, String> {
+                let Some(text) = nd.get(slot).and_then(|v| v.as_str()) else {
+                    return Ok(None);
+                };
+                if let Some(rid) = text.strip_prefix('@') {
+                    let j = ids
+                        .iter()
+                        .position(|s| s == rid)
+                        .ok_or_else(|| format!("{id}.{slot}: unknown node @{rid}"))?;
+                    Ok(Some(Operand::Node(j)))
+                } else {
+                    Ok(Some(Operand::Buf(text.to_string())))
+                }
+            };
+            let a = op("a")?.ok_or_else(|| format!("{id}: missing \"a\""))?;
+            let b = match op("b")? {
+                Some(b) => b,
+                // SYRK sugar: a rank update's second operand defaults to
+                // its first.
+                None => a.clone(),
+            };
+            let c = op("c")?;
+            ids.push(id.clone());
+            nodes.push(DagNode {
+                id,
+                routine,
+                a,
+                b,
+                c,
+            });
+        }
+        if nodes.is_empty() {
+            return Err("empty DAG".into());
+        }
+        Ok(DagCase { nodes, n, seed })
+    }
+}
+
+/// The DAG case generator: grows 2–4 node chains that deliberately cover
+/// every planner decision — fusable epilogues (GEMM-family → ADD) and
+/// solver prologues (SYRK → TRSM's triangular-system slot), shared
+/// intermediates (multi-consumer rejects), consumers reading an
+/// intermediate through a slot with no fusion rule (shape rejects), and
+/// off-tile solver sizes (identical-error agreement).
+pub struct DagGen {
+    rng: Lcg,
+}
+
+impl DagGen {
+    /// A deterministic generator.
+    pub fn new(seed: u64) -> DagGen {
+        DagGen {
+            rng: Lcg::new(seed),
+        }
+    }
+
+    fn external(&mut self, i: usize) -> Operand {
+        let pool = ["A", "B", "E", "F", "G", "H"];
+        if self.rng.range(0, 3) == 0 {
+            Operand::Buf(format!("X{i}"))
+        } else {
+            Operand::Buf(pool[self.rng.range(0, pool.len() as i64) as usize].to_string())
+        }
+    }
+
+    /// An operand for node `i`: an earlier node's output with probability
+    /// ~1/2 (when one exists), else an external buffer.
+    fn operand(&mut self, i: usize) -> Operand {
+        if i > 0 && self.rng.range(0, 2) == 0 {
+            Operand::Node(self.rng.range(0, i as i64) as usize)
+        } else {
+            self.external(i)
+        }
+    }
+
+    /// Produce the next DAG case.
+    pub fn next_case(&mut self) -> DagCase {
+        let count = 2 + self.rng.range(0, 3) as usize;
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(count);
+        for i in 0..count {
+            let id = format!("n{i}");
+            let node = match self.rng.range(0, 8) {
+                // GEMM family — the epilogue producers (and plain work).
+                0..=2 => {
+                    let t = [Trans::N, Trans::T];
+                    let ta = t[self.rng.range(0, 2) as usize];
+                    let tb = t[self.rng.range(0, 2) as usize];
+                    DagNode {
+                        id,
+                        routine: RoutineId::Gemm(ta, tb),
+                        a: self.operand(i),
+                        b: self.operand(i),
+                        c: Some(self.external(i)),
+                    }
+                }
+                // SYRK (GEMM-NT with a == b) — the prologue producer.
+                3 => {
+                    let a = self.operand(i);
+                    DagNode {
+                        id,
+                        routine: RoutineId::Gemm(Trans::N, Trans::T),
+                        a: a.clone(),
+                        b: a,
+                        c: Some(self.external(i)),
+                    }
+                }
+                // ADD — the epilogue consumer (in-place accumulate shape).
+                4 | 5 => DagNode {
+                    id,
+                    routine: RoutineId::Add,
+                    a: self.operand(i),
+                    b: self.operand(i),
+                    c: None,
+                },
+                // TRSM — prologue consumer through `b`, shape mismatch
+                // through `a` (no rule fuses into the triangular factor).
+                6 => DagNode {
+                    id,
+                    routine: RoutineId::Trsm(Side::Left, Uplo::Lower, Trans::N),
+                    a: self.operand(i),
+                    b: self.operand(i),
+                    c: None,
+                },
+                // SYMM — a producer no consumer rule matches through ADD?
+                // (it does: gemm-family) — and a consumer with no rule.
+                _ => DagNode {
+                    id,
+                    routine: RoutineId::Symm(Side::Left, Uplo::Lower),
+                    a: self.operand(i),
+                    b: self.operand(i),
+                    c: Some(self.external(i)),
+                },
+            };
+            nodes.push(node);
+        }
+        // One draw in three rewires a later node to share an earlier
+        // intermediate with another consumer — the multi-consumer path.
+        if count >= 3 && self.rng.range(0, 3) == 0 {
+            let producer = self.rng.range(0, (count - 2) as i64) as usize;
+            let last = nodes.len() - 1;
+            nodes[last].a = Operand::Node(producer);
+            if nodes[last].b == nodes[last].a {
+                // Keep accidental SYRK sugar out of non-GEMM nodes.
+                nodes[last].b = self.external(last);
+            }
+        }
+        let has_solver = nodes
+            .iter()
+            .any(|nd| matches!(nd.routine, RoutineId::Trsm(..)));
+        // Solver chains mostly draw 64 (the launchable size) but keep a
+        // 1-in-4 off-tile draw: both plans must reject identically.
+        let n = if has_solver && self.rng.range(0, 4) != 0 {
+            64
+        } else {
+            DAG_SIZES[self.rng.range(0, DAG_SIZES.len() as i64) as usize]
+        };
+        DagCase {
+            nodes,
+            n,
+            seed: self.rng.next(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +547,52 @@ mod tests {
         for i in 0..50 {
             assert_eq!(a.next_case(i), b.next_case(i), "iter {i}");
         }
+    }
+
+    #[test]
+    fn same_seed_same_dag_stream() {
+        let mut a = DagGen::new(9);
+        let mut b = DagGen::new(9);
+        for i in 0..50 {
+            let (ca, cb) = (a.next_case(), b.next_case());
+            assert_eq!(ca.id_line(), cb.id_line(), "iter {i}");
+            assert_eq!(ca.to_json_line(), cb.to_json_line(), "iter {i}");
+        }
+    }
+
+    #[test]
+    fn dag_stream_exercises_the_grammar() {
+        // One seeded stream must produce every structural feature the
+        // stripe is meant to probe: backward refs, shared intermediates
+        // (multi-consumer), solver nodes pinned to the column tile, and
+        // off-tile solver draws that both plans must reject identically.
+        let mut g = DagGen::new(3);
+        let (mut refs, mut shared, mut solver64, mut solver_off) = (false, false, false, false);
+        for _ in 0..200 {
+            let case = g.next_case();
+            let mut consumers = vec![0usize; case.nodes.len()];
+            for nd in &case.nodes {
+                for op in nd.reads() {
+                    if let Operand::Node(j) = op {
+                        refs = true;
+                        consumers[*j] += 1;
+                    }
+                }
+            }
+            shared |= consumers.iter().any(|&k| k > 1);
+            let has_trsm = case
+                .nodes
+                .iter()
+                .any(|nd| matches!(nd.routine, RoutineId::Trsm(..)));
+            if has_trsm {
+                solver64 |= case.n == 64;
+                solver_off |= case.n % 64 != 0;
+            }
+        }
+        assert!(refs, "no case referenced a prior node");
+        assert!(shared, "no case shared an intermediate across consumers");
+        assert!(solver64, "no solver case drew the legal column-tile size");
+        assert!(solver_off, "no solver case drew an off-tile size");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 pub mod corpus;
 pub mod coverage;
+pub mod dag_stripe;
 pub mod diff;
 pub mod gen;
 pub mod model_stripe;
@@ -23,10 +24,11 @@ pub mod shrink;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-pub use corpus::{from_text, list_cases, read_case, to_text, write_case};
+pub use corpus::{from_text, list_cases, list_dags, read_case, to_text, write_case};
 pub use coverage::Coverage;
+pub use dag_stripe::{DagStripe, DAG_STRIPE_PERIOD};
 pub use diff::{digest, run_case, Divergence, InjectedFault, Verdict};
-pub use gen::{Case, CaseGen, SIZES};
+pub use gen::{Case, CaseGen, DagCase, DagGen, DAG_SIZES, SIZES};
 pub use model_stripe::{ModelStripe, MODEL_STRIPE_PERIOD};
 pub use shrink::shrink;
 
@@ -48,6 +50,11 @@ pub struct FuzzConfig {
     /// [`MODEL_STRIPE_PERIOD`]-th case.  Off by default — each stripe
     /// case costs two full tune sweeps — and switched on by `oa fuzz`.
     pub model_stripe: bool,
+    /// Cross-check the fusion pass (fused vs sequenced DAG plans, bit
+    /// for bit, across all four engines — see [`dag_stripe`]) on every
+    /// [`DAG_STRIPE_PERIOD`]-th case.  Off by default and switched on
+    /// by `oa fuzz`.
+    pub dag_stripe: bool,
 }
 
 impl FuzzConfig {
@@ -60,6 +67,7 @@ impl FuzzConfig {
             fault: None,
             on_case: None,
             model_stripe: false,
+            dag_stripe: false,
         }
     }
 }
@@ -79,6 +87,23 @@ pub struct FoundDivergence {
     pub repro_path: Option<PathBuf>,
 }
 
+/// A shrunk DAG-stripe divergence.  Kept apart from
+/// [`FoundDivergence`] because the repro is an expression DAG, not a
+/// script case — its file form is one `oa serve` request line.
+#[derive(Clone, Debug)]
+pub struct FoundDagDivergence {
+    /// Loop iteration that produced it.
+    pub iter: usize,
+    /// The original (unshrunk) failing DAG.
+    pub original: DagCase,
+    /// The minimized DAG.
+    pub minimal: DagCase,
+    /// Divergence details from the minimized DAG.
+    pub detail: String,
+    /// Where the `.dag` repro was written, if a corpus dir was configured.
+    pub repro_path: Option<PathBuf>,
+}
+
 /// The outcome of a whole fuzz run.
 #[derive(Clone, Debug, Default)]
 pub struct FuzzReport {
@@ -89,6 +114,8 @@ pub struct FuzzReport {
     pub coverage: Coverage,
     /// Every divergence found, shrunk.
     pub divergences: Vec<FoundDivergence>,
+    /// Every DAG-stripe divergence found, shrunk.
+    pub dag_divergences: Vec<FoundDagDivergence>,
     /// Cases that entered the mutation pool as interesting.
     pub interesting: usize,
 }
@@ -115,6 +142,9 @@ impl FuzzReport {
         for d in &self.divergences {
             eat(d.minimal.id_line().as_bytes());
         }
+        for d in &self.dag_divergences {
+            eat(d.minimal.id_line().as_bytes());
+        }
         h
     }
 }
@@ -124,6 +154,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let mut gen = CaseGen::new(cfg.seed);
     let mut report = FuzzReport::default();
     let mut stripe: Option<ModelStripe> = None;
+    // The DAG generator gets its own seeded stream (offset so switching
+    // the stripe on does not perturb the script-case stream or existing
+    // fingerprints).
+    let mut dag_gen: Option<(DagGen, DagStripe)> = None;
     for iter in 0..cfg.iters {
         let (case, _tags) = gen.next_case(iter);
         let (verdict, features) = run_case(&case, cfg.fault.as_ref());
@@ -168,6 +202,46 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     original: case.clone(),
                     minimal,
                     detail: format!("model stripe: {}", d.detail),
+                    repro_path,
+                });
+            }
+        }
+        // DAG stripe: every DAG_STRIPE_PERIOD-th case also pushes one
+        // generated expression DAG through the fusion runner — fused vs
+        // sequenced per engine, engine vs engine — bit for bit.
+        if cfg.dag_stripe && (iter + 1) % DAG_STRIPE_PERIOD == 0 {
+            let (dgen, dstripe) =
+                dag_gen.get_or_insert_with(|| (DagGen::new(cfg.seed ^ 0xDA6), DagStripe::new()));
+            let dcase = dgen.next_case();
+            let (dv, dfeatures) = dstripe.check(&dcase);
+            *report
+                .verdicts
+                .entry(format!("dag-{}", dv.kind()))
+                .or_insert(0) += 1;
+            if let Some(cb) = cfg.on_case {
+                cb(iter, &format!("dag-{}", dv.kind()), &dcase.id_line());
+            }
+            if report.coverage.note(&dfeatures) {
+                report.interesting += 1;
+            }
+            if let Verdict::Divergence(d) = dv {
+                let (minimal, _steps) = dstripe.shrink(&dcase);
+                let repro_path = cfg.corpus_dir.as_ref().map(|dir| {
+                    let path = dir.join(format!(
+                        "dag-divergence-{:04}.dag",
+                        report.dag_divergences.len()
+                    ));
+                    // One line, directly replayable through `oa serve`.
+                    if let Err(e) = std::fs::write(&path, minimal.to_json_line() + "\n") {
+                        eprintln!("warning: could not write repro: {e}");
+                    }
+                    path
+                });
+                report.dag_divergences.push(FoundDagDivergence {
+                    iter,
+                    original: dcase.clone(),
+                    minimal,
+                    detail: format!("dag stripe: {}", d.detail),
                     repro_path,
                 });
             }

@@ -1,0 +1,626 @@
+//! Producer→consumer fusion splices — the mechanical layer of the DAG
+//! fusion pass.
+//!
+//! Both splices rewrite a *translated* (tuned) program so that an
+//! intermediate matrix never round-trips through global memory:
+//!
+//! * [`epilogue_fuse`] — an elementwise consumer (`D = C + E`) is folded
+//!   into the producer's register-tile store: the single `__reg_store` of
+//!   the producer's output becomes a per-element nest writing
+//!   `D[g] = rC[t] + E[g]` (or `E + rC`), so the intermediate `C` is
+//!   neither stored nor reloaded.
+//! * [`solver_prologue_fuse`] — a rank-update producer (`SYRK`, i.e.
+//!   `GEMM-NT` with both operands the same matrix) feeding a solver's
+//!   in-place operand is folded into the solver's register-tile load: right
+//!   after `__reg_load(rB ← B…)`, a staged k-tiled accumulation adds
+//!   `Σₖ F[i][k]·F[j][k]` into the register tile, reproducing the unfused
+//!   producer's ascending-k accumulation chain bit-for-bit.
+//!
+//! These are the generalized descendants of the adjacent-sibling
+//! [`loop_fusion`](super::loop_fusion) rules: instead of merging sibling
+//! loops with identical bounds, they splice a consumer's per-element body
+//! into the exact program point where the producer's values live in
+//! registers.  Legality (tile-geometry divisibility, single-consumer
+//! structure, alias freedom) is checked by the composer's planner; this
+//! layer enforces only the structural preconditions it can see and reports
+//! the rest as [`TransformError::NotApplicable`].
+
+use crate::arrays::ArrayDecl;
+use crate::expr::AffineExpr;
+use crate::nest::Program;
+use crate::scalar::{Access, ScalarExpr};
+use crate::stmt::{AssignOp, AssignStmt, Loop, RegTile, SharedStage, Stmt};
+use crate::transform::{fresh_label, TResult, TransformError};
+
+/// What [`epilogue_fuse`] splices: `dest[g] = r<output>[t] + other[g]`.
+#[derive(Clone, Debug)]
+pub struct EpilogueSpec {
+    /// The producer's output global array (locates its `__reg_store`).
+    pub output: String,
+    /// The consumer's second operand (a global array, same shape).
+    pub other: String,
+    /// The consumer's output array (written instead of `output`).
+    pub dest: String,
+    /// Operand order of the consumer's `+`: `true` puts the produced
+    /// register value on the left (`rC + E`), `false` on the right.
+    pub producer_first: bool,
+}
+
+/// Splice an elementwise-add consumer into the producer's register-tile
+/// store.  The producer's single `__reg_store(output ← r…)` becomes a
+/// per-element nest writing `dest = reg + other`; `output` is never
+/// written (its buffer keeps the seed the register tile was loaded from).
+pub fn epilogue_fuse(p: &mut Program, spec: &EpilogueSpec) -> TResult {
+    let stores = collect_reg_stores(&p.body, &spec.output);
+    if stores.len() != 1 {
+        return Err(TransformError::NotApplicable(format!(
+            "expected exactly one register-tile store of {}, found {}",
+            spec.output,
+            stores.len()
+        )));
+    }
+    let rt = stores[0].clone();
+    if p.array(&rt.reg).is_none() {
+        return Err(TransformError::Missing(format!(
+            "register array {}",
+            rt.reg
+        )));
+    }
+    let out_decl = p
+        .array(&spec.output)
+        .ok_or_else(|| TransformError::Missing(format!("array {}", spec.output)))?
+        .clone();
+
+    // Consumer arrays: same logical shape as the producer's output.  The
+    // internal names are chosen by the planner to avoid aliasing producer
+    // arrays; re-declaring an existing name is a planner bug.
+    for name in [&spec.other, &spec.dest] {
+        if p.array(name).is_some() {
+            return Err(TransformError::NotApplicable(format!(
+                "consumer array {name} collides with a producer array"
+            )));
+        }
+    }
+    p.declare(ArrayDecl::global(
+        &spec.other,
+        out_decl.rows.clone(),
+        out_decl.cols.clone(),
+    ));
+    p.declare(ArrayDecl::global(
+        &spec.dest,
+        out_decl.rows.clone(),
+        out_decl.cols.clone(),
+    ));
+
+    // Per-element global coordinates of register element (ef_r, ef_c).
+    let labels = p.loop_labels();
+    let (rv, cv) = ("ef_r", "ef_c");
+    let gr = rt.row0.add(&AffineExpr::term(rv, rt.row_stride));
+    let gc = rt.col0.add(&AffineExpr::term(cv, rt.col_stride));
+
+    let reg_elem = ScalarExpr::load(Access::new(
+        &rt.reg,
+        AffineExpr::var(rv),
+        AffineExpr::var(cv),
+    ));
+    let other_elem = ScalarExpr::load(Access::new(&spec.other, gr.clone(), gc.clone()));
+    let rhs = if spec.producer_first {
+        ScalarExpr::add(reg_elem, other_elem)
+    } else {
+        ScalarExpr::add(other_elem, reg_elem)
+    };
+    let elem = Stmt::Assign(AssignStmt::new(
+        Access::new(&spec.dest, gr.clone(), gc.clone()),
+        AssignOp::Assign,
+        rhs,
+    ));
+    // Keep the reg-store's own out-of-range guard (the engines apply it per
+    // element with `__gr`/`__gc` bound to the global coordinates).
+    let guard = rt.guard.subst("__gr", &gr).subst("__gc", &gc);
+    let elem = if guard.is_always() {
+        elem
+    } else {
+        Stmt::guarded(guard, vec![elem])
+    };
+    let inner = Loop::new(
+        fresh_label(&labels, "Lefc"),
+        cv,
+        AffineExpr::zero(),
+        AffineExpr::cst(rt.cols),
+        vec![elem],
+    );
+    let nest = Stmt::Loop(Box::new(Loop::new(
+        fresh_label(&labels, "Lefr"),
+        rv,
+        AffineExpr::zero(),
+        AffineExpr::cst(rt.rows),
+        vec![Stmt::Loop(Box::new(inner))],
+    )));
+
+    let replaced = replace_reg_store(&mut p.body, &spec.output, &[nest]);
+    debug_assert!(replaced);
+    Ok(())
+}
+
+/// What [`solver_prologue_fuse`] splices: `r<output> += Σₖ F[i][k]·F[j][k]`
+/// right after the solver's register-tile load.
+#[derive(Clone, Debug)]
+pub struct PrologueSpec {
+    /// The solver's in-place operand (locates its `__reg_load`).
+    pub output: String,
+    /// Internal name for the rank-update source matrix `F` (declared by
+    /// this splice; must not alias a producer array).
+    pub source: String,
+    /// Size parameter bounding the accumulation (`Σ k < extent`).
+    pub extent: String,
+    /// k-tile depth of the staged accumulation.
+    pub pkb: i64,
+}
+
+/// Splice a symmetric rank-update producer (`B := B + F·Fᵀ`) into a
+/// solver's register-tile load, as a staged, k-tiled accumulation: per
+/// k-tile, the row panel `F[rows(rB)][k-tile]` and the column panel
+/// `F[cols(block)][k-tile]` are staged to shared memory, then every thread
+/// accumulates its register elements from shared — zero extra global
+/// traffic inside the inner loops.
+pub fn solver_prologue_fuse(p: &mut Program, spec: &PrologueSpec) -> TResult {
+    let info = p
+        .tiling
+        .clone()
+        .ok_or_else(|| TransformError::NotApplicable("fusion requires thread_grouping".into()))?;
+    let loads = collect_reg_loads(&p.body, &spec.output);
+    if loads.len() != 1 {
+        return Err(TransformError::NotApplicable(format!(
+            "expected exactly one register-tile load of {}, found {}",
+            spec.output,
+            loads.len()
+        )));
+    }
+    let rt = loads[0].clone();
+    if rt.cols != 1 {
+        return Err(TransformError::NotApplicable(format!(
+            "solver register tile must be a column segment, got {}x{}",
+            rt.rows, rt.cols
+        )));
+    }
+    if rt.row_stride != 1 {
+        return Err(TransformError::NotApplicable(format!(
+            "register rows must be contiguous (stride {}, want 1)",
+            rt.row_stride
+        )));
+    }
+    // The row origin must be uniform across the block: staging one row
+    // panel per block is only the producer's access pattern when every
+    // thread covers the same rows.
+    if info.tile_origin(&rt.row0) != rt.row0 {
+        return Err(TransformError::NotApplicable(
+            "register-tile row origin varies within the block".into(),
+        ));
+    }
+    // Column-panel geometry: the block's j origin and width.
+    let col_origin = info.tile_origin(&rt.col0);
+    let local_col = rt.col0.sub(&col_origin);
+    let col_width = info.dim_j.tile;
+    if local_col == AffineExpr::zero() || col_width <= 0 {
+        return Err(TransformError::NotApplicable(
+            "solver tile has no per-thread column to accumulate".into(),
+        ));
+    }
+    if spec.pkb <= 0 {
+        return Err(TransformError::NotApplicable(format!(
+            "non-positive fusion k-tile depth {}",
+            spec.pkb
+        )));
+    }
+
+    for name in [spec.source.as_str(), "sP", "sQ"] {
+        if p.array(name).is_some() {
+            return Err(TransformError::NotApplicable(format!(
+                "fusion array {name} collides with an existing array"
+            )));
+        }
+    }
+    let ext = AffineExpr::var(&spec.extent);
+    p.declare(ArrayDecl::global(&spec.source, ext.clone(), ext));
+    p.declare(ArrayDecl::shared("sP", rt.rows, spec.pkb, 1));
+    p.declare(ArrayDecl::shared("sQ", col_width, spec.pkb, 1));
+
+    let labels = p.loop_labels();
+    let (kk_v, k3_v, i3_v) = ("pf_kk", "pf_k3", "pf_i3");
+    let tiles = p.derive_param(&spec.extent, spec.pkb);
+    let k_col0 = AffineExpr::term(kk_v, spec.pkb);
+
+    let stage = |dst: &str, row0: AffineExpr, rows: i64| -> Stmt {
+        Stmt::Stage(SharedStage {
+            dst: dst.into(),
+            src: spec.source.clone(),
+            src_row0: row0,
+            src_col0: k_col0.clone(),
+            rows,
+            cols: spec.pkb,
+            mode: crate::arrays::AllocMode::NoChange,
+            src_fill: crate::arrays::Fill::Full,
+            guard: crate::expr::Predicate::always(),
+            strided_copy: false,
+        })
+    };
+
+    // rB[i3][0] += sP[i3][k3] * sQ[local_col][k3] — all operands in
+    // shared/registers; per element the k index `kk·PKB + k3` ascends
+    // exactly as the unfused producer's accumulation does.
+    let update = Stmt::Assign(AssignStmt::new(
+        Access::new(&rt.reg, AffineExpr::var(i3_v), AffineExpr::zero()),
+        AssignOp::AddAssign,
+        ScalarExpr::mul(
+            ScalarExpr::load(Access::new(
+                "sP",
+                AffineExpr::var(i3_v),
+                AffineExpr::var(k3_v),
+            )),
+            ScalarExpr::load(Access::new("sQ", local_col.clone(), AffineExpr::var(k3_v))),
+        ),
+    ));
+    let li3 = Loop::new(
+        fresh_label(&labels, "Lpfi"),
+        i3_v,
+        AffineExpr::zero(),
+        AffineExpr::cst(rt.rows),
+        vec![update],
+    );
+    let lk3 = Loop::new(
+        fresh_label(&labels, "Lpfk3"),
+        k3_v,
+        AffineExpr::zero(),
+        AffineExpr::cst(spec.pkb),
+        vec![Stmt::Loop(Box::new(li3))],
+    );
+    let lkk = Stmt::Loop(Box::new(Loop::new(
+        fresh_label(&labels, "Lpfk"),
+        kk_v,
+        AffineExpr::zero(),
+        AffineExpr::var(&tiles),
+        vec![
+            stage("sP", rt.row0.clone(), rt.rows),
+            stage("sQ", col_origin, col_width),
+            Stmt::Sync,
+            Stmt::Loop(Box::new(lk3)),
+            Stmt::Sync,
+        ],
+    )));
+
+    let inserted = insert_after_reg_load(&mut p.body, &spec.output, &[lkk]);
+    debug_assert!(inserted);
+    Ok(())
+}
+
+fn collect_reg_stores<'a>(stmts: &'a [Stmt], global: &str) -> Vec<&'a RegTile> {
+    let mut out = Vec::new();
+    walk(stmts, &mut |s| {
+        if let Stmt::RegStore(rt) = s {
+            if rt.global == global {
+                out.push(rt);
+            }
+        }
+    });
+    out
+}
+
+fn collect_reg_loads<'a>(stmts: &'a [Stmt], global: &str) -> Vec<&'a RegTile> {
+    let mut out = Vec::new();
+    walk(stmts, &mut |s| {
+        if let Stmt::RegLoad(rt) = s {
+            if rt.global == global {
+                out.push(rt);
+            }
+        }
+    });
+    out
+}
+
+fn walk<'a>(stmts: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::Loop(l) => walk(&l.body, f),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk(then_body, f);
+                walk(else_body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Replace the first `__reg_store` of `global` with `replacement`.
+fn replace_reg_store(stmts: &mut Vec<Stmt>, global: &str, replacement: &[Stmt]) -> bool {
+    for i in 0..stmts.len() {
+        let hit = matches!(&stmts[i], Stmt::RegStore(rt) if rt.global == global);
+        if hit {
+            stmts.splice(i..=i, replacement.iter().cloned());
+            return true;
+        }
+        let found = match &mut stmts[i] {
+            Stmt::Loop(l) => replace_reg_store(&mut l.body, global, replacement),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                replace_reg_store(then_body, global, replacement)
+                    || replace_reg_store(else_body, global, replacement)
+            }
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Insert `splice` immediately after the first `__reg_load` of `global`.
+fn insert_after_reg_load(stmts: &mut Vec<Stmt>, global: &str, splice: &[Stmt]) -> bool {
+    for i in 0..stmts.len() {
+        let hit = matches!(&stmts[i], Stmt::RegLoad(rt) if rt.global == global);
+        if hit {
+            stmts.splice(i + 1..i + 1, splice.iter().cloned());
+            return true;
+        }
+        let found = match &mut stmts[i] {
+            Stmt::Loop(l) => insert_after_reg_load(&mut l.body, global, splice),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                insert_after_reg_load(then_body, global, splice)
+                    || insert_after_reg_load(else_body, global, splice)
+            }
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::AllocMode;
+    use crate::builder::gemm_nn_like;
+    use crate::interp::{alloc_buffers, Bindings, Interp, Matrix};
+    use crate::transform::{loop_tiling, reg_alloc, sm_alloc, thread_grouping, TileParams};
+
+    fn tuned_gemm(params: TileParams) -> Program {
+        let mut p = gemm_nn_like("g");
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "C").unwrap();
+        p
+    }
+
+    fn params_8x8() -> TileParams {
+        TileParams {
+            ty: 8,
+            tx: 8,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        }
+    }
+
+    #[test]
+    fn epilogue_computes_sum_without_touching_output() {
+        let mut p = tuned_gemm(params_8x8());
+        epilogue_fuse(
+            &mut p,
+            &EpilogueSpec {
+                output: "C".into(),
+                other: "E".into(),
+                dest: "D".into(),
+                producer_first: true,
+            },
+        )
+        .unwrap();
+        assert!(p.array("E").is_some() && p.array("D").is_some());
+
+        let n = 16;
+        let b = Bindings::square(n);
+        let mut bufs = alloc_buffers(&p, &b, 7);
+        let (a0, b0, c0, e0) = (
+            bufs["A"].clone(),
+            bufs["B"].clone(),
+            bufs["C"].clone(),
+            bufs["E"].clone(),
+        );
+        Interp::new(&p, &b).run(&mut bufs);
+        // C holds its seed untouched; D = (C0 + A·B) + E.
+        assert_eq!(bufs["C"].max_abs_diff(&c0), 0.0);
+        let mut want = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = c0.get(i, j);
+                for k in 0..n {
+                    acc += a0.get(i, k) * b0.get(k, j);
+                }
+                want.set(i, j, acc + e0.get(i, j));
+            }
+        }
+        assert_eq!(bufs["D"].max_abs_diff(&want), 0.0, "fused D mismatch");
+    }
+
+    #[test]
+    fn epilogue_operand_order_is_respected() {
+        // E + rC vs rC + E are FP-identical for finite values, but the
+        // splice must still encode the requested order in the IR.
+        let mut p = tuned_gemm(params_8x8());
+        epilogue_fuse(
+            &mut p,
+            &EpilogueSpec {
+                output: "C".into(),
+                other: "E".into(),
+                dest: "D".into(),
+                producer_first: false,
+            },
+        )
+        .unwrap();
+        let assigns = p.assignments();
+        let d_write = assigns.iter().find(|a| a.lhs.array == "D").unwrap();
+        let reads = d_write.rhs.accesses();
+        assert_eq!(reads[0].array, "E", "consumer-first order not encoded");
+    }
+
+    #[test]
+    fn epilogue_requires_a_single_store() {
+        let mut p = tuned_gemm(params_8x8());
+        // A second store of C makes the producer ambiguous.
+        let extra = collect_reg_stores(&p.body, "C")[0].clone();
+        p.body.push(Stmt::RegStore(extra));
+        let err = epilogue_fuse(
+            &mut p,
+            &EpilogueSpec {
+                output: "C".into(),
+                other: "E".into(),
+                dest: "D".into(),
+                producer_first: true,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn epilogue_rejects_alias_with_producer_array() {
+        let mut p = tuned_gemm(params_8x8());
+        let err = epilogue_fuse(
+            &mut p,
+            &EpilogueSpec {
+                output: "C".into(),
+                other: "A".into(),
+                dest: "D".into(),
+                producer_first: true,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+
+    /// A TRSM-like solver nest (same shape as `reg_alloc`'s solver test).
+    fn tuned_solver(params: TileParams) -> Program {
+        use crate::scalar::BinOp;
+        let mut p = gemm_nn_like("trsm");
+        p.rewrite_loop("Lk", &mut |mut lk: Loop| {
+            lk.upper = AffineExpr::var("i");
+            lk.body = vec![Stmt::Assign(AssignStmt::new(
+                Access::idx("B", "i", "j"),
+                AssignOp::SubAssign,
+                ScalarExpr::mul(
+                    ScalarExpr::load(Access::idx("A", "i", "k")),
+                    ScalarExpr::load(Access::idx("B", "k", "j")),
+                ),
+            ))];
+            vec![
+                Stmt::Loop(Box::new(lk)),
+                Stmt::Assign(AssignStmt::new(
+                    Access::idx("B", "i", "j"),
+                    AssignOp::Assign,
+                    ScalarExpr::Bin(
+                        BinOp::Div,
+                        Box::new(ScalarExpr::load(Access::idx("B", "i", "j"))),
+                        Box::new(ScalarExpr::load(Access::idx("A", "i", "i"))),
+                    ),
+                )),
+            ]
+        });
+        thread_grouping(&mut p, "Li", "Lj", params).unwrap();
+        loop_tiling(&mut p, "Lii", "Ljj", "Lk").unwrap();
+        sm_alloc(&mut p, "B", AllocMode::Transpose).unwrap();
+        reg_alloc(&mut p, "B").unwrap();
+        p
+    }
+
+    #[test]
+    fn prologue_matches_sequenced_rank_update_then_solve() {
+        let params = TileParams {
+            ty: 8,
+            tx: 4,
+            thr_i: 4,
+            thr_j: 4,
+            kb: 4,
+            unroll: 0,
+        };
+        let unfused = tuned_solver(params);
+        let mut fused = unfused.clone();
+        solver_prologue_fuse(
+            &mut fused,
+            &PrologueSpec {
+                output: "B".into(),
+                source: "F0".into(),
+                extent: "M".into(),
+                pkb: 4,
+            },
+        )
+        .unwrap();
+        assert!(fused.array("F0").is_some());
+        assert!(fused.array("sP").is_some() && fused.array("sQ").is_some());
+
+        let n = 16;
+        let b = Bindings::square(n);
+        let mut fb = alloc_buffers(&fused, &b, 11);
+        // Condition the diagonal so the solve stays finite.
+        for i in 0..n {
+            let a = fb.get_mut("A").unwrap();
+            let v = a.get(i, i);
+            a.set(i, i, v.signum() * (v.abs() + 2.0));
+        }
+        let (a0, b0, f0) = (fb["A"].clone(), fb["B"].clone(), fb["F0"].clone());
+
+        // Sequenced reference: materialize B + F·Fᵀ, then run the unfused
+        // solver on it.
+        let mut ub = alloc_buffers(&unfused, &b, 11);
+        ub.insert("A".to_string(), a0.clone());
+        let pre = ub.get_mut("B").unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = b0.get(i, j);
+                for k in 0..n {
+                    acc += f0.get(i, k) * f0.get(j, k);
+                }
+                pre.set(i, j, acc);
+            }
+        }
+        Interp::new(&unfused, &b).run(&mut ub);
+        Interp::new(&fused, &b).run(&mut fb);
+        assert_eq!(
+            fb["B"].max_abs_diff(&ub["B"]),
+            0.0,
+            "fused solver not bit-identical to sequenced rank-update + solve"
+        );
+    }
+
+    #[test]
+    fn prologue_rejects_wide_register_tiles() {
+        // The 2-D GEMM layout has a 2-column register tile — not a solver
+        // column segment.
+        let mut p = tuned_gemm(params_8x8());
+        let err = solver_prologue_fuse(
+            &mut p,
+            &PrologueSpec {
+                output: "C".into(),
+                source: "F0".into(),
+                extent: "M".into(),
+                pkb: 4,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransformError::NotApplicable(_)));
+    }
+}

@@ -13,6 +13,7 @@
 mod binding;
 mod fission_fusion;
 mod format_iteration;
+mod fuse;
 mod gm_map;
 mod interchange;
 mod peel_pad;
@@ -25,6 +26,7 @@ mod unroll;
 pub use binding::binding_triangular;
 pub use fission_fusion::{loop_fission, loop_fusion};
 pub use format_iteration::format_iteration;
+pub use fuse::{epilogue_fuse, solver_prologue_fuse, EpilogueSpec, PrologueSpec};
 pub use gm_map::gm_map;
 pub use interchange::loop_interchange;
 pub use peel_pad::{has_triangular_guard, padding_triangular, peel_triangular};

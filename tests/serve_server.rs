@@ -413,6 +413,166 @@ fn one_shot_serve_reports_parse_errors_in_place() {
     assert_eq!(field(&parse(lines[2]), "class").as_str(), Some("parse"));
 }
 
+const DAG_CHAIN: &str = r#"{"dag": [{"id": "mm", "routine": "GEMM-NN", "a": "A", "b": "B", "c": "C"}, {"id": "sum", "routine": "ADD", "a": "@mm", "b": "E"}], "n": 64, "seed": 7}"#;
+
+/// A DAG line through the persistent server comes back as one structured
+/// result carrying the fusion decisions, and its digest matches running
+/// the same DAG directly through a reference registry — the DAG was
+/// dispatched as one unit, not split across batches.
+#[test]
+fn serve_runs_dag_requests_as_one_unit() {
+    let server = spawn_server(
+        Arc::new(registry()),
+        Listener::bind("127.0.0.1:0").expect("bind"),
+        config(2),
+        TraceMode::Off,
+    );
+    // A DAG interleaved with plain singles: distinct coalesce keys, one
+    // answer each.
+    let lines = vec![
+        Request::new(RoutineId::parse("GEMM-NN").unwrap(), 16)
+            .to_json()
+            .compact(),
+        DAG_CHAIN.to_string(),
+        Request::new(RoutineId::parse("GEMM-NN").unwrap(), 16)
+            .to_json()
+            .compact(),
+    ];
+    let responses = drive(server.addr(), &lines, 3);
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.admitted, stats.completed);
+    assert_eq!(stats.ok, 3);
+
+    let dag_doc = responses
+        .iter()
+        .map(|l| parse(l))
+        .find(|d| d.get("dag").is_some())
+        .expect("one DAG response");
+    assert_eq!(field(&dag_doc, "status").as_str(), Some("ok"));
+    assert_eq!(
+        field(&dag_doc, "dag").as_str(),
+        Some("GEMM-NN(A,B,C);ADD(@0,E)")
+    );
+    assert_eq!(field(&dag_doc, "units").as_i64(), Some(1));
+    let fused = match field(&dag_doc, "fused") {
+        oa_core::autotune::json::Json::Arr(a) => a,
+        other => panic!("fused is not an array: {other:?}"),
+    };
+    assert_eq!(fused.len(), 1, "epilogue chain must serve fused");
+    assert_eq!(
+        fused[0].get("kind").and_then(|v| v.as_str()),
+        Some("epilogue")
+    );
+
+    // Reference: the same DAG straight through a registry.
+    let reference = registry();
+    let doc = oa_core::autotune::json::parse(DAG_CHAIN).unwrap();
+    let req = oa_core::DagRequest::from_json(&doc).unwrap();
+    match reference.run_dag(&req).status {
+        oa_core::DagStatus::Ok(ok) => assert_eq!(
+            field(&dag_doc, "digest").as_str(),
+            Some(format!("{:016x}", ok.digest).as_str()),
+            "served DAG digest diverged from direct execution"
+        ),
+        oa_core::DagStatus::Failed { class, reason } => {
+            panic!("reference failed {class}: {reason}")
+        }
+    }
+}
+
+/// Malformed DAGs are rejected at admission with their structured
+/// `admission/dag*` classes — unknown references, forward references
+/// (the only way this schema could spell a cycle), and solver size
+/// constraints on intermediates — each as exactly one JSONL error line.
+#[test]
+fn serve_rejects_invalid_dags_with_structured_classes() {
+    let server = spawn_server(
+        Arc::new(registry()),
+        Listener::bind("127.0.0.1:0").expect("bind"),
+        config(1),
+        TraceMode::Off,
+    );
+    let cases = [
+        (
+            // Reference to a node that does not exist.
+            r#"{"dag": [{"id": "sum", "routine": "ADD", "a": "@ghost", "b": "E"}], "n": 64}"#,
+            "admission/dag-ref",
+        ),
+        (
+            // Forward reference: the schema's spelling of a cycle.
+            r#"{"dag": [{"id": "x", "routine": "ADD", "a": "@y", "b": "E"}, {"id": "y", "routine": "ADD", "a": "X", "b": "E"}], "n": 64}"#,
+            "admission/dag-cycle",
+        ),
+        (
+            // TRSM fed by an intermediate at an off-tile size: caught at
+            // admission, before any tuning is spent.
+            r#"{"dag": [{"id": "rk", "routine": "SYRK", "a": "F", "c": "S"}, {"id": "tri", "routine": "TRSM-LL-N", "a": "L", "b": "@rk"}], "n": 96}"#,
+            "admission/size-constraint",
+        ),
+        (
+            // Structural violation: `c` on a routine that takes none.
+            r#"{"dag": [{"id": "s", "routine": "ADD", "a": "A", "b": "B", "c": "C"}], "n": 64}"#,
+            "admission/dag",
+        ),
+    ];
+    let lines: Vec<String> = cases.iter().map(|(l, _)| l.to_string()).collect();
+    let responses = drive(server.addr(), &lines, cases.len());
+    // Schema-level rejections answer immediately, admission ones after
+    // dispatch — order by the per-connection id.
+    let by_id: HashMap<i64, oa_core::autotune::json::Json> = responses
+        .iter()
+        .map(|line| {
+            let doc = parse(line);
+            (field(&doc, "id").as_i64().expect("id"), doc)
+        })
+        .collect();
+    for (id, (sent, want_class)) in cases.iter().enumerate() {
+        let doc = &by_id[&(id as i64)];
+        let line = doc.compact();
+        assert_eq!(field(doc, "status").as_str(), Some("error"), "{sent}");
+        assert_eq!(
+            field(doc, "class").as_str(),
+            Some(*want_class),
+            "wrong class for {sent}: {line}"
+        );
+        assert!(field(doc, "reason").as_str().is_some(), "{line}");
+    }
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.admitted, stats.completed);
+}
+
+/// The streaming one-shot mode serves DAG lines too, in submission
+/// order, alongside singles.
+#[test]
+fn one_shot_serve_handles_dag_lines() {
+    let reg = registry();
+    let input = format!(
+        "{}\n{}\n{}\n",
+        "{\"routine\":\"GEMM-NN\",\"n\":16,\"seed\":3}",
+        DAG_CHAIN,
+        "{\"dag\": [{\"id\": \"s\", \"routine\": \"ADD\", \"a\": \"@nope\", \"b\": \"E\"}]}"
+    );
+    let mut reader = BufReader::new(input.as_bytes());
+    let mut sink = SharedOut(Arc::new(Mutex::new(Vec::new())));
+    let stats = serve_stream(&reg, &mut reader, &mut sink, 2, TraceMode::Off).expect("serve");
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.ok, 2);
+    assert_eq!(stats.failed, 1);
+
+    let bytes = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<_> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(field(&parse(line), "id").as_i64(), Some(i as i64), "{line}");
+    }
+    let dag = parse(lines[1]);
+    assert_eq!(field(&dag, "status").as_str(), Some("ok"));
+    assert_eq!(field(&dag, "units").as_i64(), Some(1));
+    let bad = parse(lines[2]);
+    assert_eq!(field(&bad, "class").as_str(), Some("admission/dag-ref"));
+}
+
 /// Two threads racing to resolve the same cold `(routine, class)` key
 /// run exactly one tuning sweep: the second waits for the first's
 /// result instead of duplicating seconds of work (and instead of
